@@ -1,0 +1,34 @@
+"""Fig. 7 + Sec. V-A ablation: computation-reduction techniques toggled off.
+
+FFT-IFFT decoupling cuts FFT counts p·q -> q and IFFT counts p·q -> p;
+real-FFT symmetry halves the element-wise products; trivial twiddles empty
+the first two butterfly stages.  The bench prices a 1024x1024 layer at block
+8 under each ablation.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.cost_model import decoupling_counts
+from repro.experiments.ablations import decoupling_ablation
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_reduction_techniques(benchmark):
+    variants = benchmark(decoupling_ablation, 1024, 8)
+
+    full = variants["all techniques"]
+    lines = ["Sec. V computation-reduction ablation (1024x1024 layer, block 8):"]
+    for name, value in variants.items():
+        lines.append(f"  {name:28s} {value:12,.0f} real mults ({value / full:4.2f}x)")
+    p = q = 1024 // 8
+    lines.append(
+        f"Fig. 7 decoupling: FFTs {p * q:,} -> {decoupling_counts(p, q)[0]:,}, "
+        f"IFFTs {p * q:,} -> {decoupling_counts(p, q)[1]:,}"
+    )
+    emit("fig7_decoupling", "\n".join(lines))
+
+    assert variants["no FFT-IFFT decoupling"] > full
+    assert variants["no real-FFT symmetry"] > 1.5 * full
+    assert variants["no trivial-twiddle savings"] >= full
+    assert variants["dense (block 1)"] > 4 * full

@@ -1,0 +1,27 @@
+"""Fig. 8: normalized multiplication count vs block size.
+
+Regenerates both panels (layer 512 and 1024) and asserts the paper's shape:
+the curve starts at 0.5 for block 2, decreases monotonically, and converges
+at block size 32-64 (the Phase-I upper bound).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.cost_model import recommended_block_upper_bound
+from repro.experiments.fig8 import format_fig8, run_fig8
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_multiplication_curves(benchmark):
+    curves = benchmark(run_fig8)
+    emit("fig8_multiplications", format_fig8(curves))
+
+    for layer_size, curve in curves.items():
+        assert curve[2] == pytest.approx(0.5), "paper: curve starts at ~0.5"
+        blocks = sorted(curve)
+        for a, b in zip(blocks, blocks[1:]):
+            assert curve[b] <= curve[a] + 1e-9, "monotone decrease"
+        assert recommended_block_upper_bound(layer_size) in (32, 64), (
+            "paper Sec. V-B: convergence at block size 32 or 64"
+        )

@@ -1,0 +1,33 @@
+"""Phase-I trial-count benchmark (Fig. 2).
+
+The paper's framework claim: the two design explorations bound the search so
+"the total number of training trials is limited to around 5", against a full
+grid of dozens.  This bench runs real Phase-I training trials on the scaled
+corpus and counts them.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.ablations import phase1_trial_count
+
+
+@pytest.mark.benchmark(group="phase1")
+def test_phase1_trial_count(benchmark, harness):
+    result = benchmark.pedantic(
+        phase1_trial_count, args=(harness,), rounds=1, iterations=1
+    )
+    grid_size = 2 * len([2, 4, 8, 16]) ** 2  # cell types x per-layer blocks
+    text = "\n".join(
+        [
+            result.describe(),
+            f"full grid would need ~{grid_size} trials; "
+            f"Phase I used {result.num_training_trials} "
+            f"(paper: 'limited to around 5')",
+        ]
+    )
+    emit("phase1_trials", text)
+
+    assert result.num_training_trials <= 6
+    assert result.final_spec.is_block_circulant
+    assert result.final_per <= result.baseline_per + 5.0 + 1e-9

@@ -1,0 +1,19 @@
+"""Table IV: FPGA platform comparison (resource totals + derived capacity)."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.table4 import format_table4, run_table4, verify_against_paper
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_platforms(benchmark):
+    rows = benchmark(run_table4)
+    emit("table4_platforms", format_table4(rows))
+
+    assert verify_against_paper(), "resource totals must equal Table IV"
+    # The 7V3 is the larger device and must host more PEs at either FFT size.
+    assert (
+        rows["ADM-PCIE-7V3"]["pe_capacity_fft8"]
+        > rows["XCKU060"]["pe_capacity_fft8"]
+    )

@@ -1,0 +1,42 @@
+"""Benchmark fixtures: thread pinning and the shared experiment harness.
+
+BLAS thread pinning must happen before numpy loads its backend: the
+reproduction's training workload is thousands of small matrix products, and
+OpenBLAS's multi-threaded path is ~3.5x *slower* than single-threaded at
+these sizes.  This conftest is imported before any benchmark module, so the
+environment variables take effect.
+"""
+
+import os
+
+for _var in (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+):
+    os.environ.setdefault(_var, "1")
+
+from pathlib import Path  # noqa: E402
+
+import pytest  # noqa: E402
+
+from repro.experiments.common import ExperimentHarness, ExperimentSettings  # noqa: E402
+
+#: Where the formatted tables land (one file per table/figure) so the
+#: regenerated results survive the pytest run.
+OUTPUT_DIR = Path(__file__).resolve().parent / "out"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a table and persist it under benchmarks/out/."""
+    print()
+    print(text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def harness() -> ExperimentHarness:
+    """One corpus + cache shared by every accuracy benchmark in the session."""
+    return ExperimentHarness(ExperimentSettings())

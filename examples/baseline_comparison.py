@@ -1,0 +1,31 @@
+"""Baseline comparison: regenerate the paper's Table III from the models.
+
+Prices every configuration of the paper's headline table — ESE (pruned
+sparse LSTM), C-LSTM (direct circulant training, 16-bit), and E-RNN (ADMM,
+12-bit) at block sizes 8 and 16 on both FPGA platforms — and prints the
+side-by-side table with paper-vs-model performance ratios.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+from repro.experiments.table3 import format_comparison, run_table3
+from repro.experiments.table4 import format_table4, run_table4
+
+
+def main() -> None:
+    print(format_table4(run_table4()))
+    print()
+    print(format_comparison(run_table3()))
+    print()
+    print(
+        "Reading guide: ESE loses on (i) effective compression (indices\n"
+        "halve its 9x pruning to 4.5:1), (ii) parallelism (the irregular\n"
+        "sparse structure feeds ~32 MACs/cycle where E-RNN's regular blocks\n"
+        "feed hundreds of multiplier lanes), and (iii) power (off-chip\n"
+        "activation tables). C-LSTM shares the block-circulant datapath but\n"
+        "pays for 16-bit quantization and unoptimized PEs."
+    )
+
+
+if __name__ == "__main__":
+    main()

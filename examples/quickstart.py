@@ -1,0 +1,110 @@
+"""Quickstart: compress an LSTM with ADMM and size its FPGA implementation.
+
+The five-minute tour of the library:
+
+1. generate a synthetic TIMIT-like corpus and extract features;
+2. train a dense LSTM acoustic model;
+3. compress it to block-circulant form with ADMM (the E-RNN flow);
+4. quantize to 12-bit fixed point with PWL activations;
+5. size the FPGA accelerator and print the implementation report.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.asr import (
+    CorpusConfig,
+    FeatureConfig,
+    FeatureExtractor,
+    PhoneSet,
+    SyntheticTIMIT,
+    TrainConfig,
+    evaluate_per,
+    prepare_dataset,
+    train_model,
+)
+from repro.config import AccelSpec, RNNSpec
+from repro.core.flow import ernn_compress
+from repro.hw import AcceleratorModel, quantized_copy, quantized_dataset
+from repro.nn import StackedRNNClassifier
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Data: a small synthetic corpus (16 phones, 8 kHz, 10 speakers).
+    # ------------------------------------------------------------------
+    phones = PhoneSet.folded().subset(16)
+    corpus = SyntheticTIMIT(
+        CorpusConfig(
+            phone_set=phones,
+            num_speakers=8,
+            utterances_per_speaker=8,
+            test_speakers=2,
+            sample_rate=8000,
+            noise_level=0.25,
+            seed=1,
+        )
+    )
+    extractor = FeatureExtractor(
+        FeatureConfig(sample_rate=8000, num_filters=13)
+    )
+    extractor.fit_normalizer(corpus.train)
+    train = prepare_dataset(corpus.train, extractor, phones)
+    test = prepare_dataset(corpus.test, extractor, phones)
+    print(f"corpus: {corpus}, feature dim {train.feature_dim}")
+
+    # ------------------------------------------------------------------
+    # 2. Dense baseline.
+    # ------------------------------------------------------------------
+    spec = RNNSpec("lstm", train.feature_dim, (48,), len(phones))
+    model = StackedRNNClassifier(spec, rng=np.random.default_rng(0))
+    train_model(
+        model, train,
+        TrainConfig(epochs=20, learning_rate=5e-3, lr_decay=0.96, seed=7),
+    )
+    dense_per = evaluate_per(model, test)
+    print(f"dense LSTM-48 PER: {dense_per:.2f}%")
+
+    # ------------------------------------------------------------------
+    # 3. ADMM compression to block-circulant (block size 4 -> 4x fewer
+    #    weights, Fig. 6 flow: ADMM -> projection -> structured retrain).
+    # ------------------------------------------------------------------
+    target = spec.with_block_sizes((4,))
+    result = ernn_compress(model, target, train)
+    compressed_per = evaluate_per(result.model, test)
+    print(
+        f"E-RNN block-4 PER: {compressed_per:.2f}% "
+        f"(degradation {compressed_per - dense_per:+.2f}; "
+        f"final ADMM residual {result.final_residual:.3f})"
+    )
+    print(
+        f"parameters: {model.num_parameters():,} dense -> "
+        f"{result.model.num_parameters():,} compressed"
+    )
+
+    # ------------------------------------------------------------------
+    # 4. Hardware-faithful inference: 12-bit weights/inputs + PWL σ/tanh.
+    # ------------------------------------------------------------------
+    hardware_model = quantized_copy(result.model, 12, pwl_segments=16)
+    quantized_per = evaluate_per(hardware_model, quantized_dataset(test, 12))
+    print(
+        f"12-bit fixed-point + PWL activations PER: {quantized_per:.2f}% "
+        f"(quantization cost {quantized_per - compressed_per:+.2f})"
+    )
+
+    # ------------------------------------------------------------------
+    # 5. FPGA implementation (at paper scale the same call prices the
+    #    Table III designs; here it prices the toy model).
+    # ------------------------------------------------------------------
+    design = AcceleratorModel(target, AccelSpec("XCKU060")).build()
+    print(
+        f"KU060 implementation: {design.num_pes} PEs in {design.num_cus} CUs, "
+        f"{design.latency_us:.2f} us/frame, {design.fps:,.0f} FPS, "
+        f"{design.power_watts:.1f} W "
+        f"({design.energy_efficiency:,.0f} FPS/W)"
+    )
+
+
+if __name__ == "__main__":
+    main()

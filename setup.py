@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no ``wheel`` package and no
+network access, so PEP 517 editable installs (which build a wheel) fail.
+This shim lets ``pip install -e . --no-use-pep517`` work offline; all
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,76 @@
+"""E-RNN: Design Optimization for Efficient Recurrent Neural Networks in FPGAs.
+
+A full Python reproduction of Li, Ding, Wang et al. (HPCA 2019): the
+block-circulant + ADMM compression framework, the two-phase design
+optimization, the FPGA hardware models, the HLS flow, and the ESE / C-LSTM
+baselines — evaluated end to end on a synthetic TIMIT-like ASR task.
+
+Quick start::
+
+    from repro import RNNSpec, AccelSpec
+    from repro.hw import AcceleratorModel
+
+    spec = RNNSpec("lstm", 153, (1024,), 39,
+                   block_sizes=(8,), peephole=True, projection_size=512)
+    design = AcceleratorModel(spec, AccelSpec("XCKU060")).build()
+    print(design.latency_us, design.fps)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.config import AccelSpec, RNNSpec, is_power_of_two, validate_block_size
+from repro.core import (
+    ADMMConfig,
+    ADMMTrainer,
+    BlockCirculantMatrix,
+    ERNNFramework,
+    ERNNResult,
+    PhaseIConfig,
+    PhaseIIConfig,
+    PhaseIIOptimizer,
+    PhaseIIResult,
+    PhaseIOptimizer,
+    PhaseIResult,
+)
+from repro.errors import (
+    BlockSizeError,
+    ConfigError,
+    DecodingError,
+    FitError,
+    QuantizationError,
+    ReproError,
+    SchedulingError,
+    ShapeError,
+    TrainingError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccelSpec",
+    "RNNSpec",
+    "is_power_of_two",
+    "validate_block_size",
+    "ADMMConfig",
+    "ADMMTrainer",
+    "BlockCirculantMatrix",
+    "ERNNFramework",
+    "ERNNResult",
+    "PhaseIConfig",
+    "PhaseIIConfig",
+    "PhaseIIOptimizer",
+    "PhaseIIResult",
+    "PhaseIOptimizer",
+    "PhaseIResult",
+    "BlockSizeError",
+    "ConfigError",
+    "DecodingError",
+    "FitError",
+    "QuantizationError",
+    "ReproError",
+    "SchedulingError",
+    "ShapeError",
+    "TrainingError",
+    "__version__",
+]

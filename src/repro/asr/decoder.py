@@ -1,0 +1,112 @@
+"""Framewise decoding: posteriors → phone sequences for PER scoring.
+
+The acoustic model emits per-frame phone posteriors; scoring needs a phone
+*sequence*.  The decoder takes the framewise argmax, optionally smooths it
+with a short median filter (removing 1-frame blips that would otherwise count
+as insertions), collapses consecutive repeats, and drops silence — mirroring
+how framewise hybrid systems are scored against TIMIT's segmental
+transcriptions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.asr.phones import PhoneSet
+from repro.errors import DecodingError
+
+__all__ = ["collapse_repeats", "median_smooth", "decode_frames", "FrameDecoder"]
+
+
+def collapse_repeats(labels: list[int]) -> list[int]:
+    """Merge runs of identical labels into single tokens."""
+    collapsed: list[int] = []
+    for label in labels:
+        if not collapsed or collapsed[-1] != label:
+            collapsed.append(label)
+    return collapsed
+
+
+def median_smooth(labels: np.ndarray, width: int = 3) -> np.ndarray:
+    """Odd-width majority filter over the frame-label sequence."""
+    if width < 1 or width % 2 == 0:
+        raise DecodingError(f"median width must be odd and positive, got {width}")
+    if width == 1 or len(labels) == 0:
+        return labels.copy()
+    half = width // 2
+    padded = np.pad(labels, (half, half), mode="edge")
+    smoothed = np.empty_like(labels)
+    for i in range(len(labels)):
+        window = padded[i : i + width]
+        values, counts = np.unique(window, return_counts=True)
+        smoothed[i] = values[counts.argmax()]
+    return smoothed
+
+
+def decode_frames(
+    frame_labels: np.ndarray,
+    phone_set: PhoneSet,
+    remove_silence: bool = True,
+    smooth_width: int = 5,
+) -> list[str]:
+    """Frame-label vector → scored phone sequence."""
+    frame_labels = np.asarray(frame_labels, dtype=np.int64)
+    if frame_labels.ndim != 1:
+        raise DecodingError(f"expected 1-D labels, got shape {frame_labels.shape}")
+    smoothed = median_smooth(frame_labels, smooth_width)
+    tokens = collapse_repeats(list(smoothed))
+    phones = phone_set.decode(tokens)
+    if remove_silence:
+        phones = [p for p in phones if p != phone_set.label(phone_set.silence_index)]
+    return phones
+
+
+class FrameDecoder:
+    """Configured decoder: logits ``(T, C)`` or ``(T, B, C)`` → sequences."""
+
+    def __init__(
+        self,
+        phone_set: PhoneSet,
+        remove_silence: bool = True,
+        smooth_width: int = 5,
+    ):
+        self.phone_set = phone_set
+        self.remove_silence = remove_silence
+        self.smooth_width = smooth_width
+
+    def decode_utterance(
+        self, logits: np.ndarray, length: int | None = None
+    ) -> list[str]:
+        logits = np.asarray(logits)
+        if logits.ndim != 2:
+            raise DecodingError(f"expected (T, C) logits, got {logits.shape}")
+        if length is not None:
+            logits = logits[:length]
+        return decode_frames(
+            logits.argmax(axis=-1),
+            self.phone_set,
+            remove_silence=self.remove_silence,
+            smooth_width=self.smooth_width,
+        )
+
+    def decode_batch(
+        self, logits: np.ndarray, lengths: tuple[int, ...]
+    ) -> list[list[str]]:
+        logits = np.asarray(logits)
+        if logits.ndim != 3:
+            raise DecodingError(f"expected (T, B, C) logits, got {logits.shape}")
+        if logits.shape[1] != len(lengths):
+            raise DecodingError(
+                f"batch size {logits.shape[1]} != {len(lengths)} lengths"
+            )
+        return [
+            self.decode_utterance(logits[:, b, :], length)
+            for b, length in enumerate(lengths)
+        ]
+
+    def reference(self, phones: list[str]) -> list[str]:
+        """Reference sequence under the same scoring conventions."""
+        silence = self.phone_set.label(self.phone_set.silence_index)
+        if self.remove_silence:
+            return [p for p in phones if p != silence]
+        return list(phones)

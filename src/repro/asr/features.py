@@ -1,0 +1,201 @@
+"""Acoustic feature extraction: log-mel filterbanks with deltas.
+
+The ESE/C-LSTM TIMIT setup feeds filterbank features (plus dynamic
+coefficients) to the LSTM; this module reproduces that front end from the
+waveform up: pre-emphasis, windowed framing, power spectrum, mel filterbank,
+log compression, Δ/ΔΔ appending, and corpus-level mean/variance
+normalization.  With ``num_filters=51`` and both delta orders the feature
+dimension is 153 — the paper workload's input size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.asr.phones import PhoneSet
+from repro.asr.timit import Utterance
+from repro.errors import ConfigError, ShapeError
+
+__all__ = ["FeatureConfig", "FeatureExtractor", "mel_filterbank", "frame_signal"]
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Front-end parameters (defaults: 25 ms window, 10 ms hop)."""
+
+    sample_rate: int = 16000
+    frame_ms: float = 25.0
+    hop_ms: float = 10.0
+    num_filters: int = 13
+    preemphasis: float = 0.97
+    add_deltas: bool = True
+    low_freq: float = 50.0
+    high_freq: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.frame_ms <= 0 or self.hop_ms <= 0 or self.hop_ms > self.frame_ms:
+            raise ConfigError("need 0 < hop_ms <= frame_ms")
+        if self.num_filters < 2:
+            raise ConfigError("num_filters must be at least 2")
+        high = self.high_freq if self.high_freq is not None else self.sample_rate / 2
+        if not 0 <= self.low_freq < high <= self.sample_rate / 2:
+            raise ConfigError("bad mel frequency range")
+
+    @property
+    def frame_length(self) -> int:
+        return int(round(self.frame_ms * self.sample_rate / 1000.0))
+
+    @property
+    def hop_length(self) -> int:
+        return int(round(self.hop_ms * self.sample_rate / 1000.0))
+
+    @property
+    def fft_size(self) -> int:
+        size = 1
+        while size < self.frame_length:
+            size *= 2
+        return size
+
+    @property
+    def feature_dim(self) -> int:
+        return self.num_filters * (3 if self.add_deltas else 1)
+
+
+def _hz_to_mel(freq: np.ndarray | float) -> np.ndarray | float:
+    return 2595.0 * np.log10(1.0 + np.asarray(freq) / 700.0)
+
+
+def _mel_to_hz(mel: np.ndarray | float) -> np.ndarray | float:
+    return 700.0 * (10.0 ** (np.asarray(mel) / 2595.0) - 1.0)
+
+
+def mel_filterbank(
+    num_filters: int,
+    fft_size: int,
+    sample_rate: int,
+    low_freq: float = 50.0,
+    high_freq: float | None = None,
+) -> np.ndarray:
+    """Triangular mel filters, shape ``(num_filters, fft_size // 2 + 1)``."""
+    high_freq = high_freq if high_freq is not None else sample_rate / 2.0
+    mel_points = np.linspace(
+        _hz_to_mel(low_freq), _hz_to_mel(high_freq), num_filters + 2
+    )
+    hz_points = np.asarray(_mel_to_hz(mel_points))
+    bins = np.floor((fft_size + 1) * hz_points / sample_rate).astype(int)
+    bank = np.zeros((num_filters, fft_size // 2 + 1))
+    for m in range(1, num_filters + 1):
+        left, center, right = bins[m - 1], bins[m], bins[m + 1]
+        center = max(center, left + 1)
+        right = max(right, center + 1)
+        for k in range(left, center):
+            bank[m - 1, k] = (k - left) / (center - left)
+        for k in range(center, min(right, bank.shape[1])):
+            bank[m - 1, k] = (right - k) / (right - center)
+    return bank
+
+
+def frame_signal(
+    waveform: np.ndarray, frame_length: int, hop_length: int
+) -> np.ndarray:
+    """Slice a 1-D signal into overlapping frames ``(num_frames, frame_length)``."""
+    waveform = np.asarray(waveform, dtype=np.float64)
+    if waveform.ndim != 1:
+        raise ShapeError(f"waveform must be 1-D, got {waveform.shape}")
+    if len(waveform) < frame_length:
+        waveform = np.pad(waveform, (0, frame_length - len(waveform)))
+    num_frames = 1 + (len(waveform) - frame_length) // hop_length
+    indices = (
+        np.arange(frame_length)[None, :]
+        + hop_length * np.arange(num_frames)[:, None]
+    )
+    return waveform[indices]
+
+
+class FeatureExtractor:
+    """Waveform → normalized log-mel (+Δ, ΔΔ) feature matrices.
+
+    Normalization statistics are fit once on a training corpus
+    (:meth:`fit_normalizer`) and applied everywhere, the standard
+    train-statistics-only protocol.
+    """
+
+    def __init__(self, config: FeatureConfig | None = None):
+        self.config = config if config is not None else FeatureConfig()
+        self._bank = mel_filterbank(
+            self.config.num_filters,
+            self.config.fft_size,
+            self.config.sample_rate,
+            self.config.low_freq,
+            self.config.high_freq,
+        )
+        self._window = np.hamming(self.config.frame_length)
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def raw_features(self, waveform: np.ndarray) -> np.ndarray:
+        """Un-normalized features ``(num_frames, feature_dim)``."""
+        cfg = self.config
+        emphasized = np.append(
+            waveform[0], waveform[1:] - cfg.preemphasis * waveform[:-1]
+        )
+        frames = frame_signal(emphasized, cfg.frame_length, cfg.hop_length)
+        spectrum = np.abs(np.fft.rfft(frames * self._window, n=cfg.fft_size)) ** 2
+        energies = spectrum @ self._bank.T
+        log_mel = np.log(np.maximum(energies, 1e-10))
+        if not cfg.add_deltas:
+            return log_mel
+        delta = self._delta(log_mel)
+        delta2 = self._delta(delta)
+        return np.concatenate([log_mel, delta, delta2], axis=1)
+
+    @staticmethod
+    def _delta(features: np.ndarray, width: int = 2) -> np.ndarray:
+        """Standard regression-based dynamic coefficients."""
+        length = features.shape[0]
+        padded = np.pad(features, ((width, width), (0, 0)), mode="edge")
+        numerator = np.zeros_like(features)
+        for n in range(1, width + 1):
+            forward = padded[width + n : width + n + length]
+            backward = padded[width - n : width - n + length]
+            numerator += n * (forward - backward)
+        denominator = 2 * sum(n * n for n in range(1, width + 1))
+        return numerator / denominator
+
+    # ------------------------------------------------------------------
+    def fit_normalizer(self, utterances: list[Utterance]) -> None:
+        stacked = np.concatenate(
+            [self.raw_features(u.waveform) for u in utterances], axis=0
+        )
+        self._mean = stacked.mean(axis=0)
+        self._std = np.maximum(stacked.std(axis=0), 1e-6)
+
+    def __call__(self, waveform: np.ndarray) -> np.ndarray:
+        features = self.raw_features(waveform)
+        if self._mean is not None:
+            features = (features - self._mean) / self._std
+        return features
+
+    # ------------------------------------------------------------------
+    def frame_labels(
+        self, utterance: Utterance, phone_set: PhoneSet
+    ) -> np.ndarray:
+        """Majority phone label per frame, aligned with :meth:`raw_features`."""
+        cfg = self.config
+        sample_labels = utterance.sample_labels(phone_set)
+        if len(sample_labels) < cfg.frame_length:
+            sample_labels = np.pad(
+                sample_labels,
+                (0, cfg.frame_length - len(sample_labels)),
+                constant_values=phone_set.silence_index,
+            )
+        num_frames = 1 + (len(sample_labels) - cfg.frame_length) // cfg.hop_length
+        labels = np.empty(num_frames, dtype=np.int64)
+        for frame in range(num_frames):
+            start = frame * cfg.hop_length
+            window = sample_labels[start : start + cfg.frame_length]
+            labels[frame] = np.bincount(window, minlength=len(phone_set)).argmax()
+        return labels

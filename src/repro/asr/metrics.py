@@ -1,0 +1,108 @@
+"""Edit-distance metrics: phone error rate (PER) and word error rate (WER).
+
+PER is the paper's accuracy measure (Tables I-III): the Levenshtein distance
+between the decoded and reference phone sequences, divided by the reference
+length, in percent.  The implementation returns the substitution / insertion
+/ deletion breakdown so error analyses can go beyond a single number.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["EditOps", "levenshtein", "error_rate", "corpus_error_rate"]
+
+
+@dataclass(frozen=True)
+class EditOps:
+    """Minimal edit-script statistics between a reference and a hypothesis."""
+
+    substitutions: int
+    insertions: int
+    deletions: int
+    reference_length: int
+
+    @property
+    def distance(self) -> int:
+        return self.substitutions + self.insertions + self.deletions
+
+    @property
+    def rate(self) -> float:
+        """Error rate in percent; defined as 0 for an empty, matched reference."""
+        if self.reference_length == 0:
+            return 0.0 if self.distance == 0 else 100.0
+        return 100.0 * self.distance / self.reference_length
+
+
+def levenshtein(reference: Sequence, hypothesis: Sequence) -> EditOps:
+    """Dynamic-programming edit distance with operation counts.
+
+    Uses the standard unit-cost DP; ties are broken substitution-first, which
+    matches NIST sclite's default accounting.
+    """
+    ref_len, hyp_len = len(reference), len(hypothesis)
+    # cost[i][j] = (distance, subs, ins, dels) for ref[:i] vs hyp[:j].
+    distance = np.zeros((ref_len + 1, hyp_len + 1), dtype=np.int64)
+    distance[:, 0] = np.arange(ref_len + 1)
+    distance[0, :] = np.arange(hyp_len + 1)
+    for i in range(1, ref_len + 1):
+        for j in range(1, hyp_len + 1):
+            match_cost = 0 if reference[i - 1] == hypothesis[j - 1] else 1
+            distance[i, j] = min(
+                distance[i - 1, j - 1] + match_cost,  # substitution / match
+                distance[i, j - 1] + 1,  # insertion
+                distance[i - 1, j] + 1,  # deletion
+            )
+    # Backtrace to classify the operations.
+    subs = ins = dels = 0
+    i, j = ref_len, hyp_len
+    while i > 0 or j > 0:
+        if i > 0 and j > 0:
+            match_cost = 0 if reference[i - 1] == hypothesis[j - 1] else 1
+            if distance[i, j] == distance[i - 1, j - 1] + match_cost:
+                subs += match_cost
+                i -= 1
+                j -= 1
+                continue
+        if j > 0 and distance[i, j] == distance[i, j - 1] + 1:
+            ins += 1
+            j -= 1
+            continue
+        dels += 1
+        i -= 1
+    return EditOps(subs, ins, dels, ref_len)
+
+
+def error_rate(reference: Sequence, hypothesis: Sequence) -> float:
+    """Single-sequence error rate in percent."""
+    return levenshtein(reference, hypothesis).rate
+
+
+def corpus_error_rate(
+    references: Sequence[Sequence], hypotheses: Sequence[Sequence]
+) -> float:
+    """Corpus-level rate: total edits over total reference length (percent).
+
+    This is how PER/WER are aggregated in ASR evaluation — *not* the mean of
+    per-utterance rates, which over-weights short utterances.
+    """
+    if len(references) != len(hypotheses):
+        raise ShapeError(
+            f"{len(references)} references vs {len(hypotheses)} hypotheses"
+        )
+    if not references:
+        raise ShapeError("empty corpus")
+    total_edits = 0
+    total_length = 0
+    for ref, hyp in zip(references, hypotheses):
+        ops = levenshtein(ref, hyp)
+        total_edits += ops.distance
+        total_length += ops.reference_length
+    if total_length == 0:
+        return 0.0 if total_edits == 0 else 100.0
+    return 100.0 * total_edits / total_length

@@ -1,0 +1,165 @@
+"""Bigram Viterbi decoding: a stronger decoder than framewise argmax.
+
+The paper's accelerator emits framewise posteriors; production ASR systems
+decode them against a language/transition model.  This module adds the
+smallest useful version — a phone-bigram HMM with self-loops — which both
+lowers PER on the synthetic corpus and demonstrates that the library's
+decoder interface supports real decoding back ends, not just argmax.
+
+The transition model is estimated from training frame labels with add-one
+smoothing; decoding is standard log-domain Viterbi over the phone set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.asr.decoder import collapse_repeats
+from repro.asr.phones import PhoneSet
+from repro.errors import DecodingError
+
+__all__ = ["BigramTransitionModel", "ViterbiDecoder"]
+
+
+class BigramTransitionModel:
+    """Phone-bigram transition probabilities with add-one smoothing."""
+
+    def __init__(self, num_classes: int, smoothing: float = 1.0):
+        if num_classes < 2:
+            raise DecodingError("need at least two classes")
+        if smoothing <= 0:
+            raise DecodingError("smoothing must be positive")
+        self.num_classes = num_classes
+        self.smoothing = smoothing
+        self._counts = np.full((num_classes, num_classes), smoothing)
+        self._initial = np.full(num_classes, smoothing)
+
+    def fit(self, label_sequences: list[np.ndarray]) -> "BigramTransitionModel":
+        """Accumulate frame-to-frame transition counts."""
+        if not label_sequences:
+            raise DecodingError("no label sequences given")
+        for labels in label_sequences:
+            labels = np.asarray(labels, dtype=np.int64)
+            if labels.size == 0:
+                continue
+            if labels.min() < 0 or labels.max() >= self.num_classes:
+                raise DecodingError("label out of range")
+            self._initial[labels[0]] += 1
+            np.add.at(self._counts, (labels[:-1], labels[1:]), 1)
+        return self
+
+    @property
+    def log_transitions(self) -> np.ndarray:
+        """(C, C) matrix of log P(next | current)."""
+        return np.log(self._counts / self._counts.sum(axis=1, keepdims=True))
+
+    @property
+    def log_initial(self) -> np.ndarray:
+        return np.log(self._initial / self._initial.sum())
+
+    def self_loop_mass(self) -> float:
+        """Mean diagonal probability — frames are sticky (~90% self loops)."""
+        probs = self._counts / self._counts.sum(axis=1, keepdims=True)
+        return float(np.mean(np.diag(probs)))
+
+
+class ViterbiDecoder:
+    """Max-product decoding of framewise log-posteriors against a bigram HMM.
+
+    ``acoustic_scale`` balances the acoustic model against the transition
+    model (the HMM equivalent of a language-model weight).
+    """
+
+    def __init__(
+        self,
+        phone_set: PhoneSet,
+        transitions: BigramTransitionModel,
+        acoustic_scale: float = 1.0,
+        remove_silence: bool = True,
+    ):
+        if transitions.num_classes != len(phone_set):
+            raise DecodingError(
+                f"transition model has {transitions.num_classes} classes, "
+                f"phone set has {len(phone_set)}"
+            )
+        if acoustic_scale <= 0:
+            raise DecodingError("acoustic_scale must be positive")
+        self.phone_set = phone_set
+        self.transitions = transitions
+        self.acoustic_scale = acoustic_scale
+        self.remove_silence = remove_silence
+
+    # ------------------------------------------------------------------
+    def decode_frames(self, log_posteriors: np.ndarray) -> np.ndarray:
+        """Most likely frame-label path, shape (T,)."""
+        log_posteriors = np.asarray(log_posteriors, dtype=np.float64)
+        if log_posteriors.ndim != 2:
+            raise DecodingError(
+                f"expected (T, C) log-posteriors, got {log_posteriors.shape}"
+            )
+        frames, classes = log_posteriors.shape
+        if classes != len(self.phone_set):
+            raise DecodingError(
+                f"{classes} classes vs phone set of {len(self.phone_set)}"
+            )
+        if frames == 0:
+            return np.zeros(0, dtype=np.int64)
+
+        log_trans = self.transitions.log_transitions
+        scores = (
+            self.transitions.log_initial
+            + self.acoustic_scale * log_posteriors[0]
+        )
+        backpointers = np.zeros((frames, classes), dtype=np.int64)
+        for t in range(1, frames):
+            candidate = scores[:, None] + log_trans  # prev x next
+            backpointers[t] = candidate.argmax(axis=0)
+            scores = (
+                candidate.max(axis=0)
+                + self.acoustic_scale * log_posteriors[t]
+            )
+        path = np.empty(frames, dtype=np.int64)
+        path[-1] = int(scores.argmax())
+        for t in range(frames - 1, 0, -1):
+            path[t - 1] = backpointers[t, path[t]]
+        return path
+
+    def decode_utterance(
+        self, logits: np.ndarray, length: int | None = None
+    ) -> list[str]:
+        """Logits (T, C) -> scored phone sequence (same contract as
+        :class:`repro.asr.decoder.FrameDecoder`)."""
+        logits = np.asarray(logits, dtype=np.float64)
+        if logits.ndim != 2:
+            raise DecodingError(f"expected (T, C) logits, got {logits.shape}")
+        if length is not None:
+            logits = logits[:length]
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        log_posteriors = shifted - np.log(
+            np.exp(shifted).sum(axis=-1, keepdims=True)
+        )
+        path = self.decode_frames(log_posteriors)
+        phones = self.phone_set.decode(collapse_repeats(list(path)))
+        if self.remove_silence:
+            silence = self.phone_set.label(self.phone_set.silence_index)
+            phones = [p for p in phones if p != silence]
+        return phones
+
+    def decode_batch(
+        self, logits: np.ndarray, lengths: tuple[int, ...]
+    ) -> list[list[str]]:
+        logits = np.asarray(logits)
+        if logits.ndim != 3 or logits.shape[1] != len(lengths):
+            raise DecodingError(
+                f"expected (T, B, C) with B={len(lengths)}, got {logits.shape}"
+            )
+        return [
+            self.decode_utterance(logits[:, b, :], length)
+            for b, length in enumerate(lengths)
+        ]
+
+    def reference(self, phones: list[str]) -> list[str]:
+        silence = self.phone_set.label(self.phone_set.silence_index)
+        if self.remove_silence:
+            return [p for p in phones if p != silence]
+        return list(phones)

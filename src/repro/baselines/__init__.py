@@ -1,0 +1,31 @@
+"""Comparison systems: ESE (pruned sparse LSTM) and C-LSTM (direct circulant)."""
+
+from repro.baselines.clstm import CLSTM_WEIGHT_BITS, build_clstm_model, clstm_accelerator
+from repro.baselines.ese import (
+    ESE_PUBLISHED_UTILIZATION,
+    ESEAcceleratorModel,
+    ESEConfig,
+    ESEDesign,
+    ese_prune_schedule,
+)
+from repro.baselines.pruning import (
+    PruningManager,
+    SparseStorage,
+    csr_storage_bits,
+    magnitude_mask,
+)
+
+__all__ = [
+    "CLSTM_WEIGHT_BITS",
+    "build_clstm_model",
+    "clstm_accelerator",
+    "ESE_PUBLISHED_UTILIZATION",
+    "ESEAcceleratorModel",
+    "ESEConfig",
+    "ESEDesign",
+    "ese_prune_schedule",
+    "PruningManager",
+    "SparseStorage",
+    "csr_storage_bits",
+    "magnitude_mask",
+]

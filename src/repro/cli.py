@@ -1,0 +1,197 @@
+"""Command-line interface: the library's main flows as one `repro` tool.
+
+Subcommands map onto the paper's workflow:
+
+* ``fit-check``  — Phase I Step One: BRAM sanity check for a spec/platform.
+* ``bounds``     — Phase I block-size bounds (BRAM lower, Fig. 8 upper).
+* ``price``      — Phase II hardware sizing: latency / FPS / power report.
+* ``codegen``    — run the HLS flow and write the generated C source.
+* ``table3``     — regenerate the paper's headline comparison table.
+* ``fig8``       — print the multiplication-count curves.
+
+Examples::
+
+    python -m repro.cli price --cell lstm --layers 1024 --block 8 \\
+        --projection 512 --peephole --platform XCKU060
+    python -m repro.cli codegen --cell gru --layers 1024 --block 16 -o cu.c
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.config import AccelSpec, RNNSpec
+from repro.errors import ReproError
+
+__all__ = ["build_parser", "main"]
+
+
+def _spec_from_args(args: argparse.Namespace) -> RNNSpec:
+    layers = tuple(args.layers)
+    blocks: tuple[int, ...] = ()
+    if args.block is not None:
+        blocks = tuple(args.block for _ in layers)
+    return RNNSpec(
+        cell_type=args.cell,
+        input_size=args.input_size,
+        layer_sizes=layers,
+        output_size=args.output_size,
+        block_sizes=blocks,
+        peephole=args.peephole,
+        projection_size=args.projection,
+        io_block_size=args.io_block,
+    )
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cell", choices=("lstm", "gru"), default="lstm")
+    parser.add_argument(
+        "--layers", type=int, nargs="+", default=[1024],
+        help="hidden sizes, one per layer (default: 1024)",
+    )
+    parser.add_argument("--block", type=int, default=None,
+                        help="uniform circulant block size (default: dense)")
+    parser.add_argument("--io-block", type=int, default=None,
+                        help="coarser block size for input/output matrices")
+    parser.add_argument("--input-size", type=int, default=153)
+    parser.add_argument("--output-size", type=int, default=39)
+    parser.add_argument("--projection", type=int, default=None)
+    parser.add_argument("--peephole", action="store_true")
+    parser.add_argument(
+        "--platform", default="XCKU060",
+        help="ADM-PCIE-7V3 or XCKU060 (default)",
+    )
+    parser.add_argument("--bits", type=int, default=12)
+
+
+def _cmd_fit_check(args: argparse.Namespace) -> int:
+    from repro.hw.bram import fits_bram, storage_breakdown
+    from repro.hw.platform import get_platform
+
+    spec = _spec_from_args(args)
+    platform = get_platform(args.platform)
+    breakdown = storage_breakdown(spec, args.bits)
+    fits = fits_bram(spec, platform, args.bits)
+    print(f"{spec.describe()} on {platform.name}:")
+    print(f"  weights {breakdown.weights / 8e6:.2f} MB, "
+          f"vectors {breakdown.vectors / 8e6:.3f} MB, "
+          f"buffers {breakdown.buffers / 8e6:.3f} MB")
+    print(f"  BRAM capacity {platform.bram_bytes / 1e6:.2f} MB "
+          f"-> {'FITS' if fits else 'DOES NOT FIT'}")
+    return 0 if fits else 1
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    from repro.core.cost_model import recommended_block_upper_bound
+    from repro.hw.bram import min_block_size_for_bram
+    from repro.hw.platform import get_platform
+
+    spec = _spec_from_args(args)
+    dense = spec.with_block_sizes(())
+    lower = min_block_size_for_bram(dense, get_platform(args.platform), args.bits)
+    upper = recommended_block_upper_bound(max(spec.layer_sizes))
+    print(f"Phase-I block-size search range for {dense.describe()}:")
+    print(f"  lower bound (BRAM fit, {args.platform}): {lower}")
+    print(f"  upper bound (Fig. 8 convergence): {upper}")
+    import math
+
+    trials = max(0, int(math.log2(upper) - math.log2(lower)) + 1) if upper >= lower else 0
+    print(f"  power-of-2 sweep: at most {trials} training trials")
+    return 0
+
+
+def _cmd_price(args: argparse.Namespace) -> int:
+    from repro.hw.accelerator import AcceleratorModel
+
+    spec = _spec_from_args(args)
+    accel = AccelSpec(args.platform, weight_bits=args.bits, input_bits=args.bits)
+    design = AcceleratorModel(spec, accel).build()
+    utilization = ", ".join(
+        f"{k.upper()} {100 * v:.1f}%" for k, v in design.utilization.items()
+    )
+    print(f"{spec.describe()} on {args.platform} @ {accel.clock_mhz:.0f} MHz:")
+    print(f"  {design.num_pes} PEs in {design.num_cus} CUs "
+          f"({design.pes_per_cu} per CU)")
+    print(f"  latency {design.latency_us:.2f} us/frame, {design.fps:,.0f} FPS")
+    print(f"  power {design.power_watts:.1f} W "
+          f"({design.energy_efficiency:,.0f} FPS/W)")
+    print(f"  utilization: {utilization}")
+    return 0
+
+
+def _cmd_codegen(args: argparse.Namespace) -> int:
+    from repro.hls.framework import HLSFramework
+
+    spec = _spec_from_args(args)
+    accel = AccelSpec(args.platform, weight_bits=args.bits, input_bits=args.bits)
+    result = HLSFramework(spec, accel).build()
+    output = Path(args.output)
+    output.write_text(result.code)
+    summary = result.summary()
+    print(f"wrote {output} ({summary['code_lines']:.0f} lines)")
+    print(f"  {summary['num_ops']:.0f} ops in {summary['num_stages']:.0f} "
+          f"CGPipe stages, {summary['frame_cycles']:.0f} cycles/frame "
+          f"({summary['latency_us']:.2f} us)")
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from repro.experiments.table3 import format_comparison, run_table3
+
+    print(format_comparison(run_table3()))
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    from repro.experiments.fig8 import format_fig8, run_fig8
+
+    print(format_fig8(run_fig8()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="E-RNN reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fit = sub.add_parser("fit-check", help="Phase-I BRAM sanity check")
+    _add_spec_arguments(fit)
+    fit.set_defaults(handler=_cmd_fit_check)
+
+    bounds = sub.add_parser("bounds", help="Phase-I block-size bounds")
+    _add_spec_arguments(bounds)
+    bounds.set_defaults(handler=_cmd_bounds)
+
+    price = sub.add_parser("price", help="Phase-II hardware sizing")
+    _add_spec_arguments(price)
+    price.set_defaults(handler=_cmd_price)
+
+    codegen = sub.add_parser("codegen", help="run the HLS flow, emit C")
+    _add_spec_arguments(codegen)
+    codegen.add_argument("-o", "--output", default="ernn_cu.c")
+    codegen.set_defaults(handler=_cmd_codegen)
+
+    table3 = sub.add_parser("table3", help="regenerate the Table III comparison")
+    table3.set_defaults(handler=_cmd_table3)
+
+    fig8 = sub.add_parser("fig8", help="print the Fig. 8 curves")
+    fig8.set_defaults(handler=_cmd_fig8)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,187 @@
+"""Shared configuration dataclasses for the E-RNN reproduction.
+
+Two specifications flow through the whole library:
+
+* :class:`RNNSpec` describes an RNN *model* — cell type, layer sizes, block
+  sizes, peephole/projection options — exactly the variables Phase I of the
+  paper optimizes (Sec. VI-B).
+* :class:`AccelSpec` describes a *hardware implementation* of such a model —
+  target platform, quantization bit width, activation implementation — the
+  variables Phase II optimizes (Sec. VII).
+
+Both are frozen dataclasses: a spec is a value, and derived objects (trained
+models, accelerator reports) reference the spec that produced them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.errors import BlockSizeError, ConfigError
+
+#: Cell types supported by the framework (Sec. II).
+CELL_TYPES = ("lstm", "gru")
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two (1 counts)."""
+    return value >= 1 and (value & (value - 1)) == 0
+
+
+def validate_block_size(block_size: int, *dims: int) -> None:
+    """Check that a block size is a power of two dividing every dimension.
+
+    The paper restricts block sizes to powers of two so the FFT kernels stay
+    radix-2 (Sec. IV), and a block-circulant partition only exists when the
+    block size divides both matrix dimensions (Sec. III-A).
+    """
+    if not isinstance(block_size, int) or block_size < 1:
+        raise BlockSizeError(f"block size must be a positive int, got {block_size!r}")
+    if not is_power_of_two(block_size):
+        raise BlockSizeError(f"block size must be a power of two, got {block_size}")
+    for dim in dims:
+        if dim % block_size != 0:
+            raise BlockSizeError(
+                f"block size {block_size} does not divide dimension {dim}"
+            )
+
+
+@dataclass(frozen=True)
+class RNNSpec:
+    """Specification of a (possibly block-circulant) stacked RNN.
+
+    Parameters mirror Tables I and II of the paper: ``layer_sizes`` such as
+    ``(1024, 1024)`` and ``block_sizes`` such as ``(8, 8)``.  A block size of
+    1 means the layer keeps an unstructured (dense) weight matrix, which is
+    the paper's baseline ("-" rows in the tables).
+
+    ``io_block_size`` implements the Phase-I fine-tuning step (Sec. VI-B,
+    Step Three): a single *larger* block size applied only to the non-recurrent
+    input/output matrices.  ``None`` disables the override.
+    """
+
+    cell_type: str
+    input_size: int
+    layer_sizes: tuple[int, ...]
+    output_size: int
+    block_sizes: tuple[int, ...] = ()
+    peephole: bool = False
+    projection_size: int | None = None
+    io_block_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.cell_type not in CELL_TYPES:
+            raise ConfigError(
+                f"cell_type must be one of {CELL_TYPES}, got {self.cell_type!r}"
+            )
+        if not self.layer_sizes:
+            raise ConfigError("layer_sizes must be non-empty")
+        if any(size <= 0 for size in self.layer_sizes):
+            raise ConfigError(f"layer sizes must be positive: {self.layer_sizes}")
+        if self.input_size <= 0 or self.output_size <= 0:
+            raise ConfigError("input_size and output_size must be positive")
+        if self.block_sizes:
+            if len(self.block_sizes) != len(self.layer_sizes):
+                raise ConfigError(
+                    "block_sizes must match layer_sizes length "
+                    f"({len(self.block_sizes)} vs {len(self.layer_sizes)})"
+                )
+            for block, layer in zip(self.block_sizes, self.layer_sizes):
+                validate_block_size(block, layer)
+        if self.projection_size is not None:
+            if self.cell_type != "lstm":
+                raise ConfigError("projection is only defined for LSTM cells")
+            if self.projection_size <= 0:
+                raise ConfigError("projection_size must be positive")
+        if self.peephole and self.cell_type != "lstm":
+            raise ConfigError("peephole connections are only defined for LSTM cells")
+        if self.io_block_size is not None:
+            validate_block_size(self.io_block_size)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layer_sizes)
+
+    @property
+    def is_block_circulant(self) -> bool:
+        """True when any layer uses a non-trivial circulant block size."""
+        return any(block > 1 for block in self.effective_block_sizes)
+
+    @property
+    def effective_block_sizes(self) -> tuple[int, ...]:
+        """Per-layer block sizes with 1 (dense) filled in when unset."""
+        if self.block_sizes:
+            return self.block_sizes
+        return tuple(1 for _ in self.layer_sizes)
+
+    def with_block_sizes(self, block_sizes: tuple[int, ...]) -> "RNNSpec":
+        """Return a copy with new per-layer block sizes (Phase-I sweeps)."""
+        return dataclasses.replace(self, block_sizes=tuple(block_sizes))
+
+    def with_cell_type(self, cell_type: str) -> "RNNSpec":
+        """Return a copy with a new cell type (Phase-I LSTM→GRU switch).
+
+        GRU has neither peepholes nor a projection layer, so both options are
+        dropped when switching away from LSTM.
+        """
+        if cell_type == "gru":
+            return dataclasses.replace(
+                self, cell_type=cell_type, peephole=False, projection_size=None
+            )
+        return dataclasses.replace(self, cell_type=cell_type)
+
+    def with_io_block_size(self, io_block_size: int | None) -> "RNNSpec":
+        """Return a copy with the input/output block-size override."""
+        return dataclasses.replace(self, io_block_size=io_block_size)
+
+    def describe(self) -> str:
+        """Human-readable one-line summary, Table I/II style."""
+        layers = "-".join(str(size) for size in self.layer_sizes)
+        if self.is_block_circulant:
+            blocks = "-".join(str(block) for block in self.effective_block_sizes)
+        else:
+            blocks = "dense"
+        flags = []
+        if self.peephole:
+            flags.append("peephole")
+        if self.projection_size is not None:
+            flags.append(f"projection({self.projection_size})")
+        if self.io_block_size is not None:
+            flags.append(f"io-block({self.io_block_size})")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        return f"{self.cell_type.upper()} {layers} / blocks {blocks}{suffix}"
+
+
+@dataclass(frozen=True)
+class AccelSpec:
+    """Specification of an FPGA implementation of an :class:`RNNSpec`.
+
+    ``platform`` names one of the registered FPGA platforms (``"ADM-PCIE-7V3"``
+    or ``"XCKU060"``, Table IV).  ``weight_bits``/``input_bits`` select the
+    fixed-point formats (Sec. VII-D; paper uses 12-bit).  ``pwl_segments``
+    sizes the piecewise-linear activation tables (Sec. VIII-B1).
+    """
+
+    platform: str
+    weight_bits: int = 12
+    input_bits: int = 12
+    clock_mhz: float = 200.0
+    pwl_segments: int = 16
+    num_compute_units: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.weight_bits < 2 or self.weight_bits > 32:
+            raise ConfigError(f"weight_bits out of range: {self.weight_bits}")
+        if self.input_bits < 2 or self.input_bits > 32:
+            raise ConfigError(f"input_bits out of range: {self.input_bits}")
+        if self.clock_mhz <= 0:
+            raise ConfigError("clock_mhz must be positive")
+        if self.pwl_segments < 2:
+            raise ConfigError("pwl_segments must be at least 2")
+        if self.num_compute_units is not None and self.num_compute_units < 1:
+            raise ConfigError("num_compute_units must be at least 1")
+
+    @property
+    def clock_period_ns(self) -> float:
+        return 1000.0 / self.clock_mhz

@@ -1,0 +1,167 @@
+"""ADMM training for block-circulant RNNs (paper Sec. III-B, Figs. 5-6).
+
+The structured-training problem ``min f({W_l}) s.t. W_l block-circulant`` is
+split into two subproblems solved alternately:
+
+1. **Proximal SGD step** — minimize ``f({W}) + Σ_l ρ_l/2 ||W_l − Z_l + U_l||²``
+   with any stochastic optimizer (the paper stresses ADAM compatibility).
+   :meth:`ADMMTrainer.penalty` returns the quadratic term as an autograd
+   tensor to be added to the task loss.
+2. **Projection step** — ``Z_l ← Π(W_l + U_l)`` where ``Π`` is the closed-form
+   Euclidean projection of Eqn. (6), then the dual update
+   ``U_l ← U_l + W_l − Z_l``.
+
+Convergence is declared when every ``||W_l − Z_l||_F / ||W_l||_F`` falls below
+a tolerance ("Z converge? & W ≈ Z?" in Fig. 6), after which
+:meth:`ADMMTrainer.finalize` hard-projects the weights so the model is
+*exactly* block-circulant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn.autograd import Tensor
+from repro.nn.rnn import StructuredTarget
+from repro.core.projection import project_to_block_circulant
+
+__all__ = ["ADMMConfig", "ADMMTrainer"]
+
+
+@dataclass(frozen=True)
+class ADMMConfig:
+    """Hyper-parameters of the ADMM loop.
+
+    ``rho`` is the augmented-Lagrangian penalty ρ_l (shared across layers by
+    default, overridable per target via ``rho_overrides`` keyed by target
+    name).  ``relative_tolerance`` is the ``W ≈ Z`` convergence threshold.
+    """
+
+    rho: float = 1e-2
+    relative_tolerance: float = 1e-2
+    rho_overrides: dict[str, float] = field(default_factory=dict)
+    #: Multiplicative ρ increase applied at every dual update.  A gentle
+    #: ramp (1.2-1.6) lets early iterations follow the task loss and late
+    #: iterations enforce the structure — standard practice for ADMM-based
+    #: compression when the training budget is small.
+    rho_growth: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rho <= 0:
+            raise TrainingError(f"rho must be positive, got {self.rho}")
+        if self.relative_tolerance <= 0:
+            raise TrainingError("relative_tolerance must be positive")
+        if self.rho_growth < 1.0:
+            raise TrainingError("rho_growth must be >= 1")
+
+    def rho_for(self, name: str) -> float:
+        return self.rho_overrides.get(name, self.rho)
+
+
+class ADMMTrainer:
+    """Holds the (Z, U) auxiliary/dual state for a set of structured targets.
+
+    The caller owns the optimizer and the data loop; the trainer contributes
+    the penalty term, the projection/dual update, and convergence tracking:
+
+    .. code-block:: python
+
+        trainer = ADMMTrainer(model.structured_targets(), ADMMConfig())
+        for admm_iteration in range(K):
+            for batch in data:                     # subproblem 1
+                loss = task_loss(batch) + trainer.penalty()
+                loss.backward(); optimizer.step()
+            trainer.dual_update()                  # subproblem 2
+        trainer.finalize()
+    """
+
+    def __init__(self, targets: list[StructuredTarget], config: ADMMConfig):
+        if not targets:
+            raise TrainingError("ADMMTrainer requires at least one target")
+        self.targets = list(targets)
+        self.config = config
+        # Z initialized to the projection of the (pretrained) weights, U to 0
+        # — "initialize from pretrained model" (Fig. 6).
+        self._aux: dict[str, np.ndarray] = {}
+        self._dual: dict[str, np.ndarray] = {}
+        for target in self.targets:
+            self._aux[target.name] = project_to_block_circulant(
+                target.parameter.data, target.block_size
+            )
+            self._dual[target.name] = np.zeros_like(target.parameter.data)
+        self.iteration = 0
+        self._rho_scale = 1.0
+
+    # ------------------------------------------------------------------
+    # Subproblem 1: penalty term for the SGD/Adam loss
+    # ------------------------------------------------------------------
+    def penalty(self) -> Tensor:
+        """``Σ_l ρ_l/2 · ||W_l − Z_l + U_l||²_F`` as an autograd scalar."""
+        total: Tensor | None = None
+        for target in self.targets:
+            anchor = self._aux[target.name] - self._dual[target.name]
+            diff = target.parameter - Tensor(anchor)
+            rho = self.config.rho_for(target.name) * self._rho_scale
+            term = (diff * diff).sum() * (0.5 * rho)
+            total = term if total is None else total + term
+        assert total is not None
+        return total
+
+    # ------------------------------------------------------------------
+    # Subproblem 2: projection + dual ascent
+    # ------------------------------------------------------------------
+    def dual_update(self) -> dict[str, float]:
+        """``Z ← Π(W + U)``, ``U ← U + W − Z``; returns per-target residuals."""
+        residuals: dict[str, float] = {}
+        for target in self.targets:
+            weight = target.parameter.data
+            self._aux[target.name] = project_to_block_circulant(
+                weight + self._dual[target.name], target.block_size
+            )
+            self._dual[target.name] += weight - self._aux[target.name]
+            residuals[target.name] = self._relative_residual(target)
+        self.iteration += 1
+        self._rho_scale *= self.config.rho_growth
+        return residuals
+
+    def _relative_residual(self, target: StructuredTarget) -> float:
+        weight = target.parameter.data
+        gap = np.linalg.norm(weight - self._aux[target.name])
+        norm = np.linalg.norm(weight)
+        return float(gap / norm) if norm > 0 else float(gap)
+
+    def residuals(self) -> dict[str, float]:
+        return {t.name: self._relative_residual(t) for t in self.targets}
+
+    def converged(self) -> bool:
+        """Fig. 6 exit test: every weight is close to its circulant projection."""
+        return all(
+            residual <= self.config.relative_tolerance
+            for residual in self.residuals().values()
+        )
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Hard-project every target so the weights are exactly circulant.
+
+        After convergence the projection moves each weight by at most the
+        tolerance; the model can then be converted to compressed storage via
+        :func:`repro.nn.rnn.convert_to_circulant` with zero further loss.
+        """
+        for target in self.targets:
+            target.parameter.data = project_to_block_circulant(
+                target.parameter.data, target.block_size
+            )
+
+    def auxiliary(self, name: str) -> np.ndarray:
+        """Current Z_l for a target (read-only view for diagnostics/tests)."""
+        return self._aux[name]
+
+    def dual(self, name: str) -> np.ndarray:
+        """Current U_l for a target."""
+        return self._dual[name]

@@ -1,0 +1,125 @@
+"""BlockCirculantMatrix: a compressed weight matrix as a first-class value.
+
+Wraps the ``(p, q, Lb)`` defining vectors with the operations the rest of the
+library needs: FFT matvec (Eqn. 4), dense materialization (Fig. 1), storage
+accounting, and construction by projection from a dense matrix (Eqn. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import validate_block_size
+from repro.errors import ShapeError
+from repro.core.circulant import circulant_from_first_column
+
+__all__ = ["BlockCirculantMatrix"]
+
+
+@dataclass(frozen=True)
+class BlockCirculantMatrix:
+    """An ``(p·Lb) × (q·Lb)`` matrix stored as ``p × q`` circulant blocks.
+
+    ``vectors[i, j]`` is the first column of block ``(i, j)``.  Instances are
+    immutable values; all operations return new arrays.
+    """
+
+    vectors: np.ndarray
+
+    def __post_init__(self) -> None:
+        vectors = np.asarray(self.vectors, dtype=np.float64)
+        if vectors.ndim != 3:
+            raise ShapeError(f"vectors must be (p, q, Lb), got {vectors.shape}")
+        validate_block_size(vectors.shape[2])
+        object.__setattr__(self, "vectors", vectors)
+
+    # ------------------------------------------------------------------
+    # Shape & storage
+    # ------------------------------------------------------------------
+    @property
+    def block_size(self) -> int:
+        return self.vectors.shape[2]
+
+    @property
+    def block_grid(self) -> tuple[int, int]:
+        return self.vectors.shape[0], self.vectors.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        p, q = self.block_grid
+        return (p * self.block_size, q * self.block_size)
+
+    @property
+    def num_parameters(self) -> int:
+        """Stored scalars: ``p·q·Lb`` (the O(n) storage of Fig. 1)."""
+        return int(self.vectors.size)
+
+    @property
+    def dense_parameters(self) -> int:
+        rows, cols = self.shape
+        return rows * cols
+
+    @property
+    def compression_ratio(self) -> float:
+        """Dense over compressed parameter count — exactly ``Lb``."""
+        return self.dense_parameters / self.num_parameters
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(
+        cls, matrix: np.ndarray, block_size: int
+    ) -> "BlockCirculantMatrix":
+        """Euclidean projection of a dense matrix (Eqn. 6 per block)."""
+        from repro.core.projection import project_to_block_circulant_vectors
+
+        return cls(project_to_block_circulant_vectors(matrix, block_size))
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the full matrix (test oracle / small sizes only)."""
+        p, q = self.block_grid
+        size = self.block_size
+        dense = np.zeros(self.shape)
+        for i in range(p):
+            for j in range(q):
+                dense[i * size : (i + 1) * size, j * size : (j + 1) * size] = (
+                    circulant_from_first_column(self.vectors[i, j])
+                )
+        return dense
+
+    def transpose(self) -> "BlockCirculantMatrix":
+        """Transpose stays block-circulant: swap the grid, reverse each vector."""
+        size = self.block_size
+        reversed_vectors = self.vectors[..., (-np.arange(size)) % size]
+        return BlockCirculantMatrix(reversed_vectors.transpose(1, 0, 2))
+
+    # ------------------------------------------------------------------
+    # Products
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``W @ x`` via FFT (Eqn. 4); ``x`` may carry batch dims in front."""
+        x = np.asarray(x, dtype=np.float64)
+        rows, cols = self.shape
+        if x.shape[-1] != cols:
+            raise ShapeError(f"expected last dim {cols}, got {x.shape}")
+        batch_shape = x.shape[:-1]
+        p, q = self.block_grid
+        size = self.block_size
+        x_blocks = x.reshape(-1, q, size)
+        weights_f = np.fft.rfft(self.vectors, axis=-1)
+        x_f = np.fft.rfft(x_blocks, axis=-1)
+        y_f = np.einsum("ijf,bjf->bif", weights_f, x_f)
+        y = np.fft.irfft(y_f, n=size, axis=-1).reshape(batch_shape + (rows,))
+        return y
+
+    def matvec_direct(self, x: np.ndarray) -> np.ndarray:
+        """``W @ x`` through the dense matrix — O(n²) oracle for tests."""
+        return np.asarray(x) @ self.to_dense().T
+
+    def frobenius_norm(self) -> float:
+        """||W||_F computed without materializing: each vector entry appears
+        exactly ``Lb`` times in its block."""
+        return float(np.sqrt(self.block_size * np.sum(self.vectors**2)))

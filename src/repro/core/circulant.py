@@ -1,0 +1,102 @@
+"""Circulant-matrix algebra: the mathematical core of the paper (Sec. III-A).
+
+Conventions
+-----------
+A circulant matrix is determined by a single length-``L`` vector.  Two
+conventions exist:
+
+* **first-column** — ``C[i, j] = w[(i - j) mod L]``.  Under this convention
+  the circulant convolution theorem reads exactly as the paper's Eqn. (4):
+  ``C @ x = IFFT(FFT(w) ∘ FFT(x))``.
+* **first-row** — ``C[i, j] = w[(j - i) mod L]``; this is what the paper's
+  Fig. 4 drawing uses ("w_ij is the first row vector of W_ij").
+
+The two are related by index reversal: ``first_row(w) == first_column(w̃)``
+with ``w̃[k] = w[(-k) mod L]``.  This module implements both and uses the
+first-column convention internally so the FFT identity is literal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = [
+    "circulant_from_first_column",
+    "circulant_from_first_row",
+    "reverse_index",
+    "circulant_matvec",
+    "circulant_matvec_direct",
+    "is_circulant",
+    "transpose_vector",
+]
+
+
+def _check_vector(vector: np.ndarray) -> np.ndarray:
+    vector = np.asarray(vector, dtype=np.float64)
+    if vector.ndim != 1 or vector.size == 0:
+        raise ShapeError(f"defining vector must be 1-D non-empty, got {vector.shape}")
+    return vector
+
+
+def circulant_from_first_column(vector: np.ndarray) -> np.ndarray:
+    """Dense circulant matrix with ``C[i, j] = w[(i - j) mod L]``."""
+    vector = _check_vector(vector)
+    size = vector.size
+    indices = (np.arange(size)[:, None] - np.arange(size)[None, :]) % size
+    return vector[indices]
+
+
+def circulant_from_first_row(vector: np.ndarray) -> np.ndarray:
+    """Dense circulant matrix with first row ``w`` (the paper's Fig. 4 view)."""
+    vector = _check_vector(vector)
+    size = vector.size
+    indices = (np.arange(size)[None, :] - np.arange(size)[:, None]) % size
+    return vector[indices]
+
+
+def reverse_index(vector: np.ndarray) -> np.ndarray:
+    """Map between conventions: ``w̃[k] = w[(-k) mod L]``."""
+    vector = _check_vector(vector)
+    return vector[(-np.arange(vector.size)) % vector.size]
+
+
+def transpose_vector(vector: np.ndarray) -> np.ndarray:
+    """Defining vector of ``C.T`` under the first-column convention.
+
+    ``circulant_from_first_column(w).T == circulant_from_first_column(w̃)``.
+    Used by the autograd backward pass (transposed circulant = correlation).
+    """
+    return reverse_index(vector)
+
+
+def circulant_matvec(vector: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """``C @ x`` via the FFT identity of Eqn. (4) — O(L log L).
+
+    ``vector`` defines ``C`` in the first-column convention; ``x`` may carry
+    leading batch dimensions.
+    """
+    vector = _check_vector(vector)
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape[-1] != vector.size:
+        raise ShapeError(
+            f"vector length {vector.size} != input length {x.shape[-1]}"
+        )
+    spectrum = np.fft.rfft(vector) * np.fft.rfft(x, axis=-1)
+    return np.fft.irfft(spectrum, n=vector.size, axis=-1)
+
+
+def circulant_matvec_direct(vector: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """``C @ x`` by materializing the dense matrix — O(L²); test oracle."""
+    return x @ circulant_from_first_column(vector).T
+
+
+def is_circulant(matrix: np.ndarray, atol: float = 1e-10) -> bool:
+    """True when ``matrix`` is square circulant (first-column convention)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    return np.allclose(
+        matrix, circulant_from_first_column(matrix[:, 0]), atol=atol
+    )

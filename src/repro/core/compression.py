@@ -1,0 +1,193 @@
+"""Parameter and compression-ratio accounting (Table III rows 2-4).
+
+Reproduces the paper's counting conventions exactly:
+
+* Block-circulant compression divides a matrix's parameter count by ``Lb``
+  (the paper reports 3.25M → 0.41M for LSTM-1024/projection-512 at block 8).
+* ESE's pruned model stores ~1/9 of the weights but needs "at least one index
+  per weight", so its *effective* ratio is ~4.5:1 (Table III footnote a).
+
+The reference workload dimensions (input 153, LSTM-1024 with projection 512 —
+the ESE/Google LSTM of [22, 23]) live in :data:`PAPER_INPUT_DIM` etc. so the
+Table III benchmark and tests share one source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import RNNSpec
+from repro.errors import ConfigError
+
+__all__ = [
+    "MatrixShape",
+    "matrix_inventory",
+    "layer_matrix_params",
+    "total_matrix_params",
+    "compression_ratio",
+    "ese_effective_compression",
+    "PAPER_INPUT_DIM",
+]
+
+#: Input feature dimension of the ESE/C-LSTM TIMIT workload (fbank+deltas).
+PAPER_INPUT_DIM = 153
+
+
+@dataclass(frozen=True)
+class MatrixShape:
+    """One large weight matrix of the model, with its compression block size."""
+
+    name: str
+    rows: int
+    cols: int
+    block_size: int
+    role: str
+    layer_index: int
+
+    @property
+    def dense_params(self) -> int:
+        return self.rows * self.cols
+
+    def compressed_params(self, pad: bool = False) -> int:
+        """Parameter count after block-circulant compression.
+
+        ``pad=False`` (default) follows the paper's accounting — simply divide
+        by the block size.  ``pad=True`` counts the vectors of the physically
+        padded matrix, which is what the FPGA actually stores.
+        """
+        if self.block_size <= 1:
+            return self.dense_params
+        if not pad:
+            # Round like the paper: fractional blocks still cost whole vectors.
+            return -(-self.dense_params // self.block_size)
+        p = -(-self.rows // self.block_size)
+        q = -(-self.cols // self.block_size)
+        return p * q * self.block_size
+
+
+def _io_block(spec: RNNSpec, layer_index: int) -> int:
+    if spec.io_block_size is not None:
+        return spec.io_block_size
+    return spec.effective_block_sizes[layer_index]
+
+
+def matrix_inventory(spec: RNNSpec, include_classifier: bool = False) -> list[MatrixShape]:
+    """Enumerate every large weight matrix of a stacked RNN spec.
+
+    Mirrors the physical layers built by
+    :class:`repro.nn.rnn.StackedRNNClassifier`; peepholes and biases are
+    vectors and are excluded (paper Sec. III-A stores them uncompressed).
+    """
+    shapes: list[MatrixShape] = []
+    in_size = spec.input_size
+    for layer_index, hidden in enumerate(spec.layer_sizes):
+        base_block = spec.effective_block_sizes[layer_index]
+        io_block = _io_block(spec, layer_index)
+        if spec.cell_type == "lstm":
+            out_size = (
+                spec.projection_size
+                if spec.projection_size is not None
+                else hidden
+            )
+            shapes.append(
+                MatrixShape(
+                    f"cell{layer_index}.w_x", 4 * hidden, in_size,
+                    io_block, "input", layer_index,
+                )
+            )
+            shapes.append(
+                MatrixShape(
+                    f"cell{layer_index}.w_r", 4 * hidden, out_size,
+                    base_block, "recurrent", layer_index,
+                )
+            )
+            if spec.projection_size is not None:
+                shapes.append(
+                    MatrixShape(
+                        f"cell{layer_index}.w_ym", spec.projection_size, hidden,
+                        io_block, "output", layer_index,
+                    )
+                )
+            in_size = out_size
+        elif spec.cell_type == "gru":
+            shapes.append(
+                MatrixShape(
+                    f"cell{layer_index}.w_zr_x", 2 * hidden, in_size,
+                    io_block, "input", layer_index,
+                )
+            )
+            shapes.append(
+                MatrixShape(
+                    f"cell{layer_index}.w_zr_c", 2 * hidden, hidden,
+                    base_block, "recurrent", layer_index,
+                )
+            )
+            shapes.append(
+                MatrixShape(
+                    f"cell{layer_index}.w_cx", hidden, in_size,
+                    io_block, "input", layer_index,
+                )
+            )
+            shapes.append(
+                MatrixShape(
+                    f"cell{layer_index}.w_cc", hidden, hidden,
+                    base_block, "recurrent", layer_index,
+                )
+            )
+            in_size = hidden
+        else:  # pragma: no cover - RNNSpec validates cell types
+            raise ConfigError(f"unknown cell type {spec.cell_type}")
+    if include_classifier:
+        shapes.append(
+            MatrixShape(
+                "classifier", spec.output_size, in_size, 1, "classifier",
+                len(spec.layer_sizes),
+            )
+        )
+    return shapes
+
+
+def layer_matrix_params(
+    spec: RNNSpec, layer_index: int = 0, compressed: bool = True
+) -> int:
+    """Matrix parameters of one layer (Table III's "#Params of top layer")."""
+    shapes = [
+        s for s in matrix_inventory(spec) if s.layer_index == layer_index
+    ]
+    if not shapes:
+        raise ConfigError(f"layer {layer_index} out of range for {spec}")
+    if compressed:
+        return sum(s.compressed_params() for s in shapes)
+    return sum(s.dense_params for s in shapes)
+
+
+def total_matrix_params(spec: RNNSpec, compressed: bool = True) -> int:
+    """Matrix parameters of the whole stack."""
+    shapes = matrix_inventory(spec)
+    if compressed:
+        return sum(s.compressed_params() for s in shapes)
+    return sum(s.dense_params for s in shapes)
+
+
+def compression_ratio(spec: RNNSpec) -> float:
+    """Dense over compressed matrix parameters (Table III row 4)."""
+    dense = total_matrix_params(spec, compressed=False)
+    compressed = total_matrix_params(spec, compressed=True)
+    return dense / compressed
+
+
+def ese_effective_compression(
+    prune_ratio: float = 9.0,
+    weight_bits: int = 12,
+    index_bits: int = 12,
+) -> float:
+    """ESE's compression once indices are charged (Table III footnote a).
+
+    ESE prunes to ``1/prune_ratio`` of the weights but stores one index per
+    surviving weight; with equal-width indices the 9× pruning collapses to
+    4.5:1.
+    """
+    if prune_ratio <= 0:
+        raise ConfigError("prune_ratio must be positive")
+    bits_per_weight = weight_bits + index_bits
+    return prune_ratio * weight_bits / bits_per_weight

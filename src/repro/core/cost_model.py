@@ -1,0 +1,211 @@
+"""Multiplication-count cost model for block-circulant layers (Sec. V, Fig. 8).
+
+Counts *real* multiplications for computing ``W @ x`` with a block-circulant
+``W`` through the "FFT → element-wise multiplication → IFFT" procedure,
+accounting for the paper's three reduction techniques:
+
+1. **FFT-IFFT decoupling** (Sec. V-A1, Fig. 7): ``FFT(x_j)`` is computed once
+   per input block (``q`` FFTs instead of ``p·q``) and the IFFT is moved past
+   the accumulation (``p`` IFFTs instead of ``p·q``).
+2. **Real-valued FFT symmetry** (Sec. V-A2): a real input's spectrum is
+   Hermitian, so only ``Lb/2 + 1`` bins are unique, two of which (DC and
+   Nyquist) are purely real — element-wise products cost ``2·Lb − 2`` real
+   multiplications per block instead of ``4·Lb``; the last FFT stage and the
+   first IFFT stage are halved.
+3. **Trivial twiddle factors**: radix-2 stages 1-2 multiply only by
+   ``±1, ±i``; stage ``s ≥ 3`` has ``Lb/2 − 2·Lb/2^s`` butterflies with
+   non-trivial twiddles (this matches the paper's "only half of butterfly
+   units in the third level").
+
+The headline observation this model must reproduce: the normalized count
+starts at 0.5 for block size 2, *converges around block size 32-64*, and can
+rise again for larger blocks — which is how the paper derives the upper bound
+of the Phase-I block-size search range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config import is_power_of_two
+from repro.errors import BlockSizeError
+
+__all__ = [
+    "fft_complex_mults",
+    "elementwise_real_mults",
+    "ComputationBreakdown",
+    "layer_multiplications",
+    "normalized_multiplications",
+    "fig8_curve",
+    "decoupling_counts",
+    "recommended_block_upper_bound",
+]
+
+#: Real multiplications per complex multiplication (4-mult/2-add scheme; the
+#: 3-mult Karatsuba variant trades multiplies for adds and is not used by the
+#: paper's DSP-oriented PEs).
+REAL_MULTS_PER_COMPLEX = 4
+
+
+def _check_block(block_size: int) -> None:
+    if block_size < 1 or not is_power_of_two(block_size):
+        raise BlockSizeError(f"block size must be a power of two, got {block_size}")
+
+
+def fft_complex_mults(
+    block_size: int,
+    twiddle_savings: bool = True,
+    halve_boundary_stage: bool = True,
+) -> float:
+    """Complex multiplications of one radix-2 FFT of size ``Lb``.
+
+    With ``twiddle_savings`` stages 1-2 are free and stage ``s`` costs
+    ``Lb/2 − 2·Lb/2^s`` complex multiplications.  ``halve_boundary_stage``
+    applies the real-input symmetry: the final FFT stage (equivalently the
+    first IFFT stage) does half the work.
+    """
+    _check_block(block_size)
+    if block_size < 4:
+        return 0.0  # sizes 1 and 2 need no twiddle multiplications at all
+    stages = int(math.log2(block_size))
+    if not twiddle_savings:
+        total = stages * (block_size / 2)
+        if halve_boundary_stage:
+            total -= 0.5 * (block_size / 2)
+        return total
+    total = 0.0
+    last_stage_cost = 0.0
+    for stage in range(3, stages + 1):
+        cost = block_size / 2 - 2 * block_size / (2**stage)
+        total += cost
+        last_stage_cost = cost
+    if halve_boundary_stage:
+        total -= 0.5 * last_stage_cost
+    return total
+
+
+def elementwise_real_mults(block_size: int, real_symmetry: bool = True) -> float:
+    """Real multiplications for one ``FFT(w) ∘ FFT(x)`` block product.
+
+    With Hermitian symmetry: DC and Nyquist bins are real (1 mult each), the
+    remaining ``Lb/2 − 1`` bins are complex (4 mults each) → ``2·Lb − 2``.
+    Without symmetry all ``Lb`` bins are complex → ``4·Lb``.
+    """
+    _check_block(block_size)
+    if block_size == 1:
+        return 1.0
+    if not real_symmetry:
+        return REAL_MULTS_PER_COMPLEX * block_size
+    if block_size == 2:
+        return 2.0  # both bins of a size-2 real FFT are purely real
+    unique_complex = block_size / 2 - 1
+    return 2.0 + REAL_MULTS_PER_COMPLEX * unique_complex
+
+
+@dataclass(frozen=True)
+class ComputationBreakdown:
+    """Real-multiplication counts for one ``m × n`` block-circulant layer."""
+
+    block_size: int
+    fft_mults: float
+    ifft_mults: float
+    elementwise_mults: float
+
+    @property
+    def total(self) -> float:
+        return self.fft_mults + self.ifft_mults + self.elementwise_mults
+
+
+def layer_multiplications(
+    rows: int,
+    cols: int,
+    block_size: int,
+    decoupling: bool = True,
+    real_symmetry: bool = True,
+    twiddle_savings: bool = True,
+) -> ComputationBreakdown:
+    """Real multiplications for ``W @ x``, ``W ∈ R^{rows×cols}``, block ``Lb``.
+
+    Weight spectra ``FFT(w_ij)`` are precomputed and stored in BRAM (Sec.
+    V-A1), so they cost nothing at inference.  Block size 1 degenerates to
+    the dense matrix-vector product (``rows·cols`` multiplications), which is
+    the normalization baseline of Fig. 8.
+    """
+    _check_block(block_size)
+    if rows % block_size or cols % block_size:
+        raise BlockSizeError(
+            f"block size {block_size} must divide matrix dims {rows}x{cols}"
+        )
+    if block_size == 1:
+        return ComputationBreakdown(1, 0.0, 0.0, float(rows * cols))
+    p = rows // block_size
+    q = cols // block_size
+    per_fft = REAL_MULTS_PER_COMPLEX * fft_complex_mults(
+        block_size,
+        twiddle_savings=twiddle_savings,
+        halve_boundary_stage=real_symmetry,
+    )
+    num_ffts, num_iffts = decoupling_counts(p, q) if decoupling else (p * q, p * q)
+    elementwise = p * q * elementwise_real_mults(block_size, real_symmetry)
+    return ComputationBreakdown(
+        block_size,
+        fft_mults=num_ffts * per_fft,
+        ifft_mults=num_iffts * per_fft,
+        elementwise_mults=elementwise,
+    )
+
+
+def decoupling_counts(p: int, q: int) -> tuple[int, int]:
+    """(#FFT, #IFFT) with the Fig. 7 decoupling: ``p·q → q`` and ``p·q → p``."""
+    return q, p
+
+
+def normalized_multiplications(
+    layer_size: int,
+    block_size: int,
+    **kwargs,
+) -> float:
+    """Fig. 8 y-axis: layer multiplications normalized by the dense count."""
+    breakdown = layer_multiplications(layer_size, layer_size, block_size, **kwargs)
+    return breakdown.total / float(layer_size * layer_size)
+
+
+def fig8_curve(
+    layer_size: int,
+    block_sizes: tuple[int, ...] = (2, 4, 8, 16, 32, 64, 128, 256),
+    **kwargs,
+) -> dict[int, float]:
+    """The full Fig. 8 series for one layer size."""
+    return {
+        block: normalized_multiplications(layer_size, block, **kwargs)
+        for block in block_sizes
+    }
+
+
+def recommended_block_upper_bound(
+    layer_size: int,
+    block_sizes: tuple[int, ...] = (2, 4, 8, 16, 32, 64, 128, 256),
+    improvement_threshold: float = 0.025,
+) -> int:
+    """Phase-I upper bound: the block size where computation stops improving.
+
+    Walk the Fig. 8 curve (normalized so the dense count is 1.0) and stop when
+    doubling the block size buys less than ``improvement_threshold`` of the
+    dense baseline — the "computation reduction will converge" point of Sec.
+    V-B.  Each doubling past that point halves the parameter count (hurting
+    accuracy) for negligible compute gain, so it bounds the Phase-I search.
+    For the paper's layer sizes this returns 32 (512) and 64 (1024).
+    """
+    feasible = tuple(b for b in block_sizes if layer_size % b == 0)
+    if not feasible:
+        raise BlockSizeError(
+            f"no candidate block size divides layer size {layer_size}"
+        )
+    curve = fig8_curve(layer_size, feasible)
+    blocks = sorted(curve)
+    for previous, current in zip(blocks, blocks[1:]):
+        drop = curve[previous] - curve[current]
+        if drop < improvement_threshold:
+            return previous
+    return blocks[-1]

@@ -1,0 +1,99 @@
+"""The canonical E-RNN compression flow (Fig. 6 end to end).
+
+``ernn_compress`` packages the paper's training pipeline as one call:
+
+1. start from a *pretrained dense* model ("initialize from pretrained
+   model");
+2. run ADMM — SGD/Adam on the task loss plus the proximal term, with a
+   projection + dual update each epoch;
+3. hard-project the weights onto the block-circulant set (``W ≈ Z`` makes
+   this nearly lossless);
+4. convert to compressed :class:`CirculantLinear` storage and briefly
+   "retrain to obtain the block circulant model" (Fig. 6's final box).
+
+The C-LSTM counterpart — direct structured training from scratch — is
+:func:`repro.baselines.clstm.build_clstm_model` plus the same
+``train_model`` loop, which is what the ADMM-vs-direct ablation compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.asr.pipeline import PreparedDataset, TrainConfig, train_model
+from repro.config import RNNSpec
+from repro.core.admm import ADMMConfig, ADMMTrainer
+from repro.errors import ConfigError
+from repro.nn.rnn import StackedRNNClassifier, convert_to_circulant
+
+__all__ = ["CompressionResult", "ernn_compress"]
+
+
+@dataclass(frozen=True)
+class CompressionResult:
+    """Outcome of the ADMM compression flow."""
+
+    model: StackedRNNClassifier
+    final_residual: float
+    admm_residuals: tuple[float, ...]
+
+    @property
+    def converged_to(self) -> float:
+        return self.final_residual
+
+
+def ernn_compress(
+    dense_model: StackedRNNClassifier,
+    target_spec: RNNSpec,
+    dataset: PreparedDataset,
+    admm_config: ADMMConfig | None = None,
+    admm_train: TrainConfig | None = None,
+    retrain: TrainConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> CompressionResult:
+    """Compress a pretrained dense model to ``target_spec``'s block sizes.
+
+    ``target_spec`` must match the dense model's architecture except for its
+    block sizes.  Default hyper-parameters implement the recipe validated in
+    the reproduction's ablations: ρ = 0.05 growing 1.4× per epoch, ten ADMM
+    epochs, then a structured retrain.
+    """
+    dense_spec = dense_model.spec
+    if target_spec.with_block_sizes(()).with_io_block_size(None) != (
+        dense_spec.with_block_sizes(()).with_io_block_size(None)
+    ):
+        raise ConfigError(
+            "target_spec must differ from the dense spec only in block sizes"
+        )
+    if not target_spec.is_block_circulant:
+        raise ConfigError("target_spec carries no block sizes to compress to")
+
+    admm_config = admm_config if admm_config is not None else ADMMConfig(
+        rho=0.05, rho_growth=1.4
+    )
+    admm_train = admm_train if admm_train is not None else TrainConfig(
+        epochs=10, learning_rate=2e-3, admm_update_every=1
+    )
+    retrain = retrain if retrain is not None else TrainConfig(
+        epochs=12, learning_rate=2e-3, lr_decay=0.92
+    )
+
+    # Dense model re-tagged with the target block sizes (the spec records
+    # which matrices ADMM must drive into circulant form).
+    working = StackedRNNClassifier(target_spec, structured=False, rng=rng)
+    working.load_state_dict(dense_model.state_dict())
+
+    trainer = ADMMTrainer(working.structured_targets(), admm_config)
+    history = train_model(working, dataset, admm_train, admm=trainer)
+    trainer.finalize()
+
+    structured = convert_to_circulant(working, rng=rng)
+    train_model(structured, dataset, retrain)
+    residuals = tuple(history.admm_residuals)
+    return CompressionResult(
+        model=structured,
+        final_residual=residuals[-1] if residuals else float("nan"),
+        admm_residuals=residuals,
+    )

@@ -1,0 +1,208 @@
+"""Phase I: deriving the RNN model (paper Sec. VI-B, Fig. 2).
+
+Chooses model type, layer size and block size under an accuracy budget while
+keeping the number of RNN training trials near five, using the two design
+explorations:
+
+* **Step One — sanity check.**  The BRAM model gives the smallest block size
+  whose model fits on-chip (the *lower* bound of the search).
+* **Step Two — block-size optimization.**  The computation model (Fig. 8)
+  gives the *upper* bound (where multiplication counts stop improving).
+  Within the bounds, find the largest power-of-two block size that satisfies
+  the accuracy constraint, walking down from the upper bound.
+* **Step Three — fine tuning.**  (a) switch LSTM→GRU with the block size
+  fixed (one trial; keep if accuracy holds — less computation and storage);
+  (b) raise the block size of the non-recurrent input/output matrices to the
+  next power of two (one trial; keep if accuracy holds).
+
+The trainer is injected as a callable ``spec -> PER%`` so the same optimizer
+drives real ADMM training runs (benchmarks), cached runs (experiments), and
+synthetic oracles (tests).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.config import RNNSpec
+from repro.core.cost_model import recommended_block_upper_bound
+from repro.errors import ConfigError, FitError
+from repro.hw.bram import min_block_size_for_bram
+from repro.hw.platform import get_platform
+
+__all__ = ["TrainingTrial", "PhaseIConfig", "PhaseIResult", "PhaseIOptimizer"]
+
+Trainer = Callable[[RNNSpec], float]
+
+
+@dataclass(frozen=True)
+class TrainingTrial:
+    """One RNN training run performed during the search."""
+
+    step: str
+    spec: RNNSpec
+    per: float
+
+    def describe(self) -> str:
+        return f"[{self.step}] {self.spec.describe()} -> PER {self.per:.2f}%"
+
+
+@dataclass(frozen=True)
+class PhaseIConfig:
+    """Search parameters: accuracy budget and target platform."""
+
+    accuracy_budget: float = 0.3  # allowed PER degradation, percent points
+    platform: str = "XCKU060"
+    weight_bits: int = 12
+    try_gru: bool = True
+    try_io_block: bool = True
+    max_block: int = 256
+
+    def __post_init__(self) -> None:
+        if self.accuracy_budget < 0:
+            raise ConfigError("accuracy_budget must be non-negative")
+
+
+@dataclass(frozen=True)
+class PhaseIResult:
+    """Outcome: the selected model plus the full trial log."""
+
+    final_spec: RNNSpec
+    baseline_per: float
+    final_per: float
+    lower_bound: int
+    upper_bound: int
+    trials: tuple[TrainingTrial, ...] = field(default_factory=tuple)
+
+    @property
+    def num_training_trials(self) -> int:
+        return len(self.trials)
+
+    @property
+    def degradation(self) -> float:
+        return self.final_per - self.baseline_per
+
+    def describe(self) -> str:
+        lines = [
+            f"Phase I: {self.final_spec.describe()}",
+            f"  baseline PER {self.baseline_per:.2f}%, final PER "
+            f"{self.final_per:.2f}% (degradation {self.degradation:+.2f})",
+            f"  block-size bounds [{self.lower_bound}, {self.upper_bound}], "
+            f"{self.num_training_trials} training trials:",
+        ]
+        lines.extend(f"    {trial.describe()}" for trial in self.trials)
+        return "\n".join(lines)
+
+
+class PhaseIOptimizer:
+    """Implements the Fig. 2 flow over an injected trainer."""
+
+    def __init__(
+        self,
+        baseline_spec: RNNSpec,
+        trainer: Trainer,
+        config: PhaseIConfig | None = None,
+    ):
+        if baseline_spec.is_block_circulant:
+            raise ConfigError("Phase I starts from the dense LSTM baseline")
+        if baseline_spec.cell_type != "lstm":
+            raise ConfigError(
+                "Phase I starts from LSTM 'due to its high reliability' "
+                "(Sec. VI-B); the GRU switch happens in Step Three"
+            )
+        self.baseline_spec = baseline_spec
+        self.trainer = trainer
+        self.config = config if config is not None else PhaseIConfig()
+        self._trials: list[TrainingTrial] = []
+
+    # ------------------------------------------------------------------
+    def _train(self, step: str, spec: RNNSpec) -> float:
+        per = self.trainer(spec)
+        self._trials.append(TrainingTrial(step, spec, per))
+        return per
+
+    def _block_bounds(self) -> tuple[int, int]:
+        platform = get_platform(self.config.platform)
+        lower = min_block_size_for_bram(
+            self.baseline_spec, platform, self.config.weight_bits,
+            max_block=self.config.max_block,
+        )
+        upper = recommended_block_upper_bound(max(self.baseline_spec.layer_sizes))
+        upper = min(upper, self.config.max_block)
+        if upper < lower:
+            raise FitError(
+                f"block-size bounds are empty: BRAM needs >= {lower} but "
+                f"computation stops improving at {upper}"
+            )
+        # Respect divisibility of every layer size.
+        while lower <= upper and any(
+            size % lower for size in self.baseline_spec.layer_sizes
+        ):
+            lower *= 2
+        return lower, upper
+
+    def _uniform(self, spec: RNNSpec, block: int) -> RNNSpec:
+        return spec.with_block_sizes(tuple(block for _ in spec.layer_sizes))
+
+    # ------------------------------------------------------------------
+    def run(self, baseline_per: float | None = None) -> PhaseIResult:
+        """Execute Steps One-Three; returns the selected spec and trial log.
+
+        ``baseline_per`` short-circuits the baseline training when the dense
+        model's accuracy is already known (the common case — it is the
+        published reference the budget is measured against).
+        """
+        budget = self.config.accuracy_budget
+        if baseline_per is None:
+            baseline_per = self._train("baseline", self.baseline_spec)
+        target_per = baseline_per + budget
+
+        lower, upper = self._block_bounds()
+
+        # Step Two: largest feasible block size, walking down from the upper
+        # bound.  The bounds plus power-of-2 stepping keep this to a few
+        # trials (Sec. VI-B: "at most 3 or 4 training trials").
+        chosen_spec: RNNSpec | None = None
+        chosen_per = float("inf")
+        block = upper
+        while block >= lower:
+            candidate = self._uniform(self.baseline_spec, block)
+            per = self._train("block-sweep", candidate)
+            if per <= target_per:
+                chosen_spec, chosen_per = candidate, per
+                break
+            block //= 2
+        if chosen_spec is None:
+            raise FitError(
+                f"no block size in [{lower}, {upper}] meets PER <= "
+                f"{target_per:.2f}% (budget {budget}%)"
+            )
+
+        # Step Three (a): LSTM -> GRU with the block size fixed.
+        if self.config.try_gru:
+            gru_spec = self._uniform(
+                self.baseline_spec.with_cell_type("gru"),
+                chosen_spec.effective_block_sizes[0],
+            )
+            per = self._train("gru-switch", gru_spec)
+            if per <= target_per:
+                chosen_spec, chosen_per = gru_spec, per
+
+        # Step Three (b): coarser blocks for the non-recurrent io matrices.
+        if self.config.try_io_block:
+            io_block = 2 * chosen_spec.effective_block_sizes[0]
+            if io_block <= self.config.max_block:
+                io_spec = chosen_spec.with_io_block_size(io_block)
+                per = self._train("io-fine-tune", io_spec)
+                if per <= target_per:
+                    chosen_spec, chosen_per = io_spec, per
+
+        return PhaseIResult(
+            final_spec=chosen_spec,
+            baseline_per=baseline_per,
+            final_per=chosen_per,
+            lower_bound=lower,
+            upper_bound=upper,
+            trials=tuple(self._trials),
+        )

@@ -1,0 +1,107 @@
+"""Euclidean projection onto the block-circulant set (paper Eqn. 6, Fig. 5).
+
+This is the closed-form solution of the second ADMM subproblem: for each
+``Lb × Lb`` block, every circulant diagonal of the projected block is set to
+the *mean* of the corresponding entries of the source block.  The paper
+proves this diagonal averaging is the optimal (closest in Frobenius norm)
+circulant approximation; the property tests in
+``tests/core/test_projection.py`` re-verify optimality numerically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import validate_block_size
+from repro.errors import ShapeError
+
+__all__ = [
+    "project_block_to_circulant_vector",
+    "project_to_block_circulant_vectors",
+    "project_to_block_circulant",
+    "circulant_distance",
+]
+
+
+def _as_blocks(matrix: np.ndarray, block_size: int) -> np.ndarray:
+    """Reshape (m, n) into (p, q, Lb, Lb) blocks, zero-padding if needed."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ShapeError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    rows, cols = matrix.shape
+    pad_rows = (-rows) % block_size
+    pad_cols = (-cols) % block_size
+    if pad_rows or pad_cols:
+        matrix = np.pad(matrix, ((0, pad_rows), (0, pad_cols)))
+    p = matrix.shape[0] // block_size
+    q = matrix.shape[1] // block_size
+    return (
+        matrix.reshape(p, block_size, q, block_size).transpose(0, 2, 1, 3),
+        (rows, cols),
+    )
+
+
+def project_block_to_circulant_vector(block: np.ndarray) -> np.ndarray:
+    """Optimal circulant defining vector (first-column convention) of a block.
+
+    Entry ``k`` of the result is the mean of the circulant diagonal
+    ``{(i, j) : (i - j) mod Lb == k}`` — exactly Eqn. (6) applied to every
+    diagonal, not just the main one.
+    """
+    block = np.asarray(block, dtype=np.float64)
+    if block.ndim != 2 or block.shape[0] != block.shape[1]:
+        raise ShapeError(f"block must be square, got {block.shape}")
+    size = block.shape[0]
+    offsets = (np.arange(size)[:, None] - np.arange(size)[None, :]) % size
+    sums = np.zeros(size)
+    np.add.at(sums, offsets.reshape(-1), block.reshape(-1))
+    return sums / size
+
+
+def project_to_block_circulant_vectors(
+    matrix: np.ndarray, block_size: int
+) -> np.ndarray:
+    """Project a dense matrix; return the ``(p, q, Lb)`` defining vectors.
+
+    Vectorized over all blocks: diagonal ``k`` of every block is averaged in
+    one pass.  Rectangular matrices whose dimensions are not multiples of the
+    block size are zero-padded first (matching the layer padding in
+    :class:`repro.nn.circulant_layer.CirculantLinear`).
+    """
+    validate_block_size(block_size)
+    blocks, _ = _as_blocks(matrix, block_size)
+    size = block_size
+    offsets = (np.arange(size)[:, None] - np.arange(size)[None, :]) % size
+    vectors = np.zeros(blocks.shape[:2] + (size,))
+    for k in range(size):
+        mask = offsets == k
+        vectors[:, :, k] = blocks[:, :, mask].mean(axis=-1)
+    return vectors
+
+
+def project_to_block_circulant(matrix: np.ndarray, block_size: int) -> np.ndarray:
+    """Project a dense matrix and return the dense projected matrix ``Z``.
+
+    This is the exact operation the ADMM trainer applies each iteration
+    (Fig. 6, Step 2).  The output has the same shape as the input (padding
+    introduced for partial blocks is cropped away).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    vectors = project_to_block_circulant_vectors(matrix, block_size)
+    p, q, size = vectors.shape
+    indices = (np.arange(size)[:, None] - np.arange(size)[None, :]) % size
+    dense_blocks = vectors[:, :, indices]  # (p, q, Lb, Lb)
+    full = dense_blocks.transpose(0, 2, 1, 3).reshape(p * size, q * size)
+    rows, cols = matrix.shape
+    return full[:rows, :cols]
+
+
+def circulant_distance(matrix: np.ndarray, block_size: int) -> float:
+    """Frobenius distance between a matrix and its block-circulant projection.
+
+    The ADMM trainer uses this as its convergence residual (``W ≈ Z``).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    return float(
+        np.linalg.norm(matrix - project_to_block_circulant(matrix, block_size))
+    )

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the E-RNN reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch the library's failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An RNN or accelerator specification is inconsistent or unsupported."""
+
+
+class ShapeError(ReproError):
+    """An array has a shape incompatible with the requested operation."""
+
+
+class BlockSizeError(ConfigError):
+    """A block size does not divide the matrix dimensions or is not a power of 2."""
+
+
+class FitError(ReproError):
+    """A model does not fit the targeted FPGA resources (BRAM, DSP, LUT)."""
+
+
+class TrainingError(ReproError):
+    """Training diverged or was configured inconsistently."""
+
+
+class QuantizationError(ReproError):
+    """A fixed-point format cannot represent the requested values."""
+
+
+class SchedulingError(ReproError):
+    """The HLS scheduler could not produce a legal schedule."""
+
+
+class DecodingError(ReproError):
+    """A decoder received malformed posteriors or labels."""

@@ -1,0 +1,5 @@
+"""Experiment harness shared by the benchmark suite (one module per table/figure)."""
+
+from repro.experiments.common import SCALE_FACTOR, ExperimentHarness, ExperimentSettings
+
+__all__ = ["SCALE_FACTOR", "ExperimentHarness", "ExperimentSettings"]

@@ -1,0 +1,43 @@
+"""Fig. 8: normalized multiplication count vs block size.
+
+Regenerates both panels (layer size 512 and 1024) from the cost model and
+checks the paper's two qualitative claims: the curve starts near 0.5 at
+block size 2 and converges around block size 32-64, bounding the Phase-I
+search from above.
+"""
+
+from __future__ import annotations
+
+from repro.core.cost_model import fig8_curve, recommended_block_upper_bound
+
+__all__ = ["LAYER_SIZES", "BLOCK_SIZES", "run_fig8", "format_fig8"]
+
+LAYER_SIZES = (512, 1024)
+BLOCK_SIZES = (2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def run_fig8() -> dict[int, dict[int, float]]:
+    """{layer_size: {block_size: normalized multiplications}}."""
+    return {size: fig8_curve(size, BLOCK_SIZES) for size in LAYER_SIZES}
+
+
+def format_fig8(curves: dict[int, dict[int, float]]) -> str:
+    lines = ["Fig. 8: normalized # multiplications vs block size"]
+    header = "layer size | " + " | ".join(f"{b:>6d}" for b in BLOCK_SIZES)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for size, curve in curves.items():
+        values = " | ".join(f"{curve[b]:6.4f}" for b in BLOCK_SIZES)
+        bound = recommended_block_upper_bound(size)
+        lines.append(f"{size:>10d} | {values}   (converges at {bound})")
+    lines.append(
+        "paper: starts at ~0.5, converges at block size 32-64 -> upper bound"
+    )
+    # ASCII rendition of the two panels.
+    for size, curve in curves.items():
+        lines.append(f"\nlayer {size}:")
+        peak = max(curve.values())
+        for block in BLOCK_SIZES:
+            bar = "#" * int(round(40 * curve[block] / peak))
+            lines.append(f"  {block:>4d} | {bar} {curve[block]:.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Table I: comparison among LSTM-based RNN models.
+
+The paper's grid — three layer configurations × block sizes (including
+mixed per-layer blocks like 4−8) — scaled by ``SCALE_FACTOR`` (÷16):
+256³→16³, 512²→32², 1024²→64² (projection 512→32).  Every row is trained
+with the E-RNN flow (dense pretrain → ADMM → structured retrain) and scored
+with corpus PER on held-out speakers.
+
+The claims this table must preserve (Sec. IV):
+
+* block ≤ 4 → no degradation (sometimes an improvement);
+* block 8 → small degradation; block 16 → moderate;
+* degradation grows monotonically-ish with block size within a layer config;
+* compressing blocks beats shrinking layers at comparable parameter counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentHarness
+
+__all__ = ["Table1Row", "LSTM_GRID", "PAPER_TABLE1_PER", "run_table1", "format_rows"]
+
+
+@dataclass(frozen=True)
+class GridEntry:
+    """One row's architecture knobs (paper Table I columns 2-5)."""
+
+    row_id: int
+    layer_sizes: tuple[int, ...]
+    block_sizes: tuple[int, ...]
+    peephole: bool
+    projection: bool
+
+
+# The paper's 16 rows, layer sizes ÷16 (projection 512 → 32).
+LSTM_GRID: tuple[GridEntry, ...] = (
+    GridEntry(1, (16, 16, 16), (), False, False),
+    GridEntry(2, (16, 16, 16), (2, 2, 2), False, False),
+    GridEntry(3, (16, 16, 16), (4, 4, 4), False, False),
+    GridEntry(4, (32, 32), (), True, False),
+    GridEntry(5, (32, 32), (4, 4), True, False),
+    GridEntry(6, (32, 32), (4, 8), True, False),
+    GridEntry(7, (32, 32), (8, 4), True, False),
+    GridEntry(8, (32, 32), (8, 8), True, False),
+    GridEntry(9, (64, 64), (), True, True),
+    GridEntry(10, (64, 64), (4, 4), True, True),
+    GridEntry(11, (64, 64), (4, 8), True, True),
+    GridEntry(12, (64, 64), (8, 4), True, True),
+    GridEntry(13, (64, 64), (8, 8), True, True),
+    GridEntry(14, (64, 64), (8, 16), True, True),
+    GridEntry(15, (64, 64), (16, 8), True, True),
+    GridEntry(16, (64, 64), (16, 16), True, True),
+)
+
+#: The paper's published PER per row (for the side-by-side print).
+PAPER_TABLE1_PER: dict[int, float] = {
+    1: 20.83, 2: 20.75, 3: 20.85, 4: 20.53, 5: 20.57, 6: 20.85, 7: 20.98,
+    8: 21.01, 9: 20.01, 10: 20.01, 11: 20.05, 12: 20.10, 13: 20.14,
+    14: 20.22, 15: 20.29, 16: 20.32,
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One measured row next to its paper reference."""
+
+    row_id: int
+    layer_sizes: tuple[int, ...]
+    block_sizes: tuple[int, ...]
+    per: float
+    degradation: float | None
+    paper_per: float
+    paper_degradation: float | None
+
+
+def _baseline_row_id(entry: GridEntry, grid: tuple[GridEntry, ...]) -> int:
+    """The dense row sharing this entry's layer configuration."""
+    for candidate in grid:
+        if candidate.layer_sizes == entry.layer_sizes and not candidate.block_sizes:
+            return candidate.row_id
+    raise LookupError(f"no dense baseline for {entry}")
+
+
+def run_grid(
+    harness: ExperimentHarness,
+    grid: tuple[GridEntry, ...],
+    paper_per: dict[int, float],
+    cell_type: str,
+) -> list[Table1Row]:
+    """Measure every row of a Table I/II-style grid."""
+    measured: dict[int, float] = {}
+    rows: list[Table1Row] = []
+    for entry in grid:
+        projection = entry.layer_sizes[0] // 2 if entry.projection else None
+        spec = harness.make_spec(
+            cell_type,
+            entry.layer_sizes,
+            entry.block_sizes,
+            peephole=entry.peephole,
+            projection_size=projection,
+        )
+        measured[entry.row_id] = harness.measure_per(spec)
+    for entry in grid:
+        base_id = _baseline_row_id(entry, grid)
+        per = measured[entry.row_id]
+        degradation = None if entry.row_id == base_id else per - measured[base_id]
+        paper = paper_per[entry.row_id]
+        paper_base = paper_per[base_id]
+        rows.append(
+            Table1Row(
+                row_id=entry.row_id,
+                layer_sizes=entry.layer_sizes,
+                block_sizes=entry.block_sizes,
+                per=per,
+                degradation=degradation,
+                paper_per=paper,
+                paper_degradation=(
+                    None if entry.row_id == base_id else paper - paper_base
+                ),
+            )
+        )
+    return rows
+
+
+def run_table1(harness: ExperimentHarness) -> list[Table1Row]:
+    return run_grid(harness, LSTM_GRID, PAPER_TABLE1_PER, "lstm")
+
+
+def format_rows(rows: list[Table1Row], title: str) -> str:
+    lines = [
+        title,
+        f"{'ID':>3} | {'Layers':>12} | {'Blocks':>10} | {'PER %':>7} | "
+        f"{'degr':>6} | {'paper PER':>9} | {'paper degr':>10}",
+        "-" * 76,
+    ]
+    for row in rows:
+        layers = "-".join(map(str, row.layer_sizes))
+        blocks = "-".join(map(str, row.block_sizes)) if row.block_sizes else "dense"
+        degr = f"{row.degradation:+.2f}" if row.degradation is not None else "-"
+        paper_degr = (
+            f"{row.paper_degradation:+.2f}"
+            if row.paper_degradation is not None
+            else "-"
+        )
+        lines.append(
+            f"{row.row_id:>3} | {layers:>12} | {blocks:>10} | {row.per:>7.2f} | "
+            f"{degr:>6} | {row.paper_per:>9.2f} | {paper_degr:>10}"
+        )
+    return "\n".join(lines)

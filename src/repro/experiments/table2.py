@@ -1,0 +1,42 @@
+"""Table II: comparison among GRU-based RNN models.
+
+Same grid structure as Table I (see :mod:`repro.experiments.table1`) with
+GRU cells — no peepholes, no projection, and the small config's block sizes
+are 4/8 rather than 2/4, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentHarness
+from repro.experiments.table1 import GridEntry, Table1Row, format_rows, run_grid
+
+__all__ = ["GRU_GRID", "PAPER_TABLE2_PER", "run_table2", "format_rows"]
+
+GRU_GRID: tuple[GridEntry, ...] = (
+    GridEntry(1, (16, 16, 16), (), False, False),
+    GridEntry(2, (16, 16, 16), (4, 4, 4), False, False),
+    GridEntry(3, (16, 16, 16), (8, 8, 8), False, False),
+    GridEntry(4, (32, 32), (), False, False),
+    GridEntry(5, (32, 32), (4, 4), False, False),
+    GridEntry(6, (32, 32), (4, 8), False, False),
+    GridEntry(7, (32, 32), (8, 4), False, False),
+    GridEntry(8, (32, 32), (8, 8), False, False),
+    GridEntry(9, (64, 64), (), False, False),
+    GridEntry(10, (64, 64), (4, 4), False, False),
+    GridEntry(11, (64, 64), (4, 8), False, False),
+    GridEntry(12, (64, 64), (8, 4), False, False),
+    GridEntry(13, (64, 64), (8, 8), False, False),
+    GridEntry(14, (64, 64), (8, 16), False, False),
+    GridEntry(15, (64, 64), (16, 8), False, False),
+    GridEntry(16, (64, 64), (16, 16), False, False),
+)
+
+PAPER_TABLE2_PER: dict[int, float] = {
+    1: 20.72, 2: 20.81, 3: 20.88, 4: 20.51, 5: 20.55, 6: 20.73, 7: 20.89,
+    8: 20.95, 9: 20.02, 10: 20.03, 11: 20.08, 12: 20.13, 13: 20.20,
+    14: 20.25, 15: 20.31, 16: 20.36,
+}
+
+
+def run_table2(harness: ExperimentHarness) -> list[Table1Row]:
+    return run_grid(harness, GRU_GRID, PAPER_TABLE2_PER, "gru")

@@ -1,0 +1,68 @@
+"""Table IV: comparison of the two FPGA platforms.
+
+Static resource totals (reproduced verbatim in :mod:`repro.hw.platform`)
+plus the derived quantities the rest of the reproduction computes from them
+— BRAM capacity in MB (the "4-8 MB" of Sec. VI-B) and the per-platform PE
+capacity for the two paper block sizes.
+"""
+
+from __future__ import annotations
+
+from repro.config import AccelSpec
+from repro.experiments.table3 import lstm_workload
+from repro.hw.accelerator import AcceleratorModel
+from repro.hw.platform import PLATFORMS, FPGAPlatform
+
+__all__ = ["PAPER_TABLE4", "run_table4", "format_table4"]
+
+#: Published Table IV rows: (DSP, BRAM, LUT, FF, process).
+PAPER_TABLE4: dict[str, tuple[int, int, int, int, int]] = {
+    "ADM-PCIE-7V3": (3600, 1470, 859_200, 429_600, 28),
+    "XCKU060": (2760, 1080, 331_680, 663_360, 20),
+}
+
+
+def run_table4() -> dict[str, dict[str, float]]:
+    """Platform rows plus derived capacities."""
+    rows: dict[str, dict[str, float]] = {}
+    for name, platform in PLATFORMS.items():
+        entry: dict[str, float] = {
+            "dsp": platform.dsp,
+            "bram_blocks": platform.bram_blocks,
+            "lut": platform.lut,
+            "ff": platform.ff,
+            "process_nm": platform.process_nm,
+            "bram_mb": platform.bram_bytes / 1e6,
+        }
+        for block in (8, 16):
+            model = AcceleratorModel(lstm_workload(block), AccelSpec(name))
+            entry[f"pe_capacity_fft{block}"] = model.allocate_pes()
+        rows[name] = entry
+    return rows
+
+
+def format_table4(rows: dict[str, dict[str, float]]) -> str:
+    lines = [
+        "Table IV: platform comparison (model == paper for rows 1-5)",
+        f"{'Platform':>14} | {'DSP':>5} | {'BRAM':>5} | {'LUT':>7} | "
+        f"{'FF':>7} | {'nm':>3} | {'BRAM MB':>7} | {'#PE fft8':>8} | {'#PE fft16':>9}",
+        "-" * 92,
+    ]
+    for name, entry in rows.items():
+        lines.append(
+            f"{name:>14} | {entry['dsp']:>5.0f} | {entry['bram_blocks']:>5.0f} | "
+            f"{entry['lut']:>7.0f} | {entry['ff']:>7.0f} | "
+            f"{entry['process_nm']:>3.0f} | {entry['bram_mb']:>7.2f} | "
+            f"{entry['pe_capacity_fft8']:>8.0f} | {entry['pe_capacity_fft16']:>9.0f}"
+        )
+    return "\n".join(lines)
+
+
+def verify_against_paper() -> bool:
+    """Resource totals must equal the published Table IV exactly."""
+    for name, (dsp, bram, lut, ff, process) in PAPER_TABLE4.items():
+        platform: FPGAPlatform = PLATFORMS[name]
+        if (platform.dsp, platform.bram_blocks, platform.lut, platform.ff,
+                platform.process_nm) != (dsp, bram, lut, ff, process):
+            return False
+    return True

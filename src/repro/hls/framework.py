@@ -1,0 +1,103 @@
+"""End-to-end HLS framework driver (Fig. 13).
+
+``HLSFramework(spec, accel).build()`` runs the paper's full flow —
+template generator → graph generator → operation scheduler → code generator
+— and returns an :class:`HLSResult` bundling the operation graph, the
+schedule, the generated C source, and the performance/resource summary that
+the paper's "Perf. & Resource Models" box feeds back into design selection.
+
+The schedule's cycle count is the same quantity the analytic CU model of
+:mod:`repro.hw.cu` computes; the two are cross-validated in
+``tests/hls/test_framework.py`` (they must agree within a small tolerance,
+since the scheduler prices the same work on the same engines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.config import AccelSpec, RNNSpec
+from repro.hls.codegen import generate_code
+from repro.hls.graph import build_operation_graph
+from repro.hls.scheduler import Schedule, schedule_graph
+from repro.hw.accelerator import AcceleratorDesign, AcceleratorModel
+from repro.hw.cu import GRU_TDM_SPEEDUP
+
+__all__ = ["HLSResult", "HLSFramework"]
+
+
+@dataclass(frozen=True)
+class HLSResult:
+    """Everything the HLS flow produces for one design point."""
+
+    spec: RNNSpec
+    accel: AccelSpec
+    graph: nx.DiGraph
+    schedule: Schedule
+    code: str
+    design: AcceleratorDesign
+
+    @property
+    def frame_cycles(self) -> float:
+        return self.schedule.frame_cycles
+
+    @property
+    def latency_us(self) -> float:
+        return self.frame_cycles * self.accel.clock_period_ns / 1000.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "num_ops": float(self.graph.number_of_nodes()),
+            "num_stages": float(self.schedule.num_stages),
+            "frame_cycles": self.frame_cycles,
+            "latency_us": self.latency_us,
+            "num_pes": float(self.design.num_pes),
+            "code_lines": float(self.code.count("\n") + 1),
+        }
+
+
+class HLSFramework:
+    """Template-based design automation for RNN FPGA implementations."""
+
+    def __init__(
+        self,
+        spec: RNNSpec,
+        accel: AccelSpec,
+        pe_efficiency: float = 1.0,
+    ):
+        self.spec = spec
+        self.accel = accel
+        self.pe_efficiency = pe_efficiency
+
+    def operation_graph(self) -> nx.DiGraph:
+        return build_operation_graph(self.spec)
+
+    def build(self) -> HLSResult:
+        graph = self.operation_graph()
+        design = AcceleratorModel(
+            self.spec, self.accel, pe_efficiency=self.pe_efficiency
+        ).build()
+        if self.spec.cell_type == "gru":
+            efficiency = self.pe_efficiency * GRU_TDM_SPEEDUP
+            overhead_count = 2
+        else:
+            efficiency = self.pe_efficiency
+            overhead_count = None
+        schedule = schedule_graph(
+            graph,
+            self.accel,
+            design.pes_per_cu,
+            pe_efficiency=efficiency,
+            stage_overhead_count=overhead_count,
+        )
+        code = generate_code(self.spec, self.accel, graph, schedule)
+        return HLSResult(
+            spec=self.spec,
+            accel=self.accel,
+            graph=graph,
+            schedule=schedule,
+            code=code,
+            design=design,
+        )

@@ -1,0 +1,221 @@
+"""Operation-graph generator (Fig. 13, "Graph Generator").
+
+Unrolls one timestep of an LSTM/GRU cell stack into a directed acyclic
+dependency graph of primitive operations.  As the paper describes, "we
+deliberately remove the feedback edges of c_t and y_t, which are taken care
+of by the double-buffer mechanism" — the previous-step state enters as a
+source node, so the graph is a DAG the scheduler can pipeline.
+
+Node attributes: ``op`` (template name), ``params`` (shape/width info the
+templates and the work models consume), ``layer`` (stack index).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.config import RNNSpec
+from repro.errors import ConfigError
+
+__all__ = ["build_operation_graph", "matvec_nodes", "validate_graph"]
+
+
+def _role_block(spec: RNNSpec, layer: int, role: str) -> int:
+    base = spec.effective_block_sizes[layer]
+    if role in ("input", "output") and spec.io_block_size is not None:
+        return spec.io_block_size
+    return base
+
+
+class _GraphBuilder:
+    def __init__(self, spec: RNNSpec):
+        self.spec = spec
+        self.graph = nx.DiGraph()
+
+    def add(self, name: str, op: str, layer: int, deps: list[str], **params) -> str:
+        if name in self.graph:
+            raise ConfigError(f"duplicate node {name}")
+        self.graph.add_node(name, op=op, layer=layer, params=params)
+        for dep in deps:
+            if dep not in self.graph:
+                raise ConfigError(f"dependency {dep} of {name} does not exist")
+            self.graph.add_edge(dep, name)
+        return name
+
+    # ------------------------------------------------------------------
+    def build_lstm_layer(self, layer: int, x_node: str, in_size: int) -> str:
+        spec = self.spec
+        hidden = spec.layer_sizes[layer]
+        out_size = spec.projection_size or hidden
+        block = _role_block(spec, layer, "recurrent")
+        in_block = _role_block(spec, layer, "input")
+        tag = f"l{layer}"
+
+        y_prev = self.add(f"{tag}.y_prev", "source", layer, [], width=out_size)
+        c_prev = self.add(f"{tag}.c_prev", "source", layer, [], width=hidden)
+
+        wx = self.add(
+            f"{tag}.matvec_wx", "block_matvec", layer, [x_node],
+            rows=4 * hidden, cols=in_size, block_size=in_block, matrix="w_x",
+        )
+        wr = self.add(
+            f"{tag}.matvec_wr", "block_matvec", layer, [y_prev],
+            rows=4 * hidden, cols=out_size, block_size=block, matrix="w_r",
+        )
+        gates = self.add(
+            f"{tag}.add_gates", "pointwise_add", layer, [wx, wr],
+            width=4 * hidden,
+        )
+
+        if spec.peephole:
+            peep_i = self.add(
+                f"{tag}.peep_ic", "pointwise_mul", layer, [c_prev], width=hidden
+            )
+            peep_f = self.add(
+                f"{tag}.peep_fc", "pointwise_mul", layer, [c_prev], width=hidden
+            )
+            gate_i_in = self.add(
+                f"{tag}.add_peep_i", "pointwise_add", layer, [gates, peep_i],
+                width=hidden,
+            )
+            gate_f_in = self.add(
+                f"{tag}.add_peep_f", "pointwise_add", layer, [gates, peep_f],
+                width=hidden,
+            )
+        else:
+            gate_i_in = gate_f_in = gates
+
+        sig_i = self.add(f"{tag}.sigmoid_i", "sigmoid", layer, [gate_i_in], width=hidden)
+        sig_f = self.add(f"{tag}.sigmoid_f", "sigmoid", layer, [gate_f_in], width=hidden)
+        act_g = self.add(f"{tag}.tanh_g", "tanh", layer, [gates], width=hidden)
+
+        mul_f = self.add(
+            f"{tag}.mul_f_cprev", "pointwise_mul", layer, [sig_f, c_prev], width=hidden
+        )
+        mul_g = self.add(
+            f"{tag}.mul_g_i", "pointwise_mul", layer, [act_g, sig_i], width=hidden
+        )
+        cell = self.add(
+            f"{tag}.add_cell", "pointwise_add", layer, [mul_f, mul_g], width=hidden
+        )
+
+        if spec.peephole:
+            peep_o = self.add(
+                f"{tag}.peep_oc", "pointwise_mul", layer, [cell], width=hidden
+            )
+            gate_o_in = self.add(
+                f"{tag}.add_peep_o", "pointwise_add", layer, [gates, peep_o],
+                width=hidden,
+            )
+        else:
+            gate_o_in = gates
+        sig_o = self.add(f"{tag}.sigmoid_o", "sigmoid", layer, [gate_o_in], width=hidden)
+        tanh_c = self.add(f"{tag}.tanh_c", "tanh", layer, [cell], width=hidden)
+        cell_out = self.add(
+            f"{tag}.mul_m", "pointwise_mul", layer, [sig_o, tanh_c], width=hidden
+        )
+
+        self.add(f"{tag}.c_out", "sink", layer, [cell], width=hidden)
+        if spec.projection_size is not None:
+            proj = self.add(
+                f"{tag}.matvec_wym", "block_matvec", layer, [cell_out],
+                rows=spec.projection_size, cols=hidden,
+                block_size=_role_block(spec, layer, "output"), matrix="w_ym",
+            )
+            output = proj
+        else:
+            output = cell_out
+        self.add(f"{tag}.y_out", "sink", layer, [output], width=out_size)
+        return output
+
+    # ------------------------------------------------------------------
+    def build_gru_layer(self, layer: int, x_node: str, in_size: int) -> str:
+        spec = self.spec
+        hidden = spec.layer_sizes[layer]
+        block = _role_block(spec, layer, "recurrent")
+        in_block = _role_block(spec, layer, "input")
+        tag = f"l{layer}"
+
+        c_prev = self.add(f"{tag}.c_prev", "source", layer, [], width=hidden)
+
+        wzr_x = self.add(
+            f"{tag}.matvec_wzr_x", "block_matvec", layer, [x_node],
+            rows=2 * hidden, cols=in_size, block_size=in_block, matrix="w_zr_x",
+        )
+        wzr_c = self.add(
+            f"{tag}.matvec_wzr_c", "block_matvec", layer, [c_prev],
+            rows=2 * hidden, cols=hidden, block_size=block, matrix="w_zr_c",
+        )
+        gates = self.add(
+            f"{tag}.add_zr", "pointwise_add", layer, [wzr_x, wzr_c],
+            width=2 * hidden,
+        )
+        sig_z = self.add(f"{tag}.sigmoid_z", "sigmoid", layer, [gates], width=hidden)
+        sig_r = self.add(f"{tag}.sigmoid_r", "sigmoid", layer, [gates], width=hidden)
+
+        mul_rc = self.add(
+            f"{tag}.mul_r_cprev", "pointwise_mul", layer, [sig_r, c_prev],
+            width=hidden,
+        )
+        wcx = self.add(
+            f"{tag}.matvec_wcx", "block_matvec", layer, [x_node],
+            rows=hidden, cols=in_size, block_size=in_block, matrix="w_cx",
+        )
+        wcc = self.add(
+            f"{tag}.matvec_wcc", "block_matvec", layer, [mul_rc],
+            rows=hidden, cols=hidden, block_size=block, matrix="w_cc",
+        )
+        pre_act = self.add(
+            f"{tag}.add_ctilde", "pointwise_add", layer, [wcx, wcc], width=hidden
+        )
+        ctilde = self.add(f"{tag}.tanh_ctilde", "tanh", layer, [pre_act], width=hidden)
+
+        blend_old = self.add(
+            f"{tag}.mul_1mz_c", "pointwise_mul", layer, [sig_z, c_prev], width=hidden
+        )
+        blend_new = self.add(
+            f"{tag}.mul_z_ctilde", "pointwise_mul", layer, [sig_z, ctilde],
+            width=hidden,
+        )
+        cell = self.add(
+            f"{tag}.add_c", "pointwise_add", layer, [blend_old, blend_new],
+            width=hidden,
+        )
+        self.add(f"{tag}.c_out", "sink", layer, [cell], width=hidden)
+        return cell
+
+
+def build_operation_graph(spec: RNNSpec) -> nx.DiGraph:
+    """DAG of one timestep across the whole stack (feedback edges removed)."""
+    builder = _GraphBuilder(spec)
+    x_node = builder.add("input.x", "source", -1, [], width=spec.input_size)
+    value, in_size = x_node, spec.input_size
+    for layer, hidden in enumerate(spec.layer_sizes):
+        if spec.cell_type == "lstm":
+            value = builder.build_lstm_layer(layer, value, in_size)
+            in_size = spec.projection_size or hidden
+        else:
+            value = builder.build_gru_layer(layer, value, in_size)
+            in_size = hidden
+    graph = builder.graph
+    validate_graph(graph)
+    return graph
+
+
+def matvec_nodes(graph: nx.DiGraph) -> list[str]:
+    return [n for n, d in graph.nodes(data=True) if d["op"] == "block_matvec"]
+
+
+def validate_graph(graph: nx.DiGraph) -> None:
+    """Structural invariants: acyclic, sources/sinks correct, ops known."""
+    from repro.hls.templates import TEMPLATES
+
+    if not nx.is_directed_acyclic_graph(graph):
+        raise ConfigError("operation graph has a cycle (feedback edge leaked in)")
+    for node, data in graph.nodes(data=True):
+        if data["op"] not in TEMPLATES:
+            raise ConfigError(f"node {node} uses unknown op {data['op']}")
+        if data["op"] == "source" and graph.in_degree(node) != 0:
+            raise ConfigError(f"source {node} has predecessors")
+        if data["op"] == "sink" and graph.out_degree(node) != 0:
+            raise ConfigError(f"sink {node} has successors")

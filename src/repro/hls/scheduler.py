@@ -1,0 +1,191 @@
+"""Operation scheduler (Fig. 13, "Operation Scheduler").
+
+Maps the operation graph onto the CU's two engines — the PE array (block
+matrix-vector products) and the point-wise multiplier-adder block — and
+groups operations into coarse-grained pipeline (CGPipe) stages.
+
+The paper motivates the scheduler with the skew of the work distribution:
+"the complexity of matrix-vector multiplication ... is 128× as that of
+point-wise multiplication", so the stage cuts fall at matrix boundaries:
+
+* every ``block_matvec`` node gets stage ``2·level − 1`` where ``level`` is
+  one plus the number of matvec ancestors on its longest dependency path;
+* every other node gets the even stage following the last matvec it depends
+  on.
+
+For the paper's LSTM this yields exactly the Fig. 11 structure (stage 1 =
+``W(ifco)(xr)``, stage 2 = point-wise/activations, stage 3 = ``W_ym``), and
+for the GRU the Fig. 12 structure (two matvec stages + point-wise), which the
+CU implements with TDM sharing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.config import AccelSpec
+from repro.errors import SchedulingError
+from repro.hls.templates import get_template, matvec_work, pointwise_work
+from repro.hw.cu import POINTWISE_LANES, STAGE_OVERHEAD_CYCLES
+
+__all__ = ["ScheduledOp", "Schedule", "schedule_graph"]
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One operation's placement: CGPipe stage, engine, start, duration."""
+
+    name: str
+    op: str
+    stage: int
+    engine: str
+    start_cycle: float
+    duration_cycles: float
+
+    @property
+    def end_cycle(self) -> float:
+        return self.start_cycle + self.duration_cycles
+
+
+@dataclass
+class Schedule:
+    """A complete schedule with per-stage and per-frame cycle counts."""
+
+    ops: list[ScheduledOp] = field(default_factory=list)
+    stage_cycles: dict[int, float] = field(default_factory=dict)
+    overhead_cycles: float = 0.0
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stage_cycles)
+
+    @property
+    def frame_cycles(self) -> float:
+        """Serial frame latency: the recurrence forbids intra-sequence overlap
+        (see repro.hw.cu), so stages execute back to back per frame."""
+        return sum(self.stage_cycles.values()) + self.overhead_cycles
+
+    def ops_in_stage(self, stage: int) -> list[ScheduledOp]:
+        return sorted(
+            (op for op in self.ops if op.stage == stage),
+            key=lambda op: op.start_cycle,
+        )
+
+
+def _matvec_levels(graph: nx.DiGraph) -> dict[str, int]:
+    """Longest-path matvec depth per node (matvec nodes count themselves)."""
+    levels: dict[str, int] = {}
+    for node in nx.topological_sort(graph):
+        best = 0
+        for pred in graph.predecessors(node):
+            best = max(best, levels[pred])
+        if graph.nodes[node]["op"] == "block_matvec":
+            best += 1
+        levels[node] = best
+    return levels
+
+
+def _assign_stages(graph: nx.DiGraph) -> dict[str, int]:
+    levels = _matvec_levels(graph)
+    stages: dict[str, int] = {}
+    for node, data in graph.nodes(data=True):
+        if data["op"] in ("source",):
+            stages[node] = 0
+        elif data["op"] == "block_matvec":
+            stages[node] = 2 * levels[node] - 1
+        else:
+            # Point-wise/sink nodes run after the matvecs they depend on.
+            stages[node] = 2 * levels[node] if levels[node] > 0 else 1
+    return stages
+
+
+def _op_duration(
+    data: dict, accel: AccelSpec, pes_per_cu: int, pe_efficiency: float
+) -> float:
+    op = data["op"]
+    params = data["params"]
+    if op == "block_matvec":
+        work = matvec_work(
+            params["rows"], params["cols"], params["block_size"],
+            accel.weight_bits,
+        )
+        return work / (pes_per_cu * pe_efficiency)
+    if op in ("pointwise_mul", "pointwise_add", "sigmoid", "tanh", "buffer"):
+        work = pointwise_work(params["width"], accel.weight_bits)
+        return max(1.0, work / POINTWISE_LANES)
+    return 0.0  # source / sink
+
+
+def schedule_graph(
+    graph: nx.DiGraph,
+    accel: AccelSpec,
+    pes_per_cu: int,
+    pe_efficiency: float = 1.0,
+    stage_overhead_count: int | None = None,
+) -> Schedule:
+    """List-schedule the graph; returns placement plus cycle accounting.
+
+    Within a stage, operations start as soon as their predecessors in the
+    same stage finish (cross-stage dependencies are satisfied by the stage
+    ordering and double buffers).  Matvec ops on the PE array serialize
+    against each other (the array is one shared engine); point-wise ops
+    serialize on the multiplier-adder block.
+
+    ``pe_efficiency`` carries the CU-level calibrations (C-LSTM's
+    unoptimized PEs, the GRU CU's TDM fusion).  ``stage_overhead_count``
+    overrides how many stage boundaries pay fill/drain overhead — the GRU CU
+    runs its matvec stages on the same hardware by TDM (Fig. 12), so it pays
+    for two boundaries, not three.
+    """
+    if pes_per_cu < 1:
+        raise SchedulingError("scheduler needs at least one PE")
+    stages = _assign_stages(graph)
+
+    ops: list[ScheduledOp] = []
+    finish: dict[str, float] = {}
+    engine_free: dict[tuple[int, str], float] = {}
+    stage_cycles: dict[int, float] = {}
+
+    for node in nx.topological_sort(graph):
+        data = graph.nodes[node]
+        template = get_template(data["op"])
+        stage = stages[node]
+        duration = _op_duration(data, accel, pes_per_cu, pe_efficiency)
+        # Ready when same-stage predecessors finish; earlier stages are
+        # decoupled by double buffers.
+        ready = max(
+            (finish[p] for p in graph.predecessors(node) if stages[p] == stage),
+            default=0.0,
+        )
+        engine_key = (stage, template.engine)
+        if template.engine != "none":
+            start = max(ready, engine_free.get(engine_key, 0.0))
+            engine_free[engine_key] = start + duration
+        else:
+            start = ready
+        finish[node] = start + duration
+        if stage > 0:
+            stage_cycles[stage] = max(stage_cycles.get(stage, 0.0), finish[node])
+        ops.append(
+            ScheduledOp(
+                name=node,
+                op=data["op"],
+                stage=stage,
+                engine=template.engine,
+                start_cycle=start,
+                duration_cycles=duration,
+            )
+        )
+
+    # Sink-only trailing stages carry no work and are not physical CGPipe
+    # stages — drop them before counting boundaries.
+    stage_cycles = {s: c for s, c in stage_cycles.items() if c > 0}
+    boundaries = (
+        stage_overhead_count
+        if stage_overhead_count is not None
+        else max(len(stage_cycles), 1)
+    )
+    overhead = STAGE_OVERHEAD_CYCLES * boundaries
+    return Schedule(ops=ops, stage_cycles=stage_cycles, overhead_cycles=overhead)

@@ -1,0 +1,161 @@
+"""Primitive-operation templates (Fig. 13, "Template Generator").
+
+Each RNN primitive — the block matrix-vector product, point-wise vector ops,
+and the PWL activations — gets a template bundling (i) a work model the
+scheduler prices, (ii) a resource model, and (iii) a C/C++ code snippet the
+code generator instantiates.  The set mirrors the paper's list: "tanh,
+sigmoid σ, point-wise vector addition, point-wise multiplication, and
+'FFT→element-wise multiplication→IFFT'".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hw.pe import ProcessingElement
+
+__all__ = ["OpTemplate", "TEMPLATES", "get_template", "matvec_work", "pointwise_work"]
+
+
+@dataclass(frozen=True)
+class OpTemplate:
+    """A schedulable primitive: which engine runs it and how its work scales."""
+
+    name: str
+    engine: str  # "pe_array" | "pointwise" | "none"
+    description: str
+    code_template: str
+
+
+def matvec_work(rows: int, cols: int, block_size: int, bits: int) -> float:
+    """PE-cycles of one block matrix-vector product (FFT→mult→acc→IFFT)."""
+    if block_size < 2:
+        raise ConfigError("matvec template requires a circulant block size >= 2")
+    pe = ProcessingElement(block_size, bits)
+    p = -(-rows // block_size)
+    q = -(-cols // block_size)
+    # Block products plus the decoupled q input FFTs and p output IFFTs.
+    return p * q * pe.cycles_per_block + p + q
+
+
+def pointwise_work(width: int, bits: int) -> float:
+    """Lane-operations of one point-wise vector op (mult/add/activation)."""
+    return width * (bits / 12.0)
+
+
+_MATVEC_CODE = """\
+void {name}(const fixed_t x[{cols}], fixed_t y[{rows}]) {{
+#pragma HLS INLINE off
+    // FFT -> element-wise multiplication -> accumulate -> IFFT (Eqn. 4)
+    complex_t x_spec[{q}][{half_bins}];
+    fft_blocks_{block}: for (int j = 0; j < {q}; j++) {{
+#pragma HLS PIPELINE II=1
+        rfft{block}(&x[j * {block}], x_spec[j]);
+    }}
+    acc_rows_{name}: for (int i = 0; i < {p}; i++) {{
+        complex_t acc[{half_bins}];
+        init_acc: for (int k = 0; k < {half_bins}; k++) acc[k] = 0;
+        acc_cols: for (int j = 0; j < {q}; j++) {{
+#pragma HLS PIPELINE II={ii}
+            cmac{block}(W_{name}[i][j], x_spec[j], acc);
+        }}
+        irfft{block}(acc, &y[i * {block}]);
+    }}
+}}
+"""
+
+_POINTWISE_MUL_CODE = """\
+void {name}(const fixed_t a[{width}], const fixed_t b[{width}],
+            fixed_t out[{width}]) {{
+#pragma HLS INLINE off
+    loop_{name}: for (int i = 0; i < {width}; i++) {{
+#pragma HLS UNROLL factor={lanes}
+        out[i] = fx_mul(a[i], b[i]);
+    }}
+}}
+"""
+
+_POINTWISE_ADD_CODE = """\
+void {name}(const fixed_t a[{width}], const fixed_t b[{width}],
+            fixed_t out[{width}]) {{
+#pragma HLS INLINE off
+    loop_{name}: for (int i = 0; i < {width}; i++) {{
+#pragma HLS UNROLL factor={lanes}
+        out[i] = fx_add(a[i], b[i]);
+    }}
+}}
+"""
+
+_ACTIVATION_CODE = """\
+void {name}(const fixed_t x[{width}], fixed_t out[{width}]) {{
+#pragma HLS INLINE off
+    // Piecewise-linear {function} with {segments} segments, saturating
+    loop_{name}: for (int i = 0; i < {width}; i++) {{
+#pragma HLS PIPELINE II=1
+        out[i] = pwl_{function}(x[i]);
+    }}
+}}
+"""
+
+_BUFFER_CODE = """\
+void {name}(const fixed_t src[{width}], fixed_t dst[{width}]) {{
+#pragma HLS INLINE off
+    // Double-buffer swap between CGPipe stages
+    loop_{name}: for (int i = 0; i < {width}; i++) {{
+#pragma HLS UNROLL factor={lanes}
+        dst[i] = src[i];
+    }}
+}}
+"""
+
+TEMPLATES: dict[str, OpTemplate] = {
+    "block_matvec": OpTemplate(
+        "block_matvec",
+        engine="pe_array",
+        description="FFT -> element-wise multiply -> accumulate -> IFFT",
+        code_template=_MATVEC_CODE,
+    ),
+    "pointwise_mul": OpTemplate(
+        "pointwise_mul",
+        engine="pointwise",
+        description="element-wise vector multiplication",
+        code_template=_POINTWISE_MUL_CODE,
+    ),
+    "pointwise_add": OpTemplate(
+        "pointwise_add",
+        engine="pointwise",
+        description="element-wise vector addition",
+        code_template=_POINTWISE_ADD_CODE,
+    ),
+    "sigmoid": OpTemplate(
+        "sigmoid",
+        engine="pointwise",
+        description="piecewise-linear logistic activation",
+        code_template=_ACTIVATION_CODE,
+    ),
+    "tanh": OpTemplate(
+        "tanh",
+        engine="pointwise",
+        description="piecewise-linear tanh activation",
+        code_template=_ACTIVATION_CODE,
+    ),
+    "buffer": OpTemplate(
+        "buffer",
+        engine="pointwise",
+        description="double-buffer transfer between CGPipe stages",
+        code_template=_BUFFER_CODE,
+    ),
+    "source": OpTemplate(
+        "source", engine="none", description="graph input", code_template=""
+    ),
+    "sink": OpTemplate(
+        "sink", engine="none", description="graph output", code_template=""
+    ),
+}
+
+
+def get_template(name: str) -> OpTemplate:
+    if name not in TEMPLATES:
+        raise ConfigError(f"unknown op template {name!r}; known: {sorted(TEMPLATES)}")
+    return TEMPLATES[name]

@@ -1,0 +1,123 @@
+"""ASIC projection of an E-RNN accelerator design (paper Sec. I: "The
+proposed framework is also applicable to ASICs").
+
+Takes a sized FPGA design and projects it to a standard-cell implementation
+with first-order technology translation factors — the kind of estimate an
+architecture paper uses to argue portability, not a sign-off flow:
+
+* each DSP slice → a pipelined fixed-point multiplier-accumulator macro;
+* each BRAM block → an SRAM macro of equal capacity;
+* LUT/FF logic → NAND2-equivalent gates at a standard cell density;
+* clock scales up (no programmable-routing overhead), dynamic power scales
+  with the FPGA→ASIC efficiency gap (Kuon & Rose's classic ~3-4x dynamic
+  power and ~3-5x frequency factors are the defaults).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hw.accelerator import AcceleratorDesign
+
+__all__ = ["ASICProcess", "ASICProjection", "project_to_asic", "TSMC28_LIKE"]
+
+
+@dataclass(frozen=True)
+class ASICProcess:
+    """Technology constants for a generic planar node."""
+
+    name: str
+    node_nm: int
+    #: mm^2 per 18x18 pipelined MAC macro (incl. registers).
+    mac_area_mm2: float
+    #: mm^2 per 36 Kb single-port SRAM macro.
+    sram_block_area_mm2: float
+    #: mm^2 per kGE of random logic (NAND2-equivalent).
+    logic_area_per_kge_mm2: float
+    #: NAND2-equivalent gates per FPGA LUT (Kuon & Rose area gap folded in).
+    gates_per_lut: float
+    #: Achievable clock relative to the FPGA's 200 MHz.
+    frequency_factor: float
+    #: Dynamic power ratio ASIC/FPGA at iso-throughput.
+    power_factor: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_factor <= 0 or self.power_factor <= 0:
+            raise ConfigError("scaling factors must be positive")
+
+
+TSMC28_LIKE = ASICProcess(
+    name="generic-28nm",
+    node_nm=28,
+    mac_area_mm2=0.0009,
+    sram_block_area_mm2=0.012,
+    logic_area_per_kge_mm2=0.0006,
+    gates_per_lut=8.0,
+    frequency_factor=4.0,
+    power_factor=0.28,
+)
+
+
+@dataclass(frozen=True)
+class ASICProjection:
+    """First-order ASIC estimate derived from an FPGA design point."""
+
+    design: AcceleratorDesign
+    process: ASICProcess
+
+    @property
+    def clock_mhz(self) -> float:
+        return self.design.accel.clock_mhz * self.process.frequency_factor
+
+    @property
+    def latency_us(self) -> float:
+        """Same cycle count, faster clock."""
+        return self.design.frame_cycles / self.clock_mhz
+
+    @property
+    def fps(self) -> float:
+        return self.design.num_cus * self.clock_mhz * 1e6 / self.design.frame_cycles
+
+    @property
+    def area_mm2(self) -> float:
+        used = self.design.resources_used
+        mac_area = used.dsp * self.process.mac_area_mm2
+        sram_area = used.bram_blocks * self.process.sram_block_area_mm2
+        gates_kge = used.lut * self.process.gates_per_lut / 1000.0
+        logic_area = gates_kge * self.process.logic_area_per_kge_mm2
+        return mac_area + sram_area + logic_area
+
+    @property
+    def power_watts(self) -> float:
+        """Dynamic share scaled by the technology factor; FPGA static lapses."""
+        fpga_dynamic = (
+            self.design.power_watts - self.design.platform.static_watts
+        )
+        # Power grows with frequency; efficiency factor shrinks it.
+        return max(
+            fpga_dynamic
+            * self.process.power_factor
+            * self.process.frequency_factor,
+            0.1,
+        )
+
+    @property
+    def energy_efficiency(self) -> float:
+        return self.fps / self.power_watts
+
+    def describe(self) -> str:
+        return (
+            f"ASIC projection ({self.process.name}) of "
+            f"{self.design.spec.describe()}:\n"
+            f"  {self.area_mm2:.1f} mm^2, {self.clock_mhz:.0f} MHz, "
+            f"{self.latency_us:.2f} us/frame, {self.fps:,.0f} FPS, "
+            f"{self.power_watts:.1f} W ({self.energy_efficiency:,.0f} FPS/W)"
+        )
+
+
+def project_to_asic(
+    design: AcceleratorDesign, process: ASICProcess = TSMC28_LIKE
+) -> ASICProjection:
+    """Project a built FPGA design onto an ASIC process."""
+    return ASICProjection(design=design, process=process)

@@ -1,0 +1,139 @@
+"""BRAM storage model and the Phase-I fit check (paper Sec. VI-B, Step One).
+
+Counts the bits a block-circulant RNN needs on-chip: weight spectra (the
+pre-computed ``FFT(w_ij)`` of Sec. V-A1 — a real length-``Lb`` vector expands
+to ``Lb/2 + 1`` complex bins, i.e. ``(Lb + 2)/Lb`` more words), biases and
+peepholes, and the per-CU double buffers.  The fit check reproduces the
+paper's Step-One conclusion: for the ASR LSTM, "a block size of 4 or 8 will
+fit the whole RNN model into BRAM.  A block size 8 will be safer" — block 4
+fits the 6.6 MB Virtex-7 but not the 4.9 MB KU060 once the input/output
+share is reserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import RNNSpec
+from repro.core.compression import matrix_inventory
+from repro.errors import FitError
+from repro.hw.platform import FPGAPlatform
+
+__all__ = [
+    "StorageBreakdown",
+    "weight_storage_bits",
+    "buffer_storage_bits",
+    "storage_breakdown",
+    "fits_bram",
+    "min_block_size_for_bram",
+]
+
+#: Share of BRAM the weights may use; the rest is reserved for input/output
+#: buffers and intermediate results ("allocate certain portion of BRAM for
+#: inputs/outputs", Sec. VI-B).
+USABLE_FRACTION = 0.8
+
+#: Physical-mapping slack: partitioning weights across banks wastes a little
+#: of each 36 Kb block.
+PARTITION_OVERHEAD = 1.1
+
+
+def _spectrum_expansion(block_size: int) -> float:
+    """Storage growth from keeping weights in the FFT domain."""
+    if block_size <= 1:
+        return 1.0
+    return (block_size + 2) / block_size
+
+
+def weight_storage_bits(
+    spec: RNNSpec, bits: int, fft_domain: bool = True
+) -> float:
+    """Bits for all weight matrices (padded to whole blocks, spectra stored)."""
+    total = 0.0
+    for shape in matrix_inventory(spec):
+        params = shape.compressed_params(pad=True)
+        expansion = _spectrum_expansion(shape.block_size) if fft_domain else 1.0
+        total += params * bits * expansion
+    return total * PARTITION_OVERHEAD
+
+
+def vector_storage_bits(spec: RNNSpec, bits: int) -> float:
+    """Biases and peephole vectors (never compressed, Sec. III-A)."""
+    total = 0
+    for hidden in spec.layer_sizes:
+        if spec.cell_type == "lstm":
+            total += 4 * hidden  # b(ifco)
+            if spec.peephole:
+                total += 3 * hidden  # W_ic, W_fc, W_oc diagonals
+        else:
+            total += 3 * hidden  # b_zr (2H) + b_c̃ (H)
+    return total * bits
+
+
+def buffer_storage_bits(spec: RNNSpec, bits: int, num_cus: int = 3) -> float:
+    """Per-CU double buffers for x, y/c and intermediate gate vectors."""
+    widest = max((spec.input_size, *spec.layer_sizes))
+    per_cu = 2 * (spec.input_size + 4 * widest + 2 * widest) * bits
+    return num_cus * per_cu
+
+
+@dataclass(frozen=True)
+class StorageBreakdown:
+    """On-chip storage demand in bits, by category."""
+
+    weights: float
+    vectors: float
+    buffers: float
+
+    @property
+    def total(self) -> float:
+        return self.weights + self.vectors + self.buffers
+
+
+def storage_breakdown(
+    spec: RNNSpec, bits: int, num_cus: int = 3, fft_domain: bool = True
+) -> StorageBreakdown:
+    return StorageBreakdown(
+        weights=weight_storage_bits(spec, bits, fft_domain),
+        vectors=vector_storage_bits(spec, bits),
+        buffers=buffer_storage_bits(spec, bits, num_cus),
+    )
+
+
+def fits_bram(
+    spec: RNNSpec,
+    platform: FPGAPlatform,
+    bits: int = 12,
+    usable_fraction: float = USABLE_FRACTION,
+) -> bool:
+    """Phase-I sanity check: does the whole model fit on-chip?"""
+    demand = storage_breakdown(spec, bits).total
+    return demand <= platform.bram_bits * usable_fraction
+
+
+def min_block_size_for_bram(
+    spec: RNNSpec,
+    platform: FPGAPlatform,
+    bits: int = 12,
+    max_block: int = 256,
+    usable_fraction: float = USABLE_FRACTION,
+) -> int:
+    """Smallest power-of-two block size whose model fits BRAM (Step One).
+
+    This is the *lower bound* of the Phase-I block-size search.  Raises
+    :class:`FitError` when even ``max_block`` does not fit (the model is too
+    large for the platform at any supported compression).
+    """
+    block = 1
+    while block <= max_block:
+        if all(size % block == 0 for size in spec.layer_sizes):
+            candidate = spec.with_block_sizes(
+                tuple(block for _ in spec.layer_sizes)
+            )
+            if fits_bram(candidate, platform, bits, usable_fraction):
+                return block
+        block *= 2
+    raise FitError(
+        f"{spec.describe()} does not fit {platform.name} BRAM even at "
+        f"block size {max_block}"
+    )

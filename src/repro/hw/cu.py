@@ -1,0 +1,170 @@
+"""Compute-unit timing model: the CGPipe stage algebra of Figs. 11-12.
+
+A CU runs one input sequence; the recurrence (``y_t``/``c_t`` feeding frame
+``t+1``) serializes consecutive frames, so a CU's frame latency *is* its
+initiation interval and total FPS = ``#CU × f_clk / frame_cycles``.  This is
+exactly what Table III shows: FPS × latency ≈ 3.0-3.2 for every E-RNN and
+C-LSTM configuration — three compute units, no intra-sequence overlap.
+
+Cycle budget per frame:
+
+* **Matrix-vector stages** — every circulant block product occupies one PE
+  for ``cycles_per_block`` cycles; the CU's PEs work the ``p × q`` block grid
+  in parallel (TDM over blocks, Sec. VII-B).  FFT/IFFT decoupling adds ``q``
+  input FFTs and ``p`` output IFFTs, also spread over the PEs.
+* **Point-wise stage** — peepholes, gate combination, cell update and PWL
+  activations on a ``POINTWISE_LANES``-wide multiplier-adder block.
+* **Stage overhead** — pipeline fill/drain and double-buffer swap per CGPipe
+  stage.  The LSTM CU has three stages (Fig. 11); the GRU CU fuses its two
+  matrix stages onto the same hardware by TDM (Fig. 12, Sec. VII-C2), which
+  both removes a stage boundary and keeps the PE array saturated across the
+  ``W(rz)(xc)`` / ``W_c̃`` transition — modeled by ``GRU_TDM_SPEEDUP``
+  (calibrated once against Table III's measured GRU/LSTM latency ratio).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config import AccelSpec, RNNSpec
+from repro.core.compression import MatrixShape, matrix_inventory
+from repro.errors import ConfigError
+from repro.hw.pe import ProcessingElement
+
+__all__ = [
+    "CUTiming",
+    "ComputeUnitModel",
+    "matrix_block_grid",
+    "POINTWISE_LANES",
+    "STAGE_OVERHEAD_CYCLES",
+    "GRU_TDM_SPEEDUP",
+]
+
+#: Width of the CU's point-wise multiplier-adder block (Fig. 11, stage 2).
+POINTWISE_LANES = 128
+
+#: Pipeline fill/drain + double-buffer swap per CGPipe stage.
+STAGE_OVERHEAD_CYCLES = 40
+
+#: Throughput gain of the GRU CU's TDM-fused matrix stages over the LSTM CU's
+#: three-stage pipeline (calibrated to Table III, see module docstring).
+GRU_TDM_SPEEDUP = 1.35
+
+
+def matrix_block_grid(shape: MatrixShape) -> tuple[int, int]:
+    """(p, q) block grid of a matrix, padding partial blocks (Sec. III-A)."""
+    block = max(shape.block_size, 1)
+    return (-(-shape.rows // block), -(-shape.cols // block))
+
+
+@dataclass(frozen=True)
+class CUTiming:
+    """Per-frame cycle breakdown of one compute unit."""
+
+    matvec_cycles: float
+    fft_cycles: float
+    pointwise_cycles: float
+    overhead_cycles: float
+
+    @property
+    def frame_cycles(self) -> float:
+        return (
+            self.matvec_cycles
+            + self.fft_cycles
+            + self.pointwise_cycles
+            + self.overhead_cycles
+        )
+
+
+class ComputeUnitModel:
+    """Frame-latency model of one CU executing an :class:`RNNSpec`."""
+
+    def __init__(
+        self,
+        spec: RNNSpec,
+        accel: AccelSpec,
+        pes_per_cu: int,
+        pe_efficiency: float = 1.0,
+    ):
+        if pes_per_cu < 1:
+            raise ConfigError(f"need at least one PE per CU, got {pes_per_cu}")
+        if not 0 < pe_efficiency <= 2.0:
+            raise ConfigError(f"pe_efficiency out of range: {pe_efficiency}")
+        if not spec.is_block_circulant:
+            raise ConfigError(
+                "the CU model prices circulant PEs; dense specs are handled "
+                "by the baseline models"
+            )
+        self.spec = spec
+        self.accel = accel
+        self.pes_per_cu = pes_per_cu
+        self.pe_efficiency = pe_efficiency
+        self.matrices = matrix_inventory(spec)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_cgpipe_stages(self) -> int:
+        """LSTM: three stages (Fig. 11); GRU: matrix stages TDM-fused (Fig. 12)."""
+        return 3 if self.spec.cell_type == "lstm" else 2
+
+    @property
+    def tdm_speedup(self) -> float:
+        return GRU_TDM_SPEEDUP if self.spec.cell_type == "gru" else 1.0
+
+    # ------------------------------------------------------------------
+    def total_block_ops(self) -> int:
+        """Circulant block products per frame, all matrices."""
+        total = 0
+        for shape in self.matrices:
+            if shape.block_size <= 1:
+                raise ConfigError(f"matrix {shape.name} is dense in a circulant CU")
+            p, q = matrix_block_grid(shape)
+            total += p * q
+        return total
+
+    def matvec_pe_cycles(self) -> float:
+        """PE-cycles of all block products (before dividing across PEs)."""
+        total = 0.0
+        for shape in self.matrices:
+            pe = ProcessingElement(shape.block_size, self.accel.weight_bits)
+            p, q = matrix_block_grid(shape)
+            total += p * q * pe.cycles_per_block
+        return total
+
+    def fft_pe_cycles(self) -> float:
+        """Decoupled input FFTs (q per matrix) and output IFFTs (p per matrix)."""
+        total = 0.0
+        for shape in self.matrices:
+            p, q = matrix_block_grid(shape)
+            total += p + q
+        return total
+
+    def pointwise_ops(self) -> int:
+        """Point-wise multiplications + activation lookups per frame."""
+        total = 0
+        for hidden in self.spec.layer_sizes:
+            if self.spec.cell_type == "lstm":
+                mults = (3 * hidden if self.spec.peephole else 0) + 3 * hidden
+                activations = 5 * hidden  # σ×3 gates, tanh(c), plus σ reuse
+            else:
+                mults = 3 * hidden  # r⊙c, (1−z)⊙c, z⊙c̃
+                activations = 3 * hidden  # σ(z), σ(r), tanh(c̃)
+            total += mults + activations
+        return total
+
+    # ------------------------------------------------------------------
+    def timing(self) -> CUTiming:
+        effective_pes = self.pes_per_cu * self.pe_efficiency * self.tdm_speedup
+        matvec = self.matvec_pe_cycles() / effective_pes
+        fft = self.fft_pe_cycles() / effective_pes
+        # Wider fixed-point data proportionally narrows the point-wise block.
+        width_factor = self.accel.weight_bits / 12.0
+        pointwise = math.ceil(
+            self.pointwise_ops() * width_factor / POINTWISE_LANES
+        )
+        overhead = STAGE_OVERHEAD_CYCLES * self.num_cgpipe_stages
+        return CUTiming(matvec, fft, float(pointwise), float(overhead))
+
+    def frame_cycles(self) -> float:
+        return self.timing().frame_cycles

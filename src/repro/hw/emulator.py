@@ -1,0 +1,236 @@
+"""Functional CU emulator: inference exactly as the accelerator computes it.
+
+The training stack computes float math; the FPGA computes something else —
+pre-transformed weight spectra in BRAM, fixed-point element-wise products,
+accumulation in the frequency domain, one IFFT per output block (FFT-IFFT
+decoupling), PWL activations.  This module executes *that* computation:
+
+* weights are stored as quantized half-spectra (``rfft`` of the defining
+  vectors), the BRAM layout of Sec. V-A1;
+* each frame performs: quantize inputs → FFT per input block → spectral
+  MAC over the block grid → IFFT per output block → point-wise stage with
+  PWL σ/tanh;
+* every intermediate value is projected onto a fixed-point grid.
+
+The emulator's outputs match the float model within quantization tolerance
+(``tests/hw/test_emulator.py``), which is the end-to-end evidence that the
+hardware would compute the same PER the accuracy experiments measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import RNNSpec
+from repro.errors import ConfigError
+from repro.hw.activation import PiecewiseLinearActivation, pwl_sigmoid, pwl_tanh
+from repro.hw.fixed_point import FixedPointFormat
+from repro.nn.circulant_layer import CirculantLinear
+from repro.nn.rnn import StackedRNNClassifier
+
+__all__ = ["SpectralWeights", "CUEmulator"]
+
+
+@dataclass(frozen=True)
+class SpectralWeights:
+    """One matrix's BRAM image: quantized ``FFT(w_ij)`` half-spectra."""
+
+    spectra: np.ndarray  # (p, q, Lb//2 + 1) complex
+    block_size: int
+    out_features: int
+    in_features: int
+
+    @classmethod
+    def from_layer(
+        cls, layer: CirculantLinear, bits: int
+    ) -> "SpectralWeights":
+        """Transform and quantize a trained circulant layer's vectors."""
+        spectra = np.fft.rfft(layer.weight_vectors.data, axis=-1)
+        parts = np.concatenate([spectra.real.ravel(), spectra.imag.ravel()])
+        fmt = FixedPointFormat.fit(parts, bits)
+        quantized = fmt.quantize(spectra.real) + 1j * fmt.quantize(spectra.imag)
+        return cls(
+            spectra=quantized,
+            block_size=layer.block_size,
+            out_features=layer.out_features,
+            in_features=layer.in_features,
+        )
+
+    @property
+    def bram_bits(self) -> float:
+        """Stored bits at 12-bit words (two words per complex bin)."""
+        return 2 * self.spectra.size * 12
+
+    def matvec(self, x: np.ndarray, bits: int) -> np.ndarray:
+        """The PE pipeline: FFT → spectral MAC → IFFT, all quantized."""
+        block = self.block_size
+        padded_in = self.spectra.shape[1] * block
+        if x.shape[-1] != self.in_features:
+            raise ConfigError(
+                f"expected input width {self.in_features}, got {x.shape}"
+            )
+        batch_shape = x.shape[:-1]
+        x = x.reshape(-1, x.shape[-1])
+        if padded_in != x.shape[-1]:
+            x = np.pad(x, ((0, 0), (0, padded_in - x.shape[-1])))
+        x_fmt = FixedPointFormat.fit(x if x.size else np.ones(1), bits)
+        x_blocks = x_fmt.quantize(x).reshape(x.shape[0], -1, block)
+
+        x_spec = np.fft.rfft(x_blocks, axis=-1)
+        spec_parts = np.concatenate([x_spec.real.ravel(), x_spec.imag.ravel()])
+        spec_fmt = FixedPointFormat.fit(
+            spec_parts if spec_parts.size else np.ones(1), bits
+        )
+        x_spec = spec_fmt.quantize(x_spec.real) + 1j * spec_fmt.quantize(
+            x_spec.imag
+        )
+
+        # Spectral multiply-accumulate over the block grid (decoupled IFFT:
+        # accumulation happens in the frequency domain, Sec. V-A1).
+        acc = np.einsum("ijf,bjf->bif", self.spectra, x_spec)
+        y = np.fft.irfft(acc, n=block, axis=-1)
+        y = y.reshape(x.shape[0], -1)[:, : self.out_features]
+        y_fmt = FixedPointFormat.fit(y if y.size else np.ones(1), bits)
+        return y_fmt.quantize(y).reshape(batch_shape + (self.out_features,))
+
+
+class CUEmulator:
+    """Executes a structured LSTM/GRU stack the way the CU does.
+
+    Built from a *trained structured model*; single-layer and multi-layer
+    stacks are supported.  Limitations match the hardware: the model must be
+    block-circulant (dense layers have no BRAM spectra to load).
+    """
+
+    def __init__(
+        self,
+        model: StackedRNNClassifier,
+        weight_bits: int = 12,
+        pwl_segments: int = 16,
+    ):
+        if not model.structured:
+            raise ConfigError("the emulator needs a structured (circulant) model")
+        self.spec: RNNSpec = model.spec
+        self.bits = weight_bits
+        self.sigmoid: PiecewiseLinearActivation = pwl_sigmoid(pwl_segments)
+        self.tanh: PiecewiseLinearActivation = pwl_tanh(pwl_segments)
+
+        self._layers: list[dict] = []
+        for cell in model.cells:
+            entry: dict = {"cell_type": self.spec.cell_type}
+            for attr, layer, _role in cell.weight_layer_roles():
+                if not isinstance(layer, CirculantLinear):
+                    raise ConfigError(
+                        f"{attr} is dense; the CU stores circulant spectra only"
+                    )
+                entry[attr] = SpectralWeights.from_layer(layer, weight_bits)
+            if self.spec.cell_type == "lstm":
+                entry["bias"] = cell.bias.data.copy()
+                entry["hidden"] = cell.hidden_size
+                entry["output"] = cell.output_size
+                if self.spec.peephole:
+                    entry["peep"] = (
+                        cell.peep_ic.weight.data.copy(),
+                        cell.peep_fc.weight.data.copy(),
+                        cell.peep_oc.weight.data.copy(),
+                    )
+            else:
+                entry["bias_zr"] = cell.bias_zr.data.copy()
+                entry["bias_c"] = cell.bias_c.data.copy()
+                entry["hidden"] = cell.hidden_size
+            self._layers.append(entry)
+        self._classifier_w = model.classifier.weight.data.copy()
+        self._classifier_b = model.classifier.bias.data.copy()
+
+    # ------------------------------------------------------------------
+    def _lstm_frame(self, entry: dict, x, y_prev, c_prev):
+        hidden = entry["hidden"]
+        gates = (
+            entry["w_x"].matvec(x, self.bits)
+            + entry["w_r"].matvec(y_prev, self.bits)
+            + entry["bias"]
+        )
+        z_i = gates[..., 0 * hidden : 1 * hidden]
+        z_f = gates[..., 1 * hidden : 2 * hidden]
+        z_g = gates[..., 2 * hidden : 3 * hidden]
+        z_o = gates[..., 3 * hidden : 4 * hidden]
+        if "peep" in entry:
+            w_ic, w_fc, w_oc = entry["peep"]
+            z_i = z_i + w_ic * c_prev
+            z_f = z_f + w_fc * c_prev
+        gate_i = self.sigmoid(z_i)
+        gate_f = self.sigmoid(z_f)
+        candidate = self.tanh(z_g)
+        cell = gate_f * c_prev + candidate * gate_i
+        if "peep" in entry:
+            z_o = z_o + w_oc * cell
+        gate_o = self.sigmoid(z_o)
+        m = gate_o * self.tanh(cell)
+        if "w_ym" in entry:
+            y = entry["w_ym"].matvec(m, self.bits)
+        else:
+            y = m
+        return y, y, cell
+
+    def _gru_frame(self, entry: dict, x, c_prev):
+        hidden = entry["hidden"]
+        gates = (
+            entry["w_zr_x"].matvec(x, self.bits)
+            + entry["w_zr_c"].matvec(c_prev, self.bits)
+            + entry["bias_zr"]
+        )
+        z = self.sigmoid(gates[..., :hidden])
+        r = self.sigmoid(gates[..., hidden:])
+        candidate = self.tanh(
+            entry["w_cx"].matvec(x, self.bits)
+            + entry["w_cc"].matvec(r * c_prev, self.bits)
+            + entry["bias_c"]
+        )
+        cell = (1.0 - z) * c_prev + z * candidate
+        return cell, cell
+
+    # ------------------------------------------------------------------
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """(T, B, D) features → (T, B, C) logits, hardware-faithfully."""
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 3:
+            raise ConfigError(f"expected (T, B, D), got {inputs.shape}")
+        frames, batch, _ = inputs.shape
+        states: list = []
+        for entry in self._layers:
+            if entry["cell_type"] == "lstm":
+                states.append(
+                    (
+                        np.zeros((batch, entry["output"])),
+                        np.zeros((batch, entry["hidden"])),
+                    )
+                )
+            else:
+                states.append(np.zeros((batch, entry["hidden"])))
+        logits = np.empty((frames, batch, self._classifier_w.shape[0]))
+        for t in range(frames):
+            value = inputs[t]
+            for index, entry in enumerate(self._layers):
+                if entry["cell_type"] == "lstm":
+                    y_prev, c_prev = states[index]
+                    value, y_new, c_new = self._lstm_frame(
+                        entry, value, y_prev, c_prev
+                    )
+                    states[index] = (y_new, c_new)
+                else:
+                    value, states[index] = self._gru_frame(
+                        entry, value, states[index]
+                    )
+            logits[t] = value @ self._classifier_w.T + self._classifier_b
+        return logits
+
+    def bram_weight_bits(self) -> float:
+        """Total spectral-weight storage (cross-check for repro.hw.bram)."""
+        return sum(
+            entry[key].bram_bits
+            for entry in self._layers
+            for key in entry
+            if isinstance(entry[key], SpectralWeights)
+        )

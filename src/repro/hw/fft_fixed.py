@@ -1,0 +1,159 @@
+"""Bit-accurate fixed-point radix-2 FFT (the PE's actual datapath).
+
+The float FFT in :mod:`repro.core.circulant` computes *what* the hardware
+computes; this module computes it *how* the hardware computes it: quantized
+twiddle factors, fixed-point multiplies, and a per-stage right-shift (the
+``log2 N`` shift registers of Fig. 10) that prevents overflow at the cost of
+one LSB of noise per stage.  RNNs are "very sensitive to accumulation of
+imprecisions" (paper Sec. I); this model lets the reproduction measure that
+accumulation instead of assuming it.
+
+Used by the quantization ablation to validate the paper's 12-bit choice at
+the datapath level, not just at the weight-storage level.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import is_power_of_two
+from repro.errors import QuantizationError
+from repro.hw.fixed_point import FixedPointFormat
+
+__all__ = ["FixedPointFFT", "fixed_point_circulant_matvec"]
+
+
+@dataclass(frozen=True)
+class FixedPointFFT:
+    """Radix-2 DIT FFT of ``size`` points at ``bits``-bit fixed point.
+
+    ``twiddle_bits`` defaults to the data width.  Each butterfly stage scales
+    by 1/2 (right shift) so the result is ``FFT(x) / size``; the IFFT stage
+    compensates, matching how streaming FPGA FFTs manage dynamic range.
+    """
+
+    size: int
+    bits: int = 12
+    twiddle_bits: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.size < 2 or not is_power_of_two(self.size):
+            raise QuantizationError(f"FFT size must be a power of 2: {self.size}")
+        if not 4 <= self.bits <= 32:
+            raise QuantizationError(f"unsupported data width {self.bits}")
+
+    @property
+    def stages(self) -> int:
+        return int(math.log2(self.size))
+
+    def _twiddle_format(self) -> FixedPointFormat:
+        bits = self.twiddle_bits if self.twiddle_bits is not None else self.bits
+        # Twiddles live in [-1, 1]; give every bit beyond the sign to fraction.
+        return FixedPointFormat(bits, bits - 2)
+
+    def _twiddles(self) -> np.ndarray:
+        """Quantized W_N^k for k in [0, N/2)."""
+        k = np.arange(self.size // 2)
+        exact = np.exp(-2j * np.pi * k / self.size)
+        fmt = self._twiddle_format()
+        return fmt.quantize(exact.real) + 1j * fmt.quantize(exact.imag)
+
+    def _data_format(self, peak: float) -> FixedPointFormat:
+        return FixedPointFormat.fit(np.array([max(peak, 1e-12)]), self.bits)
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Fixed-point FFT; returns complex spectrum scaled by 1/size.
+
+        The input is quantized to the data format, then each stage performs
+        quantized butterflies followed by the overflow-preventing 1/2 scale.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[-1] != self.size:
+            raise QuantizationError(
+                f"expected last dim {self.size}, got {x.shape}"
+            )
+        fmt = self._data_format(float(np.max(np.abs(x))) if x.size else 1.0)
+        twiddles = self._twiddles()
+
+        # Bit-reversal permutation.
+        indices = np.arange(self.size)
+        reversed_indices = np.zeros(self.size, dtype=int)
+        for bit in range(self.stages):
+            reversed_indices |= ((indices >> bit) & 1) << (self.stages - 1 - bit)
+        data = fmt.quantize(x)[..., reversed_indices].astype(np.complex128)
+
+        half = 1
+        for _stage in range(self.stages):
+            stride = half * 2
+            k = np.arange(half) * (self.size // stride)
+            w = twiddles[k]
+            data = data.reshape(*data.shape[:-1], self.size // stride, stride)
+            top = data[..., :half]
+            bottom = data[..., half:] * w
+            # Quantize the product (the multiplier output register)...
+            bottom = self._requantize(bottom, fmt)
+            # ...butterfly, then the 1/2 right-shift (Fig. 10's shifters).
+            data = np.concatenate([top + bottom, top - bottom], axis=-1) * 0.5
+            data = self._requantize(data, fmt)
+            data = data.reshape(*data.shape[:-2], self.size)
+            half = stride
+        return data
+
+    def _requantize(self, values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+        return fmt.quantize(values.real) + 1j * fmt.quantize(values.imag)
+
+    # ------------------------------------------------------------------
+    def max_error_vs_float(self, trials: int = 50, seed: int = 0) -> float:
+        """Worst observed spectrum error against the float FFT (scaled)."""
+        rng = np.random.default_rng(seed)
+        worst = 0.0
+        for _ in range(trials):
+            x = rng.uniform(-1, 1, size=self.size)
+            exact = np.fft.fft(x) / self.size
+            measured = self.forward(x)
+            worst = max(worst, float(np.max(np.abs(exact - measured))))
+        return worst
+
+
+def fixed_point_circulant_matvec(
+    weight_vector: np.ndarray,
+    x: np.ndarray,
+    bits: int = 12,
+) -> np.ndarray:
+    """Circulant product through the fixed-point datapath (Eqn. 4 in HW).
+
+    ``IFFT(FFT(w) ∘ FFT(x))`` with both transforms and the element-wise
+    product quantized.  The forward FFT's 1/size scaling and the product's
+    extra 1/size cancel against the inverse transform computed as
+    ``conj(FFT(conj(·)))`` — the PE's conjugation trick (Fig. 10).
+    """
+    weight_vector = np.asarray(weight_vector, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    size = weight_vector.shape[-1]
+    fft = FixedPointFFT(size, bits)
+    w_spec = fft.forward(weight_vector)  # FFT(w)/N
+    x_spec = fft.forward(x)  # FFT(x)/N
+    product = w_spec * x_spec  # FFT(w)FFT(x)/N^2
+    product_fmt = FixedPointFormat.fit(
+        np.concatenate([np.abs(product.real).ravel(), np.abs(product.imag).ravel()]),
+        bits,
+    )
+    product = product_fmt.quantize(product.real) + 1j * product_fmt.quantize(
+        product.imag
+    )
+    # IFFT via conjugation: ifft(y) = conj(fft(conj(y)))/N; our fft already
+    # divides by N, so the result is conj(fft(conj(y))) x N^0 ... combined
+    # with the two 1/N factors above this recovers circ(w) @ x exactly.
+    inverse = np.conj(_fixed_fft_complex(np.conj(product), fft))
+    return inverse.real * size * size
+
+
+def _fixed_fft_complex(values: np.ndarray, fft: FixedPointFFT) -> np.ndarray:
+    """Apply the fixed-point FFT to complex input (real and imag datapaths)."""
+    real_part = fft.forward(values.real)
+    imag_part = fft.forward(values.imag)
+    return real_part + 1j * imag_part

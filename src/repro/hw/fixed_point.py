@@ -1,0 +1,121 @@
+"""Fixed-point number formats and quantization (paper Sec. VII-D).
+
+The paper replaces floating point with fixed-point arithmetic, choosing the
+integer/fractional split from the numerical range of inputs and trained
+weights, with "an additional static scaling factor" per layer.
+:class:`FixedPointFormat` models a signed two's-complement Q-format;
+:meth:`FixedPointFormat.fit` implements the range analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+__all__ = ["FixedPointFormat", "quantization_snr_db"]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Signed fixed point with ``total_bits`` bits, ``frac_bits`` fractional.
+
+    Representable values are ``k / 2**frac_bits`` for integer ``k`` in
+    ``[-2**(total_bits-1), 2**(total_bits-1) - 1]``.  ``frac_bits`` may
+    exceed ``total_bits`` (or be negative): that encodes the per-layer static
+    scaling factor the paper mentions — the hardware still moves
+    ``total_bits``-wide integers.
+    """
+
+    total_bits: int
+    frac_bits: int
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.total_bits <= 64:
+            raise QuantizationError(f"total_bits out of range: {self.total_bits}")
+
+    @property
+    def scale(self) -> float:
+        return float(2.0**self.frac_bits)
+
+    @property
+    def resolution(self) -> float:
+        """Spacing between adjacent representable values."""
+        return 1.0 / self.scale
+
+    @property
+    def min_int(self) -> int:
+        return -(2 ** (self.total_bits - 1))
+
+    @property
+    def max_int(self) -> int:
+        return 2 ** (self.total_bits - 1) - 1
+
+    @property
+    def min_value(self) -> float:
+        return self.min_int / self.scale
+
+    @property
+    def max_value(self) -> float:
+        return self.max_int / self.scale
+
+    # ------------------------------------------------------------------
+    def to_int(self, values: np.ndarray) -> np.ndarray:
+        """Round-to-nearest integer codes with saturation."""
+        values = np.asarray(values, dtype=np.float64)
+        codes = np.rint(values * self.scale)
+        return np.clip(codes, self.min_int, self.max_int).astype(np.int64)
+
+    def from_int(self, codes: np.ndarray) -> np.ndarray:
+        codes = np.asarray(codes)
+        if codes.size and (
+            codes.min() < self.min_int or codes.max() > self.max_int
+        ):
+            raise QuantizationError("integer codes out of format range")
+        return codes.astype(np.float64) / self.scale
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Project onto the representable grid (round-to-nearest, saturating)."""
+        return self.from_int(self.to_int(values))
+
+    def max_error(self, values: np.ndarray) -> float:
+        return float(np.max(np.abs(self.quantize(values) - np.asarray(values))))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit(cls, values: np.ndarray, total_bits: int) -> "FixedPointFormat":
+        """Choose ``frac_bits`` so the value range is covered without overflow.
+
+        This is the paper's range analysis: find the smallest integer width
+        holding ``max |x|`` and give every remaining bit to the fraction.
+        A zero array gets all-fractional precision.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise QuantizationError("cannot fit a format to an empty array")
+        peak = float(np.max(np.abs(values)))
+        if peak == 0.0:
+            return cls(total_bits, total_bits - 1)
+        # Need 2**(total_bits-1-frac) > peak  =>  frac < total-1-log2(peak).
+        frac_bits = int(np.floor(total_bits - 1 - np.log2(peak) - 1e-12))
+        fmt = cls(total_bits, frac_bits)
+        # Guard against boundary rounding pushing past max_int.
+        while np.any(np.abs(fmt.to_int(values)) > fmt.max_int):  # pragma: no cover
+            frac_bits -= 1
+            fmt = cls(total_bits, frac_bits)
+        return fmt
+
+
+def quantization_snr_db(values: np.ndarray, fmt: FixedPointFormat) -> float:
+    """Signal-to-quantization-noise ratio in dB (diagnostic)."""
+    values = np.asarray(values, dtype=np.float64)
+    noise = values - fmt.quantize(values)
+    signal_power = float(np.mean(values**2))
+    noise_power = float(np.mean(noise**2))
+    if noise_power == 0.0:
+        return float("inf")
+    if signal_power == 0.0:
+        return float("-inf")
+    return 10.0 * np.log10(signal_power / noise_power)

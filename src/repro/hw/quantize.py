@@ -1,0 +1,112 @@
+"""Model quantization pass and degradation measurement (paper Sec. VII-D).
+
+``quantized_copy`` projects every trained parameter onto a fitted fixed-point
+grid (per-parameter Q-format — the paper's "additional static scaling factor"
+per layer) and optionally swaps the exact sigmoid/tanh for the hardware's
+piecewise-linear versions, producing the model the FPGA would actually
+compute.  ``quantization_sweep`` reproduces the Sec. VII-D finding that 12
+bits costs < 0.1% PER.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.asr.pipeline import PreparedDataset, evaluate_per
+from repro.hw.activation import PiecewiseLinearActivation, pwl_sigmoid, pwl_tanh
+from repro.hw.fixed_point import FixedPointFormat
+from repro.nn.autograd import Tensor
+from repro.nn.rnn import StackedRNNClassifier
+
+__all__ = [
+    "quantize_state",
+    "quantized_copy",
+    "apply_pwl_activations",
+    "quantize_features",
+    "quantization_sweep",
+]
+
+
+def quantize_state(
+    state: dict[str, np.ndarray], bits: int
+) -> tuple[dict[str, np.ndarray], dict[str, FixedPointFormat]]:
+    """Quantize a state dict; returns new state and the per-parameter formats."""
+    quantized: dict[str, np.ndarray] = {}
+    formats: dict[str, FixedPointFormat] = {}
+    for name, values in state.items():
+        fmt = FixedPointFormat.fit(values, bits)
+        quantized[name] = fmt.quantize(values)
+        formats[name] = fmt
+    return quantized, formats
+
+
+def _tensor_wrap(pwl: PiecewiseLinearActivation):
+    """Lift a numpy PWL approximation to an inference-time Tensor op."""
+
+    def apply(tensor: Tensor) -> Tensor:
+        return Tensor(pwl(tensor.data))
+
+    return apply
+
+
+def apply_pwl_activations(
+    model: StackedRNNClassifier,
+    segments: int = 16,
+) -> StackedRNNClassifier:
+    """Swap every cell's σ/tanh for their PWL approximations (in place).
+
+    Inference-only: the wrapped ops do not build gradient graphs.  Returns
+    the model for chaining.
+    """
+    sigmoid = _tensor_wrap(pwl_sigmoid(segments))
+    tanh = _tensor_wrap(pwl_tanh(segments))
+    for cell in model.cells:
+        cell.sigmoid_fn = sigmoid
+        cell.tanh_fn = tanh
+    return model
+
+
+def quantized_copy(
+    model: StackedRNNClassifier,
+    weight_bits: int,
+    pwl_segments: int | None = None,
+) -> StackedRNNClassifier:
+    """Fixed-point copy of a trained model (weights, optionally activations)."""
+    copy = StackedRNNClassifier(
+        model.spec, structured=model.structured, rng=np.random.default_rng(0)
+    )
+    quantized, _ = quantize_state(model.state_dict(), weight_bits)
+    copy.load_state_dict(quantized)
+    if pwl_segments is not None:
+        apply_pwl_activations(copy, pwl_segments)
+    return copy
+
+
+def quantize_features(features: np.ndarray, bits: int) -> np.ndarray:
+    """Quantize an input feature matrix (the paper quantizes inputs too)."""
+    fmt = FixedPointFormat.fit(features, bits)
+    return fmt.quantize(features)
+
+
+def quantized_dataset(dataset: PreparedDataset, bits: int) -> PreparedDataset:
+    """Dataset copy with fixed-point input features."""
+    return PreparedDataset(
+        features=[quantize_features(f, bits) for f in dataset.features],
+        frame_labels=dataset.frame_labels,
+        phone_sequences=dataset.phone_sequences,
+        phone_set=dataset.phone_set,
+    )
+
+
+def quantization_sweep(
+    model: StackedRNNClassifier,
+    dataset: PreparedDataset,
+    bits_list: tuple[int, ...] = (16, 14, 12, 10, 8, 6),
+    pwl_segments: int | None = 16,
+) -> dict[int, float]:
+    """PER at each candidate bit width (weights + inputs + PWL activations)."""
+    results: dict[int, float] = {}
+    for bits in bits_list:
+        quantized = quantized_copy(model, bits, pwl_segments)
+        results[bits] = evaluate_per(quantized, quantized_dataset(dataset, bits))
+    return results

@@ -1,0 +1,91 @@
+"""Implementation reports: the columns of the paper's Table III.
+
+:class:`ImplementationReport` carries everything one Table III column holds;
+:func:`format_table` renders a list of reports as the table the benchmark
+prints next to the paper's published values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ImplementationReport", "format_table"]
+
+
+@dataclass(frozen=True)
+class ImplementationReport:
+    """One accelerator configuration's results (one Table III column)."""
+
+    label: str
+    cell: str
+    platform: str
+    quant_bits: int
+    params_top_layer_m: float
+    compression_ratio: float
+    utilization: dict[str, float]
+    latency_us: float
+    fps: float
+    power_watts: float | None
+    per_degradation: float | None = None
+    notes: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def energy_efficiency(self) -> float | None:
+        if self.power_watts is None or self.power_watts <= 0:
+            return None
+        return self.fps / self.power_watts
+
+
+_ROWS = (
+    ("RNN cell", lambda r: r.cell),
+    ("Platform", lambda r: r.platform),
+    ("Quantization", lambda r: f"{r.quant_bits}bit fixed"),
+    ("Params top layer (M)", lambda r: f"{r.params_top_layer_m:.2f}"),
+    ("Compression ratio", lambda r: f"{r.compression_ratio:.1f}:1"),
+    ("DSP (%)", lambda r: f"{100 * r.utilization.get('dsp', 0):.1f}"),
+    ("BRAM (%)", lambda r: f"{100 * r.utilization.get('bram', 0):.1f}"),
+    ("LUT (%)", lambda r: f"{100 * r.utilization.get('lut', 0):.1f}"),
+    ("FF (%)", lambda r: f"{100 * r.utilization.get('ff', 0):.1f}"),
+    (
+        "PER degradation (%)",
+        lambda r: "-" if r.per_degradation is None else f"{r.per_degradation:.2f}",
+    ),
+    ("Latency (us)", lambda r: f"{r.latency_us:.1f}"),
+    ("FPS", lambda r: f"{r.fps:,.0f}"),
+    (
+        "Power (W)",
+        lambda r: "-" if r.power_watts is None else f"{r.power_watts:.0f}",
+    ),
+    (
+        "Energy eff. (FPS/W)",
+        lambda r: (
+            "-"
+            if r.energy_efficiency is None
+            else f"{r.energy_efficiency:,.0f}"
+        ),
+    ),
+)
+
+
+def format_table(reports: list[ImplementationReport], title: str = "") -> str:
+    """Render reports side by side, Table III style (configs as columns)."""
+    if not reports:
+        return "(no reports)"
+    header = [""] + [r.label for r in reports]
+    rows = [[name] + [extract(r) for r in reports] for name, extract in _ROWS]
+    widths = [
+        max(len(str(line[col])) for line in [header] + rows)
+        for col in range(len(header))
+    ]
+
+    def render(line: list[str]) -> str:
+        return " | ".join(str(cell).rjust(w) for cell, w in zip(line, widths))
+
+    separator = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render(header))
+    lines.append(separator)
+    lines.extend(render(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,502 @@
+"""A small reverse-mode automatic differentiation engine over numpy.
+
+The paper trains its RNNs with stochastic gradient descent (plus the ADMM
+proximal term, Sec. III-B).  No deep-learning framework is available in this
+environment, so this module provides the substrate: a :class:`Tensor` wrapping
+a numpy array, a dynamic computation graph, and exact gradients for every
+operation the LSTM/GRU cells and the block-circulant layers need.
+
+Design choices:
+
+* float64 everywhere — RNNs are "very sensitive to accumulation of
+  imprecisions" (paper Sec. I); quantization effects are studied separately
+  and deliberately in :mod:`repro.hw.fixed_point`.
+* Broadcasting follows numpy; gradients are un-broadcast by summing over the
+  expanded axes.
+* The block-circulant product (paper Eqn. 4) is a first-class primitive with
+  an FFT-based forward *and* backward, so training a circulant layer costs
+  ``O(n log n)`` like inference does.
+
+Gradients are verified against central finite differences in
+``tests/nn/test_autograd.py`` (see :func:`gradcheck`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections.abc import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "as_tensor",
+    "concat",
+    "block_circulant_matvec",
+    "gradcheck",
+]
+
+_grad_enabled = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction (inference mode)."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+def is_grad_enabled() -> bool:
+    return _grad_enabled
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum away prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum axes that were broadcast from size 1.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with an optional gradient and a backward closure."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _grad_enabled
+        self.grad: np.ndarray | None = None
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Graph plumbing
+    # ------------------------------------------------------------------
+    @classmethod
+    def _from_op(
+        cls,
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        out = cls(data)
+        if _grad_enabled and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        ``grad`` defaults to 1 for scalar outputs (the common loss case).
+        """
+        if not self.requires_grad:
+            raise ShapeError("called backward() on a tensor that requires no grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise ShapeError(
+                    "backward() without an explicit gradient requires a scalar "
+                    f"output, got shape {self.data.shape}"
+                )
+            grad = np.ones_like(self.data)
+
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in seen:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+                # Free the closure so intermediate graphs are collectable.
+                node._backward = None
+                node._parents = ()
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data.copy())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def item(self) -> float:
+        return float(self.data.reshape(()))
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}{grad_flag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(grad)
+
+        return Tensor._from_op(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return Tensor._from_op(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * other.data)
+            if other.requires_grad:
+                other._accumulate(grad * self.data)
+
+        return Tensor._from_op(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / other.data)
+            if other.requires_grad:
+                other._accumulate(-grad * self.data / (other.data**2))
+
+        return Tensor._from_op(self.data / other.data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise ShapeError("only scalar exponents are supported")
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._from_op(self.data**exponent, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self.data, other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if b.ndim == 1:
+                    self._accumulate(np.outer(grad, b) if a.ndim == 2 else grad * b)
+                else:
+                    self._accumulate(grad @ np.swapaxes(b, -1, -2))
+            if other.requires_grad:
+                if a.ndim == 1:
+                    other._accumulate(np.outer(a, grad) if b.ndim == 2 else a * grad)
+                else:
+                    other._accumulate(np.swapaxes(a, -1, -2) @ grad)
+
+        return Tensor._from_op(a @ b, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return Tensor._from_op(np.log(self.data), (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - out_data**2))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        # Numerically stable logistic function.
+        out_data = np.where(
+            self.data >= 0,
+            1.0 / (1.0 + np.exp(-np.clip(self.data, 0, None))),
+            np.exp(np.clip(self.data, None, 0))
+            / (1.0 + np.exp(np.clip(self.data, None, 0))),
+        )
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return Tensor._from_op(self.data * mask, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions and shape ops
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            expanded = grad
+            if axis is not None and not keepdims:
+                expanded = np.expand_dims(grad, axis)
+            self._accumulate(np.broadcast_to(expanded, self.data.shape))
+
+        return Tensor._from_op(
+            self.data.sum(axis=axis, keepdims=keepdims), (self,), backward
+        )
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(original))
+
+        return Tensor._from_op(self.data.reshape(shape), (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.transpose(inverse))
+
+        return Tensor._from_op(self.data.transpose(axes), (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return Tensor._from_op(self.data[index], (self,), backward)
+
+    def clip_norm(self, max_norm: float) -> "Tensor":
+        """Differentiable-through-identity gradient clipping is *not* what this
+        does — it rescales the value; used only on detached gradient arrays."""
+        norm = float(np.linalg.norm(self.data))
+        if norm <= max_norm or norm == 0.0:
+            return self
+        return self * (max_norm / norm)
+
+
+def as_tensor(value) -> Tensor:
+    """Wrap numpy arrays / scalars into a non-grad :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=np.float64))
+
+
+def concat(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with exact gradient routing."""
+    tensors = [as_tensor(t) for t in tensors]
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(slicer)])
+
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    return Tensor._from_op(data, tensors, backward)
+
+
+def block_circulant_matvec(weights: Tensor, inputs: Tensor) -> Tensor:
+    """Multiply a block-circulant matrix by a batch of vectors (paper Eqn. 4).
+
+    ``weights`` holds the block-defining vectors with shape ``(p, q, Lb)``;
+    ``inputs`` has shape ``(batch, q * Lb)``.  The result has shape
+    ``(batch, p * Lb)`` and equals ``x @ W.T`` for the dense block-circulant
+    matrix ``W`` whose block ``(i, j)`` is the circulant matrix with first
+    *column* ``weights[i, j]`` (the convention under which the paper's
+    ``IFFT(FFT(w) ∘ FFT(x))`` identity holds exactly).
+
+    Both forward and backward run through real FFTs, so training cost matches
+    the paper's ``O(pq Lb log Lb)`` inference complexity.  The backward pass
+    uses the adjoint identities:
+
+    * ``dX = IFFT(conj(FFT(w)) ∘ FFT(dY))``  (transposed circulant = correlation)
+    * ``dw = IFFT(conj(FFT(x)) ∘ FFT(dY))``
+    """
+    weights = as_tensor(weights)
+    inputs = as_tensor(inputs)
+    if weights.ndim != 3:
+        raise ShapeError(f"weights must be (p, q, Lb), got {weights.shape}")
+    p, q, block = weights.shape
+    squeeze = inputs.ndim == 1
+    x = inputs.data.reshape(1, -1) if squeeze else inputs.data
+    if x.ndim != 2 or x.shape[1] != q * block:
+        raise ShapeError(
+            f"inputs must be (batch, {q * block}) for weights {weights.shape}, "
+            f"got {inputs.shape}"
+        )
+    batch = x.shape[0]
+    x_blocks = x.reshape(batch, q, block)
+
+    weights_f = np.fft.rfft(weights.data, axis=-1)  # (p, q, F)
+    x_f = np.fft.rfft(x_blocks, axis=-1)  # (batch, q, F)
+    y_f = np.einsum("ijf,bjf->bif", weights_f, x_f)
+    y = np.fft.irfft(y_f, n=block, axis=-1).reshape(batch, p * block)
+    if squeeze:
+        y = y.reshape(p * block)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_blocks = grad.reshape(batch, p, block)
+        grad_f = np.fft.rfft(grad_blocks, axis=-1)
+        if inputs.requires_grad:
+            dx_f = np.einsum("ijf,bif->bjf", np.conj(weights_f), grad_f)
+            dx = np.fft.irfft(dx_f, n=block, axis=-1).reshape(batch, q * block)
+            inputs._accumulate(dx.reshape(inputs.shape))
+        if weights.requires_grad:
+            dw_f = np.einsum("bjf,bif->ijf", np.conj(x_f), grad_f)
+            dw = np.fft.irfft(dw_f, n=block, axis=-1)
+            weights._accumulate(dw)
+
+    return Tensor._from_op(y, (weights, inputs), backward)
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-5,
+    atol: float = 1e-6,
+    rtol: float = 1e-4,
+) -> bool:
+    """Compare analytic gradients of ``fn(*inputs).sum()`` to central differences.
+
+    Raises ``AssertionError`` with a diagnostic on mismatch; returns True on
+    success so it can be asserted directly in tests.
+    """
+    for tensor in inputs:
+        tensor.zero_grad()
+    output = fn(*inputs)
+    output.sum().backward()
+    analytic = [
+        None if t.grad is None else t.grad.copy() for t in inputs
+    ]
+
+    for index, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        numeric = np.zeros_like(tensor.data)
+        flat = tensor.data.reshape(-1)
+        numeric_flat = numeric.reshape(-1)
+        for k in range(flat.size):
+            original = flat[k]
+            flat[k] = original + eps
+            with no_grad():
+                plus = float(fn(*inputs).sum().item())
+            flat[k] = original - eps
+            with no_grad():
+                minus = float(fn(*inputs).sum().item())
+            flat[k] = original
+            numeric_flat[k] = (plus - minus) / (2 * eps)
+        got = analytic[index]
+        if got is None:
+            raise AssertionError(f"input {index} received no gradient")
+        if not np.allclose(got, numeric, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(got - numeric))
+            raise AssertionError(
+                f"gradient mismatch on input {index}: max abs err {worst:.3e}"
+            )
+    return True

@@ -1,0 +1,148 @@
+"""Block-circulant linear layer: trains only the block-defining vectors.
+
+This is the layer type that the paper's training "directly trains ... in the
+block-circulant format by training only one vector for each block" (Sec.
+III-A, last paragraph).  C-LSTM trains these layers from scratch; E-RNN
+instead ADMM-projects a dense model and then *converts* it to this layer via
+:meth:`CirculantLinear.from_dense`.
+
+Dimensions that are not multiples of the block size are zero-padded, matching
+how an FPGA implementation would pad the input feature vector to the FFT size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import validate_block_size
+from repro.errors import ShapeError
+from repro.nn.autograd import Tensor, block_circulant_matvec
+from repro.nn.init import zeros
+from repro.nn.module import Module, Parameter
+
+
+def _padded(dim: int, block_size: int) -> int:
+    return ((dim + block_size - 1) // block_size) * block_size
+
+
+class CirculantLinear(Module):
+    """Affine map whose weight matrix is block-circulant (paper Sec. III-A).
+
+    The trainable parameter is ``weight_vectors`` of shape ``(p, q, Lb)``:
+    one length-``Lb`` vector per block, giving the ``Lb×`` storage reduction
+    of Fig. 1.  Block ``(i, j)`` of the dense equivalent is the circulant
+    matrix with first *column* ``weight_vectors[i, j]``, the convention under
+    which ``Wx = IFFT(FFT(w) ∘ FFT(x))`` (Eqn. 4) holds exactly.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        block_size: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        validate_block_size(block_size)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.block_size = block_size
+        self.padded_in = _padded(in_features, block_size)
+        self.padded_out = _padded(out_features, block_size)
+        self.num_block_rows = self.padded_out // block_size
+        self.num_block_cols = self.padded_in // block_size
+        # Per-block vectors; scaled so the dense equivalent has Xavier-like
+        # variance (each output sums q blocks of Lb inputs).
+        bound = np.sqrt(6.0 / (self.padded_in + self.padded_out))
+        self.weight_vectors = Parameter(
+            rng.uniform(
+                -bound,
+                bound,
+                size=(self.num_block_rows, self.num_block_cols, block_size),
+            )
+        )
+        self.bias = Parameter(zeros((out_features,))) if bias else None
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ShapeError(
+                f"CirculantLinear expected last dim {self.in_features}, "
+                f"got {x.shape}"
+            )
+        if self.padded_in != self.in_features:
+            pad_width = self.padded_in - self.in_features
+            batch_shape = x.shape[:-1]
+            pad = Tensor(np.zeros(batch_shape + (pad_width,)))
+            from repro.nn.autograd import concat
+
+            x = concat([x, pad], axis=-1)
+        out = block_circulant_matvec(self.weight_vectors, x)
+        if self.padded_out != self.out_features:
+            out = out[..., : self.out_features]
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def weight_matrix(self) -> np.ndarray:
+        """Materialize the dense (out, in) weight matrix (testing/accounting)."""
+        block = self.block_size
+        dense = np.zeros((self.padded_out, self.padded_in))
+        shifts = np.arange(block)
+        # Column k of a circulant block with first column w is roll(w, k).
+        for i in range(self.num_block_rows):
+            for j in range(self.num_block_cols):
+                vector = self.weight_vectors.data[i, j]
+                block_matrix = vector[(shifts[:, None] - shifts[None, :]) % block]
+                dense[
+                    i * block : (i + 1) * block, j * block : (j + 1) * block
+                ] = block_matrix
+        return dense[: self.out_features, : self.in_features]
+
+    @classmethod
+    def from_dense(
+        cls,
+        weight: np.ndarray,
+        block_size: int,
+        bias: np.ndarray | None = None,
+    ) -> "CirculantLinear":
+        """Build a circulant layer from a dense weight by Euclidean projection.
+
+        This is the conversion step at the end of ADMM training (Fig. 6):
+        once ``W ≈ Z`` the dense weights are replaced by their exact
+        block-circulant projection, and only the defining vectors are kept.
+        """
+        from repro.core.projection import project_to_block_circulant_vectors
+
+        weight = np.asarray(weight, dtype=np.float64)
+        if weight.ndim != 2:
+            raise ShapeError(f"dense weight must be 2-D, got {weight.shape}")
+        out_features, in_features = weight.shape
+        layer = cls(in_features, out_features, block_size, bias=bias is not None)
+        layer.weight_vectors.data = project_to_block_circulant_vectors(
+            weight, block_size
+        )
+        if bias is not None:
+            bias = np.asarray(bias, dtype=np.float64)
+            if bias.shape != (out_features,):
+                raise ShapeError(f"bias shape {bias.shape} != ({out_features},)")
+            layer.bias.data = bias.copy()
+        return layer
+
+    def compression_ratio(self) -> float:
+        """Dense parameter count over circulant parameter count (≈ Lb)."""
+        dense = self.in_features * self.out_features
+        return dense / self.weight_vectors.size
+
+    def __repr__(self) -> str:
+        return (
+            f"CirculantLinear({self.in_features}, {self.out_features}, "
+            f"block={self.block_size})"
+        )

@@ -1,0 +1,107 @@
+"""Batching utilities for variable-length sequences.
+
+Utterances have unequal frame counts; a batch pads them to the longest
+sequence and carries a mask so the loss and the PER computation ignore
+padding.  Length-bucketed iteration keeps padding waste low, the same way
+production ASR training pipelines batch utterances.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["SequenceBatch", "pad_batch", "iterate_batches"]
+
+
+@dataclass(frozen=True)
+class SequenceBatch:
+    """A padded minibatch: features (T, B, D), labels (T, B), mask (T, B)."""
+
+    features: np.ndarray
+    labels: np.ndarray
+    mask: np.ndarray
+    lengths: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.features.ndim != 3:
+            raise ShapeError(f"features must be (T, B, D), got {self.features.shape}")
+        if self.labels.shape != self.features.shape[:2]:
+            raise ShapeError(
+                f"labels {self.labels.shape} != features frame grid "
+                f"{self.features.shape[:2]}"
+            )
+        if self.mask.shape != self.labels.shape:
+            raise ShapeError(f"mask shape {self.mask.shape} != {self.labels.shape}")
+
+    @property
+    def batch_size(self) -> int:
+        return self.features.shape[1]
+
+    @property
+    def max_length(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def num_frames(self) -> int:
+        return int(sum(self.lengths))
+
+
+def pad_batch(
+    features: Sequence[np.ndarray], labels: Sequence[np.ndarray]
+) -> SequenceBatch:
+    """Pad per-utterance (T_i, D) features and (T_i,) labels to one batch."""
+    if len(features) != len(labels) or not features:
+        raise ShapeError("features and labels must be equal-length, non-empty")
+    lengths = []
+    feature_dim = features[0].shape[1]
+    for feat, lab in zip(features, labels):
+        if feat.ndim != 2 or feat.shape[1] != feature_dim:
+            raise ShapeError(f"inconsistent feature shape {feat.shape}")
+        if lab.shape != (feat.shape[0],):
+            raise ShapeError(
+                f"labels {lab.shape} do not match features {feat.shape}"
+            )
+        lengths.append(feat.shape[0])
+
+    max_len, batch = max(lengths), len(features)
+    padded_features = np.zeros((max_len, batch, feature_dim))
+    padded_labels = np.zeros((max_len, batch), dtype=np.int64)
+    mask = np.zeros((max_len, batch))
+    for b, (feat, lab, length) in enumerate(zip(features, labels, lengths)):
+        padded_features[:length, b] = feat
+        padded_labels[:length, b] = lab
+        mask[:length, b] = 1.0
+    return SequenceBatch(padded_features, padded_labels, mask, tuple(lengths))
+
+
+def iterate_batches(
+    features: Sequence[np.ndarray],
+    labels: Sequence[np.ndarray],
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+    bucket_by_length: bool = True,
+) -> Iterator[SequenceBatch]:
+    """Yield shuffled, optionally length-bucketed minibatches."""
+    if batch_size < 1:
+        raise ShapeError("batch_size must be at least 1")
+    order = np.arange(len(features))
+    if rng is not None:
+        rng.shuffle(order)
+    if bucket_by_length:
+        order = np.array(sorted(order, key=lambda i: features[i].shape[0]))
+        # Shuffle whole buckets so epochs differ while padding stays low.
+        starts = np.arange(0, len(order), batch_size)
+        if rng is not None:
+            rng.shuffle(starts)
+    else:
+        starts = np.arange(0, len(order), batch_size)
+    for start in starts:
+        chosen = order[start : start + batch_size]
+        yield pad_batch(
+            [features[i] for i in chosen], [labels[i] for i in chosen]
+        )

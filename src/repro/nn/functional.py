@@ -1,0 +1,67 @@
+"""Stateless neural-network functions built on the autograd primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.autograd import Tensor, as_tensor
+
+__all__ = [
+    "sigmoid",
+    "tanh",
+    "relu",
+    "softmax",
+    "log_softmax",
+    "one_hot",
+]
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic activation σ (paper Eqns. 1-2)."""
+    return as_tensor(x).sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent, the paper's choice for the ``h`` activation."""
+    return as_tensor(x).tanh()
+
+
+def relu(x: Tensor) -> Tensor:
+    return as_tensor(x).relu()
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax as a single autograd primitive.
+
+    Composing ``log(softmax(x))`` out of elementary ops is unstable for the
+    large negative logits RNN classifiers produce; instead this implements the
+    standard closed-form gradient ``dL/dx = g - softmax(x) * sum(g)``.
+    """
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_z
+    softmax_data = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad - softmax_data * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._from_op(out_data, (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return log_softmax(x, axis=axis).exp()
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Dense one-hot encoding of an integer label array (not differentiable)."""
+    labels = np.asarray(labels)
+    if labels.min(initial=0) < 0 or labels.max(initial=0) >= num_classes:
+        raise ShapeError(
+            f"labels out of range [0, {num_classes}): "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    encoded = np.zeros(labels.shape + (num_classes,), dtype=np.float64)
+    np.put_along_axis(encoded, labels[..., None], 1.0, axis=-1)
+    return encoded

@@ -1,0 +1,45 @@
+"""Weight initializers for the RNN substrate.
+
+All initializers take an explicit ``numpy.random.Generator`` so every
+experiment in the reproduction is deterministic end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "orthogonal", "uniform", "zeros"]
+
+
+def xavier_uniform(
+    rng: np.random.Generator, shape: tuple[int, ...], gain: float = 1.0
+) -> np.ndarray:
+    """Glorot/Xavier uniform init; fan computed from the trailing two dims."""
+    if len(shape) >= 2:
+        fan_in, fan_out = shape[-1], shape[-2]
+    else:
+        fan_in = fan_out = shape[0]
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def orthogonal(
+    rng: np.random.Generator, shape: tuple[int, int], gain: float = 1.0
+) -> np.ndarray:
+    """Orthogonal init for recurrent matrices (mitigates gradient explosion)."""
+    rows, cols = shape
+    size = max(rows, cols)
+    matrix = rng.standard_normal((size, size))
+    q, r = np.linalg.qr(matrix)
+    q *= np.sign(np.diag(r))
+    return gain * q[:rows, :cols]
+
+
+def uniform(
+    rng: np.random.Generator, shape: tuple[int, ...], bound: float
+) -> np.ndarray:
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)

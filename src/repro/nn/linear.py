@@ -1,0 +1,71 @@
+"""Dense and diagonal linear layers.
+
+:class:`Linear` is the unstructured baseline the paper compresses;
+:class:`DiagonalLinear` implements the peephole connections of Eqn. (1),
+which the paper notes "are diagonal matrices ... thus essentially a vector"
+whose product reduces to a point-wise multiplication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.autograd import Tensor
+from repro.nn.init import xavier_uniform, zeros
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W.T + b`` with weight shape ``(out, in)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(xavier_uniform(rng, (out_features, in_features)))
+        self.bias = Parameter(zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ShapeError(
+                f"Linear expected last dim {self.in_features}, got {x.shape}"
+            )
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def weight_matrix(self) -> np.ndarray:
+        """Dense weight as a numpy array (for projection / accounting)."""
+        return self.weight.data
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class DiagonalLinear(Module):
+    """Point-wise multiplication by a trainable vector (peephole weights)."""
+
+    def __init__(self, features: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.features = features
+        self.weight = Parameter(rng.uniform(-0.1, 0.1, size=(features,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.features:
+            raise ShapeError(
+                f"DiagonalLinear expected last dim {self.features}, got {x.shape}"
+            )
+        return x * self.weight
+
+    def __repr__(self) -> str:
+        return f"DiagonalLinear({self.features})"

@@ -1,0 +1,65 @@
+"""Losses: masked framewise cross-entropy for sequence classification.
+
+The paper's acoustic model is trained framewise (each 10 ms frame carries a
+phone label); utterances in a batch have unequal lengths, so the loss masks
+padded frames out of both the sum and the normalizer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.autograd import Tensor, as_tensor
+from repro.nn.functional import log_softmax, one_hot
+
+__all__ = ["cross_entropy", "sequence_cross_entropy", "frame_accuracy"]
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy over the leading axes; labels are integer classes."""
+    logits = as_tensor(logits)
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape != logits.shape[:-1]:
+        raise ShapeError(
+            f"labels shape {labels.shape} incompatible with logits {logits.shape}"
+        )
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs * one_hot(labels, logits.shape[-1])
+    return -picked.sum() * (1.0 / labels.size)
+
+
+def sequence_cross_entropy(
+    logits: Tensor, labels: np.ndarray, mask: np.ndarray
+) -> Tensor:
+    """Masked framewise cross-entropy.
+
+    ``logits`` is ``(T, B, C)``, ``labels`` ``(T, B)`` int, ``mask`` ``(T, B)``
+    with 1 for real frames and 0 for padding.  Padded label entries may hold
+    any valid class index; they receive zero weight.
+    """
+    logits = as_tensor(logits)
+    labels = np.asarray(labels, dtype=np.int64)
+    mask = np.asarray(mask, dtype=np.float64)
+    if labels.shape != logits.shape[:-1] or mask.shape != labels.shape:
+        raise ShapeError(
+            f"shapes disagree: logits {logits.shape}, labels {labels.shape}, "
+            f"mask {mask.shape}"
+        )
+    total = float(mask.sum())
+    if total == 0:
+        raise ShapeError("mask selects no frames")
+    log_probs = log_softmax(logits, axis=-1)
+    picked = (log_probs * one_hot(labels, logits.shape[-1])).sum(axis=-1)
+    return -(picked * Tensor(mask)).sum() * (1.0 / total)
+
+
+def frame_accuracy(logits: Tensor, labels: np.ndarray, mask: np.ndarray) -> float:
+    """Fraction of unmasked frames whose argmax matches the label."""
+    logits = as_tensor(logits)
+    labels = np.asarray(labels, dtype=np.int64)
+    mask = np.asarray(mask, dtype=bool)
+    predictions = logits.data.argmax(axis=-1)
+    if not mask.any():
+        return 0.0
+    return float((predictions[mask] == labels[mask]).mean())

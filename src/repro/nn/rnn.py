@@ -1,0 +1,192 @@
+"""Stacked RNN classifier: the acoustic-model architecture of Tables I-II.
+
+``StackedRNNClassifier`` stacks LSTM or GRU layers per an :class:`RNNSpec`
+and adds a dense softmax head that emits framewise phone posteriors.  It is
+the single model class used by the dense baselines, by C-LSTM-style direct
+circulant training (``structured=True``), and by the ADMM flow (train dense,
+project, convert with :func:`convert_to_circulant`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import RNNSpec
+from repro.errors import ConfigError, ShapeError
+from repro.nn.autograd import Tensor, as_tensor
+from repro.nn.gru import GRUCell
+from repro.nn.linear import Linear
+from repro.nn.lstm import LSTMCell
+from repro.nn.module import Module, Parameter
+
+__all__ = ["StackedRNNClassifier", "StructuredTarget", "convert_to_circulant"]
+
+
+@dataclass(frozen=True)
+class StructuredTarget:
+    """A dense parameter that ADMM should drive into block-circulant form."""
+
+    name: str
+    parameter: Parameter
+    block_size: int
+    role: str
+
+
+def _role_block_size(spec: RNNSpec, layer_index: int, role: str) -> int:
+    """Phase-I rule: io matrices may use the coarser ``io_block_size``."""
+    base = spec.effective_block_sizes[layer_index]
+    if role in ("input", "output") and spec.io_block_size is not None:
+        return spec.io_block_size
+    return base
+
+
+class StackedRNNClassifier(Module):
+    """Multi-layer LSTM/GRU with a framewise softmax head.
+
+    Parameters
+    ----------
+    spec:
+        Model specification.  When ``structured`` is True, every large matrix
+        is built as a :class:`CirculantLinear` with the spec's block sizes
+        (the C-LSTM training style); when False the matrices are dense and the
+        block sizes are only *targets* recorded for ADMM.
+    """
+
+    def __init__(
+        self,
+        spec: RNNSpec,
+        structured: bool = False,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.spec = spec
+        self.structured = structured
+
+        cells: list[Module] = []
+        in_size = spec.input_size
+        for layer_index, hidden in enumerate(spec.layer_sizes):
+            block = (
+                _role_block_size(spec, layer_index, "recurrent")
+                if structured
+                else 1
+            )
+            input_block = (
+                _role_block_size(spec, layer_index, "input") if structured else 1
+            )
+            if spec.cell_type == "lstm":
+                cell = LSTMCell(
+                    in_size,
+                    hidden,
+                    peephole=spec.peephole,
+                    projection_size=spec.projection_size,
+                    block_size=block,
+                    input_block_size=input_block,
+                    rng=rng,
+                )
+            else:
+                cell = GRUCell(
+                    in_size,
+                    hidden,
+                    block_size=block,
+                    input_block_size=input_block,
+                    rng=rng,
+                )
+            setattr(self, f"cell{layer_index}", cell)
+            cells.append(cell)
+            in_size = cell.output_size
+        self.cells = cells
+        self.classifier = Linear(in_size, spec.output_size, rng=rng)
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, inputs) -> Tensor:
+        """Map ``(T, B, D)`` features to ``(T, B, C)`` logits."""
+        inputs = as_tensor(inputs)
+        if inputs.ndim != 3:
+            raise ShapeError(f"expected (T, B, D) inputs, got {inputs.shape}")
+        seq_len, batch, _ = inputs.shape
+
+        states = [cell.initial_state(batch) for cell in self.cells]
+        step_logits: list[Tensor] = []
+        for t in range(seq_len):
+            value = inputs[t]
+            for index, cell in enumerate(self.cells):
+                value, states[index] = cell(value, states[index])
+            step_logits.append(self.classifier(value).reshape(1, batch, -1))
+
+        from repro.nn.autograd import concat
+
+        return concat(step_logits, axis=0)
+
+    # ------------------------------------------------------------------
+    # ADMM integration
+    # ------------------------------------------------------------------
+    def structured_targets(self) -> list[StructuredTarget]:
+        """Dense parameters + target block sizes for the ADMM trainer.
+
+        Only meaningful on a dense model (``structured=False``) whose spec
+        carries non-trivial block sizes: those are the matrices the paper
+        drives into circulant form.  Targets with block size 1 are skipped.
+        """
+        if self.structured:
+            raise ConfigError(
+                "structured_targets() applies to dense models being ADMM-trained"
+            )
+        targets: list[StructuredTarget] = []
+        for layer_index, cell in enumerate(self.cells):
+            for attr, layer, role in cell.weight_layer_roles():
+                block = _role_block_size(self.spec, layer_index, role)
+                if block <= 1:
+                    continue
+                targets.append(
+                    StructuredTarget(
+                        name=f"cell{layer_index}.{attr}.weight",
+                        parameter=layer.weight,
+                        block_size=block,
+                        role=role,
+                    )
+                )
+        return targets
+
+    def output_dim(self) -> int:
+        return self.spec.output_size
+
+
+def convert_to_circulant(
+    model: StackedRNNClassifier,
+    rng: np.random.Generator | None = None,
+) -> StackedRNNClassifier:
+    """Convert an ADMM-trained dense model into a structured one.
+
+    Every targeted dense matrix is replaced by its exact block-circulant
+    Euclidean projection; after ADMM convergence ``W ≈ Z`` so the projection
+    is a no-op up to the ADMM tolerance.  Non-targeted parameters (biases,
+    peepholes, classifier head) are copied verbatim.
+    """
+    from repro.core.projection import project_to_block_circulant_vectors
+
+    structured = StackedRNNClassifier(model.spec, structured=True, rng=rng)
+
+    dense_params = dict(model.named_parameters())
+    structured_params = dict(structured.named_parameters())
+    target_names = {t.name for t in model.structured_targets()}
+
+    for name, param in structured_params.items():
+        if name.endswith(".weight_vectors"):
+            dense_name = name.replace(".weight_vectors", ".weight")
+            if dense_name not in target_names:
+                raise ConfigError(
+                    f"structured layer {name} has no dense counterpart target"
+                )
+            dense_weight = dense_params[dense_name].data
+            block = param.data.shape[-1]
+            param.data = project_to_block_circulant_vectors(dense_weight, block)
+        elif name in dense_params:
+            param.data = dense_params[name].data.copy()
+        else:
+            raise ConfigError(f"unexpected structured parameter {name}")
+    return structured

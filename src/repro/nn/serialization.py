@@ -1,0 +1,87 @@
+"""Model checkpointing: save/load a StackedRNNClassifier with its spec.
+
+A checkpoint is a single ``.npz`` holding every parameter plus a JSON-encoded
+:class:`RNNSpec`, so a model can be rebuilt without any out-of-band
+information — the property a deployment flow (Phase II, code generation)
+needs from a training flow (Phase I).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import RNNSpec
+from repro.errors import ShapeError
+from repro.nn.rnn import StackedRNNClassifier
+
+__all__ = ["save_model", "load_model", "spec_to_dict", "spec_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def spec_to_dict(spec: RNNSpec) -> dict:
+    """JSON-safe encoding of an RNNSpec."""
+    return {
+        "cell_type": spec.cell_type,
+        "input_size": spec.input_size,
+        "layer_sizes": list(spec.layer_sizes),
+        "output_size": spec.output_size,
+        "block_sizes": list(spec.block_sizes),
+        "peephole": spec.peephole,
+        "projection_size": spec.projection_size,
+        "io_block_size": spec.io_block_size,
+    }
+
+
+def spec_from_dict(payload: dict) -> RNNSpec:
+    return RNNSpec(
+        cell_type=payload["cell_type"],
+        input_size=payload["input_size"],
+        layer_sizes=tuple(payload["layer_sizes"]),
+        output_size=payload["output_size"],
+        block_sizes=tuple(payload["block_sizes"]),
+        peephole=payload["peephole"],
+        projection_size=payload["projection_size"],
+        io_block_size=payload["io_block_size"],
+    )
+
+
+def save_model(model: StackedRNNClassifier, path: Path | str) -> None:
+    """Write parameters + spec + structured flag to a ``.npz`` checkpoint."""
+    header = json.dumps(
+        {
+            "version": _FORMAT_VERSION,
+            "spec": spec_to_dict(model.spec),
+            "structured": model.structured,
+        }
+    )
+    arrays = {f"param/{name}": data for name, data in model.state_dict().items()}
+    np.savez(Path(path), __header__=np.array(header), **arrays)
+
+
+def load_model(path: Path | str) -> StackedRNNClassifier:
+    """Rebuild a model from a checkpoint written by :func:`save_model`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        if "__header__" not in archive:
+            raise ShapeError(f"{path} is not a repro checkpoint")
+        header = json.loads(str(archive["__header__"]))
+        if header.get("version") != _FORMAT_VERSION:
+            raise ShapeError(
+                f"unsupported checkpoint version {header.get('version')}"
+            )
+        spec = spec_from_dict(header["spec"])
+        model = StackedRNNClassifier(
+            spec,
+            structured=header["structured"],
+            rng=np.random.default_rng(0),
+        )
+        state = {
+            name[len("param/"):]: archive[name]
+            for name in archive.files
+            if name.startswith("param/")
+        }
+    model.load_state_dict(state)
+    return model

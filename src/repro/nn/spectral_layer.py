@@ -1,0 +1,182 @@
+"""FFT-domain circulant layer: the authentic C-LSTM parametrization.
+
+C-LSTM [24] trains block-circulant LSTMs *in the frequency domain*: the
+trainable parameters are the block spectra ``FFT(w_ij)`` themselves, which
+is also exactly what the FPGA stores in BRAM.  This layer implements that
+parametrization — real and imaginary half-spectrum banks with the Hermitian
+edge bins (DC and Nyquist) pinned real — so the reproduction can train the
+same object the hardware consumes, with no transform at deployment time.
+
+Mathematically this is a linear reparametrization of
+:class:`repro.nn.circulant_layer.CirculantLinear` (the rfft is a bijection),
+so the function class is identical; what differs is the optimizer geometry —
+which is the point of comparing the two training styles.
+
+The custom autograd op uses the adjoint identities (with ``F = Lb/2 + 1``
+stored bins, middle bins carrying weight 2 because each represents a
+conjugate pair):
+
+* ``dS = d ∘ rfft(g) ∘ conj(rfft(x))`` with ``d = 1/Lb`` at the edges and
+  ``2/Lb`` in the middle;
+* ``dx = irfft(rfft(g) ∘ conj(S))`` — identical to the time-domain layer's
+  backward, as it must be.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import validate_block_size
+from repro.errors import ShapeError
+from repro.nn.autograd import Tensor
+from repro.nn.circulant_layer import CirculantLinear, _padded
+from repro.nn.init import zeros
+from repro.nn.module import Module, Parameter
+
+__all__ = ["SpectralCirculantLinear"]
+
+
+def _bin_weights(block_size: int) -> np.ndarray:
+    """Per-bin real-degree-of-freedom weights: 1 at DC/Nyquist, 2 between."""
+    bins = block_size // 2 + 1
+    weights = np.full(bins, 2.0)
+    weights[0] = 1.0
+    if block_size % 2 == 0:
+        weights[-1] = 1.0
+    return weights
+
+
+class SpectralCirculantLinear(Module):
+    """Block-circulant affine map trained directly on the block spectra."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        block_size: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        validate_block_size(block_size)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.block_size = block_size
+        self.padded_in = _padded(in_features, block_size)
+        self.padded_out = _padded(out_features, block_size)
+        p = self.padded_out // block_size
+        q = self.padded_in // block_size
+        self.num_block_rows = p
+        self.num_block_cols = q
+
+        # Initialize from Xavier-scaled time-domain vectors so the induced
+        # dense matrix matches CirculantLinear's starting distribution.
+        bound = np.sqrt(6.0 / (self.padded_in + self.padded_out))
+        vectors = rng.uniform(-bound, bound, size=(p, q, block_size))
+        spectra = np.fft.rfft(vectors, axis=-1)
+        self.spec_re = Parameter(spectra.real.copy())
+        self.spec_im = Parameter(spectra.imag.copy())
+        self.bias = Parameter(zeros((out_features,))) if bias else None
+        self._edge_mask = np.ones(block_size // 2 + 1)
+        self._edge_mask[0] = 0.0
+        if block_size % 2 == 0:
+            self._edge_mask[-1] = 0.0
+
+    # ------------------------------------------------------------------
+    def _spectra(self) -> np.ndarray:
+        """Complex spectra with Hermitian edge bins pinned real."""
+        return self.spec_re.data + 1j * (self.spec_im.data * self._edge_mask)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ShapeError(
+                f"SpectralCirculantLinear expected last dim "
+                f"{self.in_features}, got {x.shape}"
+            )
+        block = self.block_size
+        spec_re, spec_im = self.spec_re, self.spec_im
+        edge_mask = self._edge_mask
+        weights_f = self._spectra()
+
+        squeeze = x.ndim == 1
+        data = x.data.reshape(1, -1) if squeeze else x.data
+        batch = data.shape[0]
+        if self.padded_in != self.in_features:
+            data = np.pad(data, ((0, 0), (0, self.padded_in - self.in_features)))
+        x_blocks = data.reshape(batch, self.num_block_cols, block)
+        x_f = np.fft.rfft(x_blocks, axis=-1)
+        y_f = np.einsum("ijf,bjf->bif", weights_f, x_f)
+        y = np.fft.irfft(y_f, n=block, axis=-1).reshape(batch, self.padded_out)
+        y = y[:, : self.out_features]
+        if squeeze:
+            y = y.reshape(-1)
+
+        bin_weight = _bin_weights(block) / block
+
+        def backward(grad: np.ndarray) -> None:
+            g = grad.reshape(batch, -1)
+            if self.padded_out != self.out_features:
+                g = np.pad(
+                    g, ((0, 0), (0, self.padded_out - self.out_features))
+                )
+            g_blocks = g.reshape(batch, self.num_block_rows, block)
+            g_f = np.fft.rfft(g_blocks, axis=-1)
+            if spec_re.requires_grad or spec_im.requires_grad:
+                # dS = d ∘ Σ_b rfft(g) conj(rfft(x))
+                ds = np.einsum("bif,bjf->ijf", g_f, np.conj(x_f)) * bin_weight
+                if spec_re.requires_grad:
+                    spec_re._accumulate(ds.real)
+                if spec_im.requires_grad:
+                    spec_im._accumulate(ds.imag * edge_mask)
+            if x.requires_grad:
+                dx_f = np.einsum("ijf,bif->bjf", np.conj(weights_f), g_f)
+                dx = np.fft.irfft(dx_f, n=block, axis=-1).reshape(
+                    batch, self.padded_in
+                )[:, : self.in_features]
+                x._accumulate(dx.reshape(x.shape))
+
+        out = Tensor._from_op(y, (spec_re, spec_im, x), backward)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_circulant(cls, layer: CirculantLinear) -> "SpectralCirculantLinear":
+        """Reparametrize a time-domain circulant layer (exact)."""
+        spectral = cls(
+            layer.in_features,
+            layer.out_features,
+            layer.block_size,
+            bias=layer.bias is not None,
+        )
+        spectra = np.fft.rfft(layer.weight_vectors.data, axis=-1)
+        spectral.spec_re.data = spectra.real.copy()
+        spectral.spec_im.data = spectra.imag.copy()
+        if layer.bias is not None:
+            spectral.bias.data = layer.bias.data.copy()
+        return spectral
+
+    def to_circulant(self) -> CirculantLinear:
+        """Transform back to the time-domain parametrization (exact)."""
+        layer = CirculantLinear(
+            self.in_features,
+            self.out_features,
+            self.block_size,
+            bias=self.bias is not None,
+        )
+        layer.weight_vectors.data = np.fft.irfft(
+            self._spectra(), n=self.block_size, axis=-1
+        )
+        if self.bias is not None:
+            layer.bias.data = self.bias.data.copy()
+        return layer
+
+    def __repr__(self) -> str:
+        return (
+            f"SpectralCirculantLinear({self.in_features}, {self.out_features}, "
+            f"block={self.block_size})"
+        )

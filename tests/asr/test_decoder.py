@@ -1,0 +1,96 @@
+"""Framewise decoder: smoothing, collapsing, silence handling."""
+
+import numpy as np
+import pytest
+
+from repro.asr.decoder import FrameDecoder, collapse_repeats, decode_frames, median_smooth
+from repro.asr.phones import SILENCE, PhoneSet
+from repro.errors import DecodingError
+
+
+@pytest.fixture
+def phones():
+    return PhoneSet.folded().subset(5)
+
+
+class TestCollapse:
+    def test_collapses_runs(self):
+        assert collapse_repeats([1, 1, 2, 2, 2, 1]) == [1, 2, 1]
+
+    def test_empty(self):
+        assert collapse_repeats([]) == []
+
+    def test_single(self):
+        assert collapse_repeats([3]) == [3]
+
+
+class TestMedianSmooth:
+    def test_removes_single_frame_blips(self):
+        labels = np.array([1, 1, 2, 1, 1])
+        assert np.array_equal(median_smooth(labels, 3), [1, 1, 1, 1, 1])
+
+    def test_keeps_real_transitions(self):
+        labels = np.array([1, 1, 1, 2, 2, 2])
+        assert np.array_equal(median_smooth(labels, 3), labels)
+
+    def test_width_one_is_identity(self):
+        labels = np.array([1, 2, 3])
+        assert np.array_equal(median_smooth(labels, 1), labels)
+
+    def test_rejects_even_width(self):
+        with pytest.raises(DecodingError):
+            median_smooth(np.array([1, 2]), 2)
+
+
+class TestDecodeFrames:
+    def test_basic_decode(self, phones):
+        sil = phones.silence_index
+        labels = np.array([sil] * 4 + [0] * 6 + [1] * 6 + [sil] * 4)
+        decoded = decode_frames(labels, phones)
+        assert decoded == [phones.label(0), phones.label(1)]
+
+    def test_silence_kept_when_requested(self, phones):
+        sil = phones.silence_index
+        labels = np.array([sil] * 4 + [0] * 6 + [sil] * 4)
+        decoded = decode_frames(labels, phones, remove_silence=False)
+        assert decoded == [SILENCE, phones.label(0), SILENCE]
+
+    def test_rejects_2d(self, phones):
+        with pytest.raises(DecodingError):
+            decode_frames(np.zeros((2, 3), dtype=int), phones)
+
+
+class TestFrameDecoder:
+    def test_decode_utterance_from_logits(self, phones):
+        logits = np.full((12, len(phones)), -10.0)
+        logits[:6, 0] = 10.0
+        logits[6:, 2] = 10.0
+        decoder = FrameDecoder(phones, smooth_width=1)
+        assert decoder.decode_utterance(logits) == [
+            phones.label(0), phones.label(2),
+        ]
+
+    def test_length_truncation(self, phones):
+        logits = np.full((10, len(phones)), -10.0)
+        logits[:, 1] = 10.0
+        logits[8:, 3] = 20.0
+        decoder = FrameDecoder(phones, smooth_width=1)
+        assert decoder.decode_utterance(logits, length=8) == [phones.label(1)]
+
+    def test_decode_batch_shapes(self, phones):
+        decoder = FrameDecoder(phones, smooth_width=1)
+        logits = np.zeros((6, 2, len(phones)))
+        out = decoder.decode_batch(logits, (6, 3))
+        assert len(out) == 2
+        with pytest.raises(DecodingError):
+            decoder.decode_batch(logits, (6,))
+
+    def test_reference_strips_silence(self, phones):
+        decoder = FrameDecoder(phones)
+        ref = decoder.reference([SILENCE, "aa", SILENCE])
+        assert ref == ["aa"]
+
+    def test_rejects_bad_logit_shapes(self, phones):
+        decoder = FrameDecoder(phones)
+        with pytest.raises(DecodingError):
+            decoder.decode_utterance(np.zeros(5))

@@ -1,0 +1,117 @@
+"""Feature extraction front end."""
+
+import numpy as np
+import pytest
+
+from repro.asr.features import (
+    FeatureConfig,
+    FeatureExtractor,
+    frame_signal,
+    mel_filterbank,
+)
+from repro.errors import ConfigError, ShapeError
+
+
+class TestConfig:
+    def test_defaults_give_paper_dim_with_51_filters(self):
+        config = FeatureConfig(num_filters=51, add_deltas=True)
+        assert config.feature_dim == 153  # the ESE workload's input size
+
+    def test_frame_hop_lengths(self):
+        config = FeatureConfig(sample_rate=16000)
+        assert config.frame_length == 400
+        assert config.hop_length == 160
+        assert config.fft_size == 512
+
+    def test_rejects_bad_hop(self):
+        with pytest.raises(ConfigError):
+            FeatureConfig(frame_ms=10.0, hop_ms=20.0)
+
+    def test_rejects_bad_mel_range(self):
+        with pytest.raises(ConfigError):
+            FeatureConfig(low_freq=9000.0, sample_rate=16000)
+
+
+class TestFraming:
+    def test_frame_count(self):
+        frames = frame_signal(np.zeros(1000), 400, 160)
+        assert frames.shape == (4, 400)
+
+    def test_short_signal_padded(self):
+        frames = frame_signal(np.ones(100), 400, 160)
+        assert frames.shape == (1, 400)
+        assert frames[0, :100].sum() == 100
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            frame_signal(np.zeros((10, 10)), 4, 2)
+
+    def test_frames_overlap_correctly(self, rng):
+        signal = rng.standard_normal(1000)
+        frames = frame_signal(signal, 400, 160)
+        assert np.array_equal(frames[1], signal[160:560])
+
+
+class TestMelFilterbank:
+    def test_shape(self):
+        bank = mel_filterbank(13, 512, 16000)
+        assert bank.shape == (13, 257)
+
+    def test_filters_are_triangular_and_positive(self):
+        bank = mel_filterbank(10, 512, 16000)
+        assert np.all(bank >= 0)
+        assert np.all(bank <= 1.0 + 1e-12)
+        # Every filter must have support.
+        assert np.all(bank.sum(axis=1) > 0)
+
+    def test_center_frequencies_increase(self):
+        bank = mel_filterbank(10, 512, 16000)
+        centers = bank.argmax(axis=1)
+        assert np.all(np.diff(centers) > 0)
+
+
+class TestExtractor:
+    def test_feature_shape(self, micro_corpus, micro_extractor):
+        features = micro_extractor(micro_corpus.train[0].waveform)
+        assert features.ndim == 2
+        assert features.shape[1] == micro_extractor.config.feature_dim
+
+    def test_normalization_statistics(self, micro_corpus, micro_extractor):
+        stacked = np.concatenate(
+            [micro_extractor(u.waveform) for u in micro_corpus.train]
+        )
+        assert np.abs(stacked.mean(axis=0)).max() < 0.2
+        assert np.abs(stacked.std(axis=0) - 1.0).max() < 0.2
+
+    def test_deltas_triple_dimension(self, micro_corpus):
+        base = FeatureExtractor(
+            FeatureConfig(sample_rate=8000, num_filters=8, add_deltas=False)
+        )
+        with_deltas = FeatureExtractor(
+            FeatureConfig(sample_rate=8000, num_filters=8, add_deltas=True)
+        )
+        waveform = micro_corpus.train[0].waveform
+        assert (
+            with_deltas.raw_features(waveform).shape[1]
+            == 3 * base.raw_features(waveform).shape[1]
+        )
+
+    def test_delta_of_constant_is_zero(self):
+        constant = np.ones((20, 4))
+        assert np.allclose(FeatureExtractor._delta(constant), 0.0)
+
+    def test_frame_labels_align_with_features(
+        self, micro_corpus, micro_extractor, micro_phones
+    ):
+        utterance = micro_corpus.train[0]
+        features = micro_extractor.raw_features(utterance.waveform)
+        labels = micro_extractor.frame_labels(utterance, micro_phones)
+        assert abs(features.shape[0] - labels.shape[0]) <= 1
+
+    def test_frame_labels_majority_vote(self, micro_corpus, micro_extractor, micro_phones):
+        utterance = micro_corpus.train[0]
+        labels = micro_extractor.frame_labels(utterance, micro_phones)
+        # The label sequence must visit every phone in the utterance.
+        expected = {micro_phones.index(p) for p in utterance.phone_sequence()}
+        assert set(labels.tolist()) <= set(range(len(micro_phones)))
+        assert len(set(labels.tolist()) & expected) >= len(expected) // 2

@@ -1,0 +1,87 @@
+"""Edit-distance metrics: exact values and metric axioms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asr.metrics import EditOps, corpus_error_rate, error_rate, levenshtein
+from repro.errors import ShapeError
+
+tokens = st.lists(st.sampled_from("abcd"), max_size=8)
+
+
+class TestLevenshtein:
+    def test_identity(self):
+        ops = levenshtein(["a", "b"], ["a", "b"])
+        assert ops.distance == 0
+        assert ops.rate == 0.0
+
+    def test_single_substitution(self):
+        ops = levenshtein(["a", "b", "c"], ["a", "x", "c"])
+        assert (ops.substitutions, ops.insertions, ops.deletions) == (1, 0, 0)
+
+    def test_single_insertion(self):
+        ops = levenshtein(["a", "c"], ["a", "b", "c"])
+        assert (ops.substitutions, ops.insertions, ops.deletions) == (0, 1, 0)
+
+    def test_single_deletion(self):
+        ops = levenshtein(["a", "b", "c"], ["a", "c"])
+        assert (ops.substitutions, ops.insertions, ops.deletions) == (0, 0, 1)
+
+    def test_kitten_sitting(self):
+        assert levenshtein("kitten", "sitting").distance == 3
+
+    def test_empty_reference(self):
+        ops = levenshtein([], ["a", "b"])
+        assert ops.distance == 2
+        assert ops.rate == 100.0
+
+    def test_empty_both(self):
+        ops = levenshtein([], [])
+        assert ops.distance == 0
+        assert ops.rate == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=tokens, b=tokens)
+    def test_property_symmetry_of_distance(self, a, b):
+        assert levenshtein(a, b).distance == levenshtein(b, a).distance
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=tokens, b=tokens, c=tokens)
+    def test_property_triangle_inequality(self, a, b, c):
+        ab = levenshtein(a, b).distance
+        bc = levenshtein(b, c).distance
+        ac = levenshtein(a, c).distance
+        assert ac <= ab + bc
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=tokens, b=tokens)
+    def test_property_ops_sum_to_distance(self, a, b):
+        ops = levenshtein(a, b)
+        assert ops.substitutions + ops.insertions + ops.deletions == ops.distance
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=tokens, b=tokens)
+    def test_property_length_difference_lower_bound(self, a, b):
+        assert levenshtein(a, b).distance >= abs(len(a) - len(b))
+
+
+class TestErrorRates:
+    def test_error_rate_percent(self):
+        assert error_rate(["a", "b"], ["a", "x"]) == pytest.approx(50.0)
+
+    def test_corpus_rate_weights_by_length(self):
+        references = [["a"] * 9, ["b"]]
+        hypotheses = [["a"] * 9, ["x"]]
+        # 1 error over 10 reference tokens = 10%, not mean(0%, 100%) = 50%.
+        assert corpus_error_rate(references, hypotheses) == pytest.approx(10.0)
+
+    def test_corpus_rate_validates_lengths(self):
+        with pytest.raises(ShapeError):
+            corpus_error_rate([["a"]], [])
+        with pytest.raises(ShapeError):
+            corpus_error_rate([], [])
+
+    def test_edit_ops_rate_guard(self):
+        assert EditOps(0, 0, 0, 0).rate == 0.0
+        assert EditOps(1, 0, 0, 0).rate == 100.0

@@ -1,0 +1,91 @@
+"""Phone inventories and the 61->39 folding."""
+
+import pytest
+
+from repro.asr.phones import (
+    FOLD_61_TO_39,
+    PHONES_39,
+    PHONES_61,
+    SILENCE,
+    PhoneSet,
+    fold_phone,
+)
+from repro.errors import ConfigError
+
+
+class TestInventories:
+    def test_sizes(self):
+        assert len(PHONES_61) == 61
+        assert len(PHONES_39) == 39
+
+    def test_no_duplicates(self):
+        assert len(set(PHONES_61)) == 61
+        assert len(set(PHONES_39)) == 39
+
+    def test_every_61_phone_folds_into_39(self):
+        for phone in PHONES_61:
+            assert fold_phone(phone) in PHONES_39
+
+    def test_fold_map_targets_are_39(self):
+        for target in FOLD_61_TO_39.values():
+            assert target in PHONES_39
+
+    def test_closures_fold_to_silence(self):
+        for closure in ("bcl", "dcl", "gcl", "pcl", "tcl", "kcl", "h#", "pau"):
+            assert fold_phone(closure) == SILENCE
+
+    def test_classic_foldings(self):
+        assert fold_phone("ao") == "aa"
+        assert fold_phone("zh") == "sh"
+        assert fold_phone("ix") == "ih"
+        assert fold_phone("el") == "l"
+
+    def test_identity_for_39_phones(self):
+        assert fold_phone("aa") == "aa"
+
+    def test_unknown_phone_rejected(self):
+        with pytest.raises(ConfigError):
+            fold_phone("xx")
+
+
+class TestPhoneSet:
+    def test_folded_set(self):
+        phones = PhoneSet.folded()
+        assert len(phones) == 39
+        assert SILENCE in phones
+
+    def test_encode_decode_round_trip(self):
+        phones = PhoneSet.folded()
+        sequence = ["aa", "b", SILENCE, "iy"]
+        assert phones.decode(phones.encode(sequence)) == sequence
+
+    def test_subset_keeps_silence(self):
+        subset = PhoneSet.folded().subset(5)
+        assert len(subset) == 5
+        assert SILENCE in subset
+
+    def test_subset_bounds(self):
+        with pytest.raises(ConfigError):
+            PhoneSet.folded().subset(1)
+        with pytest.raises(ConfigError):
+            PhoneSet.folded().subset(40)
+
+    def test_requires_silence(self):
+        with pytest.raises(ConfigError):
+            PhoneSet(("aa", "b"))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigError):
+            PhoneSet(("aa", "aa", SILENCE))
+
+    def test_index_label_inverse(self):
+        phones = PhoneSet.folded()
+        for i in range(len(phones)):
+            assert phones.index(phones.label(i)) == i
+
+    def test_unknown_lookups_rejected(self):
+        phones = PhoneSet.folded()
+        with pytest.raises(ConfigError):
+            phones.index("nope")
+        with pytest.raises(ConfigError):
+            phones.label(99)

@@ -1,0 +1,118 @@
+"""Synthetic TIMIT corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.asr.phones import SILENCE, PhoneSet
+from repro.asr.timit import CorpusConfig, PhoneSegment, SyntheticTIMIT, Utterance
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticTIMIT(
+        CorpusConfig(
+            phone_set=PhoneSet.folded().subset(10),
+            num_speakers=4,
+            utterances_per_speaker=3,
+            test_speakers=1,
+            sample_rate=8000,
+            phones_per_utterance=(3, 5),
+            seed=42,
+        )
+    )
+
+
+class TestConfig:
+    def test_rejects_too_many_test_speakers(self):
+        with pytest.raises(ConfigError):
+            CorpusConfig(num_speakers=2, test_speakers=2)
+
+    def test_rejects_bad_phone_range(self):
+        with pytest.raises(ConfigError):
+            CorpusConfig(phones_per_utterance=(5, 3))
+
+    def test_rejects_low_sample_rate(self):
+        with pytest.raises(ConfigError):
+            CorpusConfig(sample_rate=1000)
+
+
+class TestSegments:
+    def test_segment_validation(self):
+        with pytest.raises(ConfigError):
+            PhoneSegment("aa", 10, 10)
+        with pytest.raises(ConfigError):
+            PhoneSegment("aa", -1, 5)
+
+
+class TestCorpus:
+    def test_split_sizes(self, corpus):
+        assert len(corpus.train) == 9
+        assert len(corpus.test) == 3
+
+    def test_speaker_disjoint_splits(self, corpus):
+        train_speakers = {u.speaker_id for u in corpus.train}
+        test_speakers = {u.speaker_id for u in corpus.test}
+        assert not train_speakers & test_speakers
+
+    def test_deterministic_given_seed(self):
+        config = CorpusConfig(
+            phone_set=PhoneSet.folded().subset(6),
+            num_speakers=3,
+            utterances_per_speaker=2,
+            test_speakers=1,
+            sample_rate=8000,
+            seed=7,
+        )
+        a, b = SyntheticTIMIT(config), SyntheticTIMIT(config)
+        assert np.array_equal(a.train[0].waveform, b.train[0].waveform)
+        assert a.train[0].phone_sequence() == b.train[0].phone_sequence()
+
+    def test_utterances_bracketed_by_silence(self, corpus):
+        for utterance in corpus.train:
+            phones = utterance.phone_sequence()
+            assert phones[0] == SILENCE and phones[-1] == SILENCE
+
+    def test_no_adjacent_repeats_between_silences(self, corpus):
+        for utterance in corpus.train:
+            phones = utterance.phone_sequence()
+            for a, b in zip(phones, phones[1:]):
+                assert a != b
+
+    def test_segments_tile_the_waveform(self, corpus):
+        for utterance in corpus.train:
+            cursor = 0
+            for segment in utterance.segments:
+                assert segment.start == cursor
+                cursor = segment.end
+            assert cursor == len(utterance.waveform)
+
+    def test_sample_labels_cover_everything(self, corpus):
+        utterance = corpus.train[0]
+        labels = utterance.sample_labels(corpus.phone_set)
+        assert labels.shape == utterance.waveform.shape
+        assert labels.min() >= 0
+        assert labels.max() < len(corpus.phone_set)
+
+    def test_waveform_amplitude_sane(self, corpus):
+        for utterance in corpus.train:
+            peak = np.max(np.abs(utterance.waveform))
+            assert 0.01 < peak < 10.0
+
+    def test_phones_are_acoustically_distinct(self, corpus):
+        """Mean power must differ between silence and vowel segments."""
+        utterance = corpus.train[0]
+        powers = {}
+        for segment in utterance.segments:
+            power = float(
+                np.mean(utterance.waveform[segment.start : segment.end] ** 2)
+            )
+            powers.setdefault(segment.phone, []).append(power)
+        silence_power = np.mean(powers[SILENCE])
+        others = [np.mean(v) for k, v in powers.items() if k != SILENCE]
+        assert all(p > 2 * silence_power for p in others)
+
+    def test_collapse_silence_option(self, corpus):
+        utterance = corpus.train[0]
+        collapsed = utterance.phone_sequence(collapse_silence=True)
+        assert SILENCE not in collapsed

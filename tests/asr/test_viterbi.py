@@ -1,0 +1,148 @@
+"""Bigram Viterbi decoder."""
+
+import numpy as np
+import pytest
+
+from repro.asr.decoder import FrameDecoder
+from repro.asr.phones import PhoneSet
+from repro.asr.viterbi import BigramTransitionModel, ViterbiDecoder
+from repro.errors import DecodingError
+
+
+@pytest.fixture
+def phones():
+    return PhoneSet.folded().subset(5)
+
+
+def fitted_model(phones, sequences=None):
+    model = BigramTransitionModel(len(phones))
+    if sequences is None:
+        # Sticky sequences: phones persist ~6 frames.
+        sequences = [
+            np.repeat(np.array([0, 1, 2, 3]), 6),
+            np.repeat(np.array([2, 0, 4, 1]), 6),
+        ]
+    return model.fit(sequences)
+
+
+class TestTransitionModel:
+    def test_rows_normalize(self, phones):
+        model = fitted_model(phones)
+        probs = np.exp(model.log_transitions)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_self_loops_dominate_after_sticky_fit(self, phones):
+        model = fitted_model(phones)
+        assert model.self_loop_mass() > 0.4
+
+    def test_label_range_checked(self, phones):
+        model = BigramTransitionModel(len(phones))
+        with pytest.raises(DecodingError):
+            model.fit([np.array([99])])
+
+    def test_needs_sequences(self, phones):
+        with pytest.raises(DecodingError):
+            BigramTransitionModel(len(phones)).fit([])
+
+    def test_validation(self):
+        with pytest.raises(DecodingError):
+            BigramTransitionModel(1)
+        with pytest.raises(DecodingError):
+            BigramTransitionModel(5, smoothing=0)
+
+
+class TestViterbiDecoder:
+    def test_clean_posteriors_recovered(self, phones):
+        decoder = ViterbiDecoder(phones, fitted_model(phones))
+        logits = np.full((12, len(phones)), -5.0)
+        logits[:6, 0] = 5.0
+        logits[6:, 1] = 5.0
+        assert decoder.decode_utterance(logits) == [
+            phones.label(0), phones.label(1),
+        ]
+
+    def test_smooths_single_frame_blips(self, phones):
+        """A 1-frame acoustic blip should be absorbed by the sticky prior."""
+        decoder = ViterbiDecoder(
+            phones, fitted_model(phones), acoustic_scale=0.4
+        )
+        logits = np.full((12, len(phones)), -2.0)
+        logits[:, 0] = 2.0
+        logits[5, 0] = -2.0
+        logits[5, 3] = 2.5  # the blip
+        assert decoder.decode_utterance(logits) == [phones.label(0)]
+
+    def test_argmax_recovers_with_huge_acoustic_scale(self, phones):
+        decoder = ViterbiDecoder(
+            phones, fitted_model(phones), acoustic_scale=100.0,
+            remove_silence=False,
+        )
+        rng = np.random.default_rng(3)
+        logits = rng.standard_normal((20, len(phones)))
+        path = decoder.decode_frames(
+            logits - np.log(np.exp(logits).sum(-1, keepdims=True))
+        )
+        # With overwhelming acoustic weight, Viterbi ≈ framewise argmax.
+        agreement = (path == logits.argmax(-1)).mean()
+        assert agreement > 0.8
+
+    def test_mismatched_sizes_rejected(self, phones):
+        other = BigramTransitionModel(3)
+        with pytest.raises(DecodingError):
+            ViterbiDecoder(phones, other)
+
+    def test_decode_batch(self, phones):
+        decoder = ViterbiDecoder(phones, fitted_model(phones))
+        logits = np.zeros((8, 2, len(phones)))
+        out = decoder.decode_batch(logits, (8, 4))
+        assert len(out) == 2
+
+    def test_empty_input(self, phones):
+        decoder = ViterbiDecoder(phones, fitted_model(phones))
+        assert decoder.decode_utterance(np.zeros((0, len(phones)))) == []
+
+
+class TestEndToEndImprovement:
+    def test_viterbi_not_worse_than_argmax(self, micro_datasets, micro_spec):
+        """On real model outputs, bigram Viterbi should match or beat the
+        framewise argmax decoder.
+
+        Trains its own copy of the micro model so the comparison cannot be
+        perturbed by other tests sharing the session fixture.
+        """
+        import numpy as np
+
+        from repro.asr.decoder import collapse_repeats
+        from repro.asr.metrics import corpus_error_rate
+        from repro.asr.pipeline import TrainConfig, train_model
+        from repro.nn.autograd import no_grad
+        from repro.nn.rnn import StackedRNNClassifier
+
+        train, test = micro_datasets
+        model = StackedRNNClassifier(micro_spec, rng=np.random.default_rng(5))
+        train_model(
+            model, train,
+            TrainConfig(epochs=4, batch_size=4, learning_rate=5e-3, seed=5),
+        )
+        transitions = BigramTransitionModel(len(train.phone_set)).fit(
+            train.frame_labels
+        )
+        viterbi = ViterbiDecoder(
+            test.phone_set, transitions, acoustic_scale=3.0
+        )
+        argmax = FrameDecoder(test.phone_set)
+
+        refs, viterbi_hyps, argmax_hyps = [], [], []
+        with no_grad():
+            for features, labels in zip(test.features, test.frame_labels):
+                logits = model(features[:, None, :]).data[:, 0, :]
+                viterbi_hyps.append(viterbi.decode_utterance(logits))
+                argmax_hyps.append(argmax.decode_utterance(logits))
+                refs.append(
+                    argmax.reference(
+                        test.phone_set.decode(collapse_repeats(list(labels)))
+                    )
+                )
+        viterbi_per = corpus_error_rate(refs, viterbi_hyps)
+        argmax_per = corpus_error_rate(refs, argmax_hyps)
+        assert viterbi_per <= argmax_per + 8.0  # never materially worse

@@ -1,0 +1,100 @@
+"""ESE and C-LSTM baseline models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.clstm import build_clstm_model, clstm_accelerator
+from repro.baselines.ese import ESEAcceleratorModel, ESEConfig, ese_prune_schedule
+from repro.config import RNNSpec
+from repro.errors import ConfigError
+
+
+def dense_workload():
+    return RNNSpec(
+        "lstm", 153, (1024,), 39, peephole=True, projection_size=512
+    )
+
+
+class TestESEConfig:
+    def test_sparsity(self):
+        assert ESEConfig(prune_ratio=9.0).sparsity == pytest.approx(8 / 9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ESEConfig(prune_ratio=0.5)
+        with pytest.raises(ConfigError):
+            ESEConfig(load_balance=0.0)
+
+    def test_prune_schedule_monotone_to_target(self):
+        schedule = ese_prune_schedule(8 / 9, stages=3)
+        assert len(schedule) == 3
+        assert all(a < b for a, b in zip(schedule, schedule[1:]))
+        assert schedule[-1] == pytest.approx(8 / 9)
+
+    def test_prune_schedule_validation(self):
+        with pytest.raises(ConfigError):
+            ese_prune_schedule(1.5)
+        with pytest.raises(ConfigError):
+            ese_prune_schedule(0.5, stages=0)
+
+
+class TestESEAccelerator:
+    def test_reproduces_published_numbers(self):
+        """ESE's KU060 row: 57.0 us, 17,544 FPS, 41 W, 428 FPS/W."""
+        design = ESEAcceleratorModel(dense_workload()).build()
+        assert design.latency_us == pytest.approx(57.0, rel=0.05)
+        assert design.fps == pytest.approx(17_544, rel=0.05)
+        assert design.power_watts == pytest.approx(41.0, rel=0.05)
+        assert design.energy_efficiency == pytest.approx(428, rel=0.05)
+
+    def test_rejects_circulant_spec(self):
+        with pytest.raises(ConfigError):
+            ESEAcceleratorModel(dense_workload().with_block_sizes((8,)))
+
+    def test_published_utilization_attached(self):
+        design = ESEAcceleratorModel(dense_workload()).build()
+        assert design.utilization["dsp"] == pytest.approx(0.545, abs=0.01)
+        assert design.utilization["bram"] == pytest.approx(0.877, abs=0.01)
+
+    def test_sequential_sequences(self):
+        """ESE's FPS x latency ≈ 1 (one sequence at a time)."""
+        design = ESEAcceleratorModel(dense_workload()).build()
+        assert design.fps * design.latency_us * 1e-6 == pytest.approx(1.0)
+
+    def test_more_channels_faster(self):
+        slow = ESEAcceleratorModel(dense_workload(), ESEConfig(channels=16)).build()
+        fast = ESEAcceleratorModel(dense_workload(), ESEConfig(channels=64)).build()
+        assert fast.latency_us < slow.latency_us
+
+
+class TestCLSTM:
+    def test_build_structured_model(self, rng):
+        spec = RNNSpec("lstm", 16, (16,), 5, block_sizes=(4,))
+        model = build_clstm_model(spec, rng=rng)
+        assert model.structured
+
+    def test_rejects_dense_spec(self, rng):
+        with pytest.raises(ConfigError):
+            build_clstm_model(RNNSpec("lstm", 16, (16,), 5), rng=rng)
+
+    def test_accelerator_uses_16_bits(self):
+        design = clstm_accelerator(dense_workload().with_block_sizes((8,)))
+        assert design.accel.weight_bits == 16
+
+    def test_reproduces_published_latency(self):
+        """C-LSTM FFT8 on the 7V3: paper 16.7 us, 179,687 FPS."""
+        design = clstm_accelerator(dense_workload().with_block_sizes((8,)))
+        assert design.latency_us == pytest.approx(16.7, rel=0.15)
+        assert design.fps == pytest.approx(179_687, rel=0.15)
+
+    def test_clstm_trains(self, micro_datasets):
+        from repro.asr.pipeline import TrainConfig, train_model
+
+        train, _ = micro_datasets
+        spec = RNNSpec(
+            "lstm", train.feature_dim, (16,), len(train.phone_set),
+            block_sizes=(4,),
+        )
+        model = build_clstm_model(spec, rng=np.random.default_rng(0))
+        history = train_model(model, train, TrainConfig(epochs=3, seed=1))
+        assert history.losses[-1] < history.losses[0]

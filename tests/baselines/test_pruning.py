@@ -1,0 +1,102 @@
+"""Magnitude pruning and sparse-storage accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.pruning import (
+    PruningManager,
+    csr_storage_bits,
+    magnitude_mask,
+)
+from repro.errors import ConfigError
+
+
+class TestMagnitudeMask:
+    def test_keeps_largest(self, rng):
+        weights = np.array([0.1, -5.0, 0.01, 2.0])
+        mask = magnitude_mask(weights, 0.5)
+        assert mask.tolist() == [False, True, False, True]
+
+    def test_zero_sparsity_keeps_all(self, rng):
+        weights = rng.standard_normal(10)
+        assert magnitude_mask(weights, 0.0).all()
+
+    def test_sparsity_bounds(self, rng):
+        with pytest.raises(ConfigError):
+            magnitude_mask(rng.standard_normal(4), 1.0)
+        with pytest.raises(ConfigError):
+            magnitude_mask(rng.standard_normal(4), -0.1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(sparsity=st.floats(0.0, 0.95), seed=st.integers(0, 1000))
+    def test_property_achieved_sparsity_close(self, sparsity, seed):
+        weights = np.random.default_rng(seed).standard_normal(400)
+        mask = magnitude_mask(weights, sparsity)
+        achieved = 1.0 - mask.mean()
+        assert achieved <= sparsity + 0.05
+
+
+class TestSparseStorage:
+    def test_nine_x_pruning_gives_4_5_effective(self):
+        """Table III footnote a: indices halve ESE's 9x to 4.5x."""
+        weights = np.zeros((90, 10))
+        weights[:10, :] = 1.0  # keep 1/9 of entries
+        storage = csr_storage_bits(weights, weight_bits=12, index_bits=12)
+        assert storage.effective_compression == pytest.approx(4.5)
+        assert storage.density == pytest.approx(1 / 9)
+
+    def test_smaller_indices_help(self):
+        weights = np.zeros((90, 10))
+        weights[:10, :] = 1.0
+        storage = csr_storage_bits(weights, weight_bits=12, index_bits=4)
+        assert storage.effective_compression > 4.5
+
+
+class TestPruningManager:
+    def _model(self, rng):
+        from repro.nn.linear import Linear
+        from repro.nn.module import Module, Parameter
+
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.fc1 = Linear(16, 16, rng=rng)
+                self.fc2 = Linear(16, 8, rng=rng)
+                self.bias_vector = Parameter(np.ones(8))
+
+        return Net()
+
+    def test_for_model_skips_vectors(self, rng):
+        manager = PruningManager.for_model(self._model(rng))
+        names = set(manager._masks)
+        assert "bias_vector" not in names
+        assert "fc1.weight" in names and "fc2.weight" in names
+
+    def test_prune_to_zeroes_small_weights(self, rng):
+        model = self._model(rng)
+        manager = PruningManager.for_model(model)
+        manager.prune_to(0.75)
+        assert manager.density() == pytest.approx(0.25, abs=0.05)
+        assert np.count_nonzero(model.fc1.weight.data) <= 0.3 * 256
+
+    def test_apply_keeps_pruned_zero_after_update(self, rng):
+        model = self._model(rng)
+        manager = PruningManager.for_model(model)
+        manager.prune_to(0.5)
+        mask = manager.mask("fc1.weight").copy()
+        model.fc1.weight.data += 1.0  # simulated optimizer step
+        manager.apply()
+        assert np.all(model.fc1.weight.data[~mask] == 0.0)
+
+    def test_storage_aggregates(self, rng):
+        manager = PruningManager.for_model(self._model(rng))
+        manager.prune_to(0.5)
+        storage = manager.storage()
+        assert storage.dense_params == 16 * 16 + 16 * 8
+        assert storage.nnz == manager.nnz()
+
+    def test_requires_parameters(self):
+        with pytest.raises(ConfigError):
+            PruningManager([])

@@ -1,0 +1,72 @@
+"""BlockCirculantMatrix value semantics and products."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.block_matrix import BlockCirculantMatrix
+from repro.errors import BlockSizeError, ShapeError
+
+
+class TestBasics:
+    def test_shape_and_grid(self, rng):
+        matrix = BlockCirculantMatrix(rng.standard_normal((3, 2, 4)))
+        assert matrix.shape == (12, 8)
+        assert matrix.block_grid == (3, 2)
+        assert matrix.block_size == 4
+
+    def test_param_accounting(self, rng):
+        matrix = BlockCirculantMatrix(rng.standard_normal((2, 2, 8)))
+        assert matrix.num_parameters == 32
+        assert matrix.dense_parameters == 256
+        assert matrix.compression_ratio == pytest.approx(8.0)
+
+    def test_rejects_bad_shapes(self, rng):
+        with pytest.raises(ShapeError):
+            BlockCirculantMatrix(rng.standard_normal((2, 4)))
+        with pytest.raises(BlockSizeError):
+            BlockCirculantMatrix(rng.standard_normal((2, 2, 3)))
+
+    def test_from_dense_round_trip(self, rng):
+        original = BlockCirculantMatrix(rng.standard_normal((2, 3, 4)))
+        rebuilt = BlockCirculantMatrix.from_dense(original.to_dense(), 4)
+        assert np.allclose(rebuilt.vectors, original.vectors)
+
+
+class TestProducts:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        p=st.integers(1, 3),
+        q=st.integers(1, 3),
+        log_block=st.integers(0, 3),
+        seed=st.integers(0, 10_000),
+    )
+    def test_property_matvec_equals_dense(self, p, q, log_block, seed):
+        block = 2**log_block
+        local = np.random.default_rng(seed)
+        matrix = BlockCirculantMatrix(local.standard_normal((p, q, block)))
+        x = local.standard_normal(q * block)
+        assert np.allclose(matrix.matvec(x), matrix.matvec_direct(x), atol=1e-9)
+
+    def test_batched_matvec(self, rng):
+        matrix = BlockCirculantMatrix(rng.standard_normal((2, 2, 4)))
+        x = rng.standard_normal((3, 5, 8))
+        out = matrix.matvec(x)
+        assert out.shape == (3, 5, 8)
+        assert np.allclose(out, matrix.matvec_direct(x))
+
+    def test_matvec_shape_check(self, rng):
+        matrix = BlockCirculantMatrix(rng.standard_normal((2, 2, 4)))
+        with pytest.raises(ShapeError):
+            matrix.matvec(np.zeros(7))
+
+    def test_transpose_matches_dense_transpose(self, rng):
+        matrix = BlockCirculantMatrix(rng.standard_normal((2, 3, 4)))
+        assert np.allclose(matrix.transpose().to_dense(), matrix.to_dense().T)
+
+    def test_frobenius_norm_without_materializing(self, rng):
+        matrix = BlockCirculantMatrix(rng.standard_normal((3, 2, 8)))
+        assert matrix.frobenius_norm() == pytest.approx(
+            np.linalg.norm(matrix.to_dense())
+        )

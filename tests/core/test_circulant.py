@@ -1,0 +1,92 @@
+"""Circulant algebra: conventions, FFT identity, transposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.circulant import (
+    circulant_from_first_column,
+    circulant_from_first_row,
+    circulant_matvec,
+    circulant_matvec_direct,
+    is_circulant,
+    reverse_index,
+    transpose_vector,
+)
+from repro.errors import ShapeError
+
+sizes = st.sampled_from([1, 2, 3, 4, 5, 8, 16])
+
+
+class TestConstruction:
+    def test_first_column_convention(self):
+        matrix = circulant_from_first_column(np.array([1.0, 2.0, 3.0]))
+        assert np.array_equal(matrix[:, 0], [1.0, 2.0, 3.0])
+        assert np.array_equal(matrix[0], [1.0, 3.0, 2.0])
+
+    def test_first_row_convention_matches_paper_fig4(self):
+        """The paper's Fig. 4 example: each row rotates the previous right."""
+        w = np.array([1.14, -0.69, 0.83, -2.26])
+        matrix = circulant_from_first_row(w)
+        assert np.allclose(matrix[0], w)
+        assert np.allclose(matrix[1], [-2.26, 1.14, -0.69, 0.83])
+        assert np.allclose(matrix[2], [0.83, -2.26, 1.14, -0.69])
+
+    def test_conventions_related_by_reversal(self, rng):
+        w = rng.standard_normal(6)
+        assert np.allclose(
+            circulant_from_first_row(w),
+            circulant_from_first_column(reverse_index(w)),
+        )
+
+    def test_bad_inputs(self):
+        with pytest.raises(ShapeError):
+            circulant_from_first_column(np.zeros((2, 2)))
+        with pytest.raises(ShapeError):
+            circulant_from_first_column(np.array([]))
+
+
+class TestMatvec:
+    @settings(max_examples=30, deadline=None)
+    @given(size=sizes, seed=st.integers(0, 10_000))
+    def test_property_fft_identity(self, size, seed):
+        """Eqn. (4): C(w) @ x == IFFT(FFT(w) ∘ FFT(x)) exactly."""
+        local = np.random.default_rng(seed)
+        w, x = local.standard_normal(size), local.standard_normal(size)
+        assert np.allclose(
+            circulant_matvec(w, x), circulant_matvec_direct(w, x), atol=1e-10
+        )
+
+    def test_batched_matvec(self, rng):
+        w = rng.standard_normal(8)
+        x = rng.standard_normal((5, 8))
+        expected = x @ circulant_from_first_column(w).T
+        assert np.allclose(circulant_matvec(w, x), expected)
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            circulant_matvec(rng.standard_normal(4), rng.standard_normal(5))
+
+    @settings(max_examples=20, deadline=None)
+    @given(size=sizes, seed=st.integers(0, 1000))
+    def test_property_transpose_vector(self, size, seed):
+        w = np.random.default_rng(seed).standard_normal(size)
+        assert np.allclose(
+            circulant_from_first_column(w).T,
+            circulant_from_first_column(transpose_vector(w)),
+        )
+
+
+class TestIsCirculant:
+    def test_accepts_circulant(self, rng):
+        assert is_circulant(circulant_from_first_column(rng.standard_normal(5)))
+
+    def test_rejects_general_matrix(self, rng):
+        assert not is_circulant(rng.standard_normal((4, 4)))
+
+    def test_rejects_rectangular(self, rng):
+        assert not is_circulant(rng.standard_normal((3, 4)))
+
+    def test_identity_is_circulant(self):
+        assert is_circulant(np.eye(4))

@@ -1,0 +1,109 @@
+"""Compression accounting must reproduce the paper's Table III numbers."""
+
+import pytest
+
+from repro.config import RNNSpec
+from repro.core.compression import (
+    PAPER_INPUT_DIM,
+    compression_ratio,
+    ese_effective_compression,
+    layer_matrix_params,
+    matrix_inventory,
+    total_matrix_params,
+)
+
+
+def lstm_spec(block=8):
+    return RNNSpec(
+        "lstm", PAPER_INPUT_DIM, (1024,), 39,
+        block_sizes=(block,) if block > 1 else (),
+        peephole=True, projection_size=512,
+    )
+
+
+def gru_spec(block=8):
+    return RNNSpec("gru", PAPER_INPUT_DIM, (1024,), 39, block_sizes=(block,))
+
+
+class TestPaperNumbers:
+    """Table III row 2: '#Params of top layer'."""
+
+    def test_lstm_dense_params(self):
+        dense_m = layer_matrix_params(lstm_spec(1), compressed=False) / 1e6
+        assert dense_m == pytest.approx(3.25, abs=0.01)
+
+    def test_lstm_fft8_params(self):
+        assert layer_matrix_params(lstm_spec(8)) / 1e6 == pytest.approx(0.41, abs=0.005)
+
+    def test_lstm_fft16_params(self):
+        assert layer_matrix_params(lstm_spec(16)) / 1e6 == pytest.approx(0.20, abs=0.005)
+
+    def test_gru_fft8_params(self):
+        assert layer_matrix_params(gru_spec(8)) / 1e6 == pytest.approx(0.45, abs=0.005)
+
+    def test_gru_fft16_params(self):
+        assert layer_matrix_params(gru_spec(16)) / 1e6 == pytest.approx(0.23, abs=0.005)
+
+    def test_ese_effective_compression_is_4_5(self):
+        assert ese_effective_compression() == pytest.approx(4.5)
+
+    def test_ese_params_via_compression(self):
+        dense = layer_matrix_params(lstm_spec(1), compressed=False)
+        assert dense / ese_effective_compression() / 1e6 == pytest.approx(
+            0.73, abs=0.01
+        )
+
+    def test_compression_ratios(self):
+        assert compression_ratio(lstm_spec(8)) == pytest.approx(8.0, abs=0.05)
+        assert compression_ratio(lstm_spec(16)) == pytest.approx(15.9, abs=0.15)
+
+
+class TestInventory:
+    def test_lstm_matrices(self):
+        names = {s.name for s in matrix_inventory(lstm_spec(8))}
+        assert names == {"cell0.w_x", "cell0.w_r", "cell0.w_ym"}
+
+    def test_lstm_without_projection_has_no_wym(self):
+        spec = RNNSpec("lstm", 16, (32,), 5, block_sizes=(4,))
+        names = {s.name for s in matrix_inventory(spec)}
+        assert names == {"cell0.w_x", "cell0.w_r"}
+
+    def test_gru_matrices(self):
+        names = {s.name for s in matrix_inventory(gru_spec(8))}
+        assert names == {
+            "cell0.w_zr_x", "cell0.w_zr_c", "cell0.w_cx", "cell0.w_cc",
+        }
+
+    def test_io_block_override(self):
+        spec = RNNSpec(
+            "lstm", 16, (32,), 5, block_sizes=(4,), io_block_size=8
+        )
+        blocks = {s.name: s.block_size for s in matrix_inventory(spec)}
+        assert blocks["cell0.w_x"] == 8
+        assert blocks["cell0.w_r"] == 4
+
+    def test_multi_layer_input_chaining(self):
+        spec = RNNSpec("lstm", 16, (32, 32), 5, projection_size=8)
+        shapes = {s.name: (s.rows, s.cols) for s in matrix_inventory(spec)}
+        assert shapes["cell0.w_x"] == (128, 16)
+        assert shapes["cell1.w_x"] == (128, 8)  # fed by layer-0 projection
+
+    def test_classifier_optional(self):
+        spec = RNNSpec("gru", 16, (32,), 5)
+        with_head = matrix_inventory(spec, include_classifier=True)
+        assert any(s.name == "classifier" for s in with_head)
+
+    def test_compressed_params_padding_mode(self):
+        from repro.core.compression import MatrixShape
+
+        shape = MatrixShape("m", 10, 10, 4, "input", 0)
+        assert shape.compressed_params(pad=False) == 25
+        assert shape.compressed_params(pad=True) == 3 * 3 * 4
+
+    def test_total_params_sums_layers(self):
+        spec = RNNSpec("gru", 16, (32, 32), 5, block_sizes=(4, 4))
+        total = total_matrix_params(spec, compressed=False)
+        per_layer = [
+            layer_matrix_params(spec, i, compressed=False) for i in (0, 1)
+        ]
+        assert total == sum(per_layer)

@@ -1,0 +1,107 @@
+"""Fig. 8 cost model: reduction techniques and the convergence bound."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost_model import (
+    decoupling_counts,
+    elementwise_real_mults,
+    fft_complex_mults,
+    fig8_curve,
+    layer_multiplications,
+    normalized_multiplications,
+    recommended_block_upper_bound,
+)
+from repro.errors import BlockSizeError
+
+log_blocks = st.integers(1, 8)
+
+
+class TestFFTCounts:
+    def test_tiny_ffts_are_multiplier_free(self):
+        assert fft_complex_mults(2) == 0.0
+        assert fft_complex_mults(4) == 0.0  # stages 1-2 only, trivial twiddles
+
+    def test_stage3_half_nontrivial(self):
+        """Paper: 'only half of butterfly units in the third level'."""
+        # For L=8: stage 3 alone, L/2 - 2L/8 = 4 - 2 = 2 of 4 butterflies.
+        assert fft_complex_mults(8, halve_boundary_stage=False) == 2.0
+
+    def test_without_twiddle_savings_counts_all_stages(self):
+        full = fft_complex_mults(16, twiddle_savings=False,
+                                 halve_boundary_stage=False)
+        assert full == 4 * 8  # log2(16) stages x L/2 butterflies
+
+    def test_savings_reduce_count(self):
+        assert fft_complex_mults(64) < fft_complex_mults(
+            64, twiddle_savings=False
+        )
+
+
+class TestElementwise:
+    def test_block2_both_bins_real(self):
+        """Size-2 real FFT is real-valued -> 2 real mults, not 8."""
+        assert elementwise_real_mults(2) == 2.0
+
+    def test_hermitian_structure(self):
+        # 2 real bins + (L/2 - 1) complex bins x 4 = 2L - 2.
+        for block in (4, 8, 16, 64):
+            assert elementwise_real_mults(block) == 2 * block - 2
+
+    def test_without_symmetry(self):
+        assert elementwise_real_mults(8, real_symmetry=False) == 32
+
+
+class TestLayerModel:
+    def test_dense_baseline(self):
+        breakdown = layer_multiplications(64, 64, 1)
+        assert breakdown.total == 64 * 64
+        assert breakdown.fft_mults == 0
+
+    def test_block_must_divide(self):
+        with pytest.raises(BlockSizeError):
+            layer_multiplications(60, 64, 8)
+
+    def test_decoupling_reduces_fft_work(self):
+        with_d = layer_multiplications(512, 512, 16, decoupling=True)
+        without = layer_multiplications(512, 512, 16, decoupling=False)
+        assert with_d.fft_mults < without.fft_mults
+        assert with_d.elementwise_mults == without.elementwise_mults
+
+    def test_decoupling_counts_fig7(self):
+        """Fig. 7: FFTs p·q -> q, IFFTs p·q -> p."""
+        assert decoupling_counts(3, 7) == (7, 3)
+
+    @settings(max_examples=20, deadline=None)
+    @given(log_block=st.integers(1, 6))
+    def test_property_compression_reduces_mults(self, log_block):
+        block = 2**log_block
+        assert normalized_multiplications(512, block) < 1.0
+
+
+class TestFig8Claims:
+    def test_starts_at_half_for_block2(self):
+        """Paper Fig. 8: the curve starts at ~0.5 for block size 2."""
+        for layer in (512, 1024):
+            assert normalized_multiplications(layer, 2) == pytest.approx(0.5)
+
+    def test_monotone_decrease_up_to_convergence(self):
+        curve = fig8_curve(1024)
+        blocks = sorted(curve)
+        for a, b in zip(blocks, blocks[1:]):
+            assert curve[b] <= curve[a] + 1e-9
+
+    def test_upper_bound_is_32_or_64(self):
+        """Sec. V-B: 'we can set a upper bound of 64 (or 32) of block size'."""
+        assert recommended_block_upper_bound(512) in (32, 64)
+        assert recommended_block_upper_bound(1024) in (32, 64)
+
+    def test_upper_bound_respects_layer_divisibility(self):
+        bound = recommended_block_upper_bound(48)
+        assert 48 % bound == 0
+
+    def test_curve_values_match_model(self):
+        curve = fig8_curve(512, (2, 8))
+        assert curve[2] == normalized_multiplications(512, 2)
+        assert curve[8] == normalized_multiplications(512, 8)

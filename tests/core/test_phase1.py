@@ -1,0 +1,134 @@
+"""Phase-I optimizer against synthetic accuracy oracles (no real training)."""
+
+import pytest
+
+from repro.config import RNNSpec
+from repro.core.phase1 import PhaseIConfig, PhaseIOptimizer
+from repro.errors import ConfigError, FitError
+
+
+def paper_baseline():
+    """The paper-scale dense LSTM (two 1024 layers, projection 512)."""
+    return RNNSpec(
+        "lstm", 153, (1024, 1024), 39, peephole=True, projection_size=512
+    )
+
+
+def oracle(block_penalty=0.05, gru_penalty=0.0, io_penalty=0.02, base=20.0):
+    """PER oracle: degradation grows log2-linearly with block size."""
+    import math
+
+    def train(spec: RNNSpec) -> float:
+        per = base
+        for block in spec.effective_block_sizes:
+            if block > 1:
+                per += block_penalty * math.log2(block)
+        if spec.cell_type == "gru":
+            per += gru_penalty
+        if spec.io_block_size is not None:
+            per += io_penalty * math.log2(spec.io_block_size)
+        return per
+
+    return train
+
+
+class TestValidation:
+    def test_rejects_circulant_baseline(self):
+        spec = paper_baseline().with_block_sizes((8, 8))
+        with pytest.raises(ConfigError):
+            PhaseIOptimizer(spec, oracle())
+
+    def test_rejects_gru_baseline(self):
+        with pytest.raises(ConfigError):
+            PhaseIOptimizer(
+                RNNSpec("gru", 153, (1024,), 39), oracle()
+            )
+
+
+class TestPaperScaleRun:
+    def test_bounds_match_paper(self):
+        """Step One: KU060 lower bound 8; Sec. V upper bound 32-64."""
+        result = PhaseIOptimizer(
+            paper_baseline(), oracle(), PhaseIConfig(accuracy_budget=0.4)
+        ).run(baseline_per=20.0)
+        assert result.lower_bound == 8
+        assert result.upper_bound in (32, 64)
+
+    def test_trial_count_is_small(self):
+        """The paper's headline: about five trials, not a full grid."""
+        result = PhaseIOptimizer(
+            paper_baseline(), oracle(), PhaseIConfig(accuracy_budget=0.4)
+        ).run(baseline_per=20.0)
+        assert result.num_training_trials <= 6
+
+    def test_picks_upper_bound_when_feasible(self):
+        # 2 layers x 0.02 x log2(64) = 0.24 <= 0.25: the upper bound itself
+        # satisfies the budget, so the sweep stops after one trial.
+        result = PhaseIOptimizer(
+            paper_baseline(),
+            oracle(block_penalty=0.02),
+            PhaseIConfig(accuracy_budget=0.25, try_gru=False, try_io_block=False),
+        ).run(baseline_per=20.0)
+        assert result.final_spec.effective_block_sizes[0] == result.upper_bound
+        assert [t.step for t in result.trials] == ["block-sweep"]
+
+    def test_walks_down_when_upper_bound_fails(self):
+        result = PhaseIOptimizer(
+            paper_baseline(),
+            oracle(block_penalty=0.05),
+            PhaseIConfig(accuracy_budget=0.41, try_gru=False, try_io_block=False),
+        ).run(baseline_per=20.0)
+        # 2 * 0.05 * log2(b) <= 0.41 -> b <= 16.
+        assert result.final_spec.effective_block_sizes[0] == 16
+        steps = [t.step for t in result.trials]
+        assert steps.count("block-sweep") >= 2
+
+    def test_gru_switch_kept_when_free(self):
+        result = PhaseIOptimizer(
+            paper_baseline(),
+            oracle(gru_penalty=0.0),
+            PhaseIConfig(accuracy_budget=0.5, try_io_block=False),
+        ).run(baseline_per=20.0)
+        assert result.final_spec.cell_type == "gru"
+        assert result.final_spec.peephole is False
+        assert result.final_spec.projection_size is None
+
+    def test_gru_switch_rejected_when_costly(self):
+        result = PhaseIOptimizer(
+            paper_baseline(),
+            oracle(gru_penalty=5.0, block_penalty=0.01),
+            PhaseIConfig(accuracy_budget=0.5, try_io_block=False),
+        ).run(baseline_per=20.0)
+        assert result.final_spec.cell_type == "lstm"
+
+    def test_io_fine_tune_applied_when_affordable(self):
+        result = PhaseIOptimizer(
+            paper_baseline(),
+            oracle(block_penalty=0.01, io_penalty=0.0),
+            PhaseIConfig(accuracy_budget=0.5, try_gru=False),
+        ).run(baseline_per=20.0)
+        chosen = result.final_spec
+        assert chosen.io_block_size == 2 * chosen.effective_block_sizes[0]
+
+    def test_infeasible_budget_raises(self):
+        with pytest.raises(FitError):
+            PhaseIOptimizer(
+                paper_baseline(),
+                oracle(block_penalty=10.0),
+                PhaseIConfig(accuracy_budget=0.01),
+            ).run(baseline_per=20.0)
+
+    def test_baseline_trained_when_per_unknown(self):
+        result = PhaseIOptimizer(
+            paper_baseline(), oracle(), PhaseIConfig(accuracy_budget=0.5)
+        ).run()
+        assert result.trials[0].step == "baseline"
+        assert result.baseline_per == pytest.approx(20.0)
+
+    def test_describe_mentions_trials(self):
+        result = PhaseIOptimizer(
+            paper_baseline(), oracle(), PhaseIConfig(accuracy_budget=0.5)
+        ).run(baseline_per=20.0)
+        text = result.describe()
+        assert "training trials" in text
+        assert "block-sweep" in text

@@ -1,0 +1,100 @@
+"""Phase-II optimizer: bit-width selection, PWL sizing, report assembly."""
+
+import pytest
+
+from repro.config import RNNSpec
+from repro.core.phase2 import PhaseIIConfig, PhaseIIOptimizer, select_pwl_segments
+from repro.errors import ConfigError
+
+
+def circ_spec(block=8):
+    return RNNSpec(
+        "lstm", 153, (1024,), 39, block_sizes=(block,),
+        peephole=True, projection_size=512,
+    )
+
+
+class TestValidation:
+    def test_rejects_dense_spec(self):
+        dense = RNNSpec("lstm", 153, (1024,), 39)
+        with pytest.raises(ConfigError):
+            PhaseIIOptimizer(dense)
+
+    def test_quant_eval_requires_float_per(self):
+        with pytest.raises(ConfigError):
+            PhaseIIOptimizer(circ_spec(), quant_eval=lambda bits: 20.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            PhaseIIConfig(candidate_bits=())
+
+
+class TestBitSelection:
+    def test_default_is_12_bits(self):
+        bits, curve = PhaseIIOptimizer(circ_spec()).select_bits()
+        assert bits == 12
+        assert curve is None
+
+    def test_sweep_picks_smallest_feasible(self):
+        def quant_eval(bits):
+            return 20.0 + (0.05 if bits >= 10 else 3.0)
+
+        optimizer = PhaseIIOptimizer(
+            circ_spec(),
+            PhaseIIConfig(candidate_bits=(16, 12, 10, 8)),
+            quant_eval=quant_eval,
+            float_per=20.0,
+        )
+        bits, curve = optimizer.select_bits()
+        assert bits == 10
+        assert curve[8] > curve[12]
+
+    def test_sweep_raises_when_nothing_feasible(self):
+        optimizer = PhaseIIOptimizer(
+            circ_spec(),
+            PhaseIIConfig(candidate_bits=(8,)),
+            quant_eval=lambda bits: 30.0,
+            float_per=20.0,
+        )
+        with pytest.raises(ConfigError):
+            optimizer.select_bits()
+
+
+class TestPWLSelection:
+    def test_tighter_budget_needs_more_segments(self):
+        loose = select_pwl_segments(1e-2)
+        tight = select_pwl_segments(1e-4)
+        assert tight > loose
+
+    def test_budget_is_met(self):
+        import numpy as np
+
+        from repro.hw.activation import pwl_sigmoid, pwl_tanh
+
+        segments = select_pwl_segments(1e-3)
+        sigmoid_ref = lambda x: 1.0 / (1.0 + np.exp(-x))  # noqa: E731
+        assert pwl_sigmoid(segments).max_error(sigmoid_ref) <= 1e-3
+        assert pwl_tanh(segments).max_error(np.tanh) <= 1e-3
+
+
+class TestRun:
+    def test_full_run_produces_report(self):
+        result = PhaseIIOptimizer(
+            circ_spec(), PhaseIIConfig(platform="XCKU060")
+        ).run()
+        report = result.report
+        assert report.quant_bits == 12
+        assert report.latency_us > 0
+        assert report.fps > 0
+        assert 0 < report.utilization["dsp"] <= 1.0
+        assert report.compression_ratio == pytest.approx(8.0, abs=0.05)
+        assert "E-RNN FFT8" in report.label
+
+    def test_fft16_faster_than_fft8(self):
+        fft8 = PhaseIIOptimizer(circ_spec(8)).run()
+        fft16 = PhaseIIOptimizer(circ_spec(16)).run()
+        assert fft16.design.latency_us < fft8.design.latency_us
+
+    def test_describe_smoke(self):
+        text = PhaseIIOptimizer(circ_spec()).run().describe()
+        assert "PEs" in text and "FPS" in text

@@ -1,0 +1,115 @@
+"""Euclidean projection onto the block-circulant set (Eqn. 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.circulant import circulant_from_first_column, is_circulant
+from repro.core.projection import (
+    circulant_distance,
+    project_block_to_circulant_vector,
+    project_to_block_circulant,
+    project_to_block_circulant_vectors,
+)
+from repro.errors import ShapeError
+
+
+class TestSingleBlock:
+    def test_paper_fig5_example(self):
+        """Fig. 5: diagonal (0.5, -0.3, 0.1) averages to 0.1."""
+        block = np.array([[0.5, 0.4], [0.7, -0.3]])
+        vector = project_block_to_circulant_vector(block)
+        # Main diagonal mean: (0.5 + (-0.3)) / 2 = 0.1
+        assert vector[0] == pytest.approx(0.1)
+        # Off diagonal mean: (0.7 + 0.4) / 2 = 0.55
+        assert vector[1] == pytest.approx(0.55)
+
+    def test_circulant_input_is_fixed_point(self, rng):
+        w = rng.standard_normal(8)
+        block = circulant_from_first_column(w)
+        assert np.allclose(project_block_to_circulant_vector(block), w)
+
+    def test_rejects_non_square(self, rng):
+        with pytest.raises(ShapeError):
+            project_block_to_circulant_vector(rng.standard_normal((2, 3)))
+
+
+class TestBlockwiseProjection:
+    def test_output_is_block_circulant(self, rng):
+        matrix = rng.standard_normal((8, 12))
+        projected = project_to_block_circulant(matrix, 4)
+        for i in range(2):
+            for j in range(3):
+                block = projected[4 * i : 4 * i + 4, 4 * j : 4 * j + 4]
+                assert is_circulant(block)
+
+    def test_idempotent(self, rng):
+        matrix = rng.standard_normal((8, 8))
+        once = project_to_block_circulant(matrix, 4)
+        twice = project_to_block_circulant(once, 4)
+        assert np.allclose(once, twice)
+
+    def test_block_size_one_is_identity(self, rng):
+        matrix = rng.standard_normal((3, 5))
+        assert np.allclose(project_to_block_circulant(matrix, 1), matrix)
+
+    def test_shape_preserved_with_padding(self, rng):
+        matrix = rng.standard_normal((6, 10))
+        assert project_to_block_circulant(matrix, 4).shape == (6, 10)
+
+    def test_vectors_shape(self, rng):
+        vectors = project_to_block_circulant_vectors(
+            rng.standard_normal((8, 12)), 4
+        )
+        assert vectors.shape == (2, 3, 4)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        log_block=st.integers(0, 3),
+        p=st.integers(1, 3),
+        q=st.integers(1, 3),
+        seed=st.integers(0, 10_000),
+    )
+    def test_property_projection_is_optimal(self, log_block, p, q, seed):
+        """No circulant matrix is closer than the projection (Eqn. 6 claim).
+
+        Verified against random perturbations of the projected defining
+        vectors — every perturbation must increase the Frobenius distance.
+        """
+        block = 2**log_block
+        local = np.random.default_rng(seed)
+        matrix = local.standard_normal((p * block, q * block))
+        projected = project_to_block_circulant(matrix, block)
+        best = np.linalg.norm(matrix - projected)
+        vectors = project_to_block_circulant_vectors(matrix, block)
+        for _ in range(5):
+            noisy = vectors + 0.1 * local.standard_normal(vectors.shape)
+            candidate = np.zeros_like(matrix)
+            for i in range(p):
+                for j in range(q):
+                    candidate[
+                        block * i : block * (i + 1), block * j : block * (j + 1)
+                    ] = circulant_from_first_column(noisy[i, j])
+            assert np.linalg.norm(matrix - candidate) >= best - 1e-12
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_projection_non_expansive(self, seed):
+        """Projections onto convex sets shrink distances."""
+        local = np.random.default_rng(seed)
+        a = local.standard_normal((8, 8))
+        b = local.standard_normal((8, 8))
+        pa = project_to_block_circulant(a, 4)
+        pb = project_to_block_circulant(b, 4)
+        assert np.linalg.norm(pa - pb) <= np.linalg.norm(a - b) + 1e-12
+
+
+class TestDistance:
+    def test_zero_for_circulant(self, rng):
+        w = rng.standard_normal(4)
+        matrix = circulant_from_first_column(w)
+        assert circulant_distance(matrix, 4) == pytest.approx(0.0, abs=1e-12)
+
+    def test_positive_for_general(self, rng):
+        assert circulant_distance(rng.standard_normal((8, 8)), 4) > 0.1

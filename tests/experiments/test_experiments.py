@@ -1,0 +1,139 @@
+"""Experiment harness and the fast (non-training) table/figure modules."""
+
+import pytest
+
+from repro.experiments.common import ExperimentHarness, ExperimentSettings
+from repro.experiments.fig8 import format_fig8, run_fig8
+from repro.experiments.table3 import (
+    PAPER_TABLE3,
+    format_comparison,
+    gru_workload,
+    lstm_workload,
+    run_table3,
+)
+from repro.experiments.table4 import format_table4, run_table4, verify_against_paper
+from repro.experiments.ablations import decoupling_ablation
+
+
+@pytest.fixture(scope="module")
+def fast_harness(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("cache") / "cache.json"
+    return ExperimentHarness(ExperimentSettings.fast(), cache_path=cache)
+
+
+class TestHarness:
+    def test_datasets_shapes(self, fast_harness):
+        train, test = fast_harness.datasets()
+        assert train.num_utterances > 0 and test.num_utterances > 0
+        assert train.feature_dim == fast_harness.feature_dim
+
+    def test_dense_model_cached(self, fast_harness):
+        spec = fast_harness.make_spec("lstm", (8,))
+        first = fast_harness.dense_model(spec)
+        second = fast_harness.dense_model(spec.with_block_sizes((4,)))
+        assert first is second  # same architecture -> same baseline
+
+    def test_measure_per_cached(self, fast_harness):
+        spec = fast_harness.make_spec("lstm", (8,))
+        a = fast_harness.measure_per(spec)
+        b = fast_harness.measure_per(spec)
+        assert a == b
+
+    def test_circulant_flavors_differ(self, fast_harness):
+        spec = fast_harness.make_spec("lstm", (8,), (4,))
+        ernn = fast_harness.measure_per(spec, flavor="ernn")
+        direct = fast_harness.measure_per(spec, flavor="direct")
+        assert 0 <= ernn <= 200 and 0 <= direct <= 200
+
+    def test_disk_cache_round_trip(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        settings = ExperimentSettings.fast()
+        first = ExperimentHarness(settings, cache_path=cache)
+        spec = first.make_spec("lstm", (8,))
+        value = first.measure_per(spec)
+        second = ExperimentHarness(settings, cache_path=cache)
+        assert second.measure_per(spec) == value
+
+
+class TestTable3:
+    def test_all_ten_columns(self):
+        reports = run_table3()
+        assert len(reports) == 11  # ESE + 2 C-LSTM + 8 E-RNN
+        labels = [r.label for r in reports]
+        assert "ESE" in labels
+        assert any("GRU" in label for label in labels)
+
+    def test_ese_matches_paper(self):
+        reports = {r.label: r for r in run_table3()}
+        paper = PAPER_TABLE3["ESE"]
+        assert reports["ESE"].latency_us == pytest.approx(
+            paper.latency_us, rel=0.05
+        )
+
+    def test_headline_orderings(self):
+        reports = {r.label: r for r in run_table3()}
+        ese = reports["ESE"]
+        fft8 = reports["E-RNN FFT8 (KU060)"]
+        fft16 = reports["E-RNN FFT16 (KU060)"]
+        gru16 = reports["E-RNN GRU FFT16 (KU060)"]
+        clstm = reports["C-LSTM FFT8 (7V3)"]
+        # Who wins, and in the right order.
+        assert fft8.fps > 8 * ese.fps
+        assert fft16.fps > fft8.fps
+        assert gru16.fps > fft16.fps * 0.95
+        assert reports["E-RNN FFT8 (7V3)"].fps > clstm.fps
+
+    def test_energy_efficiency_ratios(self):
+        reports = {r.label: r for r in run_table3()}
+        ese_eff = reports["ESE"].energy_efficiency
+        ernn_eff = reports["E-RNN FFT8 (7V3)"].energy_efficiency
+        assert ernn_eff / ese_eff > 15.0  # paper: 23.4x
+
+    def test_format_prints_ratios(self):
+        text = format_comparison(run_table3())
+        assert "Headline ratios" in text
+        assert "paper" in text
+
+    def test_workload_dims(self):
+        assert lstm_workload(8).projection_size == 512
+        assert gru_workload(8).layer_sizes == (1024,)
+
+
+class TestTable4:
+    def test_matches_paper_exactly(self):
+        assert verify_against_paper()
+
+    def test_run_and_format(self):
+        rows = run_table4()
+        assert set(rows) == {"ADM-PCIE-7V3", "XCKU060"}
+        assert rows["XCKU060"]["bram_mb"] == pytest.approx(4.97, abs=0.1)
+        text = format_table4(rows)
+        assert "3600" in text and "2760" in text
+
+    def test_pe_capacity_larger_on_7v3(self):
+        rows = run_table4()
+        assert (
+            rows["ADM-PCIE-7V3"]["pe_capacity_fft8"]
+            > rows["XCKU060"]["pe_capacity_fft8"]
+        )
+
+
+class TestFig8:
+    def test_curves_and_format(self):
+        curves = run_fig8()
+        assert set(curves) == {512, 1024}
+        for curve in curves.values():
+            assert curve[2] == pytest.approx(0.5)
+        text = format_fig8(curves)
+        assert "converges at" in text
+        assert "#" in text  # the ASCII bars
+
+
+class TestDecouplingAblation:
+    def test_all_variants_cost_more_than_full(self):
+        variants = decoupling_ablation()
+        full = variants["all techniques"]
+        for name, value in variants.items():
+            if name != "all techniques":
+                assert value >= full
+        assert variants["dense (block 1)"] > 2 * full

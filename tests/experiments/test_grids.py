@@ -1,0 +1,67 @@
+"""Table I/II grid definitions must mirror the paper's row structure."""
+
+import pytest
+
+from repro.config import RNNSpec
+from repro.experiments.common import SCALE_FACTOR
+from repro.experiments.table1 import LSTM_GRID, PAPER_TABLE1_PER
+from repro.experiments.table2 import GRU_GRID, PAPER_TABLE2_PER
+
+
+class TestGridStructure:
+    def test_sixteen_rows_each(self):
+        assert len(LSTM_GRID) == 16
+        assert len(GRU_GRID) == 16
+
+    def test_paper_per_complete(self):
+        assert set(PAPER_TABLE1_PER) == {e.row_id for e in LSTM_GRID}
+        assert set(PAPER_TABLE2_PER) == {e.row_id for e in GRU_GRID}
+
+    def test_scale_factor_applied(self):
+        """Row 9 is the paper's 1024-1024 baseline, scaled by /16."""
+        row9 = next(e for e in LSTM_GRID if e.row_id == 9)
+        assert row9.layer_sizes == (1024 // SCALE_FACTOR,) * 2
+
+    def test_three_dense_baselines_per_grid(self):
+        for grid in (LSTM_GRID, GRU_GRID):
+            dense = [e for e in grid if not e.block_sizes]
+            assert len(dense) == 3
+            assert len({e.layer_sizes for e in dense}) == 3
+
+    def test_lstm_large_rows_have_peephole_and_projection(self):
+        for entry in LSTM_GRID:
+            if entry.layer_sizes == (64, 64):
+                assert entry.peephole and entry.projection
+            if entry.layer_sizes == (16, 16, 16):
+                assert not entry.peephole and not entry.projection
+
+    def test_gru_rows_have_no_lstm_features(self):
+        for entry in GRU_GRID:
+            assert not entry.peephole and not entry.projection
+
+    def test_mixed_block_rows_present(self):
+        """The paper explores asymmetric per-layer blocks (4-8, 8-4, 8-16...)."""
+        mixed = [
+            e for e in LSTM_GRID
+            if e.block_sizes and len(set(e.block_sizes)) > 1
+        ]
+        assert len(mixed) >= 4
+
+    def test_every_row_builds_a_valid_spec(self):
+        for grid, cell in ((LSTM_GRID, "lstm"), (GRU_GRID, "gru")):
+            for entry in grid:
+                projection = (
+                    entry.layer_sizes[0] // 2 if entry.projection else None
+                )
+                spec = RNNSpec(
+                    cell, 39, entry.layer_sizes, 16,
+                    block_sizes=entry.block_sizes,
+                    peephole=entry.peephole,
+                    projection_size=projection,
+                )
+                assert spec.num_layers == len(entry.layer_sizes)
+
+    def test_paper_degradations_monotone_in_block_size(self):
+        """The published Table I numbers themselves: 10 <= 13 <= 16."""
+        assert PAPER_TABLE1_PER[10] <= PAPER_TABLE1_PER[13] <= PAPER_TABLE1_PER[16]
+        assert PAPER_TABLE2_PER[10] <= PAPER_TABLE2_PER[13] <= PAPER_TABLE2_PER[16]

@@ -1,0 +1,98 @@
+"""Operation-graph generator: structure, DAG-ness, op inventory."""
+
+import networkx as nx
+import pytest
+
+from repro.config import RNNSpec
+from repro.errors import ConfigError
+from repro.hls.graph import build_operation_graph, matvec_nodes, validate_graph
+
+
+def lstm_spec(**kwargs):
+    defaults = dict(peephole=True, projection_size=512)
+    defaults.update(kwargs)
+    return RNNSpec("lstm", 153, (1024,), 39, block_sizes=(8,), **defaults)
+
+
+def gru_spec():
+    return RNNSpec("gru", 153, (1024,), 39, block_sizes=(8,))
+
+
+class TestLSTMGraph:
+    def test_is_dag(self):
+        graph = build_operation_graph(lstm_spec())
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_matvec_inventory_with_projection(self):
+        graph = build_operation_graph(lstm_spec())
+        assert sorted(matvec_nodes(graph)) == [
+            "l0.matvec_wr", "l0.matvec_wx", "l0.matvec_wym",
+        ]
+
+    def test_no_projection_drops_wym(self):
+        graph = build_operation_graph(lstm_spec(projection_size=None))
+        assert "l0.matvec_wym" not in graph
+
+    def test_peephole_nodes_present(self):
+        graph = build_operation_graph(lstm_spec())
+        assert "l0.peep_ic" in graph and "l0.peep_oc" in graph
+
+    def test_no_peephole_drops_nodes(self):
+        graph = build_operation_graph(lstm_spec(peephole=False))
+        assert "l0.peep_ic" not in graph
+
+    def test_feedback_edges_removed(self):
+        """y_prev/c_prev are sources: the recurrence is cut (paper Fig. 13)."""
+        graph = build_operation_graph(lstm_spec())
+        assert graph.in_degree("l0.y_prev") == 0
+        assert graph.in_degree("l0.c_prev") == 0
+        assert graph.out_degree("l0.y_out") == 0
+        assert graph.out_degree("l0.c_out") == 0
+
+    def test_activation_counts(self):
+        graph = build_operation_graph(lstm_spec())
+        sigmoids = [n for n, d in graph.nodes(data=True) if d["op"] == "sigmoid"]
+        tanhs = [n for n, d in graph.nodes(data=True) if d["op"] == "tanh"]
+        assert len(sigmoids) == 3  # i, f, o gates
+        assert len(tanhs) == 2  # candidate g and h(c)
+
+    def test_multi_layer_chains_io(self):
+        spec = RNNSpec(
+            "lstm", 153, (1024, 1024), 39, block_sizes=(8, 8),
+            projection_size=512,
+        )
+        graph = build_operation_graph(spec)
+        # Layer 1's input matvec must depend (transitively) on layer 0 output.
+        assert nx.has_path(graph, "l0.matvec_wym", "l1.matvec_wx")
+
+
+class TestGRUGraph:
+    def test_matvec_inventory(self):
+        graph = build_operation_graph(gru_spec())
+        assert sorted(matvec_nodes(graph)) == [
+            "l0.matvec_wcc", "l0.matvec_wcx",
+            "l0.matvec_wzr_c", "l0.matvec_wzr_x",
+        ]
+
+    def test_wcc_depends_on_reset_gate(self):
+        """Eqn. (2c): W_c̃c multiplies r_t ⊙ c_{t-1}."""
+        graph = build_operation_graph(gru_spec())
+        assert nx.has_path(graph, "l0.sigmoid_r", "l0.matvec_wcc")
+
+    def test_block_sizes_recorded(self):
+        graph = build_operation_graph(gru_spec())
+        assert graph.nodes["l0.matvec_wcc"]["params"]["block_size"] == 8
+
+
+class TestValidation:
+    def test_validate_rejects_cycles(self):
+        graph = build_operation_graph(gru_spec())
+        graph.add_edge("l0.c_out", "l0.c_prev")
+        with pytest.raises(ConfigError):
+            validate_graph(graph)
+
+    def test_io_block_size_propagates(self):
+        spec = lstm_spec().with_io_block_size(16)
+        graph = build_operation_graph(spec)
+        assert graph.nodes["l0.matvec_wx"]["params"]["block_size"] == 16
+        assert graph.nodes["l0.matvec_wr"]["params"]["block_size"] == 8

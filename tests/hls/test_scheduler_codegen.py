@@ -1,0 +1,143 @@
+"""Scheduler: stage assignment, precedence, cycle accounting; codegen checks."""
+
+import pytest
+
+from repro.config import AccelSpec, RNNSpec
+from repro.errors import SchedulingError
+from repro.hls.codegen import generate_code
+from repro.hls.graph import build_operation_graph
+from repro.hls.scheduler import schedule_graph
+from repro.hls.templates import get_template, matvec_work, pointwise_work
+from repro.errors import ConfigError
+
+
+def lstm_spec():
+    return RNNSpec(
+        "lstm", 153, (1024,), 39, block_sizes=(8,),
+        peephole=True, projection_size=512,
+    )
+
+
+def gru_spec():
+    return RNNSpec("gru", 153, (1024,), 39, block_sizes=(8,))
+
+
+@pytest.fixture(scope="module")
+def lstm_schedule():
+    graph = build_operation_graph(lstm_spec())
+    return graph, schedule_graph(graph, AccelSpec("XCKU060"), pes_per_cu=39)
+
+
+class TestTemplates:
+    def test_known_templates(self):
+        assert get_template("block_matvec").engine == "pe_array"
+        assert get_template("sigmoid").engine == "pointwise"
+
+    def test_unknown_template_rejected(self):
+        with pytest.raises(ConfigError):
+            get_template("conv2d")
+
+    def test_matvec_work_counts_blocks(self):
+        # 16x16 at block 4: 4x4 blocks x II 2 + p + q = 32 + 8.
+        assert matvec_work(16, 16, 4, 12) == 40
+
+    def test_matvec_work_rejects_dense(self):
+        with pytest.raises(ConfigError):
+            matvec_work(16, 16, 1, 12)
+
+    def test_pointwise_work_scales_with_bits(self):
+        assert pointwise_work(128, 16) > pointwise_work(128, 12)
+
+
+class TestScheduler:
+    def test_lstm_three_work_stages(self, lstm_schedule):
+        """Fig. 11: W(ifco)(xr) | point-wise | W_ym."""
+        _, schedule = lstm_schedule
+        assert schedule.num_stages == 3
+
+    def test_stage1_dominated_by_main_matvec(self, lstm_schedule):
+        _, schedule = lstm_schedule
+        stages = schedule.stage_cycles
+        assert stages[1] > stages[2]
+        assert stages[1] > stages[3]
+
+    def test_matvecs_on_pe_array(self, lstm_schedule):
+        _, schedule = lstm_schedule
+        for op in schedule.ops:
+            if op.op == "block_matvec":
+                assert op.engine == "pe_array"
+            elif op.op in ("sigmoid", "tanh", "pointwise_mul", "pointwise_add"):
+                assert op.engine == "pointwise"
+
+    def test_precedence_within_stage(self, lstm_schedule):
+        """Same-stage consumers never start before their producers finish."""
+        graph, schedule = lstm_schedule
+        placed = {op.name: op for op in schedule.ops}
+        for src, dst in graph.edges:
+            if placed[src].stage == placed[dst].stage:
+                assert placed[dst].start_cycle >= placed[src].end_cycle - 1e-9
+
+    def test_engine_exclusivity(self, lstm_schedule):
+        """Ops sharing an engine within a stage must not overlap."""
+        _, schedule = lstm_schedule
+        by_engine: dict = {}
+        for op in schedule.ops:
+            if op.engine == "none" or op.duration_cycles == 0:
+                continue
+            by_engine.setdefault((op.stage, op.engine), []).append(op)
+        for ops in by_engine.values():
+            ordered = sorted(ops, key=lambda o: o.start_cycle)
+            for a, b in zip(ordered, ordered[1:]):
+                assert b.start_cycle >= a.end_cycle - 1e-9
+
+    def test_more_pes_shorter_frames(self):
+        graph = build_operation_graph(lstm_spec())
+        slow = schedule_graph(graph, AccelSpec("XCKU060"), 10)
+        fast = schedule_graph(graph, AccelSpec("XCKU060"), 50)
+        assert fast.frame_cycles < slow.frame_cycles
+
+    def test_zero_pes_rejected(self):
+        graph = build_operation_graph(lstm_spec())
+        with pytest.raises(SchedulingError):
+            schedule_graph(graph, AccelSpec("XCKU060"), 0)
+
+    def test_gru_overhead_override(self):
+        graph = build_operation_graph(gru_spec())
+        default = schedule_graph(graph, AccelSpec("XCKU060"), 39)
+        fused = schedule_graph(
+            graph, AccelSpec("XCKU060"), 39, stage_overhead_count=2
+        )
+        assert fused.overhead_cycles < default.overhead_cycles
+
+
+class TestCodegen:
+    def test_code_structure(self, lstm_schedule):
+        graph, schedule = lstm_schedule
+        code = generate_code(lstm_spec(), AccelSpec("XCKU060"), graph, schedule)
+        assert code.count("{") == code.count("}")
+        assert "#pragma HLS" in code
+        assert "rfft8" in code and "irfft8" in code
+        assert "pwl_sigmoid" in code and "pwl_tanh" in code
+        assert "ernn_cu_frame" in code
+        assert "cgpipe_stage1" in code
+
+    def test_weight_declarations_per_matrix(self, lstm_schedule):
+        graph, schedule = lstm_schedule
+        code = generate_code(lstm_spec(), AccelSpec("XCKU060"), graph, schedule)
+        assert "W_l0_matvec_wx" in code
+        assert "W_l0_matvec_wym" in code
+
+    def test_bits_reflected_in_typedef(self, lstm_schedule):
+        graph, schedule = lstm_schedule
+        code16 = generate_code(
+            lstm_spec(), AccelSpec("XCKU060", weight_bits=16, input_bits=16),
+            graph, schedule,
+        )
+        assert "int16_t" in code16
+
+    def test_mixed_block_sizes_emit_both_ffts(self):
+        spec = lstm_spec().with_io_block_size(16)
+        graph = build_operation_graph(spec)
+        schedule = schedule_graph(graph, AccelSpec("XCKU060"), 39)
+        code = generate_code(spec, AccelSpec("XCKU060"), graph, schedule)
+        assert "rfft8" in code and "rfft16" in code

@@ -1,0 +1,72 @@
+"""Piecewise-linear activation approximations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.activation import PiecewiseLinearActivation, pwl_sigmoid, pwl_tanh
+
+
+def sigmoid(x):
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+class TestConstruction:
+    def test_from_function(self):
+        pwl = PiecewiseLinearActivation.from_function(
+            "tanh", np.tanh, 8, (-4, 4), (-1, 1)
+        )
+        assert pwl.segments == 8
+        assert pwl.breakpoints[0] == -4.0
+
+    def test_rejects_bad_segments(self):
+        with pytest.raises(ConfigError):
+            PiecewiseLinearActivation.from_function(
+                "tanh", np.tanh, 1, (-4, 4), (-1, 1)
+            )
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ConfigError):
+            PiecewiseLinearActivation.from_function(
+                "tanh", np.tanh, 4, (4, -4), (-1, 1)
+            )
+
+
+class TestAccuracy:
+    def test_exact_at_breakpoints(self):
+        pwl = pwl_tanh(16)
+        assert np.allclose(pwl(pwl.breakpoints), np.tanh(pwl.breakpoints))
+
+    def test_saturation_outside_range(self):
+        pwl = pwl_sigmoid(16)
+        assert pwl(np.array([-100.0]))[0] == 0.0
+        assert pwl(np.array([100.0]))[0] == 1.0
+
+    def test_monotone_nondecreasing(self, rng):
+        pwl = pwl_tanh(16)
+        grid = np.linspace(-6, 6, 500)
+        values = pwl(grid)
+        assert np.all(np.diff(values) >= -1e-12)
+
+    def test_error_shrinks_with_segments(self):
+        errors = [pwl_tanh(s).max_error(np.tanh) for s in (4, 8, 16, 32, 64)]
+        assert all(a > b for a, b in zip(errors, errors[1:]))
+
+    def test_16_segments_good_to_3e_2(self):
+        assert pwl_sigmoid(16).max_error(sigmoid) < 1.5e-2
+        assert pwl_tanh(16).max_error(np.tanh) < 3e-2
+
+    def test_128_segments_good_to_1e_3(self):
+        assert pwl_sigmoid(128).max_error(sigmoid) < 1e-3
+        assert pwl_tanh(128).max_error(np.tanh) < 1e-3
+
+
+class TestResources:
+    def test_no_dsp_no_bram(self):
+        resources = pwl_sigmoid(16).resources()
+        assert resources.dsp == 0
+        assert resources.bram_blocks == 0
+        assert resources.lut > 0
+
+    def test_cost_grows_with_segments(self):
+        assert pwl_tanh(64).resources().lut > pwl_tanh(8).resources().lut

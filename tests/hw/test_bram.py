@@ -1,0 +1,78 @@
+"""BRAM storage model and the Phase-I sanity check."""
+
+import pytest
+
+from repro.config import RNNSpec
+from repro.errors import FitError
+from repro.hw.bram import (
+    fits_bram,
+    min_block_size_for_bram,
+    storage_breakdown,
+    weight_storage_bits,
+)
+from repro.hw.platform import ADM_PCIE_7V3, XCKU060
+
+
+def full_network():
+    """The paper's 2-layer, 1024-unit LSTM with projection."""
+    return RNNSpec(
+        "lstm", 153, (1024, 1024), 39, peephole=True, projection_size=512
+    )
+
+
+class TestStorageModel:
+    def test_compression_shrinks_weights(self):
+        dense = weight_storage_bits(full_network(), 12)
+        blocked = weight_storage_bits(
+            full_network().with_block_sizes((8, 8)), 12
+        )
+        assert blocked < dense / 6  # ~8x minus spectrum expansion
+
+    def test_spectrum_expansion_charged(self):
+        spec = full_network().with_block_sizes((8, 8))
+        fft = weight_storage_bits(spec, 12, fft_domain=True)
+        raw = weight_storage_bits(spec, 12, fft_domain=False)
+        assert fft == pytest.approx(raw * 10 / 8, rel=0.01)
+
+    def test_breakdown_totals(self):
+        breakdown = storage_breakdown(full_network().with_block_sizes((8, 8)), 12)
+        assert breakdown.total == pytest.approx(
+            breakdown.weights + breakdown.vectors + breakdown.buffers
+        )
+        assert breakdown.weights > breakdown.vectors
+
+    def test_more_bits_more_storage(self):
+        spec = full_network().with_block_sizes((8, 8))
+        assert storage_breakdown(spec, 16).total > storage_breakdown(spec, 12).total
+
+
+class TestPaperSanityCheck:
+    """Sec. VI-B Step One: 'a block size of 4 or 8 will fit the whole RNN
+    model into BRAM. A block size 8 will be safer.'"""
+
+    def test_dense_model_does_not_fit(self):
+        assert not fits_bram(full_network(), XCKU060)
+        assert not fits_bram(full_network(), ADM_PCIE_7V3)
+
+    def test_block4_fits_7v3_but_not_ku060(self):
+        spec = full_network().with_block_sizes((4, 4))
+        assert fits_bram(spec, ADM_PCIE_7V3)
+        assert not fits_bram(spec, XCKU060)
+
+    def test_block8_fits_both(self):
+        spec = full_network().with_block_sizes((8, 8))
+        assert fits_bram(spec, ADM_PCIE_7V3)
+        assert fits_bram(spec, XCKU060)
+
+    def test_min_block_sizes_match_paper(self):
+        assert min_block_size_for_bram(full_network(), ADM_PCIE_7V3) == 4
+        assert min_block_size_for_bram(full_network(), XCKU060) == 8
+
+    def test_tiny_model_fits_dense(self):
+        tiny = RNNSpec("lstm", 16, (32,), 5)
+        assert min_block_size_for_bram(tiny, XCKU060) == 1
+
+    def test_impossible_fit_raises(self):
+        huge = RNNSpec("lstm", 153, (16384, 16384), 39)
+        with pytest.raises(FitError):
+            min_block_size_for_bram(huge, XCKU060, max_block=4)

@@ -1,0 +1,90 @@
+"""Bit-accurate fixed-point FFT datapath."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.circulant import circulant_matvec
+from repro.errors import QuantizationError
+from repro.hw.fft_fixed import FixedPointFFT, fixed_point_circulant_matvec
+
+
+class TestFixedPointFFT:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(QuantizationError):
+            FixedPointFFT(12)
+        with pytest.raises(QuantizationError):
+            FixedPointFFT(8, bits=2)
+
+    def test_matches_float_fft_at_high_precision(self, rng):
+        fft = FixedPointFFT(16, bits=24)
+        x = rng.uniform(-1, 1, 16)
+        exact = np.fft.fft(x) / 16
+        assert np.max(np.abs(fft.forward(x) - exact)) < 1e-5
+
+    def test_12bit_error_within_one_percent(self, rng):
+        for size in (8, 16, 32):
+            fft = FixedPointFFT(size, bits=12)
+            assert fft.max_error_vs_float(trials=20) < 1e-2
+
+    def test_error_grows_as_bits_shrink(self):
+        errors = [
+            FixedPointFFT(16, bits=bits).max_error_vs_float(trials=10)
+            for bits in (16, 12, 8)
+        ]
+        assert errors[0] < errors[1] < errors[2]
+
+    def test_shape_check(self, rng):
+        with pytest.raises(QuantizationError):
+            FixedPointFFT(8).forward(rng.uniform(-1, 1, 7))
+
+    def test_batched_input(self, rng):
+        fft = FixedPointFFT(8, bits=16)
+        x = rng.uniform(-1, 1, (5, 8))
+        out = fft.forward(x)
+        assert out.shape == (5, 8)
+        exact = np.fft.fft(x, axis=-1) / 8
+        assert np.max(np.abs(out - exact)) < 1e-3
+
+    def test_linearity_of_datapath(self, rng):
+        """FFT must stay linear despite quantization (within noise)."""
+        fft = FixedPointFFT(16, bits=16)
+        a, b = rng.uniform(-0.5, 0.5, 16), rng.uniform(-0.5, 0.5, 16)
+        combined = fft.forward(a + b)
+        separate = fft.forward(a) + fft.forward(b)
+        assert np.max(np.abs(combined - separate)) < 1e-3
+
+
+class TestFixedPointMatvec:
+    """The paper's Sec. VII-D claim at the datapath level: 12-bit is safe."""
+
+    def test_12bit_relative_error_below_one_percent(self, rng):
+        w, x = rng.uniform(-1, 1, 8), rng.uniform(-1, 1, 8)
+        exact = circulant_matvec(w, x)
+        got = fixed_point_circulant_matvec(w, x, bits=12)
+        rel = np.max(np.abs(got - exact)) / np.max(np.abs(exact))
+        assert rel < 1e-2
+
+    def test_6bit_collapses(self, rng):
+        w, x = rng.uniform(-1, 1, 16), rng.uniform(-1, 1, 16)
+        exact = circulant_matvec(w, x)
+        got = fixed_point_circulant_matvec(w, x, bits=6)
+        rel = np.max(np.abs(got - exact)) / np.max(np.abs(exact))
+        assert rel > 3e-2  # visibly degraded — 6 bits is not a safe design
+
+    @settings(max_examples=15, deadline=None)
+    @given(log_size=st.integers(2, 5), seed=st.integers(0, 1000))
+    def test_property_monotone_in_bits(self, log_size, seed):
+        size = 2**log_size
+        local = np.random.default_rng(seed)
+        w, x = local.uniform(-1, 1, size), local.uniform(-1, 1, size)
+        exact = circulant_matvec(w, x)
+        scale = np.max(np.abs(exact)) + 1e-12
+        errors = [
+            np.max(np.abs(fixed_point_circulant_matvec(w, x, bits) - exact))
+            / scale
+            for bits in (16, 10, 6)
+        ]
+        assert errors[0] <= errors[1] * 1.5 + 1e-6
+        assert errors[1] <= errors[2] * 1.5 + 1e-6

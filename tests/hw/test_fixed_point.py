@@ -1,0 +1,106 @@
+"""Fixed-point formats: representability, fitting, round-trip bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.hw.fixed_point import FixedPointFormat, quantization_snr_db
+
+
+class TestFormat:
+    def test_resolution_and_range(self):
+        fmt = FixedPointFormat(8, 4)
+        assert fmt.resolution == pytest.approx(1 / 16)
+        assert fmt.min_value == -8.0
+        assert fmt.max_value == pytest.approx(127 / 16)
+
+    def test_rejects_silly_widths(self):
+        with pytest.raises(QuantizationError):
+            FixedPointFormat(1, 0)
+        with pytest.raises(QuantizationError):
+            FixedPointFormat(128, 0)
+
+    def test_quantize_is_idempotent(self, rng):
+        fmt = FixedPointFormat(12, 8)
+        values = rng.standard_normal(100)
+        once = fmt.quantize(values)
+        assert np.array_equal(fmt.quantize(once), once)
+
+    def test_quantize_saturates(self):
+        fmt = FixedPointFormat(8, 4)
+        assert fmt.quantize(np.array([100.0]))[0] == fmt.max_value
+        assert fmt.quantize(np.array([-100.0]))[0] == fmt.min_value
+
+    def test_round_trip_int_codes(self, rng):
+        fmt = FixedPointFormat(10, 6)
+        values = rng.uniform(-5, 5, size=50)
+        codes = fmt.to_int(values)
+        assert np.array_equal(fmt.to_int(fmt.from_int(codes)), codes)
+
+    def test_from_int_range_checked(self):
+        fmt = FixedPointFormat(8, 4)
+        with pytest.raises(QuantizationError):
+            fmt.from_int(np.array([1000]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        total=st.integers(4, 16),
+        frac=st.integers(-2, 14),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_error_bounded_by_half_lsb(self, total, frac, seed):
+        fmt = FixedPointFormat(total, frac)
+        values = np.random.default_rng(seed).uniform(
+            fmt.min_value, fmt.max_value, size=20
+        )
+        error = np.abs(fmt.quantize(values) - values)
+        assert np.all(error <= 0.5 * fmt.resolution + 1e-15)
+
+
+class TestFit:
+    def test_fit_covers_range(self, rng):
+        values = rng.uniform(-3, 3, size=100)
+        fmt = FixedPointFormat.fit(values, 12)
+        assert fmt.max_value >= np.abs(values).max()
+
+    def test_fit_maximizes_precision(self, rng):
+        """One fewer fractional bit would waste range."""
+        values = np.array([0.9, -0.5])
+        fmt = FixedPointFormat.fit(values, 8)
+        finer = FixedPointFormat(8, fmt.frac_bits + 1)
+        assert finer.max_value < 0.9  # the next-finer format would clip
+
+    def test_fit_zero_array(self):
+        fmt = FixedPointFormat.fit(np.zeros(5), 8)
+        assert fmt.total_bits == 8
+
+    def test_fit_empty_rejected(self):
+        with pytest.raises(QuantizationError):
+            FixedPointFormat.fit(np.array([]), 8)
+
+    def test_fit_large_values_uses_negative_frac(self):
+        fmt = FixedPointFormat.fit(np.array([1e6]), 8)
+        assert fmt.quantize(np.array([1e6]))[0] == pytest.approx(1e6, rel=0.02)
+
+    @settings(max_examples=30, deadline=None)
+    @given(total=st.integers(6, 16), seed=st.integers(0, 1000))
+    def test_property_more_bits_never_worse(self, total, seed):
+        values = np.random.default_rng(seed).standard_normal(50)
+        coarse = FixedPointFormat.fit(values, total)
+        fine = FixedPointFormat.fit(values, total + 2)
+        assert fine.max_error(values) <= coarse.max_error(values) + 1e-15
+
+
+class TestSNR:
+    def test_12bit_snr_is_high(self, rng):
+        values = rng.standard_normal(1000)
+        fmt = FixedPointFormat.fit(values, 12)
+        assert quantization_snr_db(values, fmt) > 50.0
+
+    def test_snr_improves_with_bits(self, rng):
+        values = rng.standard_normal(1000)
+        snr8 = quantization_snr_db(values, FixedPointFormat.fit(values, 8))
+        snr12 = quantization_snr_db(values, FixedPointFormat.fit(values, 12))
+        assert snr12 > snr8 + 15  # ~6 dB per bit

@@ -1,0 +1,130 @@
+"""PE resource/timing model and the CU cycle algebra."""
+
+import pytest
+
+from repro.config import AccelSpec, RNNSpec
+from repro.core.compression import MatrixShape
+from repro.errors import ConfigError
+from repro.hw.cu import (
+    GRU_TDM_SPEEDUP,
+    ComputeUnitModel,
+    matrix_block_grid,
+)
+from repro.hw.fft_unit import FFTUnit
+from repro.hw.pe import ProcessingElement
+
+
+class TestFFTUnit:
+    def test_stage_count(self):
+        assert FFTUnit(8).stages == 3
+        assert FFTUnit(16).multiplier_stages == 2
+
+    def test_minimum_dsp(self):
+        assert FFTUnit(4).dsp == 3  # at least one complex multiplier
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigError):
+            FFTUnit(12)
+
+    def test_latency_grows_with_size(self):
+        assert FFTUnit(64).latency_cycles > FFTUnit(8).latency_cycles
+
+
+class TestProcessingElement:
+    def test_calibrated_dsp_counts(self):
+        """ΔDSP = 2·Lb + 3·max(log2 Lb − 2, 1)."""
+        assert ProcessingElement(8).dsp == 19
+        assert ProcessingElement(16).dsp == 38
+
+    def test_ii_is_two_cycles(self):
+        """The Hermitian product pipelines at two cycles for all block sizes
+        — this is what makes Table III's FFT16/FFT8 latency ratio ~1.9."""
+        for block in (4, 8, 16, 32):
+            assert ProcessingElement(block).cycles_per_block == 2
+
+    def test_bram_banks_equal_block_size(self):
+        assert ProcessingElement(8).bram_banks == 8
+
+    def test_resources_scale_with_block(self):
+        small, large = ProcessingElement(8), ProcessingElement(32)
+        assert large.dsp > small.dsp
+        assert large.lut > small.lut
+
+    def test_resources_scale_with_bits(self):
+        assert ProcessingElement(8, 16).lut > ProcessingElement(8, 12).lut
+
+    def test_rejects_block_one(self):
+        with pytest.raises(ConfigError):
+            ProcessingElement(1)
+
+
+def lstm_spec(block=8):
+    return RNNSpec(
+        "lstm", 153, (1024,), 39, block_sizes=(block,),
+        peephole=True, projection_size=512,
+    )
+
+
+def gru_spec(block=8):
+    return RNNSpec("gru", 153, (1024,), 39, block_sizes=(block,))
+
+
+class TestBlockGrid:
+    def test_exact_division(self):
+        shape = MatrixShape("m", 4096, 672, 8, "input", 0)
+        assert matrix_block_grid(shape) == (512, 84)
+
+    def test_padding(self):
+        shape = MatrixShape("m", 4096, 153, 8, "input", 0)
+        assert matrix_block_grid(shape) == (512, 20)
+
+
+class TestComputeUnit:
+    def test_block_op_counts_lstm(self):
+        cu = ComputeUnitModel(lstm_spec(8), AccelSpec("XCKU060"), 40)
+        # W(ifco)(xr): 512 x (20+64) + W_ym: 64 x 128 = 51200 blocks.
+        assert cu.total_block_ops() == 512 * 84 + 64 * 128
+
+    def test_block_ops_scale_inverse_square_of_block(self):
+        ops8 = ComputeUnitModel(lstm_spec(8), AccelSpec("XCKU060"), 40)
+        ops16 = ComputeUnitModel(lstm_spec(16), AccelSpec("XCKU060"), 40)
+        ratio = ops8.total_block_ops() / ops16.total_block_ops()
+        assert ratio == pytest.approx(4.0, rel=0.05)
+
+    def test_more_pes_reduce_latency(self):
+        slow = ComputeUnitModel(lstm_spec(8), AccelSpec("XCKU060"), 10)
+        fast = ComputeUnitModel(lstm_spec(8), AccelSpec("XCKU060"), 40)
+        assert fast.frame_cycles() < slow.frame_cycles()
+
+    def test_gru_gets_tdm_fusion(self):
+        cu = ComputeUnitModel(gru_spec(8), AccelSpec("XCKU060"), 40)
+        assert cu.tdm_speedup == GRU_TDM_SPEEDUP
+        assert cu.num_cgpipe_stages == 2
+
+    def test_lstm_three_stages(self):
+        cu = ComputeUnitModel(lstm_spec(8), AccelSpec("XCKU060"), 40)
+        assert cu.num_cgpipe_stages == 3
+
+    def test_wider_bits_slow_pointwise(self):
+        narrow = ComputeUnitModel(lstm_spec(8), AccelSpec("XCKU060", weight_bits=12), 40)
+        wide = ComputeUnitModel(
+            lstm_spec(8), AccelSpec("XCKU060", weight_bits=16, input_bits=16), 40
+        )
+        assert wide.timing().pointwise_cycles > narrow.timing().pointwise_cycles
+
+    def test_rejects_dense_spec(self):
+        dense = RNNSpec("lstm", 153, (1024,), 39, peephole=True, projection_size=512)
+        with pytest.raises(ConfigError):
+            ComputeUnitModel(dense, AccelSpec("XCKU060"), 40)
+
+    def test_rejects_zero_pes(self):
+        with pytest.raises(ConfigError):
+            ComputeUnitModel(lstm_spec(8), AccelSpec("XCKU060"), 0)
+
+    def test_pointwise_ops_peephole_dependence(self):
+        with_peep = ComputeUnitModel(lstm_spec(8), AccelSpec("XCKU060"), 40)
+        spec_no_peep = RNNSpec(
+            "lstm", 153, (1024,), 39, block_sizes=(8,), projection_size=512
+        )
+        without = ComputeUnitModel(spec_no_peep, AccelSpec("XCKU060"), 40)
+        assert with_peep.pointwise_ops() > without.pointwise_ops()

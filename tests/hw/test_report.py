@@ -1,0 +1,49 @@
+"""ImplementationReport formatting."""
+
+import pytest
+
+from repro.hw.report import ImplementationReport, format_table
+
+
+def make_report(label="E-RNN FFT8", power=24.0):
+    return ImplementationReport(
+        label=label,
+        cell="LSTM-1024",
+        platform="XCKU060",
+        quant_bits=12,
+        params_top_layer_m=0.41,
+        compression_ratio=8.0,
+        utilization={"dsp": 0.95, "bram": 0.88, "lut": 0.77, "ff": 0.61},
+        latency_us=13.7,
+        fps=231_514,
+        power_watts=power,
+        per_degradation=0.14,
+    )
+
+
+class TestReport:
+    def test_energy_efficiency(self):
+        report = make_report()
+        assert report.energy_efficiency == pytest.approx(231_514 / 24.0)
+
+    def test_energy_efficiency_none_without_power(self):
+        assert make_report(power=None).energy_efficiency is None
+
+    def test_format_single(self):
+        text = format_table([make_report()], title="Table III")
+        assert "Table III" in text
+        assert "12bit fixed" in text
+        assert "231,514" in text
+        assert "95.0" in text
+
+    def test_format_multiple_columns(self):
+        text = format_table([make_report("A"), make_report("B")])
+        header = text.splitlines()[0]
+        assert "A" in header and "B" in header
+
+    def test_format_empty(self):
+        assert format_table([]) == "(no reports)"
+
+    def test_missing_power_renders_dash(self):
+        text = format_table([make_report(power=None)])
+        assert "-" in text

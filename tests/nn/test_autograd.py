@@ -1,0 +1,214 @@
+"""Autograd engine tests: every primitive gradchecked against finite diffs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.nn.autograd import (
+    Tensor,
+    as_tensor,
+    block_circulant_matvec,
+    concat,
+    gradcheck,
+    is_grad_enabled,
+    no_grad,
+)
+
+
+def _param(rng, *shape):
+    return Tensor(rng.standard_normal(shape), requires_grad=True)
+
+
+class TestBasicOps:
+    def test_add_values(self, rng):
+        a, b = rng.standard_normal(5), rng.standard_normal(5)
+        assert np.allclose((Tensor(a) + Tensor(b)).data, a + b)
+
+    def test_scalar_radd_rmul(self):
+        t = Tensor([1.0, 2.0])
+        assert np.allclose((3.0 + t).data, [4.0, 5.0])
+        assert np.allclose((3.0 * t).data, [3.0, 6.0])
+
+    def test_sub_and_div(self, rng):
+        a, b = rng.standard_normal(4), rng.standard_normal(4) + 2.0
+        assert np.allclose((Tensor(a) - Tensor(b)).data, a - b)
+        assert np.allclose((Tensor(a) / Tensor(b)).data, a / b)
+
+    def test_pow_rejects_array_exponent(self, rng):
+        with pytest.raises(ShapeError):
+            _param(rng, 3) ** np.ones(3)
+
+    def test_matmul_2d(self, rng):
+        a, b = rng.standard_normal((3, 4)), rng.standard_normal((4, 2))
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_getitem(self, rng):
+        a = _param(rng, 4, 6)
+        assert a[1:3].shape == (2, 6)
+
+    def test_reshape_transpose(self, rng):
+        a = Tensor(rng.standard_normal((2, 6)))
+        assert a.reshape(3, 4).shape == (3, 4)
+        assert a.T.shape == (6, 2)
+
+
+class TestGradients:
+    def test_add_gradcheck(self, rng):
+        assert gradcheck(lambda a, b: a + b, [_param(rng, 3, 4), _param(rng, 3, 4)])
+
+    def test_broadcast_add_gradcheck(self, rng):
+        assert gradcheck(lambda a, b: a + b, [_param(rng, 3, 4), _param(rng, 4)])
+
+    def test_mul_gradcheck(self, rng):
+        assert gradcheck(lambda a, b: a * b, [_param(rng, 2, 5), _param(rng, 2, 5)])
+
+    def test_div_gradcheck(self, rng):
+        b = Tensor(rng.standard_normal((3,)) + 3.0, requires_grad=True)
+        assert gradcheck(lambda a, b: a / b, [_param(rng, 3), b])
+
+    def test_matmul_gradcheck(self, rng):
+        assert gradcheck(lambda a, b: a @ b, [_param(rng, 3, 4), _param(rng, 4, 2)])
+
+    def test_matvec_gradcheck(self, rng):
+        assert gradcheck(lambda a, b: a @ b, [_param(rng, 3, 4), _param(rng, 4)])
+
+    def test_vecmat_gradcheck(self, rng):
+        assert gradcheck(lambda a, b: a @ b, [_param(rng, 4), _param(rng, 4, 3)])
+
+    def test_tanh_gradcheck(self, rng):
+        assert gradcheck(lambda a: a.tanh(), [_param(rng, 6)])
+
+    def test_sigmoid_gradcheck(self, rng):
+        assert gradcheck(lambda a: a.sigmoid(), [_param(rng, 6)])
+
+    def test_exp_log_gradcheck(self, rng):
+        positive = Tensor(np.abs(rng.standard_normal(5)) + 0.5, requires_grad=True)
+        assert gradcheck(lambda a: a.exp(), [_param(rng, 5)])
+        assert gradcheck(lambda a: a.log(), [positive])
+
+    def test_relu_gradcheck(self, rng):
+        # Keep values away from the kink where finite differences break.
+        data = rng.standard_normal(8)
+        data[np.abs(data) < 0.1] += 0.5
+        assert gradcheck(lambda a: a.relu(), [Tensor(data, requires_grad=True)])
+
+    def test_sum_axis_gradcheck(self, rng):
+        assert gradcheck(lambda a: a.sum(axis=1), [_param(rng, 3, 5)])
+
+    def test_mean_gradcheck(self, rng):
+        assert gradcheck(lambda a: a.mean(axis=0, keepdims=True), [_param(rng, 4, 3)])
+
+    def test_reshape_gradcheck(self, rng):
+        assert gradcheck(lambda a: a.reshape(6, 2) * 2.0, [_param(rng, 3, 4)])
+
+    def test_transpose_gradcheck(self, rng):
+        assert gradcheck(lambda a: a.transpose(1, 0).sum(axis=0), [_param(rng, 3, 4)])
+
+    def test_getitem_gradcheck(self, rng):
+        assert gradcheck(lambda a: a[1:3] * 3.0, [_param(rng, 5, 2)])
+
+    def test_concat_gradcheck(self, rng):
+        assert gradcheck(
+            lambda a, b: concat([a, b], axis=-1),
+            [_param(rng, 2, 3), _param(rng, 2, 4)],
+        )
+
+    def test_composite_expression_gradcheck(self, rng):
+        def fn(a, b, c):
+            return ((a @ b).tanh() * c).sigmoid().sum(axis=0)
+
+        assert gradcheck(
+            fn, [_param(rng, 2, 3), _param(rng, 3, 4), _param(rng, 2, 4)]
+        )
+
+    def test_grad_accumulates_over_reuse(self, rng):
+        a = _param(rng, 3)
+        out = (a * 2.0 + a * 3.0).sum()
+        out.backward()
+        assert np.allclose(a.grad, 5.0 * np.ones(3))
+
+
+class TestBlockCirculantOp:
+    def test_matches_dense_blockcirculant(self, rng):
+        from repro.core.block_matrix import BlockCirculantMatrix
+
+        vectors = rng.standard_normal((2, 3, 4))
+        x = rng.standard_normal((5, 12))
+        out = block_circulant_matvec(Tensor(vectors), Tensor(x))
+        expected = BlockCirculantMatrix(vectors).matvec(x)
+        assert np.allclose(out.data, expected)
+
+    def test_vector_input_squeezes(self, rng):
+        vectors = rng.standard_normal((2, 2, 4))
+        x = rng.standard_normal(8)
+        out = block_circulant_matvec(Tensor(vectors), Tensor(x))
+        assert out.shape == (8,)
+
+    def test_gradcheck_weights_and_inputs(self, rng):
+        weights = _param(rng, 2, 2, 4)
+        x = _param(rng, 3, 8)
+        assert gradcheck(block_circulant_matvec, [weights, x], atol=1e-5)
+
+    def test_shape_errors(self, rng):
+        with pytest.raises(ShapeError):
+            block_circulant_matvec(Tensor(rng.standard_normal((2, 3))), Tensor(np.ones(6)))
+        with pytest.raises(ShapeError):
+            block_circulant_matvec(
+                Tensor(rng.standard_normal((2, 3, 4))), Tensor(np.ones((1, 5)))
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        p=st.integers(1, 3),
+        q=st.integers(1, 3),
+        log_block=st.integers(1, 3),
+        batch=st.integers(1, 3),
+        seed=st.integers(0, 10_000),
+    )
+    def test_property_fft_equals_dense(self, p, q, log_block, batch, seed):
+        from repro.core.block_matrix import BlockCirculantMatrix
+
+        block = 2**log_block
+        local = np.random.default_rng(seed)
+        vectors = local.standard_normal((p, q, block))
+        x = local.standard_normal((batch, q * block))
+        out = block_circulant_matvec(Tensor(vectors), Tensor(x))
+        dense = BlockCirculantMatrix(vectors).to_dense()
+        assert np.allclose(out.data, x @ dense.T, atol=1e-9)
+
+
+class TestGraphMechanics:
+    def test_backward_requires_scalar_or_grad(self, rng):
+        a = _param(rng, 3)
+        with pytest.raises(ShapeError):
+            (a * 2.0).backward()
+
+    def test_backward_on_nograd_tensor_raises(self):
+        with pytest.raises(ShapeError):
+            Tensor([1.0]).backward()
+
+    def test_no_grad_blocks_graph(self, rng):
+        a = _param(rng, 3)
+        with no_grad():
+            assert not is_grad_enabled()
+            out = (a * 2.0).sum()
+        assert not out.requires_grad
+
+    def test_detach_breaks_graph(self, rng):
+        a = _param(rng, 3)
+        d = a.detach()
+        assert not d.requires_grad
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+        assert isinstance(as_tensor([1.0, 2.0]), Tensor)
+
+    def test_zero_grad(self, rng):
+        a = _param(rng, 3)
+        (a * 2.0).sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None

@@ -1,0 +1,156 @@
+"""LSTM/GRU cell semantics: shapes, gating behaviour, options, gradients."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.autograd import Tensor, gradcheck
+from repro.nn.circulant_layer import CirculantLinear
+from repro.nn.gru import GRUCell
+from repro.nn.linear import Linear
+from repro.nn.lstm import LSTMCell, make_weight_layer
+
+
+class TestMakeWeightLayer:
+    def test_dense_for_block_one(self, rng):
+        assert isinstance(make_weight_layer(4, 8, 1, rng), Linear)
+
+    def test_circulant_for_larger_blocks(self, rng):
+        layer = make_weight_layer(4, 8, 4, rng)
+        assert isinstance(layer, CirculantLinear)
+        assert layer.block_size == 4
+
+
+class TestLSTMCell:
+    def test_output_shapes(self, rng):
+        cell = LSTMCell(5, 8, rng=rng)
+        state = cell.initial_state(3)
+        out, (y, c) = cell(Tensor(rng.standard_normal((3, 5))), state)
+        assert out.shape == (3, 8)
+        assert y.shape == (3, 8) and c.shape == (3, 8)
+
+    def test_projection_shapes(self, rng):
+        cell = LSTMCell(5, 8, projection_size=4, rng=rng)
+        out, (y, c) = cell(
+            Tensor(rng.standard_normal((2, 5))), cell.initial_state(2)
+        )
+        assert out.shape == (2, 4)
+        assert c.shape == (2, 8)
+
+    def test_peephole_changes_output(self, rng):
+        x = rng.standard_normal((2, 5))
+        plain = LSTMCell(5, 8, peephole=False, rng=np.random.default_rng(3))
+        peep = LSTMCell(5, 8, peephole=True, rng=np.random.default_rng(3))
+        # Run two steps so the nonzero cell state engages the peepholes.
+        state_a = plain.initial_state(2)
+        state_b = peep.initial_state(2)
+        for _ in range(2):
+            out_a, state_a = plain(Tensor(x), state_a)
+            out_b, state_b = peep(Tensor(x), state_b)
+        assert not np.allclose(out_a.data, out_b.data)
+
+    def test_outputs_bounded_by_gates(self, rng):
+        """|m_t| = |o_t * tanh(c_t)| <= 1 always."""
+        cell = LSTMCell(4, 6, rng=rng)
+        state = cell.initial_state(2)
+        for _ in range(20):
+            out, state = cell(Tensor(10 * rng.standard_normal((2, 4))), state)
+        assert np.all(np.abs(out.data) <= 1.0 + 1e-12)
+
+    def test_forget_gate_zero_kills_memory(self, rng):
+        """With saturated-off forget and input gates, the cell state dies."""
+        cell = LSTMCell(3, 4, rng=rng)
+        cell.bias.data[:] = 0.0
+        cell.bias.data[4:8] = -50.0  # forget gate off
+        cell.bias.data[0:4] = -50.0  # input gate off
+        state = (Tensor(np.zeros((1, 4))), Tensor(np.ones((1, 4))))
+        _, (_, c) = cell(Tensor(np.zeros((1, 3))), state)
+        assert np.all(np.abs(c.data) < 1e-10)
+
+    def test_candidate_activation_option(self, rng):
+        sig = LSTMCell(3, 4, candidate_activation="sigmoid",
+                       rng=np.random.default_rng(1))
+        tan = LSTMCell(3, 4, candidate_activation="tanh",
+                       rng=np.random.default_rng(1))
+        x = Tensor(rng.standard_normal((1, 3)))
+        out_s, _ = sig(x, sig.initial_state(1))
+        out_t, _ = tan(x, tan.initial_state(1))
+        assert not np.allclose(out_s.data, out_t.data)
+
+    def test_unknown_activation_rejected(self, rng):
+        with pytest.raises(ConfigError):
+            LSTMCell(3, 4, candidate_activation="relu", rng=rng)
+
+    def test_block_circulant_cell_runs(self, rng):
+        cell = LSTMCell(8, 8, block_size=4, rng=rng)
+        out, _ = cell(Tensor(rng.standard_normal((2, 8))), cell.initial_state(2))
+        assert out.shape == (2, 8)
+
+    def test_separate_io_block_size(self, rng):
+        cell = LSTMCell(8, 8, block_size=4, input_block_size=8, rng=rng)
+        assert cell.w_x.block_size == 8
+        assert cell.w_r.block_size == 4
+
+    def test_weight_layer_roles(self, rng):
+        cell = LSTMCell(8, 8, projection_size=4, rng=rng)
+        roles = dict((name, role) for name, _, role in cell.weight_layer_roles())
+        assert roles == {"w_x": "input", "w_r": "recurrent", "w_ym": "output"}
+
+    def test_gradient_flows_through_time(self, rng):
+        cell = LSTMCell(3, 4, rng=rng)
+
+        def unroll(x):
+            state = cell.initial_state(1)
+            out = None
+            for t in range(3):
+                out, state = cell(x[t], state)
+            return out
+
+        x = Tensor(rng.standard_normal((3, 1, 3)), requires_grad=True)
+        assert gradcheck(unroll, [x], atol=1e-5)
+
+
+class TestGRUCell:
+    def test_output_is_state(self, rng):
+        cell = GRUCell(5, 6, rng=rng)
+        out, state = cell(Tensor(rng.standard_normal((2, 5))), cell.initial_state(2))
+        assert out is state
+        assert out.shape == (2, 6)
+
+    def test_update_gate_convex_combination(self, rng):
+        """c_t lies between c_{t-1} and c̃_t elementwise."""
+        cell = GRUCell(4, 5, rng=rng)
+        c_prev = Tensor(rng.standard_normal((3, 5)))
+        out, _ = cell(Tensor(rng.standard_normal((3, 4))), c_prev)
+        # |c_t| cannot exceed max(|c_prev|, 1) since |c̃| <= 1.
+        bound = np.maximum(np.abs(c_prev.data), 1.0)
+        assert np.all(np.abs(out.data) <= bound + 1e-12)
+
+    def test_saturated_update_gate_keeps_state(self, rng):
+        cell = GRUCell(3, 4, rng=rng)
+        cell.bias_zr.data[0:4] = -50.0  # z ~ 0 -> keep previous state
+        c_prev = Tensor(rng.standard_normal((1, 4)))
+        out, _ = cell(Tensor(np.zeros((1, 3))), c_prev)
+        assert np.allclose(out.data, c_prev.data, atol=1e-6)
+
+    def test_block_circulant_gru(self, rng):
+        cell = GRUCell(8, 8, block_size=4, rng=rng)
+        out, _ = cell(Tensor(rng.standard_normal((2, 8))), cell.initial_state(2))
+        assert out.shape == (2, 8)
+
+    def test_weight_layer_roles(self, rng):
+        roles = {r for _, _, r in GRUCell(4, 4, rng=rng).weight_layer_roles()}
+        assert roles == {"input", "recurrent"}
+
+    def test_gradient_flows_through_time(self, rng):
+        cell = GRUCell(3, 4, rng=rng)
+
+        def unroll(x):
+            state = cell.initial_state(1)
+            out = None
+            for t in range(3):
+                out, state = cell(x[t], state)
+            return out
+
+        x = Tensor(rng.standard_normal((3, 1, 3)), requires_grad=True)
+        assert gradcheck(unroll, [x], atol=1e-5)

@@ -1,0 +1,79 @@
+"""Tests for stateless NN functions (softmax family, one-hot)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.nn.autograd import Tensor, gradcheck
+from repro.nn.functional import log_softmax, one_hot, sigmoid, softmax, tanh
+
+
+class TestActivations:
+    def test_sigmoid_range_and_symmetry(self, rng):
+        x = rng.standard_normal(100) * 10
+        y = sigmoid(Tensor(x)).data
+        assert np.all((y > 0) & (y < 1))
+        assert np.allclose(y + sigmoid(Tensor(-x)).data, 1.0)
+
+    def test_sigmoid_extreme_values_stable(self):
+        y = sigmoid(Tensor([-1000.0, 1000.0])).data
+        assert np.all(np.isfinite(y))
+        assert y[0] < 1e-10 and y[1] > 1 - 1e-10
+
+    def test_tanh_matches_numpy(self, rng):
+        x = rng.standard_normal(50)
+        assert np.allclose(tanh(Tensor(x)).data, np.tanh(x))
+
+
+class TestSoftmax:
+    def test_softmax_sums_to_one(self, rng):
+        probs = softmax(Tensor(rng.standard_normal((4, 7)))).data
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_log_softmax_shift_invariance(self, rng):
+        x = rng.standard_normal((3, 5))
+        a = log_softmax(Tensor(x)).data
+        b = log_softmax(Tensor(x + 100.0)).data
+        assert np.allclose(a, b)
+
+    def test_log_softmax_stable_for_large_logits(self):
+        out = log_softmax(Tensor([[1e4, 0.0, -1e4]])).data
+        assert np.all(np.isfinite(out))
+
+    def test_log_softmax_gradcheck(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        assert gradcheck(lambda t: log_softmax(t) * 0.1, [x])
+
+    def test_log_softmax_axis(self, rng):
+        x = rng.standard_normal((3, 4))
+        out = log_softmax(Tensor(x), axis=0).data
+        assert np.allclose(np.exp(out).sum(axis=0), 1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 10))
+    def test_property_softmax_is_exp_log_softmax(self, seed, n):
+        x = np.random.default_rng(seed).standard_normal(n)
+        assert np.allclose(
+            softmax(Tensor(x)).data, np.exp(log_softmax(Tensor(x)).data)
+        )
+
+
+class TestOneHot:
+    def test_round_trip(self):
+        labels = np.array([0, 2, 1])
+        encoded = one_hot(labels, 3)
+        assert encoded.shape == (3, 3)
+        assert np.array_equal(encoded.argmax(axis=-1), labels)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ShapeError):
+            one_hot(np.array([3]), 3)
+        with pytest.raises(ShapeError):
+            one_hot(np.array([-1]), 3)
+
+    def test_multidim_labels(self):
+        labels = np.array([[0, 1], [2, 0]])
+        assert one_hot(labels, 3).shape == (2, 2, 3)

@@ -1,0 +1,52 @@
+"""Weight initializers: statistical and structural properties."""
+
+import numpy as np
+import pytest
+
+from repro.nn.init import orthogonal, uniform, xavier_uniform, zeros
+
+
+class TestXavier:
+    def test_bound_respected(self, rng):
+        weights = xavier_uniform(rng, (64, 32))
+        bound = np.sqrt(6.0 / (64 + 32))
+        assert np.abs(weights).max() <= bound
+
+    def test_gain_scales(self, rng):
+        a = np.abs(xavier_uniform(rng, (64, 64), gain=1.0)).max()
+        b = np.abs(
+            xavier_uniform(np.random.default_rng(1234), (64, 64), gain=2.0)
+        ).max()
+        assert b > a
+
+    def test_1d_shape(self, rng):
+        assert xavier_uniform(rng, (16,)).shape == (16,)
+
+    def test_deterministic_per_generator_state(self):
+        a = xavier_uniform(np.random.default_rng(5), (8, 8))
+        b = xavier_uniform(np.random.default_rng(5), (8, 8))
+        assert np.array_equal(a, b)
+
+
+class TestOrthogonal:
+    def test_square_is_orthogonal(self, rng):
+        q = orthogonal(rng, (32, 32))
+        assert np.allclose(q @ q.T, np.eye(32), atol=1e-10)
+
+    def test_rectangular_has_orthonormal_rows_or_cols(self, rng):
+        tall = orthogonal(rng, (32, 16))
+        assert np.allclose(tall.T @ tall, np.eye(16), atol=1e-10)
+
+    def test_gain(self, rng):
+        q = orthogonal(rng, (16, 16), gain=3.0)
+        assert np.allclose(q @ q.T, 9.0 * np.eye(16), atol=1e-9)
+
+
+class TestOthers:
+    def test_uniform_bound(self, rng):
+        values = uniform(rng, (100,), 0.25)
+        assert np.abs(values).max() <= 0.25
+
+    def test_zeros(self):
+        assert not zeros((3, 4)).any()
+        assert zeros((3, 4)).shape == (3, 4)

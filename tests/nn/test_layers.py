@@ -1,0 +1,118 @@
+"""Linear, DiagonalLinear and CirculantLinear layer tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.nn.autograd import Tensor, gradcheck
+from repro.nn.circulant_layer import CirculantLinear
+from repro.nn.linear import DiagonalLinear, Linear
+
+
+class TestLinear:
+    def test_forward_shape_and_value(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        x = rng.standard_normal((2, 4))
+        out = layer(Tensor(x))
+        assert out.shape == (2, 3)
+        assert np.allclose(out.data, x @ layer.weight.data.T + layer.bias.data)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 3, bias=False, rng=rng)
+        assert layer.bias is None
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ShapeError):
+            Linear(4, 3, rng=rng)(Tensor(np.ones((2, 5))))
+
+    def test_gradcheck(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        assert gradcheck(lambda t: layer(t), [x])
+
+
+class TestDiagonalLinear:
+    def test_is_pointwise_multiplication(self, rng):
+        layer = DiagonalLinear(5, rng=rng)
+        x = rng.standard_normal((3, 5))
+        assert np.allclose(layer(Tensor(x)).data, x * layer.weight.data)
+
+    def test_equals_diagonal_matrix_product(self, rng):
+        layer = DiagonalLinear(4, rng=rng)
+        x = rng.standard_normal(4)
+        expected = np.diag(layer.weight.data) @ x
+        assert np.allclose(layer(Tensor(x)).data, expected)
+
+    def test_wrong_width_raises(self, rng):
+        with pytest.raises(ShapeError):
+            DiagonalLinear(4, rng=rng)(Tensor(np.ones(5)))
+
+
+class TestCirculantLinear:
+    def test_forward_matches_dense_materialization(self, rng):
+        layer = CirculantLinear(8, 12, block_size=4, rng=rng)
+        x = rng.standard_normal((3, 8))
+        expected = x @ layer.weight_matrix().T + layer.bias.data
+        assert np.allclose(layer(Tensor(x)).data, expected)
+
+    def test_padding_of_ragged_dims(self, rng):
+        layer = CirculantLinear(6, 10, block_size=4, rng=rng)
+        assert layer.padded_in == 8 and layer.padded_out == 12
+        out = layer(Tensor(rng.standard_normal((2, 6))))
+        assert out.shape == (2, 10)
+
+    def test_compression_ratio(self, rng):
+        layer = CirculantLinear(16, 16, block_size=4, rng=rng)
+        assert layer.compression_ratio() == pytest.approx(4.0)
+
+    def test_from_dense_projection_is_exact_for_circulant_input(self, rng):
+        original = CirculantLinear(8, 8, block_size=4, rng=rng)
+        rebuilt = CirculantLinear.from_dense(original.weight_matrix(), 4)
+        assert np.allclose(
+            rebuilt.weight_vectors.data, original.weight_vectors.data
+        )
+
+    def test_from_dense_bias_shape_checked(self, rng):
+        with pytest.raises(ShapeError):
+            CirculantLinear.from_dense(np.ones((4, 4)), 2, bias=np.ones(3))
+
+    def test_gradcheck_through_layer(self, rng):
+        layer = CirculantLinear(4, 4, block_size=2, rng=rng)
+        x = Tensor(rng.standard_normal((2, 4)), requires_grad=True)
+        assert gradcheck(lambda t: layer(t), [x])
+
+    def test_training_reduces_loss(self, rng):
+        """The circulant parametrization must be trainable end to end."""
+        from repro.nn.optim import Adam
+
+        layer = CirculantLinear(8, 8, block_size=4, rng=rng)
+        x = rng.standard_normal((16, 8))
+        target = rng.standard_normal((16, 8))
+        optimizer = Adam(layer.parameters(), lr=0.05)
+        first_loss = None
+        for _ in range(50):
+            optimizer.zero_grad()
+            diff = layer(Tensor(x)) - Tensor(target)
+            loss = (diff * diff).sum()
+            loss.backward()
+            optimizer.step()
+            if first_loss is None:
+                first_loss = loss.item()
+        assert loss.item() < 0.5 * first_loss
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        log_block=st.integers(1, 3),
+        p=st.integers(1, 3),
+        q=st.integers(1, 3),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_forward_equals_dense(self, log_block, p, q, seed):
+        block = 2**log_block
+        local = np.random.default_rng(seed)
+        layer = CirculantLinear(q * block, p * block, block, rng=local)
+        x = local.standard_normal((2, q * block))
+        expected = x @ layer.weight_matrix().T + layer.bias.data
+        assert np.allclose(layer(Tensor(x)).data, expected, atol=1e-9)

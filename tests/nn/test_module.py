@@ -1,0 +1,75 @@
+"""Module/Parameter container semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.linear import Linear
+from repro.nn.module import Module, Parameter
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones((2, 3)))
+        self.inner = Linear(3, 2)
+
+    def forward(self, x):
+        return self.inner(x)
+
+
+class TestModule:
+    def test_parameter_requires_grad(self):
+        assert Parameter(np.ones(3)).requires_grad
+
+    def test_named_parameters_recursive(self):
+        names = dict(Toy().named_parameters())
+        assert "weight" in names
+        assert "inner.weight" in names
+        assert "inner.bias" in names
+
+    def test_num_parameters(self):
+        toy = Toy()
+        assert toy.num_parameters() == 6 + 6 + 2
+
+    def test_state_dict_round_trip(self, rng):
+        source, target = Toy(), Toy()
+        for param in source.parameters():
+            param.data = rng.standard_normal(param.data.shape)
+        target.load_state_dict(source.state_dict())
+        for (_, a), (_, b) in zip(
+            source.named_parameters(), target.named_parameters()
+        ):
+            assert np.array_equal(a.data, b.data)
+
+    def test_state_dict_copies_not_aliases(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["weight"][0, 0] = 99.0
+        assert toy.weight.data[0, 0] == 1.0
+
+    def test_load_rejects_missing_keys(self):
+        toy = Toy()
+        state = toy.state_dict()
+        del state["weight"]
+        with pytest.raises(ShapeError):
+            toy.load_state_dict(state)
+
+    def test_load_rejects_bad_shape(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["weight"] = np.zeros((1, 1))
+        with pytest.raises(ShapeError):
+            toy.load_state_dict(state)
+
+    def test_zero_grad_clears_all(self, rng):
+        toy = Toy()
+        out = toy(np.ones((1, 3))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in toy.parameters())
+        toy.zero_grad()
+        assert all(p.grad is None for p in toy.parameters())
+
+    def test_named_modules(self):
+        names = [name for name, _ in Toy().named_modules()]
+        assert "" in names and "inner" in names

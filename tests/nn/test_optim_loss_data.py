@@ -1,0 +1,157 @@
+"""Optimizers, losses and batching utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError, TrainingError
+from repro.nn.autograd import Tensor
+from repro.nn.data import iterate_batches, pad_batch
+from repro.nn.loss import cross_entropy, frame_accuracy, sequence_cross_entropy
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+
+
+def quadratic_descent(optimizer_factory, steps=60):
+    """Minimize ||w - target||^2; returns the final distance."""
+    target = np.array([1.0, -2.0, 3.0])
+    w = Parameter(np.zeros(3))
+    optimizer = optimizer_factory([w])
+    for _ in range(steps):
+        optimizer.zero_grad()
+        diff = w - Tensor(target)
+        (diff * diff).sum().backward()
+        optimizer.step()
+    return float(np.max(np.abs(w.data - target)))
+
+
+class TestOptimizers:
+    def test_sgd_converges(self):
+        assert quadratic_descent(lambda p: SGD(p, lr=0.1)) < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        factory = lambda p: SGD(p, lr=0.01, momentum=0.9)  # noqa: E731
+        assert quadratic_descent(factory, steps=150) < 1e-3
+
+    def test_adam_converges(self):
+        assert quadratic_descent(lambda p: Adam(p, lr=0.2), steps=300) < 1e-3
+
+    def test_weight_decay_shrinks_solution(self):
+        def factory(p):
+            return SGD(p, lr=0.1, weight_decay=1.0)
+
+        distance = quadratic_descent(factory)
+        assert distance > 0.1  # decay biases the optimum toward zero
+
+    def test_bad_lr_rejected(self):
+        with pytest.raises(TrainingError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(TrainingError):
+            Adam([], lr=0.1)
+
+    def test_bad_momentum_rejected(self):
+        with pytest.raises(TrainingError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.0)
+
+    def test_step_skips_gradless_params(self):
+        p = Parameter(np.ones(2))
+        SGD([p], lr=0.1).step()
+        assert np.array_equal(p.data, np.ones(2))
+
+
+class TestClipGradNorm:
+    def test_clips_to_max_norm(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        pre = clip_grad_norm([p], max_norm=1.0)
+        assert pre == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.3, 0.4])
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.allclose(p.grad, [0.3, 0.4])
+
+    def test_handles_no_grads(self):
+        assert clip_grad_norm([Parameter(np.zeros(2))], 1.0) == 0.0
+
+
+class TestLosses:
+    def test_cross_entropy_perfect_prediction_near_zero(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        assert cross_entropy(logits, np.array([0, 1])).item() < 1e-6
+
+    def test_cross_entropy_uniform_is_log_classes(self):
+        logits = Tensor(np.zeros((4, 7)))
+        value = cross_entropy(logits, np.zeros(4, dtype=int)).item()
+        assert value == pytest.approx(np.log(7))
+
+    def test_sequence_ce_ignores_padding(self, rng):
+        logits = rng.standard_normal((5, 2, 3))
+        labels = rng.integers(0, 3, size=(5, 2))
+        mask = np.ones((5, 2))
+        mask[3:, 1] = 0.0
+        full = sequence_cross_entropy(Tensor(logits), labels, mask).item()
+        # Corrupt only the padded region; the loss must not change.
+        corrupted = logits.copy()
+        corrupted[3:, 1, :] = 1e3
+        same = sequence_cross_entropy(Tensor(corrupted), labels, mask).item()
+        assert full == pytest.approx(same)
+
+    def test_empty_mask_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            sequence_cross_entropy(
+                Tensor(np.zeros((2, 1, 3))),
+                np.zeros((2, 1), dtype=int),
+                np.zeros((2, 1)),
+            )
+
+    def test_frame_accuracy(self):
+        logits = np.zeros((2, 1, 3))
+        logits[0, 0, 1] = 5.0
+        logits[1, 0, 2] = 5.0
+        labels = np.array([[1], [0]])
+        mask = np.ones((2, 1), dtype=bool)
+        assert frame_accuracy(Tensor(logits), labels, mask) == pytest.approx(0.5)
+
+
+class TestBatching:
+    def test_pad_batch_shapes_and_mask(self, rng):
+        feats = [rng.standard_normal((t, 3)) for t in (4, 2, 6)]
+        labels = [np.zeros(t, dtype=int) for t in (4, 2, 6)]
+        batch = pad_batch(feats, labels)
+        assert batch.features.shape == (6, 3, 3)
+        assert batch.lengths == (4, 2, 6)
+        assert batch.mask.sum() == 12
+        assert batch.mask[5, 0] == 0.0 and batch.mask[5, 2] == 1.0
+
+    def test_pad_batch_rejects_mismatched(self, rng):
+        with pytest.raises(ShapeError):
+            pad_batch([rng.standard_normal((3, 2))], [np.zeros(4, dtype=int)])
+
+    def test_iterate_batches_covers_everything(self, rng):
+        feats = [rng.standard_normal((t, 2)) for t in range(2, 12)]
+        labels = [np.full(t, i, dtype=int) for i, t in enumerate(range(2, 12))]
+        seen = set()
+        for batch in iterate_batches(feats, labels, batch_size=3, rng=rng):
+            for b, length in enumerate(batch.lengths):
+                seen.add(int(batch.labels[0, b]))
+        assert seen == set(range(10))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        lengths=st.lists(st.integers(1, 9), min_size=1, max_size=8),
+        batch_size=st.integers(1, 4),
+    )
+    def test_property_mask_total_equals_frames(self, lengths, batch_size):
+        local = np.random.default_rng(0)
+        feats = [local.standard_normal((t, 2)) for t in lengths]
+        labels = [np.zeros(t, dtype=int) for t in lengths]
+        total = 0.0
+        for batch in iterate_batches(feats, labels, batch_size):
+            total += batch.mask.sum()
+        assert total == sum(lengths)

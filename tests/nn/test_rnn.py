@@ -1,0 +1,120 @@
+"""Stacked classifier: construction from specs, targets, conversion."""
+
+import numpy as np
+import pytest
+
+from repro.config import RNNSpec
+from repro.errors import ConfigError, ShapeError
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.circulant_layer import CirculantLinear
+from repro.nn.linear import Linear
+from repro.nn.rnn import StackedRNNClassifier, convert_to_circulant
+
+
+def spec_dense(cell="lstm"):
+    return RNNSpec(cell, 6, (8, 8), 5)
+
+
+def spec_circ(cell="lstm"):
+    return RNNSpec(cell, 6, (8, 8), 5, block_sizes=(4, 4))
+
+
+class TestConstruction:
+    def test_dense_model_uses_linear(self, rng):
+        model = StackedRNNClassifier(spec_circ(), structured=False, rng=rng)
+        assert isinstance(model.cells[0].w_r, Linear)
+
+    def test_structured_model_uses_circulant(self, rng):
+        model = StackedRNNClassifier(spec_circ(), structured=True, rng=rng)
+        assert isinstance(model.cells[0].w_r, CirculantLinear)
+        assert model.cells[0].w_r.block_size == 4
+
+    def test_gru_stack(self, rng):
+        model = StackedRNNClassifier(spec_dense("gru"), rng=rng)
+        out = model(np.random.default_rng(0).standard_normal((4, 2, 6)))
+        assert out.shape == (4, 2, 5)
+
+    def test_io_block_size_applied_to_input_matrices(self, rng):
+        spec = spec_circ().with_io_block_size(8)
+        model = StackedRNNClassifier(spec, structured=True, rng=rng)
+        assert model.cells[0].w_x.block_size == 8
+        assert model.cells[0].w_r.block_size == 4
+
+    def test_forward_shape(self, rng):
+        model = StackedRNNClassifier(spec_dense(), rng=rng)
+        out = model(np.random.default_rng(0).standard_normal((7, 3, 6)))
+        assert out.shape == (7, 3, 5)
+
+    def test_forward_rejects_2d(self, rng):
+        model = StackedRNNClassifier(spec_dense(), rng=rng)
+        with pytest.raises(ShapeError):
+            model(np.zeros((3, 6)))
+
+
+class TestStructuredTargets:
+    def test_targets_only_for_blocked_matrices(self, rng):
+        model = StackedRNNClassifier(spec_circ(), rng=rng)
+        names = {t.name for t in model.structured_targets()}
+        assert names == {
+            "cell0.w_x.weight",
+            "cell0.w_r.weight",
+            "cell1.w_x.weight",
+            "cell1.w_r.weight",
+        }
+
+    def test_dense_spec_yields_no_targets(self, rng):
+        model = StackedRNNClassifier(spec_dense(), rng=rng)
+        assert model.structured_targets() == []
+
+    def test_structured_model_rejects_targets(self, rng):
+        model = StackedRNNClassifier(spec_circ(), structured=True, rng=rng)
+        with pytest.raises(ConfigError):
+            model.structured_targets()
+
+    def test_target_block_sizes(self, rng):
+        spec = spec_circ().with_io_block_size(8)
+        model = StackedRNNClassifier(spec, rng=rng)
+        blocks = {t.name: t.block_size for t in model.structured_targets()}
+        assert blocks["cell0.w_x.weight"] == 8
+        assert blocks["cell0.w_r.weight"] == 4
+
+
+class TestConversion:
+    def test_convert_preserves_output_when_weights_circulant(self, rng):
+        """Projection of an already-circulant dense model is lossless.
+
+        Dimensions are multiples of the block size here: with ragged dims the
+        zero-padding makes double projection non-idempotent by design (the
+        padded region participates in the diagonal means).
+        """
+        from repro.core.projection import project_to_block_circulant
+
+        spec = RNNSpec("lstm", 8, (8, 8), 5, block_sizes=(4, 4))
+        dense = StackedRNNClassifier(spec, rng=rng)
+        for target in dense.structured_targets():
+            target.parameter.data = project_to_block_circulant(
+                target.parameter.data, target.block_size
+            )
+        structured = convert_to_circulant(dense)
+        x = np.random.default_rng(1).standard_normal((4, 2, 8))
+        with no_grad():
+            a = dense(x).data
+            b = structured(x).data
+        assert np.allclose(a, b, atol=1e-8)
+
+    def test_convert_copies_untargeted_parameters(self, rng):
+        dense = StackedRNNClassifier(spec_circ(), rng=rng)
+        structured = convert_to_circulant(dense)
+        assert np.array_equal(
+            structured.classifier.weight.data, dense.classifier.weight.data
+        )
+        assert np.array_equal(
+            structured.cells[0].bias.data, dense.cells[0].bias.data
+        )
+
+    def test_param_count_shrinks_by_block_size(self, rng):
+        dense = StackedRNNClassifier(spec_circ(), rng=rng)
+        structured = convert_to_circulant(dense)
+        dense_w = dense.cells[0].w_r.weight.size
+        struct_w = structured.cells[0].w_r.weight_vectors.size
+        assert dense_w == 4 * struct_w

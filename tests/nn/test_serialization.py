@@ -1,0 +1,53 @@
+"""Checkpoint round trips."""
+
+import numpy as np
+import pytest
+
+from repro.config import RNNSpec
+from repro.errors import ShapeError
+from repro.nn.autograd import no_grad
+from repro.nn.rnn import StackedRNNClassifier
+from repro.nn.serialization import load_model, save_model, spec_from_dict, spec_to_dict
+
+
+class TestSpecCodec:
+    def test_round_trip_full_spec(self):
+        spec = RNNSpec(
+            "lstm", 39, (32, 32), 16, block_sizes=(4, 8),
+            peephole=True, projection_size=16, io_block_size=8,
+        )
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_round_trip_dense_gru(self):
+        spec = RNNSpec("gru", 8, (16,), 5)
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+
+class TestCheckpoint:
+    def test_dense_round_trip(self, tmp_path, rng):
+        spec = RNNSpec("lstm", 8, (16,), 5, peephole=True)
+        model = StackedRNNClassifier(spec, rng=rng)
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.spec == spec
+        x = np.random.default_rng(1).standard_normal((4, 2, 8))
+        with no_grad():
+            assert np.allclose(model(x).data, loaded(x).data)
+
+    def test_structured_round_trip(self, tmp_path, rng):
+        spec = RNNSpec("gru", 8, (16,), 5, block_sizes=(4,))
+        model = StackedRNNClassifier(spec, structured=True, rng=rng)
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.structured
+        x = np.random.default_rng(1).standard_normal((3, 1, 8))
+        with no_grad():
+            assert np.allclose(model(x).data, loaded(x).data)
+
+    def test_rejects_non_checkpoint(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(ShapeError):
+            load_model(path)

@@ -1,0 +1,84 @@
+"""CLI smoke tests: every subcommand through main() with captured output."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestFitCheck:
+    def test_block8_fits(self, capsys):
+        code = main([
+            "fit-check", "--layers", "1024", "1024", "--block", "8",
+            "--projection", "512", "--peephole",
+        ])
+        assert code == 0
+        assert "FITS" in capsys.readouterr().out
+
+    def test_dense_does_not_fit(self, capsys):
+        code = main([
+            "fit-check", "--layers", "1024", "1024",
+            "--projection", "512", "--peephole",
+        ])
+        assert code == 1
+        assert "DOES NOT FIT" in capsys.readouterr().out
+
+
+class TestBounds:
+    def test_paper_bounds(self, capsys):
+        code = main([
+            "bounds", "--layers", "1024", "1024", "--projection", "512",
+            "--peephole",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lower bound" in out and "upper bound" in out
+
+
+class TestPrice:
+    def test_lstm_fft8(self, capsys):
+        code = main([
+            "price", "--layers", "1024", "--block", "8",
+            "--projection", "512", "--peephole",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FPS" in out and "PEs" in out
+
+    def test_error_reported_for_dense(self, capsys):
+        code = main(["price", "--layers", "1024"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCodegen:
+    def test_writes_file(self, tmp_path, capsys):
+        output = tmp_path / "cu.c"
+        code = main([
+            "codegen", "--cell", "gru", "--layers", "1024", "--block", "16",
+            "-o", str(output),
+        ])
+        assert code == 0
+        source = output.read_text()
+        assert "#pragma HLS" in source
+        assert source.count("{") == source.count("}")
+
+
+class TestReportCommands:
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "ESE" in out and "Headline ratios" in out
+
+    def test_fig8(self, capsys):
+        assert main(["fig8"]) == 0
+        assert "converges" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,109 @@
+"""RNNSpec / AccelSpec validation and derived properties."""
+
+import pytest
+
+from repro.config import AccelSpec, RNNSpec, is_power_of_two, validate_block_size
+from repro.errors import BlockSizeError, ConfigError
+
+
+class TestHelpers:
+    def test_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+        assert not is_power_of_two(-4)
+
+    def test_validate_block_size(self):
+        validate_block_size(8, 64, 128)
+        with pytest.raises(BlockSizeError):
+            validate_block_size(3)
+        with pytest.raises(BlockSizeError):
+            validate_block_size(8, 20)
+        with pytest.raises(BlockSizeError):
+            validate_block_size(0)
+
+
+class TestRNNSpec:
+    def test_valid_lstm(self):
+        spec = RNNSpec(
+            "lstm", 153, (1024, 1024), 39, block_sizes=(8, 16),
+            peephole=True, projection_size=512,
+        )
+        assert spec.num_layers == 2
+        assert spec.is_block_circulant
+        assert spec.effective_block_sizes == (8, 16)
+
+    def test_dense_spec(self):
+        spec = RNNSpec("gru", 16, (32,), 5)
+        assert not spec.is_block_circulant
+        assert spec.effective_block_sizes == (1,)
+
+    def test_rejects_unknown_cell(self):
+        with pytest.raises(ConfigError):
+            RNNSpec("rnn", 16, (32,), 5)
+
+    def test_rejects_block_layer_mismatch(self):
+        with pytest.raises(ConfigError):
+            RNNSpec("lstm", 16, (32, 32), 5, block_sizes=(4,))
+
+    def test_rejects_indivisible_block(self):
+        with pytest.raises(BlockSizeError):
+            RNNSpec("lstm", 16, (20,), 5, block_sizes=(8,))
+
+    def test_rejects_gru_projection_and_peephole(self):
+        with pytest.raises(ConfigError):
+            RNNSpec("gru", 16, (32,), 5, projection_size=16)
+        with pytest.raises(ConfigError):
+            RNNSpec("gru", 16, (32,), 5, peephole=True)
+
+    def test_with_block_sizes(self):
+        spec = RNNSpec("lstm", 16, (32,), 5)
+        blocked = spec.with_block_sizes((8,))
+        assert blocked.is_block_circulant
+        assert not spec.is_block_circulant  # original untouched
+
+    def test_with_cell_type_strips_lstm_features(self):
+        spec = RNNSpec(
+            "lstm", 16, (32,), 5, peephole=True, projection_size=16
+        )
+        gru = spec.with_cell_type("gru")
+        assert gru.cell_type == "gru"
+        assert not gru.peephole
+        assert gru.projection_size is None
+
+    def test_io_block_size_round_trip(self):
+        spec = RNNSpec("lstm", 16, (32,), 5, block_sizes=(4,))
+        assert spec.with_io_block_size(8).io_block_size == 8
+        assert spec.with_io_block_size(8).with_io_block_size(None).io_block_size is None
+
+    def test_describe(self):
+        spec = RNNSpec(
+            "lstm", 16, (32, 32), 5, block_sizes=(4, 8),
+            peephole=True,
+        )
+        text = spec.describe()
+        assert "LSTM" in text and "32-32" in text and "4-8" in text
+        assert "peephole" in text
+
+    def test_frozen(self):
+        spec = RNNSpec("lstm", 16, (32,), 5)
+        with pytest.raises(Exception):
+            spec.input_size = 99
+
+
+class TestAccelSpec:
+    def test_defaults(self):
+        accel = AccelSpec("XCKU060")
+        assert accel.weight_bits == 12
+        assert accel.clock_period_ns == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AccelSpec("XCKU060", weight_bits=1)
+        with pytest.raises(ConfigError):
+            AccelSpec("XCKU060", clock_mhz=0)
+        with pytest.raises(ConfigError):
+            AccelSpec("XCKU060", pwl_segments=1)
+        with pytest.raises(ConfigError):
+            AccelSpec("XCKU060", num_compute_units=0)

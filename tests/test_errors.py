@@ -1,0 +1,22 @@
+"""Exception hierarchy: everything derives from ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            if obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError), name
+
+
+def test_block_size_error_is_config_error():
+    assert issubclass(errors.BlockSizeError, errors.ConfigError)
+
+
+def test_catchable_as_repro_error():
+    with pytest.raises(errors.ReproError):
+        raise errors.FitError("too big")

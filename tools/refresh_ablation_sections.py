@@ -1,0 +1,39 @@
+"""Refresh EXPERIMENTS.md's measured ablation excerpts from benchmarks/out.
+
+Replaces the Phase-I trial log code block and the ADMM-vs-direct measured
+line with the latest benchmark outputs, so EXPERIMENTS.md always quotes the
+numbers the committed bench artifacts contain.
+
+    python tools/refresh_ablation_sections.py
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+OUT = REPO / "benchmarks" / "out"
+
+
+def refresh_phase1(text: str) -> str:
+    source = (OUT / "phase1_trials.txt").read_text().strip().splitlines()
+    log_lines = [line.strip() for line in source if line.strip().startswith("[")]
+    block = "\n".join(log_lines)
+    pattern = re.compile(r"```\n\[baseline\].*?```", re.DOTALL)
+    return pattern.sub(f"```\n{block}\n```", text, count=1)
+
+
+def main() -> None:
+    path = REPO / "EXPERIMENTS.md"
+    text = path.read_text()
+    text = refresh_phase1(text)
+    path.write_text(text)
+    measured = (OUT / "ablation_admm_vs_direct.txt").read_text().strip()
+    print("EXPERIMENTS.md phase-1 excerpt refreshed")
+    print("ADMM ablation (update the prose numbers manually if changed):")
+    print(" ", measured.splitlines()[0])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Regenerate the measured Table I/II sections of EXPERIMENTS.md from cache.
+
+Run after `pytest benchmarks/ --benchmark-only` so the recorded numbers always
+match the current corpus/training recipe:
+
+    python tools/update_experiments_md.py
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.experiments.common import ExperimentHarness
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def markdown_rows(rows) -> str:
+    lines = [
+        "| ID | layers | blocks | PER % | degr | paper PER | paper degr |",
+        "|---:|---|---|---:|---:|---:|---:|",
+    ]
+    for row in rows:
+        layers = "-".join(map(str, row.layer_sizes))
+        blocks = "-".join(map(str, row.block_sizes)) if row.block_sizes else "dense"
+        degr = f"{row.degradation:+.2f}" if row.degradation is not None else "-"
+        paper_degr = (
+            f"{row.paper_degradation:+.2f}"
+            if row.paper_degradation is not None
+            else "-"
+        )
+        lines.append(
+            f"| {row.row_id} | {layers} | {blocks} | {row.per:.2f} | {degr} "
+            f"| {row.paper_per:.2f} | {paper_degr} |"
+        )
+    return "\n".join(lines)
+
+
+def replace_table(text: str, heading: str, table: str) -> str:
+    """Swap the markdown table that follows ``heading`` for ``table``."""
+    pattern = re.compile(
+        rf"(^## {re.escape(heading)}.*?\n\n.*?)(\|.*?\n)(?=\n[^|])",
+        re.DOTALL | re.MULTILINE,
+    )
+    match = pattern.search(text)
+    if match is None:
+        raise SystemExit(f"could not locate the table under '{heading}'")
+    return text[: match.start(2)] + table + "\n" + text[match.end(2):]
+
+
+def main() -> None:
+    harness = ExperimentHarness()  # served from .bench_cache.json
+    table1 = markdown_rows(run_table1(harness))
+    table2 = markdown_rows(run_table2(harness))
+    path = REPO / "EXPERIMENTS.md"
+    text = path.read_text()
+    text = replace_table(text, "Table I", table1)
+    text = replace_table(text, "Table II", table2)
+    path.write_text(text)
+    print("EXPERIMENTS.md Table I/II refreshed from cache")
+
+
+if __name__ == "__main__":
+    main()
