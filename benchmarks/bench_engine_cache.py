@@ -1,0 +1,66 @@
+"""Engine cache: cold-build vs cached-build latency for a Phase-I sweep.
+
+Prices a 16-point design sweep (4 block sizes x 2 cells x 2 platforms —
+the shape of a Phase-I exploration) twice through one
+:class:`repro.api.Engine`: the first pass builds every HLS artifact cold,
+the second pass must be all cache hits.  Records the per-pass latency and
+the speedup; the acceptance bar for the cache being worth its complexity
+is >= 5x on the repeat pass.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.api import Design, Engine
+
+
+def sweep_designs() -> list[Design]:
+    designs = []
+    for platform in ("XCKU060", "ADM-PCIE-7V3"):
+        for block in (8, 16, 32, 64):
+            designs.append(
+                Design.lstm(1024).blocks(block).peephole().project(512)
+                .on(platform)
+            )
+            designs.append(Design.gru(1024).blocks(block).on(platform))
+    return designs
+
+
+def run_sweep(designs: list[Design], engine: Engine) -> float:
+    start = time.perf_counter()
+    for design in designs:
+        priced = design.using(engine).price()
+        assert priced.fps > 0
+        result = design.using(engine).codegen()
+        assert result.code
+    return time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="engine_cache")
+def test_engine_cache_speedup():
+    designs = sweep_designs()
+    assert len(designs) == 16
+
+    engine = Engine(maxsize=64)
+    cold = run_sweep(designs, engine)
+    cold_stats = engine.stats()
+    assert (cold_stats.hits, cold_stats.misses) == (0, 32)
+
+    hot = run_sweep(designs, engine)
+    stats = engine.stats()
+    speedup = cold / hot
+
+    lines = [
+        "Engine cache: 16-spec Phase-I sweep (price + codegen per spec)",
+        f"  cold pass: {cold * 1e3:8.1f} ms ({cold / 16 * 1e3:.2f} ms/spec)",
+        f"  hot pass:  {hot * 1e3:8.1f} ms ({hot / 16 * 1e3:.3f} ms/spec)",
+        f"  speedup:   {speedup:8.1f}x",
+        f"  {stats.describe()}",
+    ]
+    emit("engine_cache", "\n".join(lines))
+
+    assert stats.misses == 32  # 16 designs x (design + hls), built once
+    assert stats.hits == 32    # the hot pass never rebuilds
+    assert speedup >= 5.0, f"cache speedup {speedup:.1f}x below the 5x bar"

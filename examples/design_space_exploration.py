@@ -13,29 +13,27 @@ Run:  python examples/design_space_exploration.py
 
 import numpy as np
 
-from repro.config import AccelSpec, RNNSpec
+from repro.api import Design
+from repro.config import AccelSpec
 from repro.core.cost_model import fig8_curve
-from repro.core.ernn import ERNNFramework
 from repro.core.phase1 import PhaseIConfig
 from repro.core.phase2 import PhaseIIConfig
 from repro.experiments.common import ExperimentHarness, ExperimentSettings
-from repro.hw import AcceleratorModel, get_platform, min_block_size_for_bram
 
 
 def paper_scale_bounds() -> None:
     """Show the two explorations at the paper's real dimensions."""
     print("=== Design explorations at paper scale ===")
-    full = RNNSpec(
-        "lstm", 153, (1024, 1024), 39, peephole=True, projection_size=512
-    )
+    full = Design.lstm(1024, 1024).peephole().project(512)
     for name in ("ADM-PCIE-7V3", "XCKU060"):
-        lower = min_block_size_for_bram(full, get_platform(name))
-        print(f"  {name}: smallest block size that fits BRAM = {lower}")
+        report = full.on(name).bounds()
+        print(f"  {name}: smallest block size that fits BRAM = {report.lower}")
     curve = fig8_curve(1024, (2, 4, 8, 16, 32, 64))
     print("  Fig. 8 curve (layer 1024):",
           {b: round(v, 3) for b, v in curve.items()})
-    print("  -> search range [8, 64]; with power-of-2 steps that is "
-          "at most 4 trials\n")
+    report = full.on("XCKU060").bounds()
+    print(f"  -> search range [{report.lower}, {report.upper}]; with "
+          f"power-of-2 steps that is at most {report.num_trials} trials\n")
 
 
 def scaled_two_phase_run() -> None:
@@ -46,34 +44,33 @@ def scaled_two_phase_run() -> None:
     ))
     baseline = harness.make_spec("lstm", (32, 32))
 
-    framework = ERNNFramework(
-        baseline,
-        harness.trainer(),
-        phase1_config=PhaseIConfig(
-            accuracy_budget=5.0,  # scaled corpus => coarser PER granularity
-            platform="XCKU060",
-            max_block=16,
-        ),
-        phase2_config=PhaseIIConfig(platform="XCKU060"),
+    result = (
+        Design.from_specs(baseline, AccelSpec("XCKU060"))
+        .optimize(
+            harness.trainer(),
+            phase1_config=PhaseIConfig(
+                accuracy_budget=5.0,  # scaled corpus => coarser PER steps
+                platform="XCKU060",
+                max_block=16,
+            ),
+            phase2_config=PhaseIIConfig(platform="XCKU060"),
+        )
     )
-    result = framework.optimize()
     print(result.describe())
 
     # Price the chosen model at paper scale for context: scale the layer
     # sizes back up by 16 and keep the chosen block structure.
     chosen = result.phase1.final_spec
-    paper_spec = RNNSpec(
-        chosen.cell_type,
-        153,
-        tuple(16 * size for size in chosen.layer_sizes),
-        39,
-        block_sizes=chosen.effective_block_sizes,
-        io_block_size=chosen.io_block_size,
+    paper = (
+        Design.cell(chosen.cell_type, *(16 * size for size in chosen.layer_sizes))
+        .blocks(*chosen.effective_block_sizes)
+        .io_block(chosen.io_block_size)
+        .on("XCKU060")
     )
-    design = AcceleratorModel(paper_spec, AccelSpec("XCKU060")).build()
+    priced = paper.price()
     print(
-        f"\nsame structure at paper scale ({paper_spec.describe()}): "
-        f"{design.latency_us:.1f} us/frame, {design.fps:,.0f} FPS"
+        f"\nsame structure at paper scale ({paper.rnn_spec().describe()}): "
+        f"{priced.latency_us:.1f} us/frame, {priced.fps:,.0f} FPS"
     )
 
 

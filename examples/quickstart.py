@@ -24,9 +24,9 @@ from repro.asr import (
     prepare_dataset,
     train_model,
 )
-from repro.config import AccelSpec, RNNSpec
-from repro.core.flow import ernn_compress
-from repro.hw import AcceleratorModel, quantized_copy, quantized_dataset
+from repro.api import Design
+from repro.config import RNNSpec
+from repro.hw import quantized_copy, quantized_dataset
 from repro.nn import StackedRNNClassifier
 
 
@@ -70,8 +70,14 @@ def main() -> None:
     # 3. ADMM compression to block-circulant (block size 4 -> 4x fewer
     #    weights, Fig. 6 flow: ADMM -> projection -> structured retrain).
     # ------------------------------------------------------------------
-    target = spec.with_block_sizes((4,))
-    result = ernn_compress(model, target, train)
+    design = (
+        Design.lstm(*spec.layer_sizes)
+        .io(train.feature_dim, len(phones))
+        .blocks(4)
+        .on("XCKU060")
+        .bits(12)
+    )
+    result = design.compress(model, train)
     compressed_per = evaluate_per(result.model, test)
     print(
         f"E-RNN block-4 PER: {compressed_per:.2f}% "
@@ -97,12 +103,12 @@ def main() -> None:
     # 5. FPGA implementation (at paper scale the same call prices the
     #    Table III designs; here it prices the toy model).
     # ------------------------------------------------------------------
-    design = AcceleratorModel(target, AccelSpec("XCKU060")).build()
+    priced = design.price()
     print(
-        f"KU060 implementation: {design.num_pes} PEs in {design.num_cus} CUs, "
-        f"{design.latency_us:.2f} us/frame, {design.fps:,.0f} FPS, "
-        f"{design.power_watts:.1f} W "
-        f"({design.energy_efficiency:,.0f} FPS/W)"
+        f"KU060 implementation: {priced.num_pes} PEs in {priced.num_cus} CUs, "
+        f"{priced.latency_us:.2f} us/frame, {priced.fps:,.0f} FPS, "
+        f"{priced.power_watts:.1f} W "
+        f"({priced.energy_efficiency:,.0f} FPS/W)"
     )
 
 

@@ -5,18 +5,22 @@ block-circulant + ADMM compression framework, the two-phase design
 optimization, the FPGA hardware models, the HLS flow, and the ESE / C-LSTM
 baselines — evaluated end to end on a synthetic TIMIT-like ASR task.
 
-Quick start::
+Quick start — the :mod:`repro.api` facade covers the whole flow::
 
-    from repro import RNNSpec, AccelSpec
-    from repro.hw import AcceleratorModel
+    from repro.api import Design
 
-    spec = RNNSpec("lstm", 153, (1024,), 39,
-                   block_sizes=(8,), peephole=True, projection_size=512)
-    design = AcceleratorModel(spec, AccelSpec("XCKU060")).build()
-    print(design.latency_us, design.fps)
+    design = (Design.lstm(1024).blocks(8).peephole().project(512)
+                    .on("XCKU060").bits(12))
+    print(design.fit_check().describe())   # Phase-I BRAM sanity check
+    print(design.bounds().describe())      # Phase-I block-size search range
+    priced = design.price()                # Phase-II sizing (cached)
+    print(priced.latency_us, priced.fps)
+    design.codegen("ernn_cu.c")            # the HLS flow, C source out
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every table and figure.
+The frozen spec types (:class:`RNNSpec`, :class:`AccelSpec`) remain the
+interchange values underneath; ``Design`` compiles to them via
+``.specs()``.  See README.md for the tour, ROADMAP.md for where the system
+is heading, and PAPER.md for the source paper's abstract.
 """
 
 from repro.config import AccelSpec, RNNSpec, is_power_of_two, validate_block_size
@@ -32,6 +36,7 @@ from repro.core import (
     PhaseIIResult,
     PhaseIOptimizer,
     PhaseIResult,
+    run_two_phase_flow,
 )
 from repro.errors import (
     BlockSizeError,
@@ -39,15 +44,40 @@ from repro.errors import (
     DecodingError,
     FitError,
     QuantizationError,
+    RegistryError,
     ReproError,
     SchedulingError,
     ShapeError,
     TrainingError,
 )
 
-__version__ = "1.0.0"
+# The facade import sits after core/config on purpose: repro.api.design pulls
+# in the hw/hls stacks, whose modules lean on repro.core already being fully
+# initialized (the long-standing accelerator <-> core.compression cycle).
+from repro.api import (
+    ACTIVATION_REGISTRY,
+    CELL_REGISTRY,
+    PLATFORM_REGISTRY,
+    Design,
+    Engine,
+    default_engine,
+    register_activation,
+    register_cell,
+    register_platform,
+)
+
+__version__ = "1.1.0"
 
 __all__ = [
+    "Design",
+    "Engine",
+    "default_engine",
+    "PLATFORM_REGISTRY",
+    "CELL_REGISTRY",
+    "ACTIVATION_REGISTRY",
+    "register_platform",
+    "register_cell",
+    "register_activation",
     "AccelSpec",
     "RNNSpec",
     "is_power_of_two",
@@ -63,11 +93,13 @@ __all__ = [
     "PhaseIIResult",
     "PhaseIOptimizer",
     "PhaseIResult",
+    "run_two_phase_flow",
     "BlockSizeError",
     "ConfigError",
     "DecodingError",
     "FitError",
     "QuantizationError",
+    "RegistryError",
     "ReproError",
     "SchedulingError",
     "ShapeError",

@@ -1,0 +1,86 @@
+"""`repro.api` — the library's front door.
+
+One coherent facade over the whole E-RNN flow:
+
+* :class:`Design` — a fluent, immutable builder that compiles to the frozen
+  ``(RNNSpec, AccelSpec)`` pair and exposes every verb of the paper's
+  workflow as a chained call::
+
+      from repro.api import Design
+
+      design = (Design.lstm(1024).blocks(8).peephole().project(512)
+                      .on("XCKU060").bits(12))
+      design.fit_check()     # Phase-I Step One: BRAM sanity check
+      design.bounds()        # Phase-I block-size search range
+      design.price()         # Phase-II sizing: latency / FPS / power
+      design.codegen()       # the HLS flow: schedule + generated C
+      design.compress(model, dataset)       # ADMM compression (Fig. 6)
+      design.optimize(trainer, baseline_per=20.01)  # Phase I + II
+
+* :class:`Engine` — a keyed LRU cache over built artifacts, so sweeps and
+  benchmarks that revisit a spec pay for the build once.
+* the component registries (:data:`PLATFORM_REGISTRY`, :data:`CELL_REGISTRY`,
+  :data:`ACTIVATION_REGISTRY`) with their ``register_*`` hooks.
+
+The module body stays import-light (registries only); the heavy façade
+classes load on first attribute access so that low-level modules can import
+``repro.api.registry`` during package initialization without cycles.
+"""
+
+from __future__ import annotations
+
+from repro.api.registry import (
+    ACTIVATION_REGISTRY,
+    CELL_REGISTRY,
+    PLATFORM_REGISTRY,
+    ActivationInfo,
+    CellInfo,
+    Registry,
+    register_activation,
+    register_cell,
+    register_platform,
+)
+
+__all__ = [
+    "Design",
+    "Engine",
+    "CacheStats",
+    "default_engine",
+    "set_default_engine",
+    "FitReport",
+    "BoundsReport",
+    "Registry",
+    "CellInfo",
+    "ActivationInfo",
+    "PLATFORM_REGISTRY",
+    "CELL_REGISTRY",
+    "ACTIVATION_REGISTRY",
+    "register_platform",
+    "register_cell",
+    "register_activation",
+]
+
+# Lazily-exported heavy attributes (PEP 562): importing them at body level
+# would cycle back into repro.config / repro.hw during package init.
+_LAZY = {
+    "Design": "repro.api.design",
+    "Engine": "repro.api.engine",
+    "CacheStats": "repro.api.engine",
+    "default_engine": "repro.api.engine",
+    "set_default_engine": "repro.api.engine",
+    "FitReport": "repro.api.reports",
+    "BoundsReport": "repro.api.reports",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,307 @@
+"""The fluent ``Design`` builder: one immutable object, six verbs.
+
+``Design`` is the facade's session type.  Construction verbs each return a
+*new* frozen instance (so partial designs can be shared and forked safely
+in sweeps), and the whole object compiles down to the library's frozen
+``(RNNSpec, AccelSpec)`` pair on demand:
+
+>>> from repro.api import Design
+>>> d = (Design.lstm(1024).blocks(8).peephole().project(512)
+...            .on("XCKU060").bits(12))
+>>> d.fit_check().fits
+True
+>>> d.bounds().num_trials
+4
+>>> d.price().fps           # cached by the shared Engine
+>>> d.codegen().code        # ditto
+>>> d.compress(dense_model, dataset)
+>>> d.optimize(trainer, baseline_per=20.01)
+
+Every action verb routes hardware builds through an
+:class:`repro.api.engine.Engine` (the process default unless ``.using()``
+pins one), so repeated pricing in sweeps and benchmarks is O(1) after the
+first build.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.api.engine import Engine, default_engine
+from repro.api.registry import CELL_REGISTRY
+from repro.api.reports import BoundsReport, FitReport
+from repro.config import AccelSpec, RNNSpec
+
+if TYPE_CHECKING:
+    from repro.core.ernn import ERNNResult
+    from repro.core.flow import CompressionResult
+    from repro.core.phase1 import PhaseIConfig, Trainer
+    from repro.core.phase2 import PhaseIIConfig
+    from repro.hls.framework import HLSResult
+    from repro.hw.accelerator import AcceleratorDesign
+
+__all__ = ["Design"]
+
+
+@dataclass(frozen=True)
+class Design:
+    """An immutable, chainable description of one E-RNN design point."""
+
+    cell_type: str = "lstm"
+    layer_sizes: tuple[int, ...] = (1024,)
+    input_size: int = 153
+    output_size: int = 39
+    block_sizes: tuple[int, ...] = ()
+    io_block_size: int | None = None
+    use_peephole: bool = False
+    projection_size: int | None = None
+    platform: str = "XCKU060"
+    weight_bits: int = 12
+    input_bits: int = 12
+    clock_mhz: float = 200.0
+    pwl_segments: int = 16
+    num_compute_units: int | None = None
+    pe_efficiency: float = 1.0
+    engine: Engine | None = field(default=None, compare=False)
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def lstm(cls, *layer_sizes: int) -> "Design":
+        """Start an LSTM design: ``Design.lstm(1024)`` or ``lstm(1024, 1024)``."""
+        return cls.cell("lstm", *layer_sizes)
+
+    @classmethod
+    def gru(cls, *layer_sizes: int) -> "Design":
+        """Start a GRU design."""
+        return cls.cell("gru", *layer_sizes)
+
+    @classmethod
+    def cell(cls, cell_type: str, *layer_sizes: int) -> "Design":
+        """Start a design with any registered cell type."""
+        CELL_REGISTRY.get(cell_type)  # fail fast on unknown cells
+        return cls(
+            cell_type=cell_type,
+            layer_sizes=tuple(layer_sizes) if layer_sizes else (1024,),
+        )
+
+    @classmethod
+    def from_specs(cls, spec: RNNSpec, accel: AccelSpec) -> "Design":
+        """Lift an existing frozen spec pair into the fluent world."""
+        return cls(
+            cell_type=spec.cell_type,
+            layer_sizes=spec.layer_sizes,
+            input_size=spec.input_size,
+            output_size=spec.output_size,
+            block_sizes=spec.block_sizes,
+            io_block_size=spec.io_block_size,
+            use_peephole=spec.peephole,
+            projection_size=spec.projection_size,
+            platform=accel.platform,
+            weight_bits=accel.weight_bits,
+            input_bits=accel.input_bits,
+            clock_mhz=accel.clock_mhz,
+            pwl_segments=accel.pwl_segments,
+            num_compute_units=accel.num_compute_units,
+        )
+
+    # -- model-side verbs ----------------------------------------------
+    def _replace(self, **changes: Any) -> "Design":
+        return dataclasses.replace(self, **changes)
+
+    def layers(self, *layer_sizes: int) -> "Design":
+        """Set the hidden sizes, one per layer."""
+        return self._replace(layer_sizes=tuple(layer_sizes))
+
+    def blocks(self, *block_sizes: int) -> "Design":
+        """Set circulant block sizes: one uniform value or one per layer."""
+        if len(block_sizes) == 1:
+            block_sizes = tuple(block_sizes[0] for _ in self.layer_sizes)
+        return self._replace(block_sizes=tuple(block_sizes))
+
+    def dense(self) -> "Design":
+        """Drop compression — the paper's dense baseline rows."""
+        return self._replace(block_sizes=(), io_block_size=None)
+
+    def io_block(self, block_size: int | None) -> "Design":
+        """Coarser block size for the non-recurrent I/O matrices (Step Three)."""
+        return self._replace(io_block_size=block_size)
+
+    def peephole(self, enabled: bool = True) -> "Design":
+        """Toggle LSTM peephole connections."""
+        return self._replace(use_peephole=enabled)
+
+    def project(self, projection_size: int | None) -> "Design":
+        """Set the LSTM projection layer width (``None`` disables)."""
+        return self._replace(projection_size=projection_size)
+
+    def io(self, input_size: int | None = None, output_size: int | None = None) -> "Design":
+        """Set the feature and classifier dimensions."""
+        changes: dict[str, Any] = {}
+        if input_size is not None:
+            changes["input_size"] = input_size
+        if output_size is not None:
+            changes["output_size"] = output_size
+        return self._replace(**changes)
+
+    # -- hardware-side verbs -------------------------------------------
+    def on(self, platform: str) -> "Design":
+        """Target a registered FPGA platform (name or alias)."""
+        return self._replace(platform=platform)
+
+    def bits(self, weight_bits: int, input_bits: int | None = None) -> "Design":
+        """Set the fixed-point widths (inputs default to the weight width)."""
+        return self._replace(
+            weight_bits=weight_bits,
+            input_bits=input_bits if input_bits is not None else weight_bits,
+        )
+
+    def clock(self, clock_mhz: float) -> "Design":
+        """Set the target clock frequency."""
+        return self._replace(clock_mhz=clock_mhz)
+
+    def pwl(self, segments: int) -> "Design":
+        """Size the piecewise-linear activation tables (Sec. VIII-B1)."""
+        return self._replace(pwl_segments=segments)
+
+    def compute_units(self, num_cus: int | None) -> "Design":
+        """Pin the CU count (``None`` restores the Table III default of 3)."""
+        return self._replace(num_compute_units=num_cus)
+
+    def efficiency(self, pe_efficiency: float) -> "Design":
+        """Scale PE throughput (the C-LSTM comparison knob)."""
+        return self._replace(pe_efficiency=pe_efficiency)
+
+    def using(self, engine: Engine) -> "Design":
+        """Route this design's builds through a specific engine."""
+        return self._replace(engine=engine)
+
+    # -- compilation ----------------------------------------------------
+    def rnn_spec(self) -> RNNSpec:
+        """Compile the model half to the frozen :class:`RNNSpec`."""
+        return RNNSpec(
+            cell_type=self.cell_type,
+            input_size=self.input_size,
+            layer_sizes=self.layer_sizes,
+            output_size=self.output_size,
+            block_sizes=self.block_sizes,
+            peephole=self.use_peephole,
+            projection_size=self.projection_size,
+            io_block_size=self.io_block_size,
+        )
+
+    def accel_spec(self) -> AccelSpec:
+        """Compile the hardware half to the frozen :class:`AccelSpec`."""
+        return AccelSpec(
+            platform=self.platform,
+            weight_bits=self.weight_bits,
+            input_bits=self.input_bits,
+            clock_mhz=self.clock_mhz,
+            pwl_segments=self.pwl_segments,
+            num_compute_units=self.num_compute_units,
+        )
+
+    def specs(self) -> tuple[RNNSpec, AccelSpec]:
+        return self.rnn_spec(), self.accel_spec()
+
+    def describe(self) -> str:
+        spec = self.rnn_spec()
+        return f"{spec.describe()} on {self.platform} @ {self.clock_mhz:.0f} MHz"
+
+    def _engine(self) -> Engine:
+        return self.engine if self.engine is not None else default_engine()
+
+    # -- action verbs ---------------------------------------------------
+    def fit_check(self) -> FitReport:
+        """Phase-I Step One: BRAM sanity check (Sec. VI-B)."""
+        from repro.hw.bram import fits_bram, storage_breakdown
+        from repro.hw.platform import get_platform
+
+        spec = self.rnn_spec()
+        platform = get_platform(self.platform)
+        return FitReport(
+            spec=spec,
+            platform=platform,
+            bits=self.weight_bits,
+            breakdown=storage_breakdown(spec, self.weight_bits),
+            fits=fits_bram(spec, platform, self.weight_bits),
+        )
+
+    def bounds(self) -> BoundsReport:
+        """Phase-I block-size search range (BRAM lower, Fig. 8 upper)."""
+        from repro.core.cost_model import recommended_block_upper_bound
+        from repro.hw.bram import min_block_size_for_bram
+        from repro.hw.platform import get_platform
+
+        dense = self.rnn_spec().with_block_sizes(())
+        return BoundsReport(
+            spec=dense,
+            platform_name=get_platform(self.platform).name,
+            bits=self.weight_bits,
+            lower=min_block_size_for_bram(
+                dense, get_platform(self.platform), self.weight_bits
+            ),
+            upper=recommended_block_upper_bound(max(self.layer_sizes)),
+        )
+
+    def price(self) -> "AcceleratorDesign":
+        """Phase-II hardware sizing: latency / FPS / power (cached)."""
+        spec, accel = self.specs()
+        return self._engine().design(spec, accel, self.pe_efficiency)
+
+    def codegen(self, output: str | Path | None = None) -> "HLSResult":
+        """Run the HLS flow (cached); optionally write the C source."""
+        spec, accel = self.specs()
+        result = self._engine().hls(spec, accel, self.pe_efficiency)
+        if output is not None:
+            Path(output).write_text(result.code)
+        return result
+
+    def compress(
+        self,
+        dense_model: Any,
+        dataset: Any,
+        **flow_kwargs: Any,
+    ) -> "CompressionResult":
+        """ADMM-compress a pretrained dense model to this design's blocks.
+
+        Wraps :func:`repro.core.flow.ernn_compress` (Fig. 6); keyword
+        arguments (``admm_config``, ``admm_train``, ``retrain``, ``rng``)
+        pass through.
+        """
+        from repro.core.flow import ernn_compress
+
+        return ernn_compress(dense_model, self.rnn_spec(), dataset, **flow_kwargs)
+
+    def optimize(
+        self,
+        trainer: "Trainer",
+        baseline_per: float | None = None,
+        phase1_config: "PhaseIConfig | None" = None,
+        phase2_config: "PhaseIIConfig | None" = None,
+        quant_eval_factory: Any = None,
+    ) -> "ERNNResult":
+        """Run the full two-phase flow from this design's dense baseline.
+
+        The design's *structure* (cell, layers, I/O, peephole, projection)
+        seeds Phase I; its *hardware* fields (platform, bits) become the
+        default search configuration unless explicit configs are given.
+        """
+        from repro.core.ernn import run_two_phase_flow
+        from repro.core.phase1 import PhaseIConfig
+
+        baseline = self.rnn_spec().with_block_sizes(()).with_io_block_size(None)
+        if phase1_config is None:
+            phase1_config = PhaseIConfig(
+                platform=self.platform, weight_bits=self.weight_bits
+            )
+        return run_two_phase_flow(
+            baseline,
+            trainer,
+            baseline_per=baseline_per,
+            phase1_config=phase1_config,
+            phase2_config=phase2_config,
+            quant_eval_factory=quant_eval_factory,
+        )

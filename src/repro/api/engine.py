@@ -1,0 +1,144 @@
+"""The cached build engine: ``(RNNSpec, AccelSpec) → built artifact``.
+
+Phase-I sweeps, the Table III/IV benchmarks, and any future serving path
+all revisit the same handful of design points; a full
+:func:`repro.hls.framework.build_hls` run costs tens of milliseconds while
+the specs themselves are small frozen dataclasses — i.e. perfect cache
+keys.  :class:`Engine` memoizes both build products behind one keyed LRU
+cache so a repeat ``price()``/``codegen()`` is a dict lookup:
+
+>>> engine = Engine(maxsize=64)
+>>> engine.design(spec, accel)      # cold: runs the accelerator model
+>>> engine.design(spec, accel)      # hot: O(1)
+>>> engine.stats().hits
+1
+
+The cache is safe because every artifact is a frozen dataclass referencing
+frozen specs — callers cannot mutate a cached entry.  ``benchmarks/
+bench_engine_cache.py`` records the measured cold-vs-hot speedup.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.config import AccelSpec, RNNSpec
+from repro.hls.framework import HLSResult, build_hls
+from repro.hw.accelerator import AcceleratorDesign, build_design
+
+__all__ = ["CacheStats", "Engine", "default_engine", "set_default_engine"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A snapshot of one engine's cache counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"engine cache: {self.hits} hits / {self.misses} misses "
+            f"({100 * self.hit_rate:.1f}%), {self.size}/{self.maxsize} "
+            f"entries, {self.evictions} evictions"
+        )
+
+
+class Engine:
+    """Memoizing builder for accelerator designs and HLS results.
+
+    One LRU cache spans both artifact kinds; the key includes the kind tag,
+    the frozen specs, and ``pe_efficiency``.  ``maxsize`` bounds memory for
+    long sweeps — the oldest untouched entry is evicted first.
+    """
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._cache: OrderedDict[Hashable, Any] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    def _memoized(self, key: Hashable, build) -> Any:
+        try:
+            value = self._cache[key]
+        except KeyError:
+            self._misses += 1
+            value = build()
+            self._cache[key] = value
+            if len(self._cache) > self.maxsize:
+                self._cache.popitem(last=False)
+                self._evictions += 1
+            return value
+        self._hits += 1
+        self._cache.move_to_end(key)
+        return value
+
+    # ------------------------------------------------------------------
+    def design(
+        self, spec: RNNSpec, accel: AccelSpec, pe_efficiency: float = 1.0
+    ) -> AcceleratorDesign:
+        """Size the accelerator (Phase-II pricing), memoized."""
+        key = ("design", spec, accel, pe_efficiency)
+        return self._memoized(
+            key, lambda: build_design(spec, accel, pe_efficiency=pe_efficiency)
+        )
+
+    def hls(
+        self, spec: RNNSpec, accel: AccelSpec, pe_efficiency: float = 1.0
+    ) -> HLSResult:
+        """Run the full HLS flow (graph, schedule, C source), memoized."""
+        key = ("hls", spec, accel, pe_efficiency)
+        return self._memoized(
+            key, lambda: build_hls(spec, accel, pe_efficiency=pe_efficiency)
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._cache),
+            maxsize=self.maxsize,
+        )
+
+    def clear(self) -> None:
+        """Drop all cached artifacts and reset the counters."""
+        self._cache.clear()
+        self._hits = self._misses = self._evictions = 0
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._cache
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+_default_engine = Engine()
+
+
+def default_engine() -> Engine:
+    """The process-wide engine used by :class:`repro.api.Design` verbs."""
+    return _default_engine
+
+
+def set_default_engine(engine: Engine) -> Engine:
+    """Swap the process-wide engine (returns the previous one)."""
+    global _default_engine
+    previous = _default_engine
+    _default_engine = engine
+    return previous

@@ -1,0 +1,280 @@
+"""Component registries: platforms, RNN cells, activation implementations.
+
+The seed hard-coded its extension points as string branches — ``cli.py``
+offered ``choices=("lstm", "gru")``, ``hw/platform.py`` kept a literal
+``PLATFORMS`` dict, and the PWL activations were reachable only through the
+``pwl_sigmoid``/``pwl_tanh`` module functions.  This module replaces those
+branches with three :class:`Registry` instances plus decorator-style
+registration, so a new platform, cell, or activation is one registration
+call instead of edits scattered across the tree:
+
+>>> from repro.api import register_platform
+>>> register_platform(FPGAPlatform(name="VU9P", ...), aliases=("vu9p",))
+>>> Design.lstm(1024).blocks(8).on("VU9P").price()
+
+This module is a dependency *leaf*: it imports only :mod:`repro.errors` and
+the standard library, so low-level modules (``repro.config``,
+``repro.hw.platform``) can consult it without import cycles.  Built-in
+components are seeded lazily by dotted path and resolved on first lookup.
+"""
+
+from __future__ import annotations
+
+import importlib
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import RegistryError
+
+__all__ = [
+    "Registry",
+    "CellInfo",
+    "ActivationInfo",
+    "PLATFORM_REGISTRY",
+    "CELL_REGISTRY",
+    "ACTIVATION_REGISTRY",
+    "register_platform",
+    "register_cell",
+    "register_activation",
+]
+
+
+@dataclass
+class _LazyRef:
+    """A ``"module:attribute"`` pointer resolved on first access."""
+
+    target: str
+
+    def resolve(self) -> Any:
+        module_name, _, attribute = self.target.partition(":")
+        module = importlib.import_module(module_name)
+        return getattr(module, attribute)
+
+
+class Registry(Mapping):
+    """A named collection of components with alias-aware lookup.
+
+    Behaves as a read-only mapping from canonical name to component (so the
+    legacy ``PLATFORMS`` dict idioms — iteration, ``in``, ``sorted(...)`` —
+    keep working), plus:
+
+    * case-insensitive alias resolution (``get("ku060")``);
+    * duplicate-name detection at registration time;
+    * lazy built-in entries that defer the import of heavy modules.
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._items: dict[str, Any] = {}
+        self._aliases: dict[str, str] = {}
+
+    # -- registration ---------------------------------------------------
+    def register(self, name: str, obj: Any, aliases: tuple[str, ...] = ()) -> Any:
+        if not name:
+            raise RegistryError(f"{self.kind} name must be non-empty")
+        lowered = name.lower()
+        if name in self._items or lowered in self._aliases:
+            raise RegistryError(f"duplicate {self.kind} name {name!r}")
+        for alias in aliases:
+            if alias.lower() in self._aliases:
+                raise RegistryError(
+                    f"{self.kind} alias {alias!r} collides with an existing entry"
+                )
+        self._items[name] = obj
+        self._aliases[lowered] = name
+        for alias in aliases:
+            self._aliases[alias.lower()] = name
+        return obj
+
+    def register_lazy(
+        self, name: str, target: str, aliases: tuple[str, ...] = ()
+    ) -> None:
+        """Register a built-in by dotted ``"module:attribute"`` path."""
+        self.register(name, _LazyRef(target), aliases=aliases)
+
+    # -- lookup ---------------------------------------------------------
+    def canonical_name(self, name: str) -> str:
+        if name in self._items:
+            return name
+        canonical = self._aliases.get(name.lower())
+        if canonical is None:
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; known: {sorted(self._items)}"
+            )
+        return canonical
+
+    def get(self, name: str) -> Any:
+        canonical = self.canonical_name(name)
+        obj = self._items[canonical]
+        if isinstance(obj, _LazyRef):
+            obj = obj.resolve()
+            self._items[canonical] = obj
+        return obj
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._items))
+
+    # -- Mapping protocol ----------------------------------------------
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self.get(name)
+        except RegistryError as error:
+            raise KeyError(str(error)) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, name: object) -> bool:
+        if not isinstance(name, str):
+            return False
+        return name in self._items or name.lower() in self._aliases
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {sorted(self._items)})"
+
+
+@dataclass(frozen=True)
+class CellInfo:
+    """Capabilities and factory of one RNN cell type.
+
+    ``factory`` builds one recurrent cell: ``factory(input_size, hidden_size,
+    **kwargs) -> Module``.  The capability flags drive :class:`RNNSpec`
+    validation — peepholes and projection are LSTM concepts, and a custom
+    cell must opt in explicitly before a spec using them will validate.
+    """
+
+    name: str
+    factory: Callable[..., Any]
+    supports_peephole: bool = False
+    supports_projection: bool = False
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class ActivationInfo:
+    """One hardware activation implementation.
+
+    ``builder(segments) -> PiecewiseLinearActivation`` (or any callable
+    object mapping arrays to arrays with a ``resources(bits)`` method).
+    """
+
+    name: str
+    builder: Callable[[int], Any]
+    description: str = ""
+
+
+PLATFORM_REGISTRY = Registry("platform")
+CELL_REGISTRY = Registry("cell")
+ACTIVATION_REGISTRY = Registry("activation")
+
+# Built-ins, seeded lazily so this module stays import-light.  The dotted
+# targets are the modules that own the objects; nothing here imports numpy.
+PLATFORM_REGISTRY.register_lazy(
+    "ADM-PCIE-7V3",
+    "repro.hw.platform:ADM_PCIE_7V3",
+    aliases=("7v3", "virtex-7"),
+)
+PLATFORM_REGISTRY.register_lazy(
+    "XCKU060",
+    "repro.hw.platform:XCKU060",
+    aliases=("ku060", "kintex-ultrascale"),
+)
+def _lazy_callable(target: str) -> Callable[..., Any]:
+    """A callable proxy that imports ``"module:attr"`` on first invocation."""
+    ref = _LazyRef(target)
+
+    def call(*args: Any, **kwargs: Any) -> Any:
+        return ref.resolve()(*args, **kwargs)
+
+    call.__qualname__ = call.__name__ = target.rpartition(":")[2]
+    return call
+
+
+CELL_REGISTRY.register(
+    "lstm",
+    CellInfo(
+        name="lstm",
+        factory=_lazy_callable("repro.nn.lstm:LSTMCell"),
+        supports_peephole=True,
+        supports_projection=True,
+        description="LSTM with optional peephole connections and projection",
+    ),
+)
+CELL_REGISTRY.register(
+    "gru",
+    CellInfo(
+        name="gru",
+        factory=_lazy_callable("repro.nn.gru:GRUCell"),
+        supports_peephole=False,
+        supports_projection=False,
+        description="GRU (fewer gates; paper Sec. VI-B Step Three)",
+    ),
+)
+ACTIVATION_REGISTRY.register(
+    "sigmoid",
+    ActivationInfo(
+        name="sigmoid",
+        builder=_lazy_callable("repro.hw.activation:pwl_sigmoid"),
+        description="PWL logistic over [-8, 8] (Sec. VIII-B1)",
+    ),
+)
+ACTIVATION_REGISTRY.register(
+    "tanh",
+    ActivationInfo(
+        name="tanh",
+        builder=_lazy_callable("repro.hw.activation:pwl_tanh"),
+        description="PWL tanh over [-4, 4] (Sec. VIII-B1)",
+    ),
+)
+
+
+def register_platform(platform: Any, aliases: tuple[str, ...] = ()) -> Any:
+    """Register an :class:`repro.hw.platform.FPGAPlatform` by its name."""
+    return PLATFORM_REGISTRY.register(platform.name, platform, aliases=aliases)
+
+
+def register_cell(
+    name: str,
+    *,
+    supports_peephole: bool = False,
+    supports_projection: bool = False,
+    description: str = "",
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator registering a cell factory under ``name``.
+
+    >>> @register_cell("mgu", description="minimal gated unit")
+    ... class MGUCell(Module): ...
+    """
+
+    def decorate(factory: Callable[..., Any]) -> Callable[..., Any]:
+        CELL_REGISTRY.register(
+            name,
+            CellInfo(
+                name=name,
+                factory=factory,
+                supports_peephole=supports_peephole,
+                supports_projection=supports_projection,
+                description=description,
+            ),
+        )
+        return factory
+
+    return decorate
+
+
+def register_activation(
+    name: str, *, description: str = ""
+) -> Callable[[Callable[[int], Any]], Callable[[int], Any]]:
+    """Decorator registering an activation builder (``segments -> unit``)."""
+
+    def decorate(builder: Callable[[int], Any]) -> Callable[[int], Any]:
+        ACTIVATION_REGISTRY.register(
+            name, ActivationInfo(name=name, builder=builder, description=description)
+        )
+        return builder
+
+    return decorate

@@ -1,0 +1,94 @@
+"""Structured results for the facade's check/bounds verbs.
+
+These dataclasses carry what ``repro fit-check`` / ``repro bounds`` used to
+compute inline in ``cli.py``, so the CLI, the examples, and programmatic
+callers share one implementation — including the infeasible-range handling
+the old CLI lacked (a model whose BRAM *lower* bound exceeds the Fig. 8
+*upper* bound has no legal block size on that platform, and saying "at most
+0 trials" with exit 0 hid that).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config import RNNSpec
+from repro.hw.bram import StorageBreakdown
+from repro.hw.platform import FPGAPlatform
+
+__all__ = ["FitReport", "BoundsReport"]
+
+
+@dataclass(frozen=True)
+class FitReport:
+    """Phase-I Step One: does the whole model fit on-chip? (Sec. VI-B)"""
+
+    spec: RNNSpec
+    platform: FPGAPlatform
+    bits: int
+    breakdown: StorageBreakdown
+    fits: bool
+
+    def describe(self) -> str:
+        b = self.breakdown
+        verdict = "FITS" if self.fits else "DOES NOT FIT"
+        return "\n".join([
+            f"{self.spec.describe()} on {self.platform.name}:",
+            f"  weights {b.weights / 8e6:.2f} MB, "
+            f"vectors {b.vectors / 8e6:.3f} MB, "
+            f"buffers {b.buffers / 8e6:.3f} MB",
+            f"  BRAM capacity {self.platform.bram_bytes / 1e6:.2f} MB "
+            f"-> {verdict}",
+        ])
+
+
+@dataclass(frozen=True)
+class BoundsReport:
+    """Phase-I block-size search range: BRAM lower bound, Fig. 8 upper."""
+
+    spec: RNNSpec
+    platform_name: str
+    bits: int
+    lower: int
+    upper: int
+
+    @property
+    def feasible(self) -> bool:
+        """False when no block size both fits BRAM and still buys compute."""
+        return self.upper >= self.lower
+
+    @property
+    def num_trials(self) -> int:
+        """Power-of-two sweep length between the bounds (0 when infeasible)."""
+        if not self.feasible:
+            return 0
+        return int(math.log2(self.upper) - math.log2(self.lower)) + 1
+
+    @property
+    def block_sizes(self) -> tuple[int, ...]:
+        """The candidate block sizes, largest first (the Phase-I walk order)."""
+        if not self.feasible:
+            return ()
+        return tuple(
+            self.upper >> shift for shift in range(self.num_trials)
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"Phase-I block-size search range for {self.spec.describe()}:",
+            f"  lower bound (BRAM fit, {self.platform_name}): {self.lower}",
+            f"  upper bound (Fig. 8 convergence): {self.upper}",
+        ]
+        if self.feasible:
+            lines.append(
+                f"  power-of-2 sweep: at most {self.num_trials} training trials"
+            )
+        else:
+            lines.append(
+                f"  INFEASIBLE: the smallest block size fitting "
+                f"{self.platform_name} BRAM ({self.lower}) exceeds the "
+                f"computation-convergence bound ({self.upper}); pick a "
+                f"larger platform or a smaller model"
+            )
+        return "\n".join(lines)

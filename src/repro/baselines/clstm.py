@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.config import AccelSpec, RNNSpec
 from repro.errors import ConfigError
-from repro.hw.accelerator import CLSTM_PE_EFFICIENCY, AcceleratorDesign, AcceleratorModel
+from repro.hw.accelerator import CLSTM_PE_EFFICIENCY, AcceleratorDesign, build_design
 from repro.nn.rnn import StackedRNNClassifier
 
 __all__ = [
@@ -51,5 +51,4 @@ def clstm_accelerator(
     """C-LSTM's hardware implementation of a circulant spec."""
     accel = AccelSpec(platform, weight_bits=CLSTM_WEIGHT_BITS,
                       input_bits=CLSTM_WEIGHT_BITS)
-    model = AcceleratorModel(spec, accel, pe_efficiency=CLSTM_PE_EFFICIENCY)
-    return model.build()
+    return build_design(spec, accel, pe_efficiency=CLSTM_PE_EFFICIENCY)

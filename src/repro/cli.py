@@ -1,4 +1,9 @@
-"""Command-line interface: the library's main flows as one `repro` tool.
+"""Command-line interface: a thin argparse skin over :mod:`repro.api`.
+
+Every spec-taking subcommand builds one fluent :class:`repro.api.Design`
+from the flags and calls the matching facade verb, so the CLI, the
+examples, and programmatic callers share a single implementation (and the
+``price``/``codegen`` paths share the process-wide build cache).
 
 Subcommands map onto the paper's workflow:
 
@@ -11,42 +16,41 @@ Subcommands map onto the paper's workflow:
 
 Examples::
 
-    python -m repro.cli price --cell lstm --layers 1024 --block 8 \\
+    repro price --cell lstm --layers 1024 --block 8 \\
         --projection 512 --peephole --platform XCKU060
-    python -m repro.cli codegen --cell gru --layers 1024 --block 16 -o cu.c
+    repro codegen --cell gru --layers 1024 --block 16 -o cu.c
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from pathlib import Path
 
-from repro.config import AccelSpec, RNNSpec
+from repro.api import CELL_REGISTRY, Design
 from repro.errors import ReproError
 
 __all__ = ["build_parser", "main"]
 
 
-def _spec_from_args(args: argparse.Namespace) -> RNNSpec:
-    layers = tuple(args.layers)
-    blocks: tuple[int, ...] = ()
+def _design_from_args(args: argparse.Namespace) -> Design:
+    design = Design.cell(args.cell, *args.layers)
     if args.block is not None:
-        blocks = tuple(args.block for _ in layers)
-    return RNNSpec(
-        cell_type=args.cell,
-        input_size=args.input_size,
-        layer_sizes=layers,
-        output_size=args.output_size,
-        block_sizes=blocks,
-        peephole=args.peephole,
-        projection_size=args.projection,
-        io_block_size=args.io_block,
+        design = design.blocks(args.block)
+    return (
+        design.io(args.input_size, args.output_size)
+        .io_block(args.io_block)
+        .peephole(args.peephole)
+        .project(args.projection)
+        .on(args.platform)
+        .bits(args.bits)
     )
 
 
 def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--cell", choices=("lstm", "gru"), default="lstm")
+    parser.add_argument(
+        "--cell", choices=CELL_REGISTRY.names(), default="lstm",
+        help="registered RNN cell type (default: lstm)",
+    )
     parser.add_argument(
         "--layers", type=int, nargs="+", default=[1024],
         help="hidden sizes, one per layer (default: 1024)",
@@ -61,76 +65,47 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--peephole", action="store_true")
     parser.add_argument(
         "--platform", default="XCKU060",
-        help="ADM-PCIE-7V3 or XCKU060 (default)",
+        help="registered FPGA platform or alias (default: XCKU060)",
     )
     parser.add_argument("--bits", type=int, default=12)
 
 
 def _cmd_fit_check(args: argparse.Namespace) -> int:
-    from repro.hw.bram import fits_bram, storage_breakdown
-    from repro.hw.platform import get_platform
-
-    spec = _spec_from_args(args)
-    platform = get_platform(args.platform)
-    breakdown = storage_breakdown(spec, args.bits)
-    fits = fits_bram(spec, platform, args.bits)
-    print(f"{spec.describe()} on {platform.name}:")
-    print(f"  weights {breakdown.weights / 8e6:.2f} MB, "
-          f"vectors {breakdown.vectors / 8e6:.3f} MB, "
-          f"buffers {breakdown.buffers / 8e6:.3f} MB")
-    print(f"  BRAM capacity {platform.bram_bytes / 1e6:.2f} MB "
-          f"-> {'FITS' if fits else 'DOES NOT FIT'}")
-    return 0 if fits else 1
+    report = _design_from_args(args).fit_check()
+    print(report.describe())
+    return 0 if report.fits else 1
 
 
 def _cmd_bounds(args: argparse.Namespace) -> int:
-    from repro.core.cost_model import recommended_block_upper_bound
-    from repro.hw.bram import min_block_size_for_bram
-    from repro.hw.platform import get_platform
-
-    spec = _spec_from_args(args)
-    dense = spec.with_block_sizes(())
-    lower = min_block_size_for_bram(dense, get_platform(args.platform), args.bits)
-    upper = recommended_block_upper_bound(max(spec.layer_sizes))
-    print(f"Phase-I block-size search range for {dense.describe()}:")
-    print(f"  lower bound (BRAM fit, {args.platform}): {lower}")
-    print(f"  upper bound (Fig. 8 convergence): {upper}")
-    import math
-
-    trials = max(0, int(math.log2(upper) - math.log2(lower)) + 1) if upper >= lower else 0
-    print(f"  power-of-2 sweep: at most {trials} training trials")
+    report = _design_from_args(args).bounds()
+    if not report.feasible:
+        print(report.describe(), file=sys.stderr)
+        return 1
+    print(report.describe())
     return 0
 
 
 def _cmd_price(args: argparse.Namespace) -> int:
-    from repro.hw.accelerator import AcceleratorModel
-
-    spec = _spec_from_args(args)
-    accel = AccelSpec(args.platform, weight_bits=args.bits, input_bits=args.bits)
-    design = AcceleratorModel(spec, accel).build()
+    design = _design_from_args(args)
+    priced = design.price()
     utilization = ", ".join(
-        f"{k.upper()} {100 * v:.1f}%" for k, v in design.utilization.items()
+        f"{k.upper()} {100 * v:.1f}%" for k, v in priced.utilization.items()
     )
-    print(f"{spec.describe()} on {args.platform} @ {accel.clock_mhz:.0f} MHz:")
-    print(f"  {design.num_pes} PEs in {design.num_cus} CUs "
-          f"({design.pes_per_cu} per CU)")
-    print(f"  latency {design.latency_us:.2f} us/frame, {design.fps:,.0f} FPS")
-    print(f"  power {design.power_watts:.1f} W "
-          f"({design.energy_efficiency:,.0f} FPS/W)")
+    print(f"{priced.spec.describe()} on {args.platform} "
+          f"@ {priced.accel.clock_mhz:.0f} MHz:")
+    print(f"  {priced.num_pes} PEs in {priced.num_cus} CUs "
+          f"({priced.pes_per_cu} per CU)")
+    print(f"  latency {priced.latency_us:.2f} us/frame, {priced.fps:,.0f} FPS")
+    print(f"  power {priced.power_watts:.1f} W "
+          f"({priced.energy_efficiency:,.0f} FPS/W)")
     print(f"  utilization: {utilization}")
     return 0
 
 
 def _cmd_codegen(args: argparse.Namespace) -> int:
-    from repro.hls.framework import HLSFramework
-
-    spec = _spec_from_args(args)
-    accel = AccelSpec(args.platform, weight_bits=args.bits, input_bits=args.bits)
-    result = HLSFramework(spec, accel).build()
-    output = Path(args.output)
-    output.write_text(result.code)
+    result = _design_from_args(args).codegen(args.output)
     summary = result.summary()
-    print(f"wrote {output} ({summary['code_lines']:.0f} lines)")
+    print(f"wrote {args.output} ({summary['code_lines']:.0f} lines)")
     print(f"  {summary['num_ops']:.0f} ops in {summary['num_stages']:.0f} "
           f"CGPipe stages, {summary['frame_cycles']:.0f} cycles/frame "
           f"({summary['latency_us']:.2f} us)")

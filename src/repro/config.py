@@ -20,8 +20,25 @@ from dataclasses import dataclass, field
 
 from repro.errors import BlockSizeError, ConfigError
 
-#: Cell types supported by the framework (Sec. II).
+#: Built-in cell types (Sec. II).  The authoritative list is the cell
+#: registry (:data:`repro.api.registry.CELL_REGISTRY`), which third-party
+#: cells join via :func:`repro.api.register_cell`; this tuple is kept for
+#: backward compatibility with code that imported it from here.
 CELL_TYPES = ("lstm", "gru")
+
+
+def _cell_info(cell_type: str):
+    """Resolve a cell type through the registry (lazy import: the registry
+    lives under ``repro.api`` and this module must stay a dependency leaf)."""
+    from repro.api.registry import CELL_REGISTRY
+
+    try:
+        return CELL_REGISTRY.get(cell_type)
+    except ConfigError:
+        raise ConfigError(
+            f"cell_type must be one of {CELL_REGISTRY.names()}, "
+            f"got {cell_type!r}"
+        ) from None
 
 
 def is_power_of_two(value: int) -> bool:
@@ -71,10 +88,7 @@ class RNNSpec:
     io_block_size: int | None = None
 
     def __post_init__(self) -> None:
-        if self.cell_type not in CELL_TYPES:
-            raise ConfigError(
-                f"cell_type must be one of {CELL_TYPES}, got {self.cell_type!r}"
-            )
+        cell = _cell_info(self.cell_type)
         if not self.layer_sizes:
             raise ConfigError("layer_sizes must be non-empty")
         if any(size <= 0 for size in self.layer_sizes):
@@ -90,12 +104,17 @@ class RNNSpec:
             for block, layer in zip(self.block_sizes, self.layer_sizes):
                 validate_block_size(block, layer)
         if self.projection_size is not None:
-            if self.cell_type != "lstm":
-                raise ConfigError("projection is only defined for LSTM cells")
+            if not cell.supports_projection:
+                raise ConfigError(
+                    f"projection is not defined for {self.cell_type.upper()} cells"
+                )
             if self.projection_size <= 0:
                 raise ConfigError("projection_size must be positive")
-        if self.peephole and self.cell_type != "lstm":
-            raise ConfigError("peephole connections are only defined for LSTM cells")
+        if self.peephole and not cell.supports_peephole:
+            raise ConfigError(
+                f"peephole connections are not defined for "
+                f"{self.cell_type.upper()} cells"
+            )
         if self.io_block_size is not None:
             validate_block_size(self.io_block_size)
 
@@ -122,14 +141,18 @@ class RNNSpec:
     def with_cell_type(self, cell_type: str) -> "RNNSpec":
         """Return a copy with a new cell type (Phase-I LSTM→GRU switch).
 
-        GRU has neither peepholes nor a projection layer, so both options are
-        dropped when switching away from LSTM.
+        Options the target cell does not support (GRU has neither peepholes
+        nor a projection layer) are dropped rather than rejected.
         """
-        if cell_type == "gru":
-            return dataclasses.replace(
-                self, cell_type=cell_type, peephole=False, projection_size=None
-            )
-        return dataclasses.replace(self, cell_type=cell_type)
+        cell = _cell_info(cell_type)
+        return dataclasses.replace(
+            self,
+            cell_type=cell_type,
+            peephole=self.peephole and cell.supports_peephole,
+            projection_size=(
+                self.projection_size if cell.supports_projection else None
+            ),
+        )
 
     def with_io_block_size(self, io_block_size: int | None) -> "RNNSpec":
         """Return a copy with the input/output block-size override."""

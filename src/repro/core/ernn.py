@@ -1,25 +1,28 @@
 """The E-RNN framework: Phase I + Phase II end to end.
 
-``ERNNFramework`` is the library's top-level entry point — the programmatic
+:func:`run_two_phase_flow` is the canonical entry point — the programmatic
 equivalent of the paper's overall flow: start from a dense LSTM baseline and
 an accuracy budget, derive the compressed model (Phase I), then size its
-FPGA implementation (Phase II).
+FPGA implementation (Phase II).  The fluent facade exposes it as
+``repro.api.Design(...).optimize(trainer, ...)``:
 
->>> framework = ERNNFramework(baseline_spec, trainer)
->>> result = framework.optimize(baseline_per=20.01)
+>>> result = run_two_phase_flow(baseline_spec, trainer, baseline_per=20.01)
 >>> result.phase1.final_spec          # the chosen RNN model
 >>> result.phase2.design.latency_us   # its hardware implementation
+
+``ERNNFramework`` is the deprecated class-shaped shim around the same flow.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.config import RNNSpec
 from repro.core.phase1 import PhaseIConfig, PhaseIOptimizer, PhaseIResult, Trainer
 from repro.core.phase2 import PhaseIIConfig, PhaseIIOptimizer, PhaseIIResult, QuantEval
 
-__all__ = ["ERNNResult", "ERNNFramework"]
+__all__ = ["ERNNResult", "ERNNFramework", "run_two_phase_flow"]
 
 
 @dataclass(frozen=True)
@@ -33,8 +36,49 @@ class ERNNResult:
         return "\n".join([self.phase1.describe(), self.phase2.describe()])
 
 
+def run_two_phase_flow(
+    baseline_spec: RNNSpec,
+    trainer: Trainer,
+    baseline_per: float | None = None,
+    phase1_config: PhaseIConfig | None = None,
+    phase2_config: PhaseIIConfig | None = None,
+    quant_eval_factory=None,
+) -> ERNNResult:
+    """End-to-end design optimization under an accuracy requirement.
+
+    ``quant_eval_factory(spec) -> (quant_eval, float_per)`` optionally
+    provides the Phase-II bit-width search with a measured quantized PER;
+    without it Phase II uses the paper's validated 12-bit default.
+    """
+    phase1_config = phase1_config if phase1_config is not None else PhaseIConfig()
+    phase1 = PhaseIOptimizer(baseline_spec, trainer, phase1_config).run(
+        baseline_per=baseline_per
+    )
+
+    if phase2_config is None:
+        phase2_config = PhaseIIConfig(platform=phase1_config.platform)
+
+    quant_eval: QuantEval | None = None
+    float_per: float | None = None
+    if quant_eval_factory is not None:
+        quant_eval, float_per = quant_eval_factory(phase1.final_spec)
+
+    phase2 = PhaseIIOptimizer(
+        phase1.final_spec,
+        phase2_config,
+        quant_eval=quant_eval,
+        float_per=float_per,
+    ).run()
+    return ERNNResult(phase1=phase1, phase2=phase2)
+
+
 class ERNNFramework:
-    """End-to-end design optimization under an accuracy requirement."""
+    """Class-shaped shim over :func:`run_two_phase_flow`.
+
+    .. deprecated::
+        Use ``repro.api.Design(...).optimize(trainer, ...)`` or call
+        :func:`run_two_phase_flow` directly.
+    """
 
     def __init__(
         self,
@@ -43,10 +87,16 @@ class ERNNFramework:
         phase1_config: PhaseIConfig | None = None,
         phase2_config: PhaseIIConfig | None = None,
         quant_eval_factory=None,
+        *,
+        _warn: bool = True,
     ):
-        """``quant_eval_factory(spec) -> (quant_eval, float_per)`` optionally
-        provides the Phase-II bit-width search with a measured quantized PER;
-        without it Phase II uses the paper's validated 12-bit default."""
+        if _warn:
+            warnings.warn(
+                "ERNNFramework is deprecated; use repro.api.Design(...)"
+                ".optimize(trainer, ...) or repro.core.ernn.run_two_phase_flow()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.baseline_spec = baseline_spec
         self.trainer = trainer
         self.phase1_config = (
@@ -56,23 +106,11 @@ class ERNNFramework:
         self.quant_eval_factory = quant_eval_factory
 
     def optimize(self, baseline_per: float | None = None) -> ERNNResult:
-        phase1 = PhaseIOptimizer(
-            self.baseline_spec, self.trainer, self.phase1_config
-        ).run(baseline_per=baseline_per)
-
-        phase2_config = self.phase2_config
-        if phase2_config is None:
-            phase2_config = PhaseIIConfig(platform=self.phase1_config.platform)
-
-        quant_eval: QuantEval | None = None
-        float_per: float | None = None
-        if self.quant_eval_factory is not None:
-            quant_eval, float_per = self.quant_eval_factory(phase1.final_spec)
-
-        phase2 = PhaseIIOptimizer(
-            phase1.final_spec,
-            phase2_config,
-            quant_eval=quant_eval,
-            float_per=float_per,
-        ).run()
-        return ERNNResult(phase1=phase1, phase2=phase2)
+        return run_two_phase_flow(
+            self.baseline_spec,
+            self.trainer,
+            baseline_per=baseline_per,
+            phase1_config=self.phase1_config,
+            phase2_config=self.phase2_config,
+            quant_eval_factory=self.quant_eval_factory,
+        )

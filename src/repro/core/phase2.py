@@ -20,7 +20,7 @@ import numpy as np
 from repro.config import AccelSpec, RNNSpec
 from repro.core.compression import compression_ratio, layer_matrix_params
 from repro.errors import ConfigError
-from repro.hw.accelerator import AcceleratorDesign, AcceleratorModel
+from repro.hw.accelerator import AcceleratorDesign, build_design
 from repro.hw.activation import pwl_sigmoid, pwl_tanh
 from repro.hw.report import ImplementationReport
 
@@ -141,9 +141,9 @@ class PhaseIIOptimizer:
             pwl_segments=segments,
             num_compute_units=self.config.num_compute_units,
         )
-        design = AcceleratorModel(
+        design = build_design(
             self.spec, accel, pe_efficiency=self.config.pe_efficiency
-        ).build()
+        )
         report = ImplementationReport(
             label=f"E-RNN FFT{max(self.spec.effective_block_sizes)}",
             cell=self.spec.describe(),

@@ -23,6 +23,10 @@ class BlockSizeError(ConfigError):
     """A block size does not divide the matrix dimensions or is not a power of 2."""
 
 
+class RegistryError(ConfigError):
+    """A component registry lookup or registration failed (unknown or duplicate name)."""
+
+
 class FitError(ReproError):
     """A model does not fit the targeted FPGA resources (BRAM, DSP, LUT)."""
 

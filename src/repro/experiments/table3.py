@@ -25,7 +25,7 @@ from repro.core.compression import (
     ese_effective_compression,
     layer_matrix_params,
 )
-from repro.hw.accelerator import CLSTM_PE_EFFICIENCY, AcceleratorModel
+from repro.hw.accelerator import CLSTM_PE_EFFICIENCY, build_design
 from repro.hw.report import ImplementationReport, format_table
 
 __all__ = [
@@ -128,7 +128,7 @@ def _circulant_report(
     per_degradation: float | None,
 ) -> ImplementationReport:
     accel = AccelSpec(platform, weight_bits=bits, input_bits=bits)
-    design = AcceleratorModel(spec, accel, pe_efficiency=pe_efficiency).build()
+    design = build_design(spec, accel, pe_efficiency=pe_efficiency)
     return ImplementationReport(
         label=label,
         cell=spec.describe(),

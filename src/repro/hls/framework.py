@@ -1,6 +1,6 @@
 """End-to-end HLS framework driver (Fig. 13).
 
-``HLSFramework(spec, accel).build()`` runs the paper's full flow —
+``build_hls(spec, accel)`` runs the paper's full flow —
 template generator → graph generator → operation scheduler → code generator
 — and returns an :class:`HLSResult` bundling the operation graph, the
 schedule, the generated C source, and the performance/resource summary that
@@ -14,6 +14,7 @@ since the scheduler prices the same work on the same engines).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import networkx as nx
@@ -22,10 +23,10 @@ from repro.config import AccelSpec, RNNSpec
 from repro.hls.codegen import generate_code
 from repro.hls.graph import build_operation_graph
 from repro.hls.scheduler import Schedule, schedule_graph
-from repro.hw.accelerator import AcceleratorDesign, AcceleratorModel
+from repro.hw.accelerator import AcceleratorDesign, build_design
 from repro.hw.cu import GRU_TDM_SPEEDUP
 
-__all__ = ["HLSResult", "HLSFramework"]
+__all__ = ["HLSResult", "HLSFramework", "build_hls"]
 
 
 @dataclass(frozen=True)
@@ -58,15 +59,63 @@ class HLSResult:
         }
 
 
+def build_hls(
+    spec: RNNSpec, accel: AccelSpec, pe_efficiency: float = 1.0
+) -> HLSResult:
+    """Run the full Fig. 13 flow — the canonical (non-deprecated) path.
+
+    :class:`repro.api.engine.Engine` memoizes this call keyed on the frozen
+    ``(spec, accel)`` pair, so repeated codegen over a sweep builds once.
+    """
+    graph = build_operation_graph(spec)
+    design = build_design(spec, accel, pe_efficiency=pe_efficiency)
+    if spec.cell_type == "gru":
+        efficiency = pe_efficiency * GRU_TDM_SPEEDUP
+        overhead_count = 2
+    else:
+        efficiency = pe_efficiency
+        overhead_count = None
+    schedule = schedule_graph(
+        graph,
+        accel,
+        design.pes_per_cu,
+        pe_efficiency=efficiency,
+        stage_overhead_count=overhead_count,
+    )
+    code = generate_code(spec, accel, graph, schedule)
+    return HLSResult(
+        spec=spec,
+        accel=accel,
+        graph=graph,
+        schedule=schedule,
+        code=code,
+        design=design,
+    )
+
+
 class HLSFramework:
-    """Template-based design automation for RNN FPGA implementations."""
+    """Template-based design automation for RNN FPGA implementations.
+
+    .. deprecated::
+        Superseded by ``repro.api.Design(...).codegen()`` (cached) and
+        :func:`build_hls`; kept as a working shim.
+    """
 
     def __init__(
         self,
         spec: RNNSpec,
         accel: AccelSpec,
         pe_efficiency: float = 1.0,
+        *,
+        _warn: bool = True,
     ):
+        if _warn:
+            warnings.warn(
+                "HLSFramework is deprecated; use repro.api.Design(...)."
+                "codegen() or repro.hls.framework.build_hls()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.spec = spec
         self.accel = accel
         self.pe_efficiency = pe_efficiency
@@ -75,29 +124,4 @@ class HLSFramework:
         return build_operation_graph(self.spec)
 
     def build(self) -> HLSResult:
-        graph = self.operation_graph()
-        design = AcceleratorModel(
-            self.spec, self.accel, pe_efficiency=self.pe_efficiency
-        ).build()
-        if self.spec.cell_type == "gru":
-            efficiency = self.pe_efficiency * GRU_TDM_SPEEDUP
-            overhead_count = 2
-        else:
-            efficiency = self.pe_efficiency
-            overhead_count = None
-        schedule = schedule_graph(
-            graph,
-            self.accel,
-            design.pes_per_cu,
-            pe_efficiency=efficiency,
-            stage_overhead_count=overhead_count,
-        )
-        code = generate_code(self.spec, self.accel, graph, schedule)
-        return HLSResult(
-            spec=self.spec,
-            accel=self.accel,
-            graph=graph,
-            schedule=schedule,
-            code=code,
-            design=design,
-        )
+        return build_hls(self.spec, self.accel, self.pe_efficiency)

@@ -1,6 +1,11 @@
 """Hardware substrate: FPGA platform, PE/CU/accelerator, quantization, power."""
 
-from repro.hw.accelerator import DEFAULT_NUM_CUS, AcceleratorDesign, AcceleratorModel
+from repro.hw.accelerator import (
+    DEFAULT_NUM_CUS,
+    AcceleratorDesign,
+    AcceleratorModel,
+    build_design,
+)
 from repro.hw.activation import PiecewiseLinearActivation, pwl_sigmoid, pwl_tanh
 from repro.hw.asic import TSMC28_LIKE, ASICProcess, ASICProjection, project_to_asic
 from repro.hw.bram import (
@@ -46,6 +51,7 @@ __all__ = [
     "DEFAULT_NUM_CUS",
     "AcceleratorDesign",
     "AcceleratorModel",
+    "build_design",
     "PiecewiseLinearActivation",
     "pwl_sigmoid",
     "pwl_tanh",

@@ -16,6 +16,7 @@ Ties the pieces together for one (RNNSpec, AccelSpec, platform) triple:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.config import AccelSpec, RNNSpec
@@ -27,7 +28,7 @@ from repro.hw.pe import ProcessingElement
 from repro.hw.platform import FPGAPlatform, ResourceVector, get_platform
 from repro.hw.power import energy_efficiency, power_watts
 
-__all__ = ["AcceleratorDesign", "AcceleratorModel", "DEFAULT_NUM_CUS"]
+__all__ = ["AcceleratorDesign", "AcceleratorModel", "build_design", "DEFAULT_NUM_CUS"]
 
 #: Compute units (see module docstring for the Table III derivation).
 DEFAULT_NUM_CUS = 3
@@ -86,14 +87,31 @@ class AcceleratorDesign:
 
 
 class AcceleratorModel:
-    """Builds an :class:`AcceleratorDesign` for a circulant RNN."""
+    """Builds an :class:`AcceleratorDesign` for a circulant RNN.
+
+    .. deprecated::
+        Direct use is superseded by the :mod:`repro.api` facade —
+        ``Design.lstm(...).on(platform).price()`` — which routes through the
+        cached build :class:`repro.api.engine.Engine`.  This class remains as
+        a working shim; library internals call :func:`build_design` instead.
+    """
 
     def __init__(
         self,
         spec: RNNSpec,
         accel: AccelSpec,
         pe_efficiency: float = 1.0,
+        *,
+        _warn: bool = True,
     ):
+        if _warn:
+            warnings.warn(
+                "AcceleratorModel is deprecated; use repro.api.Design"
+                " (e.g. Design.lstm(...).on(platform).price()) or"
+                " repro.hw.accelerator.build_design()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.spec = spec
         self.accel = accel
         self.platform = get_platform(accel.platform)
@@ -180,3 +198,16 @@ class AcceleratorModel:
                 f"{design.utilization}"
             )
         return design
+
+
+def build_design(
+    spec: RNNSpec, accel: AccelSpec, pe_efficiency: float = 1.0
+) -> AcceleratorDesign:
+    """Size one accelerator — the canonical (non-deprecated) build path.
+
+    :class:`repro.api.engine.Engine` memoizes this call; everything inside
+    the library (Phase II, the HLS flow, the experiment tables) goes through
+    here so only *external* ``AcceleratorModel`` use triggers the
+    deprecation warning.
+    """
+    return AcceleratorModel(spec, accel, pe_efficiency, _warn=False).build()

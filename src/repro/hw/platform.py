@@ -7,8 +7,10 @@ VI-B: 1470 blocks ≈ 6.6 MB for the 7V3, 1080 blocks ≈ 4.9 MB for the KU060.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
 
+from repro.api.registry import PLATFORM_REGISTRY
 from repro.errors import ConfigError
 
 __all__ = ["FPGAPlatform", "PLATFORMS", "get_platform", "ADM_PCIE_7V3", "XCKU060"]
@@ -125,25 +127,13 @@ XCKU060 = FPGAPlatform(
     routing_headroom=0.96,
 )
 
-PLATFORMS: dict[str, FPGAPlatform] = {
-    ADM_PCIE_7V3.name: ADM_PCIE_7V3,
-    XCKU060.name: XCKU060,
-}
+# The registry pre-seeds both Table IV boards (with their historical aliases)
+# as lazy references back to this module; additional boards are added with
+# repro.api.register_platform.  PLATFORMS is the same registry exposed under
+# its legacy dict name — iteration, ``in`` and ``sorted(...)`` still work.
+PLATFORMS: Mapping[str, FPGAPlatform] = PLATFORM_REGISTRY
 
 
 def get_platform(name: str) -> FPGAPlatform:
-    """Look up a platform by name (accepts a few common aliases)."""
-    aliases = {
-        "7v3": ADM_PCIE_7V3.name,
-        "adm-pcie-7v3": ADM_PCIE_7V3.name,
-        "virtex-7": ADM_PCIE_7V3.name,
-        "ku060": XCKU060.name,
-        "xcku060": XCKU060.name,
-        "kintex-ultrascale": XCKU060.name,
-    }
-    key = aliases.get(name.lower(), name)
-    if key not in PLATFORMS:
-        raise ConfigError(
-            f"unknown platform {name!r}; known: {sorted(PLATFORMS)}"
-        )
-    return PLATFORMS[key]
+    """Look up a platform by canonical name or registered alias."""
+    return PLATFORM_REGISTRY.get(name)

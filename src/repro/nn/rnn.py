@@ -13,12 +13,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.registry import CELL_REGISTRY
 from repro.config import RNNSpec
 from repro.errors import ConfigError, ShapeError
 from repro.nn.autograd import Tensor, as_tensor
-from repro.nn.gru import GRUCell
 from repro.nn.linear import Linear
-from repro.nn.lstm import LSTMCell
 from repro.nn.module import Module, Parameter
 
 __all__ = ["StackedRNNClassifier", "StructuredTarget", "convert_to_circulant"]
@@ -76,24 +75,20 @@ class StackedRNNClassifier(Module):
             input_block = (
                 _role_block_size(spec, layer_index, "input") if structured else 1
             )
-            if spec.cell_type == "lstm":
-                cell = LSTMCell(
-                    in_size,
-                    hidden,
-                    peephole=spec.peephole,
-                    projection_size=spec.projection_size,
-                    block_size=block,
-                    input_block_size=input_block,
-                    rng=rng,
-                )
-            else:
-                cell = GRUCell(
-                    in_size,
-                    hidden,
-                    block_size=block,
-                    input_block_size=input_block,
-                    rng=rng,
-                )
+            # Cell construction goes through the registry so cells added via
+            # repro.api.register_cell build here without editing this class.
+            # Factory convention: (input_size, hidden_size, *, block_size,
+            # input_block_size, rng, [peephole], [projection_size]) — the
+            # optional kwargs are passed only when the cell declares support.
+            info = CELL_REGISTRY.get(spec.cell_type)
+            kwargs: dict = dict(
+                block_size=block, input_block_size=input_block, rng=rng
+            )
+            if info.supports_peephole:
+                kwargs["peephole"] = spec.peephole
+            if info.supports_projection:
+                kwargs["projection_size"] = spec.projection_size
+            cell = info.factory(in_size, hidden, **kwargs)
             setattr(self, f"cell{layer_index}", cell)
             cells.append(cell)
             in_size = cell.output_size

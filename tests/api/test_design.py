@@ -1,0 +1,213 @@
+"""The fluent Design facade: golden equivalence with the legacy entry
+points, immutability, report verbs, and the deprecation shims."""
+
+import math
+import warnings
+
+import pytest
+
+from repro.api import Design, Engine
+from repro.config import AccelSpec, RNNSpec
+from repro.errors import ConfigError, RegistryError
+
+#: Table I/II-style design points used for golden-equivalence checks:
+#: the paper's headline LSTM (FFT8, peephole + projection) on both boards,
+#: a GRU point, and a mixed io-block fine-tuning point.
+GOLDEN_POINTS = [
+    pytest.param(
+        Design.lstm(1024).blocks(8).peephole().project(512).on("XCKU060"),
+        id="lstm-fft8-ku060",
+    ),
+    pytest.param(
+        Design.lstm(1024).blocks(16).peephole().project(512).on("ADM-PCIE-7V3"),
+        id="lstm-fft16-7v3",
+    ),
+    pytest.param(Design.gru(1024).blocks(16).on("XCKU060"), id="gru-fft16"),
+    pytest.param(
+        Design.lstm(1024).blocks(8).io_block(16).peephole().project(512)
+        .on("XCKU060"),
+        id="lstm-fft8-ioblock16",
+    ),
+]
+
+
+class TestFluentConstruction:
+    def test_chain_compiles_to_frozen_specs(self):
+        design = (
+            Design.lstm(1024).blocks(8).peephole().project(512)
+            .on("XCKU060").bits(12)
+        )
+        spec, accel = design.specs()
+        assert spec == RNNSpec(
+            "lstm", 153, (1024,), 39,
+            block_sizes=(8,), peephole=True, projection_size=512,
+        )
+        assert accel == AccelSpec("XCKU060", weight_bits=12, input_bits=12)
+
+    def test_verbs_return_new_instances(self):
+        base = Design.lstm(1024)
+        blocked = base.blocks(8)
+        assert base.block_sizes == ()
+        assert blocked.block_sizes == (8,)
+        assert base is not blocked
+
+    def test_blocks_broadcasts_uniform_value(self):
+        design = Design.lstm(1024, 1024).blocks(8)
+        assert design.block_sizes == (8, 8)
+        per_layer = design.blocks(8, 16)
+        assert per_layer.block_sizes == (8, 16)
+
+    def test_dense_strips_compression(self):
+        design = Design.lstm(1024).blocks(8).io_block(16).dense()
+        assert design.block_sizes == () and design.io_block_size is None
+
+    def test_bits_defaults_input_width_to_weight_width(self):
+        design = Design.lstm(1024).bits(10)
+        assert design.weight_bits == 10 and design.input_bits == 10
+        split = design.bits(12, 8)
+        assert split.weight_bits == 12 and split.input_bits == 8
+
+    def test_unknown_cell_fails_fast(self):
+        with pytest.raises(RegistryError):
+            Design.cell("mamba", 1024)
+
+    def test_invalid_spec_surfaces_config_error_at_compile(self):
+        with pytest.raises(ConfigError):
+            Design.gru(1024).peephole().rnn_spec()
+
+    def test_from_specs_round_trips(self):
+        spec = RNNSpec(
+            "lstm", 153, (1024,), 39,
+            block_sizes=(8,), peephole=True, projection_size=512,
+        )
+        accel = AccelSpec("XCKU060", weight_bits=10, input_bits=8)
+        design = Design.from_specs(spec, accel)
+        assert design.specs() == (spec, accel)
+
+
+class TestGoldenEquivalence:
+    """Design verbs must reproduce the legacy entry points byte for byte."""
+
+    @pytest.mark.parametrize("design", GOLDEN_POINTS)
+    def test_price_matches_accelerator_model(self, design):
+        from repro.hw.accelerator import AcceleratorModel
+
+        spec, accel = design.specs()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = AcceleratorModel(spec, accel).build()
+        priced = design.using(Engine()).price()
+        assert priced == legacy  # frozen dataclasses: full field equality
+
+    @pytest.mark.parametrize("design", GOLDEN_POINTS)
+    def test_codegen_byte_matches_hls_framework(self, design):
+        from repro.hls.framework import HLSFramework
+
+        spec, accel = design.specs()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = HLSFramework(spec, accel).build()
+        result = design.using(Engine()).codegen()
+        assert result.code == legacy.code
+        assert result.summary() == legacy.summary()
+
+    def test_codegen_writes_file(self, tmp_path):
+        out = tmp_path / "cu.c"
+        result = Design.gru(1024).blocks(16).using(Engine()).codegen(out)
+        assert out.read_text() == result.code
+
+    def test_fit_check_matches_bram_model(self):
+        from repro.hw.bram import fits_bram
+        from repro.hw.platform import get_platform
+
+        design = Design.lstm(1024, 1024).blocks(8).peephole().project(512)
+        report = design.fit_check()
+        assert report.fits == fits_bram(
+            design.rnn_spec(), get_platform("XCKU060"), 12
+        )
+        assert "FITS" in report.describe()
+
+    def test_bounds_match_paper_range(self):
+        report = (
+            Design.lstm(1024, 1024).peephole().project(512).bounds()
+        )
+        assert report.lower == 8
+        assert report.upper == 64
+        assert report.feasible
+        assert report.num_trials == int(math.log2(64) - math.log2(8)) + 1
+        assert report.block_sizes == (64, 32, 16, 8)
+
+    def test_infeasible_bounds_reported(self):
+        report = Design.lstm(4096, 4096, 4096, 4096).on("7v3").bounds()
+        assert not report.feasible
+        assert report.num_trials == 0
+        assert report.block_sizes == ()
+        assert "INFEASIBLE" in report.describe()
+
+    def test_optimize_matches_legacy_framework(self):
+        from repro.core.ernn import ERNNFramework
+
+        def oracle(spec: RNNSpec) -> float:
+            per = 20.0
+            for block in spec.effective_block_sizes:
+                if block > 1:
+                    per += 0.05 * math.log2(block)
+            if spec.cell_type == "gru":
+                per += 1.0
+            if spec.io_block_size is not None:
+                per += 0.5
+            return per
+
+        result = (
+            Design.lstm(1024, 1024).peephole().project(512).on("XCKU060")
+            .optimize(oracle, baseline_per=20.0)
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = ERNNFramework(
+                RNNSpec("lstm", 153, (1024, 1024), 39,
+                        peephole=True, projection_size=512),
+                oracle,
+            ).optimize(baseline_per=20.0)
+        assert result.phase1.final_spec == legacy.phase1.final_spec
+        assert result.phase2.accel == legacy.phase2.accel
+        assert result.describe() == legacy.describe()
+
+
+class TestDeprecationShims:
+    def test_accelerator_model_warns_but_works(self):
+        from repro.hw.accelerator import AcceleratorModel
+
+        spec = RNNSpec("lstm", 153, (1024,), 39,
+                       block_sizes=(8,), peephole=True, projection_size=512)
+        with pytest.warns(DeprecationWarning, match="repro.api.Design"):
+            model = AcceleratorModel(spec, AccelSpec("XCKU060"))
+        assert model.build().num_pes > 0
+
+    def test_hls_framework_warns_but_works(self):
+        from repro.hls.framework import HLSFramework
+
+        spec = RNNSpec("gru", 153, (1024,), 39, block_sizes=(16,))
+        with pytest.warns(DeprecationWarning, match="codegen"):
+            framework = HLSFramework(spec, AccelSpec("XCKU060"))
+        assert "#pragma HLS" in framework.build().code
+
+    def test_ernn_framework_warns(self):
+        from repro.core.ernn import ERNNFramework
+
+        with pytest.warns(DeprecationWarning, match="optimize"):
+            ERNNFramework(
+                RNNSpec("lstm", 153, (1024,), 39), lambda spec: 20.0
+            )
+
+    def test_facade_paths_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            design = (
+                Design.lstm(1024).blocks(8).peephole().project(512)
+                .using(Engine())
+            )
+            design.fit_check()
+            design.bounds()
+            design.price()
+            design.codegen()

@@ -1,0 +1,110 @@
+"""Engine cache behavior: hits, misses, identity, eviction, isolation."""
+
+import pytest
+
+from repro.api import Design, Engine
+from repro.api.engine import default_engine, set_default_engine
+from repro.config import AccelSpec, RNNSpec
+
+
+@pytest.fixture
+def spec() -> RNNSpec:
+    return RNNSpec(
+        "lstm", 153, (1024,), 39,
+        block_sizes=(8,), peephole=True, projection_size=512,
+    )
+
+
+@pytest.fixture
+def accel() -> AccelSpec:
+    return AccelSpec("XCKU060")
+
+
+class TestEngineCache:
+    def test_design_hit_returns_same_object(self, spec, accel):
+        engine = Engine()
+        first = engine.design(spec, accel)
+        second = engine.design(spec, accel)
+        assert first is second
+        stats = engine.stats()
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+
+    def test_equal_specs_hit_even_when_rebuilt(self, spec, accel):
+        engine = Engine()
+        engine.design(spec, accel)
+        clone = RNNSpec(
+            "lstm", 153, (1024,), 39,
+            block_sizes=(8,), peephole=True, projection_size=512,
+        )
+        engine.design(clone, AccelSpec("XCKU060"))
+        assert engine.stats().hits == 1
+
+    def test_different_specs_miss(self, spec, accel):
+        engine = Engine()
+        engine.design(spec, accel)
+        engine.design(spec.with_block_sizes((16,)), accel)
+        engine.design(spec, AccelSpec("ADM-PCIE-7V3"))
+        stats = engine.stats()
+        assert (stats.hits, stats.misses) == (0, 3)
+
+    def test_hls_and_design_cached_separately(self, spec, accel):
+        engine = Engine()
+        engine.design(spec, accel)
+        result = engine.hls(spec, accel)
+        assert engine.stats().misses == 2
+        assert engine.hls(spec, accel) is result
+
+    def test_pe_efficiency_is_part_of_the_key(self, spec, accel):
+        engine = Engine()
+        engine.design(spec, accel, pe_efficiency=1.0)
+        engine.design(spec, accel, pe_efficiency=0.82)
+        assert engine.stats().misses == 2
+
+    def test_lru_eviction(self, spec, accel):
+        engine = Engine(maxsize=2)
+        a = engine.design(spec, accel)
+        engine.design(spec.with_block_sizes((16,)), accel)
+        assert engine.design(spec, accel) is a  # refresh a's recency
+        engine.design(spec.with_block_sizes((32,)), accel)  # evicts block-16
+        assert engine.stats().evictions == 1
+        assert engine.design(spec, accel) is a  # still cached
+        engine.design(spec.with_block_sizes((16,)), accel)  # rebuilt: a miss
+        assert engine.stats().misses == 4
+
+    def test_clear_resets(self, spec, accel):
+        engine = Engine()
+        engine.design(spec, accel)
+        engine.design(spec, accel)
+        engine.clear()
+        stats = engine.stats()
+        assert (stats.hits, stats.misses, stats.size) == (0, 0, 0)
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            Engine(maxsize=0)
+
+
+class TestEngineWiring:
+    def test_design_verb_uses_pinned_engine(self):
+        engine = Engine()
+        design = Design.lstm(1024).blocks(8).peephole().project(512).using(engine)
+        design.price()
+        design.price()
+        design.codegen()
+        stats = engine.stats()
+        assert (stats.hits, stats.misses) == (1, 2)
+
+    def test_default_engine_swap(self):
+        replacement = Engine(maxsize=4)
+        previous = set_default_engine(replacement)
+        try:
+            assert default_engine() is replacement
+            Design.lstm(1024).blocks(8).peephole().project(512).price()
+            assert replacement.stats().misses == 1
+        finally:
+            set_default_engine(previous)
+
+    def test_stats_describe_mentions_counts(self):
+        engine = Engine()
+        text = engine.stats().describe()
+        assert "0 hits" in text and "0 misses" in text

@@ -1,0 +1,119 @@
+"""Registry subsystem: lookup, aliasing, duplicates, extension hooks."""
+
+import pytest
+
+from repro.api.registry import (
+    ACTIVATION_REGISTRY,
+    CELL_REGISTRY,
+    PLATFORM_REGISTRY,
+    CellInfo,
+    Registry,
+)
+from repro.errors import ConfigError, RegistryError
+
+
+class TestRegistryCore:
+    def test_register_and_get(self):
+        registry = Registry("widget")
+        registry.register("A", 1, aliases=("alpha",))
+        assert registry.get("A") == 1
+        assert registry.get("alpha") == 1
+        assert registry.get("ALPHA") == 1  # aliases are case-insensitive
+
+    def test_duplicate_name_raises(self):
+        registry = Registry("widget")
+        registry.register("A", 1)
+        with pytest.raises(RegistryError, match="duplicate"):
+            registry.register("A", 2)
+        with pytest.raises(RegistryError, match="duplicate"):
+            registry.register("a", 2)  # case-insensitive collision
+
+    def test_duplicate_alias_raises(self):
+        registry = Registry("widget")
+        registry.register("A", 1, aliases=("alpha",))
+        with pytest.raises(RegistryError, match="alias"):
+            registry.register("B", 2, aliases=("alpha",))
+
+    def test_unknown_name_raises_config_error_subclass(self):
+        registry = Registry("widget")
+        with pytest.raises(RegistryError, match="unknown widget"):
+            registry.get("nope")
+        # RegistryError must stay catchable as ConfigError for old callers.
+        with pytest.raises(ConfigError):
+            registry.get("nope")
+
+    def test_mapping_protocol(self):
+        registry = Registry("widget")
+        registry.register("B", 2)
+        registry.register("A", 1)
+        assert sorted(registry) == ["A", "B"]
+        assert len(registry) == 2
+        assert "A" in registry and "a" in registry and "C" not in registry
+        assert dict(registry.items()) == {"A": 1, "B": 2}
+        with pytest.raises(KeyError):
+            registry["missing"]
+
+    def test_lazy_entries_resolve_on_first_get(self):
+        registry = Registry("widget")
+        registry.register_lazy("pi", "math:pi")
+        assert registry.get("pi") == pytest.approx(3.14159, abs=1e-4)
+
+
+class TestBuiltinRegistries:
+    def test_platforms_seeded_with_table4_boards(self):
+        assert PLATFORM_REGISTRY.names() == ("ADM-PCIE-7V3", "XCKU060")
+        assert PLATFORM_REGISTRY.get("ku060").name == "XCKU060"
+        assert PLATFORM_REGISTRY.get("7v3").name == "ADM-PCIE-7V3"
+
+    def test_platform_registry_backs_legacy_dict(self):
+        from repro.hw.platform import PLATFORMS, get_platform
+
+        assert PLATFORMS is PLATFORM_REGISTRY
+        assert get_platform("virtex-7").name == "ADM-PCIE-7V3"
+        with pytest.raises(ConfigError):
+            get_platform("unknown-board")
+
+    def test_cells_seeded_with_capabilities(self):
+        lstm = CELL_REGISTRY.get("lstm")
+        gru = CELL_REGISTRY.get("gru")
+        assert lstm.supports_peephole and lstm.supports_projection
+        assert not gru.supports_peephole and not gru.supports_projection
+
+    def test_activations_seeded(self):
+        sigmoid = ACTIVATION_REGISTRY.get("sigmoid").builder(16)
+        tanh = ACTIVATION_REGISTRY.get("tanh").builder(16)
+        assert sigmoid.segments == 16
+        assert tanh.segments == 16
+
+    def test_spec_validation_uses_cell_registry(self):
+        from repro.config import RNNSpec
+
+        with pytest.raises(ConfigError, match="cell_type"):
+            RNNSpec("mgu", 16, (32,), 5)
+
+    def test_registered_cell_builds_models(self):
+        """A cell registered at runtime validates in RNNSpec and builds."""
+        import numpy as np
+
+        from repro.api import register_cell
+        from repro.config import RNNSpec
+        from repro.nn.lstm import LSTMCell
+        from repro.nn.rnn import StackedRNNClassifier
+
+        name = "test-lstm-clone"
+        if name not in CELL_REGISTRY:  # guard against test re-runs in-process
+            @register_cell(name, supports_peephole=True,
+                           supports_projection=True)
+            def clone_factory(input_size, hidden_size, **kwargs):
+                return LSTMCell(input_size, hidden_size, **kwargs)
+
+        spec = RNNSpec(name, 8, (16,), 4)
+        model = StackedRNNClassifier(spec, rng=np.random.default_rng(0))
+        logits = model(np.zeros((3, 2, 8)))
+        assert logits.shape == (3, 2, 4)
+
+    def test_cell_info_frozen(self):
+        info = CELL_REGISTRY.get("lstm")
+        assert isinstance(info, CellInfo)
+        with pytest.raises(AttributeError):
+            info.supports_peephole = False
