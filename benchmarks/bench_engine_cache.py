@@ -46,7 +46,9 @@ def test_engine_cache_speedup():
     engine = Engine(maxsize=64)
     cold = run_sweep(designs, engine)
     cold_stats = engine.stats()
-    assert (cold_stats.hits, cold_stats.misses) == (0, 32)
+    # price() misses the design cache; codegen() misses the hls cache but
+    # finds its inner design build already cached (the uniform-stats path).
+    assert (cold_stats.hits, cold_stats.misses) == (16, 32)
 
     hot = run_sweep(designs, engine)
     stats = engine.stats()
@@ -62,5 +64,5 @@ def test_engine_cache_speedup():
     emit("engine_cache", "\n".join(lines))
 
     assert stats.misses == 32  # 16 designs x (design + hls), built once
-    assert stats.hits == 32    # the hot pass never rebuilds
+    assert stats.hits == 48    # hot pass all-hit + cold-pass codegen design hits
     assert speedup >= 5.0, f"cache speedup {speedup:.1f}x below the 5x bar"

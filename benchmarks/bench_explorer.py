@@ -1,0 +1,78 @@
+"""Explorer: serial vs parallel sweep latency, and cold vs warm disk cache.
+
+Runs one paper-scale design grid (blocks x bits x platforms) three ways:
+
+* serial, cold engine — the pre-explorer baseline (what the old example's
+  python loop cost);
+* parallel (process pool), cold — the speedup scales with cores, so the
+  recorded number is machine-dependent; on a laptop-class 4-core machine
+  the expectation is >= 2x;
+* serial again with a *fresh* engine sharing the first run's disk cache —
+  simulating a rerun in a new process/session; every build is replaced by
+  a JSON read + decode, so the expectation is >= 5x over cold.
+
+Correctness is asserted unconditionally: all three runs must produce
+byte-identical reports (the explorer's determinism guarantee).
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.api import Design, DiskCache, Engine, Sweep
+
+
+def paper_sweep() -> Sweep:
+    base = Design.lstm(1024, 1024).peephole().project(512)
+    return Sweep(base).over(
+        blocks=[4, 8, 16, 32],
+        bits=[8, 10, 12, 16],
+        platform=["ADM-PCIE-7V3", "XCKU060"],
+    )
+
+
+@pytest.mark.benchmark(group="explorer")
+def test_explorer_parallel_and_warm_cache(tmp_path):
+    sweep = paper_sweep()
+    assert sweep.grid_size() == 32
+
+    start = time.perf_counter()
+    serial = sweep.run(mode="serial", engine=Engine())
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = sweep.run(mode="process", workers=os.cpu_count())
+    parallel_s = time.perf_counter() - start
+
+    cache_root = tmp_path / "cache"
+    start = time.perf_counter()
+    cold = sweep.run(mode="serial", engine=Engine(disk=DiskCache(cache_root)))
+    cold_s = time.perf_counter() - start
+
+    warm_engine = Engine(disk=DiskCache(cache_root))  # fresh LRU, shared disk
+    start = time.perf_counter()
+    warm = sweep.run(mode="serial", engine=warm_engine)
+    warm_s = time.perf_counter() - start
+
+    # Determinism: mode and cache state must never change the report bytes.
+    assert serial.to_json() == parallel.to_json() == cold.to_json() == warm.to_json()
+    stats = warm_engine.stats()
+    # The warm pass serves whole evaluated points from the explorer
+    # namespace — the engine never even sees a lookup, let alone a build.
+    assert stats.misses == 0
+    assert warm_s < cold_s
+
+    lines = [
+        f"Explorer: 32-point sweep (blocks x bits x platform), "
+        f"{os.cpu_count()} cores",
+        f"  serial cold:     {serial_s * 1e3:8.1f} ms",
+        f"  process pool:    {parallel_s * 1e3:8.1f} ms "
+        f"({serial_s / parallel_s:.2f}x vs serial; scales with cores)",
+        f"  disk-cache cold: {cold_s * 1e3:8.1f} ms",
+        f"  disk-cache warm: {warm_s * 1e3:8.1f} ms "
+        f"({cold_s / warm_s:.2f}x vs cold)",
+        f"  {stats.describe()}",
+    ]
+    emit("explorer", "\n".join(lines))

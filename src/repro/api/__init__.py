@@ -18,7 +18,22 @@ One coherent facade over the whole E-RNN flow:
       design.optimize(trainer, baseline_per=20.01)  # Phase I + II
 
 * :class:`Engine` — a keyed LRU cache over built artifacts, so sweeps and
-  benchmarks that revisit a spec pay for the build once.
+  benchmarks that revisit a spec pay for the build once; optionally backed
+  by a persistent :class:`DiskCache` shared across processes and sessions.
+* :class:`Sweep` — parallel design-space exploration over any set of design
+  axes, returning an :class:`ExplorationResult` with Pareto-frontier
+  extraction, top-k selection, and text/CSV/JSON reports::
+
+      from repro.api import Design, Sweep
+
+      result = (Sweep(Design.lstm(1024).peephole().project(512))
+                .over(blocks=[4, 8, 16], bits=[8, 12, 16],
+                      platform=["ADM-PCIE-7V3", "XCKU060"])
+                .run(mode="thread"))
+      result.pareto()          # PER proxy vs latency frontier
+      result.top_k(3, "fps")
+      print(result.describe())
+
 * the component registries (:data:`PLATFORM_REGISTRY`, :data:`CELL_REGISTRY`,
   :data:`ACTIVATION_REGISTRY`) with their ``register_*`` hooks.
 
@@ -47,6 +62,13 @@ __all__ = [
     "CacheStats",
     "default_engine",
     "set_default_engine",
+    "DiskCache",
+    "default_cache_root",
+    "Sweep",
+    "Candidate",
+    "PointMetrics",
+    "EvaluatedPoint",
+    "ExplorationResult",
     "FitReport",
     "BoundsReport",
     "Registry",
@@ -68,6 +90,13 @@ _LAZY = {
     "CacheStats": "repro.api.engine",
     "default_engine": "repro.api.engine",
     "set_default_engine": "repro.api.engine",
+    "DiskCache": "repro.api.diskcache",
+    "default_cache_root": "repro.api.diskcache",
+    "Sweep": "repro.api.explorer",
+    "Candidate": "repro.api.explorer",
+    "PointMetrics": "repro.api.explorer",
+    "EvaluatedPoint": "repro.api.explorer",
+    "ExplorationResult": "repro.api.explorer",
     "FitReport": "repro.api.reports",
     "BoundsReport": "repro.api.reports",
 }

@@ -115,6 +115,23 @@ class Design:
         """Set the hidden sizes, one per layer."""
         return self._replace(layer_sizes=tuple(layer_sizes))
 
+    def with_cell(self, cell_type: str) -> "Design":
+        """Switch the cell type in place (the Phase-I LSTM→GRU move).
+
+        Options the target cell does not support (GRU has neither peepholes
+        nor a projection layer) are dropped, mirroring
+        :meth:`repro.config.RNNSpec.with_cell_type` — so sweeps can put the
+        cell type on an axis without manufacturing invalid combinations.
+        """
+        cell = CELL_REGISTRY.get(cell_type)
+        return self._replace(
+            cell_type=cell_type,
+            use_peephole=self.use_peephole and cell.supports_peephole,
+            projection_size=(
+                self.projection_size if cell.supports_projection else None
+            ),
+        )
+
     def blocks(self, *block_sizes: int) -> "Design":
         """Set circulant block sizes: one uniform value or one per layer."""
         if len(block_sizes) == 1:

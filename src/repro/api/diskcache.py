@@ -1,0 +1,266 @@
+"""Persistent content-keyed JSON cache shared across processes and sessions.
+
+The in-memory LRU of :class:`repro.api.engine.Engine` makes repeated builds
+free *within* one process; design-space sweeps, benchmark reruns, and CI
+jobs pay the cold cost again every time the interpreter restarts.
+:class:`DiskCache` is the second tier: a flat directory of JSON artifacts,
+content-keyed by SHA-256 over a canonical encoding of the cache key (for the
+engine that key is ``(kind, RNNSpec, AccelSpec, pe_efficiency)``, mirroring
+the LRU), so equal specs land on the same file no matter which process or
+machine computed them first.
+
+Concurrent writers are safe without locks: every ``put`` writes to a
+process/thread-unique temporary file in the destination directory and
+publishes it with :func:`os.replace`, which is atomic on POSIX — readers
+either see the previous complete artifact or the new complete artifact,
+never a torn write.  A corrupt or truncated file (e.g. from a crash before
+the rename) reads as a miss and is rebuilt.
+
+Location resolution, in priority order:
+
+1. an explicit ``root`` argument;
+2. the ``REPRO_CACHE_DIR`` environment variable;
+3. ``$XDG_CACHE_HOME/repro-ernn`` (defaulting to ``~/.cache/repro-ernn``).
+
+Setting ``REPRO_NO_CACHE=1`` makes :func:`DiskCache.from_env` return
+``None``, which every caller treats as "no disk tier".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.config import AccelSpec, RNNSpec
+from repro.errors import ReproError
+from repro.hw.accelerator import AcceleratorDesign
+from repro.hw.cu import CUTiming
+from repro.hw.platform import FPGAPlatform, ResourceVector
+
+__all__ = [
+    "DiskCache",
+    "default_cache_root",
+    "encode_accelerator_design",
+    "decode_accelerator_design",
+]
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable disabling all disk caching when set non-empty.
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+
+_tmp_counter = itertools.count()
+
+
+def default_cache_root() -> Path:
+    """The resolved cache directory (env override, then XDG, then ~)."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-ernn"
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a key part to deterministic JSON-encodable primitives."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        encoded = {
+            name: _canonical(getattr(value, name))
+            for name in sorted(f.name for f in dataclasses.fields(value))
+        }
+        encoded["__type__"] = type(value).__name__
+        return encoded
+    if isinstance(value, (tuple, list)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot build a cache key from {type(value).__name__}")
+
+
+class DiskCache:
+    """A namespaced directory of atomic JSON artifacts.
+
+    Keys are opaque hex strings from :meth:`key`; values are anything
+    ``json.dumps`` accepts.  One root directory can hold several namespaces
+    (the engine's built designs, the experiment harness's measured PERs)
+    without key collisions.
+    """
+
+    def __init__(
+        self,
+        root: Path | str | None = None,
+        namespace: str = "engine",
+    ):
+        if not namespace or any(sep in namespace for sep in "/\\"):
+            raise ValueError(f"invalid cache namespace: {namespace!r}")
+        self.root = Path(root).expanduser() if root is not None else default_cache_root()
+        self.namespace = namespace
+        self.path = self.root / namespace
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    @classmethod
+    def from_env(
+        cls, root: Path | str | None = None, namespace: str = "engine"
+    ) -> "DiskCache | None":
+        """Build a cache honouring ``REPRO_NO_CACHE`` (returns ``None`` when set)."""
+        if os.environ.get(NO_CACHE_ENV):
+            return None
+        return cls(root=root, namespace=namespace)
+
+    # -- keys -----------------------------------------------------------
+    def key(self, *parts: Any) -> str:
+        """Content key: SHA-256 over the canonical JSON of ``parts``.
+
+        Frozen dataclasses (``RNNSpec``, ``AccelSpec``, ...) are encoded
+        field-by-field with their type name, so two specs are equal keys
+        exactly when they are equal values.
+        """
+        payload = json.dumps(
+            _canonical(list(parts)), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _path_for(self, key: str) -> Path:
+        return self.path / key[:2] / f"{key}.json"
+
+    # -- operations -----------------------------------------------------
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read one artifact; any read/parse failure is a miss."""
+        path = self._path_for(key)
+        try:
+            value = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            with self._lock:
+                self._misses += 1
+            return default
+        with self._lock:
+            self._hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> Path:
+        """Atomically publish one artifact (concurrent writers are safe)."""
+        path = self._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / (
+            f".{key}.{os.getpid()}.{threading.get_ident()}"
+            f".{next(_tmp_counter)}.tmp"
+        )
+        try:
+            tmp.write_text(json.dumps(value, sort_keys=True))
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        return path
+
+    def delete(self, key: str) -> bool:
+        try:
+            self._path_for(key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def clear(self) -> int:
+        """Remove every artifact in this namespace; returns the count.
+
+        Also sweeps any ``*.tmp`` litter a crashed writer left behind
+        (litter does not count toward the returned number).
+        """
+        removed = 0
+        if self.path.exists():
+            for file in self.path.glob("*/*.json"):
+                try:
+                    file.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            for litter in self.path.glob("*/*.tmp"):
+                try:
+                    litter.unlink()
+                except OSError:
+                    pass
+        return removed
+
+    # -- introspection --------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return self._path_for(key).exists()
+
+    def __len__(self) -> int:
+        if not self.path.exists():
+            return 0
+        return sum(1 for _ in self.path.glob("*/*.json"))
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    def describe(self) -> str:
+        return (
+            f"disk cache [{self.namespace}] at {self.path}: "
+            f"{len(self)} artifacts, {self._hits} hits / {self._misses} misses"
+        )
+
+
+# ----------------------------------------------------------------------
+# Codecs for the engine's built artifacts.
+#
+# AcceleratorDesign is a tree of small frozen dataclasses, so a plain
+# field dictionary round-trips it exactly; HLSResult is not disk-cached
+# (its operation graph is a networkx object and its generated C is cheap
+# to re-emit once the design half is warm).
+# ----------------------------------------------------------------------
+
+_CODEC_VERSION = 1
+
+
+def encode_accelerator_design(design: AcceleratorDesign) -> dict:
+    """JSON-encodable payload reconstructing ``design`` exactly."""
+    return {
+        "version": _CODEC_VERSION,
+        "spec": dataclasses.asdict(design.spec),
+        "accel": dataclasses.asdict(design.accel),
+        "platform": dataclasses.asdict(design.platform),
+        "num_pes": design.num_pes,
+        "num_cus": design.num_cus,
+        "pes_per_cu": design.pes_per_cu,
+        "timing": dataclasses.asdict(design.timing),
+        "resources_used": dataclasses.asdict(design.resources_used),
+    }
+
+
+def decode_accelerator_design(payload: dict) -> AcceleratorDesign | None:
+    """Inverse of :func:`encode_accelerator_design` (``None`` on mismatch)."""
+    if not isinstance(payload, dict) or payload.get("version") != _CODEC_VERSION:
+        return None
+    try:
+        spec_fields = dict(payload["spec"])
+        spec_fields["layer_sizes"] = tuple(spec_fields["layer_sizes"])
+        spec_fields["block_sizes"] = tuple(spec_fields["block_sizes"])
+        return AcceleratorDesign(
+            spec=RNNSpec(**spec_fields),
+            accel=AccelSpec(**payload["accel"]),
+            platform=FPGAPlatform(**payload["platform"]),
+            num_pes=int(payload["num_pes"]),
+            num_cus=int(payload["num_cus"]),
+            pes_per_cu=int(payload["pes_per_cu"]),
+            timing=CUTiming(**payload["timing"]),
+            resources_used=ResourceVector(**payload["resources_used"]),
+        )
+    except (KeyError, TypeError, ValueError, ReproError):
+        return None

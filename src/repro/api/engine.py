@@ -1,11 +1,12 @@
 """The cached build engine: ``(RNNSpec, AccelSpec) → built artifact``.
 
-Phase-I sweeps, the Table III/IV benchmarks, and any future serving path
-all revisit the same handful of design points; a full
-:func:`repro.hls.framework.build_hls` run costs tens of milliseconds while
-the specs themselves are small frozen dataclasses — i.e. perfect cache
-keys.  :class:`Engine` memoizes both build products behind one keyed LRU
-cache so a repeat ``price()``/``codegen()`` is a dict lookup:
+Phase-I sweeps, the Table III/IV benchmarks, and the parallel
+:class:`repro.api.explorer.Sweep` all revisit the same handful of design
+points; a full :func:`repro.hls.framework.build_hls` run costs tens of
+milliseconds while the specs themselves are small frozen dataclasses —
+i.e. perfect cache keys.  :class:`Engine` memoizes both build products
+behind one keyed LRU cache so a repeat ``price()``/``codegen()`` is a dict
+lookup:
 
 >>> engine = Engine(maxsize=64)
 >>> engine.design(spec, accel)      # cold: runs the accelerator model
@@ -13,17 +14,40 @@ cache so a repeat ``price()``/``codegen()`` is a dict lookup:
 >>> engine.stats().hits
 1
 
-The cache is safe because every artifact is a frozen dataclass referencing
-frozen specs — callers cannot mutate a cached entry.  ``benchmarks/
-bench_engine_cache.py`` records the measured cold-vs-hot speedup.
+Two tiers:
+
+* the in-memory LRU (always on) — shared safely between threads; lookups
+  and bookkeeping hold an internal lock, builds run outside it so parallel
+  sweeps still build concurrently;
+* an optional :class:`repro.api.diskcache.DiskCache` — accelerator designs
+  are serialized to content-keyed JSON artifacts, so a *different process*
+  (or a rerun tomorrow) starts warm.  HLS results stay memory-only (their
+  operation graph is a networkx object), but ``hls()`` routes its inner
+  design build through ``design()`` and therefore still benefits.
+
+Every memoized path records hits/misses through the same code path, so
+``stats()`` and ``contains()`` agree no matter which verb populated the
+cache.  The cache is safe because every artifact is a frozen dataclass
+referencing frozen specs — callers cannot mutate a cached entry.
+``benchmarks/bench_engine_cache.py`` and ``benchmarks/bench_explorer.py``
+record the measured speedups.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Hashable
+from pathlib import Path
+from typing import Any, Callable, Hashable
 
+from repro.api.diskcache import (
+    NO_CACHE_ENV,
+    DiskCache,
+    decode_accelerator_design,
+    encode_accelerator_design,
+)
 from repro.config import AccelSpec, RNNSpec
 from repro.hls.framework import HLSResult, build_hls
 from repro.hw.accelerator import AcceleratorDesign, build_design
@@ -33,25 +57,41 @@ __all__ = ["CacheStats", "Engine", "default_engine", "set_default_engine"]
 
 @dataclass(frozen=True)
 class CacheStats:
-    """A snapshot of one engine's cache counters."""
+    """A snapshot of one engine's cache counters.
+
+    ``misses`` counts every lookup the in-memory LRU could not serve;
+    ``disk_hits`` counts the subset of those served by the disk tier
+    instead of a build, so ``misses - disk_hits`` is the number of actual
+    builds.
+    """
 
     hits: int
     misses: int
     evictions: int
     size: int
     maxsize: int
+    disk_hits: int = 0
+    disk_misses: int = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    @property
+    def builds(self) -> int:
+        """Cold builds actually executed."""
+        return self.misses - self.disk_hits
+
     def describe(self) -> str:
-        return (
+        text = (
             f"engine cache: {self.hits} hits / {self.misses} misses "
             f"({100 * self.hit_rate:.1f}%), {self.size}/{self.maxsize} "
             f"entries, {self.evictions} evictions"
         )
+        if self.disk_hits or self.disk_misses:
+            text += f"; disk tier: {self.disk_hits} hits / {self.disk_misses} misses"
+        return text
 
 
 class Engine:
@@ -59,73 +99,171 @@ class Engine:
 
     One LRU cache spans both artifact kinds; the key includes the kind tag,
     the frozen specs, and ``pe_efficiency``.  ``maxsize`` bounds memory for
-    long sweeps — the oldest untouched entry is evicted first.
+    long sweeps — the oldest untouched entry is evicted first.  ``disk``
+    (a :class:`DiskCache`, a directory path, or ``None``) adds the
+    persistent second tier for accelerator designs; the ``REPRO_NO_CACHE``
+    environment variable is a kill switch that drops the disk tier even
+    when one is passed explicitly.
     """
 
-    def __init__(self, maxsize: int = 128):
+    def __init__(
+        self,
+        maxsize: int = 128,
+        disk: "DiskCache | Path | str | None" = None,
+    ):
         if maxsize < 1:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
         self.maxsize = maxsize
+        if disk is not None and os.environ.get(NO_CACHE_ENV):
+            disk = None
+        if disk is not None and not isinstance(disk, DiskCache):
+            disk = DiskCache(root=disk, namespace="engine")
+        self._disk = disk
+        self._lock = threading.RLock()
         self._cache: OrderedDict[Hashable, Any] = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._disk_hits = 0
+        self._disk_misses = 0
+
+    @property
+    def disk(self) -> DiskCache | None:
+        """The persistent tier, if one is attached."""
+        return self._disk
 
     # ------------------------------------------------------------------
-    def _memoized(self, key: Hashable, build) -> Any:
-        try:
-            value = self._cache[key]
-        except KeyError:
-            self._misses += 1
-            value = build()
-            self._cache[key] = value
-            if len(self._cache) > self.maxsize:
-                self._cache.popitem(last=False)
-                self._evictions += 1
-            return value
-        self._hits += 1
+    @staticmethod
+    def _key(
+        kind: str, spec: RNNSpec, accel: AccelSpec, pe_efficiency: float
+    ) -> tuple:
+        """The one key shape every memoized path and ``contains`` share."""
+        return (kind, spec, accel, pe_efficiency)
+
+    def _insert(self, key: Hashable, value: Any) -> None:
+        self._cache[key] = value
         self._cache.move_to_end(key)
+        if len(self._cache) > self.maxsize:
+            self._cache.popitem(last=False)
+            self._evictions += 1
+
+    def _memoized(
+        self,
+        key: tuple,
+        build: Callable[[], Any],
+        encode: Callable[[Any], Any] | None = None,
+        decode: Callable[[Any], Any] | None = None,
+    ) -> Any:
+        with self._lock:
+            try:
+                value = self._cache[key]
+            except KeyError:
+                self._misses += 1
+            else:
+                self._hits += 1
+                self._cache.move_to_end(key)
+                return value
+
+        disk_key = None
+        if self._disk is not None and decode is not None:
+            disk_key = self._disk.key(*key)
+            payload = self._disk.get(disk_key)
+            value = decode(payload) if payload is not None else None
+            if value is not None:
+                with self._lock:
+                    self._disk_hits += 1
+                    self._insert(key, value)
+                return value
+            with self._lock:
+                self._disk_misses += 1
+
+        value = build()
+        if disk_key is not None and encode is not None:
+            try:
+                self._disk.put(disk_key, encode(value))
+            except (OSError, TypeError, ValueError):
+                pass  # a failed disk write only costs warmth, never results
+        with self._lock:
+            self._insert(key, value)
         return value
 
     # ------------------------------------------------------------------
     def design(
         self, spec: RNNSpec, accel: AccelSpec, pe_efficiency: float = 1.0
     ) -> AcceleratorDesign:
-        """Size the accelerator (Phase-II pricing), memoized."""
-        key = ("design", spec, accel, pe_efficiency)
+        """Size the accelerator (Phase-II pricing), memoized in both tiers."""
         return self._memoized(
-            key, lambda: build_design(spec, accel, pe_efficiency=pe_efficiency)
+            self._key("design", spec, accel, pe_efficiency),
+            lambda: build_design(spec, accel, pe_efficiency=pe_efficiency),
+            encode=encode_accelerator_design,
+            decode=decode_accelerator_design,
         )
 
     def hls(
         self, spec: RNNSpec, accel: AccelSpec, pe_efficiency: float = 1.0
     ) -> HLSResult:
-        """Run the full HLS flow (graph, schedule, C source), memoized."""
-        key = ("hls", spec, accel, pe_efficiency)
+        """Run the full HLS flow (graph, schedule, C source), memoized.
+
+        The inner accelerator sizing goes through :meth:`design`, so the
+        design cache is populated (and its hits/misses counted) identically
+        whether a spec is first seen by ``price()`` or by ``codegen()``.
+        """
         return self._memoized(
-            key, lambda: build_hls(spec, accel, pe_efficiency=pe_efficiency)
+            self._key("hls", spec, accel, pe_efficiency),
+            lambda: build_hls(
+                spec,
+                accel,
+                pe_efficiency=pe_efficiency,
+                design=self.design(spec, accel, pe_efficiency),
+            ),
         )
 
     # ------------------------------------------------------------------
+    def contains(
+        self,
+        kind: str,
+        spec: RNNSpec,
+        accel: AccelSpec,
+        pe_efficiency: float = 1.0,
+    ) -> bool:
+        """True when the in-memory tier holds this artifact.
+
+        Uses the same key construction as :meth:`design`/:meth:`hls` and
+        never perturbs the hit/miss counters.
+        """
+        with self._lock:
+            return self._key(kind, spec, accel, pe_efficiency) in self._cache
+
     def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            size=len(self._cache),
-            maxsize=self.maxsize,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._cache),
+                maxsize=self.maxsize,
+                disk_hits=self._disk_hits,
+                disk_misses=self._disk_misses,
+            )
 
     def clear(self) -> None:
-        """Drop all cached artifacts and reset the counters."""
-        self._cache.clear()
-        self._hits = self._misses = self._evictions = 0
+        """Drop all in-memory artifacts and reset the counters.
+
+        The disk tier is left untouched — use ``engine.disk.clear()`` to
+        invalidate persisted artifacts.
+        """
+        with self._lock:
+            self._cache.clear()
+            self._hits = self._misses = self._evictions = 0
+            self._disk_hits = self._disk_misses = 0
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._cache
+        with self._lock:
+            return key in self._cache
 
     def __len__(self) -> int:
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
 
 
 _default_engine = Engine()

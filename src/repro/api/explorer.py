@@ -1,0 +1,734 @@
+"""Parallel design-space exploration: the paper's Fig. 8 / Tables 3-4 sweep
+as a first-class API.
+
+E-RNN's contribution is a *design optimization flow*: sweep block size,
+quantization, and platform, then pick the best PER-vs-hardware trade-off.
+:class:`Sweep` declares that grid over a base :class:`repro.api.Design`,
+evaluates every candidate (serially, in a thread pool, or in a process
+pool), and returns an :class:`ExplorationResult` with Pareto-frontier
+extraction, top-k selection, and text/CSV/JSON reports:
+
+>>> from repro.api import Design, Sweep
+>>> result = (Sweep(Design.lstm(1024).peephole().project(512))
+...           .over(blocks=[4, 8, 16], bits=[8, 12, 16],
+...                 platform=["ADM-PCIE-7V3", "XCKU060"])
+...           .run(mode="thread"))
+>>> len(result)
+18
+>>> result.pareto()                  # PER proxy vs latency frontier
+>>> result.top_k(3, key="fps")
+>>> print(result.describe())
+
+Determinism is a hard guarantee: candidates are enumerated in declaration
+order (``itertools.product`` over the axes), ``.random(n, seed=...)``
+subsamples by seeded index choice, and results are returned in candidate
+order regardless of completion order — so a serial run and a parallel run
+of the same sweep produce byte-identical reports (test-enforced).
+
+Evaluation is cheap-model-only (BRAM fit, Phase-I bounds, the Fig. 8
+multiplication count, the Tables I-II PER proxy, and the Phase-II
+accelerator sizing); training never runs here.  Builds route through a
+shared thread-safe :class:`repro.api.engine.Engine`, optionally backed by a
+:class:`repro.api.diskcache.DiskCache` so repeated sweeps across processes
+and sessions are warm.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import itertools
+import json
+import multiprocessing
+import os
+import random
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.api.design import Design
+from repro.api.diskcache import NO_CACHE_ENV, DiskCache
+from repro.api.engine import CacheStats, Engine, default_engine
+from repro.core.cost_model import normalized_multiplications, per_proxy
+from repro.errors import ConfigError, ReproError
+
+__all__ = [
+    "Sweep",
+    "Candidate",
+    "PointMetrics",
+    "EvaluatedPoint",
+    "ExplorationResult",
+    "SWEEP_AXES",
+]
+
+
+# ----------------------------------------------------------------------
+# Axes: name -> how one value rewrites the base design.
+# ----------------------------------------------------------------------
+
+def _set_blocks(design: Design, value: Any) -> Design:
+    if value in (None, 0):
+        return design.dense()
+    if isinstance(value, (tuple, list)):
+        return design.blocks(*value)
+    return design.blocks(value)
+
+
+def _set_layers(design: Design, value: Any) -> Design:
+    if isinstance(value, (tuple, list)):
+        return design.layers(*value)
+    return design.layers(value)
+
+
+#: Sweepable axes.  Values are applied through the fluent verbs, so an axis
+#: behaves exactly like hand-writing the chained call.
+SWEEP_AXES: dict[str, Callable[[Design, Any], Design]] = {
+    "blocks": _set_blocks,
+    "layers": _set_layers,
+    "cell": lambda d, v: d.with_cell(v),
+    "platform": lambda d, v: d.on(v),
+    "bits": lambda d, v: d.bits(v),
+    "clock": lambda d, v: d.clock(v),
+    "pwl": lambda d, v: d.pwl(v),
+    "peephole": lambda d, v: d.peephole(v),
+    "projection": lambda d, v: d.project(v),
+    "io_block": lambda d, v: d.io_block(v),
+    "compute_units": lambda d, v: d.compute_units(v),
+    "efficiency": lambda d, v: d.efficiency(v),
+}
+
+
+#: Axis application order: ``layers`` first so a scalar ``blocks`` value
+#: expands against the candidate's *final* layer count, ``cell`` last so
+#: the switch can drop options the target cell does not support (GRU +
+#: projection) no matter where the axes were declared.  Ties keep
+#: declaration order.
+_AXIS_PRIORITY = {"layers": 0, "cell": 2}
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One grid point: the base design with this candidate's axis values.
+
+    ``error`` is set when applying the axis values themselves failed (e.g.
+    an unknown cell name) — the design is then the partial result and the
+    sweep records the point as failed instead of aborting.
+    """
+
+    index: int
+    overrides: tuple[tuple[str, Any], ...]
+    design: Design
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class PointMetrics:
+    """Everything the cheap models say about one candidate.
+
+    The first block is always available; the pricing block is ``None`` when
+    Phase-II sizing failed (e.g. the model does not fit the platform).
+    """
+
+    fits: bool
+    weight_megabytes: float
+    feasible: bool
+    bound_lower: int
+    bound_upper: int
+    normalized_mults: float
+    per_proxy: float
+    latency_us: float | None = None
+    fps: float | None = None
+    power_watts: float | None = None
+    energy_efficiency: float | None = None
+    num_pes: int | None = None
+    num_cus: int | None = None
+    bram_utilization: float | None = None
+    dsp_utilization: float | None = None
+
+    @property
+    def priced(self) -> bool:
+        return self.latency_us is not None
+
+
+@dataclass(frozen=True)
+class EvaluatedPoint:
+    """A candidate plus its metrics (or the error that stopped it)."""
+
+    index: int
+    overrides: tuple[tuple[str, Any], ...]
+    spec: Any  # RNNSpec | None (None when the combination does not compile)
+    accel: Any  # AccelSpec | None
+    pe_efficiency: float
+    metrics: PointMetrics | None
+    error: str | None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.metrics is not None and self.metrics.priced
+
+    def label(self) -> str:
+        if self.overrides:
+            return ", ".join(f"{name}={value}" for name, value in self.overrides)
+        return f"point {self.index}"
+
+    def metric(self, name: str) -> float | None:
+        if self.metrics is None:
+            return None
+        return getattr(self.metrics, name)
+
+    def to_json(self) -> dict:
+        return {
+            "index": self.index,
+            "overrides": [[name, value] for name, value in self.overrides],
+            "spec": dataclasses.asdict(self.spec) if self.spec is not None else None,
+            "accel": dataclasses.asdict(self.accel) if self.accel is not None else None,
+            "pe_efficiency": self.pe_efficiency,
+            "metrics": (
+                dataclasses.asdict(self.metrics) if self.metrics is not None else None
+            ),
+            "error": self.error,
+        }
+
+
+# ----------------------------------------------------------------------
+# Evaluation (shared by serial, thread, and process paths).
+# ----------------------------------------------------------------------
+
+#: Bump when PointMetrics or the evaluation semantics change, so stale
+#: persisted points never leak into new reports.
+_POINT_CODEC_VERSION = 1
+
+
+def _decode_cached_point(payload: Any) -> tuple[PointMetrics | None, str | None] | None:
+    if not isinstance(payload, dict) or payload.get("version") != _POINT_CODEC_VERSION:
+        return None
+    try:
+        metrics = payload["metrics"]
+        if metrics is not None:
+            metrics = PointMetrics(**metrics)
+        error = payload["error"]
+    except (KeyError, TypeError):
+        return None
+    return metrics, error
+
+
+def _evaluate_point(
+    index: int,
+    overrides: tuple[tuple[str, Any], ...],
+    spec,
+    accel,
+    pe_efficiency: float,
+    engine: Engine,
+    point_cache: DiskCache | None = None,
+) -> EvaluatedPoint:
+    """Evaluate one candidate, memoized (when a cache is attached) on disk.
+
+    The point cache stores the *whole* metrics block keyed on the frozen
+    specs, so a warm rerun skips fit/bounds/cost-model/pricing entirely.
+    JSON round-trips finite floats exactly, which preserves the explorer's
+    byte-identical-reports guarantee across cache states.
+    """
+    cache_key = None
+    if point_cache is not None:
+        cache_key = point_cache.key(
+            "point", _POINT_CODEC_VERSION, spec, accel, pe_efficiency
+        )
+        cached = _decode_cached_point(point_cache.get(cache_key))
+        if cached is not None:
+            metrics, error = cached
+            return EvaluatedPoint(
+                index, overrides, spec, accel, pe_efficiency, metrics, error
+            )
+
+    point = _compute_point(index, overrides, spec, accel, pe_efficiency, engine)
+    if cache_key is not None:
+        try:
+            point_cache.put(cache_key, {
+                "version": _POINT_CODEC_VERSION,
+                "metrics": (
+                    dataclasses.asdict(point.metrics)
+                    if point.metrics is not None else None
+                ),
+                "error": point.error,
+            })
+        except (OSError, TypeError, ValueError):
+            pass
+    return point
+
+
+def _compute_point(
+    index: int,
+    overrides: tuple[tuple[str, Any], ...],
+    spec,
+    accel,
+    pe_efficiency: float,
+    engine: Engine,
+) -> EvaluatedPoint:
+    design = Design.from_specs(spec, accel).using(engine).efficiency(pe_efficiency)
+    try:
+        fit = design.fit_check()
+        blocks = spec.effective_block_sizes
+        norm = sum(
+            normalized_multiplications(layer, block)
+            for layer, block in zip(spec.layer_sizes, blocks)
+        ) / len(spec.layer_sizes)
+        per = per_proxy(spec, accel.weight_bits)
+    except ReproError as exc:
+        return EvaluatedPoint(
+            index, overrides, spec, accel, pe_efficiency, None,
+            f"{type(exc).__name__}: {exc}",
+        )
+
+    # Bounds can fail outright (no block size fits BRAM at all); that is a
+    # legitimate data point, not an evaluation error.
+    try:
+        bounds = design.bounds()
+        feasible, lower, upper = bounds.feasible, bounds.lower, bounds.upper
+    except ReproError:
+        feasible, lower, upper = False, 0, 0
+
+    error = None
+    price_fields: dict[str, Any] = {}
+    try:
+        priced = design.price()
+        utilization = priced.utilization
+        price_fields = {
+            "latency_us": priced.latency_us,
+            "fps": priced.fps,
+            "power_watts": priced.power_watts,
+            "energy_efficiency": priced.energy_efficiency,
+            "num_pes": priced.num_pes,
+            "num_cus": priced.num_cus,
+            "bram_utilization": utilization["bram"],
+            "dsp_utilization": utilization["dsp"],
+        }
+    except ReproError as exc:
+        error = f"{type(exc).__name__}: {exc}"
+
+    metrics = PointMetrics(
+        fits=fit.fits,
+        weight_megabytes=fit.breakdown.weights / 8e6,
+        feasible=feasible,
+        bound_lower=lower,
+        bound_upper=upper,
+        normalized_mults=norm,
+        per_proxy=per,
+        **price_fields,
+    )
+    return EvaluatedPoint(
+        index, overrides, spec, accel, pe_efficiency, metrics, error
+    )
+
+
+#: Per-process caches for the process-pool path, keyed by disk location so
+#: every worker in one sweep shares one warm cache directory.
+_WORKER_ENGINES: dict[str | None, Engine] = {}
+_WORKER_POINT_CACHES: dict[str, DiskCache] = {}
+
+
+def _worker_engine(disk_root: str | None) -> Engine:
+    engine = _WORKER_ENGINES.get(disk_root)
+    if engine is None:
+        disk = DiskCache(root=disk_root, namespace="engine") if disk_root else None
+        engine = Engine(maxsize=256, disk=disk)
+        _WORKER_ENGINES[disk_root] = engine
+    return engine
+
+
+def _worker_point_cache(disk_root: str | None) -> DiskCache | None:
+    if disk_root is None or os.environ.get(NO_CACHE_ENV):
+        return None
+    cache = _WORKER_POINT_CACHES.get(disk_root)
+    if cache is None:
+        cache = DiskCache(root=disk_root, namespace="explorer")
+        _WORKER_POINT_CACHES[disk_root] = cache
+    return cache
+
+
+def _process_evaluate(payload: tuple) -> EvaluatedPoint:
+    """Module-level worker so ``ProcessPoolExecutor`` can pickle it."""
+    index, overrides, spec, accel, pe_efficiency, disk_root = payload
+    return _evaluate_point(
+        index, overrides, spec, accel, pe_efficiency,
+        _worker_engine(disk_root), _worker_point_cache(disk_root),
+    )
+
+
+# ----------------------------------------------------------------------
+# The sweep builder.
+# ----------------------------------------------------------------------
+
+class Sweep:
+    """Declarative grid over a base design, evaluated (optionally) in parallel.
+
+    Immutable in the fluent style: :meth:`over` and :meth:`random` return new
+    sweeps, so partial sweeps can be shared and forked like designs.
+    """
+
+    def __init__(
+        self,
+        base: Design | None = None,
+        _axes: tuple[tuple[str, tuple[Any, ...]], ...] = (),
+        _sample: tuple[int, int] | None = None,
+    ):
+        self.base = base if base is not None else Design.lstm(1024)
+        self._axes = _axes
+        self._sample = _sample  # (n, seed)
+
+    # -- construction ---------------------------------------------------
+    def over(self, **axes: Sequence[Any]) -> "Sweep":
+        """Add axes: ``.over(blocks=[4, 8, 16], platform=[...])``.
+
+        Axes combine as a full cartesian product in declaration order.
+        Within one ``over()`` call the keyword order is preserved
+        (Python dicts are ordered).
+        """
+        new_axes = list(self._axes)
+        seen = {name for name, _ in new_axes}
+        for name, values in axes.items():
+            if name not in SWEEP_AXES:
+                raise ConfigError(
+                    f"unknown sweep axis {name!r}; valid axes: "
+                    f"{', '.join(sorted(SWEEP_AXES))}"
+                )
+            if name in seen:
+                raise ConfigError(f"sweep axis {name!r} declared twice")
+            values = tuple(values)
+            if not values:
+                raise ConfigError(f"sweep axis {name!r} has no values")
+            new_axes.append((name, values))
+            seen.add(name)
+        return Sweep(self.base, tuple(new_axes), self._sample)
+
+    def random(self, n: int, seed: int = 0) -> "Sweep":
+        """Deterministically subsample the grid to at most ``n`` candidates.
+
+        For large grids this is the paper's "sample the design space" move:
+        the seeded choice makes reruns (and serial-vs-parallel comparisons)
+        reproducible.
+        """
+        if n < 1:
+            raise ConfigError(f"random sample size must be positive, got {n}")
+        return Sweep(self.base, self._axes, (n, seed))
+
+    # -- enumeration ----------------------------------------------------
+    @property
+    def axes(self) -> tuple[tuple[str, tuple[Any, ...]], ...]:
+        return self._axes
+
+    def grid_size(self) -> int:
+        """Full cartesian-product size, before any random subsampling."""
+        size = 1
+        for _, values in self._axes:
+            size *= len(values)
+        return size
+
+    def __len__(self) -> int:
+        size = self.grid_size()
+        if self._sample is not None:
+            size = min(size, self._sample[0])
+        return size
+
+    def candidates(self) -> tuple[Candidate, ...]:
+        """The evaluation order: deterministic, declaration-ordered."""
+        names = [name for name, _ in self._axes]
+        value_lists = [values for _, values in self._axes]
+        combos = list(itertools.product(*value_lists))
+        if self._sample is not None and len(combos) > self._sample[0]:
+            n, seed = self._sample
+            chosen = sorted(random.Random(seed).sample(range(len(combos)), n))
+            combos = [combos[i] for i in chosen]
+        apply_order = sorted(
+            range(len(names)),
+            key=lambda i: (_AXIS_PRIORITY.get(names[i], 1), i),
+        )
+        out = []
+        for index, combo in enumerate(combos):
+            design, error = self.base, None
+            for i in apply_order:
+                try:
+                    design = SWEEP_AXES[names[i]](design, combo[i])
+                except (ReproError, TypeError, ValueError) as exc:
+                    error = f"{type(exc).__name__}: {exc}"
+                    break
+            out.append(Candidate(index, tuple(zip(names, combo)), design, error))
+        return tuple(out)
+
+    # -- execution ------------------------------------------------------
+    def run(
+        self,
+        mode: str = "thread",
+        workers: int | None = None,
+        engine: Engine | None = None,
+        disk: DiskCache | Path | str | None = None,
+    ) -> "ExplorationResult":
+        """Evaluate every candidate and return the ordered result.
+
+        ``mode`` is ``"serial"``, ``"thread"`` (default; builds share one
+        in-process engine), or ``"process"`` (workers each hold a private
+        engine — attach ``disk`` so they share warmth through the
+        filesystem).  Results are always in candidate order, so the report
+        bytes do not depend on the mode.
+
+        ``disk`` and ``engine`` are mutually exclusive: an engine carries
+        its own disk tier (``Engine(disk=...)``), and silently dropping an
+        explicit ``disk`` request would cost the caller their warm reruns.
+        ``REPRO_NO_CACHE=1`` disables the disk tier either way.
+        """
+        if mode not in ("serial", "thread", "process"):
+            raise ConfigError(
+                f"mode must be serial, thread, or process, got {mode!r}"
+            )
+        if engine is not None and disk is not None:
+            raise ConfigError(
+                "pass either engine= or disk=, not both; attach the disk "
+                "tier to the engine itself: Engine(disk=...)"
+            )
+        if engine is None:
+            engine = Engine(disk=disk) if disk is not None else default_engine()
+        point_cache = (
+            DiskCache(root=engine.disk.root, namespace="explorer")
+            if engine.disk is not None and not os.environ.get(NO_CACHE_ENV)
+            else None
+        )
+
+        jobs: list[tuple] = []
+        points: dict[int, EvaluatedPoint] = {}
+        for candidate in self.candidates():
+            try:
+                if candidate.error is not None:
+                    raise ConfigError(candidate.error)
+                spec, accel = candidate.design.specs()
+            except ReproError as exc:
+                error = (
+                    candidate.error
+                    if candidate.error is not None
+                    else f"{type(exc).__name__}: {exc}"
+                )
+                points[candidate.index] = EvaluatedPoint(
+                    candidate.index, candidate.overrides, None, None,
+                    candidate.design.pe_efficiency, None, error,
+                )
+                continue
+            jobs.append(
+                (candidate.index, candidate.overrides, spec, accel,
+                 candidate.design.pe_efficiency)
+            )
+
+        if mode == "serial" or len(jobs) <= 1:
+            evaluated = [_evaluate_point(*job, engine, point_cache) for job in jobs]
+        elif mode == "thread":
+            with ThreadPoolExecutor(max_workers=workers or 4) as pool:
+                evaluated = list(
+                    pool.map(
+                        lambda job: _evaluate_point(*job, engine, point_cache),
+                        jobs,
+                    )
+                )
+        else:
+            disk_root = str(engine.disk.root) if engine.disk is not None else None
+            payloads = [job + (disk_root,) for job in jobs]
+            # Prefer fork so workers inherit runtime state — in particular
+            # platforms/cells registered in this process, which a spawned
+            # worker's fresh import would not know about.
+            mp_context = (
+                multiprocessing.get_context("fork")
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=mp_context
+            ) as pool:
+                evaluated = list(pool.map(_process_evaluate, payloads))
+
+        for point in evaluated:
+            points[point.index] = point
+        ordered = tuple(points[index] for index in sorted(points))
+        return ExplorationResult(
+            points=ordered,
+            axes=self._axes,
+            mode=mode,
+            engine_stats=engine.stats(),
+        )
+
+
+# ----------------------------------------------------------------------
+# Results: Pareto, top-k, reports.
+# ----------------------------------------------------------------------
+
+def _objective_getters(
+    objectives: Sequence[str],
+) -> list[tuple[str, float]]:
+    """Parse objective names; a leading ``-`` means maximize."""
+    parsed = []
+    for name in objectives:
+        sign = 1.0
+        if name.startswith("-"):
+            sign, name = -1.0, name[1:]
+        if name not in PointMetrics.__dataclass_fields__:
+            raise ConfigError(
+                f"unknown objective {name!r}; valid metrics: "
+                f"{', '.join(PointMetrics.__dataclass_fields__)}"
+            )
+        parsed.append((name, sign))
+    return parsed
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """Ordered sweep results with frontier extraction and reports."""
+
+    points: tuple[EvaluatedPoint, ...]
+    axes: tuple[tuple[str, tuple[Any, ...]], ...]
+    mode: str = field(compare=False, default="serial")
+    engine_stats: CacheStats | None = field(compare=False, default=None)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[EvaluatedPoint]:
+        return iter(self.points)
+
+    def ok(self) -> tuple[EvaluatedPoint, ...]:
+        """Fully priced, error-free points (candidates worth ranking)."""
+        return tuple(p for p in self.points if p.ok)
+
+    def failed(self) -> tuple[EvaluatedPoint, ...]:
+        return tuple(p for p in self.points if p.error is not None)
+
+    # -- selection ------------------------------------------------------
+    def pareto(
+        self, objectives: Sequence[str] = ("per_proxy", "latency_us")
+    ) -> tuple[EvaluatedPoint, ...]:
+        """Non-dominated points, minimizing each objective.
+
+        Prefix an objective with ``-`` to maximize it (``"-fps"``).  The
+        default frontier is the paper's Fig. 8 / Table III trade-off:
+        accuracy proxy against frame latency.
+        """
+        parsed = _objective_getters(objectives)
+        candidates = [
+            (p, tuple(sign * p.metric(name) for name, sign in parsed))
+            for p in self.ok()
+        ]
+        front = []
+        for point, values in candidates:
+            dominated = False
+            for _, other in candidates:
+                if other is values:
+                    continue
+                if all(o <= v for o, v in zip(other, values)) and any(
+                    o < v for o, v in zip(other, values)
+                ):
+                    dominated = True
+                    break
+            if not dominated:
+                front.append(point)
+        return tuple(front)
+
+    def top_k(
+        self, k: int = 5, key: str = "fps", largest: bool = True
+    ) -> tuple[EvaluatedPoint, ...]:
+        """The ``k`` best priced points by one metric (ties break by index)."""
+        (name, sign), = _objective_getters([key])
+        ranked = sorted(
+            self.ok(),
+            key=lambda p: ((-sign if largest else sign) * p.metric(name), p.index),
+        )
+        return tuple(ranked[:k])
+
+    def best(self, key: str = "fps", largest: bool = True) -> EvaluatedPoint | None:
+        top = self.top_k(1, key=key, largest=largest)
+        return top[0] if top else None
+
+    # -- reports --------------------------------------------------------
+    def to_json(self) -> str:
+        """Canonical JSON: byte-identical for identical sweep outcomes."""
+        payload = {
+            "axes": [[name, list(values)] for name, values in self.axes],
+            "points": [point.to_json() for point in self.points],
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    _CSV_COLUMNS = (
+        "index", "design", "platform", "bits", "fits", "feasible",
+        "per_proxy", "normalized_mults", "latency_us", "fps",
+        "power_watts", "energy_efficiency", "num_pes", "bram_utilization",
+        "error",
+    )
+
+    def to_csv(self) -> str:
+        """Flat CSV of every point (spreadsheet-ready, deterministic)."""
+        import csv
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self._CSV_COLUMNS)
+        for p in self.points:
+            m = p.metrics
+            writer.writerow([
+                p.index,
+                p.spec.describe() if p.spec is not None else "",
+                p.accel.platform if p.accel is not None else "",
+                p.accel.weight_bits if p.accel is not None else "",
+                "" if m is None else m.fits,
+                "" if m is None else m.feasible,
+                "" if m is None else f"{m.per_proxy:.4f}",
+                "" if m is None else f"{m.normalized_mults:.6f}",
+                "" if m is None or m.latency_us is None else f"{m.latency_us:.4f}",
+                "" if m is None or m.fps is None else f"{m.fps:.1f}",
+                "" if m is None or m.power_watts is None else f"{m.power_watts:.3f}",
+                "" if m is None or m.energy_efficiency is None
+                else f"{m.energy_efficiency:.2f}",
+                "" if m is None or m.num_pes is None else m.num_pes,
+                "" if m is None or m.bram_utilization is None
+                else f"{m.bram_utilization:.4f}",
+                p.error or "",
+            ])
+        return buffer.getvalue()
+
+    def describe(self, k: int = 5, stats: bool = False) -> str:
+        """Human-readable sweep summary: counts, frontier, top-k.
+
+        Deterministic by default (byte-identical across execution modes,
+        like :meth:`to_json`/:meth:`to_csv`); ``stats=True`` appends the
+        engine's cache counters, which *do* depend on mode and cache state.
+        """
+        lines = [
+            f"Design-space sweep: {len(self.points)} candidates "
+            f"({len(self.ok())} priced, {len(self.failed())} failed)",
+        ]
+        if self.axes:
+            lines.append(
+                "  axes: " + "; ".join(
+                    f"{name} in {list(values)}" for name, values in self.axes
+                )
+            )
+        front = self.pareto()
+        if front:
+            lines.append(
+                f"  Pareto frontier (PER proxy vs latency): {len(front)} points"
+            )
+            for p in front:
+                m = p.metrics
+                lines.append(
+                    f"    [{p.index:3d}] {p.label()}: "
+                    f"PER~{m.per_proxy:.2f}%, {m.latency_us:.2f} us, "
+                    f"{m.fps:,.0f} FPS, {m.power_watts:.1f} W"
+                )
+        top = self.top_k(k, key="fps")
+        if top:
+            lines.append(f"  top {len(top)} by FPS:")
+            for p in top:
+                m = p.metrics
+                lines.append(
+                    f"    [{p.index:3d}] {p.label()}: {m.fps:,.0f} FPS, "
+                    f"{m.latency_us:.2f} us, PER~{m.per_proxy:.2f}%, "
+                    f"BRAM {100 * m.bram_utilization:.0f}%"
+                )
+        for p in self.failed():
+            lines.append(f"  failed [{p.index:3d}] {p.label()}: {p.error}")
+        if stats and self.engine_stats is not None:
+            lines.append(f"  {self.engine_stats.describe()}")
+        return "\n".join(lines)

@@ -10,6 +10,7 @@ the old CLI lacked (a model whose BRAM *lower* bound exceeds the Fig. 8
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
 
@@ -29,6 +30,16 @@ class FitReport:
     bits: int
     breakdown: StorageBreakdown
     fits: bool
+
+    def to_json(self) -> dict:
+        """Stable JSON-encodable form (golden regression fixtures)."""
+        return {
+            "spec": dataclasses.asdict(self.spec),
+            "platform": self.platform.name,
+            "bits": self.bits,
+            "breakdown": dataclasses.asdict(self.breakdown),
+            "fits": self.fits,
+        }
 
     def describe(self) -> str:
         b = self.breakdown
@@ -73,6 +84,19 @@ class BoundsReport:
         return tuple(
             self.upper >> shift for shift in range(self.num_trials)
         )
+
+    def to_json(self) -> dict:
+        """Stable JSON-encodable form (golden regression fixtures)."""
+        return {
+            "spec": dataclasses.asdict(self.spec),
+            "platform": self.platform_name,
+            "bits": self.bits,
+            "lower": self.lower,
+            "upper": self.upper,
+            "feasible": self.feasible,
+            "num_trials": self.num_trials,
+            "block_sizes": list(self.block_sizes),
+        }
 
     def describe(self) -> str:
         lines = [

@@ -11,6 +11,7 @@ Subcommands map onto the paper's workflow:
 * ``bounds``     — Phase I block-size bounds (BRAM lower, Fig. 8 upper).
 * ``price``      — Phase II hardware sizing: latency / FPS / power report.
 * ``codegen``    — run the HLS flow and write the generated C source.
+* ``explore``    — parallel design-space sweep with Pareto/top-k reports.
 * ``table3``     — regenerate the paper's headline comparison table.
 * ``fig8``       — print the multiplication-count curves.
 
@@ -19,6 +20,8 @@ Examples::
     repro price --cell lstm --layers 1024 --block 8 \\
         --projection 512 --peephole --platform XCKU060
     repro codegen --cell gru --layers 1024 --block 16 -o cu.c
+    repro explore --layers 1024 --peephole --projection 512 \\
+        --sweep-blocks 4 8 16 --sweep-bits 8 12 16 --mode thread
 """
 
 from __future__ import annotations
@@ -112,6 +115,51 @@ def _cmd_codegen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.api import PLATFORM_REGISTRY, DiskCache, Engine, Sweep
+
+    base = _design_from_args(args)
+    platforms = args.sweep_platforms or list(PLATFORM_REGISTRY.names())
+    sweep = Sweep(base).over(
+        blocks=args.sweep_blocks,
+        bits=args.sweep_bits,
+        platform=platforms,
+    )
+    if args.random is not None:
+        sweep = sweep.random(args.random, seed=args.seed)
+
+    engine = None
+    if not args.no_cache:
+        # Engine itself honours the REPRO_NO_CACHE kill switch.
+        engine = Engine(disk=DiskCache(root=args.cache_dir, namespace="engine"))
+    result = sweep.run(mode=args.mode, workers=args.workers, engine=engine)
+
+    if args.format == "json":
+        text = result.to_json()
+    elif args.format == "csv":
+        text = result.to_csv()
+    else:
+        objectives = [o for o in args.objectives.split(",") if o]
+        text = result.describe(args.top, stats=True)
+        if objectives != ["per_proxy", "latency_us"]:
+            front = result.pareto(objectives)
+            if front:
+                text += (
+                    f"\n  Pareto frontier ({' vs '.join(objectives)}): "
+                    + ", ".join(f"[{p.index}] {p.label()}" for p in front)
+                )
+    if args.output:
+        from pathlib import Path
+
+        if not text.endswith("\n"):
+            text += "\n"
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output} ({len(result)} candidates)")
+    else:
+        print(text)
+    return 0 if result.ok() else 1
+
+
 def _cmd_table3(args: argparse.Namespace) -> int:
     from repro.experiments.table3 import format_comparison, run_table3
 
@@ -149,6 +197,58 @@ def build_parser() -> argparse.ArgumentParser:
     _add_spec_arguments(codegen)
     codegen.add_argument("-o", "--output", default="ernn_cu.c")
     codegen.set_defaults(handler=_cmd_codegen)
+
+    explore = sub.add_parser(
+        "explore",
+        help="parallel design-space sweep (Pareto frontier, top-k, reports)",
+    )
+    _add_spec_arguments(explore)
+    explore.add_argument(
+        "--sweep-blocks", type=int, nargs="+", default=[2, 4, 8, 16, 32],
+        help="block-size axis (default: 2 4 8 16 32)",
+    )
+    explore.add_argument(
+        "--sweep-bits", type=int, nargs="+", default=[8, 12, 16],
+        help="fixed-point width axis (default: 8 12 16)",
+    )
+    explore.add_argument(
+        "--sweep-platforms", nargs="+", default=None,
+        help="platform axis (default: every registered platform)",
+    )
+    explore.add_argument(
+        "--random", type=int, default=None, metavar="N",
+        help="randomly subsample the grid to N candidates",
+    )
+    explore.add_argument("--seed", type=int, default=0,
+                         help="seed for --random sampling (default: 0)")
+    explore.add_argument(
+        "--mode", choices=("serial", "thread", "process"), default="thread",
+        help="evaluation strategy (default: thread)",
+    )
+    explore.add_argument("--workers", type=int, default=None,
+                         help="pool size for thread/process modes")
+    explore.add_argument(
+        "--top", type=int, default=5, help="top-k rows in the text report"
+    )
+    explore.add_argument(
+        "--objectives", default="per_proxy,latency_us",
+        help="comma-separated Pareto objectives; prefix one with - to "
+             "maximize it (default: per_proxy,latency_us)",
+    )
+    explore.add_argument(
+        "--format", choices=("text", "csv", "json"), default="text",
+    )
+    explore.add_argument("-o", "--output", default=None,
+                         help="write the report to a file instead of stdout")
+    explore.add_argument(
+        "--cache-dir", default=None,
+        help="disk-cache root (default: REPRO_CACHE_DIR or ~/.cache/repro-ernn)",
+    )
+    explore.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the persistent disk cache for this run",
+    )
+    explore.set_defaults(handler=_cmd_explore)
 
     table3 = sub.add_parser("table3", help="regenerate the Table III comparison")
     table3.set_defaults(handler=_cmd_table3)

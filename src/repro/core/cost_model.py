@@ -40,6 +40,9 @@ __all__ = [
     "fig8_curve",
     "decoupling_counts",
     "recommended_block_upper_bound",
+    "per_degradation_proxy",
+    "per_proxy",
+    "PER_PROXY_BASELINE",
 ]
 
 #: Real multiplications per complex multiplication (4-mult/2-add scheme; the
@@ -209,3 +212,66 @@ def recommended_block_upper_bound(
         if drop < improvement_threshold:
             return previous
     return blocks[-1]
+
+
+# ----------------------------------------------------------------------
+# Accuracy proxy for design-space exploration (Tables I-II trend model).
+# ----------------------------------------------------------------------
+
+#: Dense TIMIT LSTM baseline PER of Table I, percent.
+PER_PROXY_BASELINE = 20.01
+
+#: Modeled PER degradation (percent points) per halving of the parameter
+#: count, i.e. per octave of block size.  Table I's E-RNN rows degrade
+#: roughly linearly in log2(block): ~+0.24 at block 8, ~+0.32 at block 16.
+OCTAVE_DEGRADATION = 0.08
+
+#: Modeled PER degradation per bit of quantization below the paper's
+#: 12-bit operating point (Sec. VII-D finds 12 bits accuracy-neutral).
+QUANTIZATION_DEGRADATION = 0.25
+
+#: Bit width below which quantization is modeled as costing accuracy.
+NEUTRAL_WEIGHT_BITS = 12
+
+
+def per_degradation_proxy(
+    block_sizes: tuple[int, ...],
+    weight_bits: int = NEUTRAL_WEIGHT_BITS,
+    octave_cost: float = OCTAVE_DEGRADATION,
+    quant_cost: float = QUANTIZATION_DEGRADATION,
+) -> float:
+    """Modeled PER degradation (percent points) for a compressed design.
+
+    A deterministic *ordering proxy*, not a prediction: it reproduces the
+    two monotone trends the paper's accuracy tables establish — degradation
+    grows with block size (each octave halves the parameter count) and with
+    quantization below 12 bits — so the explorer can rank candidates without
+    training.  Real PERs come from the Phase-I trainer.
+
+    Dense layers (block size 1, or an empty tuple) contribute nothing.
+    """
+    if weight_bits < 1:
+        raise ValueError(f"weight_bits must be positive, got {weight_bits}")
+    for block in block_sizes:
+        _check_block(block)
+    if block_sizes:
+        octaves = sum(math.log2(block) for block in block_sizes) / len(block_sizes)
+    else:
+        octaves = 0.0
+    quant_bits_lost = max(0, NEUTRAL_WEIGHT_BITS - weight_bits)
+    return octave_cost * octaves + quant_cost * quant_bits_lost
+
+
+def per_proxy(
+    spec,
+    weight_bits: int = NEUTRAL_WEIGHT_BITS,
+    baseline_per: float = PER_PROXY_BASELINE,
+) -> float:
+    """Absolute PER proxy for an :class:`repro.config.RNNSpec`-like object.
+
+    ``baseline_per`` anchors the dense model; the spec's effective block
+    sizes and the quantization width add the modeled degradation.
+    """
+    return baseline_per + per_degradation_proxy(
+        tuple(spec.effective_block_sizes), weight_bits
+    )

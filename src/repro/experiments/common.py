@@ -6,9 +6,12 @@ RNNs.  The harness keeps that affordable and reproducible:
 * one deterministic synthetic corpus per :class:`ExperimentSettings`;
 * dense baselines cached per architecture (block-size rows reuse them, the
   way the paper's Phase I reuses one pretrained model per layer size);
-* every measured PER cached in-process and, optionally, on disk
-  (``.bench_cache.json`` at the repo root; delete it or set
-  ``REPRO_NO_CACHE=1`` to re-measure from scratch).
+* every measured PER cached in-process and, optionally, on disk through
+  the shared :class:`repro.api.diskcache.DiskCache` tier (the ``per``
+  namespace under ``REPRO_CACHE_DIR`` / ``~/.cache/repro-ernn``; set
+  ``REPRO_NO_CACHE=1`` to re-measure from scratch).  Keys include the
+  full settings, so changing any training budget invalidates cleanly —
+  and concurrent benchmark runs share one atomic-rename-safe store.
 
 Scale: layer sizes are the paper's ÷16 (1024→64, 512→32, 256→16) so numpy
 training finishes in minutes; block sizes are the paper's own.  DESIGN.md §2
@@ -18,12 +21,12 @@ records why this preserves the orderings Tables I-II assert.
 from __future__ import annotations
 
 import json
-import os
 from dataclasses import dataclass, replace
 from pathlib import Path
 
 import numpy as np
 
+from repro.api.diskcache import DiskCache
 from repro.asr.features import FeatureConfig, FeatureExtractor
 from repro.asr.phones import PhoneSet
 from repro.asr.pipeline import (
@@ -37,6 +40,7 @@ from repro.asr.timit import CorpusConfig, SyntheticTIMIT
 from repro.config import RNNSpec
 from repro.core.admm import ADMMConfig
 from repro.core.flow import ernn_compress
+from repro.errors import ConfigError
 from repro.nn.rnn import StackedRNNClassifier
 
 __all__ = ["ExperimentSettings", "ExperimentHarness", "SCALE_FACTOR"]
@@ -100,37 +104,25 @@ class ExperimentHarness:
         self._test: PreparedDataset | None = None
         self._dense_models: dict[str, StackedRNNClassifier] = {}
         self._per_cache: dict[str, float] = {}
-        self._cache_path = self._resolve_cache_path(cache_path)
-        self._load_disk_cache()
+        # The persistent tier is the library-wide DiskCache (``per``
+        # namespace); ``cache_path`` overrides the root *directory* and
+        # REPRO_NO_CACHE disables it entirely.  Fail loudly on the legacy
+        # single-file store rather than silently caching nothing.
+        if cache_path is not None and Path(cache_path).is_file():
+            raise ConfigError(
+                f"cache_path now names a cache directory, but {cache_path} "
+                "is a file (the legacy .bench_cache.json store); delete it "
+                "or point at a directory"
+            )
+        self._disk = DiskCache.from_env(root=cache_path, namespace="per")
 
     # ------------------------------------------------------------------
     # Disk cache
     # ------------------------------------------------------------------
-    def _resolve_cache_path(self, cache_path) -> Path | None:
-        if os.environ.get("REPRO_NO_CACHE"):
+    def _disk_key(self, memo_key: str) -> str | None:
+        if self._disk is None:
             return None
-        if cache_path is not None:
-            return Path(cache_path)
-        return Path(__file__).resolve().parents[3] / ".bench_cache.json"
-
-    def _load_disk_cache(self) -> None:
-        if self._cache_path is None or not self._cache_path.exists():
-            return
-        try:
-            stored = json.loads(self._cache_path.read_text())
-        except (OSError, json.JSONDecodeError):
-            return
-        if stored.get("settings") == self.settings.cache_key():
-            self._per_cache.update(stored.get("per", {}))
-
-    def _save_disk_cache(self) -> None:
-        if self._cache_path is None:
-            return
-        payload = {"settings": self.settings.cache_key(), "per": self._per_cache}
-        try:
-            self._cache_path.write_text(json.dumps(payload, indent=1))
-        except OSError:
-            pass
+        return self._disk.key("per", self.settings.cache_key(), memo_key)
 
     # ------------------------------------------------------------------
     # Data
@@ -228,6 +220,12 @@ class ExperimentHarness:
         key = f"{flavor}|{_spec_key(spec)}"
         if key in self._per_cache:
             return self._per_cache[key]
+        disk_key = self._disk_key(key)
+        if disk_key is not None:
+            stored = self._disk.get(disk_key)
+            if isinstance(stored, float):
+                self._per_cache[key] = stored
+                return stored
 
         train, test = self.datasets()
         cfg = self.settings
@@ -262,7 +260,11 @@ class ExperimentHarness:
             per = evaluate_per(result.model, test)
 
         self._per_cache[key] = per
-        self._save_disk_cache()
+        if disk_key is not None:
+            try:
+                self._disk.put(disk_key, float(per))
+            except OSError:
+                pass
         return per
 
     def trainer(self, flavor: str = "ernn"):

@@ -60,15 +60,21 @@ class HLSResult:
 
 
 def build_hls(
-    spec: RNNSpec, accel: AccelSpec, pe_efficiency: float = 1.0
+    spec: RNNSpec,
+    accel: AccelSpec,
+    pe_efficiency: float = 1.0,
+    design: AcceleratorDesign | None = None,
 ) -> HLSResult:
     """Run the full Fig. 13 flow — the canonical (non-deprecated) path.
 
     :class:`repro.api.engine.Engine` memoizes this call keyed on the frozen
     ``(spec, accel)`` pair, so repeated codegen over a sweep builds once.
+    ``design`` lets a caller that already sized the accelerator (the engine's
+    design cache) skip re-running the Phase-II model.
     """
     graph = build_operation_graph(spec)
-    design = build_design(spec, accel, pe_efficiency=pe_efficiency)
+    if design is None:
+        design = build_design(spec, accel, pe_efficiency=pe_efficiency)
     if spec.cell_type == "gru":
         efficiency = pe_efficiency * GRU_TDM_SPEEDUP
         overhead_count = 2

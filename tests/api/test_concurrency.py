@@ -1,0 +1,163 @@
+"""Cache layers under contention: LRU thread safety, multi-process DiskCache."""
+
+import json
+import multiprocessing
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import DiskCache, Engine
+from repro.config import AccelSpec, RNNSpec
+
+
+def _spec(block: int) -> RNNSpec:
+    return RNNSpec("lstm", 153, (512,), 39, block_sizes=(block,))
+
+
+ACCEL = AccelSpec("XCKU060")
+BLOCKS = (2, 4, 8, 16, 32, 64)
+
+
+class TestEngineThreadSafety:
+    def test_contended_lookups_preserve_counter_invariants(self):
+        """hits + misses must equal total lookups even under contention."""
+        engine = Engine(maxsize=16)
+        lookups_per_thread = 30
+        num_threads = 8
+
+        def worker(seed: int) -> None:
+            for i in range(lookups_per_thread):
+                block = BLOCKS[(seed + i) % len(BLOCKS)]
+                built = engine.design(_spec(block), ACCEL)
+                assert built.spec.block_sizes == (block,)
+
+        with ThreadPoolExecutor(max_workers=num_threads) as pool:
+            list(pool.map(worker, range(num_threads)))
+
+        stats = engine.stats()
+        assert stats.hits + stats.misses == num_threads * lookups_per_thread
+        # Racing threads may each build the same cold key once, but the
+        # cache must never under-count a lookup or exceed its bound.
+        assert stats.misses >= len(BLOCKS)
+        assert stats.size <= engine.maxsize
+
+    def test_contended_eviction_keeps_size_bounded(self):
+        engine = Engine(maxsize=3)
+
+        def worker(seed: int) -> None:
+            for i in range(40):
+                engine.design(_spec(BLOCKS[(seed * 7 + i) % len(BLOCKS)]), ACCEL)
+                assert len(engine) <= 3
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            list(pool.map(worker, range(6)))
+
+        stats = engine.stats()
+        assert stats.size <= 3
+        assert stats.evictions > 0
+
+    def test_concurrent_hits_return_the_same_artifact(self):
+        engine = Engine()
+        spec = _spec(8)
+        canonical = engine.design(spec, ACCEL)
+        results = []
+
+        def worker() -> None:
+            results.append(engine.design(spec, ACCEL))
+
+        threads = [threading.Thread(target=worker) for _ in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(r is canonical for r in results)
+
+    def test_clear_while_reading_never_corrupts(self):
+        engine = Engine(maxsize=8)
+        stop = threading.Event()
+
+        def churn() -> None:
+            i = 0
+            while not stop.is_set():
+                engine.design(_spec(BLOCKS[i % len(BLOCKS)]), ACCEL)
+                i += 1
+
+        def clearer() -> None:
+            for _ in range(20):
+                engine.clear()
+
+        churners = [threading.Thread(target=churn) for _ in range(3)]
+        for t in churners:
+            t.start()
+        clearer()
+        stop.set()
+        for t in churners:
+            t.join()
+        stats = engine.stats()
+        assert stats.hits + stats.misses >= 0  # counters stayed coherent
+        assert len(engine) <= 8
+
+
+def _hammer_diskcache(root: str, worker_id: int, rounds: int) -> None:
+    """Write and read the same key set as the sibling process."""
+    cache = DiskCache(root=root, namespace="shared")
+    for i in range(rounds):
+        key = cache.key("item", i % 10)
+        cache.put(key, {"worker": worker_id, "round": i, "value": i * 1.5})
+        read = cache.get(key)
+        # Concurrent replace may serve either writer's artifact, but never
+        # a torn or partial one.
+        assert read is None or (
+            isinstance(read, dict) and set(read) == {"worker", "round", "value"}
+        )
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+class TestDiskCacheMultiProcess:
+    def test_two_processes_share_one_directory_without_corruption(self, tmp_path):
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=_hammer_diskcache, args=(str(tmp_path), w, 60))
+            for w in range(2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+
+        cache = DiskCache(root=tmp_path, namespace="shared")
+        assert len(cache) == 10
+        # Every surviving artifact must be complete, valid JSON.
+        for artifact in cache.path.glob("*/*.json"):
+            payload = json.loads(artifact.read_text())
+            assert set(payload) == {"worker", "round", "value"}
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+    def test_engine_disk_tier_shared_across_processes(self, tmp_path):
+        def build(root: str, block: int) -> None:
+            engine = Engine(disk=DiskCache(root=root))
+            engine.design(_spec(block), ACCEL)
+
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=build, args=(str(tmp_path), block))
+            for block in (4, 8, 16, 4, 8, 16)  # contending duplicates
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+
+        # A fresh engine in this process must be fully warm.
+        engine = Engine(disk=DiskCache(root=tmp_path))
+        for block in (4, 8, 16):
+            engine.design(_spec(block), ACCEL)
+        stats = engine.stats()
+        assert stats.disk_hits == 3
+        assert stats.builds == 0

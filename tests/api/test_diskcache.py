@@ -1,0 +1,261 @@
+"""DiskCache: keys, atomic round-trips, env resolution, and the engine tier."""
+
+import json
+
+import pytest
+
+from repro.api import Design, DiskCache, Engine, default_cache_root
+from repro.api.diskcache import (
+    decode_accelerator_design,
+    encode_accelerator_design,
+)
+from repro.config import AccelSpec, RNNSpec
+
+
+@pytest.fixture()
+def cache(tmp_path) -> DiskCache:
+    return DiskCache(root=tmp_path, namespace="t")
+
+
+@pytest.fixture()
+def spec() -> RNNSpec:
+    return RNNSpec(
+        "lstm", 153, (1024,), 39,
+        block_sizes=(8,), peephole=True, projection_size=512,
+    )
+
+
+@pytest.fixture()
+def accel() -> AccelSpec:
+    return AccelSpec("XCKU060")
+
+
+class TestKeys:
+    def test_equal_specs_equal_keys(self, cache, spec, accel):
+        clone = RNNSpec(
+            "lstm", 153, (1024,), 39,
+            block_sizes=(8,), peephole=True, projection_size=512,
+        )
+        assert cache.key("design", spec, accel) == cache.key("design", clone, accel)
+
+    def test_different_specs_different_keys(self, cache, spec, accel):
+        other = spec.with_block_sizes((16,))
+        assert cache.key("design", spec, accel) != cache.key("design", other, accel)
+
+    def test_kind_tag_separates_artifacts(self, cache, spec, accel):
+        assert cache.key("design", spec, accel) != cache.key("hls", spec, accel)
+
+    def test_pe_efficiency_is_part_of_the_key(self, cache, spec, accel):
+        assert cache.key(spec, accel, 1.0) != cache.key(spec, accel, 0.82)
+
+    def test_key_is_stable_hex(self, cache):
+        key = cache.key("design", 1, 2.5, "x", None, True, (1, 2))
+        assert key == cache.key("design", 1, 2.5, "x", None, True, [1, 2])
+        assert len(key) == 64 and int(key, 16) >= 0
+
+    def test_unencodable_part_rejected(self, cache):
+        with pytest.raises(TypeError):
+            cache.key(object())
+
+
+class TestStore:
+    def test_round_trip(self, cache):
+        key = cache.key("k")
+        cache.put(key, {"a": [1, 2], "b": "text", "c": 1.5})
+        assert cache.get(key) == {"a": [1, 2], "b": "text", "c": 1.5}
+
+    def test_float_round_trip_is_exact(self, cache):
+        value = 0.1 + 0.2  # not representable prettily
+        key = cache.key("f")
+        cache.put(key, value)
+        assert cache.get(key) == value
+
+    def test_missing_key_returns_default(self, cache):
+        assert cache.get("0" * 64) is None
+        assert cache.get("0" * 64, default=-1) == -1
+
+    def test_contains_and_len(self, cache):
+        assert len(cache) == 0
+        key = cache.key("k")
+        assert key not in cache
+        cache.put(key, 1)
+        assert key in cache
+        assert len(cache) == 1
+
+    def test_overwrite_replaces_value(self, cache):
+        key = cache.key("k")
+        cache.put(key, 1)
+        cache.put(key, 2)
+        assert cache.get(key) == 2
+        assert len(cache) == 1
+
+    def test_delete(self, cache):
+        key = cache.key("k")
+        cache.put(key, 1)
+        assert cache.delete(key)
+        assert key not in cache
+        assert not cache.delete(key)
+
+    def test_clear_counts_removals(self, cache):
+        for i in range(5):
+            cache.put(cache.key(i), i)
+        assert cache.clear() == 5
+        assert len(cache) == 0
+
+    def test_clear_sweeps_tmp_litter(self, cache):
+        """A crashed writer's leftover .tmp files go out with clear()."""
+        key = cache.key("k")
+        cache.put(key, 1)
+        litter = cache._path_for(key).parent / ".dead-writer.123.tmp"
+        litter.write_text("{partial")
+        assert cache.clear() == 1  # litter does not count as an artifact
+        assert not litter.exists()
+
+    def test_unserializable_value_leaves_no_litter(self, cache, tmp_path):
+        with pytest.raises(TypeError):
+            cache.put(cache.key("k"), object())
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+    def test_no_tmp_files_left_behind(self, cache, tmp_path):
+        for i in range(10):
+            cache.put(cache.key(i), {"i": i})
+        leftovers = list(tmp_path.rglob("*.tmp"))
+        assert leftovers == []
+
+    def test_corrupt_artifact_reads_as_miss(self, cache):
+        key = cache.key("k")
+        path = cache.put(key, {"ok": True})
+        path.write_text("{truncated")
+        assert cache.get(key) is None
+        assert cache.misses == 1
+
+    def test_hit_miss_counters(self, cache):
+        key = cache.key("k")
+        cache.get(key)
+        cache.put(key, 1)
+        cache.get(key)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert "1 hits" in cache.describe()
+
+    def test_namespaces_are_isolated(self, tmp_path):
+        a = DiskCache(root=tmp_path, namespace="a")
+        b = DiskCache(root=tmp_path, namespace="b")
+        key = a.key("k")
+        a.put(key, 1)
+        assert b.get(key) is None
+        assert len(b) == 0
+
+    def test_invalid_namespace_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskCache(root=tmp_path, namespace="a/b")
+        with pytest.raises(ValueError):
+            DiskCache(root=tmp_path, namespace="")
+
+
+class TestEnvResolution:
+    def test_repro_cache_dir_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_root() == tmp_path / "custom"
+        assert DiskCache().root == tmp_path / "custom"
+
+    def test_xdg_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_root() == tmp_path / "xdg" / "repro-ernn"
+
+    def test_home_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("XDG_CACHE_HOME", raising=False)
+        assert default_cache_root().name == "repro-ernn"
+
+    def test_from_env_honours_no_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert DiskCache.from_env() is None
+        monkeypatch.delenv("REPRO_NO_CACHE")
+        assert DiskCache.from_env() is not None
+
+
+class TestDesignCodec:
+    def test_encode_decode_round_trip(self, spec, accel):
+        built = Engine().design(spec, accel)
+        decoded = decode_accelerator_design(encode_accelerator_design(built))
+        assert decoded == built
+        assert decoded.spec == spec
+        assert decoded.latency_us == built.latency_us
+        assert decoded.fps == built.fps
+        assert decoded.power_watts == built.power_watts
+
+    def test_payload_is_json_serializable(self, spec, accel):
+        built = Engine().design(spec, accel)
+        payload = encode_accelerator_design(built)
+        assert decode_accelerator_design(json.loads(json.dumps(payload))) == built
+
+    def test_decode_rejects_garbage(self):
+        assert decode_accelerator_design({"version": 999}) is None
+        assert decode_accelerator_design("nonsense") is None
+        assert decode_accelerator_design({"version": 1, "spec": {}}) is None
+
+
+class TestEngineDiskTier:
+    def test_second_engine_is_warm(self, tmp_path, spec, accel):
+        first = Engine(disk=DiskCache(root=tmp_path))
+        built = first.design(spec, accel)
+        assert first.stats().disk_misses == 1  # cold: disk consulted, empty
+
+        second = Engine(disk=DiskCache(root=tmp_path))
+        warm = second.design(spec, accel)
+        assert warm == built
+        stats = second.stats()
+        assert (stats.disk_hits, stats.misses) == (1, 1)
+        assert stats.builds == 0
+
+    def test_disk_accepts_a_plain_path(self, tmp_path, spec, accel):
+        engine = Engine(disk=tmp_path)
+        engine.design(spec, accel)
+        assert Engine(disk=tmp_path).design(spec, accel) is not None
+        assert len(engine.disk) == 1
+
+    def test_memory_tier_still_first(self, tmp_path, spec, accel):
+        engine = Engine(disk=DiskCache(root=tmp_path))
+        a = engine.design(spec, accel)
+        assert engine.design(spec, accel) is a  # identity => memory hit
+        assert engine.stats().hits == 1
+
+    def test_hls_is_memory_only_but_design_half_persists(
+        self, tmp_path, spec, accel
+    ):
+        first = Engine(disk=DiskCache(root=tmp_path))
+        first.hls(spec, accel)
+        second = Engine(disk=DiskCache(root=tmp_path))
+        second.hls(spec, accel)
+        stats = second.stats()
+        assert stats.disk_hits == 1  # the inner design came from disk
+        assert len(second.disk) == 1  # no hls artifact on disk
+
+    def test_corrupt_disk_artifact_triggers_rebuild(self, tmp_path, spec, accel):
+        cache = DiskCache(root=tmp_path)
+        first = Engine(disk=cache)
+        first.design(spec, accel)
+        (artifact,) = list(cache.path.glob("*/*.json"))
+        artifact.write_text("{broken")
+        second = Engine(disk=DiskCache(root=tmp_path))
+        rebuilt = second.design(spec, accel)
+        assert rebuilt.fps > 0
+        assert second.stats().builds == 1
+
+    def test_design_verbs_share_the_disk_tier(self, tmp_path):
+        design = Design.lstm(512).blocks(8)
+        cold = design.using(Engine(disk=DiskCache(root=tmp_path))).price()
+        warm_engine = Engine(disk=DiskCache(root=tmp_path))
+        warm = design.using(warm_engine).price()
+        assert warm == cold
+        assert warm_engine.stats().disk_hits == 1
+
+    def test_clear_leaves_disk_untouched(self, tmp_path, spec, accel):
+        engine = Engine(disk=DiskCache(root=tmp_path))
+        engine.design(spec, accel)
+        engine.clear()
+        assert len(engine) == 0
+        assert len(engine.disk) == 1
+        assert engine.design(spec, accel) is not None
+        assert engine.stats().disk_hits == 1

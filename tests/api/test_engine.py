@@ -54,6 +54,53 @@ class TestEngineCache:
         assert engine.stats().misses == 2
         assert engine.hls(spec, accel) is result
 
+    def test_hls_populates_the_design_cache(self, spec, accel):
+        """codegen-first and price-first must leave identical cache state."""
+        engine = Engine()
+        hls = engine.hls(spec, accel)
+        assert engine.contains("design", spec, accel)
+        assert engine.contains("hls", spec, accel)
+        # The subsequent price() is a pure hit on the design the HLS flow
+        # already built — and it is the very same artifact.
+        assert engine.design(spec, accel) is hls.design
+        stats = engine.stats()
+        assert (stats.hits, stats.misses) == (1, 2)
+
+    def test_design_then_hls_reuses_the_design_artifact(self, spec, accel):
+        engine = Engine()
+        priced = engine.design(spec, accel)
+        hls = engine.hls(spec, accel)
+        assert hls.design is priced
+        stats = engine.stats()
+        assert (stats.hits, stats.misses) == (1, 2)
+
+    def test_stats_uniform_across_lookup_order(self, spec, accel):
+        """Same lookups, either order -> same counters (the PR-2 fix)."""
+        price_first = Engine()
+        price_first.design(spec, accel)
+        price_first.hls(spec, accel)
+        codegen_first = Engine()
+        codegen_first.hls(spec, accel)
+        codegen_first.design(spec, accel)
+        assert price_first.stats() == codegen_first.stats()
+
+    def test_contains_uses_the_same_key_as_the_verbs(self, spec, accel):
+        engine = Engine()
+        assert not engine.contains("design", spec, accel)
+        engine.design(spec, accel, pe_efficiency=0.82)
+        assert engine.contains("design", spec, accel, pe_efficiency=0.82)
+        assert not engine.contains("design", spec, accel)  # pe is in the key
+        assert not engine.contains("hls", spec, accel, pe_efficiency=0.82)
+
+    def test_contains_does_not_perturb_stats(self, spec, accel):
+        engine = Engine()
+        engine.design(spec, accel)
+        before = engine.stats()
+        engine.contains("design", spec, accel)
+        engine.contains("hls", spec, accel)
+        ("design", spec, accel, 1.0) in engine  # raw-key protocol form
+        assert engine.stats() == before
+
     def test_pe_efficiency_is_part_of_the_key(self, spec, accel):
         engine = Engine()
         engine.design(spec, accel, pe_efficiency=1.0)
@@ -90,9 +137,9 @@ class TestEngineWiring:
         design = Design.lstm(1024).blocks(8).peephole().project(512).using(engine)
         design.price()
         design.price()
-        design.codegen()
+        design.codegen()  # hls miss + a hit on the already-priced design
         stats = engine.stats()
-        assert (stats.hits, stats.misses) == (1, 2)
+        assert (stats.hits, stats.misses) == (2, 2)
 
     def test_default_engine_swap(self):
         replacement = Engine(maxsize=4)

@@ -1,0 +1,477 @@
+"""Sweep builder, parallel execution determinism, Pareto/top-k, reports."""
+
+import json
+
+import pytest
+
+from repro.api import Design, Engine, Sweep
+from repro.api.explorer import SWEEP_AXES, EvaluatedPoint, PointMetrics
+from repro.cli import main
+from repro.errors import ConfigError
+
+
+@pytest.fixture()
+def base() -> Design:
+    return Design.lstm(512).peephole().project(256)
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    sweep = (
+        Sweep(Design.lstm(512).peephole().project(256))
+        .over(blocks=[4, 8, 16], bits=[8, 12], platform=["XCKU060"])
+    )
+    return sweep.run(mode="serial", engine=Engine())
+
+
+class TestSweepConstruction:
+    def test_default_base(self):
+        assert Sweep().base.layer_sizes == (1024,)
+
+    def test_grid_size_is_the_product(self, base):
+        sweep = Sweep(base).over(blocks=[4, 8], bits=[8, 12, 16])
+        assert sweep.grid_size() == 6
+        assert len(sweep) == 6
+
+    def test_over_returns_a_new_sweep(self, base):
+        first = Sweep(base)
+        second = first.over(blocks=[4, 8])
+        assert first.grid_size() == 1
+        assert second.grid_size() == 2
+
+    def test_axes_accumulate_across_over_calls(self, base):
+        sweep = Sweep(base).over(blocks=[4, 8]).over(bits=[8, 12])
+        assert [name for name, _ in sweep.axes] == ["blocks", "bits"]
+        assert sweep.grid_size() == 4
+
+    def test_unknown_axis_rejected(self, base):
+        with pytest.raises(ConfigError, match="unknown sweep axis"):
+            Sweep(base).over(voltage=[1, 2])
+
+    def test_duplicate_axis_rejected(self, base):
+        with pytest.raises(ConfigError, match="declared twice"):
+            Sweep(base).over(blocks=[4]).over(blocks=[8])
+
+    def test_empty_axis_rejected(self, base):
+        with pytest.raises(ConfigError, match="no values"):
+            Sweep(base).over(blocks=[])
+
+    def test_every_declared_axis_applies(self, base):
+        """Each axis name maps onto the matching fluent verb."""
+        values = {
+            "layers": (256, 256),  # layer axes apply before block axes
+            "blocks": 8,
+            "cell": "gru",
+            "platform": "ADM-PCIE-7V3",
+            "bits": 8,
+            "clock": 150.0,
+            "pwl": 32,
+            "peephole": False,
+            "projection": None,
+            "io_block": None,
+            "compute_units": 2,
+            "efficiency": 0.82,
+        }
+        assert set(values) == set(SWEEP_AXES)
+        design = base
+        for name, value in values.items():
+            design = SWEEP_AXES[name](design, value)
+        assert design.cell_type == "gru"
+        assert design.layer_sizes == (256, 256)
+        assert design.block_sizes == (8, 8)
+        assert design.platform == "ADM-PCIE-7V3"
+        assert design.weight_bits == 8
+        assert design.num_compute_units == 2
+        assert design.pe_efficiency == 0.82
+
+    def test_blocks_axis_none_means_dense(self, base):
+        design = SWEEP_AXES["blocks"](base.blocks(8), None)
+        assert design.block_sizes == ()
+
+    def test_blocks_axis_accepts_per_layer_tuples(self):
+        design = SWEEP_AXES["blocks"](Design.lstm(512, 256), (8, 4))
+        assert design.block_sizes == (8, 4)
+
+
+class TestCandidateEnumeration:
+    def test_declaration_order_product(self, base):
+        sweep = Sweep(base).over(blocks=[4, 8], bits=[8, 12])
+        combos = [c.overrides for c in sweep.candidates()]
+        assert combos == [
+            (("blocks", 4), ("bits", 8)),
+            (("blocks", 4), ("bits", 12)),
+            (("blocks", 8), ("bits", 8)),
+            (("blocks", 8), ("bits", 12)),
+        ]
+
+    def test_indices_are_sequential(self, base):
+        sweep = Sweep(base).over(blocks=[4, 8, 16])
+        assert [c.index for c in sweep.candidates()] == [0, 1, 2]
+
+    def test_candidate_designs_carry_the_overrides(self, base):
+        sweep = Sweep(base).over(blocks=[4], bits=[10], platform=["ADM-PCIE-7V3"])
+        (candidate,) = sweep.candidates()
+        assert candidate.design.block_sizes == (4,)
+        assert candidate.design.weight_bits == 10
+        assert candidate.design.platform == "ADM-PCIE-7V3"
+
+    def test_random_sampling_is_deterministic(self, base):
+        sweep = Sweep(base).over(blocks=[2, 4, 8, 16, 32], bits=[8, 10, 12, 16])
+        a = sweep.random(5, seed=42).candidates()
+        b = sweep.random(5, seed=42).candidates()
+        assert [c.overrides for c in a] == [c.overrides for c in b]
+        assert len(a) == 5
+
+    def test_random_sampling_seed_changes_the_subset(self, base):
+        sweep = Sweep(base).over(blocks=[2, 4, 8, 16, 32], bits=[8, 10, 12, 16])
+        a = [c.overrides for c in sweep.random(5, seed=1).candidates()]
+        b = [c.overrides for c in sweep.random(5, seed=2).candidates()]
+        assert a != b
+
+    def test_random_larger_than_grid_keeps_everything(self, base):
+        sweep = Sweep(base).over(blocks=[4, 8]).random(100)
+        assert len(sweep.candidates()) == 2
+
+    def test_random_rejects_nonpositive(self, base):
+        with pytest.raises(ConfigError):
+            Sweep(base).random(0)
+
+    def test_random_preserves_candidate_order(self, base):
+        """Sampled candidates keep grid order (indices re-numbered 0..n-1)."""
+        sweep = Sweep(base).over(blocks=[2, 4, 8, 16, 32]).random(3, seed=7)
+        blocks = [dict(c.overrides)["blocks"] for c in sweep.candidates()]
+        assert blocks == sorted(blocks)
+
+
+class TestExecution:
+    def test_serial_and_thread_byte_identical(self, base):
+        sweep = Sweep(base).over(blocks=[4, 8, 16], bits=[8, 12])
+        serial = sweep.run(mode="serial", engine=Engine())
+        threaded = sweep.run(mode="thread", workers=4, engine=Engine())
+        assert serial.to_json() == threaded.to_json()
+        assert serial.to_csv() == threaded.to_csv()
+        assert serial.describe() == threaded.describe()
+        assert serial.points == threaded.points
+
+    def test_describe_stats_flag_appends_cache_counters(self, small_result):
+        assert "engine cache" not in small_result.describe()
+        assert "engine cache" in small_result.describe(stats=True)
+
+    def test_serial_and_process_byte_identical(self, base):
+        sweep = Sweep(base).over(blocks=[4, 8], bits=[8, 12])
+        serial = sweep.run(mode="serial", engine=Engine())
+        processed = sweep.run(mode="process", workers=2)
+        assert serial.to_json() == processed.to_json()
+        assert serial.points == processed.points
+
+    def test_invalid_mode_rejected(self, base):
+        with pytest.raises(ConfigError, match="mode"):
+            Sweep(base).over(blocks=[4]).run(mode="gpu")
+
+    def test_results_in_candidate_order(self, small_result):
+        assert [p.index for p in small_result.points] == list(range(6))
+
+    def test_cell_axis_drops_unsupported_options(self):
+        """with_cell drops projection/peephole for GRU, so the combination
+        compiles instead of exploding the whole sweep."""
+        sweep = Sweep(Design.lstm(512).blocks(8)).over(
+            projection=[256], cell=["lstm", "gru"]
+        )
+        result = sweep.run(mode="serial", engine=Engine())
+        assert len(result.failed()) == 0
+        specs = {p.spec.cell_type: p.spec for p in result.points}
+        assert specs["lstm"].projection_size == 256
+        assert specs["gru"].projection_size is None
+
+    def test_invalid_combination_is_captured_not_raised(self):
+        """A block size that does not divide the layer is recorded, not raised."""
+        bad = Sweep(Design.lstm(500)).over(blocks=[8]).run(
+            mode="serial", engine=Engine()
+        )
+        assert len(bad.failed()) == 1
+        assert "BlockSizeError" in bad.points[0].error
+        assert bad.points[0].spec is None
+
+    def test_invalid_axis_value_is_captured_not_raised(self):
+        """An unknown cell name fails its own point, not the whole sweep."""
+        result = (
+            Sweep(Design.lstm(512).blocks(8))
+            .over(cell=["lstm", "nosuchcell"])
+            .run(mode="serial", engine=Engine())
+        )
+        assert len(result.ok()) == 1
+        (bad,) = result.failed()
+        assert dict(bad.overrides)["cell"] == "nosuchcell"
+        assert "nosuchcell" in bad.error
+
+    def test_structural_axes_apply_before_scalar_blocks(self):
+        """blocks declared before layers must expand against the final
+        layer count, whatever the declaration order."""
+        result = (
+            Sweep(Design.lstm(64))
+            .over(blocks=[4], layers=[(32, 32)])
+            .run(mode="serial", engine=Engine())
+        )
+        (point,) = result.points
+        assert point.error is None
+        assert point.spec.layer_sizes == (32, 32)
+        assert point.spec.block_sizes == (4, 4)
+
+    def test_engine_and_disk_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(ConfigError, match="not both"):
+            Sweep(Design.lstm(512)).over(blocks=[8]).run(
+                engine=Engine(), disk=tmp_path
+            )
+
+    def test_no_cache_env_kills_explicit_disk_tiers(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        engine = Engine(disk=tmp_path)
+        assert engine.disk is None
+        result = (
+            Sweep(Design.lstm(512)).over(blocks=[8])
+            .run(mode="serial", disk=tmp_path)
+        )
+        assert len(result.ok()) == 1
+        assert list(tmp_path.rglob("*.json")) == []
+
+    def test_unfittable_design_prices_as_error_with_metrics(self):
+        """Too-big model: fit/bounds metrics survive, pricing fails."""
+        result = (
+            Sweep(Design.lstm(4096, 4096, 4096, 4096).bits(16))
+            .over(blocks=[2])
+            .run(mode="serial", engine=Engine())
+        )
+        (point,) = result.points
+        assert point.metrics is not None
+        assert point.metrics.fits is False
+        assert point.metrics.feasible is False
+        assert point.metrics.latency_us is None
+        assert point.error is not None
+        assert not point.ok
+
+    def test_run_uses_shared_default_engine_when_unpinned(self, base):
+        from repro.api import default_engine
+
+        before = default_engine().stats().misses
+        Sweep(base).over(blocks=[4]).run(mode="serial")
+        assert default_engine().stats().misses >= before
+
+    def test_single_job_runs_inline_in_parallel_modes(self, base):
+        result = Sweep(base).over(blocks=[8]).run(mode="process")
+        assert len(result) == 1 and result.points[0].ok
+
+
+class TestSelection:
+    def test_ok_excludes_failures(self, small_result):
+        assert len(small_result.ok()) == len(small_result)
+        assert small_result.failed() == ()
+
+    def test_pareto_points_are_mutually_nondominated(self, small_result):
+        front = small_result.pareto()
+        for p in front:
+            for q in front:
+                if p is q:
+                    continue
+                dominates = (
+                    q.metrics.per_proxy <= p.metrics.per_proxy
+                    and q.metrics.latency_us <= p.metrics.latency_us
+                    and (
+                        q.metrics.per_proxy < p.metrics.per_proxy
+                        or q.metrics.latency_us < p.metrics.latency_us
+                    )
+                )
+                assert not dominates
+
+    def test_pareto_covers_every_point(self, small_result):
+        """Every non-frontier point is dominated by some frontier point."""
+        front = small_result.pareto()
+        for p in small_result.ok():
+            if p in front:
+                continue
+            assert any(
+                q.metrics.per_proxy <= p.metrics.per_proxy
+                and q.metrics.latency_us <= p.metrics.latency_us
+                for q in front
+            )
+
+    def test_pareto_maximize_prefix(self, small_result):
+        front = small_result.pareto(objectives=("per_proxy", "-fps"))
+        best_fps = max(p.metrics.fps for p in small_result.ok())
+        assert any(p.metrics.fps == best_fps for p in front)
+
+    def test_pareto_unknown_objective_rejected(self, small_result):
+        with pytest.raises(ConfigError, match="unknown objective"):
+            small_result.pareto(objectives=("latency_us", "beauty"))
+
+    def test_top_k_orders_descending_by_default(self, small_result):
+        top = small_result.top_k(3, key="fps")
+        values = [p.metrics.fps for p in top]
+        assert values == sorted(values, reverse=True)
+
+    def test_top_k_smallest(self, small_result):
+        top = small_result.top_k(2, key="latency_us", largest=False)
+        all_latencies = sorted(p.metrics.latency_us for p in small_result.ok())
+        assert [p.metrics.latency_us for p in top] == all_latencies[:2]
+
+    def test_best_returns_single_point(self, small_result):
+        best = small_result.best(key="energy_efficiency")
+        assert best.metrics.energy_efficiency == max(
+            p.metrics.energy_efficiency for p in small_result.ok()
+        )
+
+    def test_best_none_when_nothing_priced(self):
+        result = (
+            Sweep(Design.lstm(500)).over(blocks=[8])
+            .run(mode="serial", engine=Engine())
+        )
+        assert result.best() is None
+
+
+class TestMetrics:
+    def test_per_proxy_monotone_in_block_size(self, small_result):
+        by_block = {
+            dict(p.overrides)["blocks"]: p.metrics.per_proxy
+            for p in small_result.ok()
+            if dict(p.overrides)["bits"] == 12
+        }
+        assert by_block[4] < by_block[8] < by_block[16]
+
+    def test_normalized_mults_decrease_with_block_size(self, small_result):
+        by_block = {
+            dict(p.overrides)["blocks"]: p.metrics.normalized_mults
+            for p in small_result.ok()
+            if dict(p.overrides)["bits"] == 12
+        }
+        assert by_block[4] > by_block[8] > by_block[16]
+
+    def test_quantization_degrades_per_proxy(self, small_result):
+        pairs = {
+            (dict(p.overrides)["blocks"], dict(p.overrides)["bits"]):
+                p.metrics.per_proxy
+            for p in small_result.ok()
+        }
+        assert pairs[(8, 8)] > pairs[(8, 12)]
+
+    def test_metrics_match_direct_price(self, base):
+        result = (
+            Sweep(base).over(blocks=[8]).run(mode="serial", engine=Engine())
+        )
+        (point,) = result.points
+        priced = base.blocks(8).price()
+        assert point.metrics.latency_us == pytest.approx(priced.latency_us)
+        assert point.metrics.fps == pytest.approx(priced.fps)
+        assert point.metrics.num_pes == priced.num_pes
+
+
+class TestReports:
+    def test_json_round_trips(self, small_result):
+        payload = json.loads(small_result.to_json())
+        assert len(payload["points"]) == len(small_result)
+        assert payload["axes"][0][0] == "blocks"
+        first = payload["points"][0]
+        assert first["metrics"]["fits"] is True
+
+    def test_csv_has_header_and_all_rows(self, small_result):
+        lines = small_result.to_csv().strip().split("\n")
+        assert lines[0].startswith("index,design,platform")
+        assert len(lines) == len(small_result) + 1
+
+    def test_describe_mentions_counts_and_frontier(self, small_result):
+        text = small_result.describe()
+        assert "6 candidates" in text
+        assert "Pareto" in text
+        assert "top" in text
+
+    def test_describe_lists_failures(self):
+        result = (
+            Sweep(Design.lstm(500)).over(blocks=[8])
+            .run(mode="serial", engine=Engine())
+        )
+        assert "failed" in result.describe()
+
+    def test_point_label(self, small_result):
+        assert "blocks=" in small_result.points[0].label()
+
+    def test_metric_accessor_none_for_uncompiled(self):
+        point = EvaluatedPoint(0, (), None, None, 1.0, None, "boom")
+        assert point.metric("fps") is None
+        assert not point.ok
+
+    def test_point_metrics_priced_property(self):
+        m = PointMetrics(
+            fits=True, weight_megabytes=1.0, feasible=True,
+            bound_lower=4, bound_upper=64, normalized_mults=0.2,
+            per_proxy=20.2,
+        )
+        assert not m.priced
+
+
+class TestCLIExplore:
+    def test_explore_default_grid_is_at_least_27_points(self, capsys):
+        code = main([
+            "explore", "--layers", "512", "--no-cache",
+            "--mode", "serial", "--top", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        count = int(out.split(" candidates")[0].rsplit(" ", 1)[-1])
+        assert count >= 27
+
+    def test_explore_json_output(self, capsys):
+        code = main([
+            "explore", "--layers", "512", "--no-cache", "--mode", "serial",
+            "--sweep-blocks", "8", "--sweep-bits", "12",
+            "--sweep-platforms", "XCKU060", "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["points"]) == 1
+
+    def test_explore_csv_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "sweep.csv"
+        code = main([
+            "explore", "--layers", "512", "--no-cache", "--mode", "serial",
+            "--sweep-blocks", "4", "8", "--sweep-bits", "12",
+            "--sweep-platforms", "XCKU060",
+            "--format", "csv", "-o", str(out_file),
+        ])
+        assert code == 0
+        assert out_file.read_text().count("\n") == 3  # header + 2 rows
+
+    def test_explore_random_subsample(self, capsys):
+        code = main([
+            "explore", "--layers", "512", "--no-cache", "--mode", "serial",
+            "--random", "5", "--seed", "3",
+        ])
+        assert code == 0
+        assert "5 candidates" in capsys.readouterr().out
+
+    def test_explore_custom_objectives(self, capsys):
+        code = main([
+            "explore", "--layers", "512", "--no-cache", "--mode", "serial",
+            "--sweep-blocks", "4", "8", "--sweep-bits", "12",
+            "--objectives", "per_proxy,-fps",
+        ])
+        assert code == 0
+        assert "per_proxy vs -fps" in capsys.readouterr().out
+
+    def test_explore_uses_disk_cache_dir(self, tmp_path, capsys):
+        args = [
+            "explore", "--layers", "512", "--mode", "serial",
+            "--sweep-blocks", "8", "--sweep-bits", "12",
+            "--sweep-platforms", "XCKU060",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert (tmp_path / "explorer").exists()
+        assert main(args) == 0  # warm rerun reads the same artifacts
+        assert "1 priced" in capsys.readouterr().out
+
+    def test_explore_all_failed_exits_nonzero(self, capsys):
+        code = main([
+            "explore", "--layers", "500", "--no-cache", "--mode", "serial",
+            "--sweep-blocks", "8", "--sweep-bits", "12",
+            "--sweep-platforms", "XCKU060",
+        ])
+        assert code == 1

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigError
 from repro.experiments.common import ExperimentHarness, ExperimentSettings
 from repro.experiments.fig8 import format_fig8, run_fig8
 from repro.experiments.table3 import (
@@ -53,6 +54,14 @@ class TestHarness:
         value = first.measure_per(spec)
         second = ExperimentHarness(settings, cache_path=cache)
         assert second.measure_per(spec) == value
+
+    def test_legacy_single_file_cache_rejected(self, tmp_path):
+        """cache_path is a directory now; a leftover .bench_cache.json file
+        must fail loudly instead of silently caching nothing."""
+        legacy = tmp_path / ".bench_cache.json"
+        legacy.write_text("{}")
+        with pytest.raises(ConfigError, match="directory"):
+            ExperimentHarness(ExperimentSettings.fast(), cache_path=legacy)
 
 
 class TestTable3:

@@ -1,0 +1,127 @@
+"""Golden regression suite: facade outputs pinned for canonical designs.
+
+Six canonical TIMIT design points (the paper's Table I/II/III shapes on
+each registered platform) have their ``fit_check``/``bounds``/``price``
+outputs checked into ``tests/golden/*.json``.  Any facade or model refactor
+that drifts a number — a latency, a PE count, a storage bit — fails here
+with the exact path that moved.
+
+When a change is *intentional*, regenerate the fixtures and review the diff
+like any other code change::
+
+    PYTHONPATH=src python -m pytest tests/golden --update-golden
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import Design, Engine
+from repro.api.diskcache import encode_accelerator_design
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+#: name -> fluent design (platform applied per parametrization below).
+CANONICAL_DESIGNS = {
+    "timit-lstm-large": Design.lstm(1024, 1024).blocks(8).peephole().project(512),
+    "timit-lstm-small": Design.lstm(512, 512).blocks(16),
+    "timit-gru": Design.gru(1024).blocks(16),
+}
+
+PLATFORMS = ("ADM-PCIE-7V3", "XCKU060")
+
+CASES = [
+    (f"{name}--{platform.lower()}", design.on(platform))
+    for name, design in CANONICAL_DESIGNS.items()
+    for platform in PLATFORMS
+]
+
+
+def _snapshot(design: Design) -> dict:
+    """Everything the facade computes for one design, JSON-stable."""
+    priced = design.using(Engine()).price()
+    return {
+        "describe": design.describe(),
+        "fit": design.fit_check().to_json(),
+        "bounds": design.bounds().to_json(),
+        "price": {
+            "design": encode_accelerator_design(priced),
+            "derived": {
+                "frame_cycles": priced.frame_cycles,
+                "latency_us": priced.latency_us,
+                "fps": priced.fps,
+                "power_watts": priced.power_watts,
+                "energy_efficiency": priced.energy_efficiency,
+                "utilization": priced.utilization,
+            },
+        },
+    }
+
+
+def _assert_matches(actual, expected, path: str = "$") -> None:
+    """Recursive compare: exact for ints/strings, tight approx for floats."""
+    if isinstance(expected, float) and isinstance(actual, (int, float)):
+        assert actual == pytest.approx(expected, rel=1e-12, abs=1e-15), (
+            f"golden drift at {path}: {actual!r} != {expected!r}"
+        )
+    elif isinstance(expected, dict):
+        assert isinstance(actual, dict), f"type drift at {path}"
+        assert sorted(actual) == sorted(expected), (
+            f"key drift at {path}: {sorted(actual)} != {sorted(expected)}"
+        )
+        for key in expected:
+            _assert_matches(actual[key], expected[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list) and len(actual) == len(expected), (
+            f"length drift at {path}"
+        )
+        for i, (a, e) in enumerate(zip(actual, expected)):
+            _assert_matches(a, e, f"{path}[{i}]")
+    else:
+        assert actual == expected, (
+            f"golden drift at {path}: {actual!r} != {expected!r}"
+        )
+
+
+@pytest.mark.parametrize(
+    "case_name,design", CASES, ids=[name for name, _ in CASES]
+)
+class TestGoldenDesigns:
+    def test_snapshot_matches_fixture(self, case_name, design, update_golden):
+        fixture = GOLDEN_DIR / f"{case_name}.json"
+        snapshot = json.loads(json.dumps(_snapshot(design)))  # JSON-normalize
+        if update_golden:
+            fixture.write_text(json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
+            pytest.skip(f"rewrote {fixture.name}")
+        assert fixture.exists(), (
+            f"missing golden fixture {fixture.name}; run pytest tests/golden "
+            f"--update-golden and commit the result"
+        )
+        expected = json.loads(fixture.read_text())
+        _assert_matches(snapshot, expected)
+
+    def test_fixture_is_committed_and_well_formed(self, case_name, design):
+        fixture = GOLDEN_DIR / f"{case_name}.json"
+        payload = json.loads(fixture.read_text())
+        assert set(payload) == {"describe", "fit", "bounds", "price"}
+        assert payload["fit"]["platform"] == design.platform
+        assert payload["price"]["derived"]["fps"] > 0
+
+
+class TestGoldenHygiene:
+    def test_no_orphan_fixtures(self):
+        """Every checked-in fixture corresponds to a canonical case."""
+        expected = {f"{name}.json" for name, _ in CASES}
+        actual = {p.name for p in GOLDEN_DIR.glob("*.json")}
+        assert actual == expected
+
+    def test_fixtures_round_trip_byte_stable(self):
+        """Rewriting a fixture's JSON with the same dump settings is a no-op
+        (so --update-golden diffs only show real numeric drift)."""
+        for fixture in GOLDEN_DIR.glob("*.json"):
+            payload = json.loads(fixture.read_text())
+            assert (
+                json.dumps(payload, indent=1, sort_keys=True) + "\n"
+                == fixture.read_text()
+            )

@@ -1,0 +1,207 @@
+"""Property-based invariants for the Sec. V / Fig. 8 multiplication model.
+
+Seeded ``random`` only (no extra dependencies): each test draws randomized
+layer shapes and checks a structural property the paper asserts, rather
+than a hand-picked value.  Seeds are parametrized so one run covers many
+draws while every failure stays reproducible from the test id.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.cost_model import (
+    decoupling_counts,
+    elementwise_real_mults,
+    fig8_curve,
+    layer_multiplications,
+    normalized_multiplications,
+    per_degradation_proxy,
+    per_proxy,
+    recommended_block_upper_bound,
+)
+from repro.config import RNNSpec
+from repro.errors import BlockSizeError
+
+SEEDS = range(8)
+
+
+def _random_layer_size(rng: random.Random) -> int:
+    """A power-of-two layer size in the paper's working range."""
+    return 2 ** rng.randint(6, 11)  # 64 .. 2048
+
+
+def _blocks_dividing(layer: int, upto: int = 256) -> list[int]:
+    return [b for b in (2, 4, 8, 16, 32, 64, 128, 256) if b <= upto and layer % b == 0]
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_total_mults_non_increasing_up_to_the_upper_bound(self, seed):
+        """Sec. V-B: computation keeps improving until the convergence
+        point Phase I uses as its upper bound."""
+        rng = random.Random(seed)
+        layer = _random_layer_size(rng)
+        upper = recommended_block_upper_bound(layer)
+        blocks = [b for b in _blocks_dividing(layer) if b <= upper]
+        totals = [layer_multiplications(layer, layer, b).total for b in blocks]
+        for smaller, larger in zip(totals, totals[1:]):
+            assert larger <= smaller
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_every_circulant_block_beats_dense(self, seed):
+        rng = random.Random(seed)
+        layer = _random_layer_size(rng)
+        dense = float(layer * layer)
+        for block in _blocks_dividing(layer):
+            assert layer_multiplications(layer, layer, block).total < dense
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_block_two_is_exactly_half(self, seed):
+        """Fig. 8's left edge: block size 2 always normalizes to 0.5."""
+        rng = random.Random(seed)
+        layer = _random_layer_size(rng)
+        assert normalized_multiplications(layer, 2) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_rectangular_layers_follow_the_same_bound(self, seed):
+        rng = random.Random(seed)
+        rows = _random_layer_size(rng)
+        cols = _random_layer_size(rng)
+        for block in (2, 4, 8, 16):
+            total = layer_multiplications(rows, cols, block).total
+            assert 0 < total <= 0.5 * rows * cols
+
+
+class TestDecoupling:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_counts_are_q_ffts_and_p_iffts(self, seed):
+        rng = random.Random(seed)
+        p, q = rng.randint(1, 128), rng.randint(1, 128)
+        assert decoupling_counts(p, q) == (q, p)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_decoupling_scales_fft_counts_by_the_fig7_ratios(self, seed):
+        """FFT work drops p-fold and IFFT work q-fold (Fig. 7)."""
+        rng = random.Random(seed)
+        layer = _random_layer_size(rng)
+        block = rng.choice(_blocks_dividing(layer, upto=64))
+        p = q = layer // block
+        with_dec = layer_multiplications(layer, layer, block, decoupling=True)
+        without = layer_multiplications(layer, layer, block, decoupling=False)
+        assert with_dec.fft_mults * p == pytest.approx(without.fft_mults)
+        assert with_dec.ifft_mults * q == pytest.approx(without.ifft_mults)
+        assert with_dec.elementwise_mults == without.elementwise_mults
+        assert with_dec.total <= without.total
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_breakdown_total_is_the_sum_of_parts(self, seed):
+        rng = random.Random(seed)
+        layer = _random_layer_size(rng)
+        block = rng.choice(_blocks_dividing(layer))
+        b = layer_multiplications(layer, layer, block)
+        assert b.total == b.fft_mults + b.ifft_mults + b.elementwise_mults
+
+
+class TestFig8Consistency:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_curve_matches_pointwise_normalization(self, seed):
+        rng = random.Random(seed)
+        layer = _random_layer_size(rng)
+        blocks = tuple(
+            sorted(rng.sample(_blocks_dividing(layer), k=3))
+        )
+        curve = fig8_curve(layer, blocks)
+        assert set(curve) == set(blocks)
+        for block, value in curve.items():
+            assert value == pytest.approx(
+                normalized_multiplications(layer, block)
+            )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_upper_bound_is_a_feasible_candidate(self, seed):
+        rng = random.Random(seed)
+        layer = _random_layer_size(rng)
+        upper = recommended_block_upper_bound(layer)
+        assert layer % upper == 0
+        assert upper in (2, 4, 8, 16, 32, 64, 128, 256)
+
+    def test_paper_anchor_points(self):
+        """The two bounds the paper derives: 32 at 512, 64 at 1024."""
+        assert recommended_block_upper_bound(512) == 32
+        assert recommended_block_upper_bound(1024) == 64
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("block", [4, 8, 16, 32, 64, 128, 256])
+    def test_hermitian_symmetry_formula(self, block):
+        assert elementwise_real_mults(block) == 2 * block - 2
+        assert elementwise_real_mults(block, real_symmetry=False) == 4 * block
+
+    def test_degenerate_blocks(self):
+        assert elementwise_real_mults(1) == 1.0
+        assert elementwise_real_mults(2) == 2.0
+
+    @pytest.mark.parametrize("bad", [3, 5, 6, 7, 12, 100])
+    def test_non_power_of_two_rejected(self, bad):
+        with pytest.raises(BlockSizeError):
+            elementwise_real_mults(bad)
+
+    def test_block_not_dividing_dims_rejected(self):
+        with pytest.raises(BlockSizeError):
+            layer_multiplications(100, 100, 8)
+
+
+class TestPerProxy:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_monotone_in_block_size(self, seed):
+        rng = random.Random(seed)
+        bits = rng.randint(6, 16)
+        values = [
+            per_degradation_proxy((block,), bits)
+            for block in (1, 2, 4, 8, 16, 32)
+        ]
+        for smaller, larger in zip(values, values[1:]):
+            assert larger > smaller
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_monotone_in_quantization(self, seed):
+        rng = random.Random(seed)
+        block = 2 ** rng.randint(1, 6)
+        values = [
+            per_degradation_proxy((block,), bits) for bits in range(4, 17)
+        ]
+        for narrower, wider in zip(values, values[1:]):
+            assert wider <= narrower
+
+    def test_dense_at_twelve_bits_degrades_nothing(self):
+        assert per_degradation_proxy(()) == 0.0
+        assert per_degradation_proxy((1, 1)) == 0.0
+
+    def test_bits_above_twelve_are_free(self):
+        assert per_degradation_proxy((8,), 16) == per_degradation_proxy((8,), 12)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_spec_proxy_anchors_on_the_baseline(self, seed):
+        rng = random.Random(seed)
+        block = 2 ** rng.randint(1, 5)
+        spec = RNNSpec("lstm", 153, (512,), 39, block_sizes=(block,))
+        assert per_proxy(spec) == pytest.approx(
+            20.01 + per_degradation_proxy((block,))
+        )
+        assert per_proxy(spec, baseline_per=0.0) == pytest.approx(
+            per_degradation_proxy((block,))
+        )
+
+    def test_mixed_layers_average_their_octaves(self):
+        uniform = per_degradation_proxy((8, 8))
+        mixed = per_degradation_proxy((4, 16))
+        assert uniform == pytest.approx(mixed)  # log2(4)+log2(16) == 2*log2(8)
+        assert math.isclose(uniform, per_degradation_proxy((8,)))
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(BlockSizeError):
+            per_degradation_proxy((3,))
+        with pytest.raises(ValueError):
+            per_degradation_proxy((8,), 0)

@@ -1,0 +1,167 @@
+"""Property-based invariants for the Sec. VII-D fixed-point formats.
+
+Randomized (seeded) value arrays across random Q-format configurations:
+the quantize/dequantize round trip must stay within one resolution step
+(2^-frac_bits) for in-range values, saturate cleanly out of range, and
+preserve ordering.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.hw.fixed_point import FixedPointFormat, quantization_snr_db
+
+SEEDS = range(10)
+
+
+def _random_format(rng: random.Random) -> FixedPointFormat:
+    total = rng.randint(4, 24)
+    # frac may exceed total or go negative: the paper's static scaling.
+    frac = rng.randint(-2, total + 2)
+    return FixedPointFormat(total, frac)
+
+
+def _in_range_values(
+    fmt: FixedPointFormat, rng: random.Random, n: int = 256
+) -> np.ndarray:
+    np_rng = np.random.default_rng(rng.randint(0, 2**31))
+    return np_rng.uniform(fmt.min_value, fmt.max_value, size=n)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_round_trip_error_bounded_by_resolution(self, seed):
+        """|quantize(x) - x| <= 2^-frac_bits for every in-range x."""
+        rng = random.Random(seed)
+        fmt = _random_format(rng)
+        values = _in_range_values(fmt, rng)
+        error = np.abs(fmt.quantize(values) - values)
+        assert float(error.max()) <= 2.0 ** -fmt.frac_bits
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_round_to_nearest_is_half_resolution_in_the_interior(self, seed):
+        rng = random.Random(seed)
+        fmt = _random_format(rng)
+        # Stay one step inside the representable range: round-to-nearest
+        # then guarantees half-resolution error, no saturation involved.
+        interior = _in_range_values(fmt, rng)
+        interior = np.clip(
+            interior,
+            fmt.min_value + fmt.resolution,
+            fmt.max_value - fmt.resolution,
+        )
+        error = np.abs(fmt.quantize(interior) - interior)
+        assert float(error.max()) <= 0.5 * fmt.resolution + 1e-15
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_quantize_is_idempotent(self, seed):
+        rng = random.Random(seed)
+        fmt = _random_format(rng)
+        once = fmt.quantize(_in_range_values(fmt, rng))
+        np.testing.assert_array_equal(fmt.quantize(once), once)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_int_codes_round_trip_through_from_int(self, seed):
+        rng = random.Random(seed)
+        fmt = _random_format(rng)
+        values = _in_range_values(fmt, rng)
+        codes = fmt.to_int(values)
+        assert codes.min() >= fmt.min_int and codes.max() <= fmt.max_int
+        np.testing.assert_array_equal(fmt.from_int(codes), fmt.quantize(values))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_max_error_reports_the_worst_case(self, seed):
+        rng = random.Random(seed)
+        fmt = _random_format(rng)
+        values = _in_range_values(fmt, rng)
+        reported = fmt.max_error(values)
+        actual = float(np.max(np.abs(fmt.quantize(values) - values)))
+        assert reported == pytest.approx(actual)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_quantization_preserves_ordering(self, seed):
+        rng = random.Random(seed)
+        fmt = _random_format(rng)
+        values = np.sort(_in_range_values(fmt, rng))
+        quantized = fmt.quantize(values)
+        assert np.all(np.diff(quantized) >= 0)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_out_of_range_saturates_to_the_end_points(self, seed):
+        rng = random.Random(seed)
+        fmt = _random_format(rng)
+        span = fmt.max_value - fmt.min_value
+        high = fmt.max_value + span * (1 + rng.random())
+        low = fmt.min_value - span * (1 + rng.random())
+        quantized = fmt.quantize(np.array([low, high]))
+        assert quantized[0] == fmt.min_value
+        assert quantized[1] == fmt.max_value
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_representable_grid_is_fixed_by_quantize(self, seed):
+        """Every representable point quantizes to itself exactly."""
+        rng = random.Random(seed)
+        fmt = FixedPointFormat(rng.randint(4, 12), rng.randint(0, 8))
+        codes = np.arange(fmt.min_int, fmt.max_int + 1)
+        grid = fmt.from_int(codes)
+        np.testing.assert_array_equal(fmt.quantize(grid), grid)
+
+    def test_resolution_is_two_to_minus_frac(self):
+        assert FixedPointFormat(12, 8).resolution == 2.0**-8
+        assert FixedPointFormat(12, -2).resolution == 4.0
+
+    def test_from_int_rejects_out_of_format_codes(self):
+        fmt = FixedPointFormat(8, 4)
+        with pytest.raises(QuantizationError):
+            fmt.from_int(np.array([fmt.max_int + 1]))
+
+
+class TestFit:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fit_never_saturates_the_data_it_was_fit_on(self, seed):
+        rng = random.Random(seed)
+        np_rng = np.random.default_rng(seed)
+        total = rng.randint(6, 20)
+        scale = 10.0 ** rng.uniform(-3, 3)
+        values = np_rng.normal(0.0, scale, size=512)
+        fmt = FixedPointFormat.fit(values, total)
+        assert fmt.total_bits == total
+        codes = np.abs(fmt.to_int(values))
+        assert codes.max() <= fmt.max_int
+        # No saturation => the round trip stays within one resolution step.
+        assert fmt.max_error(values) <= fmt.resolution
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fit_uses_the_tightest_integer_width(self, seed):
+        """One more fractional bit would overflow the peak value."""
+        rng = random.Random(seed)
+        np_rng = np.random.default_rng(seed + 1000)
+        total = rng.randint(6, 20)
+        values = np_rng.uniform(-4.0, 4.0, size=128)
+        fmt = FixedPointFormat.fit(values, total)
+        peak = float(np.max(np.abs(values)))
+        tighter = FixedPointFormat(total, fmt.frac_bits + 1)
+        assert peak > tighter.max_value or peak < tighter.resolution
+
+    def test_zero_array_gets_full_fraction(self):
+        fmt = FixedPointFormat.fit(np.zeros(8), 12)
+        assert fmt.frac_bits == 11
+
+    def test_empty_array_rejected(self):
+        with pytest.raises(QuantizationError):
+            FixedPointFormat.fit(np.array([]), 12)
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_snr_improves_with_width(self, seed):
+        np_rng = np.random.default_rng(seed)
+        values = np_rng.normal(0.0, 1.0, size=2048)
+        snrs = [
+            quantization_snr_db(values, FixedPointFormat.fit(values, bits))
+            for bits in (6, 10, 14)
+        ]
+        assert snrs[0] < snrs[1] < snrs[2]

@@ -52,7 +52,8 @@ def replace_table(text: str, heading: str, table: str) -> str:
 
 
 def main() -> None:
-    harness = ExperimentHarness()  # served from .bench_cache.json
+    harness = ExperimentHarness()  # PERs served from the shared DiskCache
+    # ('per' namespace under $REPRO_CACHE_DIR or ~/.cache/repro-ernn)
     table1 = markdown_rows(run_table1(harness))
     table2 = markdown_rows(run_table2(harness))
     path = REPO / "EXPERIMENTS.md"
