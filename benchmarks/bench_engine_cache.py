@@ -6,14 +6,16 @@ the shape of a Phase-I exploration) twice through one
 the second pass must be all cache hits.  Records the per-pass latency and
 the speedup; the acceptance bar for the cache being worth its complexity
 is >= 5x on the repeat pass.
-"""
 
-import time
+Timing goes through the shared :func:`repro.bench.time_callable` harness;
+the samples also land in a ``BENCH_engine_cache_sweep.json`` artifact.
+"""
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import OUTPUT_DIR, emit
 from repro.api import Design, Engine
+from repro.bench import BenchResult, time_callable, write_result
 
 
 def sweep_designs() -> list[Design]:
@@ -28,14 +30,12 @@ def sweep_designs() -> list[Design]:
     return designs
 
 
-def run_sweep(designs: list[Design], engine: Engine) -> float:
-    start = time.perf_counter()
+def run_sweep(designs: list[Design], engine: Engine) -> None:
     for design in designs:
         priced = design.using(engine).price()
         assert priced.fps > 0
         result = design.using(engine).codegen()
         assert result.code
-    return time.perf_counter() - start
 
 
 @pytest.mark.benchmark(group="engine_cache")
@@ -44,15 +44,30 @@ def test_engine_cache_speedup():
     assert len(designs) == 16
 
     engine = Engine(maxsize=64)
-    cold = run_sweep(designs, engine)
-    cold_stats = engine.stats()
+    cold_stats = time_callable(
+        lambda: run_sweep(designs, engine), warmup=0, repeats=1
+    )
+    cold = cold_stats.median_s
     # price() misses the design cache; codegen() misses the hls cache but
     # finds its inner design build already cached (the uniform-stats path).
-    assert (cold_stats.hits, cold_stats.misses) == (16, 32)
+    assert (engine.stats().hits, engine.stats().misses) == (16, 32)
 
-    hot = run_sweep(designs, engine)
+    hot_stats = time_callable(
+        lambda: run_sweep(designs, engine), warmup=0, repeats=1
+    )
+    hot = hot_stats.median_s
     stats = engine.stats()
     speedup = cold / hot
+
+    result = BenchResult(
+        "engine_cache_sweep",
+        notes="16-spec Phase-I sweep (price + codegen per spec)",
+        metrics={"designs": len(designs), "speedup": round(speedup, 2),
+                 "engine_stats": stats.describe()},
+    )
+    result.add_timing("cold_pass", cold_stats)
+    result.add_timing("hot_pass", hot_stats)
+    write_result(result, OUTPUT_DIR)
 
     lines = [
         "Engine cache: 16-spec Phase-I sweep (price + codegen per spec)",

@@ -13,15 +13,20 @@ Runs one paper-scale design grid (blocks x bits x platforms) three ways:
 
 Correctness is asserted unconditionally: all three runs must produce
 byte-identical reports (the explorer's determinism guarantee).
+
+Timing goes through the shared :func:`repro.bench.time_callable` harness
+(one sample per configuration — a sweep is its own repetition) and the
+numbers land in a ``BENCH_explorer_modes.json`` artifact next to the text
+table.
 """
 
 import os
-import time
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import OUTPUT_DIR, emit
 from repro.api import Design, DiskCache, Engine, Sweep
+from repro.bench import BenchResult, time_callable, write_result
 
 
 def paper_sweep() -> Sweep:
@@ -38,31 +43,47 @@ def test_explorer_parallel_and_warm_cache(tmp_path):
     sweep = paper_sweep()
     assert sweep.grid_size() == 32
 
-    start = time.perf_counter()
-    serial = sweep.run(mode="serial", engine=Engine())
-    serial_s = time.perf_counter() - start
+    runs: dict[str, object] = {}
+    result = BenchResult(
+        "explorer_modes",
+        notes="32-point sweep (blocks x bits x platform), byte-identical "
+        "reports asserted across modes and cache states",
+        metrics={"grid_size": sweep.grid_size(), "cpus": os.cpu_count()},
+    )
 
-    start = time.perf_counter()
-    parallel = sweep.run(mode="process", workers=os.cpu_count())
-    parallel_s = time.perf_counter() - start
+    def run(label, **kwargs):
+        stats = time_callable(
+            lambda: runs.__setitem__(label, sweep.run(**kwargs)),
+            warmup=0, repeats=1,
+        )
+        result.add_timing(label, stats)
+        return stats.median_s
+
+    serial_s = run("serial_cold", mode="serial", engine=Engine())
+    parallel_s = run("process_pool", mode="process", workers=os.cpu_count())
 
     cache_root = tmp_path / "cache"
-    start = time.perf_counter()
-    cold = sweep.run(mode="serial", engine=Engine(disk=DiskCache(cache_root)))
-    cold_s = time.perf_counter() - start
-
+    cold_s = run("disk_cache_cold", mode="serial",
+                 engine=Engine(disk=DiskCache(cache_root)))
     warm_engine = Engine(disk=DiskCache(cache_root))  # fresh LRU, shared disk
-    start = time.perf_counter()
-    warm = sweep.run(mode="serial", engine=warm_engine)
-    warm_s = time.perf_counter() - start
+    warm_s = run("disk_cache_warm", mode="serial", engine=warm_engine)
 
     # Determinism: mode and cache state must never change the report bytes.
-    assert serial.to_json() == parallel.to_json() == cold.to_json() == warm.to_json()
+    assert (
+        runs["serial_cold"].to_json()
+        == runs["process_pool"].to_json()
+        == runs["disk_cache_cold"].to_json()
+        == runs["disk_cache_warm"].to_json()
+    )
     stats = warm_engine.stats()
     # The warm pass serves whole evaluated points from the explorer
     # namespace — the engine never even sees a lookup, let alone a build.
     assert stats.misses == 0
     assert warm_s < cold_s
+
+    result.metrics["warm_vs_cold"] = round(cold_s / warm_s, 2)
+    result.metrics["process_vs_serial"] = round(serial_s / parallel_s, 2)
+    write_result(result, OUTPUT_DIR)
 
     lines = [
         f"Explorer: 32-point sweep (blocks x bits x platform), "

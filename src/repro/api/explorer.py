@@ -42,7 +42,6 @@ import json
 import multiprocessing
 import os
 import random
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterator, Sequence
@@ -51,6 +50,7 @@ from repro.api.design import Design
 from repro.api.diskcache import NO_CACHE_ENV, DiskCache
 from repro.api.engine import CacheStats, Engine, default_engine
 from repro.core.cost_model import normalized_multiplications, per_proxy
+from repro.core.parallel import EXECUTION_MODES, map_ordered
 from repro.errors import ConfigError, ReproError
 
 __all__ = [
@@ -476,7 +476,7 @@ class Sweep:
         explicit ``disk`` request would cost the caller their warm reruns.
         ``REPRO_NO_CACHE=1`` disables the disk tier either way.
         """
-        if mode not in ("serial", "thread", "process"):
+        if mode not in EXECUTION_MODES:
             raise ConfigError(
                 f"mode must be serial, thread, or process, got {mode!r}"
             )
@@ -516,17 +516,7 @@ class Sweep:
                  candidate.design.pe_efficiency)
             )
 
-        if mode == "serial" or len(jobs) <= 1:
-            evaluated = [_evaluate_point(*job, engine, point_cache) for job in jobs]
-        elif mode == "thread":
-            with ThreadPoolExecutor(max_workers=workers or 4) as pool:
-                evaluated = list(
-                    pool.map(
-                        lambda job: _evaluate_point(*job, engine, point_cache),
-                        jobs,
-                    )
-                )
-        else:
+        if mode == "process":
             disk_root = str(engine.disk.root) if engine.disk is not None else None
             payloads = [job + (disk_root,) for job in jobs]
             # Prefer fork so workers inherit runtime state — in particular
@@ -537,10 +527,15 @@ class Sweep:
                 if "fork" in multiprocessing.get_all_start_methods()
                 else None
             )
-            with ProcessPoolExecutor(
-                max_workers=workers, mp_context=mp_context
-            ) as pool:
-                evaluated = list(pool.map(_process_evaluate, payloads))
+            evaluated = map_ordered(
+                _process_evaluate, payloads, mode="process",
+                workers=workers, mp_context=mp_context,
+            )
+        else:
+            evaluated = map_ordered(
+                lambda job: _evaluate_point(*job, engine, point_cache),
+                jobs, mode=mode, workers=workers,
+            )
 
         for point in evaluated:
             points[point.index] = point

@@ -166,6 +166,17 @@ def train_model(
     return history
 
 
+def _iter_eval_batches(dataset: PreparedDataset, batch_size: int):
+    """The deterministic evaluation batching (length-bucketed, unshuffled)."""
+    yield from iterate_batches(
+        dataset.features,
+        dataset.frame_labels,
+        batch_size,
+        rng=None,
+        bucket_by_length=True,
+    )
+
+
 def _forward_dataset(
     model: StackedRNNClassifier,
     dataset: PreparedDataset,
@@ -173,14 +184,33 @@ def _forward_dataset(
 ):
     """Yield (logits, batch) over the dataset without building graphs."""
     with no_grad():
-        for batch in iterate_batches(
-            dataset.features,
-            dataset.frame_labels,
-            batch_size,
-            rng=None,
-            bucket_by_length=True,
-        ):
+        for batch in _iter_eval_batches(dataset, batch_size):
             yield model(batch.features), batch
+
+
+def _score_batch(
+    model: StackedRNNClassifier,
+    decoder: FrameDecoder,
+    phone_set,
+    batch,
+) -> tuple[list[list[str]], list[list[str]]]:
+    """Forward + decode one batch → (hypotheses, references).
+
+    Enters ``no_grad`` itself: grad mode is thread-local, so a pool worker
+    cannot rely on the submitting thread's inference mode.
+    """
+    from repro.asr.decoder import collapse_repeats
+
+    with no_grad():
+        logits = model(batch.features)
+    hypotheses = decoder.decode_batch(logits.data, batch.lengths)
+    references = []
+    for b, length in enumerate(batch.lengths):
+        frame_refs = batch.labels[:length, b]
+        tokens = collapse_repeats(list(frame_refs))
+        phones = phone_set.decode(tokens)
+        references.append(decoder.reference(phones))
+    return hypotheses, references
 
 
 def evaluate_per(
@@ -188,6 +218,7 @@ def evaluate_per(
     dataset: PreparedDataset,
     decoder: FrameDecoder | None = None,
     batch_size: int = 8,
+    workers: int | None = None,
 ) -> float:
     """Corpus phone error rate (percent) — the paper's accuracy metric.
 
@@ -195,19 +226,32 @@ def evaluate_per(
     hypothesis/reference pairing is kept explicit by re-deriving references
     from the decoded batch's *frame labels*, so PER is exact regardless of
     bucketing.
+
+    ``workers`` > 1 scores batches through a thread pool (the forward pass
+    is numpy-heavy and releases the GIL in BLAS/FFT); results are gathered
+    in batch order, so the returned PER is identical to the serial path,
+    which streams batches one at a time.
     """
     decoder = decoder if decoder is not None else FrameDecoder(dataset.phone_set)
+    if workers is not None and workers > 1:
+        from repro.core.parallel import map_ordered
+
+        scored = map_ordered(
+            lambda batch: _score_batch(model, decoder, dataset.phone_set, batch),
+            _iter_eval_batches(dataset, batch_size),
+            mode="thread",
+            workers=workers,
+        )
+    else:
+        scored = (
+            _score_batch(model, decoder, dataset.phone_set, batch)
+            for batch in _iter_eval_batches(dataset, batch_size)
+        )
     references: list[list[str]] = []
     hypotheses: list[list[str]] = []
-    for logits, batch in _forward_dataset(model, dataset, batch_size):
-        hypotheses.extend(decoder.decode_batch(logits.data, batch.lengths))
-        for b, length in enumerate(batch.lengths):
-            frame_refs = batch.labels[:length, b]
-            from repro.asr.decoder import collapse_repeats
-
-            tokens = collapse_repeats(list(frame_refs))
-            phones = dataset.phone_set.decode(tokens)
-            references.append(decoder.reference(phones))
+    for hyps, refs in scored:
+        hypotheses.extend(hyps)
+        references.extend(refs)
     return corpus_error_rate(references, hypotheses)
 
 

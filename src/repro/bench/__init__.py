@@ -1,0 +1,211 @@
+"""Unified benchmark harness: one timing core, one artifact format.
+
+Every performance claim in this repo should be reproducible from one
+command (``repro bench``) and comparable across PRs from one artifact
+format (``BENCH_<name>.json``).  This package provides:
+
+* :func:`time_callable` — the shared timing core (warmup, repeats,
+  median), replacing the ad-hoc ``perf_counter`` pairs the
+  ``benchmarks/bench_*.py`` scripts used to roll individually;
+* :func:`register` / :func:`run_benchmarks` — a registry of named
+  benchmark suites (see :mod:`repro.bench.suites`), each returning a
+  :class:`BenchResult`;
+* :func:`write_result` — the canonical ``BENCH_<name>.json`` writer.
+
+Reading the artifacts: ``metrics`` holds the headline numbers (speedups,
+sizes), ``timings`` the raw samples behind them.  Compare the ``median_s``
+of like-named timings across commits to track the perf trajectory; the
+committed artifacts at the repo root are the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from statistics import median
+from typing import Callable
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "TimingStats",
+    "BenchResult",
+    "time_callable",
+    "register",
+    "benchmark_names",
+    "run_benchmarks",
+    "write_result",
+    "environment_info",
+]
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Samples from repeated timing of one callable."""
+
+    warmup: int
+    repeats: int
+    times_s: tuple[float, ...]
+
+    @property
+    def median_s(self) -> float:
+        return float(median(self.times_s))
+
+    @property
+    def best_s(self) -> float:
+        return float(min(self.times_s))
+
+    @property
+    def mean_s(self) -> float:
+        return float(sum(self.times_s) / len(self.times_s))
+
+    def to_json(self) -> dict:
+        return {
+            "warmup": self.warmup,
+            "repeats": self.repeats,
+            "times_s": list(self.times_s),
+            "median_s": self.median_s,
+            "best_s": self.best_s,
+            "mean_s": self.mean_s,
+        }
+
+
+def time_callable(
+    fn: Callable[[], object],
+    warmup: int = 1,
+    repeats: int = 5,
+    setup: Callable[[], object] | None = None,
+) -> TimingStats:
+    """Time ``fn`` with ``warmup`` untimed calls then ``repeats`` samples.
+
+    ``setup`` (optional) runs before *every* call, warmup and timed, outside
+    the timed region — cache-clearing hooks use it to measure cold paths.
+    """
+    if warmup < 0 or repeats < 1:
+        raise ConfigError(
+            f"need warmup >= 0 and repeats >= 1, got {warmup}/{repeats}"
+        )
+    for _ in range(warmup):
+        if setup is not None:
+            setup()
+        fn()
+    times = []
+    for _ in range(repeats):
+        if setup is not None:
+            setup()
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return TimingStats(warmup=warmup, repeats=repeats, times_s=tuple(times))
+
+
+@dataclass
+class BenchResult:
+    """One suite's outcome: headline metrics plus the raw timings."""
+
+    name: str
+    metrics: dict = field(default_factory=dict)
+    timings: dict = field(default_factory=dict)  # label -> TimingStats
+    notes: str = ""
+    quick: bool = False
+
+    def add_timing(self, label: str, stats: TimingStats) -> TimingStats:
+        self.timings[label] = stats
+        return stats
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "quick": self.quick,
+            "notes": self.notes,
+            "metrics": dict(self.metrics),
+            "timings": {
+                label: stats.to_json() for label, stats in self.timings.items()
+            },
+            "environment": environment_info(),
+            "created_unix": time.time(),
+        }
+
+    def describe(self) -> str:
+        lines = [f"[{self.name}]" + (" (quick)" if self.quick else "")]
+        for label, stats in self.timings.items():
+            lines.append(
+                f"  {label:28s} median {stats.median_s * 1e3:10.3f} ms "
+                f"(best {stats.best_s * 1e3:.3f} ms, n={stats.repeats})"
+            )
+        for key, value in self.metrics.items():
+            if isinstance(value, float):
+                lines.append(f"  {key:28s} {value:.4g}")
+            else:
+                lines.append(f"  {key:28s} {value}")
+        return "\n".join(lines)
+
+
+def environment_info() -> dict:
+    import os
+
+    import numpy
+
+    return {
+        "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Registry.
+# ----------------------------------------------------------------------
+
+_REGISTRY: dict[str, Callable[[bool], BenchResult]] = {}
+
+
+def register(name: str):
+    """Decorator: add a ``fn(quick: bool) -> BenchResult`` suite."""
+
+    def wrap(fn: Callable[[bool], BenchResult]):
+        if name in _REGISTRY:
+            raise ConfigError(f"benchmark {name!r} registered twice")
+        _REGISTRY[name] = fn
+        return fn
+
+    return wrap
+
+
+def benchmark_names() -> tuple[str, ...]:
+    _load_suites()
+    return tuple(sorted(_REGISTRY))
+
+
+def _load_suites() -> None:
+    from repro.bench import suites  # noqa: F401  (registration side effect)
+
+
+def run_benchmarks(
+    names: list[str] | None = None, quick: bool = False
+) -> list[BenchResult]:
+    """Run the named suites (default: all) in name order."""
+    _load_suites()
+    selected = list(names) if names else sorted(_REGISTRY)
+    unknown = [name for name in selected if name not in _REGISTRY]
+    if unknown:
+        raise ConfigError(
+            f"unknown benchmark(s) {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(_REGISTRY))}"
+        )
+    return [_REGISTRY[name](quick) for name in selected]
+
+
+def write_result(result: BenchResult, out_dir: Path | str = ".") -> Path:
+    """Write ``BENCH_<name>.json`` (stable key order) and return the path."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{result.name}.json"
+    path.write_text(json.dumps(result.to_json(), indent=2, sort_keys=True) + "\n")
+    return path

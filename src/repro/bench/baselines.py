@@ -1,0 +1,181 @@
+"""Frozen pre-optimization implementations, kept as benchmark baselines.
+
+The PR that introduced the kernel-plan layer (plan-cached fixed-point FFTs,
+the GEMM spectral MAC, the batched emulator forward) replaced these code
+paths in :mod:`repro.hw`.  The benchmark suites re-measure them on every
+run so the speedups recorded in ``BENCH_*.json`` stay reproducible facts
+about *this* machine rather than one-off numbers — and so a future
+regression in the optimized paths is visible against an honest floor.
+
+These functions are verbatim ports of the seed algorithms (einsum MAC,
+per-call twiddle construction, object-API quantization); do not optimize
+them.  At 12-bit quantization their outputs are byte-identical to the
+optimized paths (quantized spectra make every product and partial sum
+exactly representable in float64), which the suites assert.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.hw.fixed_point import FixedPointFormat
+
+__all__ = ["seed_matvec", "seed_emulator_forward", "seed_circulant_matvec"]
+
+
+# ----------------------------------------------------------------------
+# Seed CU emulator: per-frame loop, einsum spectral MAC.
+# ----------------------------------------------------------------------
+
+def seed_matvec(weights, x: np.ndarray, bits: int) -> np.ndarray:
+    """The seed ``SpectralWeights.matvec``: einsum MAC, per-call refits."""
+    block = weights.block_size
+    padded_in = weights.spectra.shape[1] * block
+    batch_shape = x.shape[:-1]
+    x = x.reshape(-1, x.shape[-1])
+    if padded_in != x.shape[-1]:
+        x = np.pad(x, ((0, 0), (0, padded_in - x.shape[-1])))
+    x_fmt = FixedPointFormat.fit(x if x.size else np.ones(1), bits)
+    x_blocks = x_fmt.quantize(x).reshape(x.shape[0], -1, block)
+
+    x_spec = np.fft.rfft(x_blocks, axis=-1)
+    spec_parts = np.concatenate([x_spec.real.ravel(), x_spec.imag.ravel()])
+    spec_fmt = FixedPointFormat.fit(
+        spec_parts if spec_parts.size else np.ones(1), bits
+    )
+    x_spec = spec_fmt.quantize(x_spec.real) + 1j * spec_fmt.quantize(x_spec.imag)
+
+    acc = np.einsum("ijf,bjf->bif", weights.spectra, x_spec)
+    y = np.fft.irfft(acc, n=block, axis=-1)
+    y = y.reshape(x.shape[0], -1)[:, : weights.out_features]
+    y_fmt = FixedPointFormat.fit(y if y.size else np.ones(1), bits)
+    return y_fmt.quantize(y).reshape(batch_shape + (weights.out_features,))
+
+
+def seed_emulator_forward(emulator, inputs: np.ndarray) -> np.ndarray:
+    """The seed ``CUEmulator.forward``: frame-major, one matvec per matrix."""
+    inputs = np.asarray(inputs, dtype=np.float64)
+    frames, batch, _ = inputs.shape
+    bits = emulator.bits
+    states = emulator._initial_states(batch)
+    logits = np.empty((frames, batch, emulator._classifier_w.shape[0]))
+    for t in range(frames):
+        value = inputs[t]
+        for index, entry in enumerate(emulator._layers):
+            if entry["cell_type"] == "lstm":
+                y_prev, c_prev = states[index]
+                hidden = entry["hidden"]
+                gates = (
+                    seed_matvec(entry["w_x"], value, bits)
+                    + seed_matvec(entry["w_r"], y_prev, bits)
+                    + entry["bias"]
+                )
+                z_i = gates[..., 0 * hidden : 1 * hidden]
+                z_f = gates[..., 1 * hidden : 2 * hidden]
+                z_g = gates[..., 2 * hidden : 3 * hidden]
+                z_o = gates[..., 3 * hidden : 4 * hidden]
+                if "peep" in entry:
+                    w_ic, w_fc, w_oc = entry["peep"]
+                    z_i = z_i + w_ic * c_prev
+                    z_f = z_f + w_fc * c_prev
+                gate_i = emulator.sigmoid(z_i)
+                gate_f = emulator.sigmoid(z_f)
+                candidate = emulator.tanh(z_g)
+                cell = gate_f * c_prev + candidate * gate_i
+                if "peep" in entry:
+                    z_o = z_o + w_oc * cell
+                gate_o = emulator.sigmoid(z_o)
+                m = gate_o * emulator.tanh(cell)
+                if "w_ym" in entry:
+                    value = seed_matvec(entry["w_ym"], m, bits)
+                else:
+                    value = m
+                states[index] = (value, cell)
+            else:
+                c_prev = states[index]
+                hidden = entry["hidden"]
+                gates = (
+                    seed_matvec(entry["w_zr_x"], value, bits)
+                    + seed_matvec(entry["w_zr_c"], c_prev, bits)
+                    + entry["bias_zr"]
+                )
+                z = emulator.sigmoid(gates[..., :hidden])
+                r = emulator.sigmoid(gates[..., hidden:])
+                candidate = emulator.tanh(
+                    seed_matvec(entry["w_cx"], value, bits)
+                    + seed_matvec(entry["w_cc"], r * c_prev, bits)
+                    + entry["bias_c"]
+                )
+                value = (1.0 - z) * c_prev + z * candidate
+                states[index] = value
+        logits[t] = value @ emulator._classifier_w.T + emulator._classifier_b
+    return logits
+
+
+# ----------------------------------------------------------------------
+# Seed fixed-point FFT datapath: per-call tables, object-API quantization.
+# ----------------------------------------------------------------------
+
+def _seed_fft_forward(x: np.ndarray, size: int, bits: int) -> np.ndarray:
+    """The seed ``FixedPointFFT.forward``: tables rebuilt on every call."""
+    stages = int(math.log2(size))
+    x = np.asarray(x, dtype=np.float64)
+    fmt = FixedPointFormat.fit(
+        np.array([max(float(np.max(np.abs(x))) if x.size else 1.0, 1e-12)]), bits
+    )
+    twiddle_fmt = FixedPointFormat(bits, bits - 2)
+    k = np.arange(size // 2)
+    exact = np.exp(-2j * np.pi * k / size)
+    twiddles = twiddle_fmt.quantize(exact.real) + 1j * twiddle_fmt.quantize(
+        exact.imag
+    )
+
+    indices = np.arange(size)
+    reversed_indices = np.zeros(size, dtype=int)
+    for bit in range(stages):
+        reversed_indices |= ((indices >> bit) & 1) << (stages - 1 - bit)
+    data = fmt.quantize(x)[..., reversed_indices].astype(np.complex128)
+
+    def requantize(values):
+        return fmt.quantize(values.real) + 1j * fmt.quantize(values.imag)
+
+    half = 1
+    for _stage in range(stages):
+        stride = half * 2
+        w = twiddles[np.arange(half) * (size // stride)]
+        data = data.reshape(*data.shape[:-1], size // stride, stride)
+        top = data[..., :half]
+        bottom = requantize(data[..., half:] * w)
+        data = requantize(np.concatenate([top + bottom, top - bottom], axis=-1) * 0.5)
+        data = data.reshape(*data.shape[:-2], size)
+        half = stride
+    return data
+
+
+def seed_circulant_matvec(
+    weight_vector: np.ndarray, x: np.ndarray, bits: int = 12
+) -> np.ndarray:
+    """The seed ``fixed_point_circulant_matvec``: nothing cached or fused."""
+    weight_vector = np.asarray(weight_vector, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    size = weight_vector.shape[-1]
+    w_spec = _seed_fft_forward(weight_vector, size, bits)
+    x_spec = _seed_fft_forward(x, size, bits)
+    product = w_spec * x_spec
+    product_fmt = FixedPointFormat.fit(
+        np.concatenate(
+            [np.abs(product.real).ravel(), np.abs(product.imag).ravel()]
+        ),
+        bits,
+    )
+    product = product_fmt.quantize(product.real) + 1j * product_fmt.quantize(
+        product.imag
+    )
+    conj = np.conj(product)
+    inverse = np.conj(
+        _seed_fft_forward(conj.real, size, bits)
+        + 1j * _seed_fft_forward(conj.imag, size, bits)
+    )
+    return inverse.real * size * size

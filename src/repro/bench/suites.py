@@ -1,0 +1,348 @@
+"""Built-in benchmark suites behind ``repro bench``.
+
+Each suite times an optimized hot path against its reproducible baseline
+(the frozen seed implementations in :mod:`repro.bench.baselines`, a cold
+cache, or the serial execution mode) and asserts the outputs agree before
+reporting a speedup — a benchmark that got fast by computing something
+else is a bug, not a result.
+
+Sizes: the default configuration of ``emulator_forward`` is the paper's
+TIMIT LSTM (1024 cells, 512 projection, peephole, block 8) over T=300
+frames at batch 8; ``--quick`` shrinks every suite to smoke-test scale
+(seconds, for CI) while keeping the assertions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import BenchResult, register, time_callable
+from repro.bench.baselines import (
+    seed_circulant_matvec,
+    seed_emulator_forward,
+    seed_matvec,
+)
+
+__all__: list[str] = []
+
+
+def _speedup(result: BenchResult, name: str, slow: str, fast: str) -> None:
+    result.metrics[name] = round(
+        result.timings[slow].median_s / result.timings[fast].median_s, 2
+    )
+
+
+# ----------------------------------------------------------------------
+@register("emulator_forward")
+def bench_emulator_forward(quick: bool) -> BenchResult:
+    """Batched CU emulation vs the per-frame oracle vs the seed emulator."""
+    from repro.config import RNNSpec
+    from repro.hw.emulator import CUEmulator
+    from repro.nn.rnn import StackedRNNClassifier
+
+    if quick:
+        spec = RNNSpec(
+            cell_type="lstm", layer_sizes=(128,), block_sizes=(8,),
+            input_size=39, output_size=10,
+        )
+        frames, batch, repeats = 40, 4, 2
+    else:
+        # Paper Table I: 1024-cell LSTM, 512 projection, peephole, block 8.
+        spec = RNNSpec(
+            cell_type="lstm", layer_sizes=(1024,), block_sizes=(8,),
+            input_size=153, output_size=39,
+            peephole=True, projection_size=512,
+        )
+        frames, batch, repeats = 300, 8, 3
+
+    model = StackedRNNClassifier(spec, structured=True, rng=np.random.default_rng(0))
+    emulator = CUEmulator(model, weight_bits=12)
+    x = np.random.default_rng(1).standard_normal((frames, batch, spec.input_size))
+
+    batched = emulator.forward(x)
+    reference = emulator.forward_reference(x)
+    seed = seed_emulator_forward(emulator, x)
+    assert np.array_equal(batched, reference), "batched != per-frame oracle"
+    assert np.array_equal(batched, seed), "optimized path != seed algorithm"
+
+    result = BenchResult(
+        "emulator_forward",
+        quick=quick,
+        notes=(
+            f"{spec.describe()} over T={frames}, B={batch}; outputs of all "
+            "three paths asserted byte-identical before timing"
+        ),
+        metrics={
+            "frames": frames,
+            "batch": batch,
+            "layers": list(spec.layer_sizes),
+            "weight_bits": 12,
+        },
+    )
+    result.add_timing(
+        "seed_per_frame_einsum",
+        time_callable(lambda: seed_emulator_forward(emulator, x),
+                      warmup=0 if quick else 1, repeats=repeats),
+    )
+    result.add_timing(
+        "per_frame_reference",
+        time_callable(lambda: emulator.forward_reference(x),
+                      warmup=1, repeats=repeats),
+    )
+    result.add_timing(
+        "batched",
+        time_callable(lambda: emulator.forward(x), warmup=1, repeats=repeats),
+    )
+    _speedup(result, "speedup_vs_seed", "seed_per_frame_einsum", "batched")
+    _speedup(result, "speedup_vs_per_frame", "per_frame_reference", "batched")
+    return result
+
+
+# ----------------------------------------------------------------------
+@register("fft_matvec")
+def bench_fft_matvec(quick: bool) -> BenchResult:
+    """Plan-cached fixed-point circulant products vs cold and seed paths."""
+    from repro.hw import fft_fixed
+    from repro.hw.fft_fixed import clear_plan_cache, fixed_point_circulant_matvec
+
+    size = 16
+    repeats = 20 if quick else 100
+    rng = np.random.default_rng(7)
+    w, x = rng.uniform(-1, 1, size), rng.uniform(-1, 1, size)
+
+    clear_plan_cache()
+    cold_out = fixed_point_circulant_matvec(w, x, 12)
+    warm_out = fixed_point_circulant_matvec(w, x, 12)
+    seed_out = seed_circulant_matvec(w, x, 12)
+    assert np.array_equal(cold_out, warm_out), "plan-cached != cold"
+    assert np.array_equal(cold_out, seed_out), "optimized != seed algorithm"
+
+    def clear_all() -> None:
+        clear_plan_cache()
+        fft_fixed._SPECTRUM_CACHE.clear()
+
+    result = BenchResult(
+        "fft_matvec",
+        quick=quick,
+        notes=(
+            f"fixed_point_circulant_matvec size={size} bits=12; cold clears "
+            "the plan and weight-spectrum caches before every call; outputs "
+            "asserted byte-identical across seed/cold/warm"
+        ),
+        metrics={"size": size, "bits": 12},
+    )
+    result.add_timing(
+        "seed_uncached",
+        time_callable(lambda: seed_circulant_matvec(w, x, 12),
+                      warmup=2, repeats=repeats),
+    )
+    result.add_timing(
+        "cold_plan_rebuild",
+        time_callable(lambda: fixed_point_circulant_matvec(w, x, 12),
+                      warmup=2, repeats=repeats, setup=clear_all),
+    )
+    result.add_timing(
+        "warm_repeat_call",
+        time_callable(lambda: fixed_point_circulant_matvec(w, x, 12),
+                      warmup=2, repeats=repeats),
+    )
+    _speedup(result, "repeat_call_speedup_vs_seed", "seed_uncached",
+             "warm_repeat_call")
+    _speedup(result, "warm_vs_cold", "cold_plan_rebuild", "warm_repeat_call")
+    return result
+
+
+# ----------------------------------------------------------------------
+@register("spectral_matvec")
+def bench_spectral_matvec(quick: bool) -> BenchResult:
+    """The GEMM spectral MAC vs the seed einsum MAC on one weight matrix."""
+    from repro.hw.emulator import SpectralWeights
+    from repro.nn.circulant_layer import CirculantLinear
+
+    in_features, out_features, block = (64, 256, 8) if quick else (512, 4096, 8)
+    repeats = 20 if quick else 50
+    rng = np.random.default_rng(5)
+    layer = CirculantLinear(
+        in_features, out_features, block_size=block, bias=False, rng=rng
+    )
+    weights = SpectralWeights.from_layer(layer, bits=12)
+    x = rng.standard_normal((8, in_features))
+
+    new = weights.matvec(x, 12)
+    lean = weights.matvec_step(x, 12)
+    old = seed_matvec(weights, x, 12)
+    assert np.array_equal(new, lean) and np.array_equal(new, old)
+
+    result = BenchResult(
+        "spectral_matvec",
+        quick=quick,
+        notes=(
+            f"one {out_features}x{in_features} block-{block} spectral "
+            "product at batch 8, all variants byte-identical"
+        ),
+        metrics={"in": in_features, "out": out_features, "block": block},
+    )
+    result.add_timing(
+        "seed_einsum",
+        time_callable(lambda: seed_matvec(weights, x, 12), repeats=repeats),
+    )
+    result.add_timing(
+        "gemm_matvec",
+        time_callable(lambda: weights.matvec(x, 12), repeats=repeats),
+    )
+    result.add_timing(
+        "gemm_matvec_step",
+        time_callable(lambda: weights.matvec_step(x, 12), repeats=repeats),
+    )
+    _speedup(result, "speedup_vs_seed", "seed_einsum", "gemm_matvec_step")
+    return result
+
+
+# ----------------------------------------------------------------------
+@register("engine_cache")
+def bench_engine_cache(quick: bool) -> BenchResult:
+    """Cold vs cached design builds through one :class:`repro.api.Engine`."""
+    from repro.api import Design, Engine
+
+    blocks = (8, 16) if quick else (8, 16, 32, 64)
+    designs = []
+    for platform in ("XCKU060", "ADM-PCIE-7V3"):
+        for block in blocks:
+            designs.append(
+                Design.lstm(1024).blocks(block).peephole().project(512)
+                .on(platform)
+            )
+            designs.append(Design.gru(1024).blocks(block).on(platform))
+
+    def sweep(engine: Engine) -> None:
+        for design in designs:
+            design.using(engine).price()
+            design.using(engine).codegen()
+
+    engine = Engine(maxsize=64)
+    result = BenchResult(
+        "engine_cache",
+        quick=quick,
+        notes=f"{len(designs)}-design price+codegen sweep, cold then cached",
+        metrics={"designs": len(designs)},
+    )
+    result.add_timing("cold_build", time_callable(lambda: sweep(engine),
+                                                  warmup=0, repeats=1))
+    result.add_timing("cached_build", time_callable(lambda: sweep(engine),
+                                                    warmup=1,
+                                                    repeats=3 if quick else 5))
+    _speedup(result, "speedup", "cold_build", "cached_build")
+    result.metrics["engine_stats"] = engine.stats().describe()
+    return result
+
+
+# ----------------------------------------------------------------------
+@register("quantize_state")
+def bench_quantize_state(quick: bool) -> BenchResult:
+    """Format-fit caching across a quantization sweep's bit widths."""
+    from repro.config import RNNSpec
+    from repro.hw.quantize import FitStatsCache, quantize_state
+    from repro.nn.rnn import StackedRNNClassifier
+
+    layers = (64,) if quick else (512, 512)
+    spec = RNNSpec(
+        cell_type="lstm", layer_sizes=layers,
+        block_sizes=tuple(8 for _ in layers),
+        input_size=39, output_size=10,
+    )
+    model = StackedRNNClassifier(spec, structured=True,
+                                 rng=np.random.default_rng(0))
+    state = model.state_dict()
+    bits_list = (16, 14, 12, 10, 8, 6)
+
+    def uncached() -> list:
+        return [quantize_state(state, bits)[0] for bits in bits_list]
+
+    def cached() -> list:
+        fit_cache = FitStatsCache()
+        return [quantize_state(state, bits, fit_cache)[0] for bits in bits_list]
+
+    for got, want in zip(cached(), uncached()):
+        for name in want:
+            assert np.array_equal(got[name], want[name])
+
+    result = BenchResult(
+        "quantize_state",
+        quick=quick,
+        notes=(
+            f"{len(state)}-parameter state dict quantized at "
+            f"{len(bits_list)} bit widths; cached == uncached asserted"
+        ),
+        metrics={"parameters": len(state), "bit_widths": len(bits_list)},
+    )
+    repeats = 3 if quick else 10
+    result.add_timing("refit_every_width",
+                      time_callable(uncached, repeats=repeats))
+    result.add_timing("stats_cache",
+                      time_callable(cached, repeats=repeats))
+    _speedup(result, "speedup", "refit_every_width", "stats_cache")
+    return result
+
+
+# ----------------------------------------------------------------------
+@register("per_eval")
+def bench_per_eval(quick: bool) -> BenchResult:
+    """Serial vs threaded batch PER evaluation on a synthetic corpus."""
+    from repro.asr.features import FeatureConfig, FeatureExtractor
+    from repro.asr.phones import PhoneSet
+    from repro.asr.pipeline import evaluate_per, prepare_dataset
+    from repro.asr.timit import CorpusConfig, SyntheticTIMIT
+    from repro.config import RNNSpec
+    from repro.nn.rnn import StackedRNNClassifier
+
+    phones = PhoneSet.folded().subset(8)
+    corpus = SyntheticTIMIT(
+        CorpusConfig(
+            phone_set=phones,
+            num_speakers=2 if quick else 6,
+            utterances_per_speaker=4,
+            test_speakers=1,
+            sample_rate=8000,
+            phones_per_utterance=(3, 5) if quick else (6, 9),
+            seed=11,
+        )
+    )
+    extractor = FeatureExtractor(FeatureConfig(sample_rate=8000))
+    extractor.fit_normalizer(corpus.train)
+    dataset = prepare_dataset(corpus.train, extractor, phones)
+    spec = RNNSpec(
+        cell_type="lstm", layer_sizes=(64,), block_sizes=(4,),
+        input_size=dataset.feature_dim, output_size=len(phones),
+    )
+    model = StackedRNNClassifier(spec, structured=True,
+                                 rng=np.random.default_rng(0))
+
+    serial_per = evaluate_per(model, dataset, batch_size=4)
+    parallel_per = evaluate_per(model, dataset, batch_size=4, workers=4)
+    assert serial_per == parallel_per, "workers changed the PER"
+
+    result = BenchResult(
+        "per_eval",
+        quick=quick,
+        notes=(
+            f"{dataset.num_utterances}-utterance synthetic corpus; serial "
+            "and 4-worker PER asserted equal (thread workers only pay off "
+            "with more than one CPU — see environment.cpus)"
+        ),
+        metrics={"utterances": dataset.num_utterances, "per": serial_per},
+    )
+    repeats = 2 if quick else 3
+    result.add_timing(
+        "serial",
+        time_callable(lambda: evaluate_per(model, dataset, batch_size=4),
+                      repeats=repeats),
+    )
+    result.add_timing(
+        "threads_4",
+        time_callable(
+            lambda: evaluate_per(model, dataset, batch_size=4, workers=4),
+            repeats=repeats,
+        ),
+    )
+    _speedup(result, "speedup", "serial", "threads_4")
+    return result

@@ -12,6 +12,7 @@ Subcommands map onto the paper's workflow:
 * ``price``      — Phase II hardware sizing: latency / FPS / power report.
 * ``codegen``    — run the HLS flow and write the generated C source.
 * ``explore``    — parallel design-space sweep with Pareto/top-k reports.
+* ``bench``      — run the performance suites, emit ``BENCH_*.json``.
 * ``table3``     — regenerate the paper's headline comparison table.
 * ``fig8``       — print the multiplication-count curves.
 
@@ -160,6 +161,22 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0 if result.ok() else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import benchmark_names, run_benchmarks, write_result
+
+    if args.list:
+        for name in benchmark_names():
+            print(name)
+        return 0
+    results = run_benchmarks(args.only or None, quick=args.quick)
+    for result in results:
+        print(result.describe())
+        if not args.no_json:
+            path = write_result(result, args.out_dir)
+            print(f"  wrote {path}")
+    return 0
+
+
 def _cmd_table3(args: argparse.Namespace) -> int:
     from repro.experiments.table3 import format_comparison, run_table3
 
@@ -249,6 +266,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the persistent disk cache for this run",
     )
     explore.set_defaults(handler=_cmd_explore)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the performance suites and write BENCH_<name>.json artifacts",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="smoke-test sizes (seconds; CI uses this — timings are "
+             "recorded but not asserted)",
+    )
+    bench.add_argument(
+        "--only", nargs="+", default=None, metavar="NAME",
+        help="run only the named suites (see --list)",
+    )
+    bench.add_argument("--list", action="store_true",
+                       help="list registered suites and exit")
+    bench.add_argument(
+        "--out-dir", default=".",
+        help="directory for BENCH_<name>.json artifacts (default: cwd)",
+    )
+    bench.add_argument("--no-json", action="store_true",
+                       help="print results without writing artifacts")
+    bench.set_defaults(handler=_cmd_bench)
 
     table3 = sub.add_parser("table3", help="regenerate the Table III comparison")
     table3.set_defaults(handler=_cmd_table3)

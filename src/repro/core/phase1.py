@@ -50,7 +50,15 @@ class TrainingTrial:
 
 @dataclass(frozen=True)
 class PhaseIConfig:
-    """Search parameters: accuracy budget and target platform."""
+    """Search parameters: accuracy budget and target platform.
+
+    ``speculative_workers`` > 1 trains the Step-Two block-sweep candidates
+    concurrently (thread pool; the injected trainer must be thread-safe)
+    instead of walking down one block size at a time.  The result and the
+    recorded trial log are identical to the serial walk — speculative runs
+    below the first accepted block size are discarded, trading extra
+    training work for wall-clock latency.
+    """
 
     accuracy_budget: float = 0.3  # allowed PER degradation, percent points
     platform: str = "XCKU060"
@@ -58,10 +66,13 @@ class PhaseIConfig:
     try_gru: bool = True
     try_io_block: bool = True
     max_block: int = 256
+    speculative_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.accuracy_budget < 0:
             raise ConfigError("accuracy_budget must be non-negative")
+        if self.speculative_workers is not None and self.speculative_workers < 1:
+            raise ConfigError("speculative_workers must be positive")
 
 
 @dataclass(frozen=True)
@@ -145,6 +156,54 @@ class PhaseIOptimizer:
     def _uniform(self, spec: RNNSpec, block: int) -> RNNSpec:
         return spec.with_block_sizes(tuple(block for _ in spec.layer_sizes))
 
+    def _block_sweep(
+        self, lower: int, upper: int, target_per: float
+    ) -> tuple[RNNSpec | None, float]:
+        """Step Two: largest block size meeting the accuracy budget.
+
+        Serial by default (stops training at the first success, the paper's
+        flow); with ``speculative_workers`` the candidate ladder trains
+        concurrently and the walk-down happens over finished results.  Only
+        trials the serial walk would have run are recorded, so the trial
+        log — and therefore the whole :class:`PhaseIResult` — is identical
+        across both strategies.
+        """
+        candidates = []
+        block = upper
+        while block >= lower:
+            candidates.append(self._uniform(self.baseline_spec, block))
+            block //= 2
+
+        workers = self.config.speculative_workers
+        if workers is not None and workers > 1:
+            from repro.core.parallel import map_ordered
+
+            def attempt(candidate: RNNSpec):
+                # Capture failures instead of letting one speculative rung
+                # abort the map: a candidate the serial walk never reaches
+                # must not be able to fail the run.
+                try:
+                    return self.trainer(candidate), None
+                except Exception as exc:  # noqa: BLE001 — re-raised in order
+                    return None, exc
+
+            outcomes = map_ordered(
+                attempt, candidates, mode="thread", workers=workers
+            )
+            for candidate, (per, error) in zip(candidates, outcomes):
+                if error is not None:
+                    raise error  # the serial walk would have hit this rung
+                self._trials.append(TrainingTrial("block-sweep", candidate, per))
+                if per <= target_per:
+                    return candidate, per
+            return None, float("inf")
+
+        for candidate in candidates:
+            per = self._train("block-sweep", candidate)
+            if per <= target_per:
+                return candidate, per
+        return None, float("inf")
+
     # ------------------------------------------------------------------
     def run(self, baseline_per: float | None = None) -> PhaseIResult:
         """Execute Steps One-Three; returns the selected spec and trial log.
@@ -163,16 +222,7 @@ class PhaseIOptimizer:
         # Step Two: largest feasible block size, walking down from the upper
         # bound.  The bounds plus power-of-2 stepping keep this to a few
         # trials (Sec. VI-B: "at most 3 or 4 training trials").
-        chosen_spec: RNNSpec | None = None
-        chosen_per = float("inf")
-        block = upper
-        while block >= lower:
-            candidate = self._uniform(self.baseline_spec, block)
-            per = self._train("block-sweep", candidate)
-            if per <= target_per:
-                chosen_spec, chosen_per = candidate, per
-                break
-            block //= 2
+        chosen_spec, chosen_per = self._block_sweep(lower, upper, target_per)
         if chosen_spec is None:
             raise FitError(
                 f"no block size in [{lower}, {upper}] meets PER <= "

@@ -10,6 +10,7 @@ function the hardware would compute, plus its LUT/FF cost for Phase II.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Callable
 
 import numpy as np
@@ -76,11 +77,52 @@ class PiecewiseLinearActivation:
         return self.breakpoints.size - 1
 
     # ------------------------------------------------------------------
+    @cached_property
+    def _slopes(self) -> np.ndarray:
+        """Per-segment slope table — the hardware's second ROM column."""
+        return np.diff(self.values) / np.diff(self.breakpoints)
+
+    @cached_property
+    def _inv_step(self) -> float | None:
+        """1/step for uniform breakpoints, ``None`` when spacing varies."""
+        steps = np.diff(self.breakpoints)
+        if np.allclose(steps, steps[0], rtol=1e-9, atol=0.0):
+            return float(1.0 / steps[0])
+        return None
+
     def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the PWL unit: segment select, slope multiply, add.
+
+        Mirrors the hardware structure (comparator → table lookup → one
+        multiply-add) instead of calling ``np.interp``, which re-derives
+        each slope with a per-element division.  Uniform breakpoints (the
+        ``from_function`` case) select segments arithmetically; irregular
+        tables fall back to binary search.
+
+        The arithmetic selection can pick the neighbouring segment for
+        inputs within one ULP of a breakpoint; the PWL is continuous, so
+        the value differs from ``np.interp`` by at most one ULP there and
+        is identical everywhere else (test-pinned).  Both emulator
+        execution paths and the benchmark seed baselines share this
+        evaluation, so it cannot perturb any byte-identity invariant.
+        """
         x = np.asarray(x, dtype=np.float64)
-        inside = np.interp(x, self.breakpoints, self.values)
-        result = np.where(x < self.breakpoints[0], self.saturate_low, inside)
-        return np.where(x > self.breakpoints[-1], self.saturate_high, result)
+        breakpoints = self.breakpoints
+        if self._inv_step is not None:
+            index = ((x - breakpoints[0]) * self._inv_step).astype(np.int64)
+            np.clip(index, 0, self.segments - 1, out=index)
+        else:
+            index = np.clip(
+                np.searchsorted(breakpoints, x, side="right") - 1,
+                0,
+                self.segments - 1,
+            )
+        inside = (
+            self._slopes[index] * (x - breakpoints[index]) + self.values[index]
+        )
+        inside = np.where(x == breakpoints[-1], self.values[-1], inside)
+        result = np.where(x < breakpoints[0], self.saturate_low, inside)
+        return np.where(x > breakpoints[-1], self.saturate_high, result)
 
     def max_error(
         self,

@@ -15,22 +15,58 @@ decoupling), PWL activations.  This module executes *that* computation:
 The emulator's outputs match the float model within quantization tolerance
 (``tests/hw/test_emulator.py``), which is the end-to-end evidence that the
 hardware would compute the same PER the accuracy experiments measured.
+
+Two execution strategies share one numerical definition:
+
+* :meth:`CUEmulator.forward` (default) is **batched**: per layer, the
+  input-to-hidden spectral products for all ``T`` frames are hoisted into
+  stacked FFT/quantize passes before the recurrent loop (the cuDNN
+  restructuring), and per-frame bookkeeping runs through the vectorized
+  format helpers of :mod:`repro.hw.fixed_point`.
+* :meth:`CUEmulator.forward_reference` is the **per-frame oracle**: the
+  straightforward frame-major loop calling :meth:`SpectralWeights.matvec`
+  once per matrix per frame.
+
+Both paths produce *byte-identical* logits (test-enforced).  That works
+because every data-dependent fixed-point format is fit per frame in both
+paths, and because the spectral MAC — the one operation whose floating-point
+rounding could depend on operand shape — always executes at per-frame shape
+``(B, blocks, bins)`` through the same GEMM call, even inside the hoisted
+batch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
 from repro.config import RNNSpec
 from repro.errors import ConfigError
 from repro.hw.activation import PiecewiseLinearActivation, pwl_sigmoid, pwl_tanh
-from repro.hw.fixed_point import FixedPointFormat
+from repro.hw.fixed_point import (
+    FixedPointFormat,
+    fit_frac_bits_from_stats,
+    rowwise_fit_frac_bits,
+    rowwise_quantize,
+)
 from repro.nn.circulant_layer import CirculantLinear
 from repro.nn.rnn import StackedRNNClassifier
 
 __all__ = ["SpectralWeights", "CUEmulator"]
+
+
+def _complex_rowwise_frac_bits(spectra: np.ndarray, bits: int) -> np.ndarray:
+    """Per-row format over a complex array's real *and* imaginary parts.
+
+    Matches ``FixedPointFormat.fit(concatenate([real, imag]), bits)`` row by
+    row: a complex128 array viewed as float64 interleaves exactly those
+    components.
+    """
+    return rowwise_fit_frac_bits(
+        spectra.view(np.float64).reshape(len(spectra), -1), bits
+    )
 
 
 @dataclass(frozen=True)
@@ -63,14 +99,44 @@ class SpectralWeights:
         """Stored bits at 12-bit words (two words per complex bin)."""
         return 2 * self.spectra.size * 12
 
-    def matvec(self, x: np.ndarray, bits: int) -> np.ndarray:
-        """The PE pipeline: FFT → spectral MAC → IFFT, all quantized."""
-        block = self.block_size
-        padded_in = self.spectra.shape[1] * block
+    @cached_property
+    def _mac_operand(self) -> np.ndarray:
+        """The spectra laid out for the GEMM MAC: ``(bins, q, p)`` contiguous."""
+        return np.ascontiguousarray(self.spectra.transpose(2, 1, 0))
+
+    @property
+    def padded_in(self) -> int:
+        return self.spectra.shape[1] * self.block_size
+
+    def _spectral_mac(self, x_spec: np.ndarray) -> np.ndarray:
+        """Frequency-domain multiply-accumulate over the block grid.
+
+        ``x_spec`` is one frame's ``(batch, q, bins)`` spectrum; returns
+        ``(batch, p, bins)``.  This is the decoupled-IFFT accumulation of
+        Sec. V-A1 expressed as ``bins`` stacked GEMMs.  Every caller —
+        per-frame or hoisted — passes single-frame shapes, so the BLAS
+        kernel (and therefore the floating-point reduction order) is
+        identical across execution strategies.
+        """
+        return np.matmul(
+            x_spec.transpose(2, 0, 1), self._mac_operand
+        ).transpose(1, 2, 0)
+
+    def _check_width(self, x: np.ndarray) -> None:
         if x.shape[-1] != self.in_features:
             raise ConfigError(
                 f"expected input width {self.in_features}, got {x.shape}"
             )
+
+    def matvec(self, x: np.ndarray, bits: int) -> np.ndarray:
+        """The PE pipeline: FFT → spectral MAC → IFFT, all quantized.
+
+        This is the reference-oracle path: one frame, formats fit through
+        the scalar :class:`FixedPointFormat` API.
+        """
+        block = self.block_size
+        padded_in = self.padded_in
+        self._check_width(x)
         batch_shape = x.shape[:-1]
         x = x.reshape(-1, x.shape[-1])
         if padded_in != x.shape[-1]:
@@ -89,11 +155,107 @@ class SpectralWeights:
 
         # Spectral multiply-accumulate over the block grid (decoupled IFFT:
         # accumulation happens in the frequency domain, Sec. V-A1).
-        acc = np.einsum("ijf,bjf->bif", self.spectra, x_spec)
+        acc = self._spectral_mac(x_spec)
         y = np.fft.irfft(acc, n=block, axis=-1)
         y = y.reshape(x.shape[0], -1)[:, : self.out_features]
         y_fmt = FixedPointFormat.fit(y if y.size else np.ones(1), bits)
         return y_fmt.quantize(y).reshape(batch_shape + (self.out_features,))
+
+    def matvec_step(self, x: np.ndarray, bits: int) -> np.ndarray:
+        """One recurrent step, byte-identical to :meth:`matvec` but lean.
+
+        Same pipeline, but the three data-dependent formats are derived
+        from range statistics (one min/max pass each) and applied with the
+        fused clip-rint-divide projection — no ``abs`` temporaries, no
+        ``concatenate`` copies, no int64 round-trips.
+        """
+        block = self.block_size
+        self._check_width(x)
+        x = np.asarray(x, dtype=np.float64)
+        if x.size == 0:
+            return self.matvec(x, bits)
+        batch_shape = x.shape[:-1]
+        x = x.reshape(-1, x.shape[-1])
+        if self.padded_in != x.shape[-1]:
+            x = np.pad(x, ((0, 0), (0, self.padded_in - x.shape[-1])))
+
+        min_int = -(2 ** (bits - 1))
+        max_int = 2 ** (bits - 1) - 1
+
+        x_frac = fit_frac_bits_from_stats(
+            max(float(x.max()), -float(x.min())), float(x.min()), bits
+        )
+        scale = 2.0**x_frac
+        x_blocks = (
+            np.clip(np.rint(x * scale), min_int, max_int) / scale
+        ).reshape(x.shape[0], -1, block)
+
+        x_spec = np.fft.rfft(x_blocks, axis=-1)
+        parts = x_spec.view(np.float64)
+        s_frac = fit_frac_bits_from_stats(
+            max(float(parts.max()), -float(parts.min())), float(parts.min()), bits
+        )
+        scale = 2.0**s_frac
+        x_spec = (np.clip(np.rint(parts * scale), min_int, max_int) / scale).view(
+            np.complex128
+        )
+
+        acc = self._spectral_mac(x_spec)
+        y = np.fft.irfft(acc, n=block, axis=-1)
+        y = y.reshape(x.shape[0], -1)[:, : self.out_features]
+        y_frac = fit_frac_bits_from_stats(
+            max(float(y.max()), -float(y.min())), float(y.min()), bits
+        )
+        scale = 2.0**y_frac
+        y = np.clip(np.rint(y * scale), min_int, max_int) / scale
+        return y.reshape(batch_shape + (self.out_features,))
+
+    def matvec_frames(self, x: np.ndarray, bits: int) -> np.ndarray:
+        """Hoisted product for a whole ``(T, B, in)`` sequence at once.
+
+        Byte-identical to calling :meth:`matvec` frame by frame: the input,
+        spectrum, and output formats are fit *per frame* (vectorized), the
+        FFT/IFFT batch over all frames (each trailing vector transforms
+        independently), and the spectral MAC runs per frame so the GEMM
+        shape matches the per-frame path exactly.
+        """
+        if x.ndim != 3:
+            raise ConfigError(f"expected (T, B, in) input, got {x.shape}")
+        self._check_width(x)
+        frames, batch = x.shape[0], x.shape[1]
+        block = self.block_size
+        x = np.asarray(x, dtype=np.float64)
+        if x.size == 0:
+            out = [self.matvec(x[t], bits) for t in range(frames)]
+            return (
+                np.stack(out)
+                if out
+                else np.empty((0, batch, self.out_features))
+            )
+        if self.padded_in != x.shape[-1]:
+            x = np.pad(x, ((0, 0), (0, 0), (0, self.padded_in - x.shape[-1])))
+
+        x_frac = rowwise_fit_frac_bits(x, bits)
+        x_blocks = rowwise_quantize(x, x_frac, bits).reshape(
+            frames, batch, -1, block
+        )
+        x_spec = np.fft.rfft(x_blocks, axis=-1)
+
+        s_frac = _complex_rowwise_frac_bits(x_spec, bits)
+        parts = rowwise_quantize(x_spec.view(np.float64), s_frac, bits)
+        x_spec = np.ascontiguousarray(parts).view(np.complex128)
+
+        acc = np.empty(
+            (frames, batch, self.spectra.shape[0], x_spec.shape[-1]),
+            dtype=np.complex128,
+        )
+        for t in range(frames):
+            acc[t] = self._spectral_mac(x_spec[t])
+
+        y = np.fft.irfft(acc, n=block, axis=-1)
+        y = y.reshape(frames, batch, -1)[..., : self.out_features]
+        y_frac = rowwise_fit_frac_bits(y, bits)
+        return rowwise_quantize(y, y_frac, bits)
 
 
 class CUEmulator:
@@ -145,13 +307,17 @@ class CUEmulator:
         self._classifier_b = model.classifier.bias.data.copy()
 
     # ------------------------------------------------------------------
-    def _lstm_frame(self, entry: dict, x, y_prev, c_prev):
+    # Point-wise stages, shared verbatim by both execution strategies.
+    # ------------------------------------------------------------------
+    def _lstm_pointwise(self, entry: dict, wx, y_prev, c_prev, mv):
+        """Gate math for one frame given the input-side product ``wx``.
+
+        ``mv(weights, x)`` performs the recurrent-side products: the oracle
+        passes :meth:`SpectralWeights.matvec`, the batched path the
+        byte-identical lean :meth:`SpectralWeights.matvec_step`.
+        """
         hidden = entry["hidden"]
-        gates = (
-            entry["w_x"].matvec(x, self.bits)
-            + entry["w_r"].matvec(y_prev, self.bits)
-            + entry["bias"]
-        )
+        gates = wx + mv(entry["w_r"], y_prev) + entry["bias"]
         z_i = gates[..., 0 * hidden : 1 * hidden]
         z_f = gates[..., 1 * hidden : 2 * hidden]
         z_g = gates[..., 2 * hidden : 3 * hidden]
@@ -169,46 +335,51 @@ class CUEmulator:
         gate_o = self.sigmoid(z_o)
         m = gate_o * self.tanh(cell)
         if "w_ym" in entry:
-            y = entry["w_ym"].matvec(m, self.bits)
+            y = mv(entry["w_ym"], m)
         else:
             y = m
         return y, y, cell
 
-    def _gru_frame(self, entry: dict, x, c_prev):
+    def _gru_pointwise(self, entry: dict, w_zr, w_cx, c_prev, mv):
+        """Gate math for one frame given both input-side products."""
         hidden = entry["hidden"]
-        gates = (
-            entry["w_zr_x"].matvec(x, self.bits)
-            + entry["w_zr_c"].matvec(c_prev, self.bits)
-            + entry["bias_zr"]
-        )
+        gates = w_zr + mv(entry["w_zr_c"], c_prev) + entry["bias_zr"]
         z = self.sigmoid(gates[..., :hidden])
         r = self.sigmoid(gates[..., hidden:])
         candidate = self.tanh(
-            entry["w_cx"].matvec(x, self.bits)
-            + entry["w_cc"].matvec(r * c_prev, self.bits)
-            + entry["bias_c"]
+            w_cx + mv(entry["w_cc"], r * c_prev) + entry["bias_c"]
         )
         cell = (1.0 - z) * c_prev + z * candidate
         return cell, cell
 
+    def _mv_reference(self, weights: SpectralWeights, x: np.ndarray):
+        return weights.matvec(x, self.bits)
+
+    def _mv_step(self, weights: SpectralWeights, x: np.ndarray):
+        return weights.matvec_step(x, self.bits)
+
     # ------------------------------------------------------------------
-    def forward(self, inputs: np.ndarray) -> np.ndarray:
-        """(T, B, D) features → (T, B, C) logits, hardware-faithfully."""
-        inputs = np.asarray(inputs, dtype=np.float64)
-        if inputs.ndim != 3:
-            raise ConfigError(f"expected (T, B, D), got {inputs.shape}")
+    # Per-frame oracle.
+    # ------------------------------------------------------------------
+    def _lstm_frame(self, entry: dict, x, y_prev, c_prev):
+        wx = entry["w_x"].matvec(x, self.bits)
+        return self._lstm_pointwise(entry, wx, y_prev, c_prev, self._mv_reference)
+
+    def _gru_frame(self, entry: dict, x, c_prev):
+        w_zr = entry["w_zr_x"].matvec(x, self.bits)
+        w_cx = entry["w_cx"].matvec(x, self.bits)
+        return self._gru_pointwise(entry, w_zr, w_cx, c_prev, self._mv_reference)
+
+    def forward_reference(self, inputs: np.ndarray) -> np.ndarray:
+        """Frame-major per-frame emulation — the reference oracle.
+
+        Every matrix product goes through :meth:`SpectralWeights.matvec`
+        once per frame.  Kept as the simple, obviously-hardware-shaped
+        implementation the batched path is verified against byte-for-byte.
+        """
+        inputs = self._check_inputs(inputs)
         frames, batch, _ = inputs.shape
-        states: list = []
-        for entry in self._layers:
-            if entry["cell_type"] == "lstm":
-                states.append(
-                    (
-                        np.zeros((batch, entry["output"])),
-                        np.zeros((batch, entry["hidden"])),
-                    )
-                )
-            else:
-                states.append(np.zeros((batch, entry["hidden"])))
+        states = self._initial_states(batch)
         logits = np.empty((frames, batch, self._classifier_w.shape[0]))
         for t in range(frames):
             value = inputs[t]
@@ -225,6 +396,77 @@ class CUEmulator:
                     )
             logits[t] = value @ self._classifier_w.T + self._classifier_b
         return logits
+
+    # ------------------------------------------------------------------
+    # Batched (layer-major) path.
+    # ------------------------------------------------------------------
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """(T, B, D) features → (T, B, C) logits, hardware-faithfully.
+
+        Layer-major: for each layer, the input-to-hidden spectral products
+        of all frames are computed in one hoisted pass, then the recurrent
+        loop consumes them.  Byte-identical to
+        :meth:`forward_reference` (test-enforced).
+        """
+        inputs = self._check_inputs(inputs)
+        frames, batch, _ = inputs.shape
+        value_seq = inputs
+        for entry in self._layers:
+            if entry["cell_type"] == "lstm":
+                value_seq = self._run_lstm_layer(entry, value_seq)
+            else:
+                value_seq = self._run_gru_layer(entry, value_seq)
+        logits = np.empty((frames, batch, self._classifier_w.shape[0]))
+        for t in range(frames):
+            logits[t] = value_seq[t] @ self._classifier_w.T + self._classifier_b
+        return logits
+
+    def _run_lstm_layer(self, entry: dict, value_seq: np.ndarray) -> np.ndarray:
+        frames, batch = value_seq.shape[0], value_seq.shape[1]
+        wx_all = entry["w_x"].matvec_frames(value_seq, self.bits)
+        y_prev = np.zeros((batch, entry["output"]))
+        c_prev = np.zeros((batch, entry["hidden"]))
+        out = np.empty((frames, batch, entry["output"]))
+        for t in range(frames):
+            value, y_prev, c_prev = self._lstm_pointwise(
+                entry, wx_all[t], y_prev, c_prev, self._mv_step
+            )
+            out[t] = value
+        return out
+
+    def _run_gru_layer(self, entry: dict, value_seq: np.ndarray) -> np.ndarray:
+        frames, batch = value_seq.shape[0], value_seq.shape[1]
+        w_zr_all = entry["w_zr_x"].matvec_frames(value_seq, self.bits)
+        w_cx_all = entry["w_cx"].matvec_frames(value_seq, self.bits)
+        c_prev = np.zeros((batch, entry["hidden"]))
+        out = np.empty((frames, batch, entry["hidden"]))
+        for t in range(frames):
+            value, c_prev = self._gru_pointwise(
+                entry, w_zr_all[t], w_cx_all[t], c_prev, self._mv_step
+            )
+            out[t] = value
+        return out
+
+    # ------------------------------------------------------------------
+    def _check_inputs(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 3:
+            raise ConfigError(f"expected (T, B, D), got {inputs.shape}")
+        return inputs
+
+    def _initial_states(self, batch: int) -> list:
+        states: list = []
+        for entry in self._layers:
+            if entry["cell_type"] == "lstm":
+                states.append(
+                    (
+                        np.zeros((batch, entry["output"])),
+                        np.zeros((batch, entry["hidden"])),
+                    )
+                )
+            else:
+                states.append(np.zeros((batch, entry["hidden"])))
+        return states
 
     def bram_weight_bits(self) -> float:
         """Total spectral-weight storage (cross-check for repro.hw.bram)."""

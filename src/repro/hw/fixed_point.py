@@ -15,7 +15,13 @@ import numpy as np
 
 from repro.errors import QuantizationError
 
-__all__ = ["FixedPointFormat", "quantization_snr_db"]
+__all__ = [
+    "FixedPointFormat",
+    "quantization_snr_db",
+    "fit_frac_bits_from_stats",
+    "rowwise_fit_frac_bits",
+    "rowwise_quantize",
+]
 
 
 @dataclass(frozen=True)
@@ -106,6 +112,75 @@ class FixedPointFormat:
             frac_bits -= 1
             fmt = cls(total_bits, frac_bits)
         return fmt
+
+
+def fit_frac_bits_from_stats(
+    peak: float, vmin: float, total_bits: int
+) -> int:
+    """``FixedPointFormat.fit`` from range statistics alone, bit-exactly.
+
+    ``peak`` is ``max |x|`` and ``vmin`` is ``min x`` over the values the
+    format must hold.  The overflow guard in :meth:`FixedPointFormat.fit`
+    triggers exactly when the most negative value rounds at or below
+    ``min_int`` (positive overflow saturates to ``max_int`` and never
+    trips the ``|code| > max_int`` check), so the whole fit reduces to
+    scalar arithmetic on ``(peak, vmin)`` — the basis of the format caches
+    that avoid re-scanning unchanged arrays.
+    """
+    if peak == 0.0:
+        return total_bits - 1
+    frac_bits = int(np.floor(total_bits - 1 - np.log2(peak) - 1e-12))
+    min_int = -(2 ** (total_bits - 1))
+    while np.rint(vmin * 2.0**frac_bits) <= min_int:
+        frac_bits -= 1
+    return frac_bits
+
+
+def rowwise_fit_frac_bits(values: np.ndarray, total_bits: int) -> np.ndarray:
+    """Vectorized per-row :meth:`FixedPointFormat.fit` over the leading axis.
+
+    ``values`` has shape ``(R, ...)``; returns an int64 ``(R,)`` array where
+    entry ``r`` equals ``FixedPointFormat.fit(values[r], total_bits).frac_bits``
+    bit-exactly (same initial estimate, same boundary guard).
+    """
+    flat = np.asarray(values, dtype=np.float64).reshape(len(values), -1)
+    if flat.shape[1] == 0:
+        raise QuantizationError("cannot fit a format to an empty array")
+    vmax = flat.max(axis=1)
+    vmin = flat.min(axis=1)
+    peak = np.maximum(vmax, -vmin)
+    nonzero = peak > 0.0
+    frac = np.full(len(flat), total_bits - 1, dtype=np.int64)
+    if nonzero.any():
+        frac[nonzero] = np.floor(
+            total_bits - 1 - np.log2(peak[nonzero]) - 1e-12
+        ).astype(np.int64)
+    min_int = -(2 ** (total_bits - 1))
+    while True:
+        bad = nonzero & (np.rint(vmin * np.exp2(frac.astype(np.float64))) <= min_int)
+        if not bad.any():
+            return frac
+        frac = frac - bad.astype(np.int64)
+
+
+def rowwise_quantize(
+    values: np.ndarray, frac_bits: np.ndarray, total_bits: int
+) -> np.ndarray:
+    """Per-row grid projection matching ``FixedPointFormat.quantize``.
+
+    ``frac_bits[r]`` applies to ``values[r]``.  Skips the int64 round-trip of
+    :meth:`FixedPointFormat.to_int`/``from_int`` — ``rint`` already yields
+    integral floats below 2**53, so clip-and-divide lands on identical bytes.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    scale = np.exp2(frac_bits.astype(np.float64)).reshape(
+        (len(frac_bits),) + (1,) * (values.ndim - 1)
+    )
+    out = values * scale
+    np.rint(out, out=out)
+    np.clip(out, -(2 ** (total_bits - 1)), 2 ** (total_bits - 1) - 1, out=out)
+    out /= scale
+    return out
 
 
 def quantization_snr_db(values: np.ndarray, fmt: FixedPointFormat) -> float:

@@ -14,11 +14,12 @@ import numpy as np
 
 from repro.asr.pipeline import PreparedDataset, evaluate_per
 from repro.hw.activation import PiecewiseLinearActivation, pwl_sigmoid, pwl_tanh
-from repro.hw.fixed_point import FixedPointFormat
+from repro.hw.fixed_point import FixedPointFormat, fit_frac_bits_from_stats
 from repro.nn.autograd import Tensor
 from repro.nn.rnn import StackedRNNClassifier
 
 __all__ = [
+    "FitStatsCache",
     "quantize_state",
     "quantized_copy",
     "apply_pwl_activations",
@@ -27,14 +28,57 @@ __all__ = [
 ]
 
 
+class FitStatsCache:
+    """Range statistics of a fixed set of parameters, scanned once.
+
+    :meth:`FixedPointFormat.fit` is fully determined by ``max |x|`` and
+    ``min x`` (see :func:`fit_frac_bits_from_stats`), so re-quantizing the
+    *same* trained state at several bit widths — exactly what
+    :func:`quantization_sweep` does — only needs one min/max pass per
+    parameter, not one per ``(parameter, bits)`` pair.  Entries are keyed
+    on parameter name and shape; the caller guarantees the values
+    themselves are unchanged between uses (one cache per trained model).
+    """
+
+    def __init__(self) -> None:
+        self._stats: dict[tuple[str, tuple[int, ...]], tuple[float, float]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def fit(self, name: str, values: np.ndarray, bits: int) -> FixedPointFormat:
+        """``FixedPointFormat.fit(values, bits)``, stats memoized by name."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return FixedPointFormat.fit(values, bits)  # raises, like uncached
+        key = (name, values.shape)
+        stats = self._stats.get(key)
+        if stats is None:
+            self.misses += 1
+            stats = (float(np.max(np.abs(values))), float(values.min()))
+            self._stats[key] = stats
+        else:
+            self.hits += 1
+        peak, vmin = stats
+        return FixedPointFormat(bits, fit_frac_bits_from_stats(peak, vmin, bits))
+
+
 def quantize_state(
-    state: dict[str, np.ndarray], bits: int
+    state: dict[str, np.ndarray],
+    bits: int,
+    fit_cache: FitStatsCache | None = None,
 ) -> tuple[dict[str, np.ndarray], dict[str, FixedPointFormat]]:
-    """Quantize a state dict; returns new state and the per-parameter formats."""
+    """Quantize a state dict; returns new state and the per-parameter formats.
+
+    ``fit_cache`` (optional) reuses range statistics across repeat calls on
+    the same state — byte-identical to refitting from scratch.
+    """
     quantized: dict[str, np.ndarray] = {}
     formats: dict[str, FixedPointFormat] = {}
     for name, values in state.items():
-        fmt = FixedPointFormat.fit(values, bits)
+        if fit_cache is not None:
+            fmt = fit_cache.fit(name, values, bits)
+        else:
+            fmt = FixedPointFormat.fit(values, bits)
         quantized[name] = fmt.quantize(values)
         formats[name] = fmt
     return quantized, formats
@@ -70,12 +114,13 @@ def quantized_copy(
     model: StackedRNNClassifier,
     weight_bits: int,
     pwl_segments: int | None = None,
+    fit_cache: FitStatsCache | None = None,
 ) -> StackedRNNClassifier:
     """Fixed-point copy of a trained model (weights, optionally activations)."""
     copy = StackedRNNClassifier(
         model.spec, structured=model.structured, rng=np.random.default_rng(0)
     )
-    quantized, _ = quantize_state(model.state_dict(), weight_bits)
+    quantized, _ = quantize_state(model.state_dict(), weight_bits, fit_cache)
     copy.load_state_dict(quantized)
     if pwl_segments is not None:
         apply_pwl_activations(copy, pwl_segments)
@@ -104,9 +149,15 @@ def quantization_sweep(
     bits_list: tuple[int, ...] = (16, 14, 12, 10, 8, 6),
     pwl_segments: int | None = 16,
 ) -> dict[int, float]:
-    """PER at each candidate bit width (weights + inputs + PWL activations)."""
+    """PER at each candidate bit width (weights + inputs + PWL activations).
+
+    One :class:`FitStatsCache` spans the whole sweep: the trained state is
+    range-scanned once and every bit width derives its formats from the
+    cached statistics (byte-identical to refitting per width).
+    """
     results: dict[int, float] = {}
+    fit_cache = FitStatsCache()
     for bits in bits_list:
-        quantized = quantized_copy(model, bits, pwl_segments)
+        quantized = quantized_copy(model, bits, pwl_segments, fit_cache)
         results[bits] = evaluate_per(quantized, quantized_dataset(dataset, bits))
     return results

@@ -24,6 +24,7 @@ Gradients are verified against central finite differences in
 from __future__ import annotations
 
 import contextlib
+import threading
 from collections.abc import Callable, Iterable, Sequence
 
 import numpy as np
@@ -40,23 +41,30 @@ __all__ = [
     "gradcheck",
 ]
 
-_grad_enabled = True
+# Grad mode is per-thread (like torch): the parallel evaluation paths run
+# inference in worker threads while another thread may be mid-training, so
+# a process-global flag would let one thread's no_grad() silently drop the
+# other's gradients.
+_grad_state = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager that disables graph construction (inference mode)."""
-    global _grad_enabled
-    previous = _grad_enabled
-    _grad_enabled = False
+    """Context manager that disables graph construction (inference mode).
+
+    Scoped to the current thread; worker threads start with grad enabled
+    and must enter their own ``no_grad()`` for inference.
+    """
+    previous = is_grad_enabled()
+    _grad_state.enabled = False
     try:
         yield
     finally:
-        _grad_enabled = previous
+        _grad_state.enabled = previous
 
 
 def is_grad_enabled() -> bool:
-    return _grad_enabled
+    return getattr(_grad_state, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -81,7 +89,7 @@ class Tensor:
 
     def __init__(self, data, requires_grad: bool = False):
         self.data = np.asarray(data, dtype=np.float64)
-        self.requires_grad = bool(requires_grad) and _grad_enabled
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
@@ -97,7 +105,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         out = cls(data)
-        if _grad_enabled and any(p.requires_grad for p in parents):
+        if is_grad_enabled() and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(parents)
             out._backward = backward

@@ -1,0 +1,38 @@
+"""Threaded PER evaluation returns exactly the serial corpus PER."""
+
+import numpy as np
+
+from repro.asr.pipeline import evaluate_per
+from repro.config import RNNSpec
+from repro.nn.rnn import StackedRNNClassifier
+
+
+class TestParallelEvaluatePer:
+    def test_workers_do_not_change_per(self, trained_dense, micro_datasets):
+        _, test = micro_datasets
+        serial = evaluate_per(trained_dense, test, batch_size=2)
+        for workers in (2, 4):
+            assert (
+                evaluate_per(trained_dense, test, batch_size=2, workers=workers)
+                == serial
+            )
+
+    def test_workers_one_is_serial(self, trained_dense, micro_datasets):
+        _, test = micro_datasets
+        assert evaluate_per(
+            trained_dense, test, batch_size=2, workers=1
+        ) == evaluate_per(trained_dense, test, batch_size=2)
+
+    def test_untrained_structured_model(self, micro_datasets):
+        """The emulator-adjacent path: structured weights, random init."""
+        train, _ = micro_datasets
+        spec = RNNSpec(
+            "lstm", train.feature_dim, (16,), len(train.phone_set),
+            block_sizes=(4,),
+        )
+        model = StackedRNNClassifier(
+            spec, structured=True, rng=np.random.default_rng(0)
+        )
+        serial = evaluate_per(model, train, batch_size=4)
+        threaded = evaluate_per(model, train, batch_size=4, workers=3)
+        assert serial == threaded

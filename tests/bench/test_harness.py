@@ -1,0 +1,99 @@
+"""The shared benchmark harness: timing core, registry, artifact format."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchResult,
+    TimingStats,
+    benchmark_names,
+    run_benchmarks,
+    time_callable,
+    write_result,
+)
+from repro.errors import ConfigError
+
+
+class TestTimeCallable:
+    def test_counts_and_stats(self):
+        calls = []
+        stats = time_callable(lambda: calls.append(1), warmup=2, repeats=5)
+        assert len(calls) == 7
+        assert stats.repeats == 5 and len(stats.times_s) == 5
+        assert stats.best_s <= stats.median_s
+        assert stats.best_s <= stats.mean_s
+        assert all(t >= 0 for t in stats.times_s)
+
+    def test_setup_runs_outside_timing(self):
+        order = []
+        time_callable(
+            lambda: order.append("fn"),
+            warmup=1,
+            repeats=2,
+            setup=lambda: order.append("setup"),
+        )
+        assert order == ["setup", "fn", "setup", "fn", "setup", "fn"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            time_callable(lambda: None, warmup=-1)
+        with pytest.raises(ConfigError):
+            time_callable(lambda: None, repeats=0)
+
+    def test_median_odd(self):
+        stats = TimingStats(warmup=0, repeats=3, times_s=(3.0, 1.0, 2.0))
+        assert stats.median_s == 2.0
+        assert stats.best_s == 1.0
+
+
+class TestRegistry:
+    def test_builtin_suites_registered(self):
+        names = benchmark_names()
+        for expected in (
+            "emulator_forward",
+            "fft_matvec",
+            "spectral_matvec",
+            "engine_cache",
+            "quantize_state",
+            "per_eval",
+        ):
+            assert expected in names
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError, match="unknown benchmark"):
+            run_benchmarks(["no-such-suite"])
+
+    def test_quick_suite_runs(self):
+        (result,) = run_benchmarks(["quantize_state"], quick=True)
+        assert result.name == "quantize_state"
+        assert result.quick
+        assert result.metrics["speedup"] > 0
+        assert set(result.timings) == {"refit_every_width", "stats_cache"}
+
+
+class TestArtifacts:
+    def test_write_result_schema(self, tmp_path):
+        result = BenchResult("demo", metrics={"speedup": 2.0}, notes="n")
+        result.add_timing(
+            "fast", TimingStats(warmup=1, repeats=2, times_s=(0.1, 0.2))
+        )
+        path = write_result(result, tmp_path)
+        assert path.name == "BENCH_demo.json"
+        payload = json.loads(path.read_text())
+        assert payload["name"] == "demo"
+        assert payload["metrics"]["speedup"] == 2.0
+        assert payload["timings"]["fast"]["repeats"] == 2
+        assert payload["timings"]["fast"]["median_s"] == pytest.approx(0.15)
+        assert payload["timings"]["fast"]["times_s"] == [0.1, 0.2]
+        assert "python" in payload["environment"]
+        assert "cpus" in payload["environment"]
+        assert payload["created_unix"] > 0
+
+    def test_describe_mentions_timings_and_metrics(self):
+        result = BenchResult("demo", metrics={"speedup": 2.0})
+        result.add_timing(
+            "fast", TimingStats(warmup=0, repeats=1, times_s=(0.5,))
+        )
+        text = result.describe()
+        assert "demo" in text and "fast" in text and "speedup" in text

@@ -1,0 +1,73 @@
+"""The shared executor helper: ordering, modes, and error propagation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.parallel import EXECUTION_MODES, map_ordered, resolve_workers
+from repro.errors import ConfigError
+
+
+class TestMapOrdered:
+    def test_serial_order(self):
+        assert map_ordered(lambda v: v * 2, range(5)) == [0, 2, 4, 6, 8]
+
+    def test_thread_results_match_serial(self):
+        jobs = list(range(20))
+
+        def work(v):
+            time.sleep(0.001 * (20 - v))  # later jobs finish first
+            return v * v
+
+        serial = map_ordered(work, jobs, mode="serial")
+        threaded = map_ordered(work, jobs, mode="thread", workers=8)
+        assert threaded == serial
+
+    def test_thread_actually_uses_pool(self):
+        seen = set()
+
+        def work(_):
+            seen.add(threading.current_thread().name)
+            time.sleep(0.005)
+
+        map_ordered(work, range(8), mode="thread", workers=4)
+        assert len(seen) > 1
+
+    def test_single_job_skips_pool(self):
+        main = threading.current_thread().name
+        names = map_ordered(
+            lambda _: threading.current_thread().name, [0], mode="thread"
+        )
+        assert names == [main]
+
+    def test_exceptions_propagate(self):
+        def boom(v):
+            if v == 3:
+                raise ValueError("job 3")
+            return v
+
+        with pytest.raises(ValueError, match="job 3"):
+            map_ordered(boom, range(6), mode="thread", workers=2)
+        with pytest.raises(ValueError, match="job 3"):
+            map_ordered(boom, range(6), mode="serial")
+
+    def test_bad_mode(self):
+        with pytest.raises(ConfigError):
+            map_ordered(lambda v: v, [1, 2], mode="fork")
+
+    def test_modes_constant(self):
+        assert EXECUTION_MODES == ("serial", "thread", "process")
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self):
+        assert resolve_workers(7, jobs=2) == 7
+
+    def test_defaults_to_min(self):
+        assert resolve_workers(None, jobs=2, default=4) == 2
+        assert resolve_workers(None, jobs=100, default=4) == 4
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            resolve_workers(0, jobs=3)

@@ -1,0 +1,81 @@
+"""Speculative Phase-I block-sweep trials: identical result, parallel walk."""
+
+import math
+import threading
+
+from repro.config import RNNSpec
+from repro.core.phase1 import PhaseIConfig, PhaseIOptimizer
+
+
+def paper_baseline():
+    return RNNSpec(
+        "lstm", 153, (1024, 1024), 39, peephole=True, projection_size=512
+    )
+
+
+def oracle(block_penalty=0.05, record=None):
+    def train(spec: RNNSpec) -> float:
+        if record is not None:
+            record.append(threading.current_thread().name)
+        per = 20.0
+        for block in spec.effective_block_sizes:
+            if block > 1:
+                per += block_penalty * math.log2(block)
+        if spec.io_block_size is not None:
+            per += 0.02 * math.log2(spec.io_block_size)
+        return per
+
+    return train
+
+
+def run(config: PhaseIConfig, trainer):
+    return PhaseIOptimizer(paper_baseline(), trainer, config).run(
+        baseline_per=20.0
+    )
+
+
+class TestSpeculativeTrials:
+    def test_result_identical_to_serial(self):
+        serial = run(PhaseIConfig(accuracy_budget=0.4), oracle())
+        parallel = run(
+            PhaseIConfig(accuracy_budget=0.4, speculative_workers=4), oracle()
+        )
+        assert parallel.final_spec == serial.final_spec
+        assert parallel.final_per == serial.final_per
+        assert parallel.trials == serial.trials  # the log bytes, not just len
+
+    def test_result_identical_when_walk_goes_deep(self):
+        """A tight budget forces several walk-down steps."""
+        serial = run(
+            PhaseIConfig(accuracy_budget=0.25), oracle(block_penalty=0.04)
+        )
+        parallel = run(
+            PhaseIConfig(accuracy_budget=0.25, speculative_workers=8),
+            oracle(block_penalty=0.04),
+        )
+        assert parallel.trials == serial.trials
+        assert parallel.final_spec == serial.final_spec
+
+    def test_trainer_runs_in_pool(self):
+        record: list[str] = []
+        run(
+            PhaseIConfig(accuracy_budget=0.4, speculative_workers=4),
+            oracle(record=record),
+        )
+        assert any("ThreadPool" in name for name in record)
+
+    def test_workers_one_stays_serial(self):
+        record: list[str] = []
+        run(
+            PhaseIConfig(accuracy_budget=0.4, speculative_workers=1),
+            oracle(record=record),
+        )
+        assert all("ThreadPool" not in name for name in record)
+
+    def test_invalid_workers_rejected(self):
+        import pytest
+
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            PhaseIConfig(speculative_workers=0)

@@ -61,6 +61,42 @@ class TestAccuracy:
         assert pwl_tanh(128).max_error(np.tanh) < 1e-3
 
 
+class TestInterpContract:
+    """The slope-table evaluation against the np.interp reference."""
+
+    @staticmethod
+    def _interp_reference(pwl, x):
+        inside = np.interp(x, pwl.breakpoints, pwl.values)
+        result = np.where(x < pwl.breakpoints[0], pwl.saturate_low, inside)
+        return np.where(x > pwl.breakpoints[-1], pwl.saturate_high, result)
+
+    def test_identical_away_from_breakpoints(self):
+        rng = np.random.default_rng(0)
+        for pwl in (pwl_sigmoid(16), pwl_tanh(64)):
+            x = rng.uniform(-12, 12, 50_000)
+            assert np.array_equal(pwl(x), self._interp_reference(pwl, x))
+
+    def test_exact_breakpoints_and_saturation(self):
+        for pwl in (pwl_sigmoid(16), pwl_tanh(16)):
+            x = np.concatenate(
+                [pwl.breakpoints, [pwl.breakpoints[0] - 5, pwl.breakpoints[-1] + 5]]
+            )
+            assert np.array_equal(pwl(x), self._interp_reference(pwl, x))
+
+    def test_within_one_ulp_at_breakpoint_neighbours(self):
+        """Arithmetic segment selection may pick the adjacent segment for
+        inputs one ULP from a breakpoint; continuity bounds the value gap."""
+        for pwl in (pwl_sigmoid(16), pwl_tanh(64)):
+            x = np.concatenate([
+                np.nextafter(pwl.breakpoints, -np.inf),
+                np.nextafter(pwl.breakpoints, np.inf),
+            ])
+            got = pwl(x)
+            want = self._interp_reference(pwl, x)
+            gap = np.abs(got - want)
+            assert np.all(gap <= np.spacing(np.abs(want)) + np.spacing(1.0))
+
+
 class TestResources:
     def test_no_dsp_no_bram(self):
         resources = pwl_sigmoid(16).resources()

@@ -1,0 +1,151 @@
+"""Bit-exactness of the batched emulator against the per-frame oracle.
+
+The batched (layer-major, hoisted input products) and per-frame
+(frame-major, one matvec per matrix) execution strategies must produce
+*byte-identical* logits — quantization tolerance is not tolerated here,
+because the batched path claims to be the same computation, not a close
+one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import RNNSpec
+from repro.hw.emulator import CUEmulator, SpectralWeights
+from repro.nn.circulant_layer import CirculantLinear
+from repro.nn.rnn import StackedRNNClassifier
+
+
+def _emulator(spec: RNNSpec, bits: int = 12) -> CUEmulator:
+    model = StackedRNNClassifier(spec, structured=True,
+                                 rng=np.random.default_rng(0))
+    return CUEmulator(model, weight_bits=bits)
+
+
+SPECS = {
+    "lstm": RNNSpec("lstm", 20, (64,), 10, block_sizes=(8,)),
+    "lstm-stack": RNNSpec("lstm", 20, (64, 32), 10, block_sizes=(8, 8)),
+    "lstm-peep-proj": RNNSpec(
+        "lstm", 20, (64,), 10, block_sizes=(8,),
+        peephole=True, projection_size=32,
+    ),
+    "gru": RNNSpec("gru", 20, (64,), 10, block_sizes=(8,)),
+    "gru-stack": RNNSpec("gru", 20, (64, 32), 10, block_sizes=(8, 4)),
+}
+
+
+class TestBatchedEqualsPerFrame:
+    @pytest.mark.parametrize("name", sorted(SPECS))
+    @pytest.mark.parametrize("batch", [1, 8])
+    def test_byte_identical_logits(self, name, batch):
+        emulator = _emulator(SPECS[name])
+        x = np.random.default_rng(9).standard_normal((25, batch, 20))
+        batched = emulator.forward(x)
+        reference = emulator.forward_reference(x)
+        assert batched.shape == reference.shape
+        assert batched.dtype == reference.dtype
+        assert np.array_equal(batched, reference)
+
+    @pytest.mark.parametrize("bits", [6, 12, 16])
+    def test_byte_identical_across_bit_widths(self, bits):
+        emulator = _emulator(SPECS["lstm-peep-proj"], bits=bits)
+        x = np.random.default_rng(3).standard_normal((12, 4, 20))
+        assert np.array_equal(
+            emulator.forward(x), emulator.forward_reference(x)
+        )
+
+    def test_single_frame(self):
+        emulator = _emulator(SPECS["gru"])
+        x = np.random.default_rng(1).standard_normal((1, 3, 20))
+        assert np.array_equal(
+            emulator.forward(x), emulator.forward_reference(x)
+        )
+
+    def test_shape_validation_matches(self):
+        emulator = _emulator(SPECS["lstm"])
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            emulator.forward(np.zeros((4, 20)))
+        with pytest.raises(ConfigError):
+            emulator.forward_reference(np.zeros((4, 20)))
+
+
+class TestSpectralWeightsVariants:
+    """matvec_step and matvec_frames against the oracle matvec."""
+
+    @pytest.mark.parametrize(
+        "in_features,out_features,block,bits,batch",
+        [
+            (153, 128, 8, 12, 8),   # padded input width
+            (16, 16, 4, 12, 1),     # B=1 (the GEMM's degenerate shape)
+            (32, 64, 8, 6, 3),      # coarse quantization
+            (24, 24, 8, 16, 8),     # wide words
+        ],
+    )
+    def test_all_variants_byte_identical(
+        self, rng, in_features, out_features, block, bits, batch
+    ):
+        layer = CirculantLinear(
+            in_features, out_features, block_size=block, bias=False, rng=rng
+        )
+        weights = SpectralWeights.from_layer(layer, bits)
+        x = rng.standard_normal((7, batch, in_features)) * 3
+        per_frame = np.stack([weights.matvec(x[t], bits) for t in range(7)])
+        stepped = np.stack([weights.matvec_step(x[t], bits) for t in range(7)])
+        hoisted = weights.matvec_frames(x, bits)
+        assert np.array_equal(per_frame, stepped)
+        assert np.array_equal(per_frame, hoisted)
+
+    def test_matvec_frames_rejects_2d(self, rng):
+        layer = CirculantLinear(8, 8, block_size=4, bias=False, rng=rng)
+        weights = SpectralWeights.from_layer(layer, 12)
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            weights.matvec_frames(np.zeros((3, 8)), 12)
+
+    def test_width_check_consistent(self, rng):
+        layer = CirculantLinear(8, 8, block_size=4, bias=False, rng=rng)
+        weights = SpectralWeights.from_layer(layer, 12)
+        from repro.errors import ConfigError
+
+        for call in (
+            lambda: weights.matvec(np.zeros((1, 7)), 12),
+            lambda: weights.matvec_step(np.zeros((1, 7)), 12),
+            lambda: weights.matvec_frames(np.zeros((2, 1, 7)), 12),
+        ):
+            with pytest.raises(ConfigError):
+                call()
+
+
+class TestSeedBaselineAgreement:
+    """The frozen benchmark baselines still compute today's numbers."""
+
+    def test_seed_emulator_matches_current(self):
+        from repro.bench.baselines import seed_emulator_forward
+
+        emulator = _emulator(SPECS["lstm-peep-proj"])
+        x = np.random.default_rng(4).standard_normal((10, 4, 20))
+        assert np.array_equal(
+            seed_emulator_forward(emulator, x), emulator.forward(x)
+        )
+
+    def test_seed_emulator_matches_current_gru(self):
+        from repro.bench.baselines import seed_emulator_forward
+
+        emulator = _emulator(SPECS["gru-stack"])
+        x = np.random.default_rng(5).standard_normal((10, 2, 20))
+        assert np.array_equal(
+            seed_emulator_forward(emulator, x), emulator.forward(x)
+        )
+
+    def test_seed_matvec_matches_current(self, rng):
+        from repro.bench.baselines import seed_matvec
+
+        layer = CirculantLinear(32, 64, block_size=8, bias=False, rng=rng)
+        weights = SpectralWeights.from_layer(layer, 12)
+        x = rng.standard_normal((5, 32))
+        assert np.array_equal(
+            seed_matvec(weights, x, 12), weights.matvec(x, 12)
+        )

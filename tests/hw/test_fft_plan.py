@@ -1,0 +1,127 @@
+"""FFT plan cache: cached and cold transforms are byte-identical."""
+
+import numpy as np
+import pytest
+
+from repro.hw import fft_fixed
+from repro.hw.fft_fixed import (
+    FixedPointFFT,
+    clear_plan_cache,
+    fixed_point_circulant_matvec,
+    get_plan,
+    plan_cache_info,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_plan_cache()
+    fft_fixed._SPECTRUM_CACHE.clear()
+    yield
+    clear_plan_cache()
+    fft_fixed._SPECTRUM_CACHE.clear()
+
+
+class TestPlanCache:
+    @pytest.mark.parametrize("size", [4, 16, 64, 256])
+    @pytest.mark.parametrize("bits", [6, 12, 24])
+    def test_cold_and_warm_spectra_identical(self, size, bits):
+        x = np.random.default_rng(size + bits).uniform(-2, 2, (5, size))
+        cold = FixedPointFFT(size, bits).forward(x)
+        assert plan_cache_info()["misses"] == 1
+        warm = FixedPointFFT(size, bits).forward(x)
+        assert plan_cache_info()["hits"] >= 1
+        assert np.array_equal(cold, warm)
+
+    def test_plans_keyed_on_config(self):
+        get_plan(16, 12)
+        get_plan(16, 12)
+        get_plan(16, 8)
+        get_plan(32, 12)
+        get_plan(16, 12, twiddle_bits=10)
+        info = plan_cache_info()
+        assert info["plans"] == 4
+        assert info["hits"] == 1
+        assert info["misses"] == 4
+
+    def test_plan_tables_match_formulas(self):
+        """The plan ROMs hold exactly what the unplanned code rebuilt."""
+        plan = get_plan(16, 12)
+        fft = FixedPointFFT(16, 12)
+        k = np.arange(8)
+        exact = np.exp(-2j * np.pi * k / 16)
+        fmt = fft._twiddle_format()
+        expected = fmt.quantize(exact.real) + 1j * fmt.quantize(exact.imag)
+        assert np.array_equal(plan.twiddles, expected)
+        # Bit reversal of 0..15 over 4 stages.
+        expected_rev = [int(f"{i:04b}"[::-1], 2) for i in range(16)]
+        assert plan.bit_reversal.tolist() == expected_rev
+        assert len(plan.stage_twiddles) == plan.stages == 4
+        half = 1
+        for w in plan.stage_twiddles:
+            assert np.array_equal(
+                w, plan.twiddles[np.arange(half) * (16 // (2 * half))]
+            )
+            half *= 2
+
+    def test_plan_tables_read_only(self):
+        plan = get_plan(8, 12)
+        with pytest.raises(ValueError):
+            plan.twiddles[0] = 0
+        with pytest.raises(ValueError):
+            plan.bit_reversal[0] = 1
+
+    def test_clear_resets_counters(self):
+        get_plan(8, 12)
+        clear_plan_cache()
+        assert plan_cache_info() == {"plans": 0, "hits": 0, "misses": 0}
+
+
+class TestSpectrumCache:
+    def test_matvec_cached_and_cold_identical(self):
+        rng = np.random.default_rng(7)
+        w, x = rng.uniform(-1, 1, 16), rng.uniform(-1, 1, 16)
+        cold = fixed_point_circulant_matvec(w, x, 12)
+        assert len(fft_fixed._SPECTRUM_CACHE) == 1
+        warm = fixed_point_circulant_matvec(w, x, 12)
+        assert np.array_equal(cold, warm)
+
+    def test_distinct_weights_distinct_entries(self):
+        rng = np.random.default_rng(7)
+        x = rng.uniform(-1, 1, 16)
+        fixed_point_circulant_matvec(rng.uniform(-1, 1, 16), x, 12)
+        fixed_point_circulant_matvec(rng.uniform(-1, 1, 16), x, 12)
+        assert len(fft_fixed._SPECTRUM_CACHE) == 2
+
+    def test_eviction_bounds_the_cache(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, 8)
+        for _ in range(fft_fixed._SPECTRUM_CACHE_MAX + 10):
+            fixed_point_circulant_matvec(rng.uniform(-1, 1, 8), x, 12)
+        assert len(fft_fixed._SPECTRUM_CACHE) <= fft_fixed._SPECTRUM_CACHE_MAX
+
+    def test_seed_baseline_matches_current(self):
+        from repro.bench.baselines import seed_circulant_matvec
+
+        rng = np.random.default_rng(3)
+        for size in (8, 32):
+            for bits in (6, 12, 16):
+                w, x = rng.uniform(-1, 1, size), rng.uniform(-1, 1, size)
+                assert np.array_equal(
+                    fixed_point_circulant_matvec(w, x, bits),
+                    seed_circulant_matvec(w, x, bits),
+                ), (size, bits)
+
+
+class TestBatchedErrorSweep:
+    def test_max_error_vs_float_is_batched_and_sane(self):
+        fft = FixedPointFFT(16, bits=12)
+        error = fft.max_error_vs_float(trials=20)
+        assert 0 < error < 1e-2
+
+    def test_error_still_monotone_in_bits(self):
+        errors = [
+            FixedPointFFT(16, bits=bits).max_error_vs_float(trials=10)
+            for bits in (16, 12, 8)
+        ]
+        assert errors[0] < errors[1] < errors[2]

@@ -1,0 +1,63 @@
+"""FitStatsCache: cached re-quantization is byte-identical to refitting."""
+
+import numpy as np
+import pytest
+
+from repro.config import RNNSpec
+from repro.errors import QuantizationError
+from repro.hw.quantize import FitStatsCache, quantize_state, quantized_copy
+from repro.nn.rnn import StackedRNNClassifier
+
+
+@pytest.fixture(scope="module")
+def model_state():
+    spec = RNNSpec("lstm", 20, (32,), 10, block_sizes=(4,))
+    model = StackedRNNClassifier(spec, structured=True,
+                                 rng=np.random.default_rng(2))
+    return model, model.state_dict()
+
+
+class TestFitStatsCache:
+    def test_cached_equals_uncached_across_widths(self, model_state):
+        _, state = model_state
+        cache = FitStatsCache()
+        for bits in (16, 12, 8, 6):
+            cached_q, cached_f = quantize_state(state, bits, cache)
+            plain_q, plain_f = quantize_state(state, bits)
+            assert cached_f == plain_f
+            for name in plain_q:
+                assert np.array_equal(cached_q[name], plain_q[name]), (name, bits)
+
+    def test_stats_scanned_once(self, model_state):
+        _, state = model_state
+        cache = FitStatsCache()
+        quantize_state(state, 12, cache)
+        assert cache.misses == len(state)
+        assert cache.hits == 0
+        quantize_state(state, 8, cache)
+        quantize_state(state, 6, cache)
+        assert cache.misses == len(state)
+        assert cache.hits == 2 * len(state)
+
+    def test_shape_change_is_a_miss(self):
+        cache = FitStatsCache()
+        cache.fit("w", np.ones(4), 12)
+        cache.fit("w", np.ones(5), 12)
+        assert cache.misses == 2
+
+    def test_empty_still_raises(self):
+        cache = FitStatsCache()
+        with pytest.raises(QuantizationError):
+            cache.fit("w", np.zeros(0), 12)
+
+    def test_quantized_copy_with_cache(self, model_state):
+        model, _ = model_state
+        cache = FitStatsCache()
+        cached = quantized_copy(model, 12, fit_cache=cache)
+        plain = quantized_copy(model, 12)
+        for (name, a), (_, b) in zip(
+            sorted(cached.state_dict().items()),
+            sorted(plain.state_dict().items()),
+        ):
+            assert np.array_equal(a, b), name
+        assert cache.misses > 0

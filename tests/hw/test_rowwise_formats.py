@@ -1,0 +1,80 @@
+"""Vectorized format fitting must replicate the scalar fit bit-exactly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.hw.fixed_point import (
+    FixedPointFormat,
+    fit_frac_bits_from_stats,
+    rowwise_fit_frac_bits,
+    rowwise_quantize,
+)
+
+
+class TestRowwiseFit:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        bits=st.integers(4, 24),
+        scale_exp=st.integers(-8, 8),
+    )
+    def test_matches_scalar_fit(self, seed, bits, scale_exp):
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(-4, 4, size=(4, 9)) * 2.0**scale_exp
+        frac = rowwise_fit_frac_bits(values, bits)
+        for row in range(len(values)):
+            fmt = FixedPointFormat.fit(values[row], bits)
+            assert frac[row] == fmt.frac_bits
+            assert np.array_equal(
+                rowwise_quantize(values[row][None], frac[row : row + 1], bits)[0],
+                fmt.quantize(values[row]),
+            )
+
+    def test_negative_power_of_two_boundary(self):
+        """The guard case: the most negative value rounds onto -2^(b-1)."""
+        for exponent in (-3, 0, 5, 11):
+            values = np.array([[-(2.0**exponent), 2.0**exponent / 3]])
+            bits = 8
+            fmt = FixedPointFormat.fit(values[0], bits)
+            assert rowwise_fit_frac_bits(values, bits)[0] == fmt.frac_bits
+
+    def test_zero_row(self):
+        frac = rowwise_fit_frac_bits(np.zeros((2, 5)), 12)
+        assert frac.tolist() == [11, 11]
+
+    def test_mixed_rows(self):
+        values = np.stack([np.zeros(6), np.full(6, 100.0), np.full(6, 1e-3)])
+        frac = rowwise_fit_frac_bits(values, 12)
+        for row in range(3):
+            assert frac[row] == FixedPointFormat.fit(values[row], 12).frac_bits
+
+    def test_empty_raises(self):
+        with pytest.raises(QuantizationError):
+            rowwise_fit_frac_bits(np.zeros((3, 0)), 12)
+
+
+class TestFitFromStats:
+    @settings(max_examples=80, deadline=None)
+    @given(seed=st.integers(0, 10_000), bits=st.integers(4, 24))
+    def test_matches_scalar_fit(self, seed, bits):
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(-4, 4, size=17) * 10.0 ** rng.integers(-5, 5)
+        fmt = FixedPointFormat.fit(values, bits)
+        got = fit_frac_bits_from_stats(
+            float(np.max(np.abs(values))), float(values.min()), bits
+        )
+        assert got == fmt.frac_bits
+
+    def test_positive_only_never_trips_guard(self):
+        values = np.array([2.0**5 - 1e-9])
+        fmt = FixedPointFormat.fit(values, 8)
+        assert (
+            fit_frac_bits_from_stats(float(values[0]), float(values[0]), 8)
+            == fmt.frac_bits
+        )
+
+    def test_zero_peak(self):
+        assert fit_frac_bits_from_stats(0.0, 0.0, 12) == 11

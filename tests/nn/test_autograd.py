@@ -201,6 +201,33 @@ class TestGraphMechanics:
         d = a.detach()
         assert not d.requires_grad
 
+    def test_no_grad_is_thread_local(self, rng):
+        """One thread's inference mode must not drop another's gradients."""
+        import threading
+
+        a = _param(rng, 3)
+        entered = threading.Event()
+        release = threading.Event()
+        seen: dict[str, bool] = {}
+
+        def inference_worker():
+            with no_grad():
+                entered.set()
+                release.wait(timeout=5)
+                seen["worker"] = is_grad_enabled()
+
+        thread = threading.Thread(target=inference_worker)
+        thread.start()
+        assert entered.wait(timeout=5)
+        # The worker sits inside no_grad(); this thread must still build
+        # graphs.
+        assert is_grad_enabled()
+        out = (a * 2.0).sum()
+        assert out.requires_grad
+        release.set()
+        thread.join()
+        assert seen["worker"] is False
+
     def test_as_tensor_passthrough(self):
         t = Tensor([1.0])
         assert as_tensor(t) is t

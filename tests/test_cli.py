@@ -74,6 +74,37 @@ class TestReportCommands:
         assert "converges" in capsys.readouterr().out
 
 
+class TestBench:
+    def test_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "emulator_forward" in out and "fft_matvec" in out
+
+    def test_quick_suite_writes_artifact(self, capsys, tmp_path):
+        code = main([
+            "bench", "--quick", "--only", "quantize_state",
+            "--out-dir", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        artifact = tmp_path / "BENCH_quantize_state.json"
+        assert artifact.exists()
+        import json
+
+        assert json.loads(artifact.read_text())["quick"] is True
+
+    def test_no_json_skips_artifact(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--quick", "--only", "quantize_state",
+                     "--no-json"]) == 0
+        assert not list(tmp_path.glob("BENCH_*.json"))
+
+    def test_unknown_suite_is_an_error(self, capsys):
+        assert main(["bench", "--only", "nope"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
