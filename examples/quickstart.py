@@ -6,13 +6,15 @@ The five-minute tour of the library:
 2. train a dense LSTM acoustic model;
 3. compress it to block-circulant form with ADMM (the E-RNN flow);
 4. quantize to 12-bit fixed point with PWL activations;
-5. size the FPGA accelerator and print the implementation report.
+5. size the FPGA accelerator and print the implementation report;
+6. compile the compressed model and stream frames through a session.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
+from repro import runtime
 from repro.asr import (
     CorpusConfig,
     FeatureConfig,
@@ -20,7 +22,6 @@ from repro.asr import (
     PhoneSet,
     SyntheticTIMIT,
     TrainConfig,
-    evaluate_per,
     prepare_dataset,
     train_model,
 )
@@ -28,6 +29,7 @@ from repro.api import Design
 from repro.config import RNNSpec
 from repro.hw import quantized_copy, quantized_dataset
 from repro.nn import StackedRNNClassifier
+from repro.runtime import evaluate_per
 
 
 def main() -> None:
@@ -109,6 +111,23 @@ def main() -> None:
         f"{priced.latency_us:.2f} us/frame, {priced.fps:,.0f} FPS, "
         f"{priced.power_watts:.1f} W "
         f"({priced.energy_efficiency:,.0f} FPS/W)"
+    )
+
+    # ------------------------------------------------------------------
+    # 6. Deployment: compile to the fixed-point CU backend and stream an
+    #    utterance frame by frame (byte-identical to the batched run).
+    # ------------------------------------------------------------------
+    compiled = runtime.compile(
+        result.model, backend="fixed", weight_bits=12, phone_set=phones
+    )
+    utterance = test.features[0][:, None, :]  # (T, 1, D)
+    session = compiled.session()
+    streamed = np.stack([session.push(frame) for frame in utterance])
+    assert np.array_equal(streamed, compiled.run(utterance))
+    hypothesis = compiled.decoder().decode_utterance(streamed[:, 0])
+    print(
+        f"streamed {session.frames_pushed} frames through the CU emulator; "
+        f"decoded: {' '.join(hypothesis) or '(silence)'}"
     )
 
 

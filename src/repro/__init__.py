@@ -17,10 +17,23 @@ Quick start — the :mod:`repro.api` facade covers the whole flow::
     print(priced.latency_us, priced.fps)
     design.codegen("ernn_cu.c")            # the HLS flow, C source out
 
+Deployment — the :mod:`repro.runtime` layer runs what the build side
+produces, over pluggable backends (float nn graph, fixed-point CU
+emulation)::
+
+    from repro import runtime
+
+    compiled = runtime.compile(model, backend="fixed", weight_bits=12)
+    logits = compiled.run(features)         # batched (T, B, D) -> (T, B, C)
+    session = compiled.session()            # streaming, byte-identical
+    with compiled.serve() as server:        # micro-batched concurrent serving
+        posteriors = server.session().push(frame)
+
 The frozen spec types (:class:`RNNSpec`, :class:`AccelSpec`) remain the
 interchange values underneath; ``Design`` compiles to them via
-``.specs()``.  See README.md for the tour, ROADMAP.md for where the system
-is heading, and PAPER.md for the source paper's abstract.
+``.specs()``.  See README.md for the tour, docs/runtime.md for the serving
+walkthrough, ROADMAP.md for where the system is heading, and PAPER.md for
+the source paper's abstract.
 """
 
 from repro.config import AccelSpec, RNNSpec, is_power_of_two, validate_block_size
@@ -66,12 +79,30 @@ from repro.api import (
     register_platform,
 )
 
-__version__ = "1.1.0"
+# The runtime sits on top of nn/hw/asr and must import after them.
+from repro.runtime import (
+    BACKEND_REGISTRY,
+    CompiledModel,
+    Server,
+    Session,
+    compile_model,
+    register_backend,
+)
+from repro import runtime
+
+__version__ = "1.2.0"
 
 __all__ = [
     "Design",
     "Engine",
     "default_engine",
+    "runtime",
+    "compile_model",
+    "CompiledModel",
+    "Session",
+    "Server",
+    "BACKEND_REGISTRY",
+    "register_backend",
     "PLATFORM_REGISTRY",
     "CELL_REGISTRY",
     "ACTIVATION_REGISTRY",

@@ -218,6 +218,18 @@ class Engine:
             ),
         )
 
+    def compiled(self, fingerprint: str, build: Callable[[], Any]) -> Any:
+        """Memoize a :class:`repro.runtime.CompiledModel` by content hash.
+
+        ``fingerprint`` is the artifact's own content fingerprint (spec +
+        backend + options + weight bytes), so a retrained model never
+        collides with a stale artifact.  Shares the LRU, eviction policy
+        and hit/miss counters with the design/HLS verbs; the disk tier is
+        not used (runtime artifacts persist through
+        ``CompiledModel.save``/``compile(artifact_dir=...)`` instead).
+        """
+        return self._memoized(("compiled", fingerprint), build)
+
     # ------------------------------------------------------------------
     def contains(
         self,

@@ -1,26 +1,30 @@
-"""End-to-end ASR training/evaluation pipeline on the synthetic corpus.
+"""End-to-end ASR *training* pipeline on the synthetic corpus.
 
 Glues the substrates together the way the paper's experiments do: corpus →
 features + frame labels → stacked RNN training (optionally with an ADMM
-penalty) → framewise decoding → corpus PER.  The Table I/II rows and the
-Phase-I training trials all run through :func:`train_model` /
-:func:`evaluate_per`.
+penalty).  The Table I/II rows and the Phase-I training trials all run
+through :func:`train_model`.
+
+Evaluation (corpus PER, frame accuracy) lives in :mod:`repro.runtime` —
+metrics are computed through :class:`repro.runtime.CompiledModel`, so the
+same call scores the float model or the fixed-point CU emulation.  The
+old ``evaluate_per`` / ``evaluate_frame_accuracy`` names remain here as
+deprecated shims forwarding to the runtime with byte-identical results.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.asr.decoder import FrameDecoder
 from repro.asr.features import FeatureExtractor
-from repro.asr.metrics import corpus_error_rate
 from repro.asr.phones import PhoneSet
 from repro.asr.timit import Utterance
 from repro.core.admm import ADMMTrainer
 from repro.errors import TrainingError
-from repro.nn.autograd import no_grad
 from repro.nn.data import iterate_batches
 from repro.nn.loss import frame_accuracy, sequence_cross_entropy
 from repro.nn.optim import Adam, clip_grad_norm
@@ -166,53 +170,6 @@ def train_model(
     return history
 
 
-def _iter_eval_batches(dataset: PreparedDataset, batch_size: int):
-    """The deterministic evaluation batching (length-bucketed, unshuffled)."""
-    yield from iterate_batches(
-        dataset.features,
-        dataset.frame_labels,
-        batch_size,
-        rng=None,
-        bucket_by_length=True,
-    )
-
-
-def _forward_dataset(
-    model: StackedRNNClassifier,
-    dataset: PreparedDataset,
-    batch_size: int,
-):
-    """Yield (logits, batch) over the dataset without building graphs."""
-    with no_grad():
-        for batch in _iter_eval_batches(dataset, batch_size):
-            yield model(batch.features), batch
-
-
-def _score_batch(
-    model: StackedRNNClassifier,
-    decoder: FrameDecoder,
-    phone_set,
-    batch,
-) -> tuple[list[list[str]], list[list[str]]]:
-    """Forward + decode one batch → (hypotheses, references).
-
-    Enters ``no_grad`` itself: grad mode is thread-local, so a pool worker
-    cannot rely on the submitting thread's inference mode.
-    """
-    from repro.asr.decoder import collapse_repeats
-
-    with no_grad():
-        logits = model(batch.features)
-    hypotheses = decoder.decode_batch(logits.data, batch.lengths)
-    references = []
-    for b, length in enumerate(batch.lengths):
-        frame_refs = batch.labels[:length, b]
-        tokens = collapse_repeats(list(frame_refs))
-        phones = phone_set.decode(tokens)
-        references.append(decoder.reference(phones))
-    return hypotheses, references
-
-
 def evaluate_per(
     model: StackedRNNClassifier,
     dataset: PreparedDataset,
@@ -220,39 +177,28 @@ def evaluate_per(
     batch_size: int = 8,
     workers: int | None = None,
 ) -> float:
-    """Corpus phone error rate (percent) — the paper's accuracy metric.
+    """Corpus phone error rate — thin shim over :func:`repro.runtime.evaluate_per`.
 
-    Iteration order is deterministic (length-bucketed, no shuffling), but the
-    hypothesis/reference pairing is kept explicit by re-deriving references
-    from the decoded batch's *frame labels*, so PER is exact regardless of
-    bucketing.
-
-    ``workers`` > 1 scores batches through a thread pool (the forward pass
-    is numpy-heavy and releases the GIL in BLAS/FFT); results are gathered
-    in batch order, so the returned PER is identical to the serial path,
-    which streams batches one at a time.
+    .. deprecated::
+        Evaluation moved to the unified runtime (PR 4): call
+        :func:`repro.runtime.evaluate_per`, which accepts a raw model *or*
+        a :class:`repro.runtime.CompiledModel` (so the same call scores
+        the fixed-point hardware emulation).  This shim forwards with
+        identical semantics — PER values are byte-identical — and will be
+        removed once nothing imports it.
     """
-    decoder = decoder if decoder is not None else FrameDecoder(dataset.phone_set)
-    if workers is not None and workers > 1:
-        from repro.core.parallel import map_ordered
+    warnings.warn(
+        "repro.asr.pipeline.evaluate_per is deprecated; use "
+        "repro.runtime.evaluate_per (same signature, also accepts "
+        "CompiledModel artifacts)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.runtime.evaluate import evaluate_per as runtime_evaluate_per
 
-        scored = map_ordered(
-            lambda batch: _score_batch(model, decoder, dataset.phone_set, batch),
-            _iter_eval_batches(dataset, batch_size),
-            mode="thread",
-            workers=workers,
-        )
-    else:
-        scored = (
-            _score_batch(model, decoder, dataset.phone_set, batch)
-            for batch in _iter_eval_batches(dataset, batch_size)
-        )
-    references: list[list[str]] = []
-    hypotheses: list[list[str]] = []
-    for hyps, refs in scored:
-        hypotheses.extend(hyps)
-        references.extend(refs)
-    return corpus_error_rate(references, hypotheses)
+    return runtime_evaluate_per(
+        model, dataset, decoder=decoder, batch_size=batch_size, workers=workers
+    )
 
 
 def evaluate_frame_accuracy(
@@ -260,11 +206,20 @@ def evaluate_frame_accuracy(
     dataset: PreparedDataset,
     batch_size: int = 8,
 ) -> float:
-    """Framewise classification accuracy (diagnostic, not a paper metric)."""
-    total_correct = 0.0
-    total_frames = 0
-    for logits, batch in _forward_dataset(model, dataset, batch_size):
-        frames = batch.num_frames
-        total_correct += frame_accuracy(logits.data, batch.labels, batch.mask) * frames
-        total_frames += frames
-    return total_correct / total_frames
+    """Frame accuracy — thin shim over :func:`repro.runtime.evaluate_frame_accuracy`.
+
+    .. deprecated::
+        Use :func:`repro.runtime.evaluate_frame_accuracy`; this shim
+        forwards with identical results.
+    """
+    warnings.warn(
+        "repro.asr.pipeline.evaluate_frame_accuracy is deprecated; use "
+        "repro.runtime.evaluate_frame_accuracy",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.runtime.evaluate import (
+        evaluate_frame_accuracy as runtime_evaluate_frame_accuracy,
+    )
+
+    return runtime_evaluate_frame_accuracy(model, dataset, batch_size=batch_size)

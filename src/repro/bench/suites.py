@@ -290,7 +290,8 @@ def bench_per_eval(quick: bool) -> BenchResult:
     """Serial vs threaded batch PER evaluation on a synthetic corpus."""
     from repro.asr.features import FeatureConfig, FeatureExtractor
     from repro.asr.phones import PhoneSet
-    from repro.asr.pipeline import evaluate_per, prepare_dataset
+    from repro.asr.pipeline import prepare_dataset
+    from repro.runtime import evaluate_per
     from repro.asr.timit import CorpusConfig, SyntheticTIMIT
     from repro.config import RNNSpec
     from repro.nn.rnn import StackedRNNClassifier
@@ -345,4 +346,136 @@ def bench_per_eval(quick: bool) -> BenchResult:
         ),
     )
     _speedup(result, "speedup", "serial", "threads_4")
+    return result
+
+
+# ----------------------------------------------------------------------
+@register("runtime_session")
+def bench_runtime_session(quick: bool) -> BenchResult:
+    """Streaming vs batched vs micro-batched serving on the fixed backend.
+
+    Three ways to push the same frames through the CU emulation:
+
+    * ``single_session_per_frame`` — one width-1 :class:`repro.runtime.Session`
+      pushing frame by frame (the deployment latency path, and the
+      baseline the acceptance bar is measured against);
+    * ``batched_run`` — one hoisted ``CompiledModel.run`` over a
+      width-``S`` stream (the offline evaluation path);
+    * ``server_microbatched`` — ``S`` concurrent width-1 sessions through
+      the micro-batching :class:`repro.runtime.Server`, one client thread
+      each.
+
+    Before timing, every path is asserted byte-identical to its contract:
+    streaming ≡ batched ≡ ``CUEmulator.forward_reference``, and each
+    served stream ≡ its standalone session.  ``speedup_microbatch``
+    is (server total frames/s) / (single-session frames/s).
+    """
+    import threading
+
+    from repro.config import RNNSpec
+    from repro.nn.rnn import StackedRNNClassifier
+    from repro.runtime import compile as compile_model
+
+    if quick:
+        hidden, sessions, frames, repeats = 64, 8, 16, 2
+    else:
+        # The reproduction's TIMIT LSTM scale (paper's 1024 / 16 = 64),
+        # served to 16 concurrent callers.
+        hidden, sessions, frames, repeats = 64, 16, 60, 3
+    spec = RNNSpec(
+        cell_type="lstm", layer_sizes=(hidden,), block_sizes=(8,),
+        input_size=39, output_size=39,
+    )
+    model = StackedRNNClassifier(
+        spec, structured=True, rng=np.random.default_rng(0)
+    )
+    compiled = compile_model(model, backend="fixed", weight_bits=12)
+    streams = np.random.default_rng(1).standard_normal(
+        (sessions, frames, spec.input_size)
+    )
+    stacked = np.ascontiguousarray(streams.transpose(1, 0, 2))  # (T, S, D)
+
+    # -- byte-identity gates (a fast serving path that computes something
+    # else is a bug, not a result) -------------------------------------
+    batched = compiled.run(stacked)
+    session = compiled.session(batch_size=sessions)
+    streamed = np.stack([session.push(stacked[t]) for t in range(frames)])
+    assert np.array_equal(streamed, batched), "streaming != batched run"
+    reference = compiled.executor().emulator.forward_reference(stacked)
+    assert np.array_equal(batched, reference), "runtime != per-frame oracle"
+
+    single_outputs = [
+        np.stack([sess.push(frame) for frame in streams[s]])
+        for s, sess in (
+            (s, compiled.session()) for s in range(sessions)
+        )
+    ]
+
+    def serve_all(check: bool = False) -> None:
+        with compiled.serve(max_batch=sessions, max_delay_s=0.005) as server:
+            failures: list[str] = []
+
+            def client(index: int) -> None:
+                with server.session() as served:
+                    out = np.stack(
+                        [served.push(frame) for frame in streams[index]]
+                    )
+                if check and not np.array_equal(out, single_outputs[index]):
+                    failures.append(f"stream {index}")
+
+            threads = [
+                threading.Thread(target=client, args=(s,))
+                for s in range(sessions)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not failures, f"served bytes differ: {failures}"
+
+    serve_all(check=True)  # row-isolation contract, end to end
+
+    result = BenchResult(
+        "runtime_session",
+        quick=quick,
+        notes=(
+            f"LSTM-{hidden} block 8 fixed backend; {sessions} streams x "
+            f"{frames} frames; streaming/batched/served outputs asserted "
+            "byte-identical before timing"
+        ),
+        metrics={
+            "hidden": hidden,
+            "sessions": sessions,
+            "frames_per_stream": frames,
+            "weight_bits": 12,
+        },
+    )
+
+    def single_session_loop() -> None:
+        sess = compiled.session()
+        for frame in streams[0]:
+            sess.push(frame)
+
+    result.add_timing(
+        "single_session_per_frame",
+        time_callable(single_session_loop, warmup=1, repeats=repeats),
+    )
+    result.add_timing(
+        "batched_run",
+        time_callable(lambda: compiled.run(stacked), warmup=1, repeats=repeats),
+    )
+    result.add_timing(
+        "server_microbatched",
+        time_callable(serve_all, warmup=1, repeats=repeats),
+    )
+
+    single_fps = frames / result.timings["single_session_per_frame"].median_s
+    server_fps = (
+        sessions * frames / result.timings["server_microbatched"].median_s
+    )
+    batched_fps = sessions * frames / result.timings["batched_run"].median_s
+    result.metrics["single_session_fps"] = round(single_fps, 1)
+    result.metrics["server_fps"] = round(server_fps, 1)
+    result.metrics["batched_fps"] = round(batched_fps, 1)
+    result.metrics["speedup_microbatch"] = round(server_fps / single_fps, 2)
     return result

@@ -74,6 +74,24 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--bits", type=int, default=12)
 
 
+def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.runtime import BACKEND_REGISTRY
+
+    parser.add_argument(
+        "--backend", choices=BACKEND_REGISTRY.names(), default="fixed",
+        help="inference backend (default: fixed — the CU emulation)",
+    )
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="saved model checkpoint to compile; default: a "
+             "deterministically-initialized model from the spec flags",
+    )
+    parser.add_argument("--frames", type=int, default=64,
+                        help="frames per stream (default: 64)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="feature-synthesis seed (default: 0)")
+
+
 def _cmd_fit_check(args: argparse.Namespace) -> int:
     report = _design_from_args(args).fit_check()
     print(report.describe())
@@ -177,6 +195,135 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _compiled_from_args(args: argparse.Namespace):
+    """Build a :class:`repro.runtime.CompiledModel` from run/serve flags."""
+    from repro import runtime
+
+    if args.checkpoint:
+        from pathlib import Path
+
+        from repro.errors import ConfigError
+        from repro.nn.serialization import load_model
+
+        if not Path(args.checkpoint).is_file():
+            raise ConfigError(f"checkpoint {args.checkpoint} does not exist")
+        source = load_model(args.checkpoint)
+    else:
+        source = _design_from_args(args)
+    return runtime.compile(source, backend=args.backend, weight_bits=args.bits)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    compiled = _compiled_from_args(args)
+    print(compiled.describe())
+    rng = np.random.default_rng(args.seed)
+    features = rng.standard_normal(
+        (args.frames, args.batch, compiled.input_size)
+    )
+    start = time.perf_counter()
+    if args.stream:
+        session = compiled.session(batch_size=args.batch)
+        logits = np.stack([session.push(frame) for frame in features])
+        mode = "streamed (frame-by-frame session)"
+    else:
+        logits = compiled.run(features)
+        mode = "batched run"
+    elapsed = time.perf_counter() - start
+    total = args.frames * args.batch
+    print(
+        f"{mode}: {args.frames} frames x batch {args.batch} -> "
+        f"logits {logits.shape}"
+    )
+    print(
+        f"  {elapsed * 1e3:.2f} ms total, "
+        f"{elapsed / args.frames * 1e3:.3f} ms/frame, "
+        f"{total / elapsed:,.0f} frames/s"
+    )
+    print(f"  logits checksum {float(np.sum(logits)):+.6e}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+    import time
+
+    import numpy as np
+
+    compiled = _compiled_from_args(args)
+    print(compiled.describe())
+    rng = np.random.default_rng(args.seed)
+    streams = rng.standard_normal(
+        (args.sessions, args.frames, compiled.input_size)
+    )
+
+    expected = None
+    if args.selftest:
+        # The row-isolation contract, end to end: a served stream must be
+        # byte-identical to the same frames through a standalone session
+        # (checked per stream below) *and* to the batched run.
+        from repro.runtime import check_conformance
+
+        check_conformance(
+            compiled.executor(),
+            np.ascontiguousarray(streams.transpose(1, 0, 2)),
+        )
+        expected = [compiled.run(s[:, None, :])[:, 0] for s in streams]
+
+    outputs: list = [None] * args.sessions
+    server = compiled.serve(
+        max_batch=args.max_batch, max_delay_s=args.delay_ms / 1e3
+    )
+
+    def client(index: int) -> None:
+        with server.session() as session:
+            outputs[index] = np.stack(
+                [session.push(frame) for frame in streams[index]]
+            )
+
+    threads = [
+        threading.Thread(target=client, args=(index,))
+        for index in range(args.sessions)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    stats = server.stats()
+    server.close()
+
+    total = args.sessions * args.frames
+    print(
+        f"served {total} frames to {args.sessions} concurrent sessions in "
+        f"{elapsed * 1e3:.1f} ms ({total / elapsed:,.0f} frames/s)"
+    )
+    print(f"  {stats.describe()}")
+
+    if args.selftest:
+        mismatched = [
+            index
+            for index in range(args.sessions)
+            if not np.array_equal(outputs[index], expected[index])
+        ]
+        if mismatched:
+            print(
+                f"SELFTEST FAILED: served bytes differ on stream(s) "
+                f"{mismatched}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            "selftest ok: every served stream byte-identical to its "
+            "standalone batched run"
+        )
+    return 0
+
+
 def _cmd_table3(args: argparse.Namespace) -> int:
     from repro.experiments.table3 import format_comparison, run_table3
 
@@ -266,6 +413,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the persistent disk cache for this run",
     )
     explore.set_defaults(handler=_cmd_explore)
+
+    run = sub.add_parser(
+        "run",
+        help="compile a model and run inference (batched or streaming)",
+    )
+    _add_spec_arguments(run)
+    _add_runtime_arguments(run)
+    run.add_argument(
+        "--stream", action="store_true",
+        help="push frames through a stateful session instead of one "
+             "batched run (outputs are byte-identical either way)",
+    )
+    run.add_argument("--batch", type=int, default=1,
+                     help="stream width B (default: 1)")
+    # The fixed backend needs circulant weights: default run/serve demos to
+    # the paper's block size instead of a dense spec.
+    run.set_defaults(handler=_cmd_run, block=8)
+
+    serve = sub.add_parser(
+        "serve",
+        help="micro-batching server demo: concurrent sessions, one model",
+    )
+    _add_spec_arguments(serve)
+    _add_runtime_arguments(serve)
+    serve.add_argument("--sessions", type=int, default=8,
+                       help="concurrent client sessions (default: 8)")
+    serve.add_argument("--max-batch", type=int, default=16,
+                       help="rows coalesced per backend call (default: 16)")
+    serve.add_argument(
+        "--delay-ms", type=float, default=2.0,
+        help="micro-batching window in milliseconds (default: 2.0)",
+    )
+    serve.add_argument(
+        "--selftest", action="store_true",
+        help="verify backend conformance and that every served stream is "
+             "byte-identical to its standalone run; non-zero exit on "
+             "mismatch (used by CI)",
+    )
+    serve.set_defaults(handler=_cmd_serve, block=8)
 
     bench = sub.add_parser(
         "bench",

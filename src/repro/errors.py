@@ -45,3 +45,13 @@ class SchedulingError(ReproError):
 
 class DecodingError(ReproError):
     """A decoder received malformed posteriors or labels."""
+
+
+class SerializationError(ReproError, RuntimeError):
+    """A saved artifact has the wrong schema or version for this loader.
+
+    Subclasses :class:`RuntimeError` so schema/version mismatches fail
+    loudly even for callers that only guard against the standard hierarchy
+    — a checkpoint or compiled-model artifact must never be mis-loaded
+    across format revisions.
+    """

@@ -32,10 +32,10 @@ from repro.asr.phones import PhoneSet
 from repro.asr.pipeline import (
     PreparedDataset,
     TrainConfig,
-    evaluate_per,
     prepare_dataset,
     train_model,
 )
+from repro.runtime.evaluate import evaluate_per
 from repro.asr.timit import CorpusConfig, SyntheticTIMIT
 from repro.config import RNNSpec
 from repro.core.admm import ADMMConfig

@@ -448,6 +448,117 @@ class CUEmulator:
         return out
 
     # ------------------------------------------------------------------
+    # Streaming / serving surface (consumed by repro.runtime).
+    # ------------------------------------------------------------------
+    def initial_states(self, batch: int) -> list:
+        """Fresh zero hidden/cell state for a ``batch``-wide stream.
+
+        The returned structure is what :meth:`step` and :meth:`step_rows`
+        thread through the recurrence; treat it as opaque.
+        """
+        return self._initial_states(batch)
+
+    def step(self, frame: np.ndarray, states: list) -> tuple[np.ndarray, list]:
+        """One recurrent step: ``(B, D)`` frame + states → logits, new states.
+
+        Byte-identical to the corresponding frame of :meth:`forward` /
+        :meth:`forward_reference`: every product goes through the lean
+        :meth:`SpectralWeights.matvec_step` (proven byte-identical to the
+        oracle ``matvec``), the point-wise stages are shared verbatim, and
+        the classifier GEMM runs at the same per-frame shape.
+        """
+        frame = np.asarray(frame, dtype=np.float64)
+        if frame.ndim != 2:
+            raise ConfigError(f"expected a (B, D) frame, got {frame.shape}")
+        new_states = list(states)
+        value = frame
+        for index, entry in enumerate(self._layers):
+            if entry["cell_type"] == "lstm":
+                y_prev, c_prev = new_states[index]
+                wx = entry["w_x"].matvec_step(value, self.bits)
+                value, y_new, c_new = self._lstm_pointwise(
+                    entry, wx, y_prev, c_prev, self._mv_step
+                )
+                new_states[index] = (y_new, c_new)
+            else:
+                w_zr = entry["w_zr_x"].matvec_step(value, self.bits)
+                w_cx = entry["w_cx"].matvec_step(value, self.bits)
+                value, new_states[index] = self._gru_pointwise(
+                    entry, w_zr, w_cx, new_states[index], self._mv_step
+                )
+        logits = value @ self._classifier_w.T + self._classifier_b
+        return logits, new_states
+
+    def _mv_rows(self, weights: SpectralWeights, rows: np.ndarray) -> np.ndarray:
+        """Row-*isolated* spectral products: row ``r`` ≡ a batch-1 matvec.
+
+        Feeding ``(R, D)`` rows to :meth:`SpectralWeights.matvec_frames` as
+        ``R`` frames of batch 1 fits every data-dependent format over one
+        row only and runs each spectral MAC at the ``(bins, 1, q)`` GEMM
+        shape — exactly the shapes a standalone batch-1 :meth:`step`
+        produces, so the bytes cannot differ.
+        """
+        return weights.matvec_frames(rows[:, None, :], self.bits)[:, 0]
+
+    def step_rows(
+        self, frames: np.ndarray, row_states: list
+    ) -> tuple[np.ndarray, list]:
+        """Micro-batched step over ``R`` *independent* batch-1 streams.
+
+        ``frames`` is ``(R, D)``, ``row_states[r]`` a state produced by
+        ``initial_states(1)`` (or a previous step) for stream ``r``.  Row
+        ``r`` of the result is byte-identical to
+        ``step(frames[r:r+1], row_states[r])`` — the row-isolation contract
+        that lets :class:`repro.runtime.Server` coalesce concurrent session
+        pushes without perturbing any stream's bits.  FFTs, quantization
+        and the point-wise stages vectorize across rows (all element- or
+        row-independent); the shape-sensitive GEMMs run per row.
+        """
+        frames = np.asarray(frames, dtype=np.float64)
+        if frames.ndim != 2:
+            raise ConfigError(f"expected (R, D) rows, got {frames.shape}")
+        if len(frames) == 0:
+            raise ConfigError("step_rows needs at least one row")
+        rows = len(frames)
+        new_row_states: list[list] = [list(states) for states in row_states]
+        value = frames
+        for index, entry in enumerate(self._layers):
+            if entry["cell_type"] == "lstm":
+                y_prev = np.concatenate(
+                    [states[index][0] for states in row_states]
+                )
+                c_prev = np.concatenate(
+                    [states[index][1] for states in row_states]
+                )
+                wx = self._mv_rows(entry["w_x"], value)
+                value, y_new, c_new = self._lstm_pointwise(
+                    entry, wx, y_prev, c_prev, self._mv_rows
+                )
+                for r in range(rows):
+                    new_row_states[r][index] = (
+                        y_new[r : r + 1].copy(),
+                        c_new[r : r + 1].copy(),
+                    )
+            else:
+                c_prev = np.concatenate(
+                    [states[index] for states in row_states]
+                )
+                w_zr = self._mv_rows(entry["w_zr_x"], value)
+                w_cx = self._mv_rows(entry["w_cx"], value)
+                value, c_new = self._gru_pointwise(
+                    entry, w_zr, w_cx, c_prev, self._mv_rows
+                )
+                for r in range(rows):
+                    new_row_states[r][index] = c_new[r : r + 1].copy()
+        # Classifier per row: a (1, H) @ (H, C) GEMM matches the shape a
+        # standalone batch-1 step issues, keeping the reduction order pinned.
+        logits = np.concatenate(
+            [value[r : r + 1] @ self._classifier_w.T for r in range(rows)]
+        )
+        logits = logits + self._classifier_b
+        return logits, new_row_states
+
+    # ------------------------------------------------------------------
     def _check_inputs(self, inputs: np.ndarray) -> np.ndarray:
         inputs = np.asarray(inputs, dtype=np.float64)
         if inputs.ndim != 3:

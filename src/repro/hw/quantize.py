@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.asr.pipeline import PreparedDataset, evaluate_per
+from repro.asr.pipeline import PreparedDataset
 from repro.hw.activation import PiecewiseLinearActivation, pwl_sigmoid, pwl_tanh
 from repro.hw.fixed_point import FixedPointFormat, fit_frac_bits_from_stats
 from repro.nn.autograd import Tensor
@@ -154,7 +154,13 @@ def quantization_sweep(
     One :class:`FitStatsCache` spans the whole sweep: the trained state is
     range-scanned once and every bit width derives its formats from the
     cached statistics (byte-identical to refitting per width).
+
+    Scoring runs through :func:`repro.runtime.evaluate_per` (imported
+    lazily — this module is part of ``repro.hw``, which the runtime's
+    fixed backend itself imports).
     """
+    from repro.runtime.evaluate import evaluate_per
+
     results: dict[int, float] = {}
     fit_cache = FitStatsCache()
     for bits in bits_list:

@@ -4,6 +4,13 @@ A checkpoint is a single ``.npz`` holding every parameter plus a JSON-encoded
 :class:`RNNSpec`, so a model can be rebuilt without any out-of-band
 information — the property a deployment flow (Phase II, code generation)
 needs from a training flow (Phase I).
+
+Every artifact carries a ``schema`` name and a ``version`` integer in its
+header.  The loader refuses anything it does not understand with a
+:class:`repro.errors.SerializationError` (a ``RuntimeError``): a checkpoint
+written by a different format revision, or a different artifact family
+entirely (e.g. a :class:`repro.runtime.CompiledModel` archive), must fail
+loudly rather than mis-load.
 """
 
 from __future__ import annotations
@@ -14,12 +21,29 @@ from pathlib import Path
 import numpy as np
 
 from repro.config import RNNSpec
-from repro.errors import ShapeError
+from repro.errors import SerializationError
 from repro.nn.rnn import StackedRNNClassifier
 
-__all__ = ["save_model", "load_model", "spec_to_dict", "spec_from_dict"]
+__all__ = [
+    "save_model",
+    "load_model",
+    "spec_to_dict",
+    "spec_from_dict",
+    "read_header",
+    "check_schema",
+    "MODEL_SCHEMA",
+    "MODEL_VERSION",
+]
 
-_FORMAT_VERSION = 1
+#: Schema name stamped into every checkpoint written by :func:`save_model`.
+MODEL_SCHEMA = "repro/stacked-rnn-classifier"
+
+#: Format revision.  Version 1 (PR 1) predates the ``schema`` field; the
+#: loader accepts it for backward compatibility with headers that carry no
+#: schema at all.
+MODEL_VERSION = 2
+
+_COMPATIBLE_VERSIONS = (1, 2)
 
 
 def spec_to_dict(spec: RNNSpec) -> dict:
@@ -49,11 +73,57 @@ def spec_from_dict(payload: dict) -> RNNSpec:
     )
 
 
+def read_header(path: Path | str) -> dict:
+    """The raw JSON header of a repro ``.npz`` artifact.
+
+    Raises :class:`SerializationError` when the file is not a repro archive
+    at all.  Used by both this loader and :mod:`repro.runtime` so the two
+    artifact families can point a confused caller at the right loader.
+    """
+    with np.load(Path(path), allow_pickle=False) as archive:
+        if "__header__" not in archive:
+            raise SerializationError(
+                f"{path} is not a repro artifact (no __header__ entry)"
+            )
+        return json.loads(str(archive["__header__"]))
+
+
+def check_schema(
+    header: dict,
+    path: Path | str,
+    schema: str,
+    versions: tuple[int, ...],
+    hint: str = "",
+) -> None:
+    """Validate an artifact header, raising a loud, specific error.
+
+    ``schema`` may be absent from version-1 headers (written before the
+    field existed); any *present* schema must match exactly.
+    """
+    found_schema = header.get("schema")
+    if found_schema is not None and found_schema != schema:
+        message = (
+            f"{path} holds a {found_schema!r} artifact, but this loader "
+            f"reads {schema!r}"
+        )
+        if hint:
+            message += f"; {hint}"
+        raise SerializationError(message)
+    version = header.get("version")
+    if version not in versions:
+        raise SerializationError(
+            f"{path} was written with {schema!r} version {version!r}; this "
+            f"loader supports version(s) {', '.join(map(str, versions))} — "
+            "re-save the artifact with the current library"
+        )
+
+
 def save_model(model: StackedRNNClassifier, path: Path | str) -> None:
     """Write parameters + spec + structured flag to a ``.npz`` checkpoint."""
     header = json.dumps(
         {
-            "version": _FORMAT_VERSION,
+            "schema": MODEL_SCHEMA,
+            "version": MODEL_VERSION,
             "spec": spec_to_dict(model.spec),
             "structured": model.structured,
         }
@@ -63,15 +133,21 @@ def save_model(model: StackedRNNClassifier, path: Path | str) -> None:
 
 
 def load_model(path: Path | str) -> StackedRNNClassifier:
-    """Rebuild a model from a checkpoint written by :func:`save_model`."""
+    """Rebuild a model from a checkpoint written by :func:`save_model`.
+
+    Raises :class:`SerializationError` on a schema or version mismatch —
+    including when handed a :class:`repro.runtime.CompiledModel` artifact,
+    which has its own loader.
+    """
+    header = read_header(path)
+    check_schema(
+        header,
+        path,
+        MODEL_SCHEMA,
+        _COMPATIBLE_VERSIONS,
+        hint="compiled runtime artifacts load via repro.runtime.CompiledModel.load()",
+    )
     with np.load(Path(path), allow_pickle=False) as archive:
-        if "__header__" not in archive:
-            raise ShapeError(f"{path} is not a repro checkpoint")
-        header = json.loads(str(archive["__header__"]))
-        if header.get("version") != _FORMAT_VERSION:
-            raise ShapeError(
-                f"unsupported checkpoint version {header.get('version')}"
-            )
         spec = spec_from_dict(header["spec"])
         model = StackedRNNClassifier(
             spec,

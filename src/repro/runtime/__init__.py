@@ -1,0 +1,60 @@
+"""``repro.runtime`` — the unified inference layer: compile → session → serve.
+
+The build side of the library (``repro.api``) produces a compressed,
+quantized design; this package is where that design *runs*.  One coherent
+subsystem replaces the three historical ad-hoc inference surfaces
+(``StackedRNNClassifier.__call__``, ``CUEmulator.forward``, the private
+forward loop of ``asr.pipeline``):
+
+* :func:`compile` — snapshot a trained model (or a spec/``Design``) into an
+  immutable, serializable :class:`CompiledModel`; fingerprint-memoized
+  through the build :class:`~repro.api.engine.Engine` and persistable as a
+  schema-versioned ``.npz``.
+* :data:`BACKEND_REGISTRY` — pluggable execution backends (``"float"`` nn
+  graph, ``"fixed"`` CU emulator), extensible with
+  :func:`register_backend` and held to a byte-level conformance contract
+  (:func:`check_conformance`).
+* :meth:`CompiledModel.session` — stateful frame-by-frame streaming,
+  byte-identical to the one-shot batched :meth:`CompiledModel.run`.
+* :class:`Server` — a thread-based micro-batching scheduler that coalesces
+  concurrent session pushes into batched backend calls without perturbing
+  any stream's bytes (the row-isolation contract).
+* :func:`evaluate_per` / :func:`evaluate_frame_accuracy` — dataset metrics
+  routed through ``CompiledModel``, so the same call scores the float
+  model or the fixed-point hardware emulation.
+
+See ``docs/runtime.md`` for the walkthrough.
+"""
+
+from repro.runtime.backends import (
+    BACKEND_REGISTRY,
+    BackendInfo,
+    ConformanceError,
+    Executor,
+    check_conformance,
+    register_backend,
+)
+from repro.runtime.evaluate import as_compiled, evaluate_frame_accuracy, evaluate_per
+from repro.runtime.model import CompiledModel, RuntimeMeta, compile, compile_model
+from repro.runtime.server import Server, ServerSession, ServerStats
+from repro.runtime.session import Session
+
+__all__ = [
+    "compile",
+    "compile_model",
+    "CompiledModel",
+    "RuntimeMeta",
+    "Session",
+    "Server",
+    "ServerSession",
+    "ServerStats",
+    "Executor",
+    "BackendInfo",
+    "BACKEND_REGISTRY",
+    "register_backend",
+    "check_conformance",
+    "ConformanceError",
+    "as_compiled",
+    "evaluate_per",
+    "evaluate_frame_accuracy",
+]

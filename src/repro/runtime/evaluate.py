@@ -1,0 +1,143 @@
+"""Dataset-level evaluation through the unified runtime.
+
+The accuracy metrics (corpus PER, framewise accuracy) used to live on a
+private forward loop inside :mod:`repro.asr.pipeline` that only the float
+nn graph could serve.  Routing them through :class:`CompiledModel` keeps
+one forward implementation for *every* backend: the same call measures the
+float model or the fixed-point CU emulation (``backend="fixed"``), which is
+how the paper's Sec. VII-D quantization-degradation numbers are meant to be
+read — the PER of the hardware computation, not of a float stand-in.
+
+Byte-compatibility: for a raw :class:`~repro.nn.rnn.StackedRNNClassifier`
+the float backend replays the exact op sequence of ``model(features)``, so
+every PER and trial log produced through here matches the legacy pipeline
+path bit for bit (test-enforced).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["as_compiled", "evaluate_per", "evaluate_frame_accuracy"]
+
+
+def as_compiled(model: Any, backend: str = "float", **options: Any) -> Any:
+    """Coerce a model (or pass through a :class:`CompiledModel`) for eval.
+
+    Raw models are compiled *uncached*: experiment sweeps evaluate many
+    throwaway models (Phase-I trials, per-bit-width quantized copies), and
+    pinning each one's full weight snapshot in the process-wide engine LRU
+    would trade real memory for warmth nothing comes back for.  Callers
+    that evaluate the same weights repeatedly should compile once and pass
+    the :class:`CompiledModel` — the artifact amortizes across calls.
+    """
+    from repro.runtime.model import CompiledModel, compile
+
+    if isinstance(model, CompiledModel):
+        return model
+    options.setdefault("cache", False)
+    return compile(model, backend=backend, **options)
+
+
+def _iter_eval_batches(dataset: Any, batch_size: int):
+    """Deterministic evaluation batching (length-bucketed, unshuffled)."""
+    from repro.nn.data import iterate_batches
+
+    yield from iterate_batches(
+        dataset.features,
+        dataset.frame_labels,
+        batch_size,
+        rng=None,
+        bucket_by_length=True,
+    )
+
+
+def _score_batch(
+    compiled: Any, decoder: Any, phone_set: Any, batch: Any
+) -> tuple[list[list[str]], list[list[str]]]:
+    """Forward + decode one batch → (hypotheses, references).
+
+    Runs through ``CompiledModel.run`` — stateless per batch and
+    thread-safe, so the worker pool needs no grad-mode bookkeeping.
+    """
+    from repro.asr.decoder import collapse_repeats
+
+    logits = compiled.run(batch.features)
+    hypotheses = decoder.decode_batch(logits, batch.lengths)
+    references = []
+    for b, length in enumerate(batch.lengths):
+        frame_refs = batch.labels[:length, b]
+        tokens = collapse_repeats(list(frame_refs))
+        phones = phone_set.decode(tokens)
+        references.append(decoder.reference(phones))
+    return hypotheses, references
+
+
+def evaluate_per(
+    model: Any,
+    dataset: Any,
+    decoder: Any = None,
+    batch_size: int = 8,
+    workers: int | None = None,
+) -> float:
+    """Corpus phone error rate (percent) — the paper's accuracy metric.
+
+    ``model`` is a :class:`~repro.runtime.CompiledModel` or a raw
+    :class:`~repro.nn.rnn.StackedRNNClassifier` (compiled to the float
+    backend on the fly).  Iteration order is deterministic
+    (length-bucketed, no shuffling), and the hypothesis/reference pairing
+    is re-derived from each decoded batch's frame labels, so PER is exact
+    regardless of bucketing.
+
+    ``workers`` > 1 scores batches through a thread pool (the forward
+    pass is numpy-heavy and releases the GIL in BLAS/FFT); results are
+    gathered in batch order, so the returned PER is identical to the
+    serial path.
+    """
+    from repro.asr.decoder import FrameDecoder
+    from repro.asr.metrics import corpus_error_rate
+
+    compiled = as_compiled(model)
+    if decoder is None:
+        decoder = FrameDecoder(dataset.phone_set)
+    if workers is not None and workers > 1:
+        from repro.core.parallel import map_ordered
+
+        scored = map_ordered(
+            lambda batch: _score_batch(
+                compiled, decoder, dataset.phone_set, batch
+            ),
+            _iter_eval_batches(dataset, batch_size),
+            mode="thread",
+            workers=workers,
+        )
+    else:
+        scored = (
+            _score_batch(compiled, decoder, dataset.phone_set, batch)
+            for batch in _iter_eval_batches(dataset, batch_size)
+        )
+    references: list[list[str]] = []
+    hypotheses: list[list[str]] = []
+    for hyps, refs in scored:
+        hypotheses.extend(hyps)
+        references.extend(refs)
+    return corpus_error_rate(references, hypotheses)
+
+
+def evaluate_frame_accuracy(
+    model: Any,
+    dataset: Any,
+    batch_size: int = 8,
+) -> float:
+    """Framewise classification accuracy (diagnostic, not a paper metric)."""
+    from repro.nn.loss import frame_accuracy
+
+    compiled = as_compiled(model)
+    total_correct = 0.0
+    total_frames = 0
+    for batch in _iter_eval_batches(dataset, batch_size):
+        logits = compiled.run(batch.features)
+        frames = batch.num_frames
+        total_correct += frame_accuracy(logits, batch.labels, batch.mask) * frames
+        total_frames += frames
+    return total_correct / total_frames

@@ -1,0 +1,498 @@
+"""``compile()`` and the :class:`CompiledModel` artifact.
+
+Compilation snapshots everything inference needs — the frozen
+:class:`RNNSpec`, every trained parameter, the backend name and its
+options (bit widths, PWL segments), and optional phone-set/decoder
+metadata — into one immutable, serializable artifact.  The artifact is
+the unit of deployment: build it once, cache it (in-process through
+:class:`repro.api.Engine`, on disk as a versioned ``.npz``), then open
+sessions or serve it from any process without the training stack's
+mutable state.
+
+>>> from repro.runtime import compile
+>>> compiled = compile(model, backend="fixed", weight_bits=12)
+>>> logits = compiled.run(features)            # batched (T, B, D) -> (T, B, C)
+>>> session = compiled.session()               # streaming, carried state
+>>> posteriors = session.push(features[0, 0])  # one frame at a time
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from types import MappingProxyType
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.config import RNNSpec
+from repro.errors import ConfigError, SerializationError
+from repro.runtime.backends import BACKEND_REGISTRY, Executor, build_executor
+
+__all__ = ["RuntimeMeta", "CompiledModel", "compile", "compile_model"]
+
+#: Schema/version stamped into ``CompiledModel.save`` artifacts.
+ARTIFACT_SCHEMA = "repro/compiled-model"
+ARTIFACT_VERSION = 1
+
+
+class RuntimeMeta:
+    """Decoder-side metadata carried by a compiled artifact.
+
+    Records the phone inventory and scoring conventions so a serving
+    process can decode posteriors without the training corpus on hand.
+    """
+
+    __slots__ = ("phone_labels", "remove_silence", "smooth_width")
+
+    def __init__(
+        self,
+        phone_labels: tuple[str, ...],
+        remove_silence: bool = True,
+        smooth_width: int = 5,
+    ):
+        object.__setattr__(self, "phone_labels", tuple(phone_labels))
+        object.__setattr__(self, "remove_silence", bool(remove_silence))
+        object.__setattr__(self, "smooth_width", int(smooth_width))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("RuntimeMeta is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RuntimeMeta) and self.to_dict() == other.to_dict()
+
+    def to_dict(self) -> dict:
+        return {
+            "phone_labels": list(self.phone_labels),
+            "remove_silence": self.remove_silence,
+            "smooth_width": self.smooth_width,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RuntimeMeta":
+        return cls(
+            phone_labels=tuple(payload["phone_labels"]),
+            remove_silence=payload["remove_silence"],
+            smooth_width=payload["smooth_width"],
+        )
+
+    @classmethod
+    def from_phone_set(
+        cls, phone_set: Any, remove_silence: bool = True, smooth_width: int = 5
+    ) -> "RuntimeMeta":
+        return cls(tuple(phone_set.phones), remove_silence, smooth_width)
+
+
+def _freeze_state(state: Mapping[str, np.ndarray]) -> dict[str, np.ndarray]:
+    frozen = {}
+    for name, values in state.items():
+        values = np.array(values, dtype=np.float64)
+        values.setflags(write=False)
+        frozen[name] = values
+    return frozen
+
+
+def _fingerprint(
+    spec: RNNSpec,
+    structured: bool,
+    backend: str,
+    options: Mapping[str, Any],
+    state: Mapping[str, np.ndarray],
+    meta: RuntimeMeta | None = None,
+) -> str:
+    """Content hash over everything that determines the artifact's bytes."""
+    digest = hashlib.sha256()
+    from repro.nn.serialization import spec_to_dict
+
+    header = {
+        "spec": spec_to_dict(spec),
+        "structured": structured,
+        "backend": backend,
+        "options": dict(sorted(options.items())),
+        "meta": meta.to_dict() if meta is not None else None,
+    }
+    digest.update(json.dumps(header, sort_keys=True).encode())
+    for name in sorted(state):
+        digest.update(name.encode())
+        digest.update(np.ascontiguousarray(state[name]).tobytes())
+    return digest.hexdigest()
+
+
+class CompiledModel:
+    """An immutable inference artifact: weights + backend + metadata.
+
+    Instances are produced by :func:`compile` (or :meth:`load`), never
+    mutated: the parameter arrays are write-protected, the executor is
+    built once and shared, and every public field is read-only.  That is
+    what makes one artifact safe to share between threads, sessions and
+    the :class:`repro.runtime.Server`.
+    """
+
+    def __init__(
+        self,
+        spec: RNNSpec,
+        structured: bool,
+        state: Mapping[str, np.ndarray],
+        backend: str,
+        options: Mapping[str, Any] | None = None,
+        meta: RuntimeMeta | None = None,
+        _fingerprint_hint: str | None = None,
+    ):
+        backend = BACKEND_REGISTRY.canonical_name(backend)
+        self._spec = spec
+        self._structured = bool(structured)
+        self._state = _freeze_state(state)
+        self._backend = backend
+        self._options = dict(sorted((options or {}).items()))
+        self._meta = meta
+        # ``_fingerprint_hint`` lets compile() pass the hash it already
+        # computed for cache lookup; anything loaded from disk recomputes
+        # from the actual contents (that recompute *is* the integrity check).
+        self._fingerprint = (
+            _fingerprint_hint
+            if _fingerprint_hint is not None
+            else _fingerprint(
+                spec, self._structured, backend, self._options, self._state, meta
+            )
+        )
+        self._executor: Executor | None = None
+        import threading
+
+        self._lock = threading.Lock()
+
+    # -- read-only surface ---------------------------------------------
+    @property
+    def spec(self) -> RNNSpec:
+        return self._spec
+
+    @property
+    def structured(self) -> bool:
+        return self._structured
+
+    @property
+    def state(self) -> Mapping[str, np.ndarray]:
+        """The parameter snapshot (arrays are write-protected)."""
+        return MappingProxyType(self._state)
+
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    @property
+    def options(self) -> Mapping[str, Any]:
+        return MappingProxyType(self._options)
+
+    @property
+    def meta(self) -> RuntimeMeta | None:
+        return self._meta
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash — the identity :class:`repro.api.Engine` caches on."""
+        return self._fingerprint
+
+    @property
+    def input_size(self) -> int:
+        return self._spec.input_size
+
+    @property
+    def num_classes(self) -> int:
+        return self._spec.output_size
+
+    def describe(self) -> str:
+        meta = (
+            f", {len(self._meta.phone_labels)} phones" if self._meta else ""
+        )
+        opts = ", ".join(f"{k}={v}" for k, v in self._options.items())
+        return (
+            f"CompiledModel({self._spec.describe()} | backend={self._backend}"
+            + (f" [{opts}]" if opts else "")
+            + f"{meta} | {self._fingerprint[:12]})"
+        )
+
+    __repr__ = describe
+
+    # -- execution ------------------------------------------------------
+    def executor(self) -> Executor:
+        """The backend executor (built once, then shared; thread-safe)."""
+        with self._lock:
+            if self._executor is None:
+                self._executor = build_executor(self)
+            return self._executor
+
+    def to_model(self) -> Any:
+        """Rebuild a (mutable, trainable) ``StackedRNNClassifier`` copy."""
+        from repro.nn.rnn import StackedRNNClassifier
+
+        model = StackedRNNClassifier(
+            self._spec, structured=self._structured, rng=np.random.default_rng(0)
+        )
+        model.load_state_dict(dict(self._state))
+        return model
+
+    def run(self, inputs: np.ndarray) -> np.ndarray:
+        """Batched inference: ``(T, B, D)`` features → ``(T, B, C)`` logits.
+
+        Byte-identical to pushing the same frames through a width-``B``
+        :meth:`session` (the backend conformance contract).
+        """
+        return self.executor().run(inputs)
+
+    def session(self, batch_size: int = 1) -> Any:
+        """Open a stateful streaming session (see :class:`Session`)."""
+        from repro.runtime.session import Session
+
+        return Session(self, batch_size=batch_size)
+
+    def serve(self, **kwargs: Any) -> Any:
+        """Start a micro-batching :class:`repro.runtime.Server` over this model."""
+        from repro.runtime.server import Server
+
+        return Server(self, **kwargs)
+
+    # -- decoding -------------------------------------------------------
+    def phone_set(self) -> Any:
+        """The phone inventory recorded at compile time, if any."""
+        if self._meta is None:
+            raise ConfigError(
+                "this artifact carries no phone-set metadata; compile with "
+                "phone_set=... to enable decoding"
+            )
+        from repro.asr.phones import PhoneSet
+
+        return PhoneSet(self._meta.phone_labels)
+
+    def decoder(self) -> Any:
+        """A :class:`repro.asr.decoder.FrameDecoder` per the stored metadata."""
+        from repro.asr.decoder import FrameDecoder
+
+        meta = self._meta
+        if meta is None:
+            raise ConfigError(
+                "this artifact carries no decoder metadata; compile with "
+                "phone_set=... to enable decoding"
+            )
+        return FrameDecoder(
+            self.phone_set(),
+            remove_silence=meta.remove_silence,
+            smooth_width=meta.smooth_width,
+        )
+
+    # -- persistence ----------------------------------------------------
+    def save(self, path: Path | str) -> Path:
+        """Write the artifact as a schema-versioned ``.npz``."""
+        from repro.nn.serialization import spec_to_dict
+
+        header = json.dumps(
+            {
+                "schema": ARTIFACT_SCHEMA,
+                "version": ARTIFACT_VERSION,
+                "spec": spec_to_dict(self._spec),
+                "structured": self._structured,
+                "backend": self._backend,
+                "options": self._options,
+                "meta": self._meta.to_dict() if self._meta else None,
+                "fingerprint": self._fingerprint,
+            }
+        )
+        path = Path(path)
+        arrays = {f"param/{name}": data for name, data in self._state.items()}
+        np.savez(path, __header__=np.array(header), **arrays)
+        return path
+
+    @classmethod
+    def load(cls, path: Path | str) -> "CompiledModel":
+        """Load an artifact written by :meth:`save`.
+
+        Raises :class:`repro.errors.SerializationError` (a
+        ``RuntimeError``) on any schema or version mismatch — including
+        when handed a training checkpoint, which belongs to
+        :func:`repro.nn.serialization.load_model`.
+        """
+        from repro.nn.serialization import check_schema, read_header, spec_from_dict
+
+        header = read_header(path)
+        check_schema(
+            header,
+            path,
+            ARTIFACT_SCHEMA,
+            (ARTIFACT_VERSION,),
+            hint="training checkpoints load via repro.nn.serialization.load_model()",
+        )
+        with np.load(Path(path), allow_pickle=False) as archive:
+            state = {
+                name[len("param/"):]: archive[name]
+                for name in archive.files
+                if name.startswith("param/")
+            }
+        meta = header.get("meta")
+        compiled = cls(
+            spec=spec_from_dict(header["spec"]),
+            structured=header["structured"],
+            state=state,
+            backend=header["backend"],
+            options=header.get("options") or {},
+            meta=RuntimeMeta.from_dict(meta) if meta else None,
+        )
+        recorded = header.get("fingerprint")
+        if recorded is not None and recorded != compiled.fingerprint:
+            raise SerializationError(
+                f"{path} is corrupt: stored fingerprint {recorded[:12]}… does "
+                f"not match its contents ({compiled.fingerprint[:12]}…)"
+            )
+        return compiled
+
+
+# ----------------------------------------------------------------------
+# compile()
+# ----------------------------------------------------------------------
+
+
+def _resolve_source(source: Any, backend: str) -> tuple[RNNSpec, bool, dict, dict]:
+    """Normalize a compile source to ``(spec, structured, state, defaults)``."""
+    from repro.nn.rnn import StackedRNNClassifier
+
+    defaults: dict[str, Any] = {}
+    if isinstance(source, CompiledModel):
+        return source.spec, source.structured, dict(source.state), defaults
+    if isinstance(source, StackedRNNClassifier):
+        return source.spec, source.structured, source.state_dict(), defaults
+
+    spec = None
+    if isinstance(source, RNNSpec):
+        spec = source
+    else:
+        specs = getattr(source, "specs", None)
+        if callable(specs):  # a repro.api.Design
+            spec, accel = specs()
+            defaults["weight_bits"] = accel.weight_bits
+    if spec is None:
+        raise ConfigError(
+            "compile() accepts a StackedRNNClassifier, CompiledModel, "
+            f"RNNSpec or repro.api.Design, not {type(source).__name__}"
+        )
+    model = StackedRNNClassifier(
+        spec,
+        structured=spec.is_block_circulant,
+        rng=np.random.default_rng(0),
+    )
+    return spec, model.structured, model.state_dict(), defaults
+
+
+def compile(
+    source: Any,
+    backend: str = "float",
+    *,
+    weight_bits: int | None = None,
+    pwl_segments: int | None = None,
+    phone_set: Any = None,
+    remove_silence: bool = True,
+    smooth_width: int = 5,
+    engine: Any = None,
+    cache: bool = True,
+    artifact_dir: Path | str | None = None,
+) -> CompiledModel:
+    """Compile a model (or spec/design) into a :class:`CompiledModel`.
+
+    ``source`` may be a trained :class:`~repro.nn.rnn.StackedRNNClassifier`,
+    an existing :class:`CompiledModel` (re-targeted at another backend), a
+    bare :class:`RNNSpec`, or a :class:`repro.api.Design` — the latter two
+    produce a deterministically-initialized untrained model (useful for
+    performance work; a ``Design`` also contributes its accelerator
+    ``weight_bits`` as the default).
+
+    ``backend`` names an entry of :data:`BACKEND_REGISTRY`; the ``fixed``
+    backend additionally honours ``weight_bits`` (default 12) and
+    ``pwl_segments`` (default 16) and requires a block-circulant model.
+
+    ``phone_set`` (a :class:`repro.asr.phones.PhoneSet`) attaches decoder
+    metadata so the artifact can be served without the training corpus.
+
+    Compilation is memoized on a content fingerprint through the build
+    :class:`~repro.api.engine.Engine` (``engine`` overrides the
+    process-wide default; ``cache=False`` bypasses it), and optionally
+    persisted: with ``artifact_dir``, the compiled artifact is written to
+    ``<dir>/<fingerprint>.npz`` once and loaded from there on repeat
+    compiles — the disk tier a separate process starts warm from.
+    """
+    backend = BACKEND_REGISTRY.canonical_name(backend)
+    spec, structured, state, defaults = _resolve_source(source, backend)
+
+    options: dict[str, Any] = {}
+    if backend == "fixed":
+        if not structured:
+            raise ConfigError(
+                "the fixed backend emulates spectral BRAM weights and needs "
+                "a block-circulant (structured) model"
+            )
+        options["weight_bits"] = (
+            weight_bits
+            if weight_bits is not None
+            else defaults.get("weight_bits", 12)
+        )
+        options["pwl_segments"] = 16 if pwl_segments is None else pwl_segments
+    # The float backend computes exact math: quantization options are
+    # meaningless there and deliberately excluded from the fingerprint.
+
+    if phone_set is not None:
+        meta = RuntimeMeta.from_phone_set(phone_set, remove_silence, smooth_width)
+    elif isinstance(source, CompiledModel):
+        meta = source.meta  # re-targeting keeps the decoder metadata
+    else:
+        meta = None
+
+    fingerprint = _fingerprint(spec, structured, backend, options, state, meta)
+
+    def build() -> CompiledModel:
+        compiled = CompiledModel(
+            spec=spec,
+            structured=structured,
+            state=state,
+            backend=backend,
+            options=options,
+            meta=meta,
+            _fingerprint_hint=fingerprint,
+        )
+        compiled.executor()  # compilation = building the backend artifacts
+        return compiled
+
+    if artifact_dir is not None:
+        artifact_dir = Path(artifact_dir)
+        artifact_path = artifact_dir / f"{fingerprint}.npz"
+        if artifact_path.is_file():
+            return CompiledModel.load(artifact_path)
+        compiled = build()
+        artifact_dir.mkdir(parents=True, exist_ok=True)
+        # Write-temp + atomic rename, like repro.api.diskcache: a reader in
+        # another process must never see a half-written archive.
+        import os
+        import tempfile
+
+        # Suffix must end in .npz or np.savez would append one of its own.
+        handle, temp_path = tempfile.mkstemp(
+            dir=artifact_dir, prefix=".compile-tmp-", suffix=".npz"
+        )
+        try:
+            os.close(handle)
+            compiled.save(temp_path)
+            os.replace(temp_path, artifact_path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        return compiled
+
+    if not cache:
+        return build()
+    if engine is None:
+        from repro.api.engine import default_engine
+
+        engine = default_engine()
+    return engine.compiled(fingerprint, build)
+
+
+#: Alias for contexts where shadowing the builtin ``compile`` is awkward.
+compile_model = compile

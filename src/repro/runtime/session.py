@@ -1,0 +1,111 @@
+"""Stateful frame-by-frame streaming over a compiled model.
+
+A :class:`Session` carries the recurrent hidden/cell state between frames,
+which is what per-frame deployment (the paper's latency numbers are
+per-frame) actually looks like: features arrive one frame at a time and
+posteriors must come back before the next frame.
+
+The defining invariant — enforced by ``tests/runtime`` — is that pushing
+``T`` frames one by one produces *byte-identical* logits to the one-shot
+batched :meth:`repro.runtime.CompiledModel.run` on the same ``(T, B, D)``
+stack.  Batch width is fixed at session creation because the fixed-point
+backend fits its data-dependent formats per frame *across* the batch
+(hardware semantics): a width-4 stream is one stream of width-4 frames,
+not four independent streams.  Independent streams multiplex through
+:class:`repro.runtime.Server` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["Session"]
+
+
+class Session:
+    """A streaming handle: ``push(frame) -> logits`` with carried state.
+
+    Sessions are cheap (state only — weights live on the shared executor)
+    and single-threaded: use one session per caller; concurrent callers
+    each open their own (or go through a :class:`~repro.runtime.Server`).
+    """
+
+    def __init__(self, compiled: Any, batch_size: int = 1):
+        if batch_size < 1:
+            raise ConfigError(f"batch_size must be positive, got {batch_size}")
+        self._compiled = compiled
+        self._executor = compiled.executor()
+        self._batch = batch_size
+        self._state = self._executor.initial_state(batch_size)
+        self._frames = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def batch_size(self) -> int:
+        return self._batch
+
+    @property
+    def frames_pushed(self) -> int:
+        """Frames consumed since creation or the last :meth:`reset`."""
+        return self._frames
+
+    @property
+    def compiled(self) -> Any:
+        return self._compiled
+
+    # ------------------------------------------------------------------
+    def push(self, frame: np.ndarray) -> np.ndarray:
+        """Advance one frame; returns that frame's logits.
+
+        ``frame`` is ``(B, D)`` — or, for width-1 sessions, a bare ``(D,)``
+        vector, in which case a ``(C,)`` vector comes back.  The returned
+        logits are byte-identical to row ``t`` of ``run()`` over the full
+        stream (the streaming ≡ batched invariant).
+        """
+        frame = np.asarray(frame, dtype=np.float64)
+        squeeze = frame.ndim == 1
+        if squeeze:
+            if self._batch != 1:
+                raise ConfigError(
+                    f"a width-{self._batch} session needs (B, D) frames; "
+                    "bare (D,) vectors are for batch_size=1"
+                )
+            frame = frame[None, :]
+        if frame.ndim != 2 or frame.shape != (
+            self._batch,
+            self._executor.input_size,
+        ):
+            raise ConfigError(
+                f"expected a ({self._batch}, {self._executor.input_size}) "
+                f"frame, got {frame.shape}"
+            )
+        logits, self._state = self._executor.step(frame, self._state)
+        self._frames += 1
+        return logits[0] if squeeze else logits
+
+    def run(self, frames: np.ndarray) -> np.ndarray:
+        """Push a ``(T, B, D)`` stack through the session, frame by frame.
+
+        Unlike :meth:`CompiledModel.run` this *advances the session*: it is
+        literally ``T`` pushes, returned stacked — handy for feeding a
+        stream in chunks.
+        """
+        frames = np.asarray(frames, dtype=np.float64)
+        if frames.ndim != 3:
+            raise ConfigError(f"expected (T, B, D) frames, got {frames.shape}")
+        out = np.empty(
+            (frames.shape[0], self._batch, self._executor.num_classes)
+        )
+        for t in range(frames.shape[0]):
+            out[t] = self.push(frames[t])
+        return out
+
+    def reset(self) -> "Session":
+        """Zero the carried state, as between utterances.  Returns self."""
+        self._state = self._executor.initial_state(self._batch)
+        self._frames = 0
+        return self

@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from repro.asr.pipeline import evaluate_per
+from repro.runtime import evaluate_per
 from repro.config import RNNSpec
 from repro.nn.rnn import StackedRNNClassifier
 

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.asr.pipeline import TrainConfig, evaluate_per
+from repro.asr.pipeline import TrainConfig
+from repro.runtime import evaluate_per
 from repro.config import RNNSpec
 from repro.core.admm import ADMMConfig
 from repro.core.ernn import ERNNFramework

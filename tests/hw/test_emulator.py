@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.asr.pipeline import TrainConfig, evaluate_per, train_model
+from repro.asr.pipeline import TrainConfig, train_model
+from repro.runtime import evaluate_per
 from repro.config import RNNSpec
 from repro.core.flow import ernn_compress
 from repro.errors import ConfigError

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.asr.pipeline import evaluate_per
+from repro.runtime import evaluate_per
 from repro.hw.quantize import (
     apply_pwl_activations,
     quantization_sweep,

@@ -1,13 +1,23 @@
 """Checkpoint round trips."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.config import RNNSpec
-from repro.errors import ShapeError
+from repro.errors import SerializationError
 from repro.nn.autograd import no_grad
 from repro.nn.rnn import StackedRNNClassifier
-from repro.nn.serialization import load_model, save_model, spec_from_dict, spec_to_dict
+from repro.nn.serialization import (
+    MODEL_SCHEMA,
+    MODEL_VERSION,
+    load_model,
+    read_header,
+    save_model,
+    spec_from_dict,
+    spec_to_dict,
+)
 
 
 class TestSpecCodec:
@@ -49,5 +59,62 @@ class TestCheckpoint:
     def test_rejects_non_checkpoint(self, tmp_path):
         path = tmp_path / "junk.npz"
         np.savez(path, something=np.zeros(3))
-        with pytest.raises(ShapeError):
+        with pytest.raises(SerializationError):
             load_model(path)
+
+
+class TestSchemaVersioning:
+    """Checkpoints fail loudly across schema/version revisions."""
+
+    def _checkpoint(self, tmp_path, rng):
+        spec = RNNSpec("lstm", 8, (16,), 5)
+        model = StackedRNNClassifier(spec, rng=rng)
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        return path
+
+    def _rewrite_header(self, path, **overrides):
+        with np.load(path, allow_pickle=False) as archive:
+            header = json.loads(str(archive["__header__"]))
+            arrays = {
+                name: archive[name]
+                for name in archive.files
+                if name != "__header__"
+            }
+        header.update(overrides)
+        np.savez(path, __header__=np.array(json.dumps(header)), **arrays)
+
+    def test_header_records_schema_and_version(self, tmp_path, rng):
+        header = read_header(self._checkpoint(tmp_path, rng))
+        assert header["schema"] == MODEL_SCHEMA
+        assert header["version"] == MODEL_VERSION
+
+    def test_future_version_raises_runtime_error(self, tmp_path, rng):
+        path = self._checkpoint(tmp_path, rng)
+        self._rewrite_header(path, version=MODEL_VERSION + 99)
+        with pytest.raises(RuntimeError, match="version"):
+            load_model(path)
+
+    def test_foreign_schema_names_both_schemas(self, tmp_path, rng):
+        path = self._checkpoint(tmp_path, rng)
+        self._rewrite_header(path, schema="repro/compiled-model")
+        with pytest.raises(SerializationError, match="compiled-model"):
+            load_model(path)
+
+    def test_legacy_v1_header_without_schema_loads(self, tmp_path, rng):
+        """PR-1 checkpoints (version 1, no schema field) stay loadable."""
+        path = self._checkpoint(tmp_path, rng)
+        with np.load(path, allow_pickle=False) as archive:
+            header = json.loads(str(archive["__header__"]))
+            arrays = {
+                name: archive[name]
+                for name in archive.files
+                if name != "__header__"
+            }
+        header.pop("schema")
+        header["version"] = 1
+        np.savez(path, __header__=np.array(json.dumps(header)), **arrays)
+        assert load_model(path).spec.layer_sizes == (16,)
+
+    def test_serialization_error_is_runtime_error(self):
+        assert issubclass(SerializationError, RuntimeError)

@@ -1,0 +1,173 @@
+"""compile() sources, Engine memoization, immutability, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.api import Design, Engine
+from repro.asr.phones import PhoneSet
+from repro.config import RNNSpec
+from repro.errors import ConfigError, SerializationError
+from repro.nn.rnn import StackedRNNClassifier
+from repro.nn.serialization import load_model, save_model
+from repro.runtime import BACKEND_REGISTRY, CompiledModel, compile
+
+SPEC = RNNSpec("lstm", 12, (32,), 8, block_sizes=(4,))
+
+
+@pytest.fixture
+def model():
+    return StackedRNNClassifier(SPEC, structured=True, rng=np.random.default_rng(3))
+
+
+class TestCompileSources:
+    def test_from_model(self, model):
+        compiled = compile(model, backend="fixed", cache=False)
+        assert compiled.spec == SPEC
+        assert compiled.backend == "fixed"
+        assert compiled.options["weight_bits"] == 12
+        # weights snapshot, not a live reference
+        frame = np.zeros((1, 12))
+        before = compiled.session().push(frame)
+        model.classifier.bias.data += 1.0
+        assert np.array_equal(compiled.session().push(frame), before)
+
+    def test_from_spec_builds_untrained_model(self):
+        compiled = compile(SPEC, backend="fixed", cache=False)
+        assert compiled.structured  # block sizes -> structured init
+        x = np.random.default_rng(0).standard_normal((4, 2, 12))
+        assert compiled.run(x).shape == (4, 2, 8)
+
+    def test_from_design_inherits_accel_bits(self):
+        design = Design.lstm(64).blocks(8).io(12, 8).on("XCKU060").bits(8)
+        compiled = compile(design, backend="fixed", cache=False)
+        assert compiled.options["weight_bits"] == 8
+
+    def test_retarget_compiled_keeps_weights_and_meta(self, model):
+        phones = PhoneSet.folded().subset(8)
+        float_compiled = compile(
+            model, backend="float", phone_set=phones, cache=False
+        )
+        fixed_compiled = compile(float_compiled, backend="fixed", cache=False)
+        assert fixed_compiled.backend == "fixed"
+        assert fixed_compiled.meta == float_compiled.meta
+        for name, values in float_compiled.state.items():
+            assert np.array_equal(values, fixed_compiled.state[name])
+
+    def test_fixed_backend_rejects_dense_model(self):
+        dense = StackedRNNClassifier(
+            SPEC.with_block_sizes(()), rng=np.random.default_rng(0)
+        )
+        with pytest.raises(ConfigError, match="block-circulant"):
+            compile(dense, backend="fixed", cache=False)
+
+    def test_unknown_backend_and_source(self, model):
+        from repro.errors import RegistryError
+
+        with pytest.raises(RegistryError):
+            compile(model, backend="tpu")
+        with pytest.raises(ConfigError, match="compile\\(\\) accepts"):
+            compile(42)
+
+    def test_registry_lists_builtins(self):
+        assert set(BACKEND_REGISTRY.names()) >= {"float", "fixed"}
+
+
+class TestEngineMemoization:
+    def test_same_weights_reuse_artifact(self, model):
+        engine = Engine(maxsize=8)
+        first = compile(model, backend="fixed", engine=engine)
+        again = compile(model, backend="fixed", engine=engine)
+        assert first is again
+        assert engine.stats().hits == 1
+
+    def test_weight_change_invalidates(self, model):
+        engine = Engine(maxsize=8)
+        first = compile(model, backend="fixed", engine=engine)
+        model.classifier.bias.data = model.classifier.bias.data + 0.5
+        second = compile(model, backend="fixed", engine=engine)
+        assert first is not second
+        assert first.fingerprint != second.fingerprint
+
+    def test_backend_and_options_partition_cache(self, model):
+        engine = Engine(maxsize=8)
+        fixed12 = compile(model, backend="fixed", engine=engine)
+        fixed8 = compile(model, backend="fixed", weight_bits=8, engine=engine)
+        floaty = compile(model, backend="float", engine=engine)
+        assert len({fixed12.fingerprint, fixed8.fingerprint, floaty.fingerprint}) == 3
+
+    def test_cache_false_bypasses(self, model):
+        engine = Engine(maxsize=8)
+        compile(model, backend="float", cache=False, engine=engine)
+        assert engine.stats().misses == 0
+
+
+class TestImmutability:
+    def test_state_arrays_write_protected(self, model):
+        compiled = compile(model, backend="float", cache=False)
+        with pytest.raises(ValueError):
+            compiled.state["classifier.bias"][0] = 1.0
+
+    def test_to_model_copy_is_detached(self, model):
+        compiled = compile(model, backend="float", cache=False)
+        rebuilt = compiled.to_model()
+        rebuilt.classifier.bias.data += 5.0  # mutable copy, artifact untouched
+        assert np.array_equal(
+            compiled.state["classifier.bias"],
+            model.state_dict()["classifier.bias"],
+        )
+
+
+class TestPersistence:
+    def test_round_trip_is_byte_identical(self, model, tmp_path):
+        phones = PhoneSet.folded().subset(8)
+        compiled = compile(
+            model, backend="fixed", phone_set=phones, cache=False
+        )
+        path = compiled.save(tmp_path / "artifact.npz")
+        loaded = CompiledModel.load(path)
+        assert loaded.fingerprint == compiled.fingerprint
+        assert loaded.meta == compiled.meta
+        assert tuple(loaded.phone_set().phones) == tuple(phones.phones)
+        x = np.random.default_rng(1).standard_normal((6, 2, 12))
+        assert np.array_equal(loaded.run(x), compiled.run(x))
+
+    def test_artifact_dir_acts_as_disk_cache(self, model, tmp_path):
+        first = compile(
+            model, backend="fixed", artifact_dir=tmp_path, cache=False
+        )
+        assert (tmp_path / f"{first.fingerprint}.npz").is_file()
+        again = compile(
+            model, backend="fixed", artifact_dir=tmp_path, cache=False
+        )
+        x = np.random.default_rng(2).standard_normal((3, 1, 12))
+        assert np.array_equal(first.run(x), again.run(x))
+
+    def test_load_rejects_training_checkpoint(self, model, tmp_path):
+        path = tmp_path / "checkpoint.npz"
+        save_model(model, path)
+        with pytest.raises(SerializationError, match="load_model"):
+            CompiledModel.load(path)
+
+    def test_load_model_rejects_compiled_artifact(self, model, tmp_path):
+        compiled = compile(model, backend="float", cache=False)
+        path = compiled.save(tmp_path / "artifact.npz")
+        with pytest.raises(SerializationError, match="CompiledModel.load"):
+            load_model(path)
+
+    def test_tampered_weights_fail_fingerprint(self, model, tmp_path):
+        import json
+
+        compiled = compile(model, backend="float", cache=False)
+        path = compiled.save(tmp_path / "artifact.npz")
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {n: archive[n] for n in archive.files}
+        name = next(n for n in arrays if n.startswith("param/"))
+        arrays[name] = arrays[name] + 1.0
+        np.savez(path, **arrays)
+        with pytest.raises(SerializationError, match="corrupt"):
+            CompiledModel.load(path)
+
+    def test_decoder_requires_metadata(self, model):
+        compiled = compile(model, backend="float", cache=False)
+        with pytest.raises(ConfigError, match="phone_set"):
+            compiled.decoder()

@@ -1,0 +1,90 @@
+"""Every deprecated shim warns once, pointing at the *caller's* line.
+
+``stacklevel=2`` is the contract: a user seeing the warning should see
+their own file and line, not the shim's.  These tests pin that for the
+PR-1 build-side shims (AcceleratorModel, HLSFramework, ERNNFramework) and
+the PR-4 pipeline shims, and check each shim still does its job.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.config import AccelSpec, RNNSpec
+
+SPEC = RNNSpec("lstm", 12, (32,), 8, block_sizes=(4,))
+
+
+def _sole_deprecation(caught):
+    records = [w for w in caught if w.category is DeprecationWarning]
+    assert len(records) == 1
+    return records[0]
+
+
+class TestWarningsPointAtCaller:
+    def test_accelerator_model(self):
+        from repro.hw.accelerator import AcceleratorModel
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            model = AcceleratorModel(SPEC, AccelSpec("XCKU060"))
+        record = _sole_deprecation(caught)
+        assert record.filename == __file__
+        assert model.build().num_pes > 0  # the shim still works
+
+    def test_hls_framework(self):
+        from repro.hls.framework import HLSFramework
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            framework = HLSFramework(SPEC, AccelSpec("XCKU060"))
+        assert _sole_deprecation(caught).filename == __file__
+        assert framework.build().code
+
+    def test_ernn_framework(self):
+        from repro.core.ernn import ERNNFramework
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            ERNNFramework(SPEC, trainer=lambda spec: 20.0)
+        assert _sole_deprecation(caught).filename == __file__
+
+    @pytest.mark.parametrize(
+        "name", ["evaluate_per", "evaluate_frame_accuracy"]
+    )
+    def test_pipeline_evaluation_shims(self, name, micro_datasets):
+        from repro.asr import pipeline
+        from repro.nn.rnn import StackedRNNClassifier
+
+        train, _ = micro_datasets
+        spec = RNNSpec(
+            "lstm", train.feature_dim, (16,), len(train.phone_set)
+        )
+        model = StackedRNNClassifier(spec, rng=np.random.default_rng(0))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            value = getattr(pipeline, name)(model, train, batch_size=4)
+        assert _sole_deprecation(caught).filename == __file__
+        assert np.isfinite(value)
+
+
+class TestInternalPathsStayQuiet:
+    """Library internals route around the shims: no warnings leak."""
+
+    def test_design_price_warns_nothing(self):
+        from repro.api import Design
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("error", DeprecationWarning)
+            Design.lstm(64).blocks(8).io(12, 8).on("XCKU060").price()
+        assert not caught
+
+    def test_runtime_evaluate_warns_nothing(self, trained_dense, micro_datasets):
+        from repro.runtime import evaluate_per
+
+        _, test = micro_datasets
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("error", DeprecationWarning)
+            evaluate_per(trained_dense, test, batch_size=4)
+        assert not caught

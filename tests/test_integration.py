@@ -8,7 +8,8 @@ every other, at a scale that finishes in seconds.
 import numpy as np
 import pytest
 
-from repro.asr.pipeline import TrainConfig, evaluate_per, train_model
+from repro.asr.pipeline import TrainConfig, train_model
+from repro.runtime import evaluate_per
 from repro.config import AccelSpec, RNNSpec
 from repro.core.admm import ADMMConfig
 from repro.core.flow import ernn_compress
