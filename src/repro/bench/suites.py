@@ -479,3 +479,143 @@ def bench_runtime_session(quick: bool) -> BenchResult:
     result.metrics["batched_fps"] = round(batched_fps, 1)
     result.metrics["speedup_microbatch"] = round(server_fps / single_fps, 2)
     return result
+
+
+# ----------------------------------------------------------------------
+@register("netserver")
+def bench_netserver(quick: bool) -> BenchResult:
+    """Served-over-TCP throughput and latency, per worker count.
+
+    A load generator (``clients`` blocking stdlib net clients, one thread
+    each) pushes every stream frame by frame through
+    :class:`repro.runtime.net.NetServer` at each worker count, recording
+    the wall time (throughput) and every push's round-trip latency
+    (p50/p95/p99).  Before any timing, each configuration's served logits
+    are asserted byte-identical to standalone sessions — the end-to-end
+    wire invariant — so a fast number can never come from wrong bytes.
+
+    Blocking pushes measure the *deployment* path (one frame in flight
+    per stream, like a live feature front-end); the micro-batching window
+    inside each worker is what coalesces concurrent clients.
+
+    Read ``scaling_peak_vs_1w`` against ``environment.cpus``: worker
+    processes buy throughput by running numpy on more cores, so on a
+    single-CPU box extra workers only add IPC cost and the honest result
+    is flat-to-negative scaling.
+    """
+    import threading
+    import time
+
+    from repro.config import RNNSpec
+    from repro.nn.rnn import StackedRNNClassifier
+    from repro.runtime import compile as compile_model
+    from repro.runtime.net import Client, NetServer
+
+    if quick:
+        hidden, clients, frames, worker_counts = 64, 4, 12, (1, 2)
+    else:
+        hidden, clients, frames, worker_counts = 64, 8, 50, (1, 2, 4)
+    spec = RNNSpec(
+        cell_type="lstm", layer_sizes=(hidden,), block_sizes=(8,),
+        input_size=39, output_size=39,
+    )
+    model = StackedRNNClassifier(
+        spec, structured=True, rng=np.random.default_rng(0)
+    )
+    compiled = compile_model(model, backend="fixed", weight_bits=12)
+    streams = np.random.default_rng(1).standard_normal(
+        (clients, frames, spec.input_size)
+    )
+    expected = [
+        compiled.session().run(stream[:, None, :])[:, 0] for stream in streams
+    ]
+
+    result = BenchResult(
+        "netserver",
+        quick=quick,
+        notes=(
+            f"LSTM-{hidden} block 8 fixed backend served over TCP; "
+            f"{clients} net clients x {frames} blocking pushes per worker "
+            "count; every configuration's served bytes asserted identical "
+            "to standalone sessions before timing.  Worker scaling is "
+            "core-bound: judge scaling_peak_vs_1w against environment.cpus"
+        ),
+        metrics={
+            "hidden": hidden,
+            "clients": clients,
+            "frames_per_client": frames,
+            "worker_counts": list(worker_counts),
+            "weight_bits": 12,
+        },
+    )
+
+    passes = iter(range(1_000_000))  # unique session names per pass
+
+    def run_load(server: NetServer) -> list[float]:
+        """One load-generator pass against a running server; returns
+        per-push round-trip latencies.  Worker spawn cost is deliberately
+        *outside* every timed region — this measures serving, not boot."""
+        tag = next(passes)
+        latencies: list[float] = []
+        failures: list[str] = []
+        lock = threading.Lock()
+
+        def load_client(index: int) -> None:
+            mine: list[float] = []
+            try:
+                with Client(*server.address, timeout=60) as client:
+                    session = client.session(f"bench-{tag}-{index}")
+                    out = []
+                    for frame in streams[index]:
+                        start = time.perf_counter()
+                        out.append(session.push(frame))
+                        mine.append(time.perf_counter() - start)
+                    session.close()
+                if not np.array_equal(np.stack(out), expected[index]):
+                    raise AssertionError("served bytes differ")
+            except Exception as error:  # noqa: BLE001
+                with lock:
+                    failures.append(f"client {index}: {error!r}")
+                return
+            with lock:
+                latencies.extend(mine)
+
+        threads = [
+            threading.Thread(target=load_client, args=(index,))
+            for index in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures, f"netserver bench failures: {failures}"
+        assert len(latencies) == clients * frames
+        return latencies
+
+    for workers in worker_counts:
+        latencies_box: list[list[float]] = []
+        with NetServer(
+            compiled, workers=workers, queue_limit=64
+        ) as server:
+            stats = time_callable(
+                lambda: latencies_box.append(run_load(server)),
+                warmup=1,  # the warmup pass also runs the byte gate
+                repeats=2 if quick else 3,
+            )
+        result.add_timing(f"serve_{workers}w_wall", stats)
+        latencies = np.array(latencies_box[-1])
+        total = clients * frames
+        result.metrics[f"w{workers}_fps"] = round(total / stats.median_s, 1)
+        result.metrics[f"w{workers}_p50_ms"] = round(
+            float(np.percentile(latencies, 50)) * 1e3, 3
+        )
+        result.metrics[f"w{workers}_p95_ms"] = round(
+            float(np.percentile(latencies, 95)) * 1e3, 3
+        )
+        result.metrics[f"w{workers}_p99_ms"] = round(
+            float(np.percentile(latencies, 99)) * 1e3, 3
+        )
+    base = result.metrics[f"w{worker_counts[0]}_fps"]
+    peak = max(result.metrics[f"w{w}_fps"] for w in worker_counts)
+    result.metrics["scaling_peak_vs_1w"] = round(peak / base, 2)
+    return result

@@ -247,11 +247,153 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _selftest_expected(compiled, streams):
+    """Conformance check + per-stream standalone baselines, or None on failure.
+
+    A conformance violation is a serving-blocker, so it must exit nonzero
+    with a message that says what is broken and what to do about it — not
+    a generic traceback-shaped error.
+    """
+    import sys
+
+    import numpy as np
+
+    from repro.runtime import ConformanceError, check_conformance
+
+    try:
+        check_conformance(
+            compiled.executor(),
+            np.ascontiguousarray(streams.transpose(1, 0, 2)),
+        )
+    except ConformanceError as error:
+        print(
+            f"SELFTEST FAILED: backend {compiled.backend!r} violates the "
+            f"serving conformance contract: {error}\n"
+            "  this artifact must not be served; fix the backend's "
+            "step/step_rows/run implementation (see docs/runtime.md, 'The "
+            "conformance contract') and re-run repro serve --selftest",
+            file=sys.stderr,
+        )
+        return None
+    return [compiled.run(s[:, None, :])[:, 0] for s in streams]
+
+
+def _cmd_serve_net(args: argparse.Namespace) -> int:
+    """Network serving mode: repro serve --port ... [--selftest]."""
+    import threading
+    import time
+
+    import numpy as np
+
+    from repro.runtime.net import Client, NetServer
+
+    compiled = _compiled_from_args(args)
+    print(compiled.describe())
+    server = NetServer(
+        compiled,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_delay_s=args.delay_ms / 1e3,
+        queue_limit=args.queue_limit,
+    )
+    server.start()
+    host, port = server.address
+    print(
+        f"serving on {host}:{port} with {args.workers} worker process(es) "
+        f"(max_batch {args.max_batch}, queue_limit {args.queue_limit})"
+    )
+
+    if not args.selftest:
+        print("press Ctrl-C (or send SIGTERM) to drain and stop")
+        try:
+            server.serve_forever()
+        finally:
+            server.close()
+        print("drained; bye")
+        return 0
+
+    try:
+        rng = np.random.default_rng(args.seed)
+        streams = rng.standard_normal(
+            (args.sessions, args.frames, compiled.input_size)
+        )
+        expected = _selftest_expected(compiled, streams)
+        if expected is None:
+            return 1
+
+        outputs: list = [None] * args.sessions
+        errors: list = []
+
+        def client_thread(index: int) -> None:
+            try:
+                with Client(host, port) as client:
+                    session = client.session(f"selftest-{index}")
+                    outputs[index] = session.run(streams[index], window=8)
+            except Exception as error:  # noqa: BLE001 — reported below
+                errors.append(f"stream {index}: {error}")
+
+        threads = [
+            threading.Thread(target=client_thread, args=(index,))
+            for index in range(args.sessions)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+
+        if errors:
+            print(
+                "SELFTEST FAILED: client error(s): " + "; ".join(errors),
+                file=sys.stderr,
+            )
+            return 1
+        mismatched = [
+            index
+            for index in range(args.sessions)
+            if not np.array_equal(outputs[index], expected[index])
+        ]
+        if mismatched:
+            print(
+                f"SELFTEST FAILED: logits served over the wire differ from "
+                f"standalone sessions on stream(s) {mismatched}",
+                file=sys.stderr,
+            )
+            return 1
+        total = args.sessions * args.frames
+        print(
+            f"served {total} frames to {args.sessions} net clients across "
+            f"{args.workers} workers in {elapsed * 1e3:.1f} ms "
+            f"({total / elapsed:,.0f} frames/s)"
+        )
+        with Client(host, port) as client:
+            for entry in client.stats():
+                stats = entry["stats"]
+                print(
+                    f"  worker {entry['worker']}: {stats['frames']} frames "
+                    f"in {stats['batches']} batches "
+                    f"(mean {stats['mean_coalesced']:.2f} rows)"
+                )
+        print(
+            "selftest ok: every stream served over the wire byte-identical "
+            "to its standalone session"
+        )
+        return 0
+    finally:
+        server.close()
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
     import time
 
     import numpy as np
+
+    if args.port is not None:
+        return _cmd_serve_net(args)
 
     compiled = _compiled_from_args(args)
     print(compiled.describe())
@@ -265,13 +407,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # The row-isolation contract, end to end: a served stream must be
         # byte-identical to the same frames through a standalone session
         # (checked per stream below) *and* to the batched run.
-        from repro.runtime import check_conformance
-
-        check_conformance(
-            compiled.executor(),
-            np.ascontiguousarray(streams.transpose(1, 0, 2)),
-        )
-        expected = [compiled.run(s[:, None, :])[:, 0] for s in streams]
+        expected = _selftest_expected(compiled, streams)
+        if expected is None:
+            return 1
 
     outputs: list = [None] * args.sessions
     server = compiled.serve(
@@ -433,7 +571,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        help="micro-batching server demo: concurrent sessions, one model",
+        help="serve a model: in-process demo, or over TCP with --port",
     )
     _add_spec_arguments(serve)
     _add_runtime_arguments(serve)
@@ -446,10 +584,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="micro-batching window in milliseconds (default: 2.0)",
     )
     serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address for network serving (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=None, metavar="PORT",
+        help="serve over TCP on this port (0 = ephemeral); without --port "
+             "the command runs the in-process thread demo",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes for network serving (default: 2)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=32,
+        help="per-connection in-flight bound before busy replies "
+             "(default: 32)",
+    )
+    serve.add_argument(
         "--selftest", action="store_true",
         help="verify backend conformance and that every served stream is "
-             "byte-identical to its standalone run; non-zero exit on "
-             "mismatch (used by CI)",
+             "byte-identical to its standalone run — over the wire when "
+             "--port is given; non-zero exit on mismatch (used by CI)",
     )
     serve.set_defaults(handler=_cmd_serve, block=8)
 

@@ -19,6 +19,11 @@ forward loop of ``asr.pipeline``):
 * :class:`Server` — a thread-based micro-batching scheduler that coalesces
   concurrent session pushes into batched backend calls without perturbing
   any stream's bytes (the row-isolation contract).
+* :mod:`repro.runtime.net` — the process boundary: an NDJSON/TCP network
+  front-end sharding the same stack across worker processes (stable-hash
+  session routing, explicit ``busy`` backpressure, draining shutdown),
+  with a blocking stdlib client.  Imported lazily — ``repro.runtime``
+  itself stays dependency-light.
 * :func:`evaluate_per` / :func:`evaluate_frame_accuracy` — dataset metrics
   routed through ``CompiledModel``, so the same call scores the float
   model or the fixed-point hardware emulation.
@@ -34,6 +39,7 @@ from repro.runtime.backends import (
     check_conformance,
     register_backend,
 )
+from repro.runtime.coerce import coerce_frame, coerce_stream
 from repro.runtime.evaluate import as_compiled, evaluate_frame_accuracy, evaluate_per
 from repro.runtime.model import CompiledModel, RuntimeMeta, compile, compile_model
 from repro.runtime.server import Server, ServerSession, ServerStats
@@ -55,6 +61,8 @@ __all__ = [
     "check_conformance",
     "ConformanceError",
     "as_compiled",
+    "coerce_frame",
+    "coerce_stream",
     "evaluate_per",
     "evaluate_frame_accuracy",
 ]

@@ -52,6 +52,7 @@ import numpy as np
 
 from repro.api.registry import Registry
 from repro.errors import ConfigError, ReproError
+from repro.runtime.coerce import coerce_stream
 
 __all__ = [
     "Executor",
@@ -129,14 +130,7 @@ class Executor(ABC):
 
     # ------------------------------------------------------------------
     def check_inputs(self, inputs: np.ndarray) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
-        if inputs.ndim != 3:
-            raise ConfigError(f"expected (T, B, D) inputs, got {inputs.shape}")
-        if inputs.shape[-1] != self.input_size:
-            raise ConfigError(
-                f"expected feature width {self.input_size}, got {inputs.shape}"
-            )
-        return inputs
+        return coerce_stream(inputs, self.input_size)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,83 @@
+"""One shared input-coercion path for every inference surface.
+
+Frames reach the runtime from four directions — :meth:`Session.push`,
+:meth:`ServerSession.push`, batched :meth:`CompiledModel.run`, and the
+network layer (:mod:`repro.runtime.net`) — and they must all agree, byte
+for byte, on what a frame *is*: a C-contiguous float64 array of the
+executor's feature width, with NaN/Inf rejected before they can poison a
+micro-batch shared with other streams.  Historically each surface rolled
+its own cast-and-validate inline, and they drifted (the server session
+refused ``(1, D)`` frames that a width-1 session accepted).  This module
+is the single implementation they all call.
+
+Casting to float64 is exact for every integer and float32 input, so a
+client may hand in whatever dtype its feature extractor produced and the
+logits are byte-identical to the float64 path — pinned by
+``tests/runtime/test_coerce.py`` across all four surfaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["coerce_frame", "coerce_stream"]
+
+
+def coerce_frame(
+    frame: np.ndarray, batch: int, input_size: int
+) -> tuple[np.ndarray, bool]:
+    """Validate one frame for a width-``batch`` stream.
+
+    Accepts a ``(batch, input_size)`` array — or, for width-1 streams, a
+    bare ``(input_size,)`` vector — in any real dtype; returns the
+    C-contiguous float64 ``(batch, input_size)`` frame plus ``squeezed``,
+    true when the caller passed a bare vector (and so expects a bare
+    ``(C,)`` logits vector back).  Raises :class:`ConfigError` on any
+    shape/dtype/finiteness violation.
+    """
+    try:
+        frame = np.asarray(frame, dtype=np.float64)
+    except (TypeError, ValueError) as error:
+        raise ConfigError(f"frame is not numeric: {error}") from None
+    squeezed = frame.ndim == 1
+    if squeezed:
+        if batch != 1:
+            raise ConfigError(
+                f"a width-{batch} session needs (B, D) frames; "
+                "bare (D,) vectors are for batch_size=1"
+            )
+        frame = frame[None, :]
+    if frame.ndim != 2 or frame.shape != (batch, input_size):
+        raise ConfigError(
+            f"expected a ({batch}, {input_size}) frame, got {frame.shape}"
+        )
+    if not np.all(np.isfinite(frame)):
+        raise ConfigError(
+            "frame contains NaN or Inf; refusing to poison the stream"
+        )
+    return np.ascontiguousarray(frame), squeezed
+
+
+def coerce_stream(inputs: np.ndarray, input_size: int) -> np.ndarray:
+    """Validate a ``(T, B, D)`` stack for batched ``run``.
+
+    Same cast/finiteness rules as :func:`coerce_frame`, applied to the
+    whole stream at once.
+    """
+    try:
+        inputs = np.asarray(inputs, dtype=np.float64)
+    except (TypeError, ValueError) as error:
+        raise ConfigError(f"inputs are not numeric: {error}") from None
+    if inputs.ndim != 3:
+        raise ConfigError(f"expected (T, B, D) inputs, got {inputs.shape}")
+    if inputs.shape[-1] != input_size:
+        raise ConfigError(
+            f"expected feature width {input_size}, got {inputs.shape}"
+        )
+    if not np.all(np.isfinite(inputs)):
+        raise ConfigError(
+            "inputs contain NaN or Inf; refusing to poison the stream"
+        )
+    return inputs

@@ -1,0 +1,43 @@
+"""``repro.runtime.net`` — serving over the wire, sharded across cores.
+
+The network front-end over the PR-4 runtime stack: a stdlib-asyncio,
+newline-delimited-JSON TCP server (:class:`NetServer`) whose parent
+process owns only the protocol, with all model math in ``--workers N``
+worker processes — each loads the compiled ``.npz`` artifact and runs
+its own micro-batching :class:`repro.runtime.Server`.  Named streaming
+sessions route to a worker by stable hash of the session id, so carried
+recurrent state stays worker-local across pushes, connections and
+reconnects.  A matching blocking stdlib client (:class:`Client` /
+:class:`NetSession`) completes the loop.
+
+The invariant carries through from the in-process layers: logits served
+over the wire are **byte-identical** to a standalone
+:class:`repro.runtime.Session` on the same stream, for both backends —
+enforced by ``tests/runtime/test_netserver.py``, the ``netserver`` bench
+suite, and ``repro serve --port ... --selftest``.
+
+See ``docs/runtime.md`` ("Serving over the network") for the wire
+protocol specification and operational notes.
+"""
+
+from repro.runtime.net.client import Client, NetSession
+from repro.runtime.net.protocol import (
+    PROTOCOL_VERSION,
+    BusyError,
+    NetError,
+    decode_array,
+    encode_array,
+)
+from repro.runtime.net.server import NetServer, route_session
+
+__all__ = [
+    "NetServer",
+    "Client",
+    "NetSession",
+    "NetError",
+    "BusyError",
+    "PROTOCOL_VERSION",
+    "route_session",
+    "encode_array",
+    "decode_array",
+]

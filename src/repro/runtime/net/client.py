@@ -1,0 +1,306 @@
+"""Blocking, stdlib-only client for the :mod:`repro.runtime.net` protocol.
+
+Mirrors the in-process surfaces: :class:`Client` is the connection,
+:meth:`Client.session` opens a named streaming :class:`NetSession` whose
+``push``/``reset``/``close`` behave like :class:`repro.runtime.Session` —
+and return **byte-identical** logits, which is the point: the wire adds
+transport, never arithmetic.
+
+A :class:`Client` is single-threaded by design (one socket, strictly
+ordered request/reply); concurrent callers each open their own, exactly
+as with in-process sessions.
+
+>>> client = Client("127.0.0.1", 7653)
+>>> session = client.session("caller-42")
+>>> posterior = session.push(frame)          # blocking round trip
+>>> logits = session.run(frames, window=8)   # pipelined stream
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.runtime.coerce import coerce_frame
+from repro.runtime.net.protocol import (
+    BusyError,
+    NetError,
+    decode_array,
+    dump_line,
+    encode_array,
+    parse_line,
+)
+
+__all__ = ["Client", "NetSession"]
+
+
+class Client:
+    """One NDJSON TCP connection to a :class:`~repro.runtime.net.NetServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.settimeout(timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+        self._closed = False
+        self.hello = self._recv()
+        if self.hello.get("type") != "hello":
+            raise NetError(
+                f"expected a hello frame, got {self.hello.get('type')!r}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def input_size(self) -> int:
+        return int(self.hello["input_size"])
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.hello["num_classes"])
+
+    @property
+    def backend(self) -> str:
+        return str(self.hello["backend"])
+
+    @property
+    def queue_limit(self) -> int:
+        return int(self.hello["queue_limit"])
+
+    # ------------------------------------------------------------------
+    def _send(self, op: str, **fields: Any) -> int:
+        if self._closed:
+            raise NetError("client is closed")
+        rid = next(self._ids)
+        try:
+            self._file.write(dump_line({"id": rid, "op": op, **fields}))
+            self._file.flush()
+        except OSError as error:
+            raise NetError(f"send failed: {error}") from None
+        return rid
+
+    def _recv(self) -> dict:
+        try:
+            line = self._file.readline()
+        except socket.timeout:
+            raise NetError("timed out waiting for a reply") from None
+        except OSError as error:
+            raise NetError(f"receive failed: {error}") from None
+        if not line:
+            raise NetError("server closed the connection")
+        return parse_line(line)
+
+    def _recv_for(self, rid: int) -> dict:
+        reply = self._recv()
+        if reply.get("id") != rid:
+            raise NetError(
+                f"reply id {reply.get('id')!r} does not match request {rid} "
+                "(one Client per thread; replies are strictly ordered)"
+            )
+        return reply
+
+    def request(self, op: str, **fields: Any) -> dict:
+        """One blocking round trip.  Raises on error/busy replies."""
+        reply = self._recv_for(self._send(op, **fields))
+        return self._check(reply)
+
+    @staticmethod
+    def _check(reply: dict) -> dict:
+        if reply.get("ok", False):
+            return reply
+        if reply.get("type") == "busy":
+            raise BusyError(
+                f"server busy (limit {reply.get('limit')}); the frame was "
+                "not applied — back off and resend it before newer frames"
+            )
+        raise NetError(
+            f"{reply.get('kind', 'error')}: {reply.get('error', reply)}"
+        )
+
+    # ------------------------------------------------------------------
+    def ping(self) -> float:
+        """Round-trip time of an empty request, in seconds."""
+        start = time.perf_counter()
+        self.request("ping")
+        return time.perf_counter() - start
+
+    def stats(self) -> list[dict]:
+        """Per-worker :class:`~repro.runtime.ServerStats` snapshots."""
+        return self.request("stats")["workers"]
+
+    def session(self, name: str) -> "NetSession":
+        """Open (or re-attach to) the named streaming session."""
+        return NetSession(self, name)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class NetSession:
+    """A named server-side streaming session reached over the wire.
+
+    The session id — not the connection — owns the carried recurrent
+    state: reconnect with the same name and the stream continues where it
+    left off, on the same worker (stable-hash routing).
+    """
+
+    def __init__(self, client: Client, name: str):
+        self._client = client
+        self._name = name
+        self.meta = client.request("open", session=name)
+        self._frames = int(self.meta.get("seq", 0))
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def worker(self) -> int:
+        """Index of the worker holding this session's state."""
+        return int(self.meta["worker"])
+
+    @property
+    def frames_pushed(self) -> int:
+        return self._frames
+
+    # ------------------------------------------------------------------
+    def push(
+        self,
+        frame: np.ndarray,
+        retries: int = 20,
+        backoff_s: float = 0.02,
+    ) -> np.ndarray:
+        """One blocking frame: coerce, send, return its logits.
+
+        ``busy`` replies are retried with backoff (safe for a blocking
+        push: nothing newer is in flight, so resending preserves order).
+        Shapes mirror :meth:`repro.runtime.Session.push`: a bare ``(D,)``
+        vector returns ``(C,)``; a ``(1, D)`` frame returns ``(1, C)``.
+        """
+        self._check_open()
+        coerced, squeezed = coerce_frame(frame, 1, self._client.input_size)
+        payload = encode_array(coerced[0])
+        for attempt in range(retries + 1):
+            try:
+                reply = self._client.request(
+                    "push", session=self._name, frame=payload
+                )
+            except BusyError:
+                if attempt == retries:
+                    raise
+                time.sleep(backoff_s * (attempt + 1))
+                continue
+            self._accept_seq(reply)
+            # copy(): decode_array returns a read-only view of the wire
+            # bytes; Session.push parity means handing back a writable
+            # array.
+            logits = decode_array(reply["logits"]).copy()
+            return logits if squeezed else logits[None, :]
+        raise AssertionError("unreachable")
+
+    def _accept_seq(self, reply: dict) -> None:
+        """Enforce exactly-once, in-order delivery per stream.
+
+        Every push reply carries the worker-side frame counter; a gap or
+        repeat means a frame was dropped, duplicated or reordered in
+        transit — state-corrupting for a recurrent stream, so it is a
+        hard error, not a warning.
+        """
+        seq = reply.get("seq")
+        if seq != self._frames + 1:
+            raise NetError(
+                f"stream {self._name!r} out of sync: expected frame "
+                f"{self._frames + 1}, server reports {seq} (a frame was "
+                "dropped, duplicated or reordered; reset the session)"
+            )
+        self._frames = seq
+
+    def run(self, frames: np.ndarray, window: int = 8) -> np.ndarray:
+        """Pipelined streaming: ``(T, D)`` frames → ``(T, C)`` logits.
+
+        Keeps up to ``window`` pushes in flight (clamped to the server's
+        advertised ``queue_limit``, so a session that owns its connection
+        can never draw a ``busy``).  Byte-identical to ``T`` blocking
+        pushes — pipelining changes latency, not bytes.
+        """
+        self._check_open()
+        frames = np.asarray(frames)
+        if frames.ndim != 2:
+            raise NetError(f"run() wants (T, D) frames, got {frames.shape}")
+        window = max(1, min(window, self._client.queue_limit))
+        total = len(frames)
+        if total == 0:  # Session.run parity: empty stream, empty result
+            return np.empty((0, self._client.num_classes))
+        # Coerce and encode the WHOLE stream before sending anything: a
+        # bad frame discovered mid-pipeline would abandon in-flight
+        # replies and desynchronize the connection for good.  Up-front
+        # validation turns it into a clean error with nothing sent.
+        payloads = []
+        for frame in frames:
+            coerced, _ = coerce_frame(frame, 1, self._client.input_size)
+            payloads.append(encode_array(coerced[0]))
+        out: list[np.ndarray | None] = [None] * total
+        pending: list[tuple[int, int]] = []  # (rid, frame index)
+        sent = 0
+        while sent < total or pending:
+            while sent < total and len(pending) < window:
+                rid = self._client._send(
+                    "push", session=self._name, frame=payloads[sent]
+                )
+                pending.append((rid, sent))
+                sent += 1
+            rid, index = pending.pop(0)
+            reply = self._client._check(self._client._recv_for(rid))
+            self._accept_seq(reply)
+            out[index] = decode_array(reply["logits"])
+        return np.stack(out)  # type: ignore[arg-type]
+
+    def reset(self) -> "NetSession":
+        """Zero the carried state, as between utterances.  Returns self."""
+        self._check_open()
+        self._client.request("reset", session=self._name)
+        self._frames = 0
+        return self
+
+    def close(self) -> None:
+        """Close the server-side session (frees its worker thread).
+
+        Idempotent and best-effort: a second close — e.g. an explicit
+        close inside a ``with`` block — is a no-op, and a close the
+        server can no longer honour (it is draining, or the connection
+        is gone) is swallowed rather than raised out of ``__exit__`` —
+        the server reclaims every session at shutdown anyway.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._client.request("close", session=self._name)
+        except NetError:
+            pass
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise NetError(f"session {self._name!r} is closed")
+
+    def __enter__(self) -> "NetSession":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,175 @@
+"""The newline-delimited-JSON wire protocol of :mod:`repro.runtime.net`.
+
+One request per line, one JSON object per request; one reply per request,
+also a single line.  The full specification lives in ``docs/runtime.md``
+(section "Serving over the network"); this module is the shared
+encode/decode layer used by the server, the workers and the client, so
+the two sides can never drift.
+
+Array transport
+---------------
+
+Logits must arrive **byte-identical** to a standalone
+:class:`repro.runtime.Session`, so the canonical array encoding is raw
+little-endian float64 bytes, base64-wrapped::
+
+    {"dtype": "<f8", "shape": [39], "b64": "..."}
+
+For hand-written clients a plain JSON list of numbers is also accepted on
+input (Python's JSON round-trips every float64 exactly, so this loses
+nothing); replies always use the base64 form.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "NetError",
+    "BusyError",
+    "encode_array",
+    "decode_array",
+    "dump_line",
+    "parse_line",
+    "error_reply",
+]
+
+#: Bumped on any incompatible wire change; sent in every ``hello`` frame.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one request line — a malformed or hostile client must not
+#: balloon the server's memory.  Generous: a base64 float64 frame of
+#: 10_000 features is ~110 KB.
+MAX_LINE_BYTES = 1 << 20
+
+
+class NetError(ReproError):
+    """A network-serving request failed (protocol, transport, or remote)."""
+
+
+class BusyError(NetError):
+    """The server refused a request with a ``busy`` frame (backpressure).
+
+    The refused frame was **not** applied to the session: resend it before
+    pushing anything newer, or the stream's state diverges.
+    """
+
+
+def encode_array(values: np.ndarray) -> dict:
+    """Encode an array as the exact base64 form."""
+    values = np.ascontiguousarray(values, dtype=np.float64)
+    return {
+        "dtype": "<f8",
+        "shape": list(values.shape),
+        "b64": base64.b64encode(
+            values.astype("<f8", copy=False).tobytes()
+        ).decode("ascii"),
+    }
+
+
+def decode_array(payload: Any) -> np.ndarray:
+    """Decode either array form (base64 dict or JSON list) to float64."""
+    if isinstance(payload, dict):
+        try:
+            if payload["dtype"] != "<f8":
+                raise NetError(
+                    f"unsupported wire dtype {payload['dtype']!r}; "
+                    "arrays travel as little-endian float64"
+                )
+            raw = base64.b64decode(payload["b64"], validate=True)
+            # asarray, not astype: on little-endian machines "<f8" IS
+            # float64, so this is a zero-copy view of the decoded bytes.
+            values = np.asarray(
+                np.frombuffer(raw, dtype="<f8"), dtype=np.float64
+            )
+            return values.reshape([int(n) for n in payload["shape"]])
+        except NetError:
+            raise
+        except (KeyError, ValueError, TypeError) as error:
+            raise NetError(f"malformed array payload: {error}") from None
+    if isinstance(payload, list):
+        try:
+            return np.asarray(payload, dtype=np.float64)
+        except (ValueError, TypeError) as error:
+            raise NetError(f"malformed array list: {error}") from None
+    raise NetError(
+        f"array payload must be a base64 dict or a list, got "
+        f"{type(payload).__name__}"
+    )
+
+
+def frame_payload_bytes(payload: Any) -> tuple[bytes, list[int]]:
+    """Raw little-endian float64 bytes + shape from a frame payload.
+
+    The server hot path: for the canonical base64 ``<f8`` form the
+    decoded bytes pass straight through to the worker with no numpy
+    round trip (just a length-vs-shape check); the JSON-list form pays
+    one conversion.
+    """
+    if isinstance(payload, dict):
+        if payload.get("dtype") != "<f8":
+            raise NetError(
+                f"unsupported wire dtype {payload.get('dtype')!r}; "
+                "arrays travel as little-endian float64"
+            )
+        try:
+            raw = base64.b64decode(payload["b64"], validate=True)
+            shape = [int(n) for n in payload["shape"]]
+        except (KeyError, ValueError, TypeError) as error:
+            raise NetError(f"malformed array payload: {error}") from None
+        count = 1
+        for dim in shape:
+            if dim < 0:  # a [-2,-4] shape would pass a product check
+                raise NetError(f"negative dimension in shape {shape}")
+            count *= dim
+        if len(raw) != 8 * count:
+            raise NetError(
+                f"frame payload carries {len(raw)} bytes for shape {shape}"
+            )
+        return raw, shape
+    values = decode_array(payload)
+    return values.astype("<f8", copy=False).tobytes(), list(values.shape)
+
+
+def dump_line(message: dict) -> bytes:
+    """Serialize one protocol message to its wire line (with newline)."""
+    return (
+        json.dumps(message, separators=(",", ":"), allow_nan=False) + "\n"
+    ).encode("utf-8")
+
+
+def parse_line(line: bytes) -> dict:
+    """Parse one wire line into a message dict."""
+    if len(line) > MAX_LINE_BYTES:
+        raise NetError(f"request line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        message = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as error:
+        raise NetError(f"request is not valid JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise NetError(
+            f"request must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def error_reply(request_id: Any, error: BaseException | str) -> dict:
+    """The standard error frame for a failed request."""
+    if isinstance(error, BaseException):
+        kind, text = type(error).__name__, str(error)
+    else:
+        kind, text = "NetError", str(error)
+    return {
+        "id": request_id,
+        "ok": False,
+        "type": "error",
+        "kind": kind,
+        "error": text,
+    }

@@ -1,0 +1,688 @@
+"""The network front-end: an asyncio NDJSON TCP server over worker processes.
+
+:class:`NetServer` is the process boundary the runtime stack stops at
+after PR 4.  The parent process owns the listening socket and the
+connection protocol only — **no model math runs here**.  It spawns
+``workers`` worker processes (:mod:`repro.runtime.net.worker`), each of
+which loads the compiled ``.npz`` artifact and runs its own
+micro-batching :class:`repro.runtime.Server`; requests are routed to a
+worker by a **stable hash of the session id**, so a named stream's
+carried recurrent state stays worker-local for its whole life — across
+pushes, connections, and reconnects.
+
+Flow control is explicit: each connection may have at most
+``queue_limit`` requests in flight; one more gets an immediate ``busy``
+frame instead of unbounded buffering (the client resends after backoff —
+a busy'd frame was *not* applied).  ``close()`` — and SIGTERM via
+:meth:`serve_forever` — drains: the listener stops, in-flight frames
+complete and their replies flush, then workers shut down their
+micro-batching servers (which drain their own queues in turn).
+
+>>> with NetServer(compiled, workers=2) as server:
+...     client = Client(*server.address)
+...     logits = client.session("stream-7").push(frame)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import itertools
+import signal
+import tempfile
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.runtime.net.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    NetError,
+    dump_line,
+    error_reply,
+    frame_payload_bytes,
+    parse_line,
+)
+
+__all__ = ["NetServer", "route_session"]
+
+#: Ops that carry a session name and run on a worker.
+_SESSION_OPS = frozenset({"open", "push", "reset", "close"})
+
+#: Longest accepted session id — routing keys, not payloads.
+_MAX_SESSION_ID = 256
+
+
+def _net_error(message: str) -> dict:
+    """An id-less error payload (the caller supplies the id)."""
+    return {"ok": False, "type": "error", "kind": "NetError",
+            "error": message}
+
+
+def route_session(session: str, workers: int) -> int:
+    """Worker index for a session id: stable across processes and runs.
+
+    ``hash()`` is salted per process (PYTHONHASHSEED), so it would route
+    the same session differently after a restart; a truncated SHA-256 is
+    stable everywhere, which is what lets a reconnecting client find its
+    carried state again.
+    """
+    digest = hashlib.sha256(session.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % workers
+
+
+class _Conn:
+    """Per-connection state; touched only on the event-loop thread."""
+
+    __slots__ = ("id", "writer", "pending")
+
+    def __init__(self, conn_id: int, writer: asyncio.StreamWriter):
+        self.id = conn_id
+        self.writer = writer
+        self.pending = 0
+
+
+class NetServer:
+    """Serve one compiled model over TCP, sharded across worker processes.
+
+    ``compiled`` is a :class:`repro.runtime.CompiledModel` (saved to a
+    temporary artifact for the workers) or pass ``artifact_path`` to an
+    existing ``.npz``.  ``port=0`` binds an ephemeral port — read
+    :attr:`address` after :meth:`start`.  ``queue_limit`` bounds each
+    connection's in-flight requests (the ``busy`` threshold).
+    """
+
+    def __init__(
+        self,
+        compiled: Any = None,
+        *,
+        artifact_path: str | Path | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        max_batch: int = 16,
+        max_delay_s: float = 0.002,
+        queue_limit: int = 32,
+        drain_timeout_s: float = 10.0,
+    ):
+        if compiled is None and artifact_path is None:
+            raise ConfigError("NetServer needs a compiled model or artifact_path")
+        if workers < 1:
+            raise ConfigError(f"workers must be positive, got {workers}")
+        if queue_limit < 1:
+            raise ConfigError(f"queue_limit must be positive, got {queue_limit}")
+        if artifact_path is not None and compiled is None:
+            from repro.runtime.model import CompiledModel
+
+            compiled = CompiledModel.load(artifact_path)
+        self._compiled = compiled
+        self._artifact_path = Path(artifact_path) if artifact_path else None
+        self._host = host
+        self._port = port
+        self.workers = workers
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self.queue_limit = queue_limit
+        self.drain_timeout_s = drain_timeout_s
+
+        self._stop_serving = threading.Event()
+        self._tmpdir: tempfile.TemporaryDirectory | None = None
+        self._procs: list[Any] = []
+        self._worker_queues: list[Any] = []
+        # One reply queue (and pump thread) PER worker, never shared: a
+        # worker killed between its queue-feeder's pipe write and lock
+        # release would poison a shared queue's write lock and silently
+        # hang every *surviving* worker's replies.  Isolated queues bound
+        # the blast radius to the dead worker's own (already lost) replies.
+        self._reply_queues: list[Any] = []
+        self._pumps: list[threading.Thread] = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._stop_async: asyncio.Event | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._lifecycle = threading.Lock()
+        self._state = "new"  # new -> started -> closed
+
+        # Event-loop-thread state.
+        self._conns: dict[int, _Conn] = {}
+        self._conn_ids = itertools.count(1)
+        self._tasks: set[asyncio.Task] = set()
+        # Stats fan-out tracking.  Keyed by a server-generated token (an
+        # unguessable per-server prefix + counter), NOT the client-chosen
+        # request id: a client reusing one id for a push and a stats
+        # request must not be able to collide a push reply into a stats
+        # aggregate and corrupt the admission accounting.
+        self._stats_prefix = f"stats:{uuid.uuid4().hex}:"
+        self._stats_seq = itertools.count(1)
+        self._aggregates: dict[str, tuple[int, Any, list[dict]]] = {}
+        # Every dispatched, unanswered request: (conn_id, rid) -> worker
+        # index for session ops, stats token -> set of pending workers.
+        # The reaper sweeps entries whose worker died (their replies will
+        # never come) so admission slots and the drain can't leak.
+        self._dispatched: dict[Any, Any] = {}
+        self._inflight = 0
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (resolves ``port=0``)."""
+        return self._host, self._port
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    def __enter__(self) -> "NetServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def start(self) -> "NetServer":
+        """Spawn workers, bind the socket, begin serving.  Returns self."""
+        with self._lifecycle:
+            if self._state == "started":
+                return self
+            if self._state == "closed":
+                raise ConfigError("NetServer cannot be restarted after close()")
+            self._spawn_workers()
+            self._loop = asyncio.new_event_loop()
+            self._loop_thread = threading.Thread(
+                target=self._run_loop, name="repro-net-server", daemon=True
+            )
+            self._loop_thread.start()
+            self._started.wait(timeout=30)
+            if self._startup_error is not None:
+                self._shutdown_workers()
+                raise ConfigError(
+                    f"net server failed to start: {self._startup_error}"
+                )
+            if not self._started.is_set():
+                self._shutdown_workers()
+                raise ConfigError("net server did not start within 30s")
+            self._pumps = [
+                threading.Thread(
+                    target=self._pump_replies,
+                    args=(queue,),
+                    name=f"repro-net-pump-{index}",
+                    daemon=True,
+                )
+                for index, queue in enumerate(self._reply_queues)
+            ]
+            for pump in self._pumps:
+                pump.start()
+            self._state = "started"
+            return self
+
+    def close(self) -> None:
+        """Drain in-flight frames, shut workers down, release the port.
+
+        Idempotent and safe under concurrent calls; every caller returns
+        only after the teardown is complete.
+        """
+        self._stop_serving.set()  # release any serve_forever() caller
+        with self._lifecycle:
+            if self._state != "started":
+                self._state = "closed"
+                return
+            self._state = "closed"
+            loop, stop = self._loop, self._stop_async
+            if loop is not None and stop is not None:
+                try:
+                    loop.call_soon_threadsafe(stop.set)
+                except RuntimeError:
+                    pass  # loop already dead
+            if self._loop_thread is not None:
+                self._loop_thread.join(timeout=self.drain_timeout_s + 30)
+            self._shutdown_workers()
+            if self._tmpdir is not None:
+                self._tmpdir.cleanup()
+                self._tmpdir = None
+
+    def serve_forever(self, install_signals: bool = True) -> None:
+        """Block until SIGTERM/SIGINT — or ``close()`` from another
+        thread — then drain and shut down (CLI mode)."""
+        self.start()
+        previous = {}
+        if install_signals:
+            def handler(signum: int, frame: Any) -> None:
+                self._stop_serving.set()
+
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    previous[signum] = signal.signal(signum, handler)
+                except ValueError:
+                    pass  # not the main thread; close() can still stop us
+        try:
+            self._stop_serving.wait()
+        finally:
+            for signum, old in previous.items():
+                signal.signal(signum, old)
+            self.close()
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle (caller threads).
+    # ------------------------------------------------------------------
+    def _spawn_workers(self) -> None:
+        import multiprocessing as mp
+
+        from repro.runtime.net.worker import worker_main
+
+        if self._artifact_path is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-net-")
+            self._artifact_path = (
+                Path(self._tmpdir.name) / f"{self._compiled.fingerprint}.npz"
+            )
+            self._compiled.save(self._artifact_path)
+
+        # "spawn" everywhere: the parent runs an event loop plus threads,
+        # which fork() would duplicate into undefined territory.
+        ctx = mp.get_context("spawn")
+        self._reply_queues = [ctx.Queue() for _ in range(self.workers)]
+        self._worker_queues = [ctx.Queue() for _ in range(self.workers)]
+        for queue in self._reply_queues + self._worker_queues:
+            # Never let interpreter exit join our feeder threads: a
+            # worker killed while holding a queue's write lock leaves
+            # that feeder blocked forever, and multiprocessing's atexit
+            # finalizer would join it WITHOUT a timeout, hanging the
+            # whole process at shutdown.  Everything that must arrive is
+            # confirmed out-of-band (worker joins / ready handshakes), so
+            # dropping unflushed bytes at exit is safe.
+            queue.cancel_join_thread()
+        self._procs = [
+            ctx.Process(
+                target=worker_main,
+                args=(
+                    index,
+                    str(self._artifact_path),
+                    self._worker_queues[index],
+                    self._reply_queues[index],
+                    self.max_batch,
+                    self.max_delay_s,
+                ),
+                name=f"repro-net-worker-{index}",
+                daemon=True,
+            )
+            for index in range(self.workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+        deadline = time.monotonic() + 120
+        for index, proc in enumerate(self._procs):
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._shutdown_workers()
+                    raise ConfigError(
+                        f"worker {index} not ready after 120s"
+                    )
+                try:
+                    message = self._reply_queues[index].get(
+                        timeout=min(remaining, 1.0)
+                    )
+                except Exception:
+                    if not proc.is_alive() and proc.exitcode not in (0, None):
+                        self._shutdown_workers()
+                        raise ConfigError(
+                            f"worker process {proc.name} died during startup"
+                        )
+                    continue
+                if message[0] == "ready":
+                    break
+                if message[0] == "fatal":
+                    self._shutdown_workers()
+                    raise ConfigError(message[2])
+
+    def _shutdown_workers(self) -> None:
+        for q in self._worker_queues:
+            try:
+                q.put(("shutdown",))
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=15)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        for index, queue in enumerate(self._reply_queues):
+            try:
+                queue.put(None)  # stop that worker's pump
+            except Exception:
+                pass
+        for index, pump in enumerate(self._pumps):
+            # A worker that died uncleanly may have poisoned its reply
+            # queue's locks; its pump can stay blocked (daemon thread)
+            # rather than stall close() waiting for a join that cannot
+            # succeed.
+            proc = self._procs[index] if index < len(self._procs) else None
+            if proc is None or proc.exitcode == 0:
+                pump.join(timeout=10)
+        self._pumps = []
+        self._procs = []
+        self._worker_queues = []
+        self._reply_queues = []
+
+    def _pump_replies(self, replies: Any) -> None:
+        """Move one worker's replies onto the event loop (which owns conns)."""
+        while True:
+            message = replies.get()
+            if message is None:
+                return
+            kind = message[0]
+            if kind == "res":
+                _, conn_id, rid, payload = message
+                try:
+                    self._loop.call_soon_threadsafe(
+                        self._deliver, conn_id, rid, payload
+                    )
+                except RuntimeError:
+                    return  # loop closed mid-drain; workers are next
+            # "ready" duplicates and "fatal" after startup are
+            # informational — _handle_request checks process liveness
+            # before dispatching, so a dead worker surfaces as an error
+            # reply on the next request routed to it.  (Requests already
+            # queued to a worker when it dies are lost; the drain loop
+            # caps the wait at drain_timeout_s.  Supervision/restart is
+            # ROADMAP work.)
+
+    # ------------------------------------------------------------------
+    # Event-loop side.
+    # ------------------------------------------------------------------
+    def _run_loop(self) -> None:
+        loop = self._loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self._serve_main())
+        except BaseException as error:  # noqa: BLE001 — surfaced by start()
+            self._startup_error = error
+            self._started.set()
+        finally:
+            loop.close()
+
+    async def _serve_main(self) -> None:
+        self._stop_async = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_conn,
+            self._host,
+            self._port,
+            limit=MAX_LINE_BYTES + 1024,
+        )
+        self._port = server.sockets[0].getsockname()[1]
+        reaper = asyncio.ensure_future(self._reap_loop())
+        self._started.set()
+        await self._stop_async.wait()
+        reaper.cancel()
+
+        # Drain: stop accepting and refuse new work (readers stay alive so
+        # in-flight replies still reach their clients), wait for every
+        # dispatched frame's reply to flush, then tear the readers down.
+        self._draining = True
+        server.close()
+        await server.wait_closed()
+        deadline = time.monotonic() + self.drain_timeout_s
+        while self._inflight > 0 and time.monotonic() < deadline:
+            # Requests owed by a dead worker can never drain; fail them
+            # now rather than waiting out the whole timeout.
+            self._reap_dead_workers()
+            await asyncio.sleep(0.005)
+        readers = list(self._tasks)
+        for task in readers:
+            task.cancel()
+        await asyncio.gather(*readers, return_exceptions=True)
+        for conn in list(self._conns.values()):
+            # _finish only wrote replies into the transport buffer; the
+            # drain promise means actually flushing them to the socket
+            # before the loop (and its pending writes) is torn down.  A
+            # client too slow to read within the remaining budget forfeits
+            # its tail.
+            try:
+                remaining = deadline - time.monotonic()
+                if remaining > 0:
+                    await asyncio.wait_for(conn.writer.drain(), remaining)
+            except Exception:
+                pass
+            try:
+                conn.writer.close()
+                await asyncio.wait_for(conn.writer.wait_closed(), 1.0)
+            except Exception:
+                pass
+        self._conns.clear()
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Conn(next(self._conn_ids), writer)
+        self._conns[conn.id] = conn
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+        self._write(conn, {
+            "type": "hello",
+            "protocol": PROTOCOL_VERSION,
+            "backend": self._compiled.backend,
+            "input_size": self._compiled.input_size,
+            "num_classes": self._compiled.num_classes,
+            "workers": self.workers,
+            "queue_limit": self.queue_limit,
+        })
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    self._write(conn, error_reply(
+                        None, f"request line exceeds {MAX_LINE_BYTES} bytes"
+                    ))
+                    break
+                if not line:
+                    break
+                self._handle_request(conn, line)
+                await writer.drain()
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        finally:
+            self._conns.pop(conn.id, None)
+            if task is not None:
+                self._tasks.discard(task)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    def _handle_request(self, conn: _Conn, line: bytes) -> None:
+        try:
+            message = parse_line(line)
+        except NetError as error:
+            self._write(conn, error_reply(None, error))
+            return
+        rid = message.get("id")
+        if isinstance(rid, (dict, list)):
+            self._write(conn, error_reply(
+                None, "request id must be a JSON scalar"
+            ))
+            return
+        op = message.get("op")
+        if op == "ping":
+            self._write(conn, {"id": rid, "ok": True, "type": "pong"})
+            return
+        if self._draining:
+            self._write(conn, error_reply(
+                rid, "server is draining for shutdown; no new work accepted"
+            ))
+            return
+        if op == "stats":
+            dead = self._dead_workers()
+            if dead:
+                self._write(conn, error_reply(
+                    rid, f"worker process(es) {dead} died; stats cannot "
+                    "aggregate every worker"
+                ))
+                return
+            if not self._admit(conn, rid):
+                return
+            token = self._stats_prefix + str(next(self._stats_seq))
+            self._aggregates[token] = (conn.id, rid, [])
+            self._dispatched[token] = set(range(self.workers))
+            for q in self._worker_queues:
+                q.put(("stats", conn.id, token))
+            return
+        if op in _SESSION_OPS:
+            session = message.get("session")
+            if not isinstance(session, str) or not session:
+                self._write(conn, error_reply(
+                    rid, f"op {op!r} needs a non-empty string session id"
+                ))
+                return
+            if len(session) > _MAX_SESSION_ID:
+                self._write(conn, error_reply(
+                    rid, f"session id exceeds {_MAX_SESSION_ID} characters"
+                ))
+                return
+            frame_bytes = shape = None
+            if op == "push":
+                try:
+                    # Canonical b64 frames pass their raw bytes straight
+                    # through to the worker — no numpy round trip on the
+                    # one thread every connection shares.
+                    frame_bytes, shape = frame_payload_bytes(
+                        message.get("frame")
+                    )
+                except NetError as error:
+                    self._write(conn, error_reply(rid, error))
+                    return
+            worker = route_session(session, self.workers)
+            if not self._procs[worker].is_alive():
+                self._write(conn, error_reply(
+                    rid, f"worker process {worker} died; session "
+                    f"{session!r} and its carried state are lost"
+                ))
+                return
+            if (conn.id, rid) in self._dispatched:
+                # Reply matching is by id: a duplicate in-flight id would
+                # overwrite the tracking entry and leak an admission slot
+                # when its reply is mistaken for a reaped duplicate.
+                self._write(conn, error_reply(
+                    rid, f"request id {rid!r} is already in flight on "
+                    "this connection; ids must be unique until answered"
+                ))
+                return
+            if not self._admit(conn, rid):
+                return
+            self._dispatched[(conn.id, rid)] = worker
+            self._worker_queues[worker].put(
+                ("req", conn.id, rid, op, session, frame_bytes, shape)
+            )
+            return
+        self._write(conn, error_reply(
+            rid,
+            f"unknown op {op!r}; expected one of ping, stats, open, push, "
+            "reset, close",
+        ))
+
+    def _admit(self, conn: _Conn, rid: Any) -> bool:
+        """Bounded per-connection admission: full queue means ``busy``."""
+        if conn.pending >= self.queue_limit:
+            self._write(conn, {
+                "id": rid,
+                "ok": False,
+                "type": "busy",
+                "limit": self.queue_limit,
+            })
+            return False
+        conn.pending += 1
+        self._inflight += 1
+        return True
+
+    def _dead_workers(self) -> list[int]:
+        return [
+            index for index, proc in enumerate(self._procs)
+            if not proc.is_alive()
+        ]
+
+    async def _reap_loop(self) -> None:
+        """Periodically fail requests owed by workers that died."""
+        try:
+            while True:
+                await asyncio.sleep(0.5)
+                self._reap_dead_workers()
+        except asyncio.CancelledError:
+            pass
+
+    def _reap_dead_workers(self) -> None:
+        """Resolve dispatched requests whose worker can no longer reply.
+
+        Without this, a worker crash after dispatch would leak the
+        connection's admission slot and ``_inflight`` forever — busy
+        frames for the rest of the connection's life and a full
+        ``drain_timeout_s`` stall on every close.
+        """
+        dead = set(self._dead_workers())
+        if not dead:
+            return
+        for key, owed in list(self._dispatched.items()):
+            if isinstance(key, str):  # stats token: owed = pending workers
+                if not (owed & dead):
+                    continue
+                self._dispatched.pop(key, None)
+                aggregate = self._aggregates.pop(key, None)
+                if aggregate is None:
+                    continue
+                conn_id, rid, _parts = aggregate
+                self._finish(conn_id, rid, _net_error(
+                    f"worker process(es) {sorted(owed & dead)} died during "
+                    "stats aggregation"
+                ))
+            elif owed in dead:
+                self._dispatched.pop(key, None)
+                conn_id, rid = key
+                self._finish(conn_id, rid, _net_error(
+                    f"worker process {owed} died with the request in "
+                    "flight; its sessions' carried state is lost"
+                ))
+
+    def _deliver(self, conn_id: int, rid: Any, payload: dict) -> None:
+        """A worker reply arrived (event-loop thread): match and write.
+
+        ``rid`` is either the client's request id (session ops, echoed
+        verbatim through the worker) or a server-internal stats token.
+        """
+        if isinstance(rid, str) and rid in self._aggregates:
+            conn_id0, real_rid, parts = self._aggregates[rid]
+            owed = self._dispatched.get(rid)
+            if owed is not None:
+                owed.discard(payload.get("worker"))
+            parts.append(payload)
+            if len(parts) < self.workers:
+                return
+            del self._aggregates[rid]
+            self._dispatched.pop(rid, None)
+            parts.sort(key=lambda part: part.get("worker", 0))
+            payload = {"ok": True, "type": "stats", "workers": parts}
+            conn_id, rid = conn_id0, real_rid
+        elif self._dispatched.pop((conn_id, rid), None) is None:
+            # Already resolved by the reaper (the worker died and a
+            # buffered reply limped in afterwards) — the client has its
+            # answer; dropping the duplicate keeps accounting exact.
+            return
+        self._finish(conn_id, rid, payload)
+
+    def _finish(self, conn_id: int, rid: Any, payload: dict) -> None:
+        """Settle one admitted request: accounting, then the reply."""
+        self._inflight -= 1
+        conn = self._conns.get(conn_id)
+        if conn is None:
+            return  # client went away; the frame still ran (state advanced)
+        conn.pending -= 1
+        self._write(conn, {"id": rid, **payload})
+
+    def _write(self, conn: _Conn, message: dict) -> None:
+        try:
+            conn.writer.write(dump_line(message))
+        except Exception:
+            pass  # connection torn down mid-write; reader path cleans up

@@ -1,0 +1,212 @@
+"""The serving worker process of :mod:`repro.runtime.net`.
+
+Each worker is one OS process that loads the compiled ``.npz`` artifact
+from disk and runs its **own** micro-batching
+:class:`repro.runtime.Server` — numpy compute in ``N`` workers scales
+across cores where one Python process cannot.  Session state lives here:
+the parent routes every request for a session name to the same worker
+(stable hash), so the recurrent state never crosses a process boundary.
+
+Inside the worker, every open session gets a dedicated runner thread that
+owns its :class:`repro.runtime.ServerSession` and consumes that session's
+requests in arrival order — per-session ordering is strict, while
+concurrent sessions' pushes coalesce in the worker's micro-batching
+server exactly as local threads would.
+
+Parent → worker messages (tuples on the request queue)::
+
+    ("req",   conn_id, rid, op, session, frame_bytes, shape)
+    ("stats", conn_id, rid)
+    ("shutdown",)
+
+Worker → parent messages (on this worker's own reply queue — never
+shared between workers, so one worker's death cannot poison another's
+queue locks)::
+
+    ("ready", index)                 # artifact loaded, serving
+    ("res",   conn_id, rid, reply)   # wire-ready reply dict, sans "id"
+    ("fatal", index, message)        # the worker is dead
+"""
+
+from __future__ import annotations
+
+import queue
+import signal
+import threading
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["worker_main"]
+
+_SHUTDOWN = object()
+
+
+class _SessionRunner(threading.Thread):
+    """Owns one ServerSession; applies its requests strictly in order."""
+
+    def __init__(self, name: str, server: Any, replies: Any):
+        super().__init__(name=f"net-session-{name}", daemon=True)
+        self.queue: queue.Queue = queue.Queue()
+        self._session = server.session()
+        self._replies = replies
+
+    def submit(self, item: tuple) -> None:
+        self.queue.put(item)
+
+    def run(self) -> None:
+        while True:
+            item = self.queue.get()
+            if item is _SHUTDOWN:
+                self._session.close()
+                return
+            conn_id, rid, op, frame = item
+            try:
+                reply = self._apply(op, frame)
+            except ReproError as error:
+                reply = _error(error)
+            except Exception as error:  # noqa: BLE001 — relayed to the client
+                reply = _error(error)
+            self._replies.put(("res", conn_id, rid, reply))
+            if op == "close":
+                return
+
+    def _apply(self, op: str, frame: np.ndarray | None) -> dict:
+        from repro.runtime.net.protocol import encode_array
+
+        if op == "push":
+            logits = self._session.push(frame)
+            return {
+                "ok": True,
+                "type": "push",
+                "seq": self._session.frames_pushed,
+                "logits": encode_array(logits),
+            }
+        if op == "reset":
+            self._session.reset()
+            return {"ok": True, "type": "reset"}
+        if op == "close":
+            self._session.close()
+            return {"ok": True, "type": "close"}
+        raise ReproError(f"unknown session op {op!r}")
+
+
+def _error(error: BaseException) -> dict:
+    return {
+        "ok": False,
+        "type": "error",
+        "kind": type(error).__name__,
+        "error": str(error),
+    }
+
+
+def worker_main(
+    index: int,
+    artifact_path: str,
+    requests: Any,
+    replies: Any,
+    max_batch: int,
+    max_delay_s: float,
+) -> None:
+    """Entry point of one worker process (spawn-safe, module-level)."""
+    # The parent owns interactive shutdown; a Ctrl-C must not produce a
+    # worker traceback race while the parent is draining.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass
+
+    try:
+        from repro.runtime.model import CompiledModel
+        from repro.runtime.server import Server
+
+        compiled = CompiledModel.load(artifact_path)
+        server = Server(compiled, max_batch=max_batch, max_delay_s=max_delay_s)
+    except BaseException as error:  # noqa: BLE001 — parent must learn of it
+        replies.put(("fatal", index, f"worker {index} failed to start: {error}"))
+        return
+
+    sessions: dict[str, _SessionRunner] = {}
+    meta = {
+        "backend": compiled.backend,
+        "input_size": compiled.input_size,
+        "num_classes": compiled.num_classes,
+        "worker": index,
+    }
+    replies.put(("ready", index))
+
+    try:
+        while True:
+            message = requests.get()
+            kind = message[0]
+            if kind == "shutdown":
+                break
+            if kind == "stats":
+                _, conn_id, rid = message
+                replies.put(
+                    ("res", conn_id, rid, {
+                        "ok": True,
+                        "type": "stats",
+                        "worker": index,
+                        "stats": server.stats().to_dict(),
+                        "sessions": len(sessions),
+                    })
+                )
+                continue
+            _, conn_id, rid, op, name, frame_bytes, shape = message
+            if op == "open":
+                runner = sessions.get(name)
+                if runner is None or not runner.is_alive():
+                    runner = _SessionRunner(name, server, replies)
+                    runner.start()
+                    sessions[name] = runner
+                    existing = False
+                else:
+                    existing = True
+                replies.put(
+                    ("res", conn_id, rid,
+                     {"ok": True, "type": "open", "session": name,
+                      "existing": existing,
+                      # Where the stream already is (reattach support);
+                      # meaningful when the session is idle, which is the
+                      # only sane time to reattach.
+                      "seq": runner._session.frames_pushed,
+                      **meta})
+                )
+                continue
+            runner = sessions.get(name)
+            if runner is None:
+                replies.put(
+                    ("res", conn_id, rid, _error(ReproError(
+                        f"unknown session {name!r}; send an open request first"
+                    )))
+                )
+                continue
+            frame = None
+            if frame_bytes is not None:
+                # The parent validates shape/length, but a decode failure
+                # here must fail ONE request, never the whole worker (and
+                # every session pinned to it).
+                try:
+                    frame = np.frombuffer(
+                        frame_bytes, dtype="<f8"
+                    ).reshape(shape)
+                except ValueError as error:
+                    replies.put(("res", conn_id, rid, _error(error)))
+                    continue
+            if op == "close":
+                del sessions[name]
+            runner.submit((conn_id, rid, op, frame))
+    except BaseException as error:  # noqa: BLE001 — parent must learn of it
+        replies.put(("fatal", index, f"worker {index} died: {error}"))
+    finally:
+        # Drain: queued session work finishes (every runner sees its
+        # sentinel only after its pending requests), then the
+        # micro-batching server closes.
+        for runner in sessions.values():
+            runner.submit(_SHUTDOWN)
+        for runner in sessions.values():
+            runner.join(timeout=30)
+        server.close()

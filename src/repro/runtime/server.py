@@ -30,6 +30,7 @@ from typing import Any
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.runtime.coerce import coerce_frame
 
 __all__ = ["Server", "ServerSession", "ServerStats"]
 
@@ -57,6 +58,18 @@ class ServerStats:
             f"{self.max_batch} rows), {self.sessions_active}/"
             f"{self.sessions_opened} sessions active"
         )
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (the net layer's ``stats`` reply format)."""
+        return {
+            "frames": self.frames,
+            "batches": self.batches,
+            "sessions_opened": self.sessions_opened,
+            "sessions_active": self.sessions_active,
+            "max_coalesced": self.max_coalesced,
+            "max_batch": self.max_batch,
+            "mean_coalesced": self.mean_coalesced,
+        }
 
 
 class _Request:
@@ -138,13 +151,39 @@ class Server:
             )
 
     def close(self) -> None:
-        """Drain pending pushes, stop the dispatcher, reject new work."""
+        """Drain pending pushes, stop the dispatcher, reject new work.
+
+        Safe (and equivalent) under concurrent calls: *every* caller
+        returns only after the dispatcher has exited and every queued
+        push has been resolved — completed normally during the drain, or
+        failed with :class:`ConfigError`.  A push blocked in
+        ``future.result()`` therefore can never outlive ``close()``.
+        """
         with self._cond:
-            if self._closed:
-                return
             self._closed = True
             self._cond.notify_all()
-        self._dispatcher.join()
+        # Join unconditionally (not just for the first caller): a second
+        # concurrent close() must not return while the drain is still in
+        # flight.  Joining a finished thread is a no-op; joining from the
+        # dispatcher itself (an executor callback closing its own server)
+        # cannot wait, so fall through to the queue sweep instead.
+        if threading.current_thread() is not self._dispatcher:
+            self._dispatcher.join()
+        self._fail_pending("server is closed")
+
+    def _fail_pending(self, reason: str) -> None:
+        """Fail every still-queued request — none may be silently dropped.
+
+        Normally the dispatcher drains the queue before exiting and this
+        sweeps nothing; it exists for the abnormal paths (dispatcher
+        death, close() from inside the dispatcher) where queued futures
+        would otherwise hang their callers forever.
+        """
+        with self._cond:
+            pending, self._queue = list(self._queue), deque()
+        for request in pending:
+            if not request.future.done():
+                request.future.set_exception(ConfigError(reason))
 
     def __enter__(self) -> "Server":
         return self
@@ -181,6 +220,18 @@ class Server:
         return max(1, min(self.max_batch, len(live)))
 
     def _loop(self) -> None:
+        try:
+            self._loop_inner()
+        finally:
+            # Dispatcher exit — normal drain or death by unexpected
+            # exception.  Either way no queued future may be left to hang
+            # its caller: mark the server closed so new pushes are
+            # rejected, then fail anything still queued.
+            with self._cond:
+                self._closed = True
+            self._fail_pending("server dispatcher exited with work queued")
+
+    def _loop_inner(self) -> None:
         while True:
             with self._cond:
                 while not self._queue and not self._closed:
@@ -239,25 +290,27 @@ class ServerSession:
         self._state = self._executor.initial_state(1)
         self._frames = 0
         self._open = True
+        self._close_lock = threading.Lock()
 
     @property
     def frames_pushed(self) -> int:
         return self._frames
 
     def push(self, frame: np.ndarray) -> np.ndarray:
-        """One ``(D,)`` frame in, that frame's ``(C,)`` logits out."""
+        """One frame in, that frame's logits out.
+
+        Accepts a bare ``(D,)`` vector (returns ``(C,)``) or a ``(1, D)``
+        frame (returns ``(1, C)``) — the same shapes, via the same
+        :func:`~repro.runtime.coerce.coerce_frame`, as a width-1
+        :class:`repro.runtime.Session`.
+        """
         if not self._open:
             raise ConfigError("session is closed")
-        frame = np.asarray(frame, dtype=np.float64)
-        if frame.ndim != 1 or frame.shape[0] != self._executor.input_size:
-            raise ConfigError(
-                f"expected a ({self._executor.input_size},) frame, "
-                f"got {frame.shape}"
-            )
-        future = self._server._submit(self, frame, self._state)
+        frame, squeezed = coerce_frame(frame, 1, self._executor.input_size)
+        future = self._server._submit(self, frame[0], self._state)
         logits, self._state = future.result()
         self._frames += 1
-        return logits
+        return logits if squeezed else logits[None, :]
 
     def reset(self) -> "ServerSession":
         """Zero the carried state, as between utterances.  Returns self."""
@@ -266,9 +319,12 @@ class ServerSession:
         return self
 
     def close(self) -> None:
-        if self._open:
+        """Release the session's server slot.  Idempotent, thread-safe."""
+        with self._close_lock:
+            if not self._open:
+                return
             self._open = False
-            self._server._release_session(self)
+        self._server._release_session(self)
 
     def __enter__(self) -> "ServerSession":
         return self

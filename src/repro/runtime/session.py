@@ -22,6 +22,7 @@ from typing import Any
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.runtime.coerce import coerce_frame, coerce_stream
 
 __all__ = ["Session"]
 
@@ -66,23 +67,9 @@ class Session:
         logits are byte-identical to row ``t`` of ``run()`` over the full
         stream (the streaming ≡ batched invariant).
         """
-        frame = np.asarray(frame, dtype=np.float64)
-        squeeze = frame.ndim == 1
-        if squeeze:
-            if self._batch != 1:
-                raise ConfigError(
-                    f"a width-{self._batch} session needs (B, D) frames; "
-                    "bare (D,) vectors are for batch_size=1"
-                )
-            frame = frame[None, :]
-        if frame.ndim != 2 or frame.shape != (
-            self._batch,
-            self._executor.input_size,
-        ):
-            raise ConfigError(
-                f"expected a ({self._batch}, {self._executor.input_size}) "
-                f"frame, got {frame.shape}"
-            )
+        frame, squeeze = coerce_frame(
+            frame, self._batch, self._executor.input_size
+        )
         logits, self._state = self._executor.step(frame, self._state)
         self._frames += 1
         return logits[0] if squeeze else logits
@@ -94,9 +81,7 @@ class Session:
         literally ``T`` pushes, returned stacked — handy for feeding a
         stream in chunks.
         """
-        frames = np.asarray(frames, dtype=np.float64)
-        if frames.ndim != 3:
-            raise ConfigError(f"expected (T, B, D) frames, got {frames.shape}")
+        frames = coerce_stream(frames, self._executor.input_size)
         out = np.empty(
             (frames.shape[0], self._batch, self._executor.num_classes)
         )

@@ -1,0 +1,156 @@
+"""The one shared input-coercion path, pinned across every surface.
+
+Regression (PR 5): ``ServerSession.push`` force-cast inline and refused
+``(1, D)`` frames that a width-1 ``Session`` accepted; ``run`` validated
+separately again.  Now all four surfaces — ``Session.push``,
+``ServerSession.push``, batched ``CompiledModel.run``, and the net layer
+— go through :func:`repro.runtime.coerce.coerce_frame` /
+:func:`coerce_stream`, and feeding float32 or integer frames yields
+logits byte-identical to the float64 path everywhere (the cast is exact
+for those dtypes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import RNNSpec
+from repro.errors import ConfigError
+from repro.nn.rnn import StackedRNNClassifier
+from repro.runtime import compile
+from repro.runtime.coerce import coerce_frame, coerce_stream
+
+SPEC = RNNSpec("lstm", 10, (32,), 6, block_sizes=(4,))
+
+
+@pytest.fixture(scope="module", params=["float", "fixed"])
+def compiled(request):
+    model = StackedRNNClassifier(
+        SPEC, structured=True, rng=np.random.default_rng(0)
+    )
+    return compile(model, backend=request.param, cache=False)
+
+
+class TestCoerceFrame:
+    def test_bare_vector_squeezes(self):
+        frame, squeezed = coerce_frame(np.zeros(5), 1, 5)
+        assert frame.shape == (1, 5) and squeezed
+        assert frame.dtype == np.float64 and frame.flags["C_CONTIGUOUS"]
+
+    def test_two_dim_passes_through(self):
+        frame, squeezed = coerce_frame(np.zeros((3, 5)), 3, 5)
+        assert frame.shape == (3, 5) and not squeezed
+
+    def test_bare_vector_needs_width_one(self):
+        with pytest.raises(ConfigError, match="batch_size=1"):
+            coerce_frame(np.zeros(5), 2, 5)
+
+    def test_wrong_shape(self):
+        with pytest.raises(ConfigError, match="expected a"):
+            coerce_frame(np.zeros(6), 1, 5)
+        with pytest.raises(ConfigError, match="expected a"):
+            coerce_frame(np.zeros((2, 5)), 1, 5)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ConfigError, match="not numeric"):
+            coerce_frame(np.array(["a", "b"], dtype=object), 1, 2)
+
+    def test_nan_and_inf_rejected(self):
+        for poison in (np.nan, np.inf, -np.inf):
+            frame = np.zeros(5)
+            frame[2] = poison
+            with pytest.raises(ConfigError, match="NaN or Inf"):
+                coerce_frame(frame, 1, 5)
+
+    def test_integer_and_float32_cast_exactly(self):
+        ints = np.arange(5, dtype=np.int32)
+        f32 = np.arange(5, dtype=np.float32) / 3
+        assert np.array_equal(coerce_frame(ints, 1, 5)[0][0],
+                              ints.astype(np.float64))
+        assert np.array_equal(coerce_frame(f32, 1, 5)[0][0],
+                              f32.astype(np.float64))
+
+
+class TestCoerceStream:
+    def test_shape_and_width_checks(self):
+        with pytest.raises(ConfigError, match=r"\(T, B, D\)"):
+            coerce_stream(np.zeros((4, 5)), 5)
+        with pytest.raises(ConfigError, match="feature width"):
+            coerce_stream(np.zeros((4, 1, 6)), 5)
+
+    def test_nan_rejected(self):
+        stream = np.zeros((4, 1, 5))
+        stream[1, 0, 2] = np.nan
+        with pytest.raises(ConfigError, match="NaN or Inf"):
+            coerce_stream(stream, 5)
+
+
+class TestServerSessionShapeParity:
+    """Regression: the server session now accepts the same shapes as Session."""
+
+    def test_one_by_d_frame_accepted(self, compiled):
+        """Pre-PR, ServerSession.push raised on a (1, D) frame."""
+        frame = np.random.default_rng(0).standard_normal(
+            (1, SPEC.input_size)
+        )
+        expected = compiled.session().push(frame)  # (1, C) back
+        with compiled.serve() as server:
+            session = server.session()
+            served = session.push(frame)
+        assert served.shape == (1, SPEC.output_size)
+        assert np.array_equal(served, expected)
+
+    def test_bare_vector_still_squeezes(self, compiled):
+        frame = np.random.default_rng(1).standard_normal(SPEC.input_size)
+        with compiled.serve() as server:
+            served = server.session().push(frame)
+        assert served.shape == (SPEC.output_size,)
+
+    def test_nan_frame_rejected_before_batching(self, compiled):
+        frame = np.zeros(SPEC.input_size)
+        frame[0] = np.nan
+        with compiled.serve() as server:
+            session = server.session()
+            with pytest.raises(ConfigError, match="NaN or Inf"):
+                session.push(frame)
+            # the server survives the rejected frame
+            out = session.push(np.zeros(SPEC.input_size))
+            assert out.shape == (SPEC.output_size,)
+
+
+class TestDtypeByteIdentityAcrossSurfaces:
+    """float32/int frames == float64 frames, on every inference surface."""
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.int32, np.int64])
+    def test_session_server_and_run_agree(self, compiled, dtype):
+        frames = 7
+        rng = np.random.default_rng(7)
+        if np.issubdtype(dtype, np.integer):
+            stream = rng.integers(-4, 5, size=(frames, SPEC.input_size))
+            stream = stream.astype(dtype)
+        else:
+            stream = rng.standard_normal(
+                (frames, SPEC.input_size)
+            ).astype(dtype)
+        exact = stream.astype(np.float64)
+
+        baseline = compiled.run(exact[:, None, :])[:, 0]
+
+        # 1. batched run on the raw dtype
+        assert np.array_equal(
+            compiled.run(stream[:, None, :])[:, 0], baseline
+        )
+        # 2. Session.push on the raw dtype
+        session = compiled.session()
+        pushed = np.stack([session.push(frame) for frame in stream])
+        assert np.array_equal(pushed, baseline)
+        # 3. ServerSession.push on the raw dtype
+        with compiled.serve() as server:
+            served_session = server.session()
+            served = np.stack(
+                [served_session.push(frame) for frame in stream]
+            )
+        assert np.array_equal(served, baseline)
+
+    # Surface 4, the net layer, is pinned in test_netserver.py
+    # (TestNetByteIdentity.test_integer_frames_over_the_wire) — it needs
+    # worker processes, which stay in one module for fixture reuse.

@@ -105,6 +105,66 @@ class TestBench:
         assert "unknown benchmark" in capsys.readouterr().err
 
 
+class TestServe:
+    SPEC_ARGS = ["serve", "--layers", "32", "--block", "4",
+                 "--sessions", "2", "--frames", "6"]
+
+    def test_selftest_ok_exits_zero(self, capsys):
+        assert main(self.SPEC_ARGS + ["--selftest"]) == 0
+        assert "selftest ok" in capsys.readouterr().out
+
+    def test_conformance_failure_exits_one_with_actionable_stderr(
+        self, capsys, monkeypatch
+    ):
+        """Regression (PR 5): a conformance violation used to surface as
+        the generic `error:` handler (exit 2); a serving-blocker must
+        exit 1 with a SELFTEST FAILED line that says what to do."""
+        import repro.runtime
+        from repro.runtime import ConformanceError
+
+        def broken(executor, inputs, rows=None):
+            raise ConformanceError(
+                "step_rows() row 0 differs from a standalone batch-1 step"
+            )
+
+        monkeypatch.setattr(repro.runtime, "check_conformance", broken)
+        code = main(self.SPEC_ARGS + ["--selftest"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "SELFTEST FAILED" in err
+        assert "conformance contract" in err
+        assert "repro serve --selftest" in err  # the actionable re-run hint
+
+    def test_net_serve_selftest_round_trip(self, capsys):
+        """The wire path: ephemeral port, 2 workers, byte-identity."""
+        code = main(self.SPEC_ARGS + [
+            "--selftest", "--port", "0", "--workers", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving on 127.0.0.1:" in out
+        assert "selftest ok" in out and "byte-identical" in out
+        assert "worker 0:" in out and "worker 1:" in out
+
+    def test_net_conformance_failure_also_exits_one(
+        self, capsys, monkeypatch
+    ):
+        import repro.runtime
+        from repro.runtime import ConformanceError
+
+        monkeypatch.setattr(
+            repro.runtime, "check_conformance",
+            lambda *a, **k: (_ for _ in ()).throw(
+                ConformanceError("broken backend")
+            ),
+        )
+        code = main(self.SPEC_ARGS + [
+            "--selftest", "--port", "0", "--workers", "1",
+        ])
+        assert code == 1
+        assert "SELFTEST FAILED" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
