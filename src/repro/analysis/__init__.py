@@ -1,0 +1,51 @@
+"""repro.analysis — the project-invariant static analyzer behind ``repro lint``.
+
+The paper's reproduction contracts (byte-identical fixed-point results,
+a non-blocking serving loop, thread-safe caches, a retired legacy API)
+are enforced mechanically here, not just where a test happens to look.
+See :mod:`repro.analysis.core` for the framework and
+``src/repro/analysis/checkers/`` for the rules (REP001–REP006).
+
+Typical use::
+
+    from repro.analysis import analyze_paths
+    report = analyze_paths(["src"])
+    assert report.exit_code == 0, report.findings
+
+or from the command line: ``repro lint src/ --format json``.
+"""
+
+from repro.analysis.baseline import Baseline, apply_baseline
+from repro.analysis.core import (
+    AnalysisError,
+    CHECKER_REGISTRY,
+    Checker,
+    FileContext,
+    Finding,
+    ParseFailure,
+    Report,
+    analyze_paths,
+    clear_parse_cache,
+    iter_python_files,
+    load_file,
+    parse_cache_info,
+    register_checker,
+)
+
+__all__ = [
+    "AnalysisError",
+    "Baseline",
+    "CHECKER_REGISTRY",
+    "Checker",
+    "FileContext",
+    "Finding",
+    "ParseFailure",
+    "Report",
+    "analyze_paths",
+    "apply_baseline",
+    "clear_parse_cache",
+    "iter_python_files",
+    "load_file",
+    "parse_cache_info",
+    "register_checker",
+]

@@ -1,0 +1,109 @@
+"""The reviewed-findings baseline: grandfathered violations with reasons.
+
+A finding is either fixed, suppressed inline next to the code it excuses
+(``# repro: ignore[CODE] reason``), or recorded here — a JSON file
+(``tools/lint_baseline.json``) listing findings the team has looked at
+and decided to carry, each with a one-line justification.  ``repro
+lint`` fails only on findings *not* in the baseline, so the gate can
+land on an imperfect tree without a flag day, while every new violation
+still breaks the build.
+
+Entries match on ``(file, code, message)`` — stable across pure
+line-number drift — and **expire**: when the underlying violation
+disappears, ``--update-baseline`` drops the entry, so the baseline only
+ever shrinks unless a human deliberately re-runs the update on a tree
+with new findings (and then has a ``TODO`` reason to replace).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.core import AnalysisError, Finding, Report
+
+__all__ = ["Baseline", "UNJUSTIFIED", "apply_baseline"]
+
+_VERSION = 1
+
+#: Placeholder reason stamped on fresh ``--update-baseline`` entries; a
+#: committed baseline should never contain it (docs/analysis.md workflow).
+UNJUSTIFIED = "TODO: justify or fix this finding"
+
+
+@dataclass
+class Baseline:
+    """The parsed baseline file: finding keys -> one-line reasons."""
+
+    path: Path
+    entries: dict[tuple[str, str, str], str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls(path=path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise AnalysisError(f"unreadable baseline {path}: {error}") from None
+        if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+            raise AnalysisError(
+                f"baseline {path} has an unsupported format "
+                f"(want version {_VERSION})"
+            )
+        entries: dict[tuple[str, str, str], str] = {}
+        for item in payload.get("findings", ()):
+            try:
+                key = (str(item["file"]), str(item["code"]), str(item["message"]))
+                entries[key] = str(item.get("reason", UNJUSTIFIED))
+            except (KeyError, TypeError) as error:
+                raise AnalysisError(
+                    f"baseline {path} entry missing file/code/message: {error}"
+                ) from None
+        return cls(path=path, entries=entries)
+
+    def save(self) -> None:
+        findings = [
+            {"file": file, "code": code, "message": message, "reason": reason}
+            for (file, code, message), reason in sorted(self.entries.items())
+        ]
+        payload = {
+            "version": _VERSION,
+            "comment": (
+                "Reviewed repro-lint findings carried on purpose; every entry "
+                "needs a one-line reason.  Maintained by "
+                "`repro lint ... --update-baseline`; entries expire (are "
+                "dropped) when the finding disappears."
+            ),
+            "findings": findings,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def updated_for(self, report: Report) -> "Baseline":
+        """A baseline matching ``report``: reasons kept, stale entries dropped."""
+        entries = {
+            finding.key(): self.entries.get(finding.key(), UNJUSTIFIED)
+            for finding in report.findings
+        }
+        return Baseline(path=self.path, entries=entries)
+
+
+def apply_baseline(report: Report, baseline: Baseline) -> Report:
+    """Split baselined findings out of ``report`` (mutates and returns it)."""
+    kept: list[Finding] = []
+    matched: set[tuple[str, str, str]] = set()
+    for finding in report.findings:
+        if finding.key() in baseline.entries:
+            matched.add(finding.key())
+            report.baselined += 1
+        else:
+            kept.append(finding)
+    report.findings = kept
+    report.stale_baseline = len(set(baseline.entries) - matched)
+    return report

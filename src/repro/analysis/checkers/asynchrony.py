@@ -1,0 +1,150 @@
+"""REP002 — no blocking calls inside ``async def`` bodies.
+
+The asyncio parent of :mod:`repro.runtime.net.server` multiplexes every
+connection on one event loop; a single ``time.sleep`` or synchronous
+``subprocess`` call there stalls *all* clients at once.  This checker
+flags known-blocking stdlib calls lexically inside an ``async def``:
+``time.sleep``, blocking socket/select/subprocess/os entry points, the
+``open``/``input`` builtins, and synchronous ``queue.Queue``
+construction (its ``get``/``put`` block by design).
+
+Calls inside a *nested synchronous* function are not flagged — those run
+wherever the closure is eventually invoked (usually an executor thread),
+which is exactly how blocking work is supposed to leave the loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.core import Checker, FileContext, Finding, register_checker
+
+__all__ = ["AsyncBlockingChecker"]
+
+#: Dotted call name -> what to do instead.
+BLOCKING_CALLS: dict[str, str] = {
+    "time.sleep": "await asyncio.sleep(...)",
+    "socket.create_connection": "asyncio.open_connection(...)",
+    "socket.getaddrinfo": "loop.getaddrinfo(...)",
+    "select.select": "asyncio's own readiness notifications",
+    "subprocess.run": "asyncio.create_subprocess_exec(...)",
+    "subprocess.call": "asyncio.create_subprocess_exec(...)",
+    "subprocess.check_call": "asyncio.create_subprocess_exec(...)",
+    "subprocess.check_output": "asyncio.create_subprocess_exec(...)",
+    "subprocess.Popen": "asyncio.create_subprocess_exec(...)",
+    "subprocess.getoutput": "asyncio.create_subprocess_exec(...)",
+    "os.system": "asyncio.create_subprocess_shell(...)",
+    "os.popen": "asyncio.create_subprocess_shell(...)",
+    "os.wait": "asyncio child-process watchers",
+    "os.waitpid": "asyncio child-process watchers",
+    "urllib.request.urlopen": "a thread via loop.run_in_executor(...)",
+    "queue.Queue": "asyncio.Queue (stdlib queue get/put block the loop)",
+    "queue.SimpleQueue": "asyncio.Queue (stdlib queue get/put block the loop)",
+}
+
+#: Blocking builtins (file and terminal I/O hold the whole loop).
+BLOCKING_BUILTINS: dict[str, str] = {
+    "open": "loop.run_in_executor(...) for file I/O",
+    "input": "a thread via loop.run_in_executor(...)",
+}
+
+_FUNCTIONS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _import_maps(tree: ast.Module) -> tuple[dict[str, str], dict[str, str]]:
+    """(module aliases, imported names) -> canonical dotted prefixes."""
+    modules: dict[str, str] = {}
+    names: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                modules[local] = (
+                    alias.name if alias.asname else alias.name.partition(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                names[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return modules, names
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """Flatten ``a.b.c`` attribute chains to a dotted string."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@register_checker
+class AsyncBlockingChecker(Checker):
+    code = "REP002"
+    name = "async-blocking"
+    description = (
+        "no blocking stdlib calls (time.sleep, sync sockets/subprocess/"
+        "file I/O, stdlib queues) inside 'async def' bodies"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        modules, names = _import_maps(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async_body(ctx, node, modules, names)
+
+    def _check_async_body(
+        self,
+        ctx: FileContext,
+        func: ast.AsyncFunctionDef,
+        modules: dict[str, str],
+        names: dict[str, str],
+    ) -> Iterator[Finding]:
+        for call in self._calls_in_scope(func):
+            dotted = self._resolve(call.func, modules, names)
+            if dotted is None:
+                continue
+            advice = BLOCKING_CALLS.get(dotted) or BLOCKING_BUILTINS.get(dotted)
+            if advice is None:
+                continue
+            yield self.finding(
+                ctx,
+                call,
+                f"blocking call '{dotted}' inside 'async def {func.name}' "
+                f"stalls the whole event loop; use {advice}",
+            )
+
+    @classmethod
+    def _calls_in_scope(cls, func: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+        """Calls in ``func``'s own body, not in nested sync functions."""
+        stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _FUNCTIONS):
+                continue  # separate scope: nested async defs walk on their own
+            if isinstance(node, ast.Call):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _resolve(
+        func: ast.expr, modules: dict[str, str], names: dict[str, str]
+    ) -> str | None:
+        if isinstance(func, ast.Name):
+            if func.id in names:
+                return names[func.id]
+            if func.id in BLOCKING_BUILTINS:
+                return func.id
+            return None
+        dotted = _dotted(func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in modules and rest:
+            return f"{modules[head]}.{rest}"
+        if head in names and rest:
+            return f"{names[head]}.{rest}"
+        return dotted

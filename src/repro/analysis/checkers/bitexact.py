@@ -1,0 +1,118 @@
+"""REP003 — dtype and ordering hygiene in ``# bit-exact`` modules.
+
+The fixed-vs-float byte-identity claim (paper Sec. VII) survives only if
+the numeric modules never let a dtype or a reduction order float free.
+A module opts in with a ``# bit-exact`` marker comment near its top;
+inside such modules this checker flags:
+
+* numpy array *creation* without an explicit ``dtype=`` —
+  ``np.array/asarray/zeros/ones/empty/full/arange/linspace/eye/identity/
+  fromiter`` (``np.arange`` in particular is platform-dependent: C long);
+  the ``*_like`` functions inherit their dtype and are exempt;
+* Python's builtin ``sum(...)`` — it reduces left-to-right through
+  scalar intermediates, a different rounding sequence from
+  ``np.sum``/``np.add.reduce`` and easy to perturb by reordering;
+* iterating a ``set``/``frozenset`` (literal or call) in a ``for`` or a
+  comprehension — set order varies across processes (string hash
+  randomization), so any reduction fed from it is run-dependent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.core import Checker, FileContext, Finding, register_checker
+
+__all__ = ["BitExactChecker"]
+
+MARKER = "bit-exact"
+
+#: numpy creation calls that take ``dtype=`` and default it.
+CREATORS = frozenset({
+    "array", "asarray", "zeros", "ones", "empty", "full",
+    "arange", "linspace", "eye", "identity", "fromiter",
+})
+
+
+def _numpy_aliases(tree: ast.Module) -> set[str]:
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+    return aliases
+
+
+@register_checker
+class BitExactChecker(Checker):
+    code = "REP003"
+    name = "bit-exactness"
+    description = (
+        "in '# bit-exact' modules: numpy creation calls carry an explicit "
+        "dtype, no builtin sum() over arrays, no set-ordered iteration"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.has_marker(MARKER):
+            return
+        numpy_names = _numpy_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, numpy_names)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_iter(ctx, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for generator in node.generators:
+                    yield from self._check_iter(ctx, generator.iter)
+
+    # ------------------------------------------------------------------
+    def _check_call(
+        self, ctx: FileContext, call: ast.Call, numpy_names: set[str]
+    ) -> Iterator[Finding]:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id == "sum":
+            yield self.finding(
+                ctx,
+                call,
+                "builtin sum() reduces through scalar intermediates in "
+                "argument order; in a bit-exact module spell the reduction "
+                "with np.sum/np.add.reduce (explicit dtype) or justify it "
+                "with '# repro: ignore[REP003] <reason>'",
+            )
+            return
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in numpy_names
+            and func.attr in CREATORS
+        ):
+            if any(kw.arg == "dtype" for kw in call.keywords):
+                return
+            # np.array's second positional argument IS dtype.
+            if func.attr in ("array", "asarray", "fromiter") and len(call.args) >= 2:
+                return
+            yield self.finding(
+                ctx,
+                call,
+                f"np.{func.attr}(...) without an explicit dtype in a "
+                "bit-exact module; pin it (np.arange defaults to the "
+                "platform C long, creation defaults drift with input types)",
+            )
+
+    def _check_iter(self, ctx: FileContext, source: ast.expr) -> Iterator[Finding]:
+        is_set = isinstance(source, ast.Set) or (
+            isinstance(source, ast.Call)
+            and isinstance(source.func, ast.Name)
+            and source.func.id in ("set", "frozenset")
+        )
+        if is_set:
+            yield self.finding(
+                ctx,
+                source,
+                "iterating a set in a bit-exact module: element order varies "
+                "across processes (hash randomization), so any ordered "
+                "reduction fed from it is run-dependent; sort it first",
+            )

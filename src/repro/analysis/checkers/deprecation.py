@@ -1,0 +1,129 @@
+"""REP004 — the deprecation firewall around the legacy framework shims.
+
+``AcceleratorModel``, ``HLSFramework``, ``ERNNFramework`` and the
+``asr.pipeline`` evaluation wrappers exist solely for *external* callers
+mid-migration; they warn on use and will be deleted.  Internal code
+reaching through them re-entrenches exactly what the facade retired —
+and silences nothing, because the shims suppress their own warning when
+called from inside the library.  This checker flags any ``src/`` import
+or attribute reference to a shim outside its defining module and the
+public re-export ``__init__`` files.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.core import Checker, FileContext, Finding, register_checker
+
+__all__ = ["DeprecationFirewallChecker"]
+
+#: Shim class -> (defining module suffix, blessed replacement).
+SHIM_CLASSES: dict[str, tuple[str, str]] = {
+    "AcceleratorModel": (
+        "repro/hw/accelerator.py",
+        "repro.api.Design(...).price() or repro.hw.accelerator.build_design()",
+    ),
+    "HLSFramework": (
+        "repro/hls/framework.py",
+        "repro.api.Design(...).codegen() or repro.hls.framework.build_hls()",
+    ),
+    "ERNNFramework": (
+        "repro/core/ernn.py",
+        "repro.api.Design(...) or repro.core.flow.run_two_phase_flow()",
+    ),
+}
+
+#: Deprecated asr.pipeline wrappers -> blessed replacement.
+SHIM_PIPELINE_FUNCS: dict[str, str] = {
+    "evaluate_per": "repro.runtime.evaluate_per",
+    "evaluate_frame_accuracy": "repro.runtime.evaluate_frame_accuracy",
+}
+
+#: Files allowed to name the shims: their definitions and the public
+#: re-export surfaces kept for external callers.
+ALLOWED_SUFFIXES = (
+    "repro/hw/accelerator.py",
+    "repro/hls/framework.py",
+    "repro/core/ernn.py",
+    "repro/asr/pipeline.py",
+    "repro/__init__.py",
+    "repro/asr/__init__.py",
+    "repro/core/__init__.py",
+    "repro/hls/__init__.py",
+    "repro/hw/__init__.py",
+)
+
+
+def _is_allowed(ctx: FileContext) -> bool:
+    posix = ctx.path.as_posix()
+    return any(posix.endswith(suffix) for suffix in ALLOWED_SUFFIXES)
+
+
+@register_checker
+class DeprecationFirewallChecker(Checker):
+    code = "REP004"
+    name = "deprecation-firewall"
+    description = (
+        "internal code must not use the DeprecationWarning shims "
+        "(AcceleratorModel, HLSFramework, ERNNFramework, asr.pipeline "
+        "evaluation wrappers)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if _is_allowed(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                yield from self._check_import(ctx, node)
+            elif isinstance(node, ast.Attribute):
+                yield from self._check_attribute(ctx, node)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id in SHIM_CLASSES:
+                    yield self._shim_class_finding(ctx, node, node.id)
+
+    # ------------------------------------------------------------------
+    def _check_import(
+        self, ctx: FileContext, node: ast.ImportFrom
+    ) -> Iterator[Finding]:
+        module = node.module or ""
+        for alias in node.names:
+            if alias.name in SHIM_CLASSES and module.startswith("repro"):
+                yield self._shim_class_finding(ctx, node, alias.name)
+            elif alias.name in SHIM_PIPELINE_FUNCS and (
+                module.endswith("asr.pipeline") or module.endswith("repro.asr")
+            ):
+                yield self._pipeline_finding(ctx, node, alias.name)
+
+    def _check_attribute(
+        self, ctx: FileContext, node: ast.Attribute
+    ) -> Iterator[Finding]:
+        if node.attr in SHIM_CLASSES:
+            yield self._shim_class_finding(ctx, node, node.attr)
+        elif node.attr in SHIM_PIPELINE_FUNCS:
+            chain = ast.dump(node.value)
+            if "'pipeline'" in chain or "'asr'" in chain:
+                yield self._pipeline_finding(ctx, node, node.attr)
+
+    def _shim_class_finding(
+        self, ctx: FileContext, node: ast.AST, name: str
+    ) -> Finding:
+        _, replacement = SHIM_CLASSES[name]
+        return self.finding(
+            ctx,
+            node,
+            f"'{name}' is a deprecation shim for external callers only; "
+            f"internal code uses {replacement}",
+        )
+
+    def _pipeline_finding(
+        self, ctx: FileContext, node: ast.AST, name: str
+    ) -> Finding:
+        return self.finding(
+            ctx,
+            node,
+            f"'asr.pipeline.{name}' is a deprecation shim; internal code "
+            f"calls {SHIM_PIPELINE_FUNCS[name]} (same values, also accepts "
+            "CompiledModel artifacts)",
+        )

@@ -1,0 +1,108 @@
+"""REP006 — doc drift: wire-protocol op names must appear in their spec.
+
+``repro.runtime.net.protocol.OPS`` is the single source of truth for
+what a v1 request may carry; ``docs/runtime.md`` is the spec clients are
+written against.  When the binary framing lands and grows new ops, the
+spec must move in lockstep — so the linkage is declared in the source::
+
+    OPS = ("ping", "stats", ...)  # documented-in: docs/runtime.md
+
+Any assignment of a tuple/list/set of string constants annotated
+``# documented-in: <path>`` is checked: the path is resolved against the
+repository root (nearest ancestor with ``pyproject.toml``/``.git``), the
+file must exist, and every name must appear backtick-quoted in it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.core import (
+    Checker,
+    FileContext,
+    Finding,
+    register_checker,
+    repo_root_of,
+)
+
+__all__ = ["DocDriftChecker"]
+
+TAG = "documented-in"
+
+
+def _string_elements(node: ast.expr) -> list[str] | None:
+    """The string constants of a tuple/list/set literal, else None."""
+    if not isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return None
+    values = []
+    for element in node.elts:
+        if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+            return None
+        values.append(element.value)
+    return values
+
+
+@register_checker
+class DocDriftChecker(Checker):
+    code = "REP006"
+    name = "doc-drift"
+    description = (
+        "names in collections annotated '# documented-in: <doc>' (e.g. the "
+        "wire-protocol ops) must all appear backtick-quoted in that document"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value = node.value
+            else:
+                continue
+            doc_rel = ctx.annotation(node.lineno, TAG)
+            if doc_rel is None:
+                continue
+            yield from self._check_names(ctx, node, value, doc_rel)
+
+    def _check_names(
+        self, ctx: FileContext, node: ast.AST, value: ast.expr, doc_rel: str
+    ) -> Iterator[Finding]:
+        names = _string_elements(value)
+        if names is None:
+            yield self.finding(
+                ctx,
+                node,
+                f"'# documented-in: {doc_rel}' annotates something that is "
+                "not a literal tuple/list/set of strings; the checker cannot "
+                "extract names to verify",
+            )
+            return
+        root = repo_root_of(ctx.path)
+        if root is None:
+            yield self.finding(
+                ctx,
+                node,
+                f"cannot resolve '{doc_rel}': no repository root "
+                "(pyproject.toml/.git) above this file",
+            )
+            return
+        doc_path = root / doc_rel
+        if not doc_path.is_file():
+            yield self.finding(
+                ctx,
+                node,
+                f"documentation file '{doc_rel}' does not exist under {root}",
+            )
+            return
+        text = doc_path.read_text(encoding="utf-8")
+        for name in names:
+            if f"`{name}`" not in text:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"op '{name}' is not documented in {doc_rel} "
+                    f"(expected a backtick-quoted `{name}`); the spec and "
+                    "the wire protocol must move in lockstep",
+                )

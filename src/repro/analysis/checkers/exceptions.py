@@ -1,0 +1,83 @@
+"""REP005 — exception hygiene: no silently-swallowed failures.
+
+The worker/reaper/drain paths of the serving stack are exactly where a
+swallowed exception turns into a hung client or a leaked admission slot
+(PR 5 found two by hand).  This checker flags:
+
+* bare ``except:`` anywhere — it catches ``KeyboardInterrupt`` and
+  ``SystemExit`` too, so even a log-and-continue handler must name
+  ``Exception``;
+* ``except Exception:`` / ``except BaseException:`` handlers whose body
+  does nothing (``pass`` / ``...`` / ``continue``) — the failure
+  vanishes without a trace.
+
+A teardown path that genuinely must not propagate (best-effort socket
+close during drain) documents itself inline::
+
+    except Exception:  # repro: ignore[REP005] best-effort close; reader path cleans up
+        pass
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Checker, FileContext, Finding, register_checker
+
+__all__ = ["ExceptionHygieneChecker"]
+
+_BROAD = ("Exception", "BaseException")
+
+
+def _names_broad(node: ast.expr | None) -> bool:
+    """True when the except clause catches Exception/BaseException."""
+    if node is None:
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD
+    if isinstance(node, ast.Tuple):
+        return any(_names_broad(item) for item in node.elts)
+    return False
+
+
+def _body_swallows(body: list[ast.stmt]) -> bool:
+    """True when the handler body does nothing with the failure."""
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or `...`
+        return False
+    return True
+
+
+@register_checker
+class ExceptionHygieneChecker(Checker):
+    code = "REP005"
+    name = "exception-hygiene"
+    description = (
+        "no bare 'except:' and no do-nothing 'except Exception:' handlers "
+        "(silently swallowed failures)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare 'except:' also catches KeyboardInterrupt/SystemExit; "
+                    "name the exception (at minimum 'except Exception:') and "
+                    "handle or log it",
+                )
+            elif _names_broad(node.type) and _body_swallows(node.body):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "broad exception handler silently swallows the failure; "
+                    "narrow the type, handle it, or justify the swallow with "
+                    "'# repro: ignore[REP005] <reason>'",
+                )

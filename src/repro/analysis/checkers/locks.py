@@ -1,0 +1,155 @@
+"""REP001 — lock discipline for annotated shared state.
+
+An attribute assignment carrying ``# guarded-by: <lock>`` declares that
+``self.<attr>`` may only be touched while ``self.<lock>`` is held::
+
+    self._cache = {}          # guarded-by: _lock
+
+Every read or write of a guarded attribute must then sit inside a
+``with self.<lock>:`` block in the same function.  Two escape hatches:
+
+* ``__init__`` is exempt — the object is not shared until the
+  constructor returns;
+* a helper the callers only invoke with the lock already held is
+  annotated on its ``def`` line: ``def _insert(self):  # holds-lock: _lock``.
+
+This is the defect class PR 5's review round found by hand (counters
+read outside the engine lock, state checked without the condition); the
+checker finds it on every commit instead.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from repro.analysis.core import Checker, FileContext, Finding, register_checker
+
+__all__ = ["LockDisciplineChecker"]
+
+_GUARDED = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+_HOLDS = re.compile(r"#\s*holds-lock:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+_FUNCTIONS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``attr`` when ``node`` is an ``self.attr`` expression, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _holds_locks(ctx: FileContext, func: ast.AST) -> frozenset[str]:
+    """Locks a function declares held via ``# holds-lock:`` on its def line."""
+    held = set()
+    for line in range(func.lineno, getattr(func, "body", [func])[0].lineno + 1):
+        for match in _HOLDS.finditer(ctx.comment(line)):
+            held.add(match.group(1))
+    return frozenset(held)
+
+
+@register_checker
+class LockDisciplineChecker(Checker):
+    code = "REP001"
+    name = "lock-discipline"
+    description = (
+        "attributes annotated '# guarded-by: <lock>' are only touched "
+        "inside 'with self.<lock>:' (or in functions annotated "
+        "'# holds-lock: <lock>')"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if isinstance(cls, ast.ClassDef):
+                yield from self._check_class(ctx, cls)
+
+    # ------------------------------------------------------------------
+    def _check_class(
+        self, ctx: FileContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        guarded = self._guarded_attrs(ctx, cls)
+        if not guarded:
+            return
+        for func in self._methods(cls):
+            if func.name == "__init__":
+                continue
+            yield from self._check_function(ctx, func, guarded)
+
+    @staticmethod
+    def _methods(cls: ast.ClassDef) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        for stmt in cls.body:
+            if isinstance(stmt, _FUNCTIONS):
+                yield stmt
+
+    def _guarded_attrs(
+        self, ctx: FileContext, cls: ast.ClassDef
+    ) -> dict[str, str]:
+        """``{attr: lock}`` from annotated ``self.attr = ...`` assignments."""
+        guarded: dict[str, str] = {}
+        for node in ast.walk(cls):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            else:
+                continue
+            match = _GUARDED.search(ctx.comment(node.lineno))
+            if match is None:
+                continue
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    guarded[attr] = match.group(1)
+        return guarded
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        guarded: dict[str, str],
+    ) -> Iterator[Finding]:
+        held_by_func: dict[int, frozenset[str]] = {}
+        for node in ast.walk(func):
+            attr = _self_attr(node)
+            if attr is None or attr not in guarded:
+                continue
+            lock = guarded[attr]
+            # The scope that must prove it holds the lock is the *nearest*
+            # enclosing function: a closure (worker thread body, callback)
+            # runs later, when an outer `with` no longer helps.
+            scope = func
+            withs: list[ast.AST] = []
+            for ancestor in ctx.ancestors(node):
+                if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                    withs.append(ancestor)
+                if isinstance(ancestor, _FUNCTIONS):
+                    scope = ancestor
+                    break
+            if scope.name == "__init__":
+                continue
+            if id(scope) not in held_by_func:
+                held_by_func[id(scope)] = _holds_locks(ctx, scope)
+            if lock in held_by_func[id(scope)]:
+                continue
+            if any(self._with_takes_lock(stmt, lock) for stmt in withs):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"'self.{attr}' is guarded by 'self.{lock}' but is accessed "
+                f"outside 'with self.{lock}:' (wrap the access, or annotate "
+                f"the enclosing function '# holds-lock: {lock}' if every "
+                "caller already holds it)",
+            )
+
+    @staticmethod
+    def _with_takes_lock(stmt: ast.AST, lock: str) -> bool:
+        items = getattr(stmt, "items", ())
+        return any(_self_attr(item.context_expr) == lock for item in items)

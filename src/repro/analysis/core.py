@@ -1,0 +1,386 @@
+"""The static-analysis core: findings, file contexts, and the checker registry.
+
+The test suite enforces the project's invariants only where a test happens
+to look; this package enforces them *mechanically* at every commit.  A
+:class:`Checker` is one rule (``REP001`` lock discipline, ``REP002`` async
+hygiene, ...) registered in :data:`CHECKER_REGISTRY` — the same
+alias-aware :class:`repro.api.registry.Registry` the platform/cell/
+activation extension points use, so adding a project rule is one
+``@register_checker`` away, exactly like adding a platform.
+
+A :class:`FileContext` is one parsed source file: the AST (with parent
+links), the raw lines, and the comment stream — checkers read *comments*
+as machine-checkable annotations (``# guarded-by: _lock``,
+``# bit-exact``, ``# documented-in: docs/runtime.md``).  Contexts are
+served from a per-file parse cache keyed by ``(mtime_ns, size)``, so
+repeated analysis (the CLI, the test suite, editor integrations) parses
+each file once.
+
+Findings on a line carrying ``# repro: ignore[CODE] reason`` are
+suppressed at the source — the justification lives next to the code it
+excuses.  Everything else either gets fixed or goes in the reviewed
+baseline (:mod:`repro.analysis.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.api.registry import Registry
+from repro.errors import ConfigError, ReproError
+
+__all__ = [
+    "AnalysisError",
+    "Checker",
+    "CHECKER_REGISTRY",
+    "Finding",
+    "FileContext",
+    "ParseFailure",
+    "Report",
+    "analyze_paths",
+    "clear_parse_cache",
+    "iter_python_files",
+    "load_file",
+    "parse_cache_info",
+    "register_checker",
+    "repo_root_of",
+]
+
+#: Inline suppression: ``# repro: ignore[REP001] reason`` (codes comma-split).
+_SUPPRESS = re.compile(r"#\s*repro:\s*ignore\[([A-Z0-9,\s]+)\]")
+
+
+class AnalysisError(ReproError):
+    """The analyzer itself was misused (bad path, unknown checker code)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    file: str
+    line: int
+    col: int
+    code: str
+    message: str
+    severity: str = "error"
+
+    def describe(self) -> str:
+        return f"{self.file}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def key(self) -> tuple[str, str, str]:
+        """Baseline identity: stable across pure line-number drift."""
+        return (self.file, self.code, self.message)
+
+
+@dataclass(frozen=True)
+class ParseFailure:
+    """A file the analyzer could not parse (reported, exit code 2)."""
+
+    file: str
+    line: int
+    message: str
+
+    def describe(self) -> str:
+        return f"{self.file}:{self.line}: PARSE {self.message}"
+
+    def to_dict(self) -> dict:
+        return {"file": self.file, "line": self.line, "message": self.message}
+
+
+class FileContext:
+    """One parsed Python source file plus its comment annotations."""
+
+    def __init__(self, path: Path, display: str, source: str):
+        self.path = path
+        self.display = display
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=display)
+        self._parents: dict[int, ast.AST] = {}
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self._parents[id(child)] = node
+        self.comments: dict[int, str] = {}
+        try:
+            for token in tokenize.generate_tokens(StringIO(source).readline):
+                if token.type == tokenize.COMMENT:
+                    self.comments[token.start[0]] = token.string
+        except tokenize.TokenError:
+            pass  # ast.parse succeeded; a tail error only costs comments
+
+    # -- tree navigation ------------------------------------------------
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """The parent chain from ``node`` (exclusive) up to the module."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    # -- comment annotations --------------------------------------------
+    def comment(self, line: int) -> str:
+        """The comment on ``line`` ('' when the line has none)."""
+        return self.comments.get(line, "")
+
+    def annotation(self, line: int, tag: str) -> str | None:
+        """The value of a ``# <tag>: value`` annotation on ``line``."""
+        match = re.search(
+            rf"#\s*{re.escape(tag)}:\s*(\S+)", self.comment(line)
+        )
+        return match.group(1) if match else None
+
+    def has_marker(self, tag: str) -> bool:
+        """True when any comment line is exactly ``# <tag>`` (plus prose)."""
+        pattern = re.compile(rf"^#\s*{re.escape(tag)}\b")
+        return any(pattern.match(text) for text in self.comments.values())
+
+    def suppressed_codes(self, line: int) -> frozenset[str]:
+        """Codes excused on ``line`` via ``# repro: ignore[...]``."""
+        match = _SUPPRESS.search(self.comment(line))
+        if not match:
+            return frozenset()
+        return frozenset(
+            code.strip() for code in match.group(1).split(",") if code.strip()
+        )
+
+
+class Checker:
+    """Base class for one project rule.
+
+    Subclasses set ``code`` (``REPnnn``), ``name`` and ``description``, and
+    implement :meth:`check` yielding :class:`Finding`s for one file.  The
+    shared :meth:`finding` helper stamps the file/code so messages stay
+    uniform.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            file=ctx.display,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+#: All registered checkers, keyed by code (alias: lowercase name).
+CHECKER_REGISTRY = Registry("checker")
+
+
+def register_checker(cls: type[Checker]) -> type[Checker]:
+    """Class decorator: instantiate and register one checker by its code."""
+    if not cls.code or not cls.name:
+        raise ConfigError(f"checker {cls.__name__} needs a code and a name")
+    CHECKER_REGISTRY.register(cls.code, cls(), aliases=(cls.name,))
+    return cls
+
+
+# ----------------------------------------------------------------------
+# Per-file parse cache.
+# ----------------------------------------------------------------------
+
+_parse_cache: dict[str, tuple[tuple[int, int], FileContext]] = {}
+_parse_hits = 0
+_parse_misses = 0
+
+
+def clear_parse_cache() -> None:
+    global _parse_hits, _parse_misses
+    _parse_cache.clear()
+    _parse_hits = _parse_misses = 0
+
+
+def parse_cache_info() -> dict[str, int]:
+    return {
+        "entries": len(_parse_cache),
+        "hits": _parse_hits,
+        "misses": _parse_misses,
+    }
+
+
+def load_file(path: Path | str, display: str | None = None) -> FileContext:
+    """Parse one file, served from the stat-keyed cache when unchanged."""
+    global _parse_hits, _parse_misses
+    path = Path(path)
+    display = display if display is not None else _display_path(path)
+    key = str(path.resolve())
+    stat = path.stat()
+    signature = (stat.st_mtime_ns, stat.st_size)
+    cached = _parse_cache.get(key)
+    if cached is not None and cached[0] == signature:
+        _parse_hits += 1
+        return cached[1]
+    _parse_misses += 1
+    ctx = FileContext(path, display, path.read_text(encoding="utf-8"))
+    _parse_cache[key] = (signature, ctx)
+    return ctx
+
+
+def _display_path(path: Path) -> str:
+    """Posix path relative to the CWD when possible (stable finding keys)."""
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def repo_root_of(path: Path) -> Path | None:
+    """Nearest ancestor holding ``pyproject.toml`` or ``.git`` (or None)."""
+    current = path.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").is_file() or (candidate / ".git").exists():
+            return candidate
+    return None
+
+
+# ----------------------------------------------------------------------
+# Path expansion and the analysis driver.
+# ----------------------------------------------------------------------
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", ".mypy_cache"}
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> list[Path]:
+    """Expand files/directories to a sorted, de-duplicated ``.py`` list."""
+    seen: dict[str, Path] = {}
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if any(part in _SKIP_DIRS for part in sub.parts):
+                    continue
+                seen.setdefault(str(sub.resolve()), sub)
+        elif path.is_file():
+            seen.setdefault(str(path.resolve()), path)
+        else:
+            raise AnalysisError(f"no such file or directory: {path}")
+    return sorted(seen.values(), key=lambda p: p.as_posix())
+
+
+@dataclass
+class Report:
+    """Everything one analysis run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    parse_failures: list[ParseFailure] = field(default_factory=list)
+    files: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    stale_baseline: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """CLI contract: clean 0, findings 1, parse failures 2."""
+        if self.parse_failures:
+            return 2
+        return 1 if self.findings else 0
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "tool": "repro lint",
+            "findings": [f.to_dict() for f in self.findings],
+            "parse_failures": [p.to_dict() for p in self.parse_failures],
+            "summary": {
+                "files": self.files,
+                "findings": len(self.findings),
+                "suppressed": self.suppressed,
+                "baselined": self.baselined,
+                "stale_baseline": self.stale_baseline,
+                "exit_code": self.exit_code,
+            },
+        }
+
+
+def resolve_checkers(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Checker]:
+    """The checkers to run, honouring ``--select``/``--ignore``."""
+    codes = list(select) if select else list(CHECKER_REGISTRY.names())
+    chosen = []
+    for code in codes:
+        try:
+            chosen.append(
+                (CHECKER_REGISTRY.canonical_name(code), CHECKER_REGISTRY.get(code))
+            )
+        except ReproError as error:
+            raise AnalysisError(str(error)) from None
+    dropped = set()
+    for code in ignore or ():
+        try:
+            dropped.add(CHECKER_REGISTRY.canonical_name(code))
+        except ReproError as error:
+            raise AnalysisError(str(error)) from None
+    return [checker for code, checker in chosen if code not in dropped]
+
+
+def analyze_paths(
+    paths: Iterable[Path | str],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    progress: Callable[[str], Any] | None = None,
+) -> Report:
+    """Run the selected checkers over every Python file under ``paths``."""
+    # Import for side effect: the built-in checkers register themselves.
+    import repro.analysis.checkers  # noqa: F401
+
+    checkers = resolve_checkers(select, ignore)
+    report = Report()
+    for path in iter_python_files(paths):
+        if progress is not None:
+            progress(path.as_posix())
+        try:
+            ctx = load_file(path)
+        except SyntaxError as error:
+            report.parse_failures.append(
+                ParseFailure(
+                    file=_display_path(path),
+                    line=error.lineno or 1,
+                    message=error.msg or "invalid syntax",
+                )
+            )
+            continue
+        except OSError as error:
+            report.parse_failures.append(
+                ParseFailure(file=_display_path(path), line=1, message=str(error))
+            )
+            continue
+        report.files += 1
+        for checker in checkers:
+            for finding in checker.check(ctx):
+                excused = ctx.suppressed_codes(finding.line)
+                if finding.code in excused:
+                    report.suppressed += 1
+                else:
+                    report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.file, f.line, f.col, f.code))
+    return report

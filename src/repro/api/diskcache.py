@@ -107,8 +107,8 @@ class DiskCache:
         self.namespace = namespace
         self.path = self.root / namespace
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
 
     @classmethod
     def from_env(
@@ -204,16 +204,20 @@ class DiskCache:
 
     @property
     def hits(self) -> int:
-        return self._hits
+        with self._lock:
+            return self._hits
 
     @property
     def misses(self) -> int:
-        return self._misses
+        with self._lock:
+            return self._misses
 
     def describe(self) -> str:
+        with self._lock:
+            hits, misses = self._hits, self._misses
         return (
             f"disk cache [{self.namespace}] at {self.path}: "
-            f"{len(self)} artifacts, {self._hits} hits / {self._misses} misses"
+            f"{len(self)} artifacts, {hits} hits / {misses} misses"
         )
 
 

@@ -120,12 +120,12 @@ class Engine:
             disk = DiskCache(root=disk, namespace="engine")
         self._disk = disk
         self._lock = threading.RLock()
-        self._cache: OrderedDict[Hashable, Any] = OrderedDict()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._disk_hits = 0
-        self._disk_misses = 0
+        self._cache: OrderedDict[Hashable, Any] = OrderedDict()  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
+        self._disk_hits = 0  # guarded-by: _lock
+        self._disk_misses = 0  # guarded-by: _lock
 
     @property
     def disk(self) -> DiskCache | None:
@@ -140,7 +140,7 @@ class Engine:
         """The one key shape every memoized path and ``contains`` share."""
         return (kind, spec, accel, pe_efficiency)
 
-    def _insert(self, key: Hashable, value: Any) -> None:
+    def _insert(self, key: Hashable, value: Any) -> None:  # holds-lock: _lock
         self._cache[key] = value
         self._cache.move_to_end(key)
         if len(self._cache) > self.maxsize:

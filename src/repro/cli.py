@@ -15,6 +15,7 @@ Subcommands map onto the paper's workflow:
 * ``bench``      — run the performance suites, emit ``BENCH_*.json``.
 * ``table3``     — regenerate the paper's headline comparison table.
 * ``fig8``       — print the multiplication-count curves.
+* ``lint``       — static analysis of the project invariants (REP001-REP006).
 
 Examples::
 
@@ -637,6 +638,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig8 = sub.add_parser("fig8", help="print the Fig. 8 curves")
     fig8.set_defaults(handler=_cmd_fig8)
+
+    from repro.analysis.cli import add_lint_parser, run_lint
+
+    lint = add_lint_parser(sub)
+    lint.set_defaults(handler=run_lint)
     return parser
 
 

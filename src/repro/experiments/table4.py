@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.config import AccelSpec
 from repro.experiments.table3 import lstm_workload
-from repro.hw.accelerator import AcceleratorModel
+from repro.hw.accelerator import pe_capacity
 from repro.hw.platform import ADM_PCIE_7V3, XCKU060, FPGAPlatform
 
 __all__ = ["PAPER_TABLE4", "run_table4", "format_table4"]
@@ -39,10 +39,9 @@ def run_table4() -> dict[str, dict[str, float]]:
             "bram_mb": platform.bram_bytes / 1e6,
         }
         for block in (8, 16):
-            model = AcceleratorModel(
-                lstm_workload(block), AccelSpec(name), _warn=False
+            entry[f"pe_capacity_fft{block}"] = pe_capacity(
+                lstm_workload(block), AccelSpec(name)
             )
-            entry[f"pe_capacity_fft{block}"] = model.allocate_pes()
         rows[name] = entry
     return rows
 

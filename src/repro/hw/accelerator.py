@@ -28,7 +28,13 @@ from repro.hw.pe import ProcessingElement
 from repro.hw.platform import FPGAPlatform, ResourceVector, get_platform
 from repro.hw.power import energy_efficiency, power_watts
 
-__all__ = ["AcceleratorDesign", "AcceleratorModel", "build_design", "DEFAULT_NUM_CUS"]
+__all__ = [
+    "AcceleratorDesign",
+    "AcceleratorModel",
+    "build_design",
+    "pe_capacity",
+    "DEFAULT_NUM_CUS",
+]
 
 #: Compute units (see module docstring for the Table III derivation).
 DEFAULT_NUM_CUS = 3
@@ -211,3 +217,14 @@ def build_design(
     deprecation warning.
     """
     return AcceleratorModel(spec, accel, pe_efficiency, _warn=False).build()
+
+
+def pe_capacity(spec: RNNSpec, accel: AccelSpec) -> int:
+    """How many PEs the platform can host for ``spec`` (the paper's min-rule).
+
+    The allocation bound alone — before CU-symmetric rounding or timing —
+    as quoted in Table IV's derived rows.  The canonical internal entry
+    point; like :func:`build_design` it keeps ``AcceleratorModel`` a shim
+    for external callers only.
+    """
+    return AcceleratorModel(spec, accel, _warn=False).allocate_pes()

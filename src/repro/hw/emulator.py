@@ -37,6 +37,9 @@ batch.
 
 from __future__ import annotations
 
+# bit-exact: this module is on the fixed/float byte-identity surface
+# (docs/analysis.md, REP003) — dtypes stay explicit, reductions ordered.
+
 from dataclasses import dataclass
 from functools import cached_property
 
@@ -141,13 +144,15 @@ class SpectralWeights:
         x = x.reshape(-1, x.shape[-1])
         if padded_in != x.shape[-1]:
             x = np.pad(x, ((0, 0), (0, padded_in - x.shape[-1])))
-        x_fmt = FixedPointFormat.fit(x if x.size else np.ones(1), bits)
+        x_fmt = FixedPointFormat.fit(
+            x if x.size else np.ones(1, dtype=np.float64), bits
+        )
         x_blocks = x_fmt.quantize(x).reshape(x.shape[0], -1, block)
 
         x_spec = np.fft.rfft(x_blocks, axis=-1)
         spec_parts = np.concatenate([x_spec.real.ravel(), x_spec.imag.ravel()])
         spec_fmt = FixedPointFormat.fit(
-            spec_parts if spec_parts.size else np.ones(1), bits
+            spec_parts if spec_parts.size else np.ones(1, dtype=np.float64), bits
         )
         x_spec = spec_fmt.quantize(x_spec.real) + 1j * spec_fmt.quantize(
             x_spec.imag
@@ -158,7 +163,9 @@ class SpectralWeights:
         acc = self._spectral_mac(x_spec)
         y = np.fft.irfft(acc, n=block, axis=-1)
         y = y.reshape(x.shape[0], -1)[:, : self.out_features]
-        y_fmt = FixedPointFormat.fit(y if y.size else np.ones(1), bits)
+        y_fmt = FixedPointFormat.fit(
+            y if y.size else np.ones(1, dtype=np.float64), bits
+        )
         return y_fmt.quantize(y).reshape(batch_shape + (self.out_features,))
 
     def matvec_step(self, x: np.ndarray, bits: int) -> np.ndarray:
@@ -230,7 +237,7 @@ class SpectralWeights:
             return (
                 np.stack(out)
                 if out
-                else np.empty((0, batch, self.out_features))
+                else np.empty((0, batch, self.out_features), dtype=np.float64)
             )
         if self.padded_in != x.shape[-1]:
             x = np.pad(x, ((0, 0), (0, 0), (0, self.padded_in - x.shape[-1])))
@@ -380,7 +387,9 @@ class CUEmulator:
         inputs = self._check_inputs(inputs)
         frames, batch, _ = inputs.shape
         states = self._initial_states(batch)
-        logits = np.empty((frames, batch, self._classifier_w.shape[0]))
+        logits = np.empty(
+            (frames, batch, self._classifier_w.shape[0]), dtype=np.float64
+        )
         for t in range(frames):
             value = inputs[t]
             for index, entry in enumerate(self._layers):
@@ -416,7 +425,9 @@ class CUEmulator:
                 value_seq = self._run_lstm_layer(entry, value_seq)
             else:
                 value_seq = self._run_gru_layer(entry, value_seq)
-        logits = np.empty((frames, batch, self._classifier_w.shape[0]))
+        logits = np.empty(
+            (frames, batch, self._classifier_w.shape[0]), dtype=np.float64
+        )
         for t in range(frames):
             logits[t] = value_seq[t] @ self._classifier_w.T + self._classifier_b
         return logits
@@ -424,9 +435,9 @@ class CUEmulator:
     def _run_lstm_layer(self, entry: dict, value_seq: np.ndarray) -> np.ndarray:
         frames, batch = value_seq.shape[0], value_seq.shape[1]
         wx_all = entry["w_x"].matvec_frames(value_seq, self.bits)
-        y_prev = np.zeros((batch, entry["output"]))
-        c_prev = np.zeros((batch, entry["hidden"]))
-        out = np.empty((frames, batch, entry["output"]))
+        y_prev = np.zeros((batch, entry["output"]), dtype=np.float64)
+        c_prev = np.zeros((batch, entry["hidden"]), dtype=np.float64)
+        out = np.empty((frames, batch, entry["output"]), dtype=np.float64)
         for t in range(frames):
             value, y_prev, c_prev = self._lstm_pointwise(
                 entry, wx_all[t], y_prev, c_prev, self._mv_step
@@ -438,8 +449,8 @@ class CUEmulator:
         frames, batch = value_seq.shape[0], value_seq.shape[1]
         w_zr_all = entry["w_zr_x"].matvec_frames(value_seq, self.bits)
         w_cx_all = entry["w_cx"].matvec_frames(value_seq, self.bits)
-        c_prev = np.zeros((batch, entry["hidden"]))
-        out = np.empty((frames, batch, entry["hidden"]))
+        c_prev = np.zeros((batch, entry["hidden"]), dtype=np.float64)
+        out = np.empty((frames, batch, entry["hidden"]), dtype=np.float64)
         for t in range(frames):
             value, c_prev = self._gru_pointwise(
                 entry, w_zr_all[t], w_cx_all[t], c_prev, self._mv_step
@@ -571,17 +582,19 @@ class CUEmulator:
             if entry["cell_type"] == "lstm":
                 states.append(
                     (
-                        np.zeros((batch, entry["output"])),
-                        np.zeros((batch, entry["hidden"])),
+                        np.zeros((batch, entry["output"]), dtype=np.float64),
+                        np.zeros((batch, entry["hidden"]), dtype=np.float64),
                     )
                 )
             else:
-                states.append(np.zeros((batch, entry["hidden"])))
+                states.append(np.zeros((batch, entry["hidden"]), dtype=np.float64))
         return states
 
     def bram_weight_bits(self) -> float:
         """Total spectral-weight storage (cross-check for repro.hw.bram)."""
-        return sum(
+        # Scalar resource accounting, not datapath math: exact integer-valued
+        # bit counts, so the reduction order cannot perturb any bits.
+        return sum(  # repro: ignore[REP003] exact integer bit-count bookkeeping, not datapath arithmetic
             entry[key].bram_bits
             for entry in self._layers
             for key in entry

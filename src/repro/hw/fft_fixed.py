@@ -22,6 +22,9 @@ construction — a plan only caches arrays the unplanned code would rebuild.
 
 from __future__ import annotations
 
+# bit-exact: this module is on the fixed/float byte-identity surface
+# (docs/analysis.md, REP003) — dtypes stay explicit, reductions ordered.
+
 import math
 import threading
 from dataclasses import dataclass, field
@@ -72,13 +75,13 @@ def _build_plan(size: int, bits: int, twiddle_bits: int) -> FFTPlan:
     stages = int(math.log2(size))
     # Twiddles live in [-1, 1]; give every bit beyond the sign to fraction.
     fmt = FixedPointFormat(twiddle_bits, twiddle_bits - 2)
-    k = np.arange(size // 2)
+    k = np.arange(size // 2, dtype=np.int64)
     exact = np.exp(-2j * np.pi * k / size)
     twiddles = fmt.quantize(exact.real) + 1j * fmt.quantize(exact.imag)
     twiddles.setflags(write=False)
 
-    indices = np.arange(size)
-    reversed_indices = np.zeros(size, dtype=int)
+    indices = np.arange(size, dtype=np.int64)
+    reversed_indices = np.zeros(size, dtype=np.int64)
     for bit in range(stages):
         reversed_indices |= ((indices >> bit) & 1) << (stages - 1 - bit)
     reversed_indices.setflags(write=False)
@@ -87,7 +90,7 @@ def _build_plan(size: int, bits: int, twiddle_bits: int) -> FFTPlan:
     half = 1
     for _stage in range(stages):
         stride = half * 2
-        w = twiddles[np.arange(half) * (size // stride)]
+        w = twiddles[np.arange(half, dtype=np.int64) * (size // stride)]
         w.setflags(write=False)
         stage_twiddles.append(w)
         half = stride

@@ -9,6 +9,9 @@ weights, with "an additional static scaling factor" per layer.
 
 from __future__ import annotations
 
+# bit-exact: this module is on the fixed/float byte-identity surface
+# (docs/analysis.md, REP003) — dtypes stay explicit, reductions ordered.
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -75,7 +78,9 @@ class FixedPointFormat:
         return np.clip(codes, self.min_int, self.max_int).astype(np.int64)
 
     def from_int(self, codes: np.ndarray) -> np.ndarray:
-        codes = np.asarray(codes)
+        # Deliberately dtype-preserving: int codes are range-checked below
+        # and only then cast; forcing a dtype here would skip the check.
+        codes = np.asarray(codes)  # repro: ignore[REP003] range check needs the caller's integer dtype intact
         if codes.size and (
             codes.min() < self.min_int or codes.max() > self.max_int
         ):
@@ -87,7 +92,9 @@ class FixedPointFormat:
         return self.from_int(self.to_int(values))
 
     def max_error(self, values: np.ndarray) -> float:
-        return float(np.max(np.abs(self.quantize(values) - np.asarray(values))))
+        return float(
+            np.max(np.abs(self.quantize(values) - np.asarray(values, dtype=np.float64)))
+        )
 
     # ------------------------------------------------------------------
     @classmethod

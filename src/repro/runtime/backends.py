@@ -44,6 +44,9 @@ Register a custom backend with :func:`register_backend`::
 
 from __future__ import annotations
 
+# bit-exact: this module is on the fixed/float byte-identity surface
+# (docs/analysis.md, REP003) — dtypes stay explicit, reductions ordered.
+
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
@@ -101,7 +104,7 @@ class Executor(ABC):
         inputs = self.check_inputs(inputs)
         frames, batch, _ = inputs.shape
         state = self.initial_state(batch)
-        logits = np.empty((frames, batch, self.num_classes))
+        logits = np.empty((frames, batch, self.num_classes), dtype=np.float64)
         for t in range(frames):
             logits[t], state = self.step(inputs[t], state)
         return logits
@@ -120,7 +123,7 @@ class Executor(ABC):
             raise ConfigError(
                 f"expected ({len(states)}, D) rows, got {frames.shape}"
             )
-        out = np.empty((len(frames), self.num_classes))
+        out = np.empty((len(frames), self.num_classes), dtype=np.float64)
         new_states = []
         for r, state in enumerate(states):
             logits, new_state = self.step(frames[r : r + 1], state)

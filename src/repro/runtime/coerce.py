@@ -18,6 +18,9 @@ logits are byte-identical to the float64 path — pinned by
 
 from __future__ import annotations
 
+# bit-exact: this module is on the fixed/float byte-identity surface
+# (docs/analysis.md, REP003) — dtypes stay explicit, reductions ordered.
+
 import numpy as np
 
 from repro.errors import ConfigError

@@ -22,6 +22,9 @@ nothing); replies always use the base64 form.
 
 from __future__ import annotations
 
+# bit-exact: this module is on the fixed/float byte-identity surface
+# (docs/analysis.md, REP003) — dtypes stay explicit, reductions ordered.
+
 import base64
 import json
 from typing import Any
@@ -32,6 +35,8 @@ from repro.errors import ReproError
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "OPS",
+    "SESSION_OPS",
     "NetError",
     "BusyError",
     "encode_array",
@@ -43,6 +48,13 @@ __all__ = [
 
 #: Bumped on any incompatible wire change; sent in every ``hello`` frame.
 PROTOCOL_VERSION = 1
+
+#: Every op a v1 request may carry.  repro-lint's REP006 checker keeps
+#: this tuple and the client-facing spec in lockstep.
+OPS = ("ping", "stats", "open", "push", "reset", "close")  # documented-in: docs/runtime.md
+
+#: The ops that carry a session name and route to a worker by its hash.
+SESSION_OPS = frozenset({"open", "push", "reset", "close"})
 
 #: Hard cap on one request line — a malformed or hostile client must not
 #: balloon the server's memory.  Generous: a base64 float64 frame of

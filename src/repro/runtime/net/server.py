@@ -39,7 +39,9 @@ from typing import Any
 from repro.errors import ConfigError
 from repro.runtime.net.protocol import (
     MAX_LINE_BYTES,
+    OPS,
     PROTOCOL_VERSION,
+    SESSION_OPS,
     NetError,
     dump_line,
     error_reply,
@@ -48,9 +50,6 @@ from repro.runtime.net.protocol import (
 )
 
 __all__ = ["NetServer", "route_session"]
-
-#: Ops that carry a session name and run on a worker.
-_SESSION_OPS = frozenset({"open", "push", "reset", "close"})
 
 #: Longest accepted session id — routing keys, not payloads.
 _MAX_SESSION_ID = 256
@@ -145,7 +144,7 @@ class NetServer:
         self._started = threading.Event()
         self._startup_error: BaseException | None = None
         self._lifecycle = threading.Lock()
-        self._state = "new"  # new -> started -> closed
+        self._state = "new"  # guarded-by: _lifecycle (new -> started -> closed)
 
         # Event-loop-thread state.
         self._conns: dict[int, _Conn] = {}
@@ -343,7 +342,7 @@ class NetServer:
         for q in self._worker_queues:
             try:
                 q.put(("shutdown",))
-            except Exception:
+            except Exception:  # repro: ignore[REP005] queue torn down by a dead worker; join/terminate below still reaps it
                 pass
         for proc in self._procs:
             proc.join(timeout=15)
@@ -353,7 +352,7 @@ class NetServer:
         for index, queue in enumerate(self._reply_queues):
             try:
                 queue.put(None)  # stop that worker's pump
-            except Exception:
+            except Exception:  # repro: ignore[REP005] best-effort pump stop; unjoinable pumps stay daemon threads by design
                 pass
         for index, pump in enumerate(self._pumps):
             # A worker that died uncleanly may have poisoned its reply
@@ -445,12 +444,12 @@ class NetServer:
                 remaining = deadline - time.monotonic()
                 if remaining > 0:
                     await asyncio.wait_for(conn.writer.drain(), remaining)
-            except Exception:
+            except Exception:  # repro: ignore[REP005] drain is best-effort: a slow/dead client forfeits its tail by contract
                 pass
             try:
                 conn.writer.close()
                 await asyncio.wait_for(conn.writer.wait_closed(), 1.0)
-            except Exception:
+            except Exception:  # repro: ignore[REP005] socket already reset by the peer; loop teardown follows either way
                 pass
         self._conns.clear()
 
@@ -492,7 +491,7 @@ class NetServer:
                 self._tasks.discard(task)
             try:
                 writer.close()
-            except Exception:
+            except Exception:  # repro: ignore[REP005] reader already failed; closing a broken transport must not mask that
                 pass
 
     def _handle_request(self, conn: _Conn, line: bytes) -> None:
@@ -532,7 +531,7 @@ class NetServer:
             for q in self._worker_queues:
                 q.put(("stats", conn.id, token))
             return
-        if op in _SESSION_OPS:
+        if op in SESSION_OPS:
             session = message.get("session")
             if not isinstance(session, str) or not session:
                 self._write(conn, error_reply(
@@ -580,9 +579,7 @@ class NetServer:
             )
             return
         self._write(conn, error_reply(
-            rid,
-            f"unknown op {op!r}; expected one of ping, stats, open, push, "
-            "reset, close",
+            rid, f"unknown op {op!r}; expected one of {', '.join(OPS)}"
         ))
 
     def _admit(self, conn: _Conn, rid: Any) -> bool:
@@ -684,5 +681,5 @@ class NetServer:
     def _write(self, conn: _Conn, message: dict) -> None:
         try:
             conn.writer.write(dump_line(message))
-        except Exception:
-            pass  # connection torn down mid-write; reader path cleans up
+        except Exception:  # repro: ignore[REP005] connection torn down mid-write; the reader path cleans up
+            pass

@@ -109,16 +109,16 @@ class Server:
         self.max_delay_s = max_delay_s
 
         self._cond = threading.Condition()
-        self._queue: deque[_Request] = deque()
+        self._queue: deque[_Request] = deque()  # guarded-by: _cond
         # Sessions whose frames were in the previous batch: mid-stream, so
         # their next push is expected momentarily (the lockstep pattern).
-        self._expected: set[int] = set()
-        self._closed = False
-        self._frames = 0
-        self._batches = 0
-        self._max_coalesced = 0
-        self._sessions_opened = 0
-        self._sessions_active = 0
+        self._expected: set[int] = set()  # guarded-by: _cond
+        self._closed = False  # guarded-by: _cond
+        self._frames = 0  # guarded-by: _cond
+        self._batches = 0  # guarded-by: _cond
+        self._max_coalesced = 0  # guarded-by: _cond
+        self._sessions_opened = 0  # guarded-by: _cond
+        self._sessions_active = 0  # guarded-by: _cond
 
         self._dispatcher = threading.Thread(
             target=self._loop, name="repro-runtime-server", daemon=True
@@ -206,7 +206,7 @@ class Server:
             self._sessions_active -= 1
             self._expected.discard(id(session))
 
-    def _fill_target(self) -> int:
+    def _fill_target(self) -> int:  # holds-lock: _cond
         """Rows worth waiting for: sessions queued now or mid-stream.
 
         Counting *open* sessions instead would let one idle-but-open
@@ -289,8 +289,8 @@ class ServerSession:
         self._executor = server._executor
         self._state = self._executor.initial_state(1)
         self._frames = 0
-        self._open = True
         self._close_lock = threading.Lock()
+        self._open = True  # guarded-by: _close_lock
 
     @property
     def frames_pushed(self) -> int:
@@ -304,8 +304,12 @@ class ServerSession:
         :func:`~repro.runtime.coerce.coerce_frame`, as a width-1
         :class:`repro.runtime.Session`.
         """
-        if not self._open:
-            raise ConfigError("session is closed")
+        # Read under the close lock: a concurrent close() publishes
+        # ``_open = False`` there, and an unsynchronized read could submit
+        # a frame into a slot the server has already released.
+        with self._close_lock:
+            if not self._open:
+                raise ConfigError("session is closed")
         frame, squeezed = coerce_frame(frame, 1, self._executor.input_size)
         future = self._server._submit(self, frame[0], self._state)
         logits, self._state = future.result()

@@ -1,0 +1,13 @@
+"""Deliberately-bad fixture: CI lints this file expecting findings.
+
+The lint job runs `repro lint` on this file and FAILS THE BUILD if the
+exit code is 0 — proving the gate actually trips on violations rather
+than rubber-stamping everything.  Do not "fix" this file.
+"""
+
+
+def looks_fine(risky):
+    try:
+        return risky()
+    except Exception:
+        pass

@@ -1,0 +1,19 @@
+"""REP001 firing fixture: guarded attribute touched without its lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0  # guarded-by: _lock
+
+    def bump(self):
+        self._hits += 1  # no lock held: REP001 fires here
+
+    def snapshot(self):
+        def worker():
+            return self._hits  # closure: outer `with` would not save it
+
+        with self._lock:
+            return worker()

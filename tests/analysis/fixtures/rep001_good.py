@@ -1,0 +1,20 @@
+"""REP001 non-firing fixture: every guarded access holds the lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0  # guarded-by: _lock
+
+    def bump(self):
+        with self._lock:
+            self._hits += 1
+
+    def _bump_locked(self):  # holds-lock: _lock
+        self._hits += 1
+
+    def value(self):
+        with self._lock:
+            return self._hits

@@ -1,0 +1,13 @@
+"""REP002 firing fixture: blocking stdlib calls inside async def."""
+
+import subprocess
+import time
+from time import sleep
+
+
+async def handler():
+    time.sleep(0.1)  # REP002: stalls the event loop
+    sleep(0.1)  # REP002: same call via from-import
+    subprocess.run(["true"])  # REP002: sync subprocess
+    with open("/dev/null") as handle:  # REP002: blocking builtin
+        return handle

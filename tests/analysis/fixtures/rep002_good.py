@@ -1,0 +1,21 @@
+"""REP002 non-firing fixture: async body defers blocking work correctly."""
+
+import asyncio
+import time
+
+
+async def handler():
+    await asyncio.sleep(0.1)
+
+    def blocking_read():
+        # Nested *sync* function: runs in an executor thread, not the loop.
+        time.sleep(0.1)
+        with open("/dev/null") as handle:
+            return handle.read()
+
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, blocking_read)
+
+
+def sync_helper():
+    time.sleep(0.1)  # plain function: blocking is fine here

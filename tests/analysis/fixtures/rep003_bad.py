@@ -1,0 +1,13 @@
+"""REP003 firing fixture: dtype/ordering hazards in a bit-exact module."""
+
+# bit-exact
+
+import numpy as np
+
+
+def hazards(values):
+    indices = np.arange(10)  # REP003: platform C long
+    acc = sum(values)  # REP003: scalar-intermediate reduction
+    for item in {"a", "b"}:  # REP003: set iteration order
+        acc += len(item)
+    return indices, acc, [x for x in set(values)]  # REP003: set() in comp

@@ -1,0 +1,15 @@
+"""REP003 non-firing fixture: explicit dtypes, ordered reductions."""
+
+# bit-exact
+
+import numpy as np
+
+
+def clean(values):
+    indices = np.arange(10, dtype=np.int64)
+    copy = np.array(values, np.float64)  # positional dtype also counts
+    like = np.zeros_like(copy)  # *_like inherits its dtype: exempt
+    total = np.sum(copy, dtype=np.float64)
+    for item in sorted({"a", "b"}):  # sorted() restores determinism
+        total += len(item)
+    return indices, like, total

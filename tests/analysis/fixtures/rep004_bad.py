@@ -1,0 +1,12 @@
+"""REP004 firing fixture: internal use of the deprecation shims."""
+
+from repro.hw.accelerator import AcceleratorModel  # REP004
+from repro.asr.pipeline import evaluate_per  # REP004
+
+import repro
+
+
+def legacy(spec, accel, model, corpus):
+    hls = repro.HLSFramework(model)  # REP004: attribute reference
+    price = AcceleratorModel(spec, accel).allocate_pes()
+    return hls, price, evaluate_per(model, corpus)

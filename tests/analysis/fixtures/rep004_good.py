@@ -1,0 +1,9 @@
+"""REP004 non-firing fixture: the blessed replacements only."""
+
+from repro.api import Design
+from repro.runtime import evaluate_per
+
+
+def modern(layers, model, corpus):
+    design = Design(layer_sizes=layers, block_size=8)
+    return design.price(), evaluate_per(model, corpus)

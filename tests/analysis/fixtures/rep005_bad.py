@@ -1,0 +1,16 @@
+"""REP005 firing fixture: swallowed failures."""
+
+
+def swallow(risky):
+    try:
+        risky()
+    except:  # REP005: bare except
+        raise
+    try:
+        risky()
+    except Exception:  # REP005: broad + do-nothing body
+        pass
+    try:
+        risky()
+    except (ValueError, BaseException):  # REP005: tuple hides BaseException
+        ...

@@ -1,0 +1,22 @@
+"""REP005 non-firing fixture: handled, narrowed, or justified."""
+
+import logging
+
+log = logging.getLogger(__name__)
+
+
+def handled(risky, fallback):
+    try:
+        return risky()
+    except ValueError:  # narrow type with a do-nothing body is fine
+        pass
+    try:
+        return risky()
+    except Exception as error:  # broad but *handled*: logged
+        log.warning("risky failed: %s", error)
+        return fallback
+    finally:
+        try:
+            risky.close()
+        except Exception:  # repro: ignore[REP005] best-effort close on teardown
+            pass

@@ -1,0 +1,7 @@
+"""REP006 firing fixture: documented-in annotations that drifted."""
+
+OPS = ("ping", "frobnicate")  # documented-in: docs/runtime.md
+
+MISSING_DOC = ("ping",)  # documented-in: docs/no_such_file.md
+
+NOT_A_LITERAL = sorted(["a", "b"])  # documented-in: docs/runtime.md

@@ -1,0 +1,5 @@
+"""REP006 non-firing fixture: every annotated name is in its spec."""
+
+OPS = ("ping", "stats", "open", "push", "reset", "close")  # documented-in: docs/runtime.md
+
+UNANNOTATED = ("anything", "goes", "here")

@@ -1,0 +1,141 @@
+"""The `repro lint` CLI contract: exit codes, JSON schema, the baseline."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import UNJUSTIFIED, Baseline
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+CLEAN = "def fine():\n    return 1\n"
+DIRTY = "def bad(r):\n    try:\n        r()\n    except Exception:\n        pass\n"
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    """A tmp tree with one clean file, one dirty file, and a baseline path."""
+    (tmp_path / "clean.py").write_text(CLEAN)
+    (tmp_path / "dirty.py").write_text(DIRTY)
+    return tmp_path
+
+
+def _lint(*argv: str) -> int:
+    return main(["lint", *argv])
+
+
+class TestExitCodes:
+    def test_clean_is_zero(self, tree, capsys):
+        code = _lint(str(tree / "clean.py"), "--no-baseline")
+        assert code == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_are_one(self, tree, capsys):
+        code = _lint(str(tree / "dirty.py"), "--no-baseline")
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REP005" in out and "1 finding(s)" in out
+
+    def test_parse_error_is_two(self, tmp_path, capsys):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        code = _lint(str(tmp_path / "broken.py"), "--no-baseline")
+        assert code == 2
+        assert "PARSE" in capsys.readouterr().err
+
+    def test_missing_path_is_two_with_error(self, tmp_path, capsys):
+        code = _lint(str(tmp_path / "ghost.py"))
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_checker_code_is_two(self, tree, capsys):
+        code = _lint(str(tree / "clean.py"), "--select", "REP999")
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSelection:
+    def test_select_skips_other_checkers(self, tree):
+        assert _lint(str(tree / "dirty.py"), "--no-baseline",
+                     "--select", "REP001") == 0
+
+    def test_ignore_silences_the_finding(self, tree):
+        assert _lint(str(tree / "dirty.py"), "--no-baseline",
+                     "--ignore", "REP005") == 0
+
+    def test_comma_separated_codes(self, tree):
+        assert _lint(str(tree / "dirty.py"), "--no-baseline",
+                     "--select", "REP001,REP005") == 1
+
+
+class TestJsonFormat:
+    def test_schema(self, tree, capsys):
+        code = _lint(str(tree / "dirty.py"), "--no-baseline", "--format", "json")
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1 and payload["tool"] == "repro lint"
+        finding = payload["findings"][0]
+        assert set(finding) == {"file", "line", "col", "code", "severity",
+                                "message"}
+        assert payload["summary"]["exit_code"] == 1
+        assert payload["summary"]["files"] == 1
+
+    def test_clean_json_summary(self, tree, capsys):
+        assert _lint(str(tree / "clean.py"), "--no-baseline",
+                     "--format", "json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["summary"]["exit_code"] == 0
+
+
+class TestBaseline:
+    def test_round_trip(self, tree, capsys):
+        baseline = tree / "baseline.json"
+        # 1. Record the dirty tree: exit 0, entry stamped TODO.
+        assert _lint(str(tree / "dirty.py"), "--baseline", str(baseline),
+                     "--update-baseline") == 0
+        recorded = Baseline.load(baseline)
+        assert list(recorded.entries.values()) == [UNJUSTIFIED]
+        # 2. The baseline now excuses the finding: exit 0, counted.
+        assert _lint(str(tree / "dirty.py"), "--baseline", str(baseline)) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        # 3. A *new* violation still fails the gate.
+        (tree / "dirty.py").write_text(DIRTY + "\n\ndef worse():\n    try:\n"
+                                       "        pass\n    except:\n"
+                                       "        pass\n")
+        assert _lint(str(tree / "dirty.py"), "--baseline", str(baseline)) == 1
+
+    def test_entries_expire_when_fixed(self, tree, capsys):
+        baseline = tree / "baseline.json"
+        assert _lint(str(tree / "dirty.py"), "--baseline", str(baseline),
+                     "--update-baseline") == 0
+        (tree / "dirty.py").write_text(CLEAN)  # violation fixed
+        # Stale entry: lint warns on stderr but stays green.
+        assert _lint(str(tree / "dirty.py"), "--baseline", str(baseline)) == 0
+        assert "stale baseline" in capsys.readouterr().err
+        # The update drops it.
+        assert _lint(str(tree / "dirty.py"), "--baseline", str(baseline),
+                     "--update-baseline") == 0
+        assert Baseline.load(baseline).entries == {}
+
+    def test_update_keeps_human_reasons(self, tree):
+        baseline = tree / "baseline.json"
+        assert _lint(str(tree / "dirty.py"), "--baseline", str(baseline),
+                     "--update-baseline") == 0
+        recorded = Baseline.load(baseline)
+        key = next(iter(recorded.entries))
+        recorded.entries[key] = "reviewed: drain path, failure is terminal"
+        recorded.save()
+        assert _lint(str(tree / "dirty.py"), "--baseline", str(baseline),
+                     "--update-baseline") == 0
+        assert list(Baseline.load(baseline).entries.values()) == [
+            "reviewed: drain path, failure is terminal"
+        ]
+
+    def test_corrupt_baseline_is_a_clean_error(self, tree, capsys):
+        baseline = tree / "baseline.json"
+        baseline.write_text("{not json")
+        code = _lint(str(tree / "clean.py"), "--baseline", str(baseline))
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,40 @@
+"""The acceptance gate on this repository's own tree.
+
+`repro lint src tools` must be clean under the committed baseline, the
+baseline must carry no TODO reasons, and the deliberately-bad fixture
+must still trip the gate — the same three facts CI enforces.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import analyze_paths, apply_baseline
+from repro.analysis.baseline import UNJUSTIFIED, Baseline
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_src_and_tools_are_clean_under_the_baseline():
+    report = analyze_paths([REPO / "src", REPO / "tools"])
+    report = apply_baseline(
+        report, Baseline.load(REPO / "tools" / "lint_baseline.json")
+    )
+    assert report.parse_failures == []
+    assert report.findings == [], "\n".join(
+        f.describe() for f in report.findings
+    )
+    assert report.files > 100  # the whole tree was actually visited
+
+
+def test_baseline_is_empty_or_justified():
+    payload = json.loads(
+        (REPO / "tools" / "lint_baseline.json").read_text()
+    )
+    assert payload["version"] == 1
+    for entry in payload["findings"]:
+        assert entry.get("reason") and entry["reason"] != UNJUSTIFIED, entry
+
+
+def test_tripwire_fixture_keeps_the_gate_honest():
+    fixture = Path(__file__).parent / "fixtures" / "gate_tripwire.py"
+    assert analyze_paths([fixture]).exit_code == 1

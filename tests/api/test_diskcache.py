@@ -259,3 +259,50 @@ class TestEngineDiskTier:
         assert len(engine.disk) == 1
         assert engine.design(spec, accel) is not None
         assert engine.stats().disk_hits == 1
+
+
+class TestCounterThreadSafety:
+    def test_hit_miss_counters_consistent_under_contention(self, cache):
+        """Regression: hits/misses/describe() read under the cache lock.
+
+        Hammer one present and one absent key from many threads while a
+        reader thread polls the counters; every polled snapshot and the
+        final tallies must account for exactly the gets performed.
+        """
+        import threading
+
+        cache.put("deadbeef", {"v": 1})
+        workers, rounds = 8, 50
+        start = threading.Barrier(workers + 1)
+        snapshots: list[tuple[int, int]] = []
+
+        def hammer() -> None:
+            start.wait()
+            for _ in range(rounds):
+                cache.get("deadbeef")
+                cache.get("cafef00d")
+
+        def poll() -> None:
+            start.wait()
+            for _ in range(rounds):
+                snapshots.append((cache.hits, cache.misses))
+                cache.describe()
+
+        threads = [threading.Thread(target=hammer) for _ in range(workers)]
+        threads.append(threading.Thread(target=poll))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert cache.hits == workers * rounds
+        assert cache.misses == workers * rounds
+        assert all(h <= workers * rounds and m <= workers * rounds
+                   for h, m in snapshots)
+
+    def test_describe_reports_the_final_counts(self, cache):
+        cache.put("deadbeef", {"v": 1})
+        cache.get("deadbeef")
+        cache.get("cafef00d")
+        text = cache.describe()
+        assert "1" in text and "hit" in text.lower()

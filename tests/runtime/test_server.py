@@ -172,3 +172,36 @@ class TestServerLifecycle:
             session.push(np.zeros(SPEC.input_size))
             text = server.stats().describe()
         assert "frames" in text and "batches" in text
+
+
+class TestCloseRace:
+    def test_concurrent_close_and_push_never_leak_a_slot(self, compiled):
+        """Regression: ServerSession.push reads `_open` under `_close_lock`.
+
+        Race a pusher against a closer on the same session, repeatedly:
+        every push either returns logits or raises ConfigError("closed"),
+        and after the dust settles the server has released every slot.
+        """
+        frame = np.zeros(SPEC.input_size)
+        with compiled.serve(max_delay_s=0.0) as server:
+            for _ in range(20):
+                session = server.session()
+                outcomes: list = []
+
+                def pusher() -> None:
+                    try:
+                        for _ in range(5):
+                            outcomes.append(session.push(frame))
+                    except ConfigError as error:
+                        outcomes.append(error)
+
+                closer = threading.Thread(target=session.close)
+                worker = threading.Thread(target=pusher)
+                worker.start()
+                closer.start()
+                worker.join()
+                closer.join()
+                for outcome in outcomes:
+                    assert isinstance(outcome, (np.ndarray, ConfigError))
+            assert server.stats().sessions_active == 0
+        assert server.stats().sessions_opened == 20

@@ -1,0 +1,154 @@
+"""Smoke tests for the tools/ maintenance scripts' CLI entry points."""
+
+import importlib.util
+import sys
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        name, REPO / "tools" / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+refresh = _load("refresh_ablation_sections")
+update = _load("update_experiments_md")
+
+
+EXPERIMENTS = """# Experiments
+
+## Table I — LSTM
+
+intro prose.
+
+| ID | layers |
+|---:|---|
+| L0 | 1024 |
+
+## Table II — GRU
+
+intro prose.
+
+| ID | layers |
+|---:|---|
+| G0 | 1024 |
+
+## Ablation
+
+```
+[baseline] old line one
+[trial] old line two
+```
+
+tail prose.
+"""
+
+
+@pytest.fixture()
+def repo(tmp_path):
+    out = tmp_path / "benchmarks" / "out"
+    out.mkdir(parents=True)
+    (out / "phase1_trials.txt").write_text(
+        "header noise\n[baseline] per=20.40\n[trial 1] per=20.70\n"
+    )
+    (out / "ablation_admm_vs_direct.txt").write_text(
+        "admm degr +0.12 vs direct +0.35\nmore detail\n"
+    )
+    (tmp_path / "EXPERIMENTS.md").write_text(EXPERIMENTS)
+    return tmp_path
+
+
+class TestRefreshAblationSections:
+    def test_refreshes_the_code_block(self, repo, capsys):
+        assert refresh.main(["--repo", str(repo)]) == 0
+        text = (repo / "EXPERIMENTS.md").read_text()
+        assert "[baseline] per=20.40" in text
+        assert "old line one" not in text
+        assert "header noise" not in text  # only [..] log lines are quoted
+        out = capsys.readouterr().out
+        assert "admm degr +0.12" in out
+
+    def test_missing_experiments_md_exits_one(self, repo, capsys):
+        (repo / "EXPERIMENTS.md").unlink()
+        assert refresh.main(["--repo", str(repo)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_bench_output_exits_one(self, repo, capsys):
+        (repo / "benchmarks" / "out" / "phase1_trials.txt").unlink()
+        assert refresh.main(["--repo", str(repo)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_no_code_block_exits_one(self, repo, capsys):
+        (repo / "EXPERIMENTS.md").write_text("# Experiments\n\nno block\n")
+        assert refresh.main(["--repo", str(repo)]) == 1
+        assert "code block" in capsys.readouterr().err
+
+
+def _row(row_id="L0", per=20.4, degr=0.1):
+    return SimpleNamespace(
+        row_id=row_id,
+        layer_sizes=(1024, 1024),
+        block_sizes=(8, 8),
+        per=per,
+        degradation=degr,
+        paper_per=20.7,
+        paper_degradation=0.3,
+    )
+
+
+@pytest.fixture()
+def stub_experiments(monkeypatch):
+    """Replace the heavy experiment stack under the lazy imports."""
+    monkeypatch.setattr(
+        "repro.experiments.common.ExperimentHarness", lambda: object()
+    )
+    monkeypatch.setattr(
+        "repro.experiments.table1.run_table1", lambda harness: [_row("L0")]
+    )
+    monkeypatch.setattr(
+        "repro.experiments.table2.run_table2",
+        lambda harness: [_row("G0", per=23.5)],
+    )
+
+
+class TestUpdateExperimentsMd:
+    def test_markdown_rows_formats_dense_and_missing_degradation(self):
+        row = _row()
+        row.block_sizes = ()
+        row.degradation = None
+        table = update.markdown_rows([row])
+        assert "| dense |" in table and "| - |" in table
+        assert "| 20.40 |" in table
+
+    def test_replace_table_raises_on_missing_heading(self):
+        with pytest.raises(ValueError, match="Table IX"):
+            update.replace_table("# nothing here\n", "Table IX", "| x |")
+
+    def test_rewrites_both_tables(self, repo, stub_experiments, capsys):
+        assert update.main(["--repo", str(repo)]) == 0
+        text = (repo / "EXPERIMENTS.md").read_text()
+        assert "| L0 | 1024-1024 | 8-8 | 20.40 | +0.10 | 20.70 | +0.30 |" in text
+        assert "| G0 | 1024-1024 | 8-8 | 23.50 |" in text
+        assert "## Ablation" in text  # the rest of the document survives
+        assert "refreshed" in capsys.readouterr().out
+
+    def test_missing_experiments_md_exits_one(
+        self, repo, stub_experiments, capsys
+    ):
+        (repo / "EXPERIMENTS.md").unlink()
+        assert update.main(["--repo", str(repo)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_heading_exits_one(self, repo, stub_experiments, capsys):
+        (repo / "EXPERIMENTS.md").write_text("# Experiments\n\nno tables\n")
+        assert update.main(["--repo", str(repo)]) == 1
+        assert "error:" in capsys.readouterr().err

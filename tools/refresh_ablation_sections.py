@@ -4,36 +4,64 @@ Replaces the Phase-I trial log code block and the ADMM-vs-direct measured
 line with the latest benchmark outputs, so EXPERIMENTS.md always quotes the
 numbers the committed bench artifacts contain.
 
-    python tools/refresh_ablation_sections.py
+    python tools/refresh_ablation_sections.py [--repo PATH]
+
+Exit codes: 0 refreshed, 1 when a required input (EXPERIMENTS.md or a
+benchmark output) is missing or the excerpt block cannot be located.
 """
 
 from __future__ import annotations
 
+import argparse
 import re
+import sys
 from pathlib import Path
 
-REPO = Path(__file__).resolve().parents[1]
-OUT = REPO / "benchmarks" / "out"
 
-
-def refresh_phase1(text: str) -> str:
-    source = (OUT / "phase1_trials.txt").read_text().strip().splitlines()
+def refresh_phase1(text: str, out_dir: Path) -> str:
+    source = (out_dir / "phase1_trials.txt").read_text().strip().splitlines()
     log_lines = [line.strip() for line in source if line.strip().startswith("[")]
     block = "\n".join(log_lines)
     pattern = re.compile(r"```\n\[baseline\].*?```", re.DOTALL)
-    return pattern.sub(f"```\n{block}\n```", text, count=1)
+    refreshed, count = pattern.subn(f"```\n{block}\n```", text, count=1)
+    if count == 0:
+        raise ValueError(
+            "EXPERIMENTS.md has no phase-1 trial-log code block to refresh"
+        )
+    return refreshed
 
 
-def main() -> None:
-    path = REPO / "EXPERIMENTS.md"
-    text = path.read_text()
-    text = refresh_phase1(text)
-    path.write_text(text)
-    measured = (OUT / "ablation_admm_vs_direct.txt").read_text().strip()
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="refresh EXPERIMENTS.md ablation excerpts from benchmarks/out"
+    )
+    parser.add_argument(
+        "--repo",
+        type=Path,
+        default=Path(__file__).resolve().parents[1],
+        help="repository root holding EXPERIMENTS.md and benchmarks/out "
+        "(default: this script's repository)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    repo = args.repo.resolve()
+    out_dir = repo / "benchmarks" / "out"
+    path = repo / "EXPERIMENTS.md"
+    try:
+        text = refresh_phase1(path.read_text(), out_dir)
+        path.write_text(text)
+        measured = (out_dir / "ablation_admm_vs_direct.txt").read_text().strip()
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     print("EXPERIMENTS.md phase-1 excerpt refreshed")
     print("ADMM ablation (update the prose numbers manually if changed):")
     print(" ", measured.splitlines()[0])
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -3,19 +3,18 @@
 Run after `pytest benchmarks/ --benchmark-only` so the recorded numbers always
 match the current corpus/training recipe:
 
-    python tools/update_experiments_md.py
+    python tools/update_experiments_md.py [--repo PATH]
+
+Exit codes: 0 refreshed, 1 when EXPERIMENTS.md is missing or a table
+heading cannot be located.
 """
 
 from __future__ import annotations
 
+import argparse
 import re
+import sys
 from pathlib import Path
-
-from repro.experiments.common import ExperimentHarness
-from repro.experiments.table1 import run_table1
-from repro.experiments.table2 import run_table2
-
-REPO = Path(__file__).resolve().parents[1]
 
 
 def markdown_rows(rows) -> str:
@@ -47,22 +46,48 @@ def replace_table(text: str, heading: str, table: str) -> str:
     )
     match = pattern.search(text)
     if match is None:
-        raise SystemExit(f"could not locate the table under '{heading}'")
+        raise ValueError(f"could not locate the table under '{heading}'")
     return text[: match.start(2)] + table + "\n" + text[match.end(2):]
 
 
-def main() -> None:
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="regenerate EXPERIMENTS.md Table I/II from the PER cache"
+    )
+    parser.add_argument(
+        "--repo",
+        type=Path,
+        default=Path(__file__).resolve().parents[1],
+        help="repository root holding EXPERIMENTS.md "
+        "(default: this script's repository)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    # Imported here, not at module top: the experiment stack is heavy, and
+    # --help / argument errors should not pay for (or depend on) it.
+    from repro.experiments.common import ExperimentHarness
+    from repro.experiments.table1 import run_table1
+    from repro.experiments.table2 import run_table2
+
     harness = ExperimentHarness()  # PERs served from the shared DiskCache
     # ('per' namespace under $REPRO_CACHE_DIR or ~/.cache/repro-ernn)
     table1 = markdown_rows(run_table1(harness))
     table2 = markdown_rows(run_table2(harness))
-    path = REPO / "EXPERIMENTS.md"
-    text = path.read_text()
-    text = replace_table(text, "Table I", table1)
-    text = replace_table(text, "Table II", table2)
-    path.write_text(text)
+    path = args.repo.resolve() / "EXPERIMENTS.md"
+    try:
+        text = path.read_text()
+        text = replace_table(text, "Table I", table1)
+        text = replace_table(text, "Table II", table2)
+        path.write_text(text)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     print("EXPERIMENTS.md Table I/II refreshed from cache")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())
