@@ -298,12 +298,15 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_delay_s=args.delay_ms / 1e3,
         queue_limit=args.queue_limit,
+        transport=args.transport,
+        max_protocol=args.wire,
     )
     server.start()
     host, port = server.address
     print(
         f"serving on {host}:{port} with {args.workers} worker process(es) "
-        f"(max_batch {args.max_batch}, queue_limit {args.queue_limit})"
+        f"(max_batch {args.max_batch}, queue_limit {args.queue_limit}, "
+        f"transport {server.transport}, wire <= v{server.max_protocol})"
     )
 
     if not args.selftest:
@@ -329,7 +332,7 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
 
         def client_thread(index: int) -> None:
             try:
-                with Client(host, port) as client:
+                with Client(host, port, protocol=args.wire) as client:
                     session = client.session(f"selftest-{index}")
                     outputs[index] = session.run(streams[index], window=8)
             except Exception as error:  # noqa: BLE001 — reported below
@@ -368,7 +371,8 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
         print(
             f"served {total} frames to {args.sessions} net clients across "
             f"{args.workers} workers in {elapsed * 1e3:.1f} ms "
-            f"({total / elapsed:,.0f} frames/s)"
+            f"({total / elapsed:,.0f} frames/s; wire v{args.wire}, "
+            f"transport {server.transport})"
         )
         with Client(host, port) as client:
             for entry in client.stats():
@@ -601,6 +605,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue-limit", type=int, default=32,
         help="per-connection in-flight bound before busy replies "
              "(default: 32)",
+    )
+    serve.add_argument(
+        "--transport", choices=("shm", "pipe"), default="shm",
+        help="parent<->worker payload path for network serving: shared-"
+             "memory rings (default) or pickled pipes",
+    )
+    serve.add_argument(
+        "--wire", type=int, choices=(1, 2), default=2,
+        help="highest wire protocol the server offers (and the selftest "
+             "clients request): 2 = negotiated binary payload frames "
+             "(default), 1 = NDJSON only",
     )
     serve.add_argument(
         "--selftest", action="store_true",

@@ -10,6 +10,13 @@ recurrent state stays worker-local across pushes, connections and
 reconnects.  A matching blocking stdlib client (:class:`Client` /
 :class:`NetSession`) completes the loop.
 
+Since PR 7 the hot payload path can negotiate **protocol v2** per
+connection: ``push``/``push_many`` payloads travel as length-prefixed
+binary frames instead of base64 JSON, and parent↔worker payloads ride
+per-worker shared-memory slot rings instead of pickled pipes
+(``transport="shm"``).  Control traffic — and every v1 client — stays
+NDJSON, byte-for-byte unchanged.
+
 The invariant carries through from the in-process layers: logits served
 over the wire are **byte-identical** to a standalone
 :class:`repro.runtime.Session` on the same stream, for both backends —
@@ -22,6 +29,7 @@ protocol specification and operational notes.
 
 from repro.runtime.net.client import Client, NetSession
 from repro.runtime.net.protocol import (
+    MAX_PROTOCOL,
     PROTOCOL_VERSION,
     BusyError,
     NetError,
@@ -37,6 +45,7 @@ __all__ = [
     "NetError",
     "BusyError",
     "PROTOCOL_VERSION",
+    "MAX_PROTOCOL",
     "route_session",
     "encode_array",
     "decode_array",

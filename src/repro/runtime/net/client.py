@@ -6,6 +6,12 @@ Mirrors the in-process surfaces: :class:`Client` is the connection,
 and return **byte-identical** logits, which is the point: the wire adds
 transport, never arithmetic.
 
+The client negotiates protocol v2 (binary payload frames) inside the
+first ``open`` handshake when the server's ``hello`` advertises
+``max_protocol >= 2``; against an older or v1-pinned server the request
+is simply not acknowledged and everything stays NDJSON.  Pass
+``protocol=1`` to the constructor to pin a connection to v1 explicitly.
+
 A :class:`Client` is single-threaded by design (one socket, strictly
 ordered request/reply); concurrent callers each open their own, exactly
 as with in-process sessions.
@@ -20,15 +26,27 @@ from __future__ import annotations
 
 import itertools
 import socket
+import struct
 import time
 from typing import Any
 
 import numpy as np
 
-from repro.runtime.coerce import coerce_frame
+from repro.runtime.coerce import coerce_frame, coerce_stream
 from repro.runtime.net.protocol import (
+    BIN_MAGIC,
+    BIN_PREFIX,
+    BIN_PUSH,
+    BIN_PUSH_MANY,
+    BIN_RESULT,
+    MAX_BIN_NDIM,
+    MAX_BIN_SESSION,
+    MAX_FRAME_BYTES,
+    MAX_PROTOCOL,
     BusyError,
     NetError,
+    build_binary_frame,
+    check_binary_header,
     decode_array,
     dump_line,
     encode_array,
@@ -39,9 +57,22 @@ __all__ = ["Client", "NetSession"]
 
 
 class Client:
-    """One NDJSON TCP connection to a :class:`~repro.runtime.net.NetServer`."""
+    """One TCP connection to a :class:`~repro.runtime.net.NetServer`.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    ``protocol`` is the highest protocol version this client is willing
+    to negotiate (default: everything it speaks).  The *effective*
+    version — :attr:`protocol` — starts at 1 and is raised when a
+    server grants v2 in an ``open`` handshake.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 protocol: int = MAX_PROTOCOL):
+        if not 1 <= protocol <= MAX_PROTOCOL:
+            raise NetError(
+                f"protocol must be 1..{MAX_PROTOCOL}, got {protocol}"
+            )
+        self._want_protocol = protocol
+        self._protocol = 1
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.settimeout(timeout)
         self._file = self._sock.makefile("rwb")
@@ -70,6 +101,18 @@ class Client:
     def queue_limit(self) -> int:
         return int(self.hello["queue_limit"])
 
+    @property
+    def protocol(self) -> int:
+        """Effective protocol version on this connection (1 until a v2
+        grant comes back in an ``open`` reply)."""
+        return self._protocol
+
+    def _wants_v2(self) -> bool:
+        return (
+            self._want_protocol >= 2
+            and int(self.hello.get("max_protocol", 1)) >= 2
+        )
+
     # ------------------------------------------------------------------
     def _send(self, op: str, **fields: Any) -> int:
         if self._closed:
@@ -82,16 +125,75 @@ class Client:
             raise NetError(f"send failed: {error}") from None
         return rid
 
-    def _recv(self) -> dict:
+    def _send_binary(self, op: int, session: str, payload: bytes,
+                     shape: tuple[int, ...]) -> int:
+        if self._closed:
+            raise NetError("client is closed")
+        rid = next(self._ids)
         try:
-            line = self._file.readline()
+            self._file.write(build_binary_frame(
+                op, rid, shape, payload, session=session.encode("utf-8")
+            ))
+            self._file.flush()
+        except OSError as error:
+            raise NetError(f"send failed: {error}") from None
+        return rid
+
+    def _read_exactly(self, count: int) -> bytes:
+        data = self._file.read(count)
+        if data is None or len(data) < count:
+            raise NetError("server closed the connection mid-frame")
+        return data
+
+    def _recv(self) -> dict:
+        """One reply, either framing, normalized to a dict.
+
+        Binary results carry their logits as a ready ndarray under
+        ``"logits_array"``; JSON replies keep the base64 ``"logits"``
+        payload (decoded lazily by the caller).
+        """
+        try:
+            first = self._file.read(1)
+            if not first:
+                raise NetError("server closed the connection")
+            if first[0] != BIN_MAGIC:
+                line = first + self._file.readline()
+                return parse_line(line)
+            prefix = first + self._read_exactly(BIN_PREFIX.size - 1)
+            (_, version, opcode, dtype_code, rid, seq,
+             slen, ndim, _pad) = BIN_PREFIX.unpack(prefix)
+            if (ndim > MAX_BIN_NDIM or slen > MAX_BIN_SESSION):
+                raise NetError(
+                    f"unframeable binary reply header (ndim {ndim}, "
+                    f"session {slen} bytes)"
+                )
+            *dims, nbytes = struct.unpack(
+                f"<{ndim}II", self._read_exactly(4 * ndim + 4)
+            )
+            if nbytes > MAX_FRAME_BYTES:
+                raise NetError(
+                    f"binary reply payload of {nbytes} bytes exceeds the "
+                    f"{MAX_FRAME_BYTES}-byte cap"
+                )
+            body = self._read_exactly(slen + nbytes)
+            check_binary_header(
+                version, opcode, dtype_code, tuple(dims), nbytes,
+                expect_request=False,
+            )
+            values = np.asarray(
+                np.frombuffer(body[slen:], dtype="<f8"), dtype=np.float64
+            ).reshape(dims)
+            return {
+                "id": rid,
+                "ok": True,
+                "type": "push" if opcode == BIN_RESULT else "push_many",
+                "seq": seq,
+                "logits_array": values,
+            }
         except socket.timeout:
             raise NetError("timed out waiting for a reply") from None
         except OSError as error:
             raise NetError(f"receive failed: {error}") from None
-        if not line:
-            raise NetError("server closed the connection")
-        return parse_line(line)
 
     def _recv_for(self, rid: int) -> dict:
         reply = self._recv()
@@ -112,13 +214,23 @@ class Client:
         if reply.get("ok", False):
             return reply
         if reply.get("type") == "busy":
+            limit = reply.get("limit")
             raise BusyError(
-                f"server busy (limit {reply.get('limit')}); the frame was "
-                "not applied — back off and resend it before newer frames"
+                f"server busy (limit {limit}); the frame was not applied "
+                "— back off and resend it before newer frames",
+                limit=limit if isinstance(limit, int) else None,
             )
         raise NetError(
             f"{reply.get('kind', 'error')}: {reply.get('error', reply)}"
         )
+
+    @staticmethod
+    def _logits(reply: dict) -> np.ndarray:
+        """The logits array of a push-style reply, either framing."""
+        values = reply.get("logits_array")
+        if values is not None:
+            return values
+        return decode_array(reply["logits"])
 
     # ------------------------------------------------------------------
     def ping(self) -> float:
@@ -131,9 +243,9 @@ class Client:
         """Per-worker :class:`~repro.runtime.ServerStats` snapshots."""
         return self.request("stats")["workers"]
 
-    def session(self, name: str) -> "NetSession":
+    def session(self, name: str, **retry: Any) -> "NetSession":
         """Open (or re-attach to) the named streaming session."""
-        return NetSession(self, name)
+        return NetSession(self, name, **retry)
 
     def close(self) -> None:
         if self._closed:
@@ -157,12 +269,29 @@ class NetSession:
     The session id — not the connection — owns the carried recurrent
     state: reconnect with the same name and the stream continues where it
     left off, on the same worker (stable-hash routing).
+
+    ``retries``/``backoff_s``/``max_backoff_s`` set the session's default
+    ``busy`` retry policy: the sleep grows linearly from ``backoff_s``
+    but never beyond ``max_backoff_s``, and after ``retries`` resends a
+    :class:`BusyError` carrying the server's advertised ``limit`` is
+    raised.
     """
 
-    def __init__(self, client: Client, name: str):
+    def __init__(self, client: Client, name: str, *, retries: int = 20,
+                 backoff_s: float = 0.02, max_backoff_s: float = 0.25):
+        if retries < 0:
+            raise NetError(f"retries must be >= 0, got {retries}")
         self._client = client
         self._name = name
-        self.meta = client.request("open", session=name)
+        self._retries = retries
+        self._backoff_s = backoff_s
+        self._max_backoff_s = max_backoff_s
+        fields: dict[str, Any] = {"session": name}
+        if client._wants_v2():
+            fields["protocol"] = 2
+        self.meta = client.request("open", **fields)
+        if self.meta.get("protocol") == 2:
+            client._protocol = 2
         self._frames = int(self.meta.get("seq", 0))
         self._closed = False
 
@@ -180,41 +309,120 @@ class NetSession:
         return self._frames
 
     # ------------------------------------------------------------------
+    def _retry_policy(self, retries: Any, backoff_s: Any) -> tuple[int, float]:
+        retries = self._retries if retries is None else retries
+        backoff_s = self._backoff_s if backoff_s is None else backoff_s
+        return retries, backoff_s
+
+    def _push_with_retry(self, send: Any, retries: int,
+                         backoff_s: float) -> dict:
+        """Resend through ``busy`` replies with a capped linear backoff.
+
+        Safe for a blocking push: nothing newer is in flight, so the
+        resend preserves stream order.  The refused frame was NOT
+        applied, which is also why exhaustion is an error the caller
+        must handle — dropping the frame silently would desync the
+        stream's carried state.
+        """
+        for attempt in range(retries + 1):
+            try:
+                return self._client._check(
+                    self._client._recv_for(send())
+                )
+            except BusyError as busy:
+                if attempt == retries:
+                    raise BusyError(
+                        f"server still busy after {retries + 1} attempts "
+                        f"(per-connection limit {busy.limit}); the frame "
+                        "was not applied — the stream is still in sync, "
+                        "retry later or raise the retry budget",
+                        limit=busy.limit,
+                    ) from None
+                time.sleep(min(self._max_backoff_s,
+                               backoff_s * (attempt + 1)))
+        raise AssertionError("unreachable")
+
     def push(
         self,
         frame: np.ndarray,
-        retries: int = 20,
-        backoff_s: float = 0.02,
+        retries: int | None = None,
+        backoff_s: float | None = None,
     ) -> np.ndarray:
         """One blocking frame: coerce, send, return its logits.
 
-        ``busy`` replies are retried with backoff (safe for a blocking
-        push: nothing newer is in flight, so resending preserves order).
         Shapes mirror :meth:`repro.runtime.Session.push`: a bare ``(D,)``
         vector returns ``(C,)``; a ``(1, D)`` frame returns ``(1, C)``.
         """
         self._check_open()
+        retries, backoff_s = self._retry_policy(retries, backoff_s)
         coerced, squeezed = coerce_frame(frame, 1, self._client.input_size)
-        payload = encode_array(coerced[0])
-        for attempt in range(retries + 1):
-            try:
-                reply = self._client.request(
-                    "push", session=self._name, frame=payload
+        row = coerced[0]
+        if self._client.protocol >= 2:
+            payload = row.astype("<f8", copy=False).tobytes()
+            def send() -> int:
+                return self._client._send_binary(
+                    BIN_PUSH, self._name, payload, row.shape
                 )
-            except BusyError:
-                if attempt == retries:
-                    raise
-                time.sleep(backoff_s * (attempt + 1))
-                continue
-            self._accept_seq(reply)
-            # copy(): decode_array returns a read-only view of the wire
-            # bytes; Session.push parity means handing back a writable
-            # array.
-            logits = decode_array(reply["logits"]).copy()
-            return logits if squeezed else logits[None, :]
-        raise AssertionError("unreachable")
+        else:
+            encoded = encode_array(row)
+            def send() -> int:
+                return self._client._send(
+                    "push", session=self._name, frame=encoded
+                )
+        reply = self._push_with_retry(send, retries, backoff_s)
+        self._accept_seq(reply, 1)
+        # copy(): the decoded logits view wire bytes; Session.push parity
+        # means handing back a writable array.
+        logits = self._client._logits(reply).copy()
+        return logits if squeezed else logits[None, :]
 
-    def _accept_seq(self, reply: dict) -> None:
+    def push_many(
+        self,
+        frames: np.ndarray,
+        retries: int | None = None,
+        backoff_s: float | None = None,
+    ) -> np.ndarray:
+        """``(K, D)`` frames in one round trip → ``(K, C)`` logits.
+
+        One wire frame, one admission slot, one reply — the batched hot
+        path of protocol v2 (a v1 connection sends the same batch as a
+        single JSON ``push_many`` request).  The batch is applied frame
+        by frame server-side, so the logits are byte-identical to ``K``
+        single pushes; a rejected batch applies NOTHING.
+        """
+        self._check_open()
+        retries, backoff_s = self._retry_policy(retries, backoff_s)
+        frames = np.asarray(frames)
+        if frames.ndim != 2:
+            raise NetError(
+                f"push_many wants (K, D) frames, got shape {frames.shape}"
+            )
+        if len(frames) == 0:  # run() parity: nothing to send
+            return np.empty((0, self._client.num_classes))
+        coerced = coerce_stream(
+            frames[:, None, :], self._client.input_size
+        )[:, 0, :]
+        if self._client.protocol >= 2:
+            payload = np.ascontiguousarray(coerced).astype(
+                "<f8", copy=False
+            ).tobytes()
+            def send() -> int:
+                return self._client._send_binary(
+                    BIN_PUSH_MANY, self._name, payload, coerced.shape
+                )
+        else:
+            encoded = encode_array(coerced)
+            def send() -> int:
+                return self._client._send(
+                    "push_many", session=self._name, frames=encoded
+                )
+        reply = self._push_with_retry(send, retries, backoff_s)
+        self._accept_seq(reply, len(frames))
+        return self._client._logits(reply).copy().reshape(
+            len(frames), self._client.num_classes
+        )
+
+    def _accept_seq(self, reply: dict, count: int) -> None:
         """Enforce exactly-once, in-order delivery per stream.
 
         Every push reply carries the worker-side frame counter; a gap or
@@ -223,10 +431,10 @@ class NetSession:
         hard error, not a warning.
         """
         seq = reply.get("seq")
-        if seq != self._frames + 1:
+        if seq != self._frames + count:
             raise NetError(
                 f"stream {self._name!r} out of sync: expected frame "
-                f"{self._frames + 1}, server reports {seq} (a frame was "
+                f"{self._frames + count}, server reports {seq} (a frame was "
                 "dropped, duplicated or reordered; reset the session)"
             )
         self._frames = seq
@@ -251,24 +459,36 @@ class NetSession:
         # bad frame discovered mid-pipeline would abandon in-flight
         # replies and desynchronize the connection for good.  Up-front
         # validation turns it into a clean error with nothing sent.
-        payloads = []
+        binary = self._client.protocol >= 2
+        payloads: list[Any] = []
+        shapes: list[tuple[int, ...]] = []
         for frame in frames:
             coerced, _ = coerce_frame(frame, 1, self._client.input_size)
-            payloads.append(encode_array(coerced[0]))
+            row = coerced[0]
+            if binary:
+                payloads.append(row.astype("<f8", copy=False).tobytes())
+                shapes.append(row.shape)
+            else:
+                payloads.append(encode_array(row))
         out: list[np.ndarray | None] = [None] * total
         pending: list[tuple[int, int]] = []  # (rid, frame index)
         sent = 0
         while sent < total or pending:
             while sent < total and len(pending) < window:
-                rid = self._client._send(
-                    "push", session=self._name, frame=payloads[sent]
-                )
+                if binary:
+                    rid = self._client._send_binary(
+                        BIN_PUSH, self._name, payloads[sent], shapes[sent]
+                    )
+                else:
+                    rid = self._client._send(
+                        "push", session=self._name, frame=payloads[sent]
+                    )
                 pending.append((rid, sent))
                 sent += 1
             rid, index = pending.pop(0)
             reply = self._client._check(self._client._recv_for(rid))
-            self._accept_seq(reply)
-            out[index] = decode_array(reply["logits"])
+            self._accept_seq(reply, 1)
+            out[index] = self._client._logits(reply)
         return np.stack(out)  # type: ignore[arg-type]
 
     def reset(self) -> "NetSession":
@@ -279,7 +499,7 @@ class NetSession:
         return self
 
     def close(self) -> None:
-        """Close the server-side session (frees its worker thread).
+        """Close the server-side session (frees its worker bookkeeping).
 
         Idempotent and best-effort: a second close — e.g. an explicit
         close inside a ``with`` block — is a no-op, and a close the

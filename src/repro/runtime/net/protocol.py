@@ -1,23 +1,56 @@
-"""The newline-delimited-JSON wire protocol of :mod:`repro.runtime.net`.
+"""The wire protocol of :mod:`repro.runtime.net`: NDJSON v1 + binary v2.
 
-One request per line, one JSON object per request; one reply per request,
-also a single line.  The full specification lives in ``docs/runtime.md``
-(section "Serving over the network"); this module is the shared
-encode/decode layer used by the server, the workers and the client, so
-the two sides can never drift.
+Protocol v1 is one JSON object per newline-delimited request line, one
+reply line per request.  Protocol v2 keeps that JSON control plane —
+``open``, ``close``, ``reset``, ``stats``, ``busy`` and every error
+frame stay NDJSON — and moves only the hot payload path (``push``,
+``push_many`` and their results) onto length-prefixed binary frames of
+raw little-endian float64 bytes, negotiated per connection inside the
+``open`` handshake.  A v1 client never sees a single v2 byte.  The full
+specification lives in ``docs/runtime.md`` (section "Serving over the
+network"); this module is the shared encode/decode layer used by the
+server, the workers and the client, so the sides can never drift.
 
-Array transport
----------------
+Array transport (v1 / control plane)
+------------------------------------
 
 Logits must arrive **byte-identical** to a standalone
-:class:`repro.runtime.Session`, so the canonical array encoding is raw
-little-endian float64 bytes, base64-wrapped::
+:class:`repro.runtime.Session`, so the canonical JSON array encoding is
+raw little-endian float64 bytes, base64-wrapped::
 
     {"dtype": "<f8", "shape": [39], "b64": "..."}
 
 For hand-written clients a plain JSON list of numbers is also accepted on
 input (Python's JSON round-trips every float64 exactly, so this loses
 nothing); replies always use the base64 form.
+
+Binary frames (v2 data plane)
+-----------------------------
+
+A v2 frame starts with ``0xA6`` — an invalid UTF-8 lead byte, so the
+first byte of any request or reply unambiguously selects the framing —
+followed by a fixed 24-byte prefix, a shape header, and the payload::
+
+    magic     u8   0xA6
+    version   u8   2
+    op        u8   1=push 2=result 3=push_many 4=result_many
+    dtype     u8   1 = little-endian float64
+    rid       u64  request id (echoed in the result)
+    seq       u64  results: session frame counter after the op; else 0
+    slen      u16  session-id byte length (requests; 0 in results)
+    ndim      u8   number of dims (1..4)
+    reserved  u8   0
+    dims      u32 × ndim
+    nbytes    u32  payload byte length (must equal 8 · ∏dims)
+    session   utf-8, slen bytes
+    payload   nbytes raw little-endian float64
+
+Everything is little-endian.  The frame is self-delimiting, so a
+semantically invalid header (wrong version, unknown op/dtype, shape and
+``nbytes`` disagreeing) costs one structured JSON ``error`` reply and
+the connection stays usable; only a header whose *lengths* cannot be
+trusted (``ndim``/``slen``/``nbytes`` over the hard caps) forces a
+disconnect, since resynchronisation is impossible.
 """
 
 from __future__ import annotations
@@ -27,6 +60,7 @@ from __future__ import annotations
 
 import base64
 import json
+import struct
 from typing import Any
 
 import numpy as np
@@ -35,6 +69,7 @@ from repro.errors import ReproError
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "MAX_PROTOCOL",
     "OPS",
     "SESSION_OPS",
     "NetError",
@@ -44,22 +79,52 @@ __all__ = [
     "dump_line",
     "parse_line",
     "error_reply",
+    "build_binary_frame",
+    "check_binary_header",
 ]
 
-#: Bumped on any incompatible wire change; sent in every ``hello`` frame.
+#: The baseline protocol every client speaks; sent in every ``hello``.
 PROTOCOL_VERSION = 1
 
-#: Every op a v1 request may carry.  repro-lint's REP006 checker keeps
-#: this tuple and the client-facing spec in lockstep.
-OPS = ("ping", "stats", "open", "push", "reset", "close")  # documented-in: docs/runtime.md
+#: Highest protocol this codebase can negotiate (``hello.max_protocol``).
+MAX_PROTOCOL = 2
+
+#: Every op a request may carry (v2 adds ``push_many``).  repro-lint's
+#: REP006 checker keeps this tuple and the client-facing spec in lockstep.
+OPS = ("ping", "stats", "open", "push", "push_many", "reset", "close")  # documented-in: docs/runtime.md
 
 #: The ops that carry a session name and route to a worker by its hash.
-SESSION_OPS = frozenset({"open", "push", "reset", "close"})
+SESSION_OPS = frozenset({"open", "push", "push_many", "reset", "close"})
 
 #: Hard cap on one request line — a malformed or hostile client must not
 #: balloon the server's memory.  Generous: a base64 float64 frame of
 #: 10_000 features is ~110 KB.
 MAX_LINE_BYTES = 1 << 20
+
+#: Hard cap on one binary payload (16 MiB ≈ a 500-frame push_many of
+#: 4096 features); beyond it the header cannot be trusted at all.
+MAX_FRAME_BYTES = 1 << 24
+
+#: Most frames one ``push_many`` may carry — admission control charges a
+#: batch one slot, so an unbounded batch could monopolize a worker.
+MAX_PUSH_MANY_FRAMES = 4096
+
+# --- binary (v2) framing constants -----------------------------------
+BIN_MAGIC = 0xA6  # invalid UTF-8 lead byte: can never start a JSON line
+BIN_VERSION = 2
+BIN_PUSH = 1
+BIN_RESULT = 2
+BIN_PUSH_MANY = 3
+BIN_RESULT_MANY = 4
+BIN_DTYPE_F8 = 1  # little-endian float64, the only wire dtype
+#: magic, version, op, dtype, rid, seq, session_len, ndim, reserved.
+BIN_PREFIX = struct.Struct("<BBBBQQHBB")
+#: Framing-level caps: headers beyond these cannot be skipped safely.
+MAX_BIN_NDIM = 4
+MAX_BIN_SESSION = 1024
+
+_REQUEST_OPS = (BIN_PUSH, BIN_PUSH_MANY)
+_RESULT_OPS = (BIN_RESULT, BIN_RESULT_MANY)
 
 
 class NetError(ReproError):
@@ -70,8 +135,13 @@ class BusyError(NetError):
     """The server refused a request with a ``busy`` frame (backpressure).
 
     The refused frame was **not** applied to the session: resend it before
-    pushing anything newer, or the stream's state diverges.
+    pushing anything newer, or the stream's state diverges.  ``limit`` is
+    the server's advertised per-connection in-flight cap when known.
     """
+
+    def __init__(self, message: str, limit: int | None = None):
+        super().__init__(message)
+        self.limit = limit
 
 
 def encode_array(values: np.ndarray) -> dict:
@@ -170,6 +240,73 @@ def parse_line(line: bytes) -> dict:
             f"request must be a JSON object, got {type(message).__name__}"
         )
     return message
+
+
+def build_binary_frame(
+    op: int,
+    rid: int,
+    shape: tuple[int, ...] | list[int],
+    payload: bytes | memoryview,
+    *,
+    session: bytes = b"",
+    seq: int = 0,
+    dtype_code: int = BIN_DTYPE_F8,
+) -> bytes:
+    """Pack one v2 binary frame (request or result) into wire bytes."""
+    ndim = len(shape)
+    if not 1 <= ndim <= MAX_BIN_NDIM:
+        raise NetError(f"binary frame supports 1..{MAX_BIN_NDIM} dims, got {ndim}")
+    if len(session) > MAX_BIN_SESSION:
+        raise NetError(f"session id exceeds {MAX_BIN_SESSION} bytes on the wire")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise NetError(f"binary payload exceeds {MAX_FRAME_BYTES} bytes")
+    prefix = BIN_PREFIX.pack(
+        BIN_MAGIC, BIN_VERSION, op, dtype_code,
+        rid, seq, len(session), ndim, 0,
+    )
+    header = struct.pack(f"<{ndim}II", *shape, len(payload))
+    return b"".join((prefix, header, session, payload))
+
+
+def check_binary_header(
+    version: int,
+    op: int,
+    dtype_code: int,
+    dims: tuple[int, ...],
+    nbytes: int,
+    *,
+    expect_request: bool,
+) -> None:
+    """Semantic validation of a fully read v2 frame header.
+
+    Everything checked here is *recoverable*: the frame was already
+    consumed in full (it is self-delimiting), so the caller answers with
+    a structured error and keeps the connection.
+    """
+    if version != BIN_VERSION:
+        raise NetError(
+            f"unsupported binary protocol version {version}; this build "
+            f"speaks v{BIN_VERSION}"
+        )
+    allowed = _REQUEST_OPS if expect_request else _RESULT_OPS
+    if op not in allowed:
+        raise NetError(
+            f"unexpected binary op code {op}; expected one of "
+            f"{sorted(allowed)}"
+        )
+    if dtype_code != BIN_DTYPE_F8:
+        raise NetError(
+            f"unsupported binary dtype code {dtype_code}; payloads travel "
+            "as little-endian float64"
+        )
+    count = 1
+    for dim in dims:
+        count *= int(dim)
+    if nbytes != 8 * count:
+        raise NetError(
+            f"binary payload carries {nbytes} bytes for shape "
+            f"{list(dims)} (expected {8 * count})"
+        )
 
 
 def error_reply(request_id: Any, error: BaseException | str) -> dict:

@@ -1,4 +1,4 @@
-"""The network front-end: an asyncio NDJSON TCP server over worker processes.
+"""The network front-end: an asyncio TCP server over worker processes.
 
 :class:`NetServer` is the process boundary the runtime stack stops at
 after PR 4.  The parent process owns the listening socket and the
@@ -10,13 +10,25 @@ worker by a **stable hash of the session id**, so a named stream's
 carried recurrent state stays worker-local for its whole life — across
 pushes, connections, and reconnects.
 
+Two framings share every connection (PR 7): NDJSON v1 for all control
+traffic and for v1 clients, and the length-prefixed binary v2 frames for
+``push``/``push_many`` payloads once a client negotiates ``protocol: 2``
+in its ``open`` handshake.  Payloads cross the process boundary through
+a per-worker ``multiprocessing.shared_memory`` ring
+(:mod:`repro.runtime.net.ring`) instead of pickled pipes — doorbells are
+coalesced queue messages, slots seqlock-checked — with
+``transport="pipe"`` retained as the fallback (and as the bench
+baseline).
+
 Flow control is explicit: each connection may have at most
 ``queue_limit`` requests in flight; one more gets an immediate ``busy``
 frame instead of unbounded buffering (the client resends after backoff —
-a busy'd frame was *not* applied).  ``close()`` — and SIGTERM via
-:meth:`serve_forever` — drains: the listener stops, in-flight frames
-complete and their replies flush, then workers shut down their
-micro-batching servers (which drain their own queues in turn).
+a busy'd frame was *not* applied).  A full request ring or a worker with
+every response slot spoken for answers ``busy`` the same way.
+``close()`` — and SIGTERM via :meth:`serve_forever` — drains: the
+listener stops, in-flight frames complete and their replies flush, then
+workers shut down their micro-batching servers (which drain their own
+queues in turn).
 
 >>> with NetServer(compiled, workers=2) as server:
 ...     client = Client(*server.address)
@@ -26,9 +38,12 @@ micro-batching servers (which drain their own queues in turn).
 from __future__ import annotations
 
 import asyncio
+import base64
 import hashlib
 import itertools
 import signal
+import struct
+import sys
 import tempfile
 import threading
 import time
@@ -38,21 +53,49 @@ from typing import Any
 
 from repro.errors import ConfigError
 from repro.runtime.net.protocol import (
+    BIN_PREFIX,
+    BIN_MAGIC,
+    BIN_PUSH,
+    BIN_PUSH_MANY,
+    BIN_RESULT,
+    BIN_RESULT_MANY,
+    MAX_BIN_NDIM,
+    MAX_BIN_SESSION,
+    MAX_FRAME_BYTES,
     MAX_LINE_BYTES,
+    MAX_PROTOCOL,
     OPS,
     PROTOCOL_VERSION,
     SESSION_OPS,
     NetError,
+    build_binary_frame,
+    check_binary_header,
     dump_line,
     error_reply,
     frame_payload_bytes,
     parse_line,
+)
+from repro.runtime.net.ring import (
+    OP_CLOSE,
+    OP_OPEN,
+    OP_PUSH,
+    OP_PUSH_MANY,
+    OP_RESET,
+    RingError,
+    RingPair,
 )
 
 __all__ = ["NetServer", "route_session"]
 
 #: Longest accepted session id — routing keys, not payloads.
 _MAX_SESSION_ID = 256
+
+#: Wire op name → worker ring op code.
+_WIRE_OPS = {"open": OP_OPEN, "push": OP_PUSH, "push_many": OP_PUSH_MANY,
+             "reset": OP_RESET, "close": OP_CLOSE}
+
+#: The ops whose replies occupy a worker response-ring slot.
+_PUSH_OPS = frozenset({"push", "push_many"})
 
 
 def _net_error(message: str) -> dict:
@@ -73,15 +116,91 @@ def route_session(session: str, workers: int) -> int:
     return int.from_bytes(digest[:8], "big") % workers
 
 
+class _LineTooLong(Exception):
+    """An NDJSON line overran ``MAX_LINE_BYTES``; the stream is resynced."""
+
+
+class _FrameReader:
+    """Buffered reads over a StreamReader for the dual-framing protocol.
+
+    asyncio's own ``readline`` raises on an oversized line *after
+    garbling its buffer*, which is why PR 5 had to hang up on oversized
+    requests.  This reader owns the buffer: an oversized line is
+    discarded through its terminating newline, so the caller can send
+    the promised structured error and keep the connection.
+    """
+
+    __slots__ = ("_reader", "_buf", "_eof")
+
+    def __init__(self, reader: asyncio.StreamReader):
+        self._reader = reader
+        self._buf = bytearray()
+        self._eof = False
+
+    async def _fill(self) -> bool:
+        if self._eof:
+            return False
+        chunk = await self._reader.read(65536)
+        if not chunk:
+            self._eof = True
+            return False
+        self._buf += chunk
+        return True
+
+    async def peek_byte(self) -> int | None:
+        """First buffered byte without consuming it; None at EOF."""
+        while not self._buf:
+            if not await self._fill():
+                return None
+        return self._buf[0]
+
+    async def read_exactly(self, count: int) -> bytes | None:
+        """``count`` bytes, or None if the peer hung up first."""
+        while len(self._buf) < count:
+            if not await self._fill():
+                return None
+        taken = bytes(self._buf[:count])
+        del self._buf[:count]
+        return taken
+
+    async def read_line(self, limit: int) -> bytes | None:
+        """One newline-terminated line of at most ``limit`` bytes.
+
+        Raises :class:`_LineTooLong` — after consuming the whole
+        oversized line, so the stream stays in sync — when the cap is
+        exceeded.  Returns None at EOF.
+        """
+        overflow = False
+        while True:
+            index = self._buf.find(b"\n")
+            if index != -1:
+                line = bytes(self._buf[: index + 1])
+                del self._buf[: index + 1]
+                if overflow or index > limit:
+                    raise _LineTooLong()
+                return line
+            if len(self._buf) > limit:
+                # Bound memory while discarding toward the newline.
+                overflow = True
+                self._buf.clear()
+            if not await self._fill():
+                if not overflow and self._buf:
+                    line = bytes(self._buf)  # unterminated trailing line
+                    self._buf.clear()
+                    return line
+                return None
+
+
 class _Conn:
     """Per-connection state; touched only on the event-loop thread."""
 
-    __slots__ = ("id", "writer", "pending")
+    __slots__ = ("id", "writer", "pending", "protocol")
 
     def __init__(self, conn_id: int, writer: asyncio.StreamWriter):
         self.id = conn_id
         self.writer = writer
         self.pending = 0
+        self.protocol = PROTOCOL_VERSION  # raised to 2 by negotiation
 
 
 class NetServer:
@@ -92,6 +211,15 @@ class NetServer:
     existing ``.npz``.  ``port=0`` binds an ephemeral port — read
     :attr:`address` after :meth:`start`.  ``queue_limit`` bounds each
     connection's in-flight requests (the ``busy`` threshold).
+
+    ``transport`` selects the parent↔worker payload path: ``"shm"``
+    (default) uses the shared-memory rings, ``"pipe"`` the pickled
+    queues; when shared memory cannot be created the server falls back
+    to ``"pipe"`` with a warning.  ``max_protocol=1`` disables v2
+    negotiation entirely (a v1-only server, for compatibility testing).
+    ``inline_rows=False`` makes workers route every row through their
+    micro-batch dispatcher even when only one session is busy — the
+    seed scheduling behaviour, kept for the bench baseline.
     """
 
     def __init__(
@@ -106,6 +234,11 @@ class NetServer:
         max_delay_s: float = 0.002,
         queue_limit: int = 32,
         drain_timeout_s: float = 10.0,
+        transport: str = "shm",
+        max_protocol: int = MAX_PROTOCOL,
+        ring_slots: int = 128,
+        slot_bytes: int = 32768,
+        inline_rows: bool = True,
     ):
         if compiled is None and artifact_path is None:
             raise ConfigError("NetServer needs a compiled model or artifact_path")
@@ -113,6 +246,19 @@ class NetServer:
             raise ConfigError(f"workers must be positive, got {workers}")
         if queue_limit < 1:
             raise ConfigError(f"queue_limit must be positive, got {queue_limit}")
+        if transport not in ("shm", "pipe"):
+            raise ConfigError(
+                f"transport must be 'shm' or 'pipe', got {transport!r}"
+            )
+        if not PROTOCOL_VERSION <= max_protocol <= MAX_PROTOCOL:
+            raise ConfigError(
+                f"max_protocol must be {PROTOCOL_VERSION}.."
+                f"{MAX_PROTOCOL}, got {max_protocol}"
+            )
+        if ring_slots < 2:
+            raise ConfigError(f"ring_slots must be >= 2, got {ring_slots}")
+        if slot_bytes < 1024:
+            raise ConfigError(f"slot_bytes must be >= 1024, got {slot_bytes}")
         if artifact_path is not None and compiled is None:
             from repro.runtime.model import CompiledModel
 
@@ -126,6 +272,11 @@ class NetServer:
         self.max_delay_s = max_delay_s
         self.queue_limit = queue_limit
         self.drain_timeout_s = drain_timeout_s
+        self.transport = transport
+        self.max_protocol = max_protocol
+        self.ring_slots = ring_slots
+        self.slot_bytes = slot_bytes
+        self.inline_rows = inline_rows
 
         self._stop_serving = threading.Event()
         self._tmpdir: tempfile.TemporaryDirectory | None = None
@@ -137,6 +288,7 @@ class NetServer:
         # hang every *surviving* worker's replies.  Isolated queues bound
         # the blast radius to the dead worker's own (already lost) replies.
         self._reply_queues: list[Any] = []
+        self._rings: list[RingPair] = []  # empty under transport="pipe"
         self._pumps: list[threading.Thread] = []
         self._loop: asyncio.AbstractEventLoop | None = None
         self._loop_thread: threading.Thread | None = None
@@ -158,11 +310,18 @@ class NetServer:
         self._stats_prefix = f"stats:{uuid.uuid4().hex}:"
         self._stats_seq = itertools.count(1)
         self._aggregates: dict[str, tuple[int, Any, list[dict]]] = {}
-        # Every dispatched, unanswered request: (conn_id, rid) -> worker
-        # index for session ops, stats token -> set of pending workers.
-        # The reaper sweeps entries whose worker died (their replies will
-        # never come) so admission slots and the drain can't leak.
-        self._dispatched: dict[Any, Any] = {}
+        self._stats_owed: dict[str, set[int]] = {}
+        # Session-op dispatch: every in-flight request gets a compact
+        # parent-side ticket (the worker echoes it; payload routing never
+        # carries the client-chosen rid).  _by_rid backs duplicate-id
+        # rejection and reaper accounting.
+        self._ticket_seq = itertools.count(1)
+        self._inflight_reqs: dict[int, tuple] = {}
+        self._by_rid: dict[tuple[int, Any], int] = {}
+        # Per-worker response-slot budget and emission-order restore.
+        self._ring_results: list[int] = []
+        self._emit_expected: list[int] = []
+        self._emit_holdback: list[dict[int, tuple]] = []
         self._inflight = 0
         self._draining = False
 
@@ -208,7 +367,7 @@ class NetServer:
             self._pumps = [
                 threading.Thread(
                     target=self._pump_replies,
-                    args=(queue,),
+                    args=(index, queue),
                     name=f"repro-net-pump-{index}",
                     daemon=True,
                 )
@@ -280,6 +439,27 @@ class NetServer:
             )
             self._compiled.save(self._artifact_path)
 
+        if self.transport == "shm":
+            try:
+                self._rings = [
+                    RingPair.create(self.ring_slots, self.slot_bytes)
+                    for _ in range(self.workers)
+                ]
+            except Exception as error:  # repro: ignore[REP005] no usable /dev/shm is an environment, not a caller, problem; the pipe path serves identically
+                for rings in self._rings:
+                    rings.close()
+                    rings.unlink()
+                self._rings = []
+                self.transport = "pipe"
+                print(
+                    f"repro.net: shared memory unavailable ({error}); "
+                    "falling back to transport='pipe'",
+                    file=sys.stderr,
+                )
+        self._ring_results = [0] * self.workers
+        self._emit_expected = [0] * self.workers
+        self._emit_holdback = [dict() for _ in range(self.workers)]
+
         # "spawn" everywhere: the parent runs an event loop plus threads,
         # which fork() would duplicate into undefined territory.
         ctx = mp.get_context("spawn")
@@ -304,6 +484,10 @@ class NetServer:
                     self._reply_queues[index],
                     self.max_batch,
                     self.max_delay_s,
+                    self._rings[index].name if self._rings else None,
+                    self.ring_slots,
+                    self.slot_bytes,
+                    self.inline_rows,
                 ),
                 name=f"repro-net-worker-{index}",
                 daemon=True,
@@ -362,33 +546,43 @@ class NetServer:
             proc = self._procs[index] if index < len(self._procs) else None
             if proc is None or proc.exitcode == 0:
                 pump.join(timeout=10)
+        for rings in self._rings:
+            # Workers have exited (or been terminated): the parent owns
+            # the segment's end of life.
+            rings.close()
+            rings.unlink()
+        self._rings = []
         self._pumps = []
         self._procs = []
         self._worker_queues = []
         self._reply_queues = []
 
-    def _pump_replies(self, replies: Any) -> None:
+    def _pump_replies(self, index: int, replies: Any) -> None:
         """Move one worker's replies onto the event loop (which owns conns)."""
         while True:
             message = replies.get()
             if message is None:
                 return
             kind = message[0]
-            if kind == "res":
-                _, conn_id, rid, payload = message
-                try:
+            try:
+                if kind == "ring":
                     self._loop.call_soon_threadsafe(
-                        self._deliver, conn_id, rid, payload
+                        self._drain_responses, index
                     )
-                except RuntimeError:
-                    return  # loop closed mid-drain; workers are next
+                elif kind == "res":
+                    _, key, emit_seq, payload = message
+                    self._loop.call_soon_threadsafe(
+                        self._deliver_queued, index, key, emit_seq, payload
+                    )
+            except RuntimeError:
+                return  # loop closed mid-drain; workers are next
             # "ready" duplicates and "fatal" after startup are
-            # informational — _handle_request checks process liveness
-            # before dispatching, so a dead worker surfaces as an error
-            # reply on the next request routed to it.  (Requests already
-            # queued to a worker when it dies are lost; the drain loop
-            # caps the wait at drain_timeout_s.  Supervision/restart is
-            # ROADMAP work.)
+            # informational — _dispatch checks process liveness before
+            # dispatching, so a dead worker surfaces as an error reply on
+            # the next request routed to it.  (Requests already queued to
+            # a worker when it dies are reaped; the drain loop caps the
+            # wait at drain_timeout_s.  Supervision/restart is ROADMAP
+            # work.)
 
     # ------------------------------------------------------------------
     # Event-loop side.
@@ -410,7 +604,6 @@ class NetServer:
             self._handle_conn,
             self._host,
             self._port,
-            limit=MAX_LINE_BYTES + 1024,
         )
         self._port = server.sockets[0].getsockname()[1]
         reaper = asyncio.ensure_future(self._reap_loop())
@@ -435,7 +628,7 @@ class NetServer:
             task.cancel()
         await asyncio.gather(*readers, return_exceptions=True)
         for conn in list(self._conns.values()):
-            # _finish only wrote replies into the transport buffer; the
+            # Replies were only written into the transport buffer; the
             # drain promise means actually flushing them to the socket
             # before the loop (and its pending writes) is torn down.  A
             # client too slow to read within the remaining budget forfeits
@@ -464,24 +657,37 @@ class NetServer:
         self._write(conn, {
             "type": "hello",
             "protocol": PROTOCOL_VERSION,
+            "max_protocol": self.max_protocol,
             "backend": self._compiled.backend,
             "input_size": self._compiled.input_size,
             "num_classes": self._compiled.num_classes,
             "workers": self.workers,
             "queue_limit": self.queue_limit,
         })
+        frames = _FrameReader(reader)
         try:
             while True:
-                try:
-                    line = await reader.readline()
-                except (asyncio.LimitOverrunError, ValueError):
-                    self._write(conn, error_reply(
-                        None, f"request line exceeds {MAX_LINE_BYTES} bytes"
-                    ))
+                first = await frames.peek_byte()
+                if first is None:
                     break
-                if not line:
-                    break
-                self._handle_request(conn, line)
+                if first == BIN_MAGIC:
+                    if not await self._read_binary(conn, frames):
+                        break
+                else:
+                    try:
+                        line = await frames.read_line(MAX_LINE_BYTES)
+                    except _LineTooLong:
+                        # The stream is resynced past the newline: one
+                        # structured error, connection stays usable.
+                        self._write(conn, error_reply(
+                            None,
+                            f"request line exceeds {MAX_LINE_BYTES} bytes",
+                        ))
+                        await writer.drain()
+                        continue
+                    if line is None:
+                        break
+                    self._handle_request(conn, line)
                 await writer.drain()
         except (asyncio.CancelledError, ConnectionError):
             pass
@@ -493,6 +699,68 @@ class NetServer:
                 writer.close()
             except Exception:  # repro: ignore[REP005] reader already failed; closing a broken transport must not mask that
                 pass
+
+    async def _read_binary(self, conn: _Conn, frames: _FrameReader) -> bool:
+        """Consume one v2 binary frame.  False tears the connection down.
+
+        The frame is length-prefixed and read in full before validation,
+        so every *semantic* defect (bad version/op/dtype, shape vs
+        payload mismatch) costs one structured JSON error and the
+        connection stays usable; only untrustworthy length fields force
+        a close (there is nothing left to resynchronize on).
+        """
+        prefix = await frames.read_exactly(BIN_PREFIX.size)
+        if prefix is None:
+            return False
+        (_, version, opcode, dtype_code, rid, _seq,
+         slen, ndim, _pad) = BIN_PREFIX.unpack(prefix)
+        if ndim > MAX_BIN_NDIM or slen > MAX_BIN_SESSION:
+            self._write(conn, error_reply(rid, (
+                f"binary header lengths out of range (ndim {ndim}, session "
+                f"{slen} bytes); the frame cannot be skipped — closing"
+            )))
+            return False
+        rest = await frames.read_exactly(4 * ndim + 4)
+        if rest is None:
+            return False
+        *dims, nbytes = struct.unpack(f"<{ndim}II", rest)
+        if nbytes > MAX_FRAME_BYTES:
+            self._write(conn, error_reply(rid, (
+                f"binary payload of {nbytes} bytes exceeds the "
+                f"{MAX_FRAME_BYTES}-byte cap; closing"
+            )))
+            return False
+        body = await frames.read_exactly(slen + nbytes)
+        if body is None:
+            return False
+        try:
+            check_binary_header(
+                version, opcode, dtype_code, tuple(dims), nbytes,
+                expect_request=True,
+            )
+            session = body[:slen].decode("utf-8")
+        except NetError as error:
+            self._write(conn, error_reply(rid, error))
+            return True
+        except UnicodeDecodeError:
+            self._write(conn, error_reply(rid, "session id is not UTF-8"))
+            return True
+        if conn.protocol < 2:
+            self._write(conn, error_reply(rid, (
+                "binary framing was not negotiated on this connection; "
+                "send an open request with \"protocol\": 2 first"
+            )))
+            return True
+        if self._draining:
+            self._write(conn, error_reply(
+                rid, "server is draining for shutdown; no new work accepted"
+            ))
+            return True
+        op = {BIN_PUSH: "push", BIN_PUSH_MANY: "push_many"}[opcode]
+        self._dispatch(
+            conn, rid, op, session, body[slen:], tuple(dims), binary=True
+        )
+        return True
 
     def _handle_request(self, conn: _Conn, line: bytes) -> None:
         try:
@@ -527,60 +795,132 @@ class NetServer:
                 return
             token = self._stats_prefix + str(next(self._stats_seq))
             self._aggregates[token] = (conn.id, rid, [])
-            self._dispatched[token] = set(range(self.workers))
+            self._stats_owed[token] = set(range(self.workers))
             for q in self._worker_queues:
-                q.put(("stats", conn.id, token))
+                q.put(("stats", token))
             return
         if op in SESSION_OPS:
             session = message.get("session")
-            if not isinstance(session, str) or not session:
-                self._write(conn, error_reply(
-                    rid, f"op {op!r} needs a non-empty string session id"
-                ))
-                return
-            if len(session) > _MAX_SESSION_ID:
-                self._write(conn, error_reply(
-                    rid, f"session id exceeds {_MAX_SESSION_ID} characters"
-                ))
-                return
-            frame_bytes = shape = None
-            if op == "push":
+            payload = shape = None
+            merge = None
+            if op in _PUSH_OPS:
+                field = "frame" if op == "push" else "frames"
                 try:
-                    # Canonical b64 frames pass their raw bytes straight
-                    # through to the worker — no numpy round trip on the
-                    # one thread every connection shares.
-                    frame_bytes, shape = frame_payload_bytes(
-                        message.get("frame")
-                    )
+                    payload, shape = frame_payload_bytes(message.get(field))
                 except NetError as error:
                     self._write(conn, error_reply(rid, error))
                     return
-            worker = route_session(session, self.workers)
-            if not self._procs[worker].is_alive():
-                self._write(conn, error_reply(
-                    rid, f"worker process {worker} died; session "
-                    f"{session!r} and its carried state are lost"
-                ))
-                return
-            if (conn.id, rid) in self._dispatched:
-                # Reply matching is by id: a duplicate in-flight id would
-                # overwrite the tracking entry and leak an admission slot
-                # when its reply is mistaken for a reaped duplicate.
-                self._write(conn, error_reply(
-                    rid, f"request id {rid!r} is already in flight on "
-                    "this connection; ids must be unique until answered"
-                ))
-                return
-            if not self._admit(conn, rid):
-                return
-            self._dispatched[(conn.id, rid)] = worker
-            self._worker_queues[worker].put(
-                ("req", conn.id, rid, op, session, frame_bytes, shape)
+            elif op == "open":
+                # v2 negotiation rides the open handshake: the grant is
+                # effective immediately (binary frames may follow before
+                # the open reply returns) and acknowledged with
+                # "protocol": 2 in the reply.
+                want = message.get("protocol")
+                if (
+                    isinstance(want, int)
+                    and want >= 2
+                    and self.max_protocol >= 2
+                ):
+                    conn.protocol = 2
+                    merge = {"protocol": 2}
+            self._dispatch(
+                conn, rid, op, session, payload,
+                tuple(shape) if shape else (), merge=merge,
             )
             return
         self._write(conn, error_reply(
             rid, f"unknown op {op!r}; expected one of {', '.join(OPS)}"
         ))
+
+    def _dispatch(
+        self,
+        conn: _Conn,
+        rid: Any,
+        op: str,
+        session: Any,
+        payload: bytes | None,
+        shape: tuple[int, ...],
+        *,
+        binary: bool = False,
+        merge: dict | None = None,
+    ) -> None:
+        """Admission + transport for one session op (event-loop thread)."""
+        if not isinstance(session, str) or not session:
+            self._write(conn, error_reply(
+                rid, f"op {op!r} needs a non-empty string session id"
+            ))
+            return
+        session_bytes = session.encode("utf-8")
+        if len(session) > _MAX_SESSION_ID or len(session_bytes) > _MAX_SESSION_ID:
+            self._write(conn, error_reply(
+                rid, f"session id exceeds {_MAX_SESSION_ID} characters"
+            ))
+            return
+        if len(shape) > MAX_BIN_NDIM:
+            self._write(conn, error_reply(
+                rid, f"frame shape {list(shape)} has more than "
+                f"{MAX_BIN_NDIM} dims"
+            ))
+            return
+        worker = route_session(session, self.workers)
+        if not self._procs[worker].is_alive():
+            self._write(conn, error_reply(
+                rid, f"worker process {worker} died; session "
+                f"{session!r} and its carried state are lost"
+            ))
+            return
+        if (conn.id, rid) in self._by_rid:
+            # Reply matching is by id: a duplicate in-flight id would
+            # overwrite the tracking entry and leak an admission slot
+            # when its reply is mistaken for a reaped duplicate.
+            self._write(conn, error_reply(
+                rid, f"request id {rid!r} is already in flight on "
+                "this connection; ids must be unique until answered"
+            ))
+            return
+        rings = self._rings[worker] if self._rings else None
+        if rings is not None and (
+            rings.requests.free_slots() < 1
+            or (op in _PUSH_OPS
+                and self._ring_results[worker] >= rings.nslots)
+        ):
+            # The worker's ring is saturated: same contract as the
+            # per-connection cap — the frame was NOT applied, resend.
+            self._write(conn, {
+                "id": rid, "ok": False, "type": "busy",
+                "limit": self.queue_limit,
+            })
+            return
+        if not self._admit(conn, rid):
+            return
+        ticket = next(self._ticket_seq)
+        self._inflight_reqs[ticket] = (conn.id, rid, worker, binary, merge, op)
+        self._by_rid[(conn.id, rid)] = ticket
+        if rings is not None and op in _PUSH_OPS:
+            self._ring_results[worker] += 1
+        opcode = _WIRE_OPS[op]
+        if rings is not None:
+            external = (
+                payload is not None
+                and len(payload) > rings.requests.payload_capacity
+            )
+            if external:
+                # Payload first, ring entry second: by the time the
+                # worker sees the flagged entry the bytes are already in
+                # (or ahead in) its queue — order within the session is
+                # the ring's.
+                self._worker_queues[worker].put(("payload", payload))
+            rings.requests.try_push(
+                opcode, ticket, shape, None if external else payload,
+                session=session_bytes, external=external,
+            )
+            if rings.ring_kick(responses=False):
+                self._worker_queues[worker].put(("kick",))
+        else:
+            self._worker_queues[worker].put(
+                ("req", ticket, opcode, session, payload,
+                 list(shape) if shape else None)
+            )
 
     def _admit(self, conn: _Conn, rid: Any) -> bool:
         """Bounded per-connection admission: full queue means ``busy``."""
@@ -622,59 +962,165 @@ class NetServer:
         dead = set(self._dead_workers())
         if not dead:
             return
-        for key, owed in list(self._dispatched.items()):
-            if isinstance(key, str):  # stats token: owed = pending workers
-                if not (owed & dead):
-                    continue
-                self._dispatched.pop(key, None)
-                aggregate = self._aggregates.pop(key, None)
-                if aggregate is None:
-                    continue
-                conn_id, rid, _parts = aggregate
-                self._finish(conn_id, rid, _net_error(
-                    f"worker process(es) {sorted(owed & dead)} died during "
-                    "stats aggregation"
-                ))
-            elif owed in dead:
-                self._dispatched.pop(key, None)
-                conn_id, rid = key
-                self._finish(conn_id, rid, _net_error(
-                    f"worker process {owed} died with the request in "
+        for token, owed in list(self._stats_owed.items()):
+            if not (owed & dead):
+                continue
+            self._stats_owed.pop(token, None)
+            aggregate = self._aggregates.pop(token, None)
+            if aggregate is None:
+                continue
+            conn_id, rid, _parts = aggregate
+            self._finish(conn_id, rid, _net_error(
+                f"worker process(es) {sorted(owed & dead)} died during "
+                "stats aggregation"
+            ))
+        for ticket, info in list(self._inflight_reqs.items()):
+            if info[2] not in dead:
+                continue
+            self._inflight_reqs.pop(ticket, None)
+            conn = self._settle(info)
+            if conn is not None:
+                self._write(conn, {"id": info[1], **_net_error(
+                    f"worker process {info[2]} died with the request in "
                     "flight; its sessions' carried state is lost"
-                ))
+                )})
+        # A dead worker emits nothing further: whatever its holdback
+        # gap was waiting on will never arrive, and every late reply
+        # maps to an already-reaped ticket.  Drop the buffer.
+        for index in dead:
+            if index < len(self._emit_holdback):
+                self._emit_holdback[index].clear()
 
-    def _deliver(self, conn_id: int, rid: Any, payload: dict) -> None:
-        """A worker reply arrived (event-loop thread): match and write.
-
-        ``rid`` is either the client's request id (session ops, echoed
-        verbatim through the worker) or a server-internal stats token.
-        """
-        if isinstance(rid, str) and rid in self._aggregates:
-            conn_id0, real_rid, parts = self._aggregates[rid]
-            owed = self._dispatched.get(rid)
-            if owed is not None:
-                owed.discard(payload.get("worker"))
-            parts.append(payload)
-            if len(parts) < self.workers:
-                return
-            del self._aggregates[rid]
-            self._dispatched.pop(rid, None)
-            parts.sort(key=lambda part: part.get("worker", 0))
-            payload = {"ok": True, "type": "stats", "workers": parts}
-            conn_id, rid = conn_id0, real_rid
-        elif self._dispatched.pop((conn_id, rid), None) is None:
-            # Already resolved by the reaper (the worker died and a
-            # buffered reply limped in afterwards) — the client has its
-            # answer; dropping the duplicate keeps accounting exact.
+    # -- worker reply paths (event-loop thread) ------------------------
+    def _drain_responses(self, worker: int) -> None:
+        """A response-ring doorbell fired: clear the kick, drain the ring."""
+        rings = self._rings[worker] if worker < len(self._rings) else None
+        if rings is None:
             return
-        self._finish(conn_id, rid, payload)
+        rings.clear_kick(responses=True)
+        ring = rings.responses
+        while True:
+            try:
+                entry = ring.peek()
+            except RingError as error:
+                # A torn slot means the worker died mid-publish (or the
+                # segment is corrupt); stop trusting this ring — the
+                # reaper fails the affected requests.
+                print(f"repro.net: worker {worker}: {error}", file=sys.stderr)
+                return
+            if entry is None:
+                return
+            item = ("ring", entry.op, entry.seq_no,
+                    bytes(entry.payload), entry.shape, entry.ticket)
+            ring.advance()
+            self._deliver_ordered(worker, entry.emit_seq, item)
 
-    def _finish(self, conn_id: int, rid: Any, payload: dict) -> None:
-        """Settle one admitted request: accounting, then the reply."""
+    def _deliver_queued(self, worker: int, key: Any, emit_seq: Any,
+                        payload: dict) -> None:
+        """A queue reply arrived (stats token or ticketed dict)."""
+        if isinstance(key, str):
+            self._deliver_stats(key, payload)
+            return
+        if emit_seq is None:
+            self._deliver_item(("dict", key, payload))
+            return
+        self._deliver_ordered(worker, emit_seq, ("dict", key, payload))
+
+    def _deliver_ordered(self, worker: int, emit_seq: int,
+                         item: tuple) -> None:
+        """Restore the worker's emission order across ring + queue paths."""
+        holdback = self._emit_holdback[worker]
+        holdback[emit_seq] = item
+        while self._emit_expected[worker] in holdback:
+            next_item = holdback.pop(self._emit_expected[worker])
+            self._emit_expected[worker] += 1
+            self._deliver_item(next_item)
+
+    def _deliver_item(self, item: tuple) -> None:
+        if item[0] == "ring":
+            _, opcode, seq_no, payload, shape, ticket = item
+            info = self._inflight_reqs.pop(ticket, None)
+            if info is None:
+                return  # reaped: the client already has its error
+            conn = self._settle(info)
+            if conn is None:
+                return
+            self._write_result(conn, info, seq_no, payload, list(shape))
+            return
+        _, ticket, payload = item
+        info = self._inflight_reqs.pop(ticket, None)
+        if info is None:
+            return
+        conn = self._settle(info)
+        if conn is None:
+            return
+        raw = payload.pop("raw", None)
+        if raw is not None:
+            self._write_result(conn, info, payload.get("seq", 0), *raw)
+            return
+        merge = info[4]
+        if merge:
+            payload = {**payload, **merge}
+        self._write(conn, {"id": info[1], **payload})
+
+    def _write_result(self, conn: _Conn, info: tuple, seq_no: int,
+                      payload: bytes, shape: list[int]) -> None:
+        """One push/push_many result, framed to mirror its request."""
+        _conn_id, rid, _worker, binary, _merge, op = info
+        if binary:
+            opcode = BIN_RESULT if op == "push" else BIN_RESULT_MANY
+            try:
+                conn.writer.write(build_binary_frame(
+                    opcode, rid, shape, payload, seq=seq_no
+                ))
+            except Exception:  # repro: ignore[REP005] connection torn down mid-write; the reader path cleans up
+                pass
+            return
+        self._write(conn, {
+            "id": rid, "ok": True, "type": op, "seq": seq_no,
+            "logits": {
+                "dtype": "<f8",
+                "shape": shape,
+                "b64": base64.b64encode(payload).decode("ascii"),
+            },
+        })
+
+    def _deliver_stats(self, token: str, payload: dict) -> None:
+        aggregate = self._aggregates.get(token)
+        if aggregate is None:
+            return  # already failed by the reaper
+        conn_id, rid, parts = aggregate
+        owed = self._stats_owed.get(token)
+        if owed is not None:
+            owed.discard(payload.get("worker"))
+        parts.append(payload)
+        if len(parts) < self.workers:
+            return
+        del self._aggregates[token]
+        self._stats_owed.pop(token, None)
+        parts.sort(key=lambda part: part.get("worker", 0))
+        self._finish(conn_id, rid,
+                     {"ok": True, "type": "stats", "workers": parts})
+
+    def _settle(self, info: tuple) -> _Conn | None:
+        """Release one ticketed request's accounting; None if conn gone."""
+        conn_id, rid, worker, _binary, _merge, op = info
+        self._by_rid.pop((conn_id, rid), None)
+        if self._rings and op in _PUSH_OPS and worker < len(self._ring_results):
+            self._ring_results[worker] -= 1
         self._inflight -= 1
         conn = self._conns.get(conn_id)
         if conn is None:
-            return  # client went away; the frame still ran (state advanced)
+            return None  # client went away; the frame still ran
+        conn.pending -= 1
+        return conn
+
+    def _finish(self, conn_id: int, rid: Any, payload: dict) -> None:
+        """Settle one stats-style request: accounting, then the reply."""
+        self._inflight -= 1
+        conn = self._conns.get(conn_id)
+        if conn is None:
+            return  # client went away
         conn.pending -= 1
         self._write(conn, {"id": rid, **payload})
 

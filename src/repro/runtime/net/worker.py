@@ -7,90 +7,73 @@ across cores where one Python process cannot.  Session state lives here:
 the parent routes every request for a session name to the same worker
 (stable hash), so the recurrent state never crosses a process boundary.
 
-Inside the worker, every open session gets a dedicated runner thread that
-owns its :class:`repro.runtime.ServerSession` and consumes that session's
-requests in arrival order — per-session ordering is strict, while
-concurrent sessions' pushes coalesce in the worker's micro-batching
-server exactly as local threads would.
+Scheduling (PR 7) is event-driven rather than thread-per-session: a
+single :class:`_Scheduler` owns every session's op queue and drives the
+micro-batching server through its non-blocking :meth:`~repro.runtime.\
+Server.submit` hook.  Per-session order is strict — one op executes at a
+time per session, its completion callback submits the next — while
+concurrent sessions' rows still coalesce into shared ``step_rows``
+batches exactly as blocking threads would.  A ``push_many`` batch is
+applied frame by frame through the same path, so its logits are
+byte-identical to the equivalent sequence of single pushes.  When
+exactly one session is busy there is nothing to coalesce with, so its
+rows run inline on the consumer thread (:meth:`~repro.runtime.Server.\
+step_inline`) instead of paying two dispatcher wakeups per frame —
+``inline=False`` restores the dispatcher-only seed behaviour (the bench
+baseline).
+
+Transport: with a :class:`~repro.runtime.net.ring.RingPair` attached,
+request payloads arrive in shared-memory ring slots (doorbells coalesced
+on the request queue) and result payloads leave the same way; the pickled
+queue path remains for control replies, oversized payloads, and the
+``transport="pipe"`` fallback.  Every per-ticket reply — ring or queue —
+carries a per-worker ``emit_seq`` so the parent restores emission order
+across the two paths.
 
 Parent → worker messages (tuples on the request queue)::
 
-    ("req",   conn_id, rid, op, session, frame_bytes, shape)
-    ("stats", conn_id, rid)
+    ("kick",)                                       # drain the request ring
+    ("payload", bytes)                              # oversized ring entry's payload
+    ("req", ticket, op, session, payload, shape)    # pipe-transport request
+    ("stats", token)
     ("shutdown",)
 
 Worker → parent messages (on this worker's own reply queue — never
 shared between workers, so one worker's death cannot poison another's
 queue locks)::
 
-    ("ready", index)                 # artifact loaded, serving
-    ("res",   conn_id, rid, reply)   # wire-ready reply dict, sans "id"
-    ("fatal", index, message)        # the worker is dead
+    ("ready", index)                    # artifact loaded, serving
+    ("ring",)                           # drain the response ring
+    ("res", key, emit_seq, reply)       # reply dict; key = ticket or stats token
+    ("fatal", index, message)           # the worker is dead
 """
 
 from __future__ import annotations
 
-import queue
 import signal
 import threading
+from collections import deque
+from concurrent.futures import Future
 from typing import Any
 
 import numpy as np
 
 from repro.errors import ReproError
+from repro.runtime.coerce import coerce_frame, coerce_stream
+from repro.runtime.net.protocol import MAX_PUSH_MANY_FRAMES
+from repro.runtime.net.ring import (
+    OP_CLOSE,
+    OP_OPEN,
+    OP_PUSH,
+    OP_PUSH_MANY,
+    OP_RESET,
+    RingPair,
+)
 
 __all__ = ["worker_main"]
 
-_SHUTDOWN = object()
-
-
-class _SessionRunner(threading.Thread):
-    """Owns one ServerSession; applies its requests strictly in order."""
-
-    def __init__(self, name: str, server: Any, replies: Any):
-        super().__init__(name=f"net-session-{name}", daemon=True)
-        self.queue: queue.Queue = queue.Queue()
-        self._session = server.session()
-        self._replies = replies
-
-    def submit(self, item: tuple) -> None:
-        self.queue.put(item)
-
-    def run(self) -> None:
-        while True:
-            item = self.queue.get()
-            if item is _SHUTDOWN:
-                self._session.close()
-                return
-            conn_id, rid, op, frame = item
-            try:
-                reply = self._apply(op, frame)
-            except ReproError as error:
-                reply = _error(error)
-            except Exception as error:  # noqa: BLE001 — relayed to the client
-                reply = _error(error)
-            self._replies.put(("res", conn_id, rid, reply))
-            if op == "close":
-                return
-
-    def _apply(self, op: str, frame: np.ndarray | None) -> dict:
-        from repro.runtime.net.protocol import encode_array
-
-        if op == "push":
-            logits = self._session.push(frame)
-            return {
-                "ok": True,
-                "type": "push",
-                "seq": self._session.frames_pushed,
-                "logits": encode_array(logits),
-            }
-        if op == "reset":
-            self._session.reset()
-            return {"ok": True, "type": "reset"}
-        if op == "close":
-            self._session.close()
-            return {"ok": True, "type": "close"}
-        raise ReproError(f"unknown session op {op!r}")
+_OP_NAMES = {OP_OPEN: "open", OP_PUSH: "push", OP_PUSH_MANY: "push_many",
+             OP_RESET: "reset", OP_CLOSE: "close"}
 
 
 def _error(error: BaseException) -> dict:
@@ -102,6 +85,371 @@ def _error(error: BaseException) -> dict:
     }
 
 
+class _WireSession:
+    """One named stream's worker-side state: strictly ordered op queue."""
+
+    __slots__ = ("name", "state", "frames", "ops", "busy")
+
+    def __init__(self, name: str, state: Any):
+        self.name = name
+        self.state = state
+        self.frames = 0
+        self.ops: deque[_Op] = deque()
+        self.busy = False  # an op's rows are in the micro-batch server
+
+
+class _Op:
+    """One accepted session op, with multi-frame progress for push_many."""
+
+    __slots__ = ("ticket", "op", "rows", "many", "cursor", "collected")
+
+    def __init__(self, ticket: int, op: int,
+                 rows: np.ndarray | None, many: bool):
+        self.ticket = ticket
+        self.op = op
+        self.rows = rows  # (K, D) float64; push applies row 0 only
+        self.many = many
+        self.cursor = 0
+        self.collected: list[np.ndarray] = []
+
+
+class _Scheduler:
+    """Event-driven session scheduler over the micro-batching server.
+
+    All state transitions run inside :meth:`_run_pump`, a reentrancy-safe
+    work pump: whichever thread (ring consumer or server dispatcher)
+    schedules work while no pump is active becomes the pumper and drains
+    the queue; a thread that schedules into a live pump just appends.
+    This serializes every mutation without a thread per session and
+    without recursion through already-completed futures.
+    """
+
+    def __init__(self, index: int, compiled: Any, server: Any,
+                 rings: RingPair | None, replies: Any, *,
+                 inline: bool = True):
+        self._index = index
+        self._server = server
+        self._rings = rings
+        self._replies = replies
+        self._inline = inline
+        self._input_size = compiled.input_size
+        self.meta = {
+            "backend": compiled.backend,
+            "input_size": compiled.input_size,
+            "num_classes": compiled.num_classes,
+            "worker": index,
+        }
+        self._lock = threading.Lock()
+        self._work: deque[tuple] = deque()  # guarded-by: _lock
+        self._pumping = False  # guarded-by: _lock
+        self._outstanding = 0  # guarded-by: _lock
+        self._idle = threading.Condition(self._lock)
+        # Pump-only state (serialized by the pump, no lock needed).
+        self._sessions: dict[str, _WireSession] = {}
+        self._busy_count = 0  # sessions with rows in (or bound for) the server
+        self._emit_seq = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def session_count(self) -> int:
+        return len(self._sessions)
+
+    def schedule_op(self, ticket: int, op: int, session: str,
+                    payload: bytes | None, shape: tuple[int, ...]) -> None:
+        """Accept one parent request (ring consumer thread)."""
+        with self._lock:
+            self._outstanding += 1
+        self._schedule(("op", ticket, op, session, payload, shape))
+
+    def wait_idle(self, timeout: float) -> bool:
+        """Block until every accepted op has emitted its reply."""
+        with self._lock:
+            return self._idle.wait_for(
+                lambda: self._outstanding == 0, timeout=timeout
+            )
+
+    # ------------------------------------------------------------------
+    def _schedule(self, item: tuple) -> None:
+        with self._lock:
+            self._work.append(item)
+            if self._pumping:
+                return
+            self._pumping = True
+        self._run_pump()
+
+    def _run_pump(self) -> None:
+        while True:
+            with self._lock:
+                if not self._work:
+                    self._pumping = False
+                    return
+                item = self._work.popleft()
+            if item[0] == "op":
+                self._accept(*item[1:])
+            else:  # ("done", sess, op_item, future)
+                self._complete(*item[1:])
+
+    # ------------------------------------------------------------------
+    def _accept(self, ticket: int, op: int, session: str,
+                payload: bytes | None, shape: tuple[int, ...]) -> None:
+        sess = self._sessions.get(session)
+        if op == OP_OPEN and sess is None:
+            try:
+                self._server.register_session()
+                sess = _WireSession(session, self._server.initial_state())
+            except ReproError as error:
+                self._emit(ticket, _error(error))
+                return
+            self._sessions[session] = sess
+            self._emit(ticket, {
+                "ok": True, "type": "open", "session": session,
+                "existing": False, "seq": 0, **self.meta,
+            })
+            return
+        if sess is None:
+            self._emit(ticket, _error(ReproError(
+                f"unknown session {session!r}; send an open request first"
+            )))
+            return
+        rows = None
+        if op in (OP_PUSH, OP_PUSH_MANY):
+            try:
+                rows = self._coerce(op, payload, shape)
+            except ReproError as error:
+                self._emit(ticket, _error(error))
+                return
+        sess.ops.append(_Op(ticket, op, rows, many=op == OP_PUSH_MANY))
+        self._pump_session(sess)
+
+    def _coerce(self, op: int, payload: bytes | None,
+                shape: tuple[int, ...]) -> np.ndarray:
+        try:
+            frames = np.frombuffer(payload, dtype="<f8").reshape(shape)
+        except (TypeError, ValueError) as error:
+            raise ReproError(f"undecodable frame payload: {error}") from None
+        if op == OP_PUSH:
+            coerced, _ = coerce_frame(frames, 1, self._input_size)
+            return coerced  # (1, D)
+        if frames.ndim != 2:
+            raise ReproError(
+                f"push_many wants (K, D) frames, got shape {list(shape)}"
+            )
+        if not 1 <= len(frames) <= MAX_PUSH_MANY_FRAMES:
+            raise ReproError(
+                f"push_many carries {len(frames)} frames; the server "
+                f"accepts 1..{MAX_PUSH_MANY_FRAMES} per batch"
+            )
+        # Whole-batch validation up front: a bad frame rejects the batch
+        # with NOTHING applied, exactly like the client-side contract.
+        return coerce_stream(frames[:, None, :], self._input_size)[:, 0, :]
+
+    def _pump_session(self, sess: _WireSession) -> None:
+        while not sess.busy and sess.ops:
+            op_item = sess.ops.popleft()
+            if op_item.op == OP_OPEN:
+                self._emit(op_item.ticket, {
+                    "ok": True, "type": "open", "session": sess.name,
+                    "existing": True, "seq": sess.frames, **self.meta,
+                })
+            elif op_item.op == OP_RESET:
+                sess.state = self._server.initial_state()
+                sess.frames = 0
+                self._emit(op_item.ticket, {"ok": True, "type": "reset"})
+            elif op_item.op == OP_CLOSE:
+                del self._sessions[sess.name]
+                self._server.release_session(sess)
+                for stale in sess.ops:
+                    self._emit(stale.ticket, _error(ReproError(
+                        f"session {sess.name!r} was closed with this "
+                        "request still queued behind the close"
+                    )))
+                sess.ops.clear()
+                self._emit(op_item.ticket, {"ok": True, "type": "close"})
+                return
+            else:
+                sess.busy = True
+                self._busy_count += 1
+                self._submit_next(sess, op_item)
+
+    def _submit_next(self, sess: _WireSession, op_item: _Op) -> None:
+        # Fast path: with exactly one busy session there is nothing to
+        # coalesce with, so the micro-batch dispatcher hop (two thread
+        # wakeups per row) buys nothing — compute the row inline on this
+        # thread instead.  step_inline runs the identical 1-row
+        # step_rows call, so the bytes cannot differ; completion still
+        # goes through the pump as a pre-resolved future to keep one
+        # code path.  The moment a second session has rows in flight,
+        # rows revert to submit() and coalesce as before.
+        if self._inline and self._busy_count == 1:
+            future: Future = Future()
+            try:
+                future.set_result(self._server.step_inline(
+                    op_item.rows[op_item.cursor], sess.state
+                ))
+            except BaseException as error:  # noqa: BLE001 — relayed below
+                future.set_exception(error)
+            self._schedule(("done", sess, op_item, future))
+            return
+        try:
+            future = self._server.submit(
+                sess, op_item.rows[op_item.cursor], sess.state
+            )
+        except ReproError as error:
+            sess.busy = False
+            self._busy_count -= 1
+            self._emit(op_item.ticket, _error(error))
+            return
+        future.add_done_callback(
+            lambda fut: self._schedule(("done", sess, op_item, fut))
+        )
+
+    def _complete(self, sess: _WireSession, op_item: _Op, future: Any) -> None:
+        try:
+            logits, state = future.result()
+        except BaseException as error:  # noqa: BLE001 — relayed to the client
+            sess.busy = False
+            self._busy_count -= 1
+            self._emit(op_item.ticket, _error(error))
+            self._pump_session(sess)
+            return
+        sess.state = state
+        sess.frames += 1
+        op_item.collected.append(logits)
+        op_item.cursor += 1
+        if op_item.cursor < len(op_item.rows):
+            self._submit_next(sess, op_item)
+            return
+        sess.busy = False
+        self._busy_count -= 1
+        self._emit_result(sess, op_item)
+        self._pump_session(sess)
+
+    # ------------------------------------------------------------------
+    def _next_emit(self) -> int:
+        seq = self._emit_seq
+        self._emit_seq += 1
+        return seq
+
+    def _emit(self, ticket: int, payload: dict) -> None:
+        """Control/error reply: always a dict on the queue, in emit order."""
+        self._replies.put(("res", ticket, self._next_emit(), payload))
+        self._settle_one()
+
+    def _emit_result(self, sess: _WireSession, op_item: _Op) -> None:
+        """Logits reply: ring slot when it fits, queue dict otherwise."""
+        op_name = _OP_NAMES[op_item.op]
+        if op_item.many:
+            values = np.ascontiguousarray(
+                np.stack(op_item.collected), dtype=np.float64
+            )
+        else:
+            values = np.ascontiguousarray(
+                op_item.collected[0], dtype=np.float64
+            )
+        payload = values.astype("<f8", copy=False).tobytes()
+        emit_seq = self._next_emit()
+        rings = self._rings
+        if (
+            rings is not None
+            and len(payload) <= rings.responses.payload_capacity
+            and rings.responses.try_push(
+                op_item.op, op_item.ticket, values.shape, payload,
+                seq_no=sess.frames, emit_seq=emit_seq,
+            )
+        ):
+            if rings.ring_kick(responses=True):
+                self._replies.put(("ring",))
+        else:
+            self._replies.put(("res", op_item.ticket, emit_seq, {
+                "ok": True, "type": op_name, "seq": sess.frames,
+                "raw": (payload, list(values.shape)),
+            }))
+        self._settle_one()
+
+    def _settle_one(self) -> None:
+        with self._lock:
+            self._outstanding -= 1
+            if self._outstanding == 0:
+                self._idle.notify_all()
+
+
+class _Consumer:
+    """The worker's request loop: queue messages + request-ring drains."""
+
+    def __init__(self, scheduler: _Scheduler, rings: RingPair | None,
+                 requests: Any, replies: Any, server: Any):
+        self._scheduler = scheduler
+        self._rings = rings
+        self._requests = requests
+        self._replies = replies
+        self._server = server
+        self._payloads: deque[bytes] = deque()
+        self._shutdown = False
+
+    def run(self) -> None:
+        while not self._shutdown:
+            self._handle(self._requests.get())
+
+    def _handle(self, message: tuple) -> None:
+        kind = message[0]
+        if kind == "shutdown":
+            self._shutdown = True
+        elif kind == "kick":
+            self._rings.clear_kick(responses=False)
+            self._drain_ring()
+        elif kind == "payload":
+            self._payloads.append(message[1])
+        elif kind == "req":
+            _, ticket, op, session, payload, shape = message
+            self._scheduler.schedule_op(
+                ticket, op, session, payload,
+                tuple(shape) if shape else (),
+            )
+        elif kind == "stats":
+            self._replies.put(("res", message[1], None, {
+                "ok": True,
+                "type": "stats",
+                "worker": self._scheduler.meta["worker"],
+                "stats": self._server.stats().to_dict(),
+                "sessions": self._scheduler.session_count,
+            }))
+
+    def _drain_ring(self) -> None:
+        ring = self._rings.requests
+        while True:
+            entry = ring.peek()
+            if entry is None:
+                return
+            if entry.external:
+                payload = self._await_payload()
+                if payload is None:  # shutdown raced the oversized payload
+                    return
+            else:
+                payload = bytes(entry.payload)
+            # Copy out, then free the slot for the parent before the op
+            # runs — ring capacity bounds dispatch, never compute.
+            ticket, op = entry.ticket, entry.op
+            session, shape = entry.session, entry.shape
+            ring.advance()
+            self._scheduler.schedule_op(ticket, op, session, payload, shape)
+
+    def _await_payload(self) -> bytes | None:
+        """The ring entry was published after its queue payload: take it.
+
+        Other message kinds may sit in between; they are handled inline
+        (a buffered kick is redundant — this loop IS the drain).
+        """
+        while not self._payloads:
+            message = self._requests.get()
+            if message[0] == "kick":
+                self._rings.clear_kick(responses=False)
+                continue
+            self._handle(message)
+            if self._shutdown:
+                return None
+        return self._payloads.popleft()
+
+
 def worker_main(
     index: int,
     artifact_path: str,
@@ -109,6 +457,10 @@ def worker_main(
     replies: Any,
     max_batch: int,
     max_delay_s: float,
+    shm_name: str | None = None,
+    ring_slots: int = 0,
+    slot_bytes: int = 0,
+    inline: bool = True,
 ) -> None:
     """Entry point of one worker process (spawn-safe, module-level)."""
     # The parent owns interactive shutdown; a Ctrl-C must not produce a
@@ -118,95 +470,33 @@ def worker_main(
     except (ValueError, OSError):
         pass
 
+    rings = None
     try:
         from repro.runtime.model import CompiledModel
         from repro.runtime.server import Server
 
+        if shm_name is not None:
+            rings = RingPair.attach(shm_name, ring_slots, slot_bytes)
         compiled = CompiledModel.load(artifact_path)
         server = Server(compiled, max_batch=max_batch, max_delay_s=max_delay_s)
     except BaseException as error:  # noqa: BLE001 — parent must learn of it
         replies.put(("fatal", index, f"worker {index} failed to start: {error}"))
         return
 
-    sessions: dict[str, _SessionRunner] = {}
-    meta = {
-        "backend": compiled.backend,
-        "input_size": compiled.input_size,
-        "num_classes": compiled.num_classes,
-        "worker": index,
-    }
+    scheduler = _Scheduler(index, compiled, server, rings, replies,
+                           inline=inline)
+    consumer = _Consumer(scheduler, rings, requests, replies, server)
     replies.put(("ready", index))
 
     try:
-        while True:
-            message = requests.get()
-            kind = message[0]
-            if kind == "shutdown":
-                break
-            if kind == "stats":
-                _, conn_id, rid = message
-                replies.put(
-                    ("res", conn_id, rid, {
-                        "ok": True,
-                        "type": "stats",
-                        "worker": index,
-                        "stats": server.stats().to_dict(),
-                        "sessions": len(sessions),
-                    })
-                )
-                continue
-            _, conn_id, rid, op, name, frame_bytes, shape = message
-            if op == "open":
-                runner = sessions.get(name)
-                if runner is None or not runner.is_alive():
-                    runner = _SessionRunner(name, server, replies)
-                    runner.start()
-                    sessions[name] = runner
-                    existing = False
-                else:
-                    existing = True
-                replies.put(
-                    ("res", conn_id, rid,
-                     {"ok": True, "type": "open", "session": name,
-                      "existing": existing,
-                      # Where the stream already is (reattach support);
-                      # meaningful when the session is idle, which is the
-                      # only sane time to reattach.
-                      "seq": runner._session.frames_pushed,
-                      **meta})
-                )
-                continue
-            runner = sessions.get(name)
-            if runner is None:
-                replies.put(
-                    ("res", conn_id, rid, _error(ReproError(
-                        f"unknown session {name!r}; send an open request first"
-                    )))
-                )
-                continue
-            frame = None
-            if frame_bytes is not None:
-                # The parent validates shape/length, but a decode failure
-                # here must fail ONE request, never the whole worker (and
-                # every session pinned to it).
-                try:
-                    frame = np.frombuffer(
-                        frame_bytes, dtype="<f8"
-                    ).reshape(shape)
-                except ValueError as error:
-                    replies.put(("res", conn_id, rid, _error(error)))
-                    continue
-            if op == "close":
-                del sessions[name]
-            runner.submit((conn_id, rid, op, frame))
+        consumer.run()
     except BaseException as error:  # noqa: BLE001 — parent must learn of it
         replies.put(("fatal", index, f"worker {index} died: {error}"))
     finally:
-        # Drain: queued session work finishes (every runner sees its
-        # sentinel only after its pending requests), then the
-        # micro-batching server closes.
-        for runner in sessions.values():
-            runner.submit(_SHUTDOWN)
-        for runner in sessions.values():
-            runner.join(timeout=30)
+        # Drain: every accepted op emits its reply (the parent is still
+        # pumping this worker's queue), then the micro-batching server
+        # closes — which drains its own queued rows in turn.
+        scheduler.wait_idle(timeout=30)
         server.close()
+        if rings is not None:
+            rings.close()

@@ -150,6 +150,64 @@ class Server:
                 max_batch=self.max_batch,
             )
 
+    # ------------------------------------------------------------------
+    # External-scheduler surface (the net worker's wire scheduler).
+    # ------------------------------------------------------------------
+    def submit(self, session: Any, frame: np.ndarray, state: Any) -> Future:
+        """Queue one coerced ``(D,)`` row for micro-batching (non-blocking).
+
+        The public row-level hook for external schedulers — the net
+        worker drives its sessions through here instead of blocking a
+        thread per session in :meth:`ServerSession.push`.  ``session`` is
+        any identity token held stable for the stream's life (it keys the
+        fill-target accounting); the returned future resolves to
+        ``(logits_row, new_state)``, byte-identical to the row a
+        :class:`ServerSession` would produce.  Callers must serialize
+        submissions per session: a stream's next row may only be
+        submitted with the state returned for its previous one.
+        """
+        return self._submit(session, frame, state)
+
+    def step_inline(self, frame: np.ndarray, state: Any) -> tuple:
+        """Compute one coerced ``(D,)`` row synchronously on the caller.
+
+        The fast-path complement to :meth:`submit` for an external
+        scheduler that *knows* no other stream could coalesce right now
+        (a single busy session cannot batch with anyone): it skips the
+        dispatcher queue and its condition-variable wakeup entirely and
+        runs the same 1-row ``step_rows`` call the dispatcher would,
+        so the logits and new state are byte-identical to the submitted
+        path.  Counts as a 1-row batch in :meth:`stats`.  Callers keep
+        the per-session serialization contract of :meth:`submit`.
+        """
+        with self._cond:
+            if self._closed:
+                raise ConfigError("server is closed")
+            self._frames += 1
+            self._batches += 1
+            if self._max_coalesced < 1:
+                self._max_coalesced = 1
+        logits, states = self._executor.step_rows(
+            np.stack([frame]), [state]
+        )
+        return logits[0], states[0]
+
+    def initial_state(self) -> Any:
+        """Fresh width-1 recurrent state for an externally scheduled stream."""
+        return self._executor.initial_state(1)
+
+    def register_session(self) -> None:
+        """Count one externally scheduled stream in the stats totals."""
+        with self._cond:
+            if self._closed:
+                raise ConfigError("server is closed")
+            self._sessions_opened += 1
+            self._sessions_active += 1
+
+    def release_session(self, session: Any) -> None:
+        """Release an externally scheduled stream (pairs register_session)."""
+        self._release_session(session)
+
     def close(self) -> None:
         """Drain pending pushes, stop the dispatcher, reject new work.
 

@@ -97,3 +97,41 @@ class TestArtifacts:
         )
         text = result.describe()
         assert "demo" in text and "fast" in text and "speedup" in text
+
+
+class TestScalingPeak:
+    """Worker-scaling is only reportable when the box has the cores.
+
+    The guard behind the netserver suite's ``scaling_peak_vs_1w``: a
+    1-CPU container once recorded a straight-faced ``1.0``, which reads
+    as "scaling is broken" when it actually means "nothing was measured".
+    """
+
+    def test_measurable_box_reports_peak_ratio(self):
+        from repro.bench.suites import _scaling_peak
+
+        peak, note = _scaling_peak(8, (1, 2, 4), {1: 100.0, 2: 180.0, 4: 310.0})
+        assert peak == 3.1
+        assert note is None
+
+    def test_underprovisioned_box_reports_null_with_reason(self):
+        from repro.bench.suites import _scaling_peak
+
+        peak, note = _scaling_peak(1, (1, 2), {1: 100.0, 2: 101.0})
+        assert peak is None
+        assert "1 CPU(s) < 2 workers" in note
+        assert "re-record" in note
+
+    def test_unknown_cpu_count_is_not_measurable(self):
+        from repro.bench.suites import _scaling_peak
+
+        peak, note = _scaling_peak(None, (1, 2), {1: 100.0, 2: 150.0})
+        assert peak is None
+        assert note is not None
+
+    def test_exact_core_match_is_measurable(self):
+        from repro.bench.suites import _scaling_peak
+
+        peak, note = _scaling_peak(2, (1, 2), {1: 100.0, 2: 150.0})
+        assert peak == 1.5
+        assert note is None
