@@ -288,6 +288,17 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
 
     from repro.runtime.net import Client, NetServer
 
+    if args.chaos and not args.selftest:
+        print("--chaos only makes sense with --selftest", file=sys.stderr)
+        return 2
+    faults = list(args.fault or [])
+    if args.chaos and not faults:
+        # Default chaos: every worker SIGKILLs itself once, staggered so
+        # the restarts do not all land in the same instant.
+        faults = [
+            f"kill:worker={index},after={4 + 3 * index}"
+            for index in range(args.workers)
+        ]
     compiled = _compiled_from_args(args)
     print(compiled.describe())
     server = NetServer(
@@ -300,6 +311,13 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         transport=args.transport,
         max_protocol=args.wire,
+        spawn_timeout_s=args.spawn_timeout,
+        restart_budget=args.restart_budget,
+        heartbeat_timeout_s=args.heartbeat_timeout or None,
+        session_ttl_s=args.session_ttl,
+        session_cap=args.session_cap,
+        faults=faults or None,
+        fault_log=args.fault_log,
     )
     server.start()
     host, port = server.address
@@ -308,6 +326,8 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
         f"(max_batch {args.max_batch}, queue_limit {args.queue_limit}, "
         f"transport {server.transport}, wire <= v{server.max_protocol})"
     )
+    if faults:
+        print(f"fault injection armed: {', '.join(faults)}")
 
     if not args.selftest:
         print("press Ctrl-C (or send SIGTERM) to drain and stop")
@@ -328,6 +348,7 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
             return 1
 
         outputs: list = [None] * args.sessions
+        recoveries = [0] * args.sessions
         errors: list = []
 
         def client_thread(index: int) -> None:
@@ -335,6 +356,7 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
                 with Client(host, port, protocol=args.wire) as client:
                     session = client.session(f"selftest-{index}")
                     outputs[index] = session.run(streams[index], window=8)
+                    recoveries[index] = session.recoveries
             except Exception as error:  # noqa: BLE001 — reported below
                 errors.append(f"stream {index}: {error}")
 
@@ -376,12 +398,47 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
         )
         with Client(host, port) as client:
             for entry in client.stats():
+                if not entry.get("ok", True):
+                    print(f"  worker {entry.get('worker')}: "
+                          f"{entry.get('error')}")
+                    continue
                 stats = entry["stats"]
                 print(
                     f"  worker {entry['worker']}: {stats['frames']} frames "
                     f"in {stats['batches']} batches "
                     f"(mean {stats['mean_coalesced']:.2f} rows)"
                 )
+            health = client.health()
+        if args.chaos:
+            kills = [event for event in server.events
+                     if event["event"] == "worker_down"]
+            print(
+                f"chaos: {len(kills)} worker death(s), "
+                f"{health['restarts_total']} restart(s), "
+                f"{sum(recoveries)} client recovery(ies), "
+                f"degraded workers: {health['degraded'] or 'none'}"
+            )
+            if not kills or not health["restarts_total"]:
+                print(
+                    "SELFTEST FAILED: chaos was armed but no worker death "
+                    "and supervised restart were observed — the faults "
+                    "never fired (raise --frames or lower after=)",
+                    file=sys.stderr,
+                )
+                return 1
+            if health["degraded"]:
+                print(
+                    "SELFTEST FAILED: worker(s) degraded under chaos "
+                    f"({health['degraded']}); the restart budget was "
+                    "exhausted instead of the fleet healing",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                "chaos selftest ok: every stream byte-identical through "
+                "worker deaths, supervised restarts, and client reattach"
+            )
+            return 0
         print(
             "selftest ok: every stream served over the wire byte-identical "
             "to its standalone session"
@@ -618,10 +675,54 @@ def build_parser() -> argparse.ArgumentParser:
              "(default), 1 = NDJSON only",
     )
     serve.add_argument(
+        "--spawn-timeout", type=float, default=120.0, metavar="SECONDS",
+        help="how long each worker may take to load the artifact and "
+             "report ready — initial spawns and supervised respawns alike "
+             "(default: 120)",
+    )
+    serve.add_argument(
+        "--restart-budget", type=int, default=3, metavar="N",
+        help="supervised worker restarts allowed per worker per 60s "
+             "window before the worker degrades and its shard answers "
+             "errors (default: 3)",
+    )
+    serve.add_argument(
+        "--heartbeat-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="a worker silent this long is presumed wedged, killed, and "
+             "restarted; 0 disables the heartbeat (default: 10)",
+    )
+    serve.add_argument(
+        "--session-ttl", type=float, default=None, metavar="SECONDS",
+        help="evict sessions idle at least this long (default: no TTL)",
+    )
+    serve.add_argument(
+        "--session-cap", type=int, default=None, metavar="N",
+        help="per-worker session-table bound; a new open at the cap sheds "
+             "the least-recently-used idle session (default: unbounded)",
+    )
+    serve.add_argument(
+        "--fault", action="append", default=None, metavar="SPEC",
+        help="arm a deterministic fault, e.g. kill:worker=1,after=5 or "
+             "corrupt_slot:after=4 (repeatable; kinds: kill, stall, "
+             "delay_publish, drop_publish, corrupt_slot)",
+    )
+    serve.add_argument(
+        "--fault-log", default=None, metavar="PATH",
+        help="append every supervision event (worker deaths, restarts, "
+             "degradations) to this JSONL file",
+    )
+    serve.add_argument(
         "--selftest", action="store_true",
         help="verify backend conformance and that every served stream is "
              "byte-identical to its standalone run — over the wire when "
              "--port is given; non-zero exit on mismatch (used by CI)",
+    )
+    serve.add_argument(
+        "--chaos", action="store_true",
+        help="with --selftest: SIGKILL-grade faults are armed (defaults "
+             "injected if no --fault is given) and the selftest asserts "
+             "the streams survive worker deaths byte-identically via "
+             "supervised restart + client reattach",
     )
     serve.set_defaults(handler=_cmd_serve, block=8)
 

@@ -23,16 +23,31 @@ over the wire are **byte-identical** to a standalone
 enforced by ``tests/runtime/test_netserver.py``, the ``netserver`` bench
 suite, and ``repro serve --port ... --selftest``.
 
-See ``docs/runtime.md`` ("Serving over the network") for the wire
-protocol specification and operational notes.
+PR 8 makes the server self-healing: the parent supervises its workers
+(process sentinels + heartbeats), fails a dead worker's in-flight
+requests with structured **retryable** error frames, and respawns the
+worker from the artifact under a restart budget; sessions gain an
+idle TTL, a per-worker cap with LRU shedding, and ``sessions`` /
+``evict`` / ``health`` admin ops.  :class:`NetSession` auto-reattaches
+through worker deaths and dropped connections by replaying its journal
+— byte-identical output, or exactly one structured retryable error.
+Deterministic fault injection lives in :mod:`repro.runtime.net.faults`.
+
+See ``docs/runtime.md`` ("Serving over the network" and "Failure model
+& supervision") for the wire protocol specification and operational
+notes.
 """
 
 from repro.runtime.net.client import Client, NetSession
+from repro.runtime.net.faults import FaultInjector, FaultSpec, parse_fault
 from repro.runtime.net.protocol import (
     MAX_PROTOCOL,
     PROTOCOL_VERSION,
     BusyError,
+    ConnectionLostError,
     NetError,
+    RetryableError,
+    UnknownSessionError,
     decode_array,
     encode_array,
 )
@@ -44,6 +59,12 @@ __all__ = [
     "NetSession",
     "NetError",
     "BusyError",
+    "RetryableError",
+    "ConnectionLostError",
+    "UnknownSessionError",
+    "FaultSpec",
+    "FaultInjector",
+    "parse_fault",
     "PROTOCOL_VERSION",
     "MAX_PROTOCOL",
     "route_session",

@@ -16,6 +16,17 @@ A :class:`Client` is single-threaded by design (one socket, strictly
 ordered request/reply); concurrent callers each open their own, exactly
 as with in-process sessions.
 
+Resilience (PR 8): a supervised server answers a dying worker's requests
+with **retryable** error frames, and a dropped connection surfaces as
+:class:`~repro.runtime.net.protocol.ConnectionLostError`.  A
+:class:`NetSession` recovers from both on its own: it keeps a journal of
+every acknowledged frame since the last reset, and on a retryable
+failure it reconnects, reopens the session by name, reconciles the
+server's ``seq`` against its own — and when the carried state is gone
+(the worker was restarted) it resets and replays the journal, so the
+stream's remaining logits are **byte-identical** to an uninterrupted
+run.  ``reattach=False`` restores the PR 5 fail-fast behaviour.
+
 >>> client = Client("127.0.0.1", 7653)
 >>> session = client.session("caller-42")
 >>> posterior = session.push(frame)          # blocking round trip
@@ -28,6 +39,7 @@ import itertools
 import socket
 import struct
 import time
+from collections import deque
 from typing import Any
 
 import numpy as np
@@ -43,8 +55,12 @@ from repro.runtime.net.protocol import (
     MAX_BIN_SESSION,
     MAX_FRAME_BYTES,
     MAX_PROTOCOL,
+    MAX_PUSH_MANY_FRAMES,
     BusyError,
+    ConnectionLostError,
     NetError,
+    RetryableError,
+    UnknownSessionError,
     build_binary_frame,
     check_binary_header,
     decode_array,
@@ -54,6 +70,13 @@ from repro.runtime.net.protocol import (
 )
 
 __all__ = ["Client", "NetSession"]
+
+#: Reconnect/reopen/replay cycles one operation may consume before the
+#: recovery machinery gives up and lets the retryable error escape.
+_MAX_RECOVERY_CYCLES = 5
+
+#: Frames per replay batch (bounded by the server's push_many cap).
+_REPLAY_CHUNK = min(64, MAX_PUSH_MANY_FRAMES)
 
 
 class Client:
@@ -71,18 +94,51 @@ class Client:
             raise NetError(
                 f"protocol must be 1..{MAX_PROTOCOL}, got {protocol}"
             )
+        self._host = host
+        self._port = port
+        self._timeout = timeout
         self._want_protocol = protocol
         self._protocol = 1
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._sock.settimeout(timeout)
-        self._file = self._sock.makefile("rwb")
         self._ids = itertools.count(1)
         self._closed = False
+        self.reconnects = 0
+        self._connect()
+
+    def _connect(self) -> None:
+        try:
+            self._sock = socket.create_connection(
+                (self._host, self._port), timeout=self._timeout
+            )
+        except OSError as error:
+            raise ConnectionLostError(
+                f"connect to {self._host}:{self._port} failed: {error}"
+            ) from None
+        self._sock.settimeout(self._timeout)
+        self._file = self._sock.makefile("rwb")
         self.hello = self._recv()
         if self.hello.get("type") != "hello":
             raise NetError(
                 f"expected a hello frame, got {self.hello.get('type')!r}"
             )
+
+    def reconnect(self) -> "Client":
+        """Drop the connection and dial the same server again.
+
+        Discards any unread replies with the old socket, and resets the
+        effective protocol to v1 — framing, like sessions, is negotiated
+        per connection, so the next ``open`` renegotiates v2.  Request
+        ids keep counting up: uniqueness per connection is preserved.
+        """
+        for closer in (self._file.close, self._sock.close):
+            try:
+                closer()
+            except OSError:
+                pass  # tearing down a broken transport; dialing anew
+        self._closed = False
+        self._protocol = 1
+        self.reconnects += 1
+        self._connect()
+        return self
 
     # ------------------------------------------------------------------
     @property
@@ -122,7 +178,7 @@ class Client:
             self._file.write(dump_line({"id": rid, "op": op, **fields}))
             self._file.flush()
         except OSError as error:
-            raise NetError(f"send failed: {error}") from None
+            raise ConnectionLostError(f"send failed: {error}") from None
         return rid
 
     def _send_binary(self, op: int, session: str, payload: bytes,
@@ -136,13 +192,13 @@ class Client:
             ))
             self._file.flush()
         except OSError as error:
-            raise NetError(f"send failed: {error}") from None
+            raise ConnectionLostError(f"send failed: {error}") from None
         return rid
 
     def _read_exactly(self, count: int) -> bytes:
         data = self._file.read(count)
         if data is None or len(data) < count:
-            raise NetError("server closed the connection mid-frame")
+            raise ConnectionLostError("server closed the connection mid-frame")
         return data
 
     def _recv(self) -> dict:
@@ -155,7 +211,7 @@ class Client:
         try:
             first = self._file.read(1)
             if not first:
-                raise NetError("server closed the connection")
+                raise ConnectionLostError("server closed the connection")
             if first[0] != BIN_MAGIC:
                 line = first + self._file.readline()
                 return parse_line(line)
@@ -191,9 +247,15 @@ class Client:
                 "logits_array": values,
             }
         except socket.timeout:
-            raise NetError("timed out waiting for a reply") from None
+            # Indistinguishable from a worker whose reply was lost (e.g.
+            # a dropped publish): retryable, so a reattaching session
+            # resets and replays instead of hanging on a reply that will
+            # never come.
+            raise ConnectionLostError(
+                "timed out waiting for a reply"
+            ) from None
         except OSError as error:
-            raise NetError(f"receive failed: {error}") from None
+            raise ConnectionLostError(f"receive failed: {error}") from None
 
     def _recv_for(self, rid: int) -> dict:
         reply = self._recv()
@@ -220,9 +282,18 @@ class Client:
                 "— back off and resend it before newer frames",
                 limit=limit if isinstance(limit, int) else None,
             )
-        raise NetError(
-            f"{reply.get('kind', 'error')}: {reply.get('error', reply)}"
-        )
+        kind = reply.get("kind", "error")
+        message = f"{kind}: {reply.get('error', reply)}"
+        if reply.get("retryable"):
+            # The server's supervisor failed this request (worker died
+            # in flight / is restarting) and promises a resend is safe.
+            raise RetryableError(message)
+        if kind == "UnknownSessionError":
+            # Not blindly retryable — the session must be reopened (and
+            # its state replayed) first, which is exactly what a
+            # reattaching NetSession does with it.
+            raise UnknownSessionError(message)
+        raise NetError(message)
 
     @staticmethod
     def _logits(reply: dict) -> np.ndarray:
@@ -242,6 +313,27 @@ class Client:
     def stats(self) -> list[dict]:
         """Per-worker :class:`~repro.runtime.ServerStats` snapshots."""
         return self.request("stats")["workers"]
+
+    def health(self) -> dict:
+        """The supervisor's snapshot: per-worker state, restarts, uptime.
+
+        Answered by the parent alone, so it works even while every
+        worker is down, restarting, or the server is draining.
+        """
+        return self.request("health")
+
+    def sessions(self) -> list[dict]:
+        """Every live session across all reachable workers
+        (``session``/``worker``/``seq``/``idle_s``/``busy`` each)."""
+        return self.request("sessions")["sessions"]
+
+    def evict(self, session: str) -> bool:
+        """Administratively drop one session's worker-side state.
+
+        True when a session was actually evicted, False when no such
+        session existed (the goal state either way).
+        """
+        return bool(self.request("evict", session=session).get("evicted"))
 
     def session(self, name: str, **retry: Any) -> "NetSession":
         """Open (or re-attach to) the named streaming session."""
@@ -275,25 +367,68 @@ class NetSession:
     but never beyond ``max_backoff_s``, and after ``retries`` resends a
     :class:`BusyError` carrying the server's advertised ``limit`` is
     raised.
+
+    With ``reattach=True`` (the default) the session also recovers from
+    retryable failures — worker deaths surfaced as retryable error
+    frames, dropped connections, unknown-session replies after a worker
+    restart: it reconnects, reopens by name, and when the server-side
+    ``seq`` shows the carried state is gone, resets and replays its
+    journal of acknowledged frames (capped at ``journal_limit``; an
+    overflowed journal makes state loss unrecoverable and the retryable
+    error escapes instead).  :attr:`recoveries` and
+    :attr:`replayed_frames` count what the machinery did.
     """
 
     def __init__(self, client: Client, name: str, *, retries: int = 20,
-                 backoff_s: float = 0.02, max_backoff_s: float = 0.25):
+                 backoff_s: float = 0.02, max_backoff_s: float = 0.25,
+                 reattach: bool = True, journal_limit: int = 4096):
         if retries < 0:
             raise NetError(f"retries must be >= 0, got {retries}")
+        if journal_limit < 0:
+            raise NetError(
+                f"journal_limit must be >= 0, got {journal_limit}"
+            )
         self._client = client
         self._name = name
         self._retries = retries
         self._backoff_s = backoff_s
         self._max_backoff_s = max_backoff_s
-        fields: dict[str, Any] = {"session": name}
-        if client._wants_v2():
-            fields["protocol"] = 2
-        self.meta = client.request("open", **fields)
-        if self.meta.get("protocol") == 2:
-            client._protocol = 2
+        self._reattach = reattach
+        self._journal_limit = journal_limit
+        self._journal: deque[bytes] = deque()  # acked rows since reset
+        self._journal_ok = True  # False once the cap truncated it
+        self.recoveries = 0
+        self.replayed_frames = 0
+        self.meta = self._open(allow_recovery=reattach)
         self._frames = int(self.meta.get("seq", 0))
         self._closed = False
+
+    def _open(self, *, allow_recovery: bool) -> dict:
+        """The open handshake (with v2 negotiation), retried through
+        retryable failures when the session reattaches."""
+        fields: dict[str, Any] = {"session": self._name}
+        attempt = 0
+        while True:
+            if self._client._wants_v2():
+                fields["protocol"] = 2
+            else:
+                fields.pop("protocol", None)
+            try:
+                reply = self._client.request("open", **fields)
+            except (RetryableError, UnknownSessionError):
+                if not allow_recovery or attempt >= self._retries:
+                    raise
+                attempt += 1
+                time.sleep(min(self._max_backoff_s,
+                               self._backoff_s * attempt))
+                try:
+                    self._client.reconnect()
+                except ConnectionLostError:
+                    continue  # server not back yet; keep backing off
+                continue
+            if reply.get("protocol") == 2:
+                self._client._protocol = 2
+            return reply
 
     @property
     def name(self) -> str:
@@ -313,6 +448,103 @@ class NetSession:
         retries = self._retries if retries is None else retries
         backoff_s = self._backoff_s if backoff_s is None else backoff_s
         return retries, backoff_s
+
+    # -- reattach machinery --------------------------------------------
+    def _journal_append(self, row_bytes: bytes) -> None:
+        """Remember one acknowledged frame for a potential replay."""
+        if not self._reattach or not self._journal_ok:
+            return
+        self._journal.append(row_bytes)
+        if len(self._journal) > self._journal_limit:
+            # A partial journal cannot rebuild recurrent state (every
+            # frame feeds the next), so past the cap the memory is
+            # reclaimed and reattach-after-state-loss disabled until the
+            # next reset() starts a fresh journal.
+            self._journal.clear()
+            self._journal_ok = False
+
+    def _with_recovery(self, attempt: Any) -> Any:
+        """Run one operation, recovering through retryable failures."""
+        cycles = 0
+        while True:
+            try:
+                return attempt()
+            except (RetryableError, UnknownSessionError) as error:
+                cycles += 1
+                if not self._reattach or cycles > _MAX_RECOVERY_CYCLES:
+                    raise
+                self._recover(error)
+
+    def _recover(self, cause: NetError) -> None:
+        """Reconnect, reopen, and restore the stream's carried state.
+
+        The failed frame was NOT applied (that is the retryable
+        contract), so after this returns the caller simply resends it.
+        """
+        self.recoveries += 1
+        last: NetError = cause
+        for attempt in range(self._retries + 1):
+            try:
+                self._client.reconnect()
+                self._reopen_and_replay()
+                return
+            except (RetryableError, UnknownSessionError, BusyError) as error:
+                last = error
+                time.sleep(min(self._max_backoff_s,
+                               self._backoff_s * (attempt + 1)))
+        raise NetError(
+            f"session {self._name!r} could not reattach after "
+            f"{self._retries + 1} attempts: {last}"
+        ) from cause
+
+    def _reopen_and_replay(self) -> None:
+        """Reopen by name; replay the journal if the state is gone."""
+        self.meta = self._open(allow_recovery=False)
+        seq = int(self.meta.get("seq", 0))
+        if seq == self._frames:
+            return  # carried state intact (the connection died, not the worker)
+        if not self._journal_ok or len(self._journal) != self._frames:
+            raise NetError(
+                f"session {self._name!r} lost its carried state at frame "
+                f"{self._frames} and the client journal cannot replay it "
+                f"(journal_limit {self._journal_limit}); reset the stream"
+            )
+        if seq != 0:
+            # A stale partial state (the worker restarted mid-history or
+            # another client advanced it): replay only works from zero.
+            self._client.request("reset", session=self._name)
+        # self._frames stays the authoritative acked count throughout: if
+        # the replay itself is interrupted, the next recovery pass sees
+        # server seq != self._frames and replays from zero again.
+        rows = list(self._journal)
+        input_size = self._client.input_size
+        for start in range(0, len(rows), _REPLAY_CHUNK):
+            chunk = rows[start:start + _REPLAY_CHUNK]
+            payload = b"".join(chunk)
+            shape = (len(chunk), input_size)
+            if self._client.protocol >= 2:
+                def send(payload: bytes = payload,
+                         shape: tuple[int, int] = shape) -> int:
+                    return self._client._send_binary(
+                        BIN_PUSH_MANY, self._name, payload, shape
+                    )
+            else:
+                encoded = encode_array(
+                    np.frombuffer(payload, dtype="<f8").reshape(shape)
+                )
+                def send(encoded: dict = encoded) -> int:
+                    return self._client._send(
+                        "push_many", session=self._name, frames=encoded
+                    )
+            reply = self._push_with_retry(send, self._retries,
+                                          self._backoff_s)
+            got = reply.get("seq")
+            if got != start + len(chunk):
+                raise NetError(
+                    f"replay of session {self._name!r} desynced: expected "
+                    f"frame {start + len(chunk)}, server reports {got}"
+                )
+        self.replayed_frames += len(rows)
 
     def _push_with_retry(self, send: Any, retries: int,
                          backoff_s: float) -> dict:
@@ -357,20 +589,25 @@ class NetSession:
         retries, backoff_s = self._retry_policy(retries, backoff_s)
         coerced, squeezed = coerce_frame(frame, 1, self._client.input_size)
         row = coerced[0]
-        if self._client.protocol >= 2:
-            payload = row.astype("<f8", copy=False).tobytes()
-            def send() -> int:
+        raw = row.astype("<f8", copy=False).tobytes()
+
+        def send() -> int:
+            # Framing is re-chosen per attempt: a recovery may have
+            # reconnected, dropping the connection back to v1 until the
+            # reopen renegotiates.
+            if self._client.protocol >= 2:
                 return self._client._send_binary(
-                    BIN_PUSH, self._name, payload, row.shape
+                    BIN_PUSH, self._name, raw, row.shape
                 )
-        else:
-            encoded = encode_array(row)
-            def send() -> int:
-                return self._client._send(
-                    "push", session=self._name, frame=encoded
-                )
-        reply = self._push_with_retry(send, retries, backoff_s)
+            return self._client._send(
+                "push", session=self._name, frame=encode_array(row)
+            )
+
+        reply = self._with_recovery(
+            lambda: self._push_with_retry(send, retries, backoff_s)
+        )
         self._accept_seq(reply, 1)
+        self._journal_append(raw)
         # copy(): the decoded logits view wire bytes; Session.push parity
         # means handing back a writable array.
         logits = self._client._logits(reply).copy()
@@ -402,22 +639,26 @@ class NetSession:
         coerced = coerce_stream(
             frames[:, None, :], self._client.input_size
         )[:, 0, :]
-        if self._client.protocol >= 2:
-            payload = np.ascontiguousarray(coerced).astype(
-                "<f8", copy=False
-            ).tobytes()
-            def send() -> int:
+        payload = np.ascontiguousarray(coerced).astype(
+            "<f8", copy=False
+        ).tobytes()
+
+        def send() -> int:
+            if self._client.protocol >= 2:
                 return self._client._send_binary(
                     BIN_PUSH_MANY, self._name, payload, coerced.shape
                 )
-        else:
-            encoded = encode_array(coerced)
-            def send() -> int:
-                return self._client._send(
-                    "push_many", session=self._name, frames=encoded
-                )
-        reply = self._push_with_retry(send, retries, backoff_s)
+            return self._client._send(
+                "push_many", session=self._name, frames=encode_array(coerced)
+            )
+
+        reply = self._with_recovery(
+            lambda: self._push_with_retry(send, retries, backoff_s)
+        )
         self._accept_seq(reply, len(frames))
+        row_bytes = 8 * self._client.input_size
+        for start in range(0, len(payload), row_bytes):
+            self._journal_append(payload[start:start + row_bytes])
         return self._client._logits(reply).copy().reshape(
             len(frames), self._client.num_classes
         )
@@ -444,8 +685,13 @@ class NetSession:
 
         Keeps up to ``window`` pushes in flight (clamped to the server's
         advertised ``queue_limit``, so a session that owns its connection
-        can never draw a ``busy``).  Byte-identical to ``T`` blocking
-        pushes — pipelining changes latency, not bytes.
+        can never draw a per-connection ``busy``).  A ``busy`` drawn
+        from worker-ring saturation (another connection's traffic) is
+        recovered through the reattach path when later frames are
+        already in flight — a mid-pipeline refusal voids the
+        contiguous-apply order — or by plain backoff when the busy'd
+        frame was the only one outstanding.  Byte-identical to ``T``
+        blocking pushes — pipelining changes latency, not bytes.
         """
         self._check_open()
         frames = np.asarray(frames)
@@ -459,43 +705,126 @@ class NetSession:
         # bad frame discovered mid-pipeline would abandon in-flight
         # replies and desynchronize the connection for good.  Up-front
         # validation turns it into a clean error with nothing sent.
-        binary = self._client.protocol >= 2
-        payloads: list[Any] = []
-        shapes: list[tuple[int, ...]] = []
+        rows: list[np.ndarray] = []
+        raws: list[bytes] = []
         for frame in frames:
             coerced, _ = coerce_frame(frame, 1, self._client.input_size)
-            row = coerced[0]
-            if binary:
-                payloads.append(row.astype("<f8", copy=False).tobytes())
-                shapes.append(row.shape)
-            else:
-                payloads.append(encode_array(row))
+            rows.append(coerced[0])
+            raws.append(coerced[0].astype("<f8", copy=False).tobytes())
         out: list[np.ndarray | None] = [None] * total
         pending: list[tuple[int, int]] = []  # (rid, frame index)
         sent = 0
+        cycles = 0
+        busy_tries = 0
         while sent < total or pending:
-            while sent < total and len(pending) < window:
-                if binary:
-                    rid = self._client._send_binary(
-                        BIN_PUSH, self._name, payloads[sent], shapes[sent]
+            try:
+                while sent < total and len(pending) < window:
+                    if self._client.protocol >= 2:
+                        rid = self._client._send_binary(
+                            BIN_PUSH, self._name, raws[sent],
+                            rows[sent].shape,
+                        )
+                    else:
+                        rid = self._client._send(
+                            "push", session=self._name,
+                            frame=encode_array(rows[sent]),
+                        )
+                    pending.append((rid, sent))
+                    sent += 1
+                rid, index = pending[0]
+                reply = self._client._recv()
+                if reply.get("id") != rid:
+                    # ``busy`` verdicts are issued at admission time, so
+                    # one for a frame BEHIND the head can overtake the
+                    # ordered replies still owed to the head.  That
+                    # frame was skipped while later in-flight frames may
+                    # still apply, so the contiguous-apply guarantee is
+                    # gone; only the reattach path (seq reconcile +
+                    # journal replay + tail resend) restores the order.
+                    if reply.get("type") == "busy" and any(
+                        reply.get("id") == prid for prid, _ in pending
+                    ):
+                        # Busy replies arrive in admission order, so
+                        # everything ahead of the refused frame WAS
+                        # admitted: its position bounds the worker's
+                        # spare capacity.  Shrink the window toward it
+                        # (at least halving) so the resumed pipeline
+                        # stops re-saturating the ring and converges to
+                        # blocking pushes instead of thrashing through
+                        # recovery cycles.
+                        refused = next(
+                            position
+                            for position, (prid, _) in enumerate(pending)
+                            if prid == reply.get("id")
+                        )
+                        window = max(1, min(refused, window // 2))
+                        raise RetryableError(
+                            "a pipelined push was refused busy "
+                            "mid-stream (worker ring saturated); reopen "
+                            "and replay to recover the frame order"
+                        )
+                    raise NetError(
+                        f"reply id {reply.get('id')!r} does not match "
+                        f"request {rid} (one Client per thread; replies "
+                        "are strictly ordered)"
                     )
-                else:
-                    rid = self._client._send(
-                        "push", session=self._name, frame=payloads[sent]
-                    )
-                pending.append((rid, sent))
-                sent += 1
-            rid, index = pending.pop(0)
-            reply = self._client._check(self._client._recv_for(rid))
-            self._accept_seq(reply, 1)
-            out[index] = self._client._logits(reply)
+                try:
+                    reply = self._client._check(reply)
+                except BusyError:
+                    if len(pending) > 1:
+                        # Frames behind the busy'd head are in flight
+                        # and may apply without it — same ordering
+                        # hazard as above.
+                        window = max(1, window // 2)
+                        raise RetryableError(
+                            "a pipelined push was refused busy "
+                            "mid-stream (worker ring saturated); "
+                            "reopen and replay to recover the frame "
+                            "order"
+                        ) from None
+                    # Only the head was in flight, so nothing behind it
+                    # could have been applied: the blocking-push busy
+                    # contract holds — back off and resend this frame.
+                    busy_tries += 1
+                    if busy_tries > self._retries:
+                        raise
+                    pending.clear()
+                    sent = index
+                    time.sleep(min(self._max_backoff_s,
+                                   self._backoff_s * busy_tries))
+                    continue
+                busy_tries = 0
+                pending.pop(0)
+                self._accept_seq(reply, 1)
+                self._journal_append(raws[index])
+                out[index] = self._client._logits(reply)
+            except (RetryableError, UnknownSessionError) as error:
+                cycles += 1
+                if not self._reattach or cycles > _MAX_RECOVERY_CYCLES:
+                    raise
+                # Replies fail in per-session order, so the unanswered
+                # frames are exactly the contiguous tail from the oldest
+                # pending index on — none of them were applied.  Recover
+                # (reconnect discards whatever stale replies were in
+                # flight), then resend that tail.
+                resume = pending[0][1] if pending else sent
+                pending.clear()
+                self._recover(error)
+                sent = resume
         return np.stack(out)  # type: ignore[arg-type]
 
     def reset(self) -> "NetSession":
         """Zero the carried state, as between utterances.  Returns self."""
         self._check_open()
-        self._client.request("reset", session=self._name)
+        # Journal and counter first: if the reset round trip needs
+        # recovery, the reattach must rebuild toward the ZEROED state
+        # (an empty journal), not replay the pre-reset history.
         self._frames = 0
+        self._journal.clear()
+        self._journal_ok = True
+        self._with_recovery(
+            lambda: self._client.request("reset", session=self._name)
+        )
         return self
 
     def close(self) -> None:

@@ -1,0 +1,192 @@
+"""Fault injection for :mod:`repro.runtime.net` — chaos on demand.
+
+The self-healing claims of the supervised :class:`NetServer` (worker
+restart, retryable error frames, client reattach, seqlock corruption
+detection) are only as credible as the failures they were tested
+against.  This module provides those failures as first-class,
+deterministic hooks: a list of :class:`FaultSpec`\\ s handed to
+``NetServer(faults=...)`` (or ``repro serve --fault ...``) arms the
+matching workers, which then kill/stall themselves or damage their own
+response path at precisely reproducible points.
+
+Fault kinds
+-----------
+
+``kill``
+    The worker SIGKILLs itself after handling ``after`` requests — the
+    canonical hard crash (no cleanup, no goodbye, poisonable locks and
+    half-written slots included).
+``stall``
+    The worker's consumer thread sleeps ``seconds`` after ``after``
+    requests: the process is alive but unresponsive, which is what the
+    parent's heartbeat timeout exists to catch.
+``delay_publish``
+    Sleep ``seconds`` before publishing a response (``times`` times):
+    pure added latency, nothing may break.
+``drop_publish``
+    Swallow a response entirely (``times`` times): the request's reply
+    never exists.  The parent cannot distinguish this from slow compute,
+    so the *client's* timeout + reattach is the recovery path.
+``corrupt_slot``
+    Publish a response normally, then scribble its slot's seq word:
+    the parent's seqlock check must raise :class:`~repro.runtime.net.\
+ring.RingError`, and the supervisor must treat the worker as lost.
+
+Faults arm the **initial generation only**: a worker respawned by the
+supervisor is clean, so a single ``kill`` fault exercises exactly one
+death instead of a crash loop.
+
+The string grammar (for ``--fault``) is ``kind:key=value,key=value``::
+
+    kill:worker=1,after=5
+    stall:worker=0,after=3,seconds=30
+    delay_publish:worker=0,seconds=0.05,times=3
+    drop_publish:worker=1,after=2
+    corrupt_slot:worker=0,after=4
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Any, NamedTuple
+
+from repro.errors import ConfigError
+
+__all__ = ["FaultSpec", "FaultInjector", "parse_fault"]
+
+#: Every fault kind the injector understands.
+KINDS = ("kill", "stall", "delay_publish", "drop_publish", "corrupt_slot")
+
+#: Kinds triggered per handled request (vs per published response).
+_REQUEST_KINDS = frozenset({"kill", "stall"})
+
+
+class FaultSpec(NamedTuple):
+    """One armed fault.  Picklable (crosses the spawn boundary).
+
+    ``worker`` — worker index the fault arms (``None`` = every worker).
+    ``after`` — trigger events to skip first (requests handled for
+    ``kill``/``stall``, responses published for the publish kinds).
+    ``seconds`` — sleep length for ``stall``/``delay_publish``.
+    ``times`` — how many times the fault fires (irrelevant for ``kill``).
+    """
+
+    kind: str
+    worker: int | None = None
+    after: int = 0
+    seconds: float = 0.0
+    times: int = 1
+
+
+def parse_fault(text: str) -> FaultSpec:
+    """Parse one ``kind:key=value,...`` fault string."""
+    kind, _, rest = text.partition(":")
+    kind = kind.strip()
+    if kind not in KINDS:
+        raise ConfigError(
+            f"unknown fault kind {kind!r}; expected one of {', '.join(KINDS)}"
+        )
+    fields: dict[str, Any] = {}
+    if rest.strip():
+        for pair in rest.split(","):
+            key, sep, value = pair.partition("=")
+            key = key.strip()
+            if not sep or key not in ("worker", "after", "seconds", "times"):
+                raise ConfigError(
+                    f"bad fault field {pair!r} in {text!r}; expected "
+                    "worker=, after=, seconds= or times="
+                )
+            try:
+                fields[key] = (
+                    float(value) if key == "seconds" else int(value)
+                )
+            except ValueError:
+                raise ConfigError(
+                    f"bad fault value {value!r} for {key} in {text!r}"
+                ) from None
+    if kind in ("stall", "delay_publish") and fields.get("seconds", 0) <= 0:
+        raise ConfigError(f"fault {kind!r} needs seconds= > 0")
+    return FaultSpec(kind, **fields)
+
+
+def coerce_faults(faults: Any) -> list[FaultSpec]:
+    """Normalize ``NetServer(faults=...)`` input to a FaultSpec list."""
+    if faults is None:
+        return []
+    if isinstance(faults, (str, FaultSpec)):
+        faults = [faults]
+    out = []
+    for fault in faults:
+        if isinstance(fault, str):
+            fault = parse_fault(fault)
+        if not isinstance(fault, FaultSpec):
+            raise ConfigError(
+                f"faults must be FaultSpec or 'kind:k=v' strings, got "
+                f"{type(fault).__name__}"
+            )
+        out.append(fault)
+    return out
+
+
+class FaultInjector:
+    """Worker-side fault engine: counts events, fires armed faults.
+
+    Lives entirely inside one worker process; every method is called
+    from that worker's consumer/pump thread, so plain counters suffice.
+    ``on_request`` fires the request-count kinds; ``on_publish`` is
+    consulted before each response publish and returns the action the
+    emitter must take (``None`` — publish normally, ``"drop"`` — swallow
+    the response, ``"corrupt"`` — publish then corrupt the slot).
+    """
+
+    def __init__(self, index: int, faults: list[FaultSpec]):
+        self._index = index
+        self._requests = 0
+        self._publishes = 0
+        self._armed = [
+            {"spec": spec, "left": max(1, spec.times)}
+            for spec in faults
+            if spec.worker is None or spec.worker == index
+        ]
+
+    def __bool__(self) -> bool:
+        return bool(self._armed)
+
+    def _due(self, kinds: frozenset | set, count: int) -> FaultSpec | None:
+        for slot in self._armed:
+            spec = slot["spec"]
+            if spec.kind not in kinds or slot["left"] <= 0:
+                continue
+            if count > spec.after:
+                slot["left"] -= 1
+                return spec
+        return None
+
+    def on_request(self) -> None:
+        """One parent request handled; may never return (kill/stall)."""
+        self._requests += 1
+        spec = self._due(_REQUEST_KINDS, self._requests)
+        if spec is None:
+            return
+        if spec.kind == "kill":
+            # A hard, uncooperative death — exactly what a segfault or
+            # OOM kill looks like from the parent's side.
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif spec.kind == "stall":
+            time.sleep(spec.seconds)
+
+    def on_publish(self) -> str | None:
+        """About to publish one response; returns the publish action."""
+        self._publishes += 1
+        spec = self._due(
+            frozenset({"delay_publish", "drop_publish", "corrupt_slot"}),
+            self._publishes,
+        )
+        if spec is None:
+            return None
+        if spec.kind == "delay_publish":
+            time.sleep(spec.seconds)
+            return None
+        return "drop" if spec.kind == "drop_publish" else "corrupt"

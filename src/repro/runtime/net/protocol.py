@@ -74,6 +74,9 @@ __all__ = [
     "SESSION_OPS",
     "NetError",
     "BusyError",
+    "RetryableError",
+    "ConnectionLostError",
+    "UnknownSessionError",
     "encode_array",
     "decode_array",
     "dump_line",
@@ -91,10 +94,11 @@ MAX_PROTOCOL = 2
 
 #: Every op a request may carry (v2 adds ``push_many``).  repro-lint's
 #: REP006 checker keeps this tuple and the client-facing spec in lockstep.
-OPS = ("ping", "stats", "open", "push", "push_many", "reset", "close")  # documented-in: docs/runtime.md
+OPS = ("ping", "stats", "health", "sessions", "open", "push", "push_many", "reset", "close", "evict")  # documented-in: docs/runtime.md
 
 #: The ops that carry a session name and route to a worker by its hash.
-SESSION_OPS = frozenset({"open", "push", "push_many", "reset", "close"})
+SESSION_OPS = frozenset({"open", "push", "push_many", "reset", "close",
+                         "evict"})
 
 #: Hard cap on one request line — a malformed or hostile client must not
 #: balloon the server's memory.  Generous: a base64 float64 frame of
@@ -142,6 +146,35 @@ class BusyError(NetError):
     def __init__(self, message: str, limit: int | None = None):
         super().__init__(message)
         self.limit = limit
+
+
+class RetryableError(NetError):
+    """The request failed, but a retry (or session reattach) may succeed.
+
+    Raised for error frames carrying ``"retryable": true`` — the
+    supervised server's way of saying "a worker died or is restarting;
+    the frame was NOT applied and the session's worker-side state is
+    gone".  :class:`~repro.runtime.net.client.NetSession` recovers from
+    these transparently when ``reattach`` is enabled (reopen by id,
+    replay acked frames, resend the failed one).
+    """
+
+
+class ConnectionLostError(RetryableError):
+    """The TCP connection itself failed (send/recv error, EOF, timeout).
+
+    Retryable by definition against a supervised server: reconnect and
+    reattach.  Whether the in-flight frame was applied is unknown, which
+    is why recovery always reconciles via the ``seq`` reported by
+    ``open`` before resending anything.
+    """
+
+
+class UnknownSessionError(NetError):
+    """The worker does not know this session id (never opened, evicted,
+    or its worker was restarted).  A bare resend cannot succeed — the
+    session must be re-opened (and its frames replayed) first, which is
+    exactly what client-side reattach does."""
 
 
 def encode_array(values: np.ndarray) -> dict:
@@ -309,16 +342,26 @@ def check_binary_header(
         )
 
 
-def error_reply(request_id: Any, error: BaseException | str) -> dict:
-    """The standard error frame for a failed request."""
+def error_reply(request_id: Any, error: BaseException | str,
+                *, retryable: bool = False) -> dict:
+    """The standard error frame for a failed request.
+
+    ``retryable=True`` marks a *transient* failure (worker died or is
+    restarting): the frame was not applied, the client may retry or
+    reattach.  Non-retryable errors are semantic — retrying the same
+    request can only fail the same way.
+    """
     if isinstance(error, BaseException):
         kind, text = type(error).__name__, str(error)
     else:
         kind, text = "NetError", str(error)
-    return {
+    reply = {
         "id": request_id,
         "ok": False,
         "type": "error",
         "kind": kind,
         "error": text,
     }
+    if retryable:
+        reply["retryable"] = True
+    return reply

@@ -58,6 +58,7 @@ OP_PUSH = 2
 OP_PUSH_MANY = 3
 OP_RESET = 4
 OP_CLOSE = 5
+OP_EVICT = 6
 
 
 class RingError(ReproError):
@@ -185,6 +186,36 @@ class Ring:
         self._store(slot, 2 * head + 2)  # consumed marker (debuggability)
         self._store(self._head_off, head + 1)
 
+    def corrupt_last_published(self, seq: int = 0xDEADBEEF) -> None:
+        """FAULT INJECTION ONLY: scribble the seq word of the most
+        recently published entry, so the consumer's seqlock check trips.
+
+        This is how :mod:`repro.runtime.net.faults` simulates a torn
+        write / corrupted segment — the supervisor must detect it via
+        :class:`RingError` and replace the worker.  Never call this on a
+        healthy ring.
+        """
+        tail = self._load(self._tail_off)
+        if tail == 0:
+            return  # nothing ever published
+        slot = self._slots_off + ((tail - 1) % self.nslots) * self._stride
+        self._store(slot, seq)
+
+    def release(self) -> None:
+        """Release this ring's view of the segment (terminal).
+
+        The segment's mmap cannot unmap while any exported view is
+        alive; dropping the ring-held view here is what lets
+        :meth:`RingPair.close` actually close instead of leaking the
+        mapping to a noisy ``__del__``.  Entry payload slices are
+        independent exports — consumers copy them out (``bytes(...)``)
+        before retiring the slot, so none outlive their iteration.
+        """
+        try:
+            self._buf.release()
+        except (BufferError, ValueError):
+            pass  # sliced views still pending; GC will finish the job
+
 
 class RingPair:
     """Both rings of one worker, plus the kick flags, in one shm segment.
@@ -266,6 +297,8 @@ class RingPair:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
+        self.requests.release()
+        self.responses.release()
         try:
             self._shm.close()
         except Exception:  # repro: ignore[REP005] buffer may already be released during interpreter teardown

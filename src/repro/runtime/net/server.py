@@ -41,6 +41,7 @@ import asyncio
 import base64
 import hashlib
 import itertools
+import json
 import signal
 import struct
 import sys
@@ -48,10 +49,13 @@ import tempfile
 import threading
 import time
 import uuid
+from collections import deque
 from pathlib import Path
+from queue import Empty
 from typing import Any
 
 from repro.errors import ConfigError
+from repro.runtime.net.faults import coerce_faults
 from repro.runtime.net.protocol import (
     BIN_PREFIX,
     BIN_MAGIC,
@@ -77,6 +81,7 @@ from repro.runtime.net.protocol import (
 )
 from repro.runtime.net.ring import (
     OP_CLOSE,
+    OP_EVICT,
     OP_OPEN,
     OP_PUSH,
     OP_PUSH_MANY,
@@ -92,16 +97,13 @@ _MAX_SESSION_ID = 256
 
 #: Wire op name → worker ring op code.
 _WIRE_OPS = {"open": OP_OPEN, "push": OP_PUSH, "push_many": OP_PUSH_MANY,
-             "reset": OP_RESET, "close": OP_CLOSE}
+             "reset": OP_RESET, "close": OP_CLOSE, "evict": OP_EVICT}
+
+#: The parent-side fan-out ops (one reply aggregated from every worker).
+_FANOUT_OPS = frozenset({"stats", "sessions"})
 
 #: The ops whose replies occupy a worker response-ring slot.
 _PUSH_OPS = frozenset({"push", "push_many"})
-
-
-def _net_error(message: str) -> dict:
-    """An id-less error payload (the caller supplies the id)."""
-    return {"ok": False, "type": "error", "kind": "NetError",
-            "error": message}
 
 
 def route_session(session: str, workers: int) -> int:
@@ -220,6 +222,25 @@ class NetServer:
     ``inline_rows=False`` makes workers route every row through their
     micro-batch dispatcher even when only one session is busy — the
     seed scheduling behaviour, kept for the bench baseline.
+
+    Supervision (PR 8): the parent watches every worker (process
+    sentinel + heartbeat probes answered on the reply queue).  A worker
+    that dies — or stalls past ``heartbeat_timeout_s``, or corrupts a
+    response-ring slot — has its in-flight requests failed with
+    structured **retryable** error frames, and is respawned from the
+    compiled artifact on a fresh shared-memory segment with its
+    ``emit_seq`` holdback resynced.  ``restart_budget`` restarts per
+    ``restart_window_s`` (per worker) bound the crash-loop: past the
+    budget the worker degrades and its shard answers non-retryable
+    ``unavailable`` errors instead.  The blast radius is exactly the
+    dead worker's sessions; every other worker's streams never notice.
+    ``spawn_timeout_s`` caps both the initial spawn and each respawn.
+
+    Session lifecycle: ``session_ttl_s`` evicts sessions idle past the
+    TTL (periodic sweeps), ``session_cap`` bounds each worker's table
+    with LRU shedding on open.  ``faults`` arms deterministic fault
+    injection (see :mod:`repro.runtime.net.faults`) and ``fault_log``
+    appends every supervision event to a JSONL file.
     """
 
     def __init__(
@@ -239,6 +260,14 @@ class NetServer:
         ring_slots: int = 128,
         slot_bytes: int = 32768,
         inline_rows: bool = True,
+        spawn_timeout_s: float = 120.0,
+        restart_budget: int = 3,
+        restart_window_s: float = 60.0,
+        heartbeat_timeout_s: float | None = 10.0,
+        session_ttl_s: float | None = None,
+        session_cap: int | None = None,
+        faults: Any = None,
+        fault_log: str | Path | None = None,
     ):
         if compiled is None and artifact_path is None:
             raise ConfigError("NetServer needs a compiled model or artifact_path")
@@ -259,6 +288,31 @@ class NetServer:
             raise ConfigError(f"ring_slots must be >= 2, got {ring_slots}")
         if slot_bytes < 1024:
             raise ConfigError(f"slot_bytes must be >= 1024, got {slot_bytes}")
+        if spawn_timeout_s <= 0:
+            raise ConfigError(
+                f"spawn_timeout_s must be positive, got {spawn_timeout_s}"
+            )
+        if restart_budget < 0:
+            raise ConfigError(
+                f"restart_budget must be >= 0, got {restart_budget}"
+            )
+        if restart_window_s <= 0:
+            raise ConfigError(
+                f"restart_window_s must be positive, got {restart_window_s}"
+            )
+        if heartbeat_timeout_s is not None and heartbeat_timeout_s <= 0:
+            raise ConfigError(
+                "heartbeat_timeout_s must be positive or None, got "
+                f"{heartbeat_timeout_s}"
+            )
+        if session_ttl_s is not None and session_ttl_s <= 0:
+            raise ConfigError(
+                f"session_ttl_s must be positive or None, got {session_ttl_s}"
+            )
+        if session_cap is not None and session_cap < 1:
+            raise ConfigError(
+                f"session_cap must be >= 1 or None, got {session_cap}"
+            )
         if artifact_path is not None and compiled is None:
             from repro.runtime.model import CompiledModel
 
@@ -277,6 +331,32 @@ class NetServer:
         self.ring_slots = ring_slots
         self.slot_bytes = slot_bytes
         self.inline_rows = inline_rows
+        self.spawn_timeout_s = spawn_timeout_s
+        self.restart_budget = restart_budget
+        self.restart_window_s = restart_window_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.session_ttl_s = session_ttl_s
+        self.session_cap = session_cap
+        self.faults = coerce_faults(faults)
+        self._fault_log = Path(fault_log) if fault_log else None
+
+        # Supervision state.  The per-worker arrays live on the event
+        # loop thread once serving; generations invalidate stale pump
+        # callbacks after a restart.  _events is the supervision journal
+        # (also mirrored to fault_log as JSON lines when configured).
+        self._gen: list[int] = []
+        self._worker_state: list[str] = []  # up|down|restarting|degraded
+        self._restarts: list[int] = []
+        self._restart_times: list[deque] = []
+        self._started_at: list[float] = []
+        self._last_hb: list[float] = []
+        self._last_hb_sent = 0.0
+        self._last_sweep = 0.0
+        self._restart_threads: list[threading.Thread] = []
+        self._events: list[dict] = []  # guarded-by: _events_lock
+        self._events_lock = threading.Lock()
+        self._closing = False
+        self.retryable_errors_total = 0
 
         self._stop_serving = threading.Event()
         self._tmpdir: tempfile.TemporaryDirectory | None = None
@@ -288,8 +368,12 @@ class NetServer:
         # hang every *surviving* worker's replies.  Isolated queues bound
         # the blast radius to the dead worker's own (already lost) replies.
         self._reply_queues: list[Any] = []
-        self._rings: list[RingPair] = []  # empty under transport="pipe"
-        self._pumps: list[threading.Thread] = []
+        # Ring slots may hold None after a respawn falls back to pipes;
+        # the list stays empty under transport="pipe".
+        self._rings: list[RingPair | None] = []
+        # (worker index, generation, thread) — the generation lets
+        # shutdown skip pumps whose queue a dead worker may have poisoned.
+        self._pumps: list[tuple[int, int, threading.Thread]] = []
         self._loop: asyncio.AbstractEventLoop | None = None
         self._loop_thread: threading.Thread | None = None
         self._stop_async: asyncio.Event | None = None
@@ -309,7 +393,8 @@ class NetServer:
         # aggregate and corrupt the admission accounting.
         self._stats_prefix = f"stats:{uuid.uuid4().hex}:"
         self._stats_seq = itertools.count(1)
-        self._aggregates: dict[str, tuple[int, Any, list[dict]]] = {}
+        # token -> (op, conn_id, rid, parts) for stats/sessions fan-outs.
+        self._aggregates: dict[str, tuple[str, int, Any, list[dict]]] = {}
         self._stats_owed: dict[str, set[int]] = {}
         # Session-op dispatch: every in-flight request gets a compact
         # parent-side ticket (the worker echoes it; payload routing never
@@ -334,6 +419,33 @@ class NetServer:
     @property
     def port(self) -> int:
         return self._port
+
+    @property
+    def events(self) -> list[dict]:
+        """Snapshot of the supervision journal (restarts, faults, ...)."""
+        with self._events_lock:
+            return list(self._events)
+
+    def _log_event(self, event: str, worker: int | None = None,
+                   **detail: Any) -> None:
+        """Record one supervision event (any thread)."""
+        entry: dict[str, Any] = {"ts": round(time.time(), 3), "event": event}
+        if worker is not None:
+            entry["worker"] = worker
+        entry.update(detail)
+        with self._events_lock:
+            self._events.append(entry)
+        tail = " ".join(f"{k}={v}" for k, v in detail.items())
+        where = f" worker={worker}" if worker is not None else ""
+        print(f"repro.net: {event}{where}" + (f" {tail}" if tail else ""),
+              file=sys.stderr)
+        if self._fault_log is not None:
+            try:
+                with open(self._fault_log, "a", encoding="utf-8") as handle:
+                    handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            except OSError:
+                # Journaling must never take the data path down with it.
+                self._fault_log = None
 
     def __enter__(self) -> "NetServer":
         return self.start()
@@ -365,15 +477,15 @@ class NetServer:
                 self._shutdown_workers()
                 raise ConfigError("net server did not start within 30s")
             self._pumps = [
-                threading.Thread(
+                (index, 0, threading.Thread(
                     target=self._pump_replies,
-                    args=(index, queue),
+                    args=(index, 0, queue),
                     name=f"repro-net-pump-{index}",
                     daemon=True,
-                )
+                ))
                 for index, queue in enumerate(self._reply_queues)
             ]
-            for pump in self._pumps:
+            for _index, _gen, pump in self._pumps:
                 pump.start()
             self._state = "started"
             return self
@@ -390,6 +502,7 @@ class NetServer:
                 self._state = "closed"
                 return
             self._state = "closed"
+            self._closing = True  # restart threads abort their respawns
             loop, stop = self._loop, self._stop_async
             if loop is not None and stop is not None:
                 try:
@@ -398,6 +511,8 @@ class NetServer:
                     pass  # loop already dead
             if self._loop_thread is not None:
                 self._loop_thread.join(timeout=self.drain_timeout_s + 30)
+            for thread in self._restart_threads:
+                thread.join(timeout=15)
             self._shutdown_workers()
             if self._tmpdir is not None:
                 self._tmpdir.cleanup()
@@ -459,6 +574,13 @@ class NetServer:
         self._ring_results = [0] * self.workers
         self._emit_expected = [0] * self.workers
         self._emit_holdback = [dict() for _ in range(self.workers)]
+        now = time.monotonic()
+        self._gen = [0] * self.workers
+        self._worker_state = ["up"] * self.workers
+        self._restarts = [0] * self.workers
+        self._restart_times = [deque() for _ in range(self.workers)]
+        self._started_at = [now] * self.workers
+        self._last_hb = [now] * self.workers
 
         # "spawn" everywhere: the parent runs an event loop plus threads,
         # which fork() would duplicate into undefined territory.
@@ -488,6 +610,8 @@ class NetServer:
                     self.ring_slots,
                     self.slot_bytes,
                     self.inline_rows,
+                    self.session_cap,
+                    self.faults or None,
                 ),
                 name=f"repro-net-worker-{index}",
                 daemon=True,
@@ -496,20 +620,21 @@ class NetServer:
         ]
         for proc in self._procs:
             proc.start()
-        deadline = time.monotonic() + 120
+        deadline = time.monotonic() + self.spawn_timeout_s
         for index, proc in enumerate(self._procs):
             while True:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     self._shutdown_workers()
                     raise ConfigError(
-                        f"worker {index} not ready after 120s"
+                        f"worker {index} not ready after "
+                        f"{self.spawn_timeout_s:g}s (spawn_timeout_s)"
                     )
                 try:
                     message = self._reply_queues[index].get(
                         timeout=min(remaining, 1.0)
                     )
-                except Exception:
+                except (Empty, OSError, ValueError):
                     if not proc.is_alive() and proc.exitcode not in (0, None):
                         self._shutdown_workers()
                         raise ConfigError(
@@ -526,7 +651,11 @@ class NetServer:
         for q in self._worker_queues:
             try:
                 q.put(("shutdown",))
-            except Exception:  # repro: ignore[REP005] queue torn down by a dead worker; join/terminate below still reaps it
+            except (ValueError, OSError):
+                # The queue was closed, or its pipe broken by a dead
+                # worker; the join/terminate below still reaps the
+                # process (worker death is a supervised event, not a
+                # surprise).
                 pass
         for proc in self._procs:
             proc.join(timeout=15)
@@ -536,29 +665,42 @@ class NetServer:
         for index, queue in enumerate(self._reply_queues):
             try:
                 queue.put(None)  # stop that worker's pump
-            except Exception:  # repro: ignore[REP005] best-effort pump stop; unjoinable pumps stay daemon threads by design
+            except (ValueError, OSError):
+                # A dead worker may have broken the queue; its pump
+                # stays a daemon thread by design.
                 pass
-        for index, pump in enumerate(self._pumps):
-            # A worker that died uncleanly may have poisoned its reply
-            # queue's locks; its pump can stay blocked (daemon thread)
+        for index, gen, pump in self._pumps:
+            # Join only pumps of the CURRENT generation whose worker
+            # exited cleanly: a worker that died uncleanly (or an old
+            # generation's queue) may have poisoned its reply queue's
+            # locks, and that pump can stay blocked (daemon thread)
             # rather than stall close() waiting for a join that cannot
             # succeed.
             proc = self._procs[index] if index < len(self._procs) else None
-            if proc is None or proc.exitcode == 0:
+            current = index < len(self._gen) and gen == self._gen[index]
+            if current and (proc is None or proc.exitcode == 0):
                 pump.join(timeout=10)
         for rings in self._rings:
             # Workers have exited (or been terminated): the parent owns
-            # the segment's end of life.
-            rings.close()
-            rings.unlink()
+            # the segment's end of life.  Restarted-into-pipe slots hold
+            # None.
+            if rings is not None:
+                rings.close()
+                rings.unlink()
         self._rings = []
         self._pumps = []
         self._procs = []
         self._worker_queues = []
         self._reply_queues = []
 
-    def _pump_replies(self, index: int, replies: Any) -> None:
-        """Move one worker's replies onto the event loop (which owns conns)."""
+    def _pump_replies(self, index: int, gen: int, replies: Any) -> None:
+        """Move one worker's replies onto the event loop (which owns conns).
+
+        Each pump serves exactly one worker *generation*; after a
+        restart the event-loop handlers drop anything tagged with a
+        stale generation, so a late reply from a replaced worker can
+        never corrupt the new one's emission order.
+        """
         while True:
             message = replies.get()
             if message is None:
@@ -567,22 +709,24 @@ class NetServer:
             try:
                 if kind == "ring":
                     self._loop.call_soon_threadsafe(
-                        self._drain_responses, index
+                        self._drain_responses, index, gen
                     )
                 elif kind == "res":
                     _, key, emit_seq, payload = message
                     self._loop.call_soon_threadsafe(
-                        self._deliver_queued, index, key, emit_seq, payload
+                        self._deliver_queued, index, gen, key, emit_seq,
+                        payload,
+                    )
+                elif kind == "hb":
+                    self._loop.call_soon_threadsafe(
+                        self._note_heartbeat, index, gen
+                    )
+                elif kind == "fatal":
+                    self._loop.call_soon_threadsafe(
+                        self._on_worker_fatal, index, gen, message[2]
                     )
             except RuntimeError:
                 return  # loop closed mid-drain; workers are next
-            # "ready" duplicates and "fatal" after startup are
-            # informational — _dispatch checks process liveness before
-            # dispatching, so a dead worker surfaces as an error reply on
-            # the next request routed to it.  (Requests already queued to
-            # a worker when it dies are reaped; the drain loop caps the
-            # wait at drain_timeout_s.  Supervision/restart is ROADMAP
-            # work.)
 
     # ------------------------------------------------------------------
     # Event-loop side.
@@ -620,8 +764,9 @@ class NetServer:
         deadline = time.monotonic() + self.drain_timeout_s
         while self._inflight > 0 and time.monotonic() < deadline:
             # Requests owed by a dead worker can never drain; fail them
-            # now rather than waiting out the whole timeout.
-            self._reap_dead_workers()
+            # now rather than waiting out the whole timeout.  (No
+            # respawns during drain — _on_worker_down checks _draining.)
+            self._supervise_tick()
             await asyncio.sleep(0.005)
         readers = list(self._tasks)
         for task in readers:
@@ -637,12 +782,16 @@ class NetServer:
                 remaining = deadline - time.monotonic()
                 if remaining > 0:
                     await asyncio.wait_for(conn.writer.drain(), remaining)
-            except Exception:  # repro: ignore[REP005] drain is best-effort: a slow/dead client forfeits its tail by contract
+            except (OSError, asyncio.TimeoutError):
+                # Drain is best-effort: a slow or dead client forfeits
+                # its reply tail by contract.
                 pass
             try:
                 conn.writer.close()
                 await asyncio.wait_for(conn.writer.wait_closed(), 1.0)
-            except Exception:  # repro: ignore[REP005] socket already reset by the peer; loop teardown follows either way
+            except (OSError, asyncio.TimeoutError):
+                # Socket already reset by the peer; loop teardown
+                # follows either way.
                 pass
         self._conns.clear()
 
@@ -775,29 +924,54 @@ class NetServer:
             ))
             return
         op = message.get("op")
+        if not isinstance(op, str):
+            # A non-string op must fail as "unknown", not crash the
+            # frozenset membership tests below with an unhashable type.
+            self._write(conn, error_reply(
+                rid, f"op must be a string naming one of {', '.join(OPS)}"
+            ))
+            return
         if op == "ping":
             self._write(conn, {"id": rid, "ok": True, "type": "pong"})
+            return
+        if op == "health":
+            # Parent-only: no worker round trip, so it answers even while
+            # every worker is down, restarting, or the server is draining.
+            self._write(conn, {"id": rid, "ok": True, "type": "health",
+                               **self._health_snapshot()})
             return
         if self._draining:
             self._write(conn, error_reply(
                 rid, "server is draining for shutdown; no new work accepted"
             ))
             return
-        if op == "stats":
-            dead = self._dead_workers()
-            if dead:
-                self._write(conn, error_reply(
-                    rid, f"worker process(es) {dead} died; stats cannot "
-                    "aggregate every worker"
-                ))
-                return
+        if op in _FANOUT_OPS:
             if not self._admit(conn, rid):
                 return
             token = self._stats_prefix + str(next(self._stats_seq))
-            self._aggregates[token] = (conn.id, rid, [])
-            self._stats_owed[token] = set(range(self.workers))
-            for q in self._worker_queues:
-                q.put(("stats", token))
+            parts: list[dict] = []
+            owed: set[int] = set()
+            for index in range(self.workers):
+                if self._worker_state[index] == "up":
+                    owed.add(index)
+                else:
+                    # A worker that cannot answer contributes a synthetic
+                    # part instead of wedging the whole aggregate.
+                    parts.append({
+                        "worker": index, "ok": False,
+                        "error": f"worker {index} is "
+                                 f"{self._worker_state[index]}",
+                    })
+            self._aggregates[token] = (op, conn.id, rid, parts)
+            self._stats_owed[token] = owed
+            for index in sorted(owed):
+                try:
+                    self._worker_queues[index].put((op, token))
+                except (ValueError, OSError):
+                    # Broken queue: the supervisor is about to declare the
+                    # worker down, and _fill_owed substitutes its part.
+                    pass
+            self._maybe_finish_aggregate(token)  # all-degraded fleet
             return
         if op in SESSION_OPS:
             session = message.get("session")
@@ -863,11 +1037,30 @@ class NetServer:
             ))
             return
         worker = route_session(session, self.workers)
-        if not self._procs[worker].is_alive():
-            self._write(conn, error_reply(
-                rid, f"worker process {worker} died; session "
-                f"{session!r} and its carried state are lost"
-            ))
+        state = self._worker_state[worker]
+        if state == "up" and not self._procs[worker].is_alive():
+            # The next supervisor tick would notice anyway; noticing now
+            # turns a doomed dispatch into the same retryable error every
+            # in-flight request gets.
+            self._on_worker_down(
+                worker,
+                f"process died (exitcode {self._procs[worker].exitcode})",
+            )
+            state = self._worker_state[worker]
+        if state == "degraded":
+            self._write(conn, error_reply(rid, (
+                f"worker {worker} exceeded its restart budget "
+                f"({self.restart_budget} per {self.restart_window_s:g}s) "
+                f"and is degraded; session {session!r} is unavailable"
+            )))
+            return
+        if state != "up":
+            self.retryable_errors_total += 1
+            self._write(conn, error_reply(rid, (
+                f"worker process {worker} died and is being restarted; "
+                f"session {session!r} and its carried state are lost — "
+                "reopen and replay to recover"
+            ), retryable=True))
             return
         if (conn.id, rid) in self._by_rid:
             # Reply matching is by id: a duplicate in-flight id would
@@ -936,64 +1129,366 @@ class NetServer:
         self._inflight += 1
         return True
 
-    def _dead_workers(self) -> list[int]:
-        return [
-            index for index, proc in enumerate(self._procs)
-            if not proc.is_alive()
-        ]
-
     async def _reap_loop(self) -> None:
-        """Periodically fail requests owed by workers that died."""
+        """The supervisor's clock: liveness, heartbeats, TTL sweeps."""
         try:
             while True:
-                await asyncio.sleep(0.5)
-                self._reap_dead_workers()
+                await asyncio.sleep(0.2)
+                self._supervise_tick()
         except asyncio.CancelledError:
             pass
 
-    def _reap_dead_workers(self) -> None:
-        """Resolve dispatched requests whose worker can no longer reply.
-
-        Without this, a worker crash after dispatch would leak the
-        connection's admission slot and ``_inflight`` forever — busy
-        frames for the rest of the connection's life and a full
-        ``drain_timeout_s`` stall on every close.
-        """
-        dead = set(self._dead_workers())
-        if not dead:
+    # ------------------------------------------------------------------
+    # Supervision (event-loop thread unless noted).
+    # ------------------------------------------------------------------
+    def _supervise_tick(self) -> None:
+        """One supervisor pass: detect dead/stalled workers, probe, sweep."""
+        now = time.monotonic()
+        for index in range(self.workers):
+            if (index >= len(self._worker_state)
+                    or self._worker_state[index] != "up"):
+                continue
+            proc = self._procs[index] if index < len(self._procs) else None
+            if proc is None or not proc.is_alive():
+                exitcode = proc.exitcode if proc is not None else None
+                self._on_worker_down(
+                    index, f"process died (exitcode {exitcode})"
+                )
+                continue
+            timeout = self.heartbeat_timeout_s
+            age = now - self._last_hb[index]
+            if timeout and age > timeout:
+                # Alive but unresponsive (stalled consumer, wedged
+                # compute): from a client's perspective that IS death,
+                # so make it one and let the restart path recover.
+                self._log_event("heartbeat_timeout", worker=index,
+                                age_s=round(age, 3))
+                proc.kill()
+                self._on_worker_down(
+                    index, f"heartbeat unanswered for {age:.1f}s"
+                )
+        if self._draining or self._closing:
             return
-        for token, owed in list(self._stats_owed.items()):
-            if not (owed & dead):
+        timeout = self.heartbeat_timeout_s
+        if timeout and now - self._last_hb_sent >= max(0.2, timeout / 5):
+            self._last_hb_sent = now
+            self._probe_workers(("hb", now))
+        ttl = self.session_ttl_s
+        if ttl and now - self._last_sweep >= max(0.2, min(1.0, ttl / 4)):
+            self._last_sweep = now
+            self._probe_workers(("sweep", ttl))
+
+    def _probe_workers(self, message: tuple) -> None:
+        for index in range(self.workers):
+            if self._worker_state[index] != "up":
                 continue
-            self._stats_owed.pop(token, None)
-            aggregate = self._aggregates.pop(token, None)
-            if aggregate is None:
-                continue
-            conn_id, rid, _parts = aggregate
-            self._finish(conn_id, rid, _net_error(
-                f"worker process(es) {sorted(owed & dead)} died during "
-                "stats aggregation"
-            ))
+            try:
+                self._worker_queues[index].put(message)
+            except (ValueError, OSError):
+                pass  # queue broken: the liveness check is about to see it
+
+    def _note_heartbeat(self, index: int, gen: int) -> None:
+        if index < len(self._gen) and gen == self._gen[index]:
+            self._last_hb[index] = time.monotonic()
+
+    def _on_worker_fatal(self, index: int, gen: int, message: str) -> None:
+        """The worker announced its own death (unhandled consumer error)."""
+        if index >= len(self._gen) or gen != self._gen[index]:
+            return
+        self._log_event("worker_fatal", worker=index, message=message)
+        proc = self._procs[index]
+        if proc.is_alive():
+            proc.terminate()
+        self._on_worker_down(index, f"worker reported fatal: {message}")
+
+    def _on_worker_down(self, index: int, reason: str) -> None:
+        """One worker is gone: fail its in-flight work, plan its return.
+
+        The blast radius is exactly this worker's sessions — every
+        in-flight request routed to it gets a structured *retryable*
+        error frame, its emission-order state is voided, and (budget
+        permitting) a fresh process is spawned from the same artifact.
+        Other workers' streams never notice.
+        """
+        if self._worker_state[index] != "up":
+            return  # already being handled
+        self._worker_state[index] = "down"
+        self._gen[index] += 1  # invalidates the dead generation's pump
+        self._log_event("worker_down", worker=index, reason=reason,
+                        restarts=self._restarts[index])
+        # Fail in-flight requests BEFORE resetting ring accounting:
+        # _settle decrements _ring_results per push op.
+        self._fail_worker_inflight(index, reason)
+        self._fill_owed(index)
+        self._emit_holdback[index].clear()
+        self._emit_expected[index] = 0
+        self._ring_results[index] = 0
+        if self._rings:
+            old = self._rings[index]
+            if old is not None:
+                old.close()
+                old.unlink()
+                self._rings[index] = None
+        try:
+            # Wake the dead generation's pump so it exits (best-effort:
+            # a poisoned queue leaves it a blocked daemon thread).
+            self._reply_queues[index].put(None)
+        except (ValueError, OSError):
+            pass
+        self._schedule_restart(index)
+
+    def _fail_worker_inflight(self, index: int, reason: str) -> None:
         for ticket, info in list(self._inflight_reqs.items()):
-            if info[2] not in dead:
+            if info[2] != index:
                 continue
             self._inflight_reqs.pop(ticket, None)
             conn = self._settle(info)
+            self.retryable_errors_total += 1
             if conn is not None:
-                self._write(conn, {"id": info[1], **_net_error(
-                    f"worker process {info[2]} died with the request in "
-                    "flight; its sessions' carried state is lost"
-                )})
-        # A dead worker emits nothing further: whatever its holdback
-        # gap was waiting on will never arrive, and every late reply
-        # maps to an already-reaped ticket.  Drop the buffer.
-        for index in dead:
-            if index < len(self._emit_holdback):
-                self._emit_holdback[index].clear()
+                self._write(conn, error_reply(info[1], (
+                    f"worker process {index} died with the request in "
+                    f"flight ({reason}); its sessions' carried state is "
+                    "lost — reopen and replay to recover"
+                ), retryable=True))
+
+    def _fill_owed(self, index: int) -> None:
+        """Substitute a synthetic part for a dead worker's owed fan-outs."""
+        for token, owed in list(self._stats_owed.items()):
+            if index not in owed:
+                continue
+            owed.discard(index)
+            aggregate = self._aggregates.get(token)
+            if aggregate is not None:
+                aggregate[3].append({
+                    "worker": index, "ok": False,
+                    "error": f"worker {index} died during aggregation",
+                })
+            self._maybe_finish_aggregate(token)
+
+    def _schedule_restart(self, index: int) -> None:
+        """Budget check, then respawn on a thread (never the event loop)."""
+        if self._draining or self._closing:
+            return  # shutting down; _shutdown_workers owns the rest
+        times = self._restart_times[index]
+        now = time.monotonic()
+        while times and now - times[0] > self.restart_window_s:
+            times.popleft()
+        if len(times) >= self.restart_budget:
+            self._worker_state[index] = "degraded"
+            self._log_event(
+                "worker_degraded", worker=index,
+                restarts_in_window=len(times),
+                window_s=self.restart_window_s,
+            )
+            return
+        times.append(now)
+        self._restarts[index] += 1
+        self._worker_state[index] = "restarting"
+        gen = self._gen[index]
+        thread = threading.Thread(
+            target=self._restart_worker,
+            args=(index, gen),
+            name=f"repro-net-restart-{index}g{gen}",
+            daemon=True,
+        )
+        self._restart_threads.append(thread)
+        thread.start()
+
+    def _restart_worker(self, index: int, gen: int) -> None:
+        """Respawn one worker from the artifact (restart thread).
+
+        The spawn and ready-wait take whole seconds (interpreter +
+        numpy + artifact load), far too long for the event loop; only
+        the final installation hop is marshalled back onto it.  Faults
+        arm the initial generation only — respawns come up clean.
+        """
+        import multiprocessing as mp
+
+        from repro.runtime.net.worker import worker_main
+
+        began = time.monotonic()
+        rings = None
+        proc = None
+        requests = replies = None
+        try:
+            if self.transport == "shm" and self._rings:
+                try:
+                    rings = RingPair.create(self.ring_slots, self.slot_bytes)
+                except (OSError, ValueError, RingError) as error:
+                    print(
+                        f"repro.net: worker {index} respawn: shared memory "
+                        f"unavailable ({error}); using the pipe path",
+                        file=sys.stderr,
+                    )
+                    rings = None
+            ctx = mp.get_context("spawn")
+            requests, replies = ctx.Queue(), ctx.Queue()
+            requests.cancel_join_thread()
+            replies.cancel_join_thread()
+            proc = ctx.Process(
+                target=worker_main,
+                args=(
+                    index, str(self._artifact_path), requests, replies,
+                    self.max_batch, self.max_delay_s,
+                    rings.name if rings is not None else None,
+                    self.ring_slots, self.slot_bytes, self.inline_rows,
+                    self.session_cap, None,
+                ),
+                name=f"repro-net-worker-{index}g{gen}",
+                daemon=True,
+            )
+            proc.start()
+            deadline = time.monotonic() + self.spawn_timeout_s
+            ready = False
+            while time.monotonic() < deadline and not self._closing:
+                try:
+                    message = replies.get(timeout=0.2)
+                except (Empty, OSError, ValueError):
+                    if not proc.is_alive() and proc.exitcode not in (0, None):
+                        raise ConfigError(
+                            f"worker {index} died during respawn"
+                        ) from None
+                    continue
+                if message[0] == "ready":
+                    ready = True
+                    break
+                if message[0] == "fatal":
+                    raise ConfigError(message[2])
+            if self._closing:
+                raise ConfigError("server is closing")
+            if not ready:
+                raise ConfigError(
+                    f"worker {index} respawn not ready after "
+                    f"{self.spawn_timeout_s:g}s (spawn_timeout_s)"
+                )
+            box = {"installed": False}
+            done = threading.Event()
+
+            def install() -> None:
+                try:
+                    box["installed"] = self._install_worker(
+                        index, gen, proc, requests, replies, rings, began
+                    )
+                finally:
+                    done.set()
+
+            self._loop.call_soon_threadsafe(install)
+            if not done.wait(timeout=15) or not box["installed"]:
+                raise ConfigError(
+                    f"worker {index} respawn could not be installed"
+                )
+        except (ConfigError, OSError, ValueError, RuntimeError) as error:
+            if proc is not None and proc.is_alive():
+                proc.terminate()
+            if rings is not None:
+                rings.close()
+                rings.unlink()
+            try:
+                self._loop.call_soon_threadsafe(
+                    self._on_restart_failed, index, gen, str(error)
+                )
+            except RuntimeError:
+                pass  # loop gone; close() owns the cleanup from here
+
+    def _install_worker(self, index: int, gen: int, proc: Any,
+                        requests: Any, replies: Any, rings: Any,
+                        began: float) -> bool:
+        """Adopt a respawned worker (event loop).  False rejects it."""
+        if (
+            self._closing
+            or self._draining
+            or index >= len(self._gen)
+            or gen != self._gen[index]
+            or self._worker_state[index] != "restarting"
+        ):
+            return False
+        self._procs[index] = proc
+        self._worker_queues[index] = requests
+        self._reply_queues[index] = replies
+        if self._rings:
+            self._rings[index] = rings
+        now = time.monotonic()
+        self._worker_state[index] = "up"
+        self._started_at[index] = now
+        self._last_hb[index] = now
+        self._emit_expected[index] = 0
+        self._emit_holdback[index].clear()
+        self._ring_results[index] = 0
+        pump = threading.Thread(
+            target=self._pump_replies,
+            args=(index, gen, replies),
+            name=f"repro-net-pump-{index}g{gen}",
+            daemon=True,
+        )
+        self._pumps.append((index, gen, pump))
+        pump.start()
+        self._log_event(
+            "worker_restarted", worker=index, generation=gen,
+            took_ms=round((now - began) * 1000, 1),
+        )
+        return True
+
+    def _on_restart_failed(self, index: int, gen: int, reason: str) -> None:
+        """A respawn attempt died; the budget decides retry vs degrade."""
+        if (
+            index >= len(self._gen)
+            or gen != self._gen[index]
+            or self._worker_state[index] != "restarting"
+        ):
+            return
+        self._log_event("worker_restart_failed", worker=index, reason=reason)
+        self._worker_state[index] = "down"
+        self._schedule_restart(index)
+
+    def _worker_health(self, index: int) -> dict:
+        now = time.monotonic()
+        state = self._worker_state[index]
+        return {
+            "state": state,
+            "restarts": self._restarts[index],
+            "uptime_s": (
+                round(now - self._started_at[index], 3)
+                if state == "up" else 0.0
+            ),
+        }
+
+    def _supervisor_summary(self) -> dict:
+        return {
+            "restarts_total": sum(self._restarts),
+            "retryable_errors_total": self.retryable_errors_total,
+            "degraded": [
+                index for index, state in enumerate(self._worker_state)
+                if state == "degraded"
+            ],
+        }
+
+    def _health_snapshot(self) -> dict:
+        """The parent-only ``health`` reply: no worker round trip, so it
+        answers even while every worker is down or restarting."""
+        now = time.monotonic()
+        entries = []
+        for index in range(self.workers):
+            proc = self._procs[index] if index < len(self._procs) else None
+            entries.append({
+                "worker": index,
+                "state": self._worker_state[index],
+                "alive": bool(proc is not None and proc.is_alive()),
+                "generation": self._gen[index],
+                "restarts": self._restarts[index],
+                "uptime_s": round(now - self._started_at[index], 3),
+                "heartbeat_age_s": round(now - self._last_hb[index], 3),
+            })
+        return {
+            "workers": entries,
+            "draining": self._draining,
+            **self._supervisor_summary(),
+        }
 
     # -- worker reply paths (event-loop thread) ------------------------
-    def _drain_responses(self, worker: int) -> None:
+    def _drain_responses(self, worker: int, gen: int) -> None:
         """A response-ring doorbell fired: clear the kick, drain the ring."""
+        if worker >= len(self._gen) or gen != self._gen[worker]:
+            return  # a replaced generation's doorbell; its ring is gone
         rings = self._rings[worker] if worker < len(self._rings) else None
         if rings is None:
             return
@@ -1003,10 +1498,19 @@ class NetServer:
             try:
                 entry = ring.peek()
             except RingError as error:
-                # A torn slot means the worker died mid-publish (or the
-                # segment is corrupt); stop trusting this ring — the
-                # reaper fails the affected requests.
-                print(f"repro.net: worker {worker}: {error}", file=sys.stderr)
+                # A torn slot means the worker died mid-publish or the
+                # segment is corrupt; either way nothing it publishes can
+                # be trusted again — replace the worker.  Drop the prior
+                # iteration's entry first: its payload view would keep
+                # the doomed segment mapped through the close below.
+                entry = None  # noqa: F841
+                proc = self._procs[worker]
+                if proc.is_alive():
+                    proc.kill()
+                self._on_worker_down(
+                    worker,
+                    f"response ring failed its seqlock check: {error}",
+                )
                 return
             if entry is None:
                 return
@@ -1015,11 +1519,13 @@ class NetServer:
             ring.advance()
             self._deliver_ordered(worker, entry.emit_seq, item)
 
-    def _deliver_queued(self, worker: int, key: Any, emit_seq: Any,
-                        payload: dict) -> None:
-        """A queue reply arrived (stats token or ticketed dict)."""
+    def _deliver_queued(self, worker: int, gen: int, key: Any,
+                        emit_seq: Any, payload: dict) -> None:
+        """A queue reply arrived (fan-out token or ticketed dict)."""
+        if worker >= len(self._gen) or gen != self._gen[worker]:
+            return  # late reply from a replaced worker; already failed
         if isinstance(key, str):
-            self._deliver_stats(key, payload)
+            self._deliver_fanout_part(key, payload)
             return
         if emit_seq is None:
             self._deliver_item(("dict", key, payload))
@@ -1085,28 +1591,51 @@ class NetServer:
             },
         })
 
-    def _deliver_stats(self, token: str, payload: dict) -> None:
+    def _deliver_fanout_part(self, token: str, payload: dict) -> None:
+        """One worker's contribution to a stats/sessions aggregate."""
         aggregate = self._aggregates.get(token)
         if aggregate is None:
-            return  # already failed by the reaper
-        conn_id, rid, parts = aggregate
+            return  # already answered (synthetic fill or failure)
         owed = self._stats_owed.get(token)
         if owed is not None:
             owed.discard(payload.get("worker"))
-        parts.append(payload)
-        if len(parts) < self.workers:
+        aggregate[3].append(payload)
+        self._maybe_finish_aggregate(token)
+
+    def _maybe_finish_aggregate(self, token: str) -> None:
+        """Answer a fan-out once no worker owes it a part."""
+        owed = self._stats_owed.get(token)
+        if owed is None or owed:
             return
-        del self._aggregates[token]
-        self._stats_owed.pop(token, None)
+        del self._stats_owed[token]
+        aggregate = self._aggregates.pop(token, None)
+        if aggregate is None:
+            return
+        kind, conn_id, rid, parts = aggregate
         parts.sort(key=lambda part: part.get("worker", 0))
-        self._finish(conn_id, rid,
-                     {"ok": True, "type": "stats", "workers": parts})
+        if kind == "sessions":
+            sessions: list[dict] = []
+            for part in parts:
+                sessions.extend(part.get("sessions", ()))
+            self._finish(conn_id, rid, {
+                "ok": True, "type": "sessions",
+                "sessions": sessions, "workers": parts,
+            })
+            return
+        self._finish(conn_id, rid, {
+            "ok": True, "type": "stats", "workers": parts,
+            "supervisor": self._supervisor_summary(),
+        })
 
     def _settle(self, info: tuple) -> _Conn | None:
         """Release one ticketed request's accounting; None if conn gone."""
         conn_id, rid, worker, _binary, _merge, op = info
         self._by_rid.pop((conn_id, rid), None)
-        if self._rings and op in _PUSH_OPS and worker < len(self._ring_results):
+        if (
+            op in _PUSH_OPS
+            and worker < len(self._rings)
+            and self._rings[worker] is not None
+        ):
             self._ring_results[worker] -= 1
         self._inflight -= 1
         conn = self._conns.get(conn_id)

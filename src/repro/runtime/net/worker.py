@@ -36,6 +36,9 @@ Parent → worker messages (tuples on the request queue)::
     ("payload", bytes)                              # oversized ring entry's payload
     ("req", ticket, op, session, payload, shape)    # pipe-transport request
     ("stats", token)
+    ("sessions", token)                             # list live sessions
+    ("sweep", ttl_s)                                # evict sessions idle >= ttl
+    ("hb", token)                                   # heartbeat probe
     ("shutdown",)
 
 Worker → parent messages (on this worker's own reply queue — never
@@ -45,13 +48,21 @@ queue locks)::
     ("ready", index)                    # artifact loaded, serving
     ("ring",)                           # drain the response ring
     ("res", key, emit_seq, reply)       # reply dict; key = ticket or stats token
+    ("hb", index, token)                # heartbeat echo
     ("fatal", index, message)           # the worker is dead
+
+Session lifecycle (PR 8): every session records ``last_used``; the
+parent's periodic ``sweep`` evicts sessions idle at least the server's
+``session_ttl_s``, and a ``session_cap`` bounds the table — a new open
+at the cap sheds the least-recently-used idle session (LRU), or fails
+if every session is busy.  Eviction counters ride the ``stats`` reply.
 """
 
 from __future__ import annotations
 
 import signal
 import threading
+import time
 from collections import deque
 from concurrent.futures import Future
 from typing import Any
@@ -60,9 +71,11 @@ import numpy as np
 
 from repro.errors import ReproError
 from repro.runtime.coerce import coerce_frame, coerce_stream
-from repro.runtime.net.protocol import MAX_PUSH_MANY_FRAMES
+from repro.runtime.net.faults import FaultInjector
+from repro.runtime.net.protocol import MAX_PUSH_MANY_FRAMES, UnknownSessionError
 from repro.runtime.net.ring import (
     OP_CLOSE,
+    OP_EVICT,
     OP_OPEN,
     OP_PUSH,
     OP_PUSH_MANY,
@@ -73,7 +86,7 @@ from repro.runtime.net.ring import (
 __all__ = ["worker_main"]
 
 _OP_NAMES = {OP_OPEN: "open", OP_PUSH: "push", OP_PUSH_MANY: "push_many",
-             OP_RESET: "reset", OP_CLOSE: "close"}
+             OP_RESET: "reset", OP_CLOSE: "close", OP_EVICT: "evict"}
 
 
 def _error(error: BaseException) -> dict:
@@ -88,7 +101,7 @@ def _error(error: BaseException) -> dict:
 class _WireSession:
     """One named stream's worker-side state: strictly ordered op queue."""
 
-    __slots__ = ("name", "state", "frames", "ops", "busy")
+    __slots__ = ("name", "state", "frames", "ops", "busy", "last_used")
 
     def __init__(self, name: str, state: Any):
         self.name = name
@@ -96,6 +109,7 @@ class _WireSession:
         self.frames = 0
         self.ops: deque[_Op] = deque()
         self.busy = False  # an op's rows are in the micro-batch server
+        self.last_used = time.monotonic()  # refreshed on every accepted op
 
 
 class _Op:
@@ -126,12 +140,15 @@ class _Scheduler:
 
     def __init__(self, index: int, compiled: Any, server: Any,
                  rings: RingPair | None, replies: Any, *,
-                 inline: bool = True):
+                 inline: bool = True, session_cap: int | None = None,
+                 faults: FaultInjector | None = None):
         self._index = index
         self._server = server
         self._rings = rings
         self._replies = replies
         self._inline = inline
+        self._session_cap = session_cap
+        self._faults = faults if faults else None
         self._input_size = compiled.input_size
         self.meta = {
             "backend": compiled.backend,
@@ -148,11 +165,29 @@ class _Scheduler:
         self._sessions: dict[str, _WireSession] = {}
         self._busy_count = 0  # sessions with rows in (or bound for) the server
         self._emit_seq = 0
+        self._evicted = {"idle": 0, "lru": 0, "admin": 0}
 
     # ------------------------------------------------------------------
     @property
     def session_count(self) -> int:
         return len(self._sessions)
+
+    def lifecycle_stats(self) -> dict:
+        """Session-table counters for the ``stats`` reply."""
+        return {
+            "sessions": len(self._sessions),
+            "evicted_idle": self._evicted["idle"],
+            "evicted_lru": self._evicted["lru"],
+            "evicted_admin": self._evicted["admin"],
+        }
+
+    def list_sessions(self, token: str) -> None:
+        """Schedule a session-table snapshot reply (any thread)."""
+        self._schedule(("sessions", token))
+
+    def sweep(self, ttl_s: float) -> None:
+        """Schedule an idle-TTL eviction pass (any thread)."""
+        self._schedule(("sweep", ttl_s))
 
     def schedule_op(self, ticket: int, op: int, session: str,
                     payload: bytes | None, shape: tuple[int, ...]) -> None:
@@ -186,14 +221,28 @@ class _Scheduler:
                 item = self._work.popleft()
             if item[0] == "op":
                 self._accept(*item[1:])
-            else:  # ("done", sess, op_item, future)
+            elif item[0] == "done":
                 self._complete(*item[1:])
+            elif item[0] == "sweep":
+                self._evict_idle(item[1])
+            else:  # ("sessions", token)
+                self._emit_sessions(item[1])
 
     # ------------------------------------------------------------------
     def _accept(self, ticket: int, op: int, session: str,
                 payload: bytes | None, shape: tuple[int, ...]) -> None:
         sess = self._sessions.get(session)
         if op == OP_OPEN and sess is None:
+            if (
+                self._session_cap is not None
+                and len(self._sessions) >= self._session_cap
+                and not self._shed_lru()
+            ):
+                self._emit(ticket, _error(ReproError(
+                    f"worker session table is full "
+                    f"(cap {self._session_cap}) and every session is busy"
+                )))
+                return
             try:
                 self._server.register_session()
                 sess = _WireSession(session, self._server.initial_state())
@@ -206,11 +255,17 @@ class _Scheduler:
                 "existing": False, "seq": 0, **self.meta,
             })
             return
+        if op == OP_EVICT and sess is None:
+            # Evicting a session that does not exist is the goal state.
+            self._emit(ticket, {"ok": True, "type": "evict",
+                                "session": session, "evicted": False})
+            return
         if sess is None:
-            self._emit(ticket, _error(ReproError(
+            self._emit(ticket, _error(UnknownSessionError(
                 f"unknown session {session!r}; send an open request first"
             )))
             return
+        sess.last_used = time.monotonic()
         rows = None
         if op in (OP_PUSH, OP_PUSH_MANY):
             try:
@@ -255,7 +310,7 @@ class _Scheduler:
                 sess.state = self._server.initial_state()
                 sess.frames = 0
                 self._emit(op_item.ticket, {"ok": True, "type": "reset"})
-            elif op_item.op == OP_CLOSE:
+            elif op_item.op in (OP_CLOSE, OP_EVICT):
                 del self._sessions[sess.name]
                 self._server.release_session(sess)
                 for stale in sess.ops:
@@ -264,7 +319,14 @@ class _Scheduler:
                         "request still queued behind the close"
                     )))
                 sess.ops.clear()
-                self._emit(op_item.ticket, {"ok": True, "type": "close"})
+                if op_item.op == OP_EVICT:
+                    self._evicted["admin"] += 1
+                    self._emit(op_item.ticket, {
+                        "ok": True, "type": "evict", "session": sess.name,
+                        "evicted": True,
+                    })
+                else:
+                    self._emit(op_item.ticket, {"ok": True, "type": "close"})
                 return
             else:
                 sess.busy = True
@@ -314,6 +376,7 @@ class _Scheduler:
             return
         sess.state = state
         sess.frames += 1
+        sess.last_used = time.monotonic()
         op_item.collected.append(logits)
         op_item.cursor += 1
         if op_item.cursor < len(op_item.rows):
@@ -323,6 +386,51 @@ class _Scheduler:
         self._busy_count -= 1
         self._emit_result(sess, op_item)
         self._pump_session(sess)
+
+    # -- session lifecycle (pump-only) ---------------------------------
+    def _evictable(self) -> list[_WireSession]:
+        """Sessions safe to drop right now: not computing, nothing queued."""
+        return [
+            sess for sess in self._sessions.values()
+            if not sess.busy and not sess.ops
+        ]
+
+    def _evict_one(self, sess: _WireSession, reason: str) -> None:
+        del self._sessions[sess.name]
+        self._server.release_session(sess)
+        self._evicted[reason] += 1
+
+    def _evict_idle(self, ttl_s: float) -> None:
+        """A parent sweep: drop every idle session past its TTL."""
+        cutoff = time.monotonic() - ttl_s
+        for sess in self._evictable():
+            if sess.last_used <= cutoff:
+                self._evict_one(sess, "idle")
+
+    def _shed_lru(self) -> bool:
+        """Drop the least-recently-used idle session to admit a new one."""
+        candidates = self._evictable()
+        if not candidates:
+            return False
+        self._evict_one(min(candidates, key=lambda s: s.last_used), "lru")
+        return True
+
+    def _emit_sessions(self, token: str) -> None:
+        """Session-table snapshot, straight onto the reply queue."""
+        now = time.monotonic()
+        self._replies.put(("res", token, None, {
+            "ok": True, "type": "sessions", "worker": self._index,
+            "sessions": [
+                {
+                    "session": sess.name,
+                    "worker": self._index,
+                    "seq": sess.frames,
+                    "idle_s": round(max(0.0, now - sess.last_used), 3),
+                    "busy": sess.busy or bool(sess.ops),
+                }
+                for sess in self._sessions.values()
+            ],
+        }))
 
     # ------------------------------------------------------------------
     def _next_emit(self) -> int:
@@ -347,6 +455,13 @@ class _Scheduler:
                 op_item.collected[0], dtype=np.float64
             )
         payload = values.astype("<f8", copy=False).tobytes()
+        action = self._faults.on_publish() if self._faults else None
+        if action == "drop":
+            # A lost reply: no emit_seq is consumed (the op "never
+            # replied"), so only this one request hangs parent-side and
+            # the client's timeout + reattach is the recovery path.
+            self._settle_one()
+            return
         emit_seq = self._next_emit()
         rings = self._rings
         if (
@@ -357,6 +472,10 @@ class _Scheduler:
                 seq_no=sess.frames, emit_seq=emit_seq,
             )
         ):
+            if action == "corrupt":
+                # Published, then torn: the parent's seqlock check must
+                # refuse the slot and the supervisor replace this worker.
+                rings.responses.corrupt_last_published()
             if rings.ring_kick(responses=True):
                 self._replies.put(("ring",))
         else:
@@ -377,12 +496,14 @@ class _Consumer:
     """The worker's request loop: queue messages + request-ring drains."""
 
     def __init__(self, scheduler: _Scheduler, rings: RingPair | None,
-                 requests: Any, replies: Any, server: Any):
+                 requests: Any, replies: Any, server: Any,
+                 faults: FaultInjector | None = None):
         self._scheduler = scheduler
         self._rings = rings
         self._requests = requests
         self._replies = replies
         self._server = server
+        self._faults = faults if faults else None
         self._payloads: deque[bytes] = deque()
         self._shutdown = False
 
@@ -401,6 +522,8 @@ class _Consumer:
             self._payloads.append(message[1])
         elif kind == "req":
             _, ticket, op, session, payload, shape = message
+            if self._faults:
+                self._faults.on_request()
             self._scheduler.schedule_op(
                 ticket, op, session, payload,
                 tuple(shape) if shape else (),
@@ -411,8 +534,18 @@ class _Consumer:
                 "type": "stats",
                 "worker": self._scheduler.meta["worker"],
                 "stats": self._server.stats().to_dict(),
-                "sessions": self._scheduler.session_count,
+                **self._scheduler.lifecycle_stats(),
             }))
+        elif kind == "sessions":
+            self._scheduler.list_sessions(message[1])
+        elif kind == "sweep":
+            self._scheduler.sweep(message[1])
+        elif kind == "hb":
+            # Echoed straight back: answered only while this thread can
+            # still take work, which is exactly what the probe measures.
+            self._replies.put(
+                ("hb", self._scheduler.meta["worker"], message[1])
+            )
 
     def _drain_ring(self) -> None:
         ring = self._rings.requests
@@ -431,6 +564,8 @@ class _Consumer:
             ticket, op = entry.ticket, entry.op
             session, shape = entry.session, entry.shape
             ring.advance()
+            if self._faults:
+                self._faults.on_request()
             self._scheduler.schedule_op(ticket, op, session, payload, shape)
 
     def _await_payload(self) -> bytes | None:
@@ -461,6 +596,8 @@ def worker_main(
     ring_slots: int = 0,
     slot_bytes: int = 0,
     inline: bool = True,
+    session_cap: int | None = None,
+    faults: list | None = None,
 ) -> None:
     """Entry point of one worker process (spawn-safe, module-level)."""
     # The parent owns interactive shutdown; a Ctrl-C must not produce a
@@ -483,9 +620,12 @@ def worker_main(
         replies.put(("fatal", index, f"worker {index} failed to start: {error}"))
         return
 
+    injector = FaultInjector(index, faults) if faults else None
     scheduler = _Scheduler(index, compiled, server, rings, replies,
-                           inline=inline)
-    consumer = _Consumer(scheduler, rings, requests, replies, server)
+                           inline=inline, session_cap=session_cap,
+                           faults=injector)
+    consumer = _Consumer(scheduler, rings, requests, replies, server,
+                         faults=injector)
     replies.put(("ready", index))
 
     try:

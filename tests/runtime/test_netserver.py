@@ -354,18 +354,26 @@ class TestErrorFrames:
         assert all("stats" in part for part in stats["workers"])
 
     def test_dead_worker_surfaces_as_error_reply(self, fixed_compiled):
-        """A killed worker must produce an actionable error, not a hang."""
+        """A killed worker must produce an actionable error, not a hang.
+
+        ``reattach=False`` pins the PR 5 fail-fast contract: without the
+        recovery machinery the client sees exactly one structured
+        *retryable* error frame (the supervisor answers for the dead
+        worker while its replacement spawns).
+        """
         import time
+
+        from repro.runtime.net import RetryableError
 
         with NetServer(fixed_compiled, workers=2) as server:
             with Client(*server.address, timeout=TIMEOUT) as client:
-                session = client.session("doomed")
+                session = client.session("doomed", reattach=False)
                 victim = session.worker
                 proc = server._procs[victim]
                 proc.terminate()
                 proc.join(timeout=10)
                 time.sleep(0.1)
-                with pytest.raises(NetError, match="died"):
+                with pytest.raises(RetryableError, match="died"):
                     session.push(np.zeros(SPEC.input_size))
                 # The other worker keeps serving.
                 survivor = next(
@@ -397,9 +405,11 @@ class TestErrorFrames:
                 )
                 time.sleep(0.2)  # reader admits + dispatches the push
                 os.kill(proc.pid, _signal.SIGKILL)
-                reply = client._recv_for(rid)  # the reaper's answer
+                reply = client._recv_for(rid)  # the supervisor's answer
                 assert reply["ok"] is False
                 assert "died" in reply["error"]
+                # PR 8: in-flight failures are marked safe to resend.
+                assert reply.get("retryable") is True
         # Context exit ran close(): the reap freed _inflight, so the
         # drain returned promptly instead of waiting out its timeout.
 
