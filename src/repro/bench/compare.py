@@ -1,0 +1,275 @@
+"""Noise-aware comparison of two committed bench artifacts.
+
+The ``BENCH_*.json`` trajectory was write-only: every PR appended
+numbers, nothing ever *read* them.  :func:`compare_files` turns the
+trajectory into a regression gate — ``repro bench --compare OLD.json
+NEW.json`` exits nonzero when NEW is slower than OLD beyond a noise
+threshold, and CI runs it against the committed files.
+
+Honesty rules, in order of precedence:
+
+* **Different conditions never produce a timing verdict.**  A ``--quick``
+  run against a full run (CI's situation: the committed trajectory is a
+  full run, the CI artifact is quick), or runs from machines with
+  different CPU counts, compare *structurally only* — every suite,
+  timing and metric present in OLD must still exist in NEW — with a note
+  saying why the clocks were not judged.  A gate that compared a
+  1-repeat quick run against a 3-repeat full run would mostly measure
+  the flag.
+* **A vanished measurement is a regression.**  Deleting a metric is how
+  a perf gate rots silently; missing keys fail the comparison even when
+  every surviving number improved.
+* **Tiny timings are noise.**  Medians under ``MIN_COMPARABLE_S`` are
+  reported but never gated — at that scale the threshold would gate
+  scheduler jitter.
+
+Metric direction is inferred from the repo's naming convention (
+
+``*_ms``/``*_us``/``*_s``/``*_per_kill`` are lower-is-better;
+``*_fps``/``*speedup*`` are higher-is-better; anything else — counts,
+configuration echoes, notes — is compared for presence only).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "Delta",
+    "ComparisonReport",
+    "compare_results",
+    "compare_files",
+    "DEFAULT_TIMING_THRESHOLD",
+    "DEFAULT_METRIC_THRESHOLD",
+    "MIN_COMPARABLE_S",
+]
+
+#: Allowed relative slowdown of a timing median before it gates.
+#: Wall-clock medians of 3 repeats on shared CI runners wobble by tens
+#: of percent; 30% catches a real regression (the PR 3/PR 7 wins were
+#: 2-5x) without paging on scheduler weather.
+DEFAULT_TIMING_THRESHOLD = 0.30
+
+#: Allowed relative worsening of a *derived* metric (fps, p50_ms, ...).
+DEFAULT_METRIC_THRESHOLD = 0.35
+
+#: Timing medians under this are not gated — pure noise at that scale.
+MIN_COMPARABLE_S = 1e-4
+
+_LOWER_SUFFIXES = ("_ms", "_us", "_ns", "_s", "_per_kill")
+_HIGHER_SUFFIXES = ("_fps",)
+_HIGHER_MARKERS = ("speedup",)
+
+
+def _direction(name: str) -> str | None:
+    """'lower' / 'higher' when the metric name declares a direction."""
+    if any(marker in name for marker in _HIGHER_MARKERS):
+        return "higher"
+    if name.endswith(_HIGHER_SUFFIXES):
+        return "higher"
+    if name.endswith(_LOWER_SUFFIXES):
+        return "lower"
+    return None
+
+
+def _is_number(value: Any) -> bool:
+    return (isinstance(value, (int, float)) and not isinstance(value, bool)
+            and math.isfinite(value))
+
+
+@dataclass
+class Delta:
+    """One compared quantity: a timing median or a directional metric."""
+
+    name: str
+    kind: str  # regression | improvement | ok | missing | note
+    old: Any = None
+    new: Any = None
+    ratio: float | None = None  # new/old
+    message: str = ""
+
+    @property
+    def gating(self) -> bool:
+        """Does this delta fail the gate?"""
+        return self.kind in ("regression", "missing")
+
+
+@dataclass
+class ComparisonReport:
+    suite: str
+    deltas: list[Delta] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    timings_judged: bool = True
+
+    @property
+    def regressions(self) -> list[Delta]:
+        return [delta for delta in self.deltas if delta.gating]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format(self) -> str:
+        lines = [f"bench compare: suite {self.suite!r}"]
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        order = {"regression": 0, "missing": 0, "improvement": 1,
+                 "note": 2, "ok": 3}
+        for delta in sorted(self.deltas,
+                            key=lambda d: (order.get(d.kind, 9), d.name)):
+            if delta.kind == "ok":
+                continue
+            ratio = (f" ({delta.ratio:.2f}x)"
+                     if delta.ratio is not None else "")
+            lines.append(
+                f"  {delta.kind.upper():<11} {delta.name}: "
+                f"{delta.old} -> {delta.new}{ratio} {delta.message}".rstrip()
+            )
+        gated = len(self.regressions)
+        judged = sum(1 for d in self.deltas if d.kind != "note")
+        verdict = "FAIL" if gated else "PASS"
+        lines.append(
+            f"  {verdict}: {gated} regression(s) across {judged} compared "
+            f"quantities"
+            + ("" if self.timings_judged else " (timings not judged)")
+        )
+        return "\n".join(lines)
+
+
+def _load(path: str | Path) -> dict:
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ConfigError(f"bench artifact {path} does not exist") from None
+    except ValueError as error:
+        raise ConfigError(f"bench artifact {path} is not JSON: {error}") from None
+    if not isinstance(data, dict) or "name" not in data:
+        raise ConfigError(
+            f"bench artifact {path} has no 'name' — not a BENCH_*.json?"
+        )
+    return data
+
+
+def compare_results(
+    old: dict,
+    new: dict,
+    *,
+    timing_threshold: float = DEFAULT_TIMING_THRESHOLD,
+    metric_threshold: float = DEFAULT_METRIC_THRESHOLD,
+) -> ComparisonReport:
+    """Compare two loaded bench results (``old`` is the baseline)."""
+    if old.get("name") != new.get("name"):
+        raise ConfigError(
+            f"cannot compare suite {old.get('name')!r} against "
+            f"{new.get('name')!r}; compare like against like"
+        )
+    report = ComparisonReport(suite=str(old.get("name")))
+
+    judge_timings = True
+    if bool(old.get("quick")) != bool(new.get("quick")):
+        judge_timings = False
+        report.notes.append(
+            "quick flags differ (old=%s new=%s): structural checks only — "
+            "quick and full runs measure different repeat counts"
+            % (bool(old.get("quick")), bool(new.get("quick")))
+        )
+    old_cpus = (old.get("environment") or {}).get("cpus")
+    new_cpus = (new.get("environment") or {}).get("cpus")
+    if old_cpus != new_cpus:
+        judge_timings = False
+        report.notes.append(
+            f"environments differ (cpus {old_cpus} vs {new_cpus}): "
+            "structural checks only — wall clocks from different machines "
+            "are not comparable"
+        )
+    report.timings_judged = judge_timings
+
+    old_timings = old.get("timings") or {}
+    new_timings = new.get("timings") or {}
+    for name, entry in sorted(old_timings.items()):
+        if name not in new_timings:
+            report.deltas.append(Delta(
+                name=f"timings.{name}", kind="missing",
+                old=entry.get("median_s"),
+                message="— timing dropped from the new artifact",
+            ))
+            continue
+        old_median = entry.get("median_s")
+        new_median = new_timings[name].get("median_s")
+        if not (_is_number(old_median) and _is_number(new_median)):
+            continue
+        ratio = new_median / old_median if old_median else None
+        delta = Delta(name=f"timings.{name}", old=round(old_median, 6),
+                      new=round(new_median, 6), ratio=ratio, kind="ok")
+        if not judge_timings:
+            delta.kind = "note"
+            delta.message = "(not judged)"
+        elif old_median < MIN_COMPARABLE_S:
+            delta.kind = "note"
+            delta.message = (
+                f"(under {MIN_COMPARABLE_S:g}s — noise floor, not judged)"
+            )
+        elif ratio is not None and ratio > 1.0 + timing_threshold:
+            delta.kind = "regression"
+            delta.message = f"— slower beyond the {timing_threshold:.0%} gate"
+        elif ratio is not None and ratio < 1.0 - timing_threshold:
+            delta.kind = "improvement"
+        report.deltas.append(delta)
+
+    old_metrics = old.get("metrics") or {}
+    new_metrics = new.get("metrics") or {}
+    for name, old_value in sorted(old_metrics.items()):
+        if name not in new_metrics:
+            report.deltas.append(Delta(
+                name=f"metrics.{name}", kind="missing", old=old_value,
+                message="— metric dropped from the new artifact",
+            ))
+            continue
+        new_value = new_metrics[name]
+        direction = _direction(name)
+        if direction is None or not (_is_number(old_value)
+                                     and _is_number(new_value)):
+            continue  # configuration echo, note, or null: presence suffices
+        ratio = new_value / old_value if old_value else None
+        delta = Delta(name=f"metrics.{name}", old=old_value, new=new_value,
+                      ratio=ratio, kind="ok")
+        if not judge_timings:
+            delta.kind = "note"
+            delta.message = "(not judged)"
+        elif ratio is not None:
+            worse = (ratio > 1.0 + metric_threshold if direction == "lower"
+                     else ratio < 1.0 / (1.0 + metric_threshold))
+            better = (ratio < 1.0 - metric_threshold if direction == "lower"
+                      else ratio > 1.0 + metric_threshold)
+            if worse:
+                delta.kind = "regression"
+                delta.message = (
+                    f"— {direction}-is-better metric worsened beyond the "
+                    f"{metric_threshold:.0%} gate"
+                )
+            elif better:
+                delta.kind = "improvement"
+        report.deltas.append(delta)
+
+    for name in sorted(set(new_metrics) - set(old_metrics)):
+        report.deltas.append(Delta(
+            name=f"metrics.{name}", kind="note", new=new_metrics[name],
+            message="— new metric (no baseline)",
+        ))
+    return report
+
+
+def compare_files(
+    old_path: str | Path,
+    new_path: str | Path,
+    **thresholds: float,
+) -> ComparisonReport:
+    """Compare two ``BENCH_*.json`` files; ``old_path`` is the baseline."""
+    return compare_results(_load(old_path), _load(new_path), **thresholds)

@@ -183,6 +183,15 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import benchmark_names, run_benchmarks, write_result
 
+    if args.compare:
+        from repro.bench.compare import compare_files
+
+        old_path, new_path = args.compare
+        thresholds = ({} if args.threshold is None
+                      else {"timing_threshold": args.threshold})
+        report = compare_files(old_path, new_path, **thresholds)
+        print(report.format())
+        return 0 if report.ok else 1
     if args.list:
         for name in benchmark_names():
             print(name)
@@ -446,6 +455,211 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
         return 0
     finally:
         server.close()
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    """Cluster tier: front N NetServer backends behind one endpoint."""
+    import threading
+    import time
+
+    import numpy as np
+
+    from repro.runtime.cluster import BackendFleet, Gateway
+    from repro.runtime.net import Client
+
+    if (args.chaos or args.drain) and not args.selftest:
+        print("--chaos/--drain only make sense with --selftest",
+              file=sys.stderr)
+        return 2
+    if args.backends and (args.selftest or args.chaos or args.drain):
+        print(
+            "--selftest needs locally spawned backends (drop --backends): "
+            "the byte-identity baseline comes from the local model, and "
+            "chaos kills local processes",
+            file=sys.stderr,
+        )
+        return 2
+    if args.chaos and args.drain and args.count < 3:
+        print("--chaos with --drain removes two backends; use --count >= 3",
+              file=sys.stderr)
+        return 2
+
+    fleet = None
+    if args.backends:
+        backend_keys = [part.strip() for part in args.backends.split(",")
+                        if part.strip()]
+    else:
+        compiled = _compiled_from_args(args)
+        print(compiled.describe())
+        fleet = BackendFleet(
+            compiled,
+            count=args.count,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            max_protocol=args.wire,
+        )
+        fleet.start()
+        backend_keys = fleet.keys
+        print(f"spawned {args.count} local backend(s): "
+              + ", ".join(backend_keys))
+
+    gateway = Gateway(
+        backend_keys,
+        host=args.host,
+        port=args.port or 0,
+        probe_interval_s=args.probe_interval,
+        down_after=args.down_after,
+    )
+    try:
+        gateway.start()
+        host, port = gateway.address
+        print(
+            f"gateway on {host}:{port} fronting {len(backend_keys)} "
+            f"backend(s) (consistent-hash ring, probe every "
+            f"{args.probe_interval:g}s, down after {args.down_after} misses)"
+        )
+
+        if not args.selftest:
+            print("press Ctrl-C (or send SIGTERM) to stop the gateway")
+            gateway.serve_forever()
+            print("gateway stopped; bye")
+            return 0
+
+        rng = np.random.default_rng(args.seed)
+        streams = rng.standard_normal(
+            (args.sessions, args.frames, compiled.input_size)
+        )
+        expected = _selftest_expected(compiled, streams)
+        if expected is None:
+            return 1
+
+        half = args.frames // 2
+        outputs: list = [None] * args.sessions
+        recoveries = [0] * args.sessions
+        errors: list = []
+        # every client reaches `half` frames before the disruption fires,
+        # so a kill/drain always lands mid-stream, never before or after
+        midpoint = threading.Barrier(args.sessions + 1, timeout=120)
+
+        def client_thread(index: int) -> None:
+            try:
+                with Client(host, port, protocol=args.wire,
+                            timeout=120) as client:
+                    session = client.session(f"gw-selftest-{index}",
+                                             reattach=True)
+                    rows = []
+                    for t in range(half):
+                        rows.append(session.push(streams[index][t]))
+                    midpoint.wait()
+                    for t in range(half, args.frames):
+                        rows.append(session.push(streams[index][t]))
+                    outputs[index] = np.stack(rows)
+                    recoveries[index] = session.recoveries
+                    session.close()
+            except Exception as error:  # noqa: BLE001 — reported below
+                errors.append(f"stream {index}: {error}")
+                try:
+                    midpoint.abort()
+                except Exception:  # repro: ignore[REP005] barrier may already be broken; the error above is the story
+                    pass
+
+        threads = [
+            threading.Thread(target=client_thread, args=(index,))
+            for index in range(args.sessions)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        midpoint.wait()
+
+        admin = Client(host, port, timeout=120)
+        killed = drained = None
+        if args.chaos:
+            killed = backend_keys[0]
+            fleet.kill(0)
+            print(f"chaos: SIGKILLed backend {killed} mid-soak")
+        if args.drain:
+            drained = backend_keys[-1]
+            reply = admin.cluster_drain(drained, force=True, wait_s=60)
+            print(f"drain: rolled {drained} out mid-soak "
+                  f"(drained={reply['drained']})")
+
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+
+        if errors:
+            print("SELFTEST FAILED: client error(s): " + "; ".join(errors),
+                  file=sys.stderr)
+            return 1
+        mismatched = [
+            index for index in range(args.sessions)
+            if not np.array_equal(outputs[index], expected[index])
+        ]
+        if mismatched:
+            print(
+                "SELFTEST FAILED: logits served through the gateway differ "
+                f"from standalone sessions on stream(s) {mismatched}",
+                file=sys.stderr,
+            )
+            return 1
+
+        total = args.sessions * args.frames
+        health = admin.cluster_health()
+        print(
+            f"served {total} frames to {args.sessions} net clients through "
+            f"the gateway in {elapsed * 1e3:.1f} ms "
+            f"({total / elapsed:,.0f} frames/s; wire v{args.wire})"
+        )
+        for entry in health["backends"]:
+            print(f"  backend {entry['backend']}: state {entry['state']}, "
+                  f"{entry['sessions_placed']} session(s) placed")
+        admin.close()
+
+        events = [event["event"] for event in gateway.events]
+        if args.chaos:
+            states = {b["backend"]: b["state"] for b in health["backends"]}
+            if "backend_down" not in events or states.get(killed) != "down":
+                print(
+                    "SELFTEST FAILED: chaos was armed but the gateway never "
+                    f"marked {killed} down (events: {events})",
+                    file=sys.stderr,
+                )
+                return 1
+            if not sum(recoveries):
+                print(
+                    "SELFTEST FAILED: a backend died but no client session "
+                    "recovered — the kill landed after the soak finished "
+                    "(raise --frames)",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"chaos ok: {sum(recoveries)} session recovery(ies) across "
+                "the killed backend, every stream byte-identical"
+            )
+        if args.drain:
+            ring = health["ring"]["nodes"]
+            if "backend_removed" not in events or drained in ring:
+                print(
+                    f"SELFTEST FAILED: drain of {drained} never completed "
+                    f"(ring: {ring}, events: {events})",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"drain ok: {drained} left the ring mid-soak, every stream "
+                "byte-identical"
+            )
+        print(
+            "gateway selftest ok: every stream served through the cluster "
+            "tier byte-identical to its standalone session"
+        )
+        return 0
+    finally:
+        gateway.close()
+        if fleet is not None:
+            fleet.close()
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -726,6 +940,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(handler=_cmd_serve, block=8)
 
+    gateway = sub.add_parser(
+        "gateway",
+        help="front a fleet of NetServer backends behind one consistent-"
+             "hash endpoint (cluster tier)",
+    )
+    _add_spec_arguments(gateway)
+    _add_runtime_arguments(gateway)
+    gateway.add_argument(
+        "--backends", default=None, metavar="HOST:PORT,...",
+        help="comma-separated already-running backends to front; without "
+             "this the command spawns --count local backends from the "
+             "model flags",
+    )
+    gateway.add_argument(
+        "--count", type=int, default=2,
+        help="local backends to spawn when --backends is absent "
+             "(default: 2)",
+    )
+    gateway.add_argument(
+        "--host", default="127.0.0.1",
+        help="gateway bind address (default: 127.0.0.1)",
+    )
+    gateway.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="gateway listen port (default: 0 = ephemeral)",
+    )
+    gateway.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes per spawned backend (default: 1)",
+    )
+    gateway.add_argument(
+        "--queue-limit", type=int, default=32,
+        help="per-connection in-flight bound on spawned backends "
+             "(default: 32)",
+    )
+    gateway.add_argument(
+        "--wire", type=int, choices=(1, 2), default=2,
+        help="highest wire protocol the fleet offers (default: 2)",
+    )
+    gateway.add_argument(
+        "--probe-interval", type=float, default=0.5, metavar="SECONDS",
+        help="health-probe period per backend (default: 0.5)",
+    )
+    gateway.add_argument(
+        "--down-after", type=int, default=3, metavar="N",
+        help="consecutive probe misses before a backend is marked down "
+             "and its sessions fail over (default: 3)",
+    )
+    gateway.add_argument(
+        "--sessions", type=int, default=8,
+        help="concurrent selftest client sessions (default: 8)",
+    )
+    gateway.add_argument(
+        "--selftest", action="store_true",
+        help="serve --sessions streams through the gateway and verify "
+             "each is byte-identical to its standalone session; non-zero "
+             "exit on mismatch (used by CI)",
+    )
+    gateway.add_argument(
+        "--chaos", action="store_true",
+        help="with --selftest: SIGKILL one whole backend mid-soak and "
+             "assert every stream fails over byte-identically",
+    )
+    gateway.add_argument(
+        "--drain", action="store_true",
+        help="with --selftest: force-drain one backend mid-soak (rolling "
+             "maintenance drill) and assert byte-identical migration",
+    )
+    gateway.set_defaults(handler=_cmd_gateway, block=8)
+
     bench = sub.add_parser(
         "bench",
         help="run the performance suites and write BENCH_<name>.json artifacts",
@@ -747,6 +1031,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--no-json", action="store_true",
                        help="print results without writing artifacts")
+    bench.add_argument(
+        "--compare", nargs=2, metavar=("OLD.json", "NEW.json"), default=None,
+        help="noise-aware diff of two BENCH_<name>.json artifacts instead "
+             "of running suites; exits 1 on regression (timings are only "
+             "judged when quick flags and CPU counts match — otherwise "
+             "structural checks still apply)",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=None,
+        help="with --compare: relative timing slowdown allowed before the "
+             "gate fails (default 0.30)",
+    )
     bench.set_defaults(handler=_cmd_bench)
 
     table3 = sub.add_parser("table3", help="regenerate the Table III comparison")

@@ -1,0 +1,19 @@
+"""Cluster serving tier: consistent-hash gateway over NetServer fleets.
+
+The layer above :mod:`repro.runtime.net` — one gateway endpoint fronting
+N backend servers, with ring placement, health-probe failover and
+rolling drain.  See ``docs/runtime.md`` ("Cluster tier") for the
+semantics and the drain runbook.
+"""
+
+from repro.runtime.cluster.fleet import BackendFleet
+from repro.runtime.cluster.gateway import Gateway, backend_key
+from repro.runtime.cluster.hashring import DEFAULT_VNODES, HashRing
+
+__all__ = [
+    "BackendFleet",
+    "DEFAULT_VNODES",
+    "Gateway",
+    "HashRing",
+    "backend_key",
+]

@@ -1,0 +1,207 @@
+"""Local backend fleets: N real :class:`NetServer` OS processes.
+
+The gateway's failure model is *process* death — a whole backend (its
+asyncio parent and every worker under it) disappearing at once — which
+cannot be rehearsed with in-process servers: killing a thread is not a
+thing, and a ``NetServer`` inside the test process would take the test
+down with it.  :class:`BackendFleet` spawns each backend as a separate
+``multiprocessing`` process (spawn context, like the NetServer workers
+themselves) running a real server on an ephemeral port, so the CLI
+selftest, the gateway bench and the tests can SIGKILL one mid-soak and
+watch the cluster tier heal.
+
+SIGTERM (:meth:`BackendFleet.stop`) is the *graceful* path — the child's
+``serve_forever`` installs a handler that drains in-flight frames before
+exiting — while :meth:`BackendFleet.kill` is SIGKILL: no drain, no
+goodbye, exactly what a crashed host looks like to the gateway.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+from queue import Empty
+from typing import Any
+
+from repro.errors import ConfigError
+
+__all__ = ["BackendFleet", "backend_main"]
+
+
+def backend_main(index: int, artifact_path: str, host: str,
+                 ready_queue: Any, options: dict) -> None:
+    """One backend process: serve the artifact until SIGTERM.
+
+    Runs in a spawned child — module-level so it pickles.  The ephemeral
+    port is reported through ``ready_queue`` as ``("ready", index,
+    port)``; a startup failure reports ``("fatal", index, message)`` and
+    exits nonzero instead of leaving the parent to time out.
+    """
+    from repro.runtime.net import NetServer
+
+    try:
+        server = NetServer(
+            artifact_path=artifact_path, host=host, port=0, **options
+        )
+        server.start()
+    except Exception as error:  # repro: ignore[REP005] child-process boundary: the parent needs the failure as a message, not a traceback in a pipe
+        ready_queue.put(("fatal", index, f"{type(error).__name__}: {error}"))
+        raise SystemExit(1)
+    ready_queue.put(("ready", index, server.port))
+    server.serve_forever(install_signals=True)
+    raise SystemExit(0)
+
+
+class BackendFleet:
+    """Spawn and manage ``count`` NetServer backend processes.
+
+    ``compiled`` is saved once to a temporary artifact every backend
+    loads (pass ``artifact_path`` to reuse an existing ``.npz``).
+    ``server_options`` are forwarded to each child's :class:`NetServer`
+    (``workers``, ``session_ttl_s``, ``max_protocol``, ...) and must be
+    picklable primitives.
+    """
+
+    def __init__(
+        self,
+        compiled: Any = None,
+        *,
+        artifact_path: str | Path | None = None,
+        count: int = 2,
+        host: str = "127.0.0.1",
+        spawn_timeout_s: float = 180.0,
+        **server_options: Any,
+    ):
+        if compiled is None and artifact_path is None:
+            raise ConfigError(
+                "BackendFleet needs a compiled model or artifact_path"
+            )
+        if count < 1:
+            raise ConfigError(f"count must be positive, got {count}")
+        self._compiled = compiled
+        self._artifact_path = Path(artifact_path) if artifact_path else None
+        self.count = count
+        self.host = host
+        self.spawn_timeout_s = spawn_timeout_s
+        self.server_options = dict(server_options)
+        self.server_options.setdefault("workers", 1)
+        self._tmpdir: tempfile.TemporaryDirectory | None = None
+        self._procs: list[Any] = []
+        self._queues: list[Any] = []
+        self._ports: list[int] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    @property
+    def addresses(self) -> list[tuple[str, int]]:
+        """``(host, port)`` per backend, in spawn order."""
+        return [(self.host, port) for port in self._ports]
+
+    @property
+    def keys(self) -> list[str]:
+        """The ring identities (``"host:port"``) of the backends."""
+        return [f"{self.host}:{port}" for port in self._ports]
+
+    def alive(self, index: int) -> bool:
+        return self._procs[index].is_alive()
+
+    # ------------------------------------------------------------------
+    def start(self) -> "BackendFleet":
+        """Spawn every backend and wait for all the ready handshakes."""
+        if self._started:
+            return self
+        import multiprocessing as mp
+
+        if self._artifact_path is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-fleet-")
+            self._artifact_path = (
+                Path(self._tmpdir.name) / f"{self._compiled.fingerprint}.npz"
+            )
+            self._compiled.save(self._artifact_path)
+        ctx = mp.get_context("spawn")
+        self._queues = [ctx.Queue() for _ in range(self.count)]
+        for queue in self._queues:
+            queue.cancel_join_thread()
+        self._procs = [
+            ctx.Process(
+                target=backend_main,
+                args=(index, str(self._artifact_path), self.host,
+                      self._queues[index], self.server_options),
+                name=f"repro-backend-{index}",
+                # NOT daemonic: a backend spawns its own NetServer worker
+                # processes, which daemons are forbidden to do.
+                daemon=False,
+            )
+            for index in range(self.count)
+        ]
+        for proc in self._procs:
+            proc.start()
+        self._ports = [0] * self.count
+        deadline = time.monotonic() + self.spawn_timeout_s
+        for index, proc in enumerate(self._procs):
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self.close()
+                    raise ConfigError(
+                        f"backend {index} not ready after "
+                        f"{self.spawn_timeout_s:g}s (spawn_timeout_s)"
+                    )
+                try:
+                    message = self._queues[index].get(
+                        timeout=min(remaining, 1.0)
+                    )
+                except (Empty, OSError, ValueError):
+                    if not proc.is_alive():
+                        self.close()
+                        raise ConfigError(
+                            f"backend process {proc.name} died during startup"
+                        )
+                    continue
+                if message[0] == "ready":
+                    self._ports[index] = int(message[2])
+                    break
+                if message[0] == "fatal":
+                    self.close()
+                    raise ConfigError(
+                        f"backend {index} failed to start: {message[2]}"
+                    )
+        self._started = True
+        return self
+
+    def kill(self, index: int) -> None:
+        """SIGKILL one backend: the crashed-host drill (no drain)."""
+        self._procs[index].kill()
+
+    def stop(self, index: int, timeout_s: float = 30.0) -> None:
+        """SIGTERM one backend and wait for its graceful drain."""
+        proc = self._procs[index]
+        proc.terminate()
+        proc.join(timeout=timeout_s)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=5)
+
+    def close(self) -> None:
+        """Stop every backend (graceful first, SIGKILL stragglers)."""
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=15)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5)
+        self._procs = []
+        self._queues = []
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+        self._started = False
+
+    def __enter__(self) -> "BackendFleet":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

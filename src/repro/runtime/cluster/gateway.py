@@ -1,0 +1,1140 @@
+"""The cluster tier: a consistent-hash gateway over N NetServer backends.
+
+:class:`Gateway` is the layer above :class:`repro.runtime.net.NetServer`
+— one TCP front door for a fleet of backend servers, speaking the
+existing v1/v2 wire protocol *transparently*: a client dials the gateway
+exactly as it would dial a single server, and every session op is
+forwarded verbatim to the backend that owns the session.  Binary v2
+frames are proxied **without re-encode** — the gateway reads the fixed
+header (to learn the routing session id and request id), then forwards
+the original bytes; payloads are never decoded to arrays.
+
+Routing is a SHA-256 vnode ring (:mod:`repro.runtime.cluster.hashring`),
+not modulo: adding or removing one of ``N`` backends remaps only ~1/N of
+sessions.  A **placement table** pins each opened session to the backend
+its ``open`` chose, so ring changes never move a *live* stream — only
+sessions that re-place (reattach after their backend died, or reopen
+after an eviction) walk the new ring.
+
+Failure model — built on the PR 8 reattach contract:
+
+* A backend that drops its connections or misses ``down_after`` health
+  probes is marked **down**: its placements are dropped, every in-flight
+  request to it is answered with the existing structured *retryable*
+  error frame, and new requests route around it.  A reattaching
+  :class:`~repro.runtime.net.client.NetSession` then reconnects, reopens
+  (landing on the ring's next backend), sees ``seq: 0``, and replays its
+  journal — the stream continues **byte-identically** on the new node.
+* ``cluster_drain`` rolls a backend out without dropping a frame: new
+  placement stops immediately, pinned sessions either finish on their
+  own (close / idle-TTL eviction) or are force-migrated by evicting them
+  — which triggers exactly the reattach replay above — and once the
+  backend reports zero sessions it is removed from the ring.
+
+The gateway's own control plane (``cluster_health``, ``cluster_drain``,
+``cluster_undrain``, ``cluster_add``) rides the same NDJSON framing as
+every other op, so :class:`~repro.runtime.net.client.Client` drives it
+with plain requests.
+
+>>> with Gateway(["127.0.0.1:7001", "127.0.0.1:7002"]) as gw:
+...     client = Client(*gw.address)
+...     logits = client.session("stream-7").push(frame)  # routed + pinned
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import struct
+import sys
+import threading
+import time
+from collections import Counter
+from typing import Any, Iterable
+
+from repro.errors import ConfigError
+from repro.runtime.cluster.hashring import DEFAULT_VNODES, HashRing
+from repro.runtime.net.protocol import (
+    BIN_MAGIC,
+    BIN_PREFIX,
+    CLUSTER_OPS,
+    MAX_BIN_NDIM,
+    MAX_BIN_SESSION,
+    MAX_FRAME_BYTES,
+    MAX_LINE_BYTES,
+    OPS,
+    SESSION_OPS,
+    NetError,
+    dump_line,
+    error_reply,
+    parse_line,
+)
+from repro.runtime.net.server import _FrameReader, _LineTooLong
+
+__all__ = ["Gateway", "backend_key"]
+
+#: Ops the gateway answers itself (no backend round trip).
+_GATEWAY_OPS = frozenset({"ping", "health"}) | set(CLUSTER_OPS)
+
+#: Ops fanned out to every reachable backend over the admin connections.
+_FANOUT_OPS = frozenset({"stats", "sessions"})
+
+#: Session ops whose ok reply releases the session's placement.
+_RELEASE_OPS = frozenset({"close", "evict"})
+
+
+def backend_key(spec: Any) -> str:
+    """Normalize a backend spec (``"host:port"`` or ``(host, port)``)."""
+    if isinstance(spec, str):
+        host, sep, port = spec.rpartition(":")
+        if not sep or not host or not port.isdigit():
+            raise ConfigError(
+                f"backend spec {spec!r} is not 'host:port'"
+            )
+        return f"{host}:{int(port)}"
+    try:
+        host, port = spec
+        return f"{host}:{int(port)}"
+    except (TypeError, ValueError):
+        raise ConfigError(
+            f"backend spec {spec!r} is not 'host:port' or (host, port)"
+        ) from None
+
+
+class _Backend:
+    """One backend's gateway-side record (event-loop thread)."""
+
+    __slots__ = ("key", "host", "port", "state", "hello", "misses",
+                 "reader", "writer", "frames", "admin_lock", "prober",
+                 "drain_task", "remaining", "last_health")
+
+    def __init__(self, key: str):
+        self.key = key
+        host, _, port = key.rpartition(":")
+        self.host = host
+        self.port = int(port)
+        self.state = "up"  # up | down | draining | removed
+        self.hello: dict = {}
+        self.misses = 0
+        self.reader = None       # admin connection (prober + fan-outs)
+        self.writer = None
+        self.frames: _FrameReader | None = None
+        self.admin_lock: asyncio.Lock | None = None
+        self.prober: asyncio.Task | None = None
+        self.drain_task: asyncio.Task | None = None
+        self.remaining = 0       # sessions left at the last drain poll
+        self.last_health: dict = {}
+
+    def placeable(self) -> bool:
+        """May this backend keep serving its *pinned* sessions?"""
+        return self.state in ("up", "draining")
+
+
+class _Upstream:
+    """One lazily dialed (client connection, backend) forwarding link."""
+
+    __slots__ = ("key", "reader", "writer", "frames", "pending", "pump",
+                 "gone", "binary")
+
+    def __init__(self, key: str, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self.key = key
+        self.reader = reader
+        self.writer = writer
+        self.frames = _FrameReader(reader)
+        self.pending: dict[Any, tuple[str, str]] = {}  # rid -> (op, session)
+        self.pump: asyncio.Task | None = None
+        self.gone = False
+        self.binary = False      # has this link granted protocol v2?
+
+
+class _ClientConn:
+    """Per-client-connection state (event-loop thread only)."""
+
+    __slots__ = ("id", "writer", "upstreams")
+
+    def __init__(self, conn_id: int, writer: asyncio.StreamWriter):
+        self.id = conn_id
+        self.writer = writer
+        self.upstreams: dict[str, _Upstream] = {}
+
+
+class Gateway:
+    """Front N NetServer backends behind one consistent-hash TCP endpoint.
+
+    ``backends`` are ``"host:port"`` specs (or ``(host, port)`` pairs) of
+    running :class:`~repro.runtime.net.NetServer` instances; all of them
+    must be reachable — and serving the same model shape — at
+    :meth:`start`.  ``port=0`` binds an ephemeral port; read
+    :attr:`address` after start.
+
+    Health probing: every ``probe_interval_s`` each backend's ``health``
+    op is polled on a dedicated admin connection; ``down_after``
+    consecutive misses (or any connection-level failure on a forwarding
+    link) marks the backend down.  A down backend keeps being probed and
+    rejoins placement when its probes answer again.
+
+    ``drain_timeout_s`` is the default ``cluster_drain`` wait before the
+    reply reports progress instead of completion (the drain keeps
+    running in the background either way).
+    """
+
+    def __init__(
+        self,
+        backends: Iterable[Any],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        vnodes: int = DEFAULT_VNODES,
+        probe_interval_s: float = 0.5,
+        probe_timeout_s: float = 5.0,
+        down_after: int = 3,
+        connect_timeout_s: float = 10.0,
+        drain_poll_s: float = 0.25,
+        drain_timeout_s: float = 30.0,
+    ):
+        keys = [backend_key(spec) for spec in backends]
+        if not keys:
+            raise ConfigError("Gateway needs at least one backend")
+        if len(set(keys)) != len(keys):
+            raise ConfigError(f"duplicate backends in {keys}")
+        if probe_interval_s <= 0 or probe_timeout_s <= 0:
+            raise ConfigError("probe interval/timeout must be positive")
+        if down_after < 1:
+            raise ConfigError(f"down_after must be >= 1, got {down_after}")
+        self._backend_keys = keys
+        self._host = host
+        self._port = port
+        self._vnodes = vnodes
+        self._probe_interval_s = probe_interval_s
+        self._probe_timeout_s = probe_timeout_s
+        self._down_after = down_after
+        self._connect_timeout_s = connect_timeout_s
+        self._drain_poll_s = drain_poll_s
+        self._drain_timeout_s = drain_timeout_s
+
+        # Event-loop-thread state (no locks: the loop owns all of it,
+        # exactly like NetServer's connection state).
+        self._backends: dict[str, _Backend] = {}
+        self._removed: list[str] = []
+        self._ring = HashRing(vnodes=vnodes)
+        self._placements: dict[str, str] = {}  # session -> backend key
+        self._conns: dict[int, _ClientConn] = {}
+        self._conn_ids = itertools.count(1)
+        self._admin_ids = itertools.count(1)
+        self._tasks: set[asyncio.Task] = set()
+        self._hello_meta: dict = {}
+        self.retryable_errors_total = 0
+
+        self._events: list[dict] = []  # guarded-by: _events_lock
+        self._events_lock = threading.Lock()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._stop_async: asyncio.Event | None = None
+        self._stop_serving = threading.Event()
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._lifecycle = threading.Lock()
+        self._state = "new"  # guarded-by: _lifecycle (new -> started -> closed)
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (resolves ``port=0``)."""
+        return self._host, self._port
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    @property
+    def events(self) -> list[dict]:
+        """Snapshot of the gateway journal (downs, drains, removals)."""
+        with self._events_lock:
+            return list(self._events)
+
+    def _log_event(self, event: str, backend: str | None = None,
+                   **detail: Any) -> None:
+        entry: dict[str, Any] = {"ts": round(time.time(), 3), "event": event}
+        if backend is not None:
+            entry["backend"] = backend
+        entry.update(detail)
+        with self._events_lock:
+            self._events.append(entry)
+        tail = " ".join(f"{k}={v}" for k, v in detail.items())
+        where = f" backend={backend}" if backend is not None else ""
+        print(f"repro.cluster: {event}{where}" + (f" {tail}" if tail else ""),
+              file=sys.stderr)
+
+    # ------------------------------------------------------------------
+    # Lifecycle (mirrors NetServer: loop on a daemon thread).
+    # ------------------------------------------------------------------
+    def start(self) -> "Gateway":
+        with self._lifecycle:
+            if self._state == "started":
+                return self
+            if self._state == "closed":
+                raise ConfigError("Gateway cannot be restarted after close()")
+            self._loop = asyncio.new_event_loop()
+            self._loop_thread = threading.Thread(
+                target=self._run_loop, name="repro-gateway", daemon=True
+            )
+            self._loop_thread.start()
+            self._started.wait(timeout=60)
+            if self._startup_error is not None:
+                raise ConfigError(
+                    f"gateway failed to start: {self._startup_error}"
+                )
+            if not self._started.is_set():
+                raise ConfigError("gateway did not start within 60s")
+            self._state = "started"
+            return self
+
+    def close(self) -> None:
+        self._stop_serving.set()
+        with self._lifecycle:
+            if self._state != "started":
+                self._state = "closed"
+                return
+            self._state = "closed"
+            self._closing = True
+            loop, stop = self._loop, self._stop_async
+            if loop is not None and stop is not None:
+                try:
+                    loop.call_soon_threadsafe(stop.set)
+                except RuntimeError:
+                    pass  # loop already dead
+            if self._loop_thread is not None:
+                self._loop_thread.join(timeout=30)
+
+    def serve_forever(self, install_signals: bool = True) -> None:
+        """Block until SIGTERM/SIGINT or ``close()``, then shut down."""
+        import signal
+
+        self.start()
+        previous = {}
+        if install_signals:
+            def handler(signum: int, frame: Any) -> None:
+                self._stop_serving.set()
+
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    previous[signum] = signal.signal(signum, handler)
+                except ValueError:
+                    pass  # not the main thread; close() can still stop us
+        try:
+            self._stop_serving.wait()
+        finally:
+            for signum, old in previous.items():
+                signal.signal(signum, old)
+            self.close()
+
+    def __enter__(self) -> "Gateway":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _run_loop(self) -> None:
+        loop = self._loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self._serve_main())
+        except BaseException as error:  # noqa: BLE001 — surfaced by start()
+            self._startup_error = error
+            self._started.set()
+        finally:
+            loop.close()
+
+    async def _serve_main(self) -> None:
+        self._stop_async = asyncio.Event()
+        for key in self._backend_keys:
+            backend = _Backend(key)
+            backend.admin_lock = asyncio.Lock()
+            await self._admin_connect(backend)  # raises if unreachable
+            self._check_meta(backend)
+            self._backends[key] = backend
+            self._ring.add(key)
+        server = await asyncio.start_server(
+            self._handle_conn, self._host, self._port
+        )
+        self._port = server.sockets[0].getsockname()[1]
+        for backend in self._backends.values():
+            backend.prober = asyncio.ensure_future(self._probe_loop(backend))
+        self._started.set()
+        await self._stop_async.wait()
+        server.close()
+        await server.wait_closed()
+        tasks = list(self._tasks)
+        for backend in self._backends.values():
+            for task in (backend.prober, backend.drain_task):
+                if task is not None:
+                    tasks.append(task)
+                    task.cancel()
+        for task in list(self._tasks):
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        for backend in self._backends.values():
+            await self._admin_close(backend)
+        for conn in list(self._conns.values()):
+            for up in conn.upstreams.values():
+                up.gone = True
+                try:
+                    up.writer.close()
+                except OSError:
+                    pass
+            try:
+                conn.writer.close()
+            except OSError:
+                pass
+        self._conns.clear()
+
+    def _check_meta(self, backend: _Backend) -> None:
+        """Every backend must serve the same model shape — a fleet that
+        disagrees on ``input_size``/``num_classes`` would answer a
+        session's frames differently depending on placement, which is a
+        deployment error, not a routing decision."""
+        hello = backend.hello
+        if not self._hello_meta:
+            self._hello_meta = {
+                "backend": hello.get("backend"),
+                "input_size": hello.get("input_size"),
+                "num_classes": hello.get("num_classes"),
+            }
+            return
+        for field in ("backend", "input_size", "num_classes"):
+            if hello.get(field) != self._hello_meta[field]:
+                raise ConfigError(
+                    f"backend {backend.key} serves {field}="
+                    f"{hello.get(field)!r} but the fleet serves "
+                    f"{self._hello_meta[field]!r}; one gateway fronts one "
+                    "model"
+                )
+
+    # ------------------------------------------------------------------
+    # Admin connections (prober, fan-outs, drain polls).
+    # ------------------------------------------------------------------
+    async def _admin_connect(self, backend: _Backend) -> None:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(backend.host, backend.port),
+            self._connect_timeout_s,
+        )
+        frames = _FrameReader(reader)
+        line = await asyncio.wait_for(
+            frames.read_line(MAX_LINE_BYTES), self._connect_timeout_s
+        )
+        if line is None:
+            writer.close()
+            raise ConfigError(
+                f"backend {backend.key} closed without a hello"
+            )
+        hello = parse_line(line)
+        if hello.get("type") != "hello":
+            writer.close()
+            raise ConfigError(
+                f"backend {backend.key} did not greet with a hello frame"
+            )
+        backend.reader, backend.writer, backend.frames = reader, writer, frames
+        backend.hello = hello
+
+    async def _admin_close(self, backend: _Backend) -> None:
+        writer = backend.writer
+        backend.reader = backend.writer = backend.frames = None
+        if writer is not None:
+            try:
+                writer.close()
+            except OSError:
+                pass
+
+    async def _admin_request(self, backend: _Backend, op: str,
+                             timeout: float | None = None,
+                             **fields: Any) -> dict:
+        """One JSON round trip on the backend's admin connection."""
+        timeout = self._probe_timeout_s if timeout is None else timeout
+        async with backend.admin_lock:
+            if backend.writer is None:
+                await self._admin_connect(backend)
+            rid = f"gw-{next(self._admin_ids)}"
+            try:
+                backend.writer.write(dump_line({"id": rid, "op": op,
+                                                **fields}))
+                await backend.writer.drain()
+                line = await asyncio.wait_for(
+                    backend.frames.read_line(MAX_FRAME_BYTES), timeout
+                )
+            except (OSError, ConnectionError, asyncio.TimeoutError):
+                await self._admin_close(backend)
+                raise
+            if line is None:
+                await self._admin_close(backend)
+                raise ConnectionError(
+                    f"backend {backend.key} closed its admin connection"
+                )
+            reply = parse_line(line)
+            if reply.get("id") != rid:
+                await self._admin_close(backend)
+                raise NetError(
+                    f"backend {backend.key} answered out of order on the "
+                    "admin connection"
+                )
+            return reply
+
+    async def _probe_loop(self, backend: _Backend) -> None:
+        """The health prober: one backend, forever (until removed)."""
+        try:
+            while True:
+                await asyncio.sleep(self._probe_interval_s)
+                if backend.state == "removed" or self._closing:
+                    return
+                try:
+                    reply = await self._admin_request(backend, "health")
+                except (OSError, ConnectionError, asyncio.TimeoutError,
+                        NetError):
+                    backend.misses += 1
+                    if (backend.misses >= self._down_after
+                            and backend.state in ("up", "draining")):
+                        self._backend_down(
+                            backend,
+                            f"health probe missed x{backend.misses}",
+                        )
+                    continue
+                backend.misses = 0
+                backend.last_health = {
+                    key: value for key, value in reply.items()
+                    if key not in ("id", "ok", "type")
+                }
+                if backend.state == "down":
+                    self._backend_up(backend)
+        except asyncio.CancelledError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Backend state transitions (event-loop thread).
+    # ------------------------------------------------------------------
+    def _backend_down(self, backend: _Backend, reason: str) -> None:
+        """One backend is gone: drop its placements, fail its in-flight.
+
+        The blast radius is exactly this backend's sessions.  Each gets
+        the PR 8 retryable error frame; their reattaching clients reopen
+        through the gateway, land on the ring's next backend, and replay
+        their journals — byte-identical recovery, now across nodes.
+        """
+        if backend.state in ("down", "removed"):
+            return
+        was_draining = backend.state == "draining"
+        backend.state = "down"
+        self._log_event("backend_down", backend=backend.key, reason=reason,
+                        draining=was_draining)
+        self._drop_placements(backend.key)
+        for conn in list(self._conns.values()):
+            up = conn.upstreams.get(backend.key)
+            if up is not None:
+                self._fail_upstream(conn, up, reason)
+
+    def _backend_up(self, backend: _Backend) -> None:
+        if backend.state != "down":
+            return
+        # A backend that died mid-drain comes back *draining*: the
+        # operator asked for it to leave, and death is not a rollback.
+        backend.state = "draining" if backend.drain_task else "up"
+        self._log_event("backend_up", backend=backend.key,
+                        state=backend.state)
+
+    def _drop_placements(self, key: str) -> None:
+        for session in [s for s, k in self._placements.items() if k == key]:
+            del self._placements[session]
+
+    def _remove_backend(self, backend: _Backend) -> None:
+        """Post-drain removal: the node leaves the ring for good."""
+        if backend.state == "removed":
+            return
+        backend.state = "removed"
+        if backend.key in self._ring:
+            self._ring.remove(backend.key)
+        self._drop_placements(backend.key)
+        if backend.prober is not None:
+            backend.prober.cancel()
+        for conn in list(self._conns.values()):
+            up = conn.upstreams.get(backend.key)
+            if up is not None:
+                self._fail_upstream(conn, up, "backend removed after drain")
+        self._backends.pop(backend.key, None)
+        self._removed.append(backend.key)
+        self._log_event("backend_removed", backend=backend.key,
+                        ring=sorted(self._ring.nodes))
+
+    # ------------------------------------------------------------------
+    # Client connections.
+    # ------------------------------------------------------------------
+    def _hello(self) -> dict:
+        """The gateway's hello: the fleet presented as one server."""
+        live = [b for b in self._backends.values() if b.placeable()]
+        pool = live or list(self._backends.values())
+        return {
+            "type": "hello",
+            "protocol": 1,
+            # The grant is negotiated per upstream open; advertising the
+            # fleet *minimum* means a client never negotiates v2 through
+            # the gateway unless every backend it could land on grants it.
+            "max_protocol": min(
+                int(b.hello.get("max_protocol", 1)) for b in pool
+            ),
+            "backend": self._hello_meta.get("backend"),
+            "input_size": self._hello_meta.get("input_size"),
+            "num_classes": self._hello_meta.get("num_classes"),
+            "workers": sum(int(b.hello.get("workers", 1)) for b in pool),
+            "queue_limit": min(
+                int(b.hello.get("queue_limit", 1)) for b in pool
+            ),
+            "gateway": True,
+            "backends": len(pool),
+        }
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _ClientConn(next(self._conn_ids), writer)
+        self._conns[conn.id] = conn
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+        self._write(conn, self._hello())
+        frames = _FrameReader(reader)
+        try:
+            while True:
+                first = await frames.peek_byte()
+                if first is None:
+                    break
+                if first == BIN_MAGIC:
+                    if not await self._read_client_binary(conn, frames):
+                        break
+                else:
+                    try:
+                        line = await frames.read_line(MAX_LINE_BYTES)
+                    except _LineTooLong:
+                        self._write(conn, error_reply(
+                            None,
+                            f"request line exceeds {MAX_LINE_BYTES} bytes",
+                        ))
+                        await writer.drain()
+                        continue
+                    if line is None:
+                        break
+                    await self._handle_line(conn, line)
+                await writer.drain()
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        finally:
+            self._conns.pop(conn.id, None)
+            if task is not None:
+                self._tasks.discard(task)
+            for up in list(conn.upstreams.values()):
+                up.gone = True
+                if up.pump is not None:
+                    up.pump.cancel()
+                try:
+                    up.writer.close()
+                except OSError:
+                    pass
+            try:
+                writer.close()
+            except Exception:  # repro: ignore[REP005] reader already failed; closing a broken transport must not mask that
+                pass
+
+    async def _read_client_binary(self, conn: _ClientConn,
+                                  frames: _FrameReader) -> bool:
+        """One v2 frame off a client: header-route, forward verbatim.
+
+        Only the 24-byte prefix and the shape header are inspected (for
+        the session id, request id and frame length); the payload passes
+        through untouched.  Length-untrustworthy headers tear the
+        connection down, exactly like NetServer — there is nothing left
+        to resynchronize on.
+        """
+        prefix = await frames.read_exactly(BIN_PREFIX.size)
+        if prefix is None:
+            return False
+        (_, _version, _opcode, _dtype, rid, _seq,
+         slen, ndim, _pad) = BIN_PREFIX.unpack(prefix)
+        if ndim > MAX_BIN_NDIM or slen > MAX_BIN_SESSION:
+            self._write(conn, error_reply(rid, (
+                f"binary header lengths out of range (ndim {ndim}, session "
+                f"{slen} bytes); the frame cannot be skipped — closing"
+            )))
+            return False
+        rest = await frames.read_exactly(4 * ndim + 4)
+        if rest is None:
+            return False
+        nbytes = struct.unpack("<I", rest[-4:])[0]
+        if nbytes > MAX_FRAME_BYTES:
+            self._write(conn, error_reply(rid, (
+                f"binary payload of {nbytes} bytes exceeds the "
+                f"{MAX_FRAME_BYTES}-byte cap; closing"
+            )))
+            return False
+        body = await frames.read_exactly(slen + nbytes)
+        if body is None:
+            return False
+        try:
+            session = body[:slen].decode("utf-8")
+        except UnicodeDecodeError:
+            self._write(conn, error_reply(rid, "session id is not UTF-8"))
+            return True
+        if not session:
+            self._write(conn, error_reply(
+                rid, "binary frames need a non-empty session id"
+            ))
+            return True
+        await self._forward(conn, rid, "push", session,
+                            prefix + rest + body, binary=True)
+        return True
+
+    async def _handle_line(self, conn: _ClientConn, line: bytes) -> None:
+        try:
+            message = parse_line(line)
+        except NetError as error:
+            self._write(conn, error_reply(None, error))
+            return
+        rid = message.get("id")
+        if isinstance(rid, (dict, list)):
+            self._write(conn, error_reply(
+                None, "request id must be a JSON scalar"
+            ))
+            return
+        op = message.get("op")
+        if not isinstance(op, str):
+            self._write(conn, error_reply(
+                rid, "op must be a string naming one of "
+                + ", ".join(OPS + CLUSTER_OPS)
+            ))
+            return
+        if op == "ping":
+            self._write(conn, {"id": rid, "ok": True, "type": "pong"})
+            return
+        if op in ("health", "cluster_health"):
+            self._write(conn, {"id": rid, "ok": True, "type": op,
+                               **self._cluster_snapshot()})
+            return
+        if op == "cluster_drain":
+            await self._op_cluster_drain(conn, rid, message)
+            return
+        if op == "cluster_undrain":
+            self._op_cluster_undrain(conn, rid, message)
+            return
+        if op == "cluster_add":
+            await self._op_cluster_add(conn, rid, message)
+            return
+        if op in _FANOUT_OPS:
+            await self._fanout(conn, rid, op)
+            return
+        if op in SESSION_OPS:
+            session = message.get("session")
+            if not isinstance(session, str) or not session:
+                self._write(conn, error_reply(
+                    rid, f"op {op!r} needs a non-empty string session id"
+                ))
+                return
+            await self._forward(conn, rid, op, session, line)
+            return
+        self._write(conn, error_reply(
+            rid, f"unknown op {op!r}; expected one of "
+            + ", ".join(OPS + CLUSTER_OPS)
+        ))
+
+    # ------------------------------------------------------------------
+    # Forwarding.
+    # ------------------------------------------------------------------
+    def _route(self, session: str, *, placing: bool) -> _Backend | None:
+        """The backend owning a session: placement first, ring second."""
+        key = self._placements.get(session)
+        if key is not None:
+            backend = self._backends.get(key)
+            if backend is not None and backend.placeable():
+                return backend
+            del self._placements[session]
+        exclude = {key for key, b in self._backends.items()
+                   if b.state != "up"}
+        key = self._ring.route(session, exclude=exclude)
+        if key is None:
+            return None
+        backend = self._backends[key]
+        if placing:
+            self._placements[session] = key
+        return backend
+
+    async def _forward(self, conn: _ClientConn, rid: Any, op: str,
+                       session: str, raw: bytes,
+                       binary: bool = False) -> None:
+        """Route one session op and forward its original bytes."""
+        backend = self._route(session, placing=(op == "open"))
+        if backend is None:
+            self.retryable_errors_total += 1
+            self._write(conn, error_reply(rid, (
+                f"no backend available for session {session!r} (every "
+                "backend is down or draining); retry when the fleet heals"
+            ), retryable=True))
+            return
+        up = await self._upstream(conn, backend)
+        if up is None:
+            self.retryable_errors_total += 1
+            self._write(conn, error_reply(rid, (
+                f"backend {backend.key} is unreachable; session "
+                f"{session!r} will be re-placed — reopen and replay to "
+                "recover"
+            ), retryable=True))
+            return
+        if binary and not up.binary:
+            # The session just moved (failover or drain) to a backend this
+            # connection has never negotiated v2 with; forwarding the raw
+            # frame would earn a *non-retryable* framing error.  Bounce the
+            # client into its reattach path instead: the reopen is JSON,
+            # renegotiates v2 on this link, and the journal replays.
+            self.retryable_errors_total += 1
+            self._write(conn, error_reply(rid, (
+                f"session {session!r} was re-placed onto backend "
+                f"{backend.key}, which has not negotiated binary framing "
+                "on this connection; reopen and replay to recover"
+            ), retryable=True))
+            return
+        up.pending[rid] = (op, session)
+        try:
+            up.writer.write(raw)
+            await up.writer.drain()
+        except (OSError, ConnectionError):
+            self._backend_down(backend, "forwarding write failed")
+
+    async def _upstream(self, conn: _ClientConn,
+                        backend: _Backend) -> _Upstream | None:
+        """The (connection, backend) link, dialing it on first use."""
+        up = conn.upstreams.get(backend.key)
+        if up is not None and not up.gone:
+            return up
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(backend.host, backend.port),
+                self._connect_timeout_s,
+            )
+        except (OSError, asyncio.TimeoutError):
+            self._backend_down(backend, "connect refused or timed out")
+            return None
+        up = _Upstream(backend.key, reader, writer)
+        hello = await up.frames.read_line(MAX_LINE_BYTES)
+        if hello is None:
+            self._backend_down(backend, "closed before hello")
+            return None
+        conn.upstreams[backend.key] = up
+        up.pump = asyncio.ensure_future(self._pump_upstream(conn, up))
+        self._tasks.add(up.pump)
+        up.pump.add_done_callback(self._tasks.discard)
+        return up
+
+    async def _pump_upstream(self, conn: _ClientConn, up: _Upstream) -> None:
+        """Forward one upstream's replies to the client, verbatim.
+
+        Binary results: the header is read for the request id (to settle
+        the pending map), then the original bytes are written through.
+        JSON replies are parsed only to settle bookkeeping (placement
+        release on ``close``/``evict``) — the forwarded line is the
+        backend's own bytes either way.
+        """
+        reason = "backend closed the connection"
+        try:
+            while True:
+                first = await up.frames.peek_byte()
+                if first is None:
+                    break
+                if first == BIN_MAGIC:
+                    raw = await self._read_upstream_binary(up)
+                    if raw is None:
+                        reason = "backend reply stream desynced"
+                        break
+                    conn.writer.write(raw)
+                else:
+                    line = await up.frames.read_line(MAX_FRAME_BYTES)
+                    if line is None:
+                        break
+                    self._settle_line(up, line)
+                    conn.writer.write(line)
+                await conn.writer.drain()
+        except asyncio.CancelledError:
+            up.gone = True
+            return
+        except (OSError, ConnectionError):
+            reason = "backend connection failed"
+        if up.gone or self._closing:
+            return
+        backend = self._backends.get(up.key)
+        if backend is not None and backend.state == "up":
+            # An unexpected EOF on a live link IS the death signal — no
+            # need to wait for the prober to miss thrice.
+            self._backend_down(backend, reason)
+        else:
+            self._fail_upstream(conn, up, reason)
+
+    async def _read_upstream_binary(self, up: _Upstream) -> bytes | None:
+        """One binary reply, verbatim; None when the frame is untrusted."""
+        prefix = await up.frames.read_exactly(BIN_PREFIX.size)
+        if prefix is None:
+            return None
+        (_, _version, _opcode, _dtype, rid, _seq,
+         slen, ndim, _pad) = BIN_PREFIX.unpack(prefix)
+        if ndim > MAX_BIN_NDIM or slen > MAX_BIN_SESSION:
+            return None
+        rest = await up.frames.read_exactly(4 * ndim + 4)
+        if rest is None:
+            return None
+        nbytes = struct.unpack("<I", rest[-4:])[0]
+        if nbytes > MAX_FRAME_BYTES:
+            return None
+        body = await up.frames.read_exactly(slen + nbytes)
+        if body is None:
+            return None
+        up.pending.pop(rid, None)
+        return prefix + rest + body
+
+    def _settle_line(self, up: _Upstream, line: bytes) -> None:
+        try:
+            reply = json.loads(line)
+        except ValueError:
+            return  # forwarded anyway; the client owns the complaint
+        if not isinstance(reply, dict):
+            return
+        meta = up.pending.pop(reply.get("id"), None)
+        if meta is None:
+            return
+        op, session = meta
+        if op == "open" and reply.get("ok") and reply.get("protocol") == 2:
+            up.binary = True
+        if op in _RELEASE_OPS and reply.get("ok"):
+            if self._placements.get(session) == up.key:
+                del self._placements[session]
+
+    def _fail_upstream(self, conn: _ClientConn, up: _Upstream,
+                       reason: str) -> None:
+        """Answer an upstream's in-flight requests with retryable frames."""
+        if up.gone:
+            return
+        up.gone = True
+        pending, up.pending = up.pending, {}
+        for rid, (op, session) in pending.items():
+            self.retryable_errors_total += 1
+            self._write(conn, error_reply(rid, (
+                f"backend {up.key} failed with the {op!r} request in "
+                f"flight ({reason}); session {session!r} will be re-placed "
+                "— reopen and replay to recover"
+            ), retryable=True))
+        if up.pump is not None and up.pump is not asyncio.current_task():
+            up.pump.cancel()
+        try:
+            up.writer.close()
+        except OSError:
+            pass
+        if conn.upstreams.get(up.key) is up:
+            del conn.upstreams[up.key]
+
+    # ------------------------------------------------------------------
+    # Admin plane.
+    # ------------------------------------------------------------------
+    def _cluster_snapshot(self) -> dict:
+        placed = Counter(self._placements.values())
+        return {
+            "gateway": True,
+            "backends": [
+                {
+                    "backend": backend.key,
+                    "state": backend.state,
+                    "probe_misses": backend.misses,
+                    "sessions_placed": placed.get(backend.key, 0),
+                    "draining": backend.drain_task is not None
+                    and backend.state != "removed",
+                    "remaining": backend.remaining,
+                    "health": backend.last_health,
+                }
+                for backend in self._backends.values()
+            ],
+            "removed": list(self._removed),
+            "ring": {
+                "vnodes": self._ring.vnodes,
+                "nodes": sorted(self._ring.nodes),
+            },
+            "placements": len(self._placements),
+            "retryable_errors_total": self.retryable_errors_total,
+        }
+
+    async def _fanout(self, conn: _ClientConn, rid: Any, op: str) -> None:
+        """stats/sessions across the fleet, merged like NetServer's
+        per-worker fan-out — one level up."""
+        keys = [key for key, b in self._backends.items()
+                if b.state in ("up", "draining")]
+        results = await asyncio.gather(
+            *(self._admin_request(self._backends[key], op) for key in keys),
+            return_exceptions=True,
+        )
+        parts: list[dict] = []
+        merged: list[dict] = []
+        for key, result in zip(keys, results):
+            if isinstance(result, BaseException):
+                parts.append({"backend": key, "ok": False,
+                              "error": str(result)})
+                continue
+            parts.append({"backend": key, "ok": bool(result.get("ok"))})
+            field = "sessions" if op == "sessions" else "workers"
+            for entry in result.get(field, ()):
+                merged.append({**entry, "backend": key})
+        for key, backend in self._backends.items():
+            if backend.state == "down":
+                parts.append({"backend": key, "ok": False,
+                              "error": f"backend {key} is down"})
+        payload: dict[str, Any] = {"id": rid, "ok": True, "type": op,
+                                   "backends": parts}
+        payload["sessions" if op == "sessions" else "workers"] = merged
+        self._write(conn, payload)
+
+    async def _op_cluster_drain(self, conn: _ClientConn, rid: Any,
+                                message: dict) -> None:
+        try:
+            key = backend_key(message.get("backend"))
+        except ConfigError as error:
+            self._write(conn, error_reply(rid, error))
+            return
+        backend = self._backends.get(key)
+        if backend is None:
+            self._write(conn, error_reply(
+                rid, f"unknown backend {key!r}; cluster_health lists the "
+                "fleet"
+            ))
+            return
+        if len([b for b in self._backends.values()
+                if b.state in ("up", "draining")]) <= 1:
+            self._write(conn, error_reply(
+                rid, f"cannot drain {key!r}: it is the last placeable "
+                "backend; add capacity first"
+            ))
+            return
+        force = bool(message.get("force"))
+        wait_s = message.get("wait_s", self._drain_timeout_s)
+        if backend.drain_task is None:
+            if backend.state == "up":
+                backend.state = "draining"
+            self._log_event("drain_started", backend=key, force=force)
+            backend.drain_task = asyncio.ensure_future(
+                self._drain_backend(backend, force)
+            )
+        try:
+            await asyncio.wait_for(
+                asyncio.shield(backend.drain_task), float(wait_s)
+            )
+        except asyncio.TimeoutError:
+            pass
+        drained = backend.state == "removed"
+        self._write(conn, {
+            "id": rid, "ok": True, "type": "cluster_drain", "backend": key,
+            "drained": drained,
+            "remaining": 0 if drained else backend.remaining,
+        })
+
+    async def _drain_backend(self, backend: _Backend, force: bool) -> None:
+        """Roll one backend out: no new placements (state alone does
+        that), then wait out — or force-migrate — its pinned sessions."""
+        while not self._closing:
+            if backend.state == "down":
+                # The node died mid-drain: its sessions are already lost
+                # (and their clients already reattaching elsewhere), so
+                # the only work left is taking it off the ring.
+                break
+            try:
+                reply = await self._admin_request(backend, "sessions")
+                names = [entry.get("session")
+                         for entry in reply.get("sessions", ())]
+            except (OSError, ConnectionError, asyncio.TimeoutError,
+                    NetError):
+                await asyncio.sleep(self._drain_poll_s)
+                continue
+            backend.remaining = len(names)
+            if not names:
+                break
+            if force:
+                for name in names:
+                    if self._placements.get(name) == backend.key:
+                        # Placement first: by the time the evicted
+                        # session's client reopens, the ring (minus this
+                        # draining node) owns it.
+                        del self._placements[name]
+                    try:
+                        await self._admin_request(
+                            backend, "evict", session=name
+                        )
+                    except (OSError, ConnectionError,
+                            asyncio.TimeoutError, NetError):
+                        break
+            await asyncio.sleep(self._drain_poll_s)
+        if self._closing:
+            return
+        backend.remaining = 0
+        self._remove_backend(backend)
+
+    def _op_cluster_undrain(self, conn: _ClientConn, rid: Any,
+                            message: dict) -> None:
+        try:
+            key = backend_key(message.get("backend"))
+        except ConfigError as error:
+            self._write(conn, error_reply(rid, error))
+            return
+        backend = self._backends.get(key)
+        if backend is None:
+            self._write(conn, error_reply(
+                rid, f"unknown backend {key!r} (already removed?)"
+            ))
+            return
+        if backend.drain_task is not None:
+            backend.drain_task.cancel()
+            backend.drain_task = None
+        if backend.state == "draining":
+            backend.state = "up"
+        self._log_event("drain_cancelled", backend=key,
+                        state=backend.state)
+        self._write(conn, {"id": rid, "ok": True, "type": "cluster_undrain",
+                           "backend": key, "state": backend.state})
+
+    async def _op_cluster_add(self, conn: _ClientConn, rid: Any,
+                              message: dict) -> None:
+        try:
+            key = backend_key(message.get("backend"))
+        except ConfigError as error:
+            self._write(conn, error_reply(rid, error))
+            return
+        if key in self._backends:
+            self._write(conn, error_reply(
+                rid, f"backend {key!r} is already in the fleet"
+            ))
+            return
+        backend = _Backend(key)
+        backend.admin_lock = asyncio.Lock()
+        try:
+            await self._admin_connect(backend)
+            self._check_meta(backend)
+        except (OSError, asyncio.TimeoutError, ConfigError,
+                NetError) as error:
+            self._write(conn, error_reply(
+                rid, f"backend {key!r} cannot join: {error}"
+            ))
+            return
+        self._backends[key] = backend
+        if key in self._removed:
+            self._removed.remove(key)
+        self._ring.add(key)
+        backend.prober = asyncio.ensure_future(self._probe_loop(backend))
+        self._log_event("backend_added", backend=key,
+                        ring=sorted(self._ring.nodes))
+        self._write(conn, {"id": rid, "ok": True, "type": "cluster_add",
+                           "backend": key,
+                           "backends": len(self._backends)})
+
+    # ------------------------------------------------------------------
+    def _write(self, conn: _ClientConn, message: dict) -> None:
+        try:
+            conn.writer.write(dump_line(message))
+        except Exception:  # repro: ignore[REP005] connection torn down mid-write; the reader path cleans up
+            pass

@@ -1,0 +1,130 @@
+"""Consistent hashing for the cluster tier: a SHA-256 vnode ring.
+
+The intra-node shard (:func:`repro.runtime.net.server.route_session`)
+uses ``hash % workers`` because a NetServer's worker count is fixed for
+its lifetime.  A *cluster* resizes — backends join, drain, die — and
+under modulo routing a resize remaps almost every session, which for a
+recurrent stream means almost every client replaying its journal at
+once.  A consistent-hash ring bounds that blast radius: each backend
+owns ``vnodes`` pseudo-random arc segments of a 64-bit circle, a
+session routes to the first segment at or clockwise of its own hash
+point, and adding or removing one of ``N`` backends moves only the arcs
+that backend owned — ~``1/N`` of sessions, property-tested in
+``tests/runtime/test_cluster_ring.py``.
+
+Everything is derived from SHA-256, never ``hash()``: placement must be
+identical across processes, restarts and machines (PYTHONHASHSEED salts
+``hash()`` per process), because a gateway restart must route every
+session exactly where its predecessor did.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable
+
+from repro.errors import ConfigError
+
+__all__ = ["HashRing"]
+
+#: Vnodes per backend.  More vnodes → tighter balance (the max/min load
+#: ratio across backends shrinks roughly with 1/sqrt(vnodes)) at the
+#: price of a longer sorted ring; 128 keeps the ratio under ~1.5 for
+#: small fleets while route() stays a single bisect.
+DEFAULT_VNODES = 128
+
+
+def _point(label: str) -> int:
+    """A stable 64-bit circle position for a label (vnode or key)."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over named nodes (``"host:port"`` strings).
+
+    Not thread-safe by itself — the gateway mutates and routes only on
+    its event-loop thread, matching the rest of its connection state.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ConfigError(f"vnodes must be positive, got {vnodes}")
+        self._vnodes = vnodes
+        self._nodes: set[str] = set()
+        self._points: list[int] = []   # sorted circle positions
+        self._owners: list[str] = []   # owner of each position, same order
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    @property
+    def vnodes(self) -> int:
+        return self._vnodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    # ------------------------------------------------------------------
+    def add(self, node: str) -> None:
+        """Insert a node's vnodes.  Adding a present node is an error —
+        silently re-adding would hide a gateway bookkeeping bug."""
+        if not node:
+            raise ConfigError("ring nodes must be non-empty strings")
+        if node in self._nodes:
+            raise ConfigError(f"node {node!r} is already on the ring")
+        self._nodes.add(node)
+        for index in range(self._vnodes):
+            point = _point(f"{node}#{index}")
+            at = bisect.bisect_left(self._points, point)
+            # SHA-256 collisions between distinct labels are not a real
+            # event; equal points from the SAME label cannot happen since
+            # labels are unique.  Insert unconditionally: two equal
+            # points would tie-break by insertion order, deterministic
+            # because add order is the caller's explicit configuration.
+            self._points.insert(at, point)
+            self._owners.insert(at, node)
+
+    def remove(self, node: str) -> None:
+        """Drop a node's vnodes; only its arcs change owners."""
+        if node not in self._nodes:
+            raise ConfigError(f"node {node!r} is not on the ring")
+        self._nodes.discard(node)
+        keep = [i for i, owner in enumerate(self._owners) if owner != node]
+        self._points = [self._points[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    def route(self, key: str, exclude: frozenset[str] | set[str] = frozenset()) -> str | None:
+        """The node owning ``key``: first vnode clockwise of its point.
+
+        ``exclude`` skips nodes that cannot take the key right now (down
+        or draining) by walking further clockwise — the same walk every
+        gateway performs, so exclusion is as deterministic as the ring.
+        Returns None when no placeable node remains.
+        """
+        if not self._points:
+            return None
+        candidates = self._nodes - set(exclude)
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            return next(iter(candidates))
+        start = bisect.bisect_right(self._points, _point(key))
+        total = len(self._owners)
+        for step in range(total):
+            owner = self._owners[(start + step) % total]
+            if owner in candidates:
+                return owner
+        return None  # unreachable while candidates is non-empty
+
+    def table(self, keys: Iterable[str]) -> dict[str, str | None]:
+        """Route many keys at once (test/diagnostic helper)."""
+        return {key: self.route(key) for key in keys}

@@ -73,12 +73,50 @@ def _score_batch(
     return hypotheses, references
 
 
+def _score_batch_net(
+    client: Any, decoder: Any, phone_set: Any, batch: Any, passes: Any
+) -> tuple[list[list[str]], list[list[str]]]:
+    """Forward one batch utterance-by-utterance over the wire + decode.
+
+    Each utterance streams through its own width-1 net session
+    (``push_many`` of its frames), because the served wire path *is*
+    width-1: a fixed-backend :class:`CompiledModel` couples quantization
+    format fitting to the batch it sees, so width-B batched logits are
+    legitimately different bytes from the same utterance served alone.
+    Scoring the transport therefore compares against the in-process
+    ``batch_size=1`` path — that equality is exact and test-pinned.
+    """
+    import numpy as np
+
+    from repro.asr.decoder import collapse_repeats
+
+    hypotheses = []
+    references = []
+    for b, length in enumerate(batch.lengths):
+        features = np.ascontiguousarray(batch.features[:length, b, :])
+        session = client.session(f"per-eval-{next(passes)}", reattach=True)
+        try:
+            logits = session.push_many(features)
+        finally:
+            session.close()
+        hypotheses.extend(
+            decoder.decode_batch(logits[:, None, :], [length])
+        )
+        frame_refs = batch.labels[:length, b]
+        tokens = collapse_repeats(list(frame_refs))
+        phones = phone_set.decode(tokens)
+        references.append(decoder.reference(phones))
+    return hypotheses, references
+
+
 def evaluate_per(
     model: Any,
     dataset: Any,
     decoder: Any = None,
     batch_size: int = 8,
     workers: int | None = None,
+    transport: str = "inprocess",
+    address: tuple[str, int] | None = None,
 ) -> float:
     """Corpus phone error rate (percent) — the paper's accuracy metric.
 
@@ -93,10 +131,30 @@ def evaluate_per(
     pass is numpy-heavy and releases the GIL in BLAS/FFT); results are
     gathered in batch order, so the returned PER is identical to the
     serial path.
+
+    ``transport="net"`` scores the *served* math: every utterance streams
+    through a :class:`repro.runtime.net.Client` session — against
+    ``address`` (a running NetServer or cluster gateway) when given,
+    otherwise against an ephemeral single-worker NetServer spun up for
+    the call — so the PER measured is the one deployment produces, wire
+    framing, session routing and all.  Equality with the in-process
+    ``batch_size=1`` PER is test-pinned (``tests/runtime/
+    test_evaluate.py``); width-B in-process batching may differ on the
+    fixed backend, where quantization format fitting is batch-coupled.
     """
     from repro.asr.decoder import FrameDecoder
     from repro.asr.metrics import corpus_error_rate
 
+    if transport not in ("inprocess", "net"):
+        from repro.errors import ConfigError
+
+        raise ConfigError(
+            f"transport must be 'inprocess' or 'net', got {transport!r}"
+        )
+    if transport == "net":
+        return _evaluate_per_net(
+            model, dataset, decoder, batch_size, address
+        )
     compiled = as_compiled(model)
     if decoder is None:
         decoder = FrameDecoder(dataset.phone_set)
@@ -122,6 +180,55 @@ def evaluate_per(
         hypotheses.extend(hyps)
         references.extend(refs)
     return corpus_error_rate(references, hypotheses)
+
+
+def _evaluate_per_net(
+    model: Any,
+    dataset: Any,
+    decoder: Any,
+    batch_size: int,
+    address: tuple[str, int] | None,
+) -> float:
+    """The served-PER path: score every utterance over real sockets."""
+    import itertools
+
+    from repro.asr.decoder import FrameDecoder
+    from repro.asr.metrics import corpus_error_rate
+    from repro.runtime.net import Client
+
+    if decoder is None:
+        decoder = FrameDecoder(dataset.phone_set)
+    passes = itertools.count()
+
+    def score_through(client: Any) -> float:
+        references: list[list[str]] = []
+        hypotheses: list[list[str]] = []
+        # The in-process batches only bucket iteration order here — each
+        # utterance is served width-1 regardless, so PER matches the
+        # in-process batch_size=1 result bit for bit.
+        for batch in _iter_eval_batches(dataset, batch_size):
+            hyps, refs = _score_batch_net(
+                client, decoder, dataset.phone_set, batch, passes
+            )
+            hypotheses.extend(hyps)
+            references.extend(refs)
+        return corpus_error_rate(references, hypotheses)
+
+    if address is not None:
+        client = Client(*address)
+        try:
+            return score_through(client)
+        finally:
+            client.close()
+    from repro.runtime.net import NetServer
+
+    compiled = as_compiled(model)
+    with NetServer(compiled, workers=1) as server:
+        client = Client(*server.address)
+        try:
+            return score_through(client)
+        finally:
+            client.close()
 
 
 def evaluate_frame_accuracy(

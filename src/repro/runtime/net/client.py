@@ -335,6 +335,37 @@ class Client:
         """
         return bool(self.request("evict", session=session).get("evicted"))
 
+    def cluster_health(self) -> dict:
+        """The gateway's cluster snapshot (backend states, ring, drains).
+
+        Only meaningful against a :class:`repro.runtime.cluster.Gateway`
+        endpoint; a plain NetServer rejects the op.
+        """
+        return self.request("cluster_health")
+
+    def cluster_drain(self, backend: str, *, force: bool = False,
+                      wait_s: float | None = None) -> dict:
+        """Start (or keep waiting on) a rolling drain of one backend.
+
+        Returns the gateway's reply: ``drained`` (bool) and
+        ``remaining`` (sessions still pinned).  ``force`` evicts pinned
+        sessions so their clients migrate by journal replay instead of
+        waiting for natural close/TTL.  The drain keeps running in the
+        background after the reply — call again to re-check.
+        """
+        fields: dict[str, Any] = {"backend": backend, "force": force}
+        if wait_s is not None:
+            fields["wait_s"] = wait_s
+        return self.request("cluster_drain", **fields)
+
+    def cluster_undrain(self, backend: str) -> dict:
+        """Cancel a drain-in-progress and return the backend to service."""
+        return self.request("cluster_undrain", backend=backend)
+
+    def cluster_add(self, backend: str) -> dict:
+        """Join a running NetServer (``"host:port"``) into the fleet."""
+        return self.request("cluster_add", backend=backend)
+
     def session(self, name: str, **retry: Any) -> "NetSession":
         """Open (or re-attach to) the named streaming session."""
         return NetSession(self, name, **retry)

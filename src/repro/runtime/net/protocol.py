@@ -71,6 +71,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "MAX_PROTOCOL",
     "OPS",
+    "CLUSTER_OPS",
     "SESSION_OPS",
     "NetError",
     "BusyError",
@@ -95,6 +96,11 @@ MAX_PROTOCOL = 2
 #: Every op a request may carry (v2 adds ``push_many``).  repro-lint's
 #: REP006 checker keeps this tuple and the client-facing spec in lockstep.
 OPS = ("ping", "stats", "health", "sessions", "open", "push", "push_many", "reset", "close", "evict")  # documented-in: docs/runtime.md
+
+#: The gateway's admin plane (:mod:`repro.runtime.cluster`).  A single
+#: NetServer rejects these as unknown ops — they only mean something to
+#: the process that owns the ring.
+CLUSTER_OPS = ("cluster_health", "cluster_drain", "cluster_undrain", "cluster_add")  # documented-in: docs/runtime.md
 
 #: The ops that carry a session name and route to a worker by its hash.
 SESSION_OPS = frozenset({"open", "push", "push_many", "reset", "close",

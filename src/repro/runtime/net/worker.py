@@ -89,6 +89,28 @@ _OP_NAMES = {OP_OPEN: "open", OP_PUSH: "push", OP_PUSH_MANY: "push_many",
              OP_RESET: "reset", OP_CLOSE: "close", OP_EVICT: "evict"}
 
 
+def _watch_parent() -> None:
+    """Die with the parent: a SIGKILLed NetServer must not leave workers.
+
+    The request queue cannot signal parent death — this process holds
+    its own write end, so the pipe never reaches EOF.  The parent
+    *process sentinel* does: it fires exactly when the parent exits, at
+    which point nobody is pumping our replies and the only honest move
+    is immediate exit (``os._exit``: no drain — the drain's audience is
+    gone).  Without this, every crashed-host drill in the cluster tier
+    (gateway failover tests, ``BackendFleet.kill``) would orphan one
+    worker per kill.
+    """
+    import multiprocessing as mp
+    import os
+
+    parent = mp.parent_process()
+    if parent is None:  # directly invoked, not spawned: nothing to watch
+        return
+    parent.join()
+    os._exit(2)
+
+
 def _error(error: BaseException) -> dict:
     return {
         "ok": False,
@@ -606,6 +628,9 @@ def worker_main(
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):
         pass
+
+    threading.Thread(target=_watch_parent, name="parent-watch",
+                     daemon=True).start()
 
     rings = None
     try:

@@ -1,0 +1,163 @@
+"""The bench-trajectory regression gate (`repro bench --compare`)."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    DEFAULT_TIMING_THRESHOLD,
+    ComparisonReport,
+    compare_files,
+    compare_results,
+)
+from repro.errors import ConfigError
+
+
+def _artifact(name="suite", quick=False, cpus=4, timings=None, metrics=None):
+    return {
+        "name": name,
+        "quick": quick,
+        "environment": {"cpus": cpus, "python": "3.x"},
+        "timings": {
+            label: {"median_s": median, "repeats": 3}
+            for label, median in (timings or {}).items()
+        },
+        "metrics": dict(metrics or {}),
+    }
+
+
+class TestVerdicts:
+    def test_identical_artifacts_pass(self):
+        art = _artifact(timings={"fwd": 0.5}, metrics={"w1_fps": 100.0})
+        report = compare_results(art, art)
+        assert report.ok
+        assert report.timings_judged
+
+    def test_timing_regression_fails(self):
+        old = _artifact(timings={"fwd": 0.5})
+        new = _artifact(timings={"fwd": 0.5 * (1 + DEFAULT_TIMING_THRESHOLD)
+                                 * 1.05})
+        report = compare_results(old, new)
+        assert not report.ok
+        [delta] = report.regressions
+        assert delta.name == "timings.fwd"
+        assert delta.kind == "regression"
+
+    def test_slowdown_within_threshold_passes(self):
+        old = _artifact(timings={"fwd": 0.5})
+        new = _artifact(timings={"fwd": 0.55})  # 10% — noise
+        assert compare_results(old, new).ok
+
+    def test_improvement_is_reported_not_gated(self):
+        old = _artifact(timings={"fwd": 1.0})
+        new = _artifact(timings={"fwd": 0.2})
+        report = compare_results(old, new)
+        assert report.ok
+        assert any(d.kind == "improvement" for d in report.deltas)
+
+
+class TestMetricDirections:
+    def test_lower_is_better_suffixes_gate_increases(self):
+        old = _artifact(metrics={"p50_ms": 10.0})
+        new = _artifact(metrics={"p50_ms": 20.0})
+        assert not compare_results(old, new).ok
+        # decreasing a latency is an improvement, not a regression
+        assert compare_results(new, old).ok
+
+    def test_higher_is_better_gates_decreases(self):
+        old = _artifact(metrics={"w1_fps": 1000.0, "p50_speedup": 2.0})
+        worse = _artifact(metrics={"w1_fps": 400.0, "p50_speedup": 2.0})
+        report = compare_results(old, worse)
+        assert [d.name for d in report.regressions] == ["metrics.w1_fps"]
+
+    def test_undirected_metrics_only_need_presence(self):
+        old = _artifact(metrics={"clients": 8, "note": "hi", "peak": None})
+        new = _artifact(metrics={"clients": 99, "note": "other", "peak": 3})
+        assert compare_results(old, new).ok  # values differ, no direction
+
+
+class TestStructuralChecks:
+    def test_missing_timing_fails_even_when_quick_differs(self):
+        old = _artifact(timings={"fwd": 0.5, "bwd": 0.4})
+        new = _artifact(quick=True, timings={"fwd": 0.1})
+        report = compare_results(old, new)
+        assert not report.ok
+        [delta] = report.regressions
+        assert delta.name == "timings.bwd"
+        assert delta.kind == "missing"
+
+    def test_missing_metric_fails(self):
+        old = _artifact(metrics={"w1_fps": 100.0})
+        new = _artifact(metrics={})
+        assert not compare_results(old, new).ok
+
+    def test_new_metric_is_a_note(self):
+        old = _artifact(metrics={})
+        new = _artifact(metrics={"w1_fps": 100.0})
+        report = compare_results(old, new)
+        assert report.ok
+        assert any(d.kind == "note" for d in report.deltas)
+
+    def test_suite_name_mismatch_is_an_error(self):
+        with pytest.raises(ConfigError, match="like against like"):
+            compare_results(_artifact(name="a"), _artifact(name="b"))
+
+
+class TestNoiseAwareness:
+    def test_quick_mismatch_skips_timing_judgement(self):
+        old = _artifact(timings={"fwd": 0.5})
+        new = _artifact(quick=True, timings={"fwd": 5.0})  # 10x "slower"
+        report = compare_results(old, new)
+        assert report.ok
+        assert not report.timings_judged
+        assert any("quick" in note for note in report.notes)
+
+    def test_cpu_mismatch_skips_timing_judgement(self):
+        old = _artifact(cpus=1, timings={"fwd": 0.5})
+        new = _artifact(cpus=16, timings={"fwd": 5.0})
+        report = compare_results(old, new)
+        assert report.ok
+        assert not report.timings_judged
+
+    def test_sub_noise_floor_timings_never_gate(self):
+        old = _artifact(timings={"tiny": 2e-5})
+        new = _artifact(timings={"tiny": 2e-4})  # 10x, but microseconds
+        report = compare_results(old, new)
+        assert report.ok
+
+    def test_custom_threshold(self):
+        old = _artifact(timings={"fwd": 1.0})
+        new = _artifact(timings={"fwd": 1.2})
+        assert compare_results(old, new).ok
+        assert not compare_results(old, new, timing_threshold=0.1).ok
+
+
+class TestFilesAndFormat:
+    def test_compare_files_roundtrip(self, tmp_path):
+        old = _artifact(timings={"fwd": 1.0})
+        new = _artifact(timings={"fwd": 5.0})
+        old_path = tmp_path / "BENCH_old.json"
+        new_path = tmp_path / "BENCH_new.json"
+        old_path.write_text(json.dumps(old))
+        new_path.write_text(json.dumps(new))
+        report = compare_files(old_path, new_path)
+        assert not report.ok
+        text = report.format()
+        assert "FAIL" in text and "timings.fwd" in text
+
+    def test_missing_file_is_config_error(self, tmp_path):
+        with pytest.raises(ConfigError, match="does not exist"):
+            compare_files(tmp_path / "nope.json", tmp_path / "nope2.json")
+
+    def test_non_bench_json_is_config_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2]")
+        with pytest.raises(ConfigError, match="name"):
+            compare_files(bad, bad)
+
+    def test_format_mentions_unjudged_timings(self):
+        old = _artifact(timings={"fwd": 1.0})
+        new = _artifact(quick=True, timings={"fwd": 1.0})
+        report = compare_results(old, new)
+        assert isinstance(report, ComparisonReport)
+        assert "timings not judged" in report.format()

@@ -1,0 +1,171 @@
+"""The consistent-hash ring's contract, property-tested.
+
+Three properties make the ring fit to route recurrent streams:
+
+* **balance** — with vnodes, no backend owns a pathological share of
+  the keyspace (max/min load ratio bounded);
+* **minimal movement** — adding or removing one of N nodes remaps only
+  about 1/N of sessions (modulo routing would remap ~(N-1)/N: almost
+  every client replaying its journal at once);
+* **determinism** — placement derives from SHA-256 only, so a fresh
+  process (PYTHONHASHSEED and all) routes every key identically: a
+  gateway restart must route sessions exactly where its predecessor did.
+"""
+
+import json
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime.cluster import DEFAULT_VNODES, HashRing
+
+NODES = [f"10.0.0.{i}:7000" for i in range(1, 6)]
+KEYS = [f"session-{i}" for i in range(4000)]
+
+
+class TestBasics:
+    def test_single_node_takes_everything(self):
+        ring = HashRing(["a:1"])
+        assert all(ring.route(k) == "a:1" for k in KEYS[:50])
+
+    def test_empty_ring_routes_nowhere(self):
+        assert HashRing().route("anything") is None
+
+    def test_duplicate_add_is_an_error(self):
+        ring = HashRing(["a:1"])
+        with pytest.raises(ConfigError):
+            ring.add("a:1")
+
+    def test_remove_unknown_is_an_error(self):
+        with pytest.raises(ConfigError):
+            HashRing(["a:1"]).remove("b:2")
+
+    def test_membership_and_len(self):
+        ring = HashRing(NODES[:3])
+        assert len(ring) == 3
+        assert NODES[0] in ring
+        assert NODES[4] not in ring
+
+    def test_exclude_skips_but_stays_deterministic(self):
+        ring = HashRing(NODES)
+        moved = {}
+        for key in KEYS[:500]:
+            primary = ring.route(key)
+            fallback = ring.route(key, exclude={primary})
+            assert fallback != primary
+            assert fallback in NODES
+            moved[key] = fallback
+        # excluding is pure: same answer every time
+        for key, expected in moved.items():
+            assert ring.route(key, exclude={ring.route(key)}) == expected
+
+    def test_exclude_everything_routes_nowhere(self):
+        ring = HashRing(NODES[:2])
+        assert ring.route("k", exclude=set(NODES[:2])) is None
+
+
+class TestBalance:
+    def test_load_ratio_bounded_under_vnodes(self):
+        """No backend owns a pathological share of the keyspace."""
+        ring = HashRing(NODES, vnodes=DEFAULT_VNODES)
+        loads = Counter(ring.route(key) for key in KEYS)
+        assert set(loads) == set(NODES), "every node serves some keys"
+        ratio = max(loads.values()) / min(loads.values())
+        # 128 vnodes keeps max/min under ~2 for a 5-node fleet; the
+        # bound is generous so hash luck cannot flake the suite.
+        assert ratio < 2.0, f"load ratio {ratio:.2f}, loads={loads}"
+
+    def test_more_vnodes_tighten_balance(self):
+        few = HashRing(NODES, vnodes=8)
+        many = HashRing(NODES, vnodes=256)
+
+        def ratio(ring):
+            loads = Counter(ring.route(key) for key in KEYS)
+            return max(loads.values()) / max(min(loads.values()), 1)
+
+        assert ratio(many) < ratio(few)
+
+
+class TestMinimalMovement:
+    def test_join_moves_about_one_over_n(self):
+        """Adding the (N+1)-th node steals ~1/(N+1) of keys — only the
+        arcs the new node takes over — never a reshuffle."""
+        ring = HashRing(NODES)
+        before = {key: ring.route(key) for key in KEYS}
+        ring.add("10.0.0.6:7000")
+        after = {key: ring.route(key) for key in KEYS}
+        moved = sum(1 for key in KEYS if before[key] != after[key])
+        expected = len(KEYS) / 6
+        assert moved <= 2 * expected, (
+            f"join remapped {moved}/{len(KEYS)} keys; "
+            f"consistent hashing promises ~{expected:.0f}"
+        )
+        # every moved key moved TO the joining node, nowhere else
+        for key in KEYS:
+            if before[key] != after[key]:
+                assert after[key] == "10.0.0.6:7000"
+
+    def test_leave_moves_only_the_leavers_keys(self):
+        ring = HashRing(NODES)
+        before = {key: ring.route(key) for key in KEYS}
+        ring.remove(NODES[2])
+        after = {key: ring.route(key) for key in KEYS}
+        for key in KEYS:
+            if before[key] == NODES[2]:
+                assert after[key] != NODES[2]
+            else:
+                assert after[key] == before[key], (
+                    "a surviving node's key moved on leave"
+                )
+        moved = sum(1 for key in KEYS if before[key] != after[key])
+        assert moved <= 2 * len(KEYS) / 5
+
+    def test_join_then_leave_roundtrips(self):
+        ring = HashRing(NODES)
+        before = {key: ring.route(key) for key in KEYS[:1000]}
+        ring.add("10.0.0.9:7000")
+        ring.remove("10.0.0.9:7000")
+        assert {key: ring.route(key) for key in KEYS[:1000]} == before
+
+    def test_modulo_would_reshuffle(self):
+        """The property the ring buys, made concrete: modulo routing
+        remaps the vast majority of keys on a one-node join."""
+        import hashlib
+
+        def modulo_route(key, n):
+            digest = hashlib.sha256(key.encode()).digest()
+            return int.from_bytes(digest[:8], "big") % n
+
+        moved_modulo = sum(
+            1 for key in KEYS if modulo_route(key, 5) != modulo_route(key, 6)
+        )
+        assert moved_modulo > len(KEYS) * 0.6  # ~5/6 in expectation
+
+
+class TestCrossProcessDeterminism:
+    def test_fresh_interpreter_routes_identically(self):
+        """A gateway restart (new PYTHONHASHSEED) must place every
+        session exactly where its predecessor did."""
+        ring = HashRing(NODES)
+        here = {key: ring.route(key) for key in KEYS[:300]}
+        script = (
+            "import json, sys\n"
+            "from repro.runtime.cluster import HashRing\n"
+            "nodes = json.loads(sys.argv[1]); keys = json.loads(sys.argv[2])\n"
+            "ring = HashRing(nodes)\n"
+            "print(json.dumps({k: ring.route(k) for k in keys}))\n"
+        )
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        out = subprocess.run(
+            [sys.executable, "-c", script,
+             json.dumps(NODES), json.dumps(KEYS[:300])],
+            capture_output=True, text=True, timeout=60,
+            env={"PYTHONPATH": src, "PYTHONHASHSEED": "12345",
+                 "PATH": "/usr/bin:/bin"},
+        )
+        assert out.returncode == 0, out.stderr
+        assert json.loads(out.stdout) == here

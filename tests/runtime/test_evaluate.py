@@ -94,6 +94,48 @@ class TestFrameAccuracy:
         )
 
 
+class TestNetTransport:
+    def test_served_per_equals_inprocess_width1(
+        self, trained_dense, micro_datasets
+    ):
+        """transport="net" scores the *served* math — and it must equal
+        the in-process ``batch_size=1`` PER exactly.  (Width-1 is the
+        honest baseline: the wire serves utterances one by one, and on
+        the fixed backend quantization format fitting is batch-coupled,
+        so width-B batched logits are legitimately different bytes.)"""
+        _, test = micro_datasets
+        compiled = compile(trained_dense, backend="float", cache=False)
+        served = evaluate_per(compiled, test, transport="net")
+        assert served == evaluate_per(compiled, test, batch_size=1)
+
+    def test_served_per_fixed_backend(self, micro_datasets):
+        """The deployment loop closed: PER of the quantized hardware
+        math as actually served over sockets."""
+        from repro.config import RNNSpec
+        from repro.nn.rnn import StackedRNNClassifier
+
+        train, _ = micro_datasets
+        spec = RNNSpec(
+            "lstm", train.feature_dim, (16,), len(train.phone_set),
+            block_sizes=(4,),
+        )
+        model = StackedRNNClassifier(
+            spec, structured=True, rng=np.random.default_rng(0)
+        )
+        fixed = compile(model, backend="fixed", weight_bits=12, cache=False)
+        served = evaluate_per(fixed, train, transport="net", batch_size=4)
+        assert served == evaluate_per(fixed, train, batch_size=1)
+
+    def test_rejects_unknown_transport(self, trained_dense, micro_datasets):
+        import pytest
+
+        from repro.errors import ConfigError
+
+        _, test = micro_datasets
+        with pytest.raises(ConfigError):
+            evaluate_per(trained_dense, test, transport="carrier-pigeon")
+
+
 class TestAsCompiled:
     def test_passthrough_and_coercion(self, trained_dense):
         compiled = compile(trained_dense, backend="float", cache=False)
