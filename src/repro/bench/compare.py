@@ -234,6 +234,23 @@ def compare_results(
             continue
         new_value = new_metrics[name]
         direction = _direction(name)
+        if (direction is not None
+                and _is_number(old_value) != _is_number(new_value)):
+            # A directional metric flipped between a number and null.
+            # That is the cpu-gating convention at work (a metric recorded
+            # on a capable box, re-recorded on one that cannot support the
+            # measurement, or vice versa) — structural presence is
+            # satisfied, so it informs rather than gates.
+            report.deltas.append(Delta(
+                name=f"metrics.{name}", kind="note",
+                old=old_value, new=new_value,
+                message=(
+                    "— measurability changed (number vs null; cpu-gated "
+                    "metrics do this across machines) — presence "
+                    "satisfied, not judged"
+                ),
+            ))
+            continue
         if direction is None or not (_is_number(old_value)
                                      and _is_number(new_value)):
             continue  # configuration echo, note, or null: presence suffices

@@ -288,6 +288,154 @@ def _selftest_expected(compiled, streams):
     return [compiled.run(s[:, None, :])[:, 0] for s in streams]
 
 
+def _lm_fixture_artifact(backend: str, bits: int):
+    """The built-in selftest char-LM: trained on the demo corpus, seeded.
+
+    Every ``--lm`` selftest re-derives this artifact deterministically, so
+    the wire byte-gate has a known-good in-process baseline without any
+    checkpoint file.  Returns ``(compiled, vocab)``.
+    """
+    from repro import runtime
+    from repro.lm import (
+        DEMO_TEXT,
+        CharVocab,
+        LMTrainConfig,
+        build_char_lm,
+        train_char_lm,
+    )
+
+    vocab = CharVocab.from_text(DEMO_TEXT)
+    model = build_char_lm(
+        vocab.size, layer_sizes=(32,), cell_type="gru",
+        block_sizes=(4,), seed=0,
+    )
+    train_char_lm(model, vocab.encode(DEMO_TEXT), LMTrainConfig(epochs=2))
+    compiled = runtime.compile(
+        model, backend=backend, weight_bits=bits,
+        workload="lm", vocab=vocab,
+    )
+    return compiled, vocab
+
+
+def _lm_selftest_soak(host, port, compiled, vocab, args, disrupt=None):
+    """Drive seeded generation + scoring sessions over the wire.
+
+    Each client runs generate → score → generate on ONE session, so the
+    second generation continues from state the first two ops built; the
+    baseline is the same op sequence on an in-process session.  ``disrupt``
+    (kill a backend, drain a node) fires once every client has finished
+    its first two ops, so the final generation always crosses the fault.
+    Returns ``(mismatched, recoveries, errors, elapsed)``.
+    """
+    import threading
+    import time
+
+    from repro.lm import DEMO_TEXT
+    from repro.runtime import ConformanceError, Session, check_conformance
+    from repro.runtime.net import Client
+
+    import numpy as np
+
+    try:
+        probe = np.eye(compiled.input_size)[: min(8, compiled.input_size)]
+        check_conformance(
+            compiled.executor(),
+            np.ascontiguousarray(probe[:, None, :]),
+            workload=compiled.workload_info,
+        )
+    except ConformanceError as error:
+        print(
+            f"SELFTEST FAILED: backend {compiled.backend!r} violates the "
+            f"serving conformance contract: {error}",
+            file=sys.stderr,
+        )
+        return None, None, [str(error)], 0.0
+
+    corpus = vocab.encode(DEMO_TEXT)
+    steps = max(4, args.frames // 2)
+    plans = []
+    for index in range(args.sessions):
+        offset = (3 * index) % max(1, corpus.size - 4)
+        plans.append({
+            "prompt": [int(t) for t in corpus[offset:offset + 4]],
+            "score": [int(t) for t in corpus[:24]],
+            "seeds": (101 + index, 257 + index),
+        })
+
+    def run_ops(session, plan):
+        first = session.generate(
+            plan["prompt"], steps=steps,
+            temperature=0.8, top_k=5, seed=plan["seeds"][0],
+        )
+        logprobs = session.score(plan["score"])
+        second = session.generate(
+            [first[-1]], steps=steps,
+            temperature=0.8, top_k=5, seed=plan["seeds"][1],
+        )
+        return (tuple(first), logprobs.tobytes(), tuple(second))
+
+    expected = [run_ops(Session(compiled), plan) for plan in plans]
+
+    outputs = [None] * args.sessions
+    recoveries = [0] * args.sessions
+    errors: list = []
+    # every client finishes generate+score before the disruption fires,
+    # so the second generation always rides through the fault window
+    midpoint = threading.Barrier(args.sessions + 1, timeout=120)
+
+    def client_thread(index: int) -> None:
+        plan = plans[index]
+        try:
+            with Client(host, port, protocol=args.wire,
+                        timeout=120) as client:
+                session = client.session(f"lm-selftest-{index}",
+                                         reattach=True)
+                first = session.generate(
+                    plan["prompt"], steps=steps,
+                    temperature=0.8, top_k=5, seed=plan["seeds"][0],
+                )
+                logprobs = session.score(plan["score"])
+                midpoint.wait()
+                second = session.generate(
+                    [first[-1]], steps=steps,
+                    temperature=0.8, top_k=5, seed=plan["seeds"][1],
+                )
+                outputs[index] = (
+                    tuple(first), logprobs.tobytes(), tuple(second)
+                )
+                recoveries[index] = session.recoveries
+                session.close()
+        except Exception as error:  # noqa: BLE001 — reported below
+            errors.append(f"lm session {index}: {error}")
+            try:
+                midpoint.abort()
+            except Exception:  # repro: ignore[REP005] barrier may already be broken; the error above is the story
+                pass
+
+    threads = [
+        threading.Thread(target=client_thread, args=(index,))
+        for index in range(args.sessions)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    try:
+        midpoint.wait()
+    except threading.BrokenBarrierError:
+        pass
+    if disrupt is not None and not errors:
+        disrupt()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+
+    mismatched = [
+        index for index in range(args.sessions)
+        if outputs[index] != expected[index]
+    ]
+    return mismatched, recoveries, errors, elapsed
+
+
 def _cmd_serve_net(args: argparse.Namespace) -> int:
     """Network serving mode: repro serve --port ... [--selftest]."""
     import threading
@@ -300,6 +448,9 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
     if args.chaos and not args.selftest:
         print("--chaos only makes sense with --selftest", file=sys.stderr)
         return 2
+    if args.lm and not args.selftest:
+        print("--lm is a selftest mode (add --selftest)", file=sys.stderr)
+        return 2
     faults = list(args.fault or [])
     if args.chaos and not faults:
         # Default chaos: every worker SIGKILLs itself once, staggered so
@@ -308,7 +459,11 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
             f"kill:worker={index},after={4 + 3 * index}"
             for index in range(args.workers)
         ]
-    compiled = _compiled_from_args(args)
+    vocab = None
+    if args.lm:
+        compiled, vocab = _lm_fixture_artifact(args.backend, args.bits)
+    else:
+        compiled = _compiled_from_args(args)
     print(compiled.describe())
     server = NetServer(
         compiled,
@@ -348,6 +503,57 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
         return 0
 
     try:
+        if args.lm:
+            mismatched, recoveries, errors, elapsed = _lm_selftest_soak(
+                host, port, compiled, vocab, args
+            )
+            if errors:
+                print(
+                    "SELFTEST FAILED: client error(s): " + "; ".join(errors),
+                    file=sys.stderr,
+                )
+                return 1
+            if mismatched:
+                print(
+                    "SELFTEST FAILED: generation served over the wire "
+                    f"differs from in-process sessions on {mismatched}",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"lm selftest: {args.sessions} generation sessions "
+                f"(generate → score → generate) byte-identical over the "
+                f"wire in {elapsed * 1e3:.1f} ms (wire v{args.wire}, "
+                f"transport {server.transport})"
+            )
+            if args.chaos:
+                with Client(host, port) as client:
+                    health = client.health()
+                kills = [event for event in server.events
+                         if event["event"] == "worker_down"]
+                if not kills or not health["restarts_total"]:
+                    print(
+                        "SELFTEST FAILED: chaos was armed but no worker "
+                        "death and supervised restart were observed — the "
+                        "faults never fired (lower after=)",
+                        file=sys.stderr,
+                    )
+                    return 1
+                if health["degraded"]:
+                    print(
+                        "SELFTEST FAILED: worker(s) degraded under chaos "
+                        f"({health['degraded']})",
+                        file=sys.stderr,
+                    )
+                    return 1
+                print(
+                    f"chaos: {len(kills)} worker death(s), "
+                    f"{health['restarts_total']} restart(s), "
+                    f"{sum(recoveries)} session recovery(ies) — seeded "
+                    "generation reproduced byte-identically through the "
+                    "journal replay"
+                )
+            return 0
         rng = np.random.default_rng(args.seed)
         streams = rng.standard_normal(
             (args.sessions, args.frames, compiled.input_size)
@@ -471,6 +677,9 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
         print("--chaos/--drain only make sense with --selftest",
               file=sys.stderr)
         return 2
+    if args.lm and not args.selftest:
+        print("--lm is a selftest mode (add --selftest)", file=sys.stderr)
+        return 2
     if args.backends and (args.selftest or args.chaos or args.drain):
         print(
             "--selftest needs locally spawned backends (drop --backends): "
@@ -489,7 +698,11 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
         backend_keys = [part.strip() for part in args.backends.split(",")
                         if part.strip()]
     else:
-        compiled = _compiled_from_args(args)
+        vocab = None
+        if args.lm:
+            compiled, vocab = _lm_fixture_artifact(args.backend, args.bits)
+        else:
+            compiled = _compiled_from_args(args)
         print(compiled.describe())
         fleet = BackendFleet(
             compiled,
@@ -523,6 +736,96 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
             print("press Ctrl-C (or send SIGTERM) to stop the gateway")
             gateway.serve_forever()
             print("gateway stopped; bye")
+            return 0
+
+        if args.lm:
+            admin = Client(host, port, timeout=120)
+            killed = drained = None
+
+            def disrupt() -> None:
+                nonlocal killed, drained
+                if args.chaos:
+                    killed = backend_keys[0]
+                    fleet.kill(0)
+                    print(f"chaos: SIGKILLed backend {killed} mid-soak")
+                if args.drain:
+                    drained = backend_keys[-1]
+                    reply = admin.cluster_drain(drained, force=True,
+                                                wait_s=60)
+                    print(f"drain: rolled {drained} out mid-soak "
+                          f"(drained={reply['drained']})")
+
+            mismatched, recoveries, errors, elapsed = _lm_selftest_soak(
+                host, port, compiled, vocab, args,
+                disrupt=disrupt if (args.chaos or args.drain) else None,
+            )
+            if errors:
+                print(
+                    "SELFTEST FAILED: client error(s): " + "; ".join(errors),
+                    file=sys.stderr,
+                )
+                return 1
+            if mismatched:
+                print(
+                    "SELFTEST FAILED: generation served through the gateway "
+                    f"differs from in-process sessions on {mismatched}",
+                    file=sys.stderr,
+                )
+                return 1
+            health = admin.cluster_health()
+            print(
+                f"lm selftest: {args.sessions} generation sessions "
+                f"(generate → score → generate) byte-identical through the "
+                f"gateway in {elapsed * 1e3:.1f} ms (wire v{args.wire})"
+            )
+            for entry in health["backends"]:
+                print(f"  backend {entry['backend']}: state "
+                      f"{entry['state']}, {entry['sessions_placed']} "
+                      "session(s) placed")
+            events = [event["event"] for event in gateway.events]
+            if args.chaos:
+                states = {b["backend"]: b["state"]
+                          for b in health["backends"]}
+                if ("backend_down" not in events
+                        or states.get(killed) != "down"):
+                    print(
+                        "SELFTEST FAILED: chaos was armed but the gateway "
+                        f"never marked {killed} down (events: {events})",
+                        file=sys.stderr,
+                    )
+                    return 1
+                if not sum(recoveries):
+                    print(
+                        "SELFTEST FAILED: a backend died but no generation "
+                        "session failed over — the kill landed after the "
+                        "soak finished (raise --frames)",
+                        file=sys.stderr,
+                    )
+                    return 1
+                print(
+                    f"chaos ok: {sum(recoveries)} session failover(s) — "
+                    "seeded generation replayed byte-identically onto the "
+                    "surviving backend"
+                )
+            if args.drain:
+                ring = health["ring"]["nodes"]
+                if "backend_removed" not in events or drained in ring:
+                    print(
+                        f"SELFTEST FAILED: drain of {drained} never "
+                        f"completed (ring: {ring}, events: {events})",
+                        file=sys.stderr,
+                    )
+                    return 1
+                print(
+                    f"drain ok: {drained} left the ring mid-soak, every "
+                    "generation byte-identical"
+                )
+            admin.close()
+            print(
+                "gateway lm selftest ok: seeded generation and scoring "
+                "served through the cluster tier byte-identical to "
+                "in-process sessions"
+            )
             return 0
 
         rng = np.random.default_rng(args.seed)
@@ -662,6 +965,115 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
             fleet.close()
 
 
+def _cmd_generate(args: argparse.Namespace) -> int:
+    """Sample seeded text from a char-LM: train locally or dial a server."""
+    from repro.errors import ReproError
+    from repro.lm import CharVocab
+
+    if args.steps < 1:
+        print("--steps must be at least 1", file=sys.stderr)
+        return 2
+
+    if args.connect:
+        from repro.runtime.net import Client
+
+        host, sep, port_text = args.connect.rpartition(":")
+        if not sep or not host or not port_text.isdigit():
+            print(f"--connect wants HOST:PORT, got {args.connect!r}",
+                  file=sys.stderr)
+            return 2
+        try:
+            with Client(host, int(port_text)) as client:
+                if client.workload != "lm":
+                    print(
+                        f"server at {args.connect} serves workload "
+                        f"{client.workload!r}, not a language model",
+                        file=sys.stderr,
+                    )
+                    return 1
+                if client.vocab_chars is None:
+                    print(
+                        f"server at {args.connect} has no vocabulary in its "
+                        "hello; it cannot decode text prompts",
+                        file=sys.stderr,
+                    )
+                    return 1
+                vocab = CharVocab(client.vocab_chars)
+                prompt_text = args.prompt or vocab.chars[0]
+                prompt = vocab.encode(prompt_text)
+                session = client.session(f"cli-generate-{args.seed}")
+                tokens = session.generate(
+                    prompt.tolist(), steps=args.steps,
+                    temperature=args.temperature, top_k=args.top_k,
+                    seed=args.seed,
+                )
+                session.close()
+        except ReproError as error:
+            print(f"generate failed: {error}", file=sys.stderr)
+            return 1
+        print(f"# {len(tokens)} tokens from {args.connect} "
+              f"(seed {args.seed}, temperature {args.temperature:g}, "
+              f"top_k {args.top_k})")
+        print(prompt_text + vocab.decode(tokens))
+        return 0
+
+    from pathlib import Path
+
+    from repro import runtime
+    from repro.lm import DEMO_TEXT, LMTrainConfig, build_char_lm, train_char_lm
+
+    if args.corpus:
+        corpus_path = Path(args.corpus)
+        if not corpus_path.is_file():
+            print(f"corpus {args.corpus} does not exist", file=sys.stderr)
+            return 2
+        text = corpus_path.read_text(encoding="utf-8")
+    else:
+        text = DEMO_TEXT
+    try:
+        vocab = CharVocab.from_text(text)
+        model = build_char_lm(
+            vocab.size,
+            layer_sizes=tuple(args.layers),
+            cell_type=args.cell,
+            block_sizes=(args.block,) * len(args.layers) if args.block else (),
+            seed=args.train_seed,
+        )
+        history = train_char_lm(
+            model, vocab.encode(text),
+            LMTrainConfig(epochs=args.epochs, seed=args.train_seed),
+        )
+        compiled = runtime.compile(
+            model, backend=args.backend, weight_bits=args.bits,
+            workload="lm", vocab=vocab,
+        )
+        print(compiled.describe())
+        print(
+            f"trained {args.epochs} epoch(s) on {len(text)} chars "
+            f"(vocab {vocab.size}): final loss {history.final_loss:.4f}, "
+            f"{history.tokens_per_sec:,.0f} tokens/s"
+        )
+        prompt_text = args.prompt or text[:4]
+        prompt = vocab.encode(prompt_text)
+        tokens = runtime.Session(compiled).generate(
+            prompt.tolist(), steps=args.steps,
+            temperature=args.temperature, top_k=args.top_k, seed=args.seed,
+        )
+        print(f"# {len(tokens)} tokens (seed {args.seed}, temperature "
+              f"{args.temperature:g}, top_k {args.top_k})")
+        print(prompt_text + vocab.decode(tokens))
+        if args.perplexity:
+            perplexity = runtime.evaluate_perplexity(
+                compiled, vocab.encode(text)
+            )
+            print(f"corpus perplexity: {perplexity:.4f} "
+                  f"(backend {compiled.backend})")
+    except ReproError as error:
+        print(f"generate failed: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
     import time
@@ -670,6 +1082,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if args.port is not None:
         return _cmd_serve_net(args)
+    if args.lm:
+        print("--lm needs network serving: add --port (and --selftest)",
+              file=sys.stderr)
+        return 2
 
     compiled = _compiled_from_args(args)
     print(compiled.describe())
@@ -938,6 +1354,12 @@ def build_parser() -> argparse.ArgumentParser:
              "the streams survive worker deaths byte-identically via "
              "supervised restart + client reattach",
     )
+    serve.add_argument(
+        "--lm", action="store_true",
+        help="with --port --selftest: serve the built-in fixture char-LM "
+             "instead of the ASR spec and byte-gate seeded generation + "
+             "scoring over the wire (composes with --chaos)",
+    )
     serve.set_defaults(handler=_cmd_serve, block=8)
 
     gateway = sub.add_parser(
@@ -1008,7 +1430,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --selftest: force-drain one backend mid-soak (rolling "
              "maintenance drill) and assert byte-identical migration",
     )
+    gateway.add_argument(
+        "--lm", action="store_true",
+        help="with --selftest: front the built-in fixture char-LM and "
+             "byte-gate seeded generation sessions through the cluster "
+             "tier (composes with --chaos/--drain failover replay)",
+    )
     gateway.set_defaults(handler=_cmd_gateway, block=8)
+
+    generate = sub.add_parser(
+        "generate",
+        help="train (or connect to) a char-LM and sample seeded text",
+    )
+    generate.add_argument(
+        "--corpus", default=None, metavar="PATH",
+        help="UTF-8 text file to train on (default: the built-in demo "
+             "corpus)",
+    )
+    generate.add_argument(
+        "--prompt", default=None,
+        help="seed text; every character must occur in the corpus "
+             "(default: the corpus' first 4 characters)",
+    )
+    generate.add_argument("--steps", type=int, default=120,
+                          help="tokens to sample (default: 120)")
+    generate.add_argument(
+        "--temperature", type=float, default=0.8,
+        help="softmax temperature; <= 0 means greedy argmax (default: 0.8)",
+    )
+    generate.add_argument(
+        "--top-k", type=int, default=5,
+        help="sample only among the k most likely tokens; 0 = full "
+             "distribution (default: 5)",
+    )
+    generate.add_argument("--seed", type=int, default=0,
+                          help="sampling seed (default: 0)")
+    generate.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="generate against a running LM server or gateway instead of "
+             "training locally (the vocabulary comes from the hello)",
+    )
+    generate.add_argument(
+        "--backend", default="fixed",
+        help="inference backend for local generation (default: fixed)",
+    )
+    generate.add_argument("--bits", type=int, default=12)
+    generate.add_argument(
+        "--layers", type=int, nargs="+", default=[64],
+        help="hidden sizes, one per layer (default: 64)",
+    )
+    generate.add_argument(
+        "--cell", default="gru",
+        help="registered RNN cell type (default: gru)",
+    )
+    generate.add_argument(
+        "--block", type=int, default=4,
+        help="circulant block size; 0 = dense (default: 4)",
+    )
+    generate.add_argument("--epochs", type=int, default=4,
+                          help="training epochs (default: 4)")
+    generate.add_argument("--train-seed", type=int, default=0,
+                          help="init + batch-order seed (default: 0)")
+    generate.add_argument(
+        "--perplexity", action="store_true",
+        help="also report the model's perplexity on its training corpus "
+             "(local mode only)",
+    )
+    generate.set_defaults(handler=_cmd_generate)
 
     bench = sub.add_parser(
         "bench",

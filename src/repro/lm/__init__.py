@@ -1,0 +1,34 @@
+"""Character-level RNN language modeling: the second first-class workload.
+
+The E-RNN paper's claim is multi-application — ASR *and* language
+modeling on the same block-circulant hardware.  This package supplies the
+LM side: corpus handling (:mod:`repro.lm.corpus`), deterministic seeded
+sampling (:mod:`repro.lm.sampling`), and a tiny training loop
+(:mod:`repro.lm.train`) that fits a char-LM as a plain
+:class:`~repro.nn.rnn.StackedRNNClassifier` with
+``input_size == output_size == vocab_size`` — token ids enter as one-hot
+rows, so the first cell's input weights are the embedding and the
+classifier head is the LM head, and both runtime backends serve the model
+unchanged.
+"""
+
+from repro.lm.corpus import DEMO_TEXT, CharVocab, lm_batches
+from repro.lm.sampling import sample_token, validate_sampling
+from repro.lm.train import (
+    LMTrainConfig,
+    LMTrainingHistory,
+    build_char_lm,
+    train_char_lm,
+)
+
+__all__ = [
+    "CharVocab",
+    "DEMO_TEXT",
+    "lm_batches",
+    "sample_token",
+    "validate_sampling",
+    "LMTrainConfig",
+    "LMTrainingHistory",
+    "build_char_lm",
+    "train_char_lm",
+]

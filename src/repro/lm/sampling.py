@@ -1,0 +1,84 @@
+"""Seeded temperature/top-k sampling for LM generation.
+
+Determinism is a *served* contract here, not a convenience: the same seed
+must yield the same token stream whether generation runs in-process, via
+the micro-batching server, over the wire in a spawned worker, or replayed
+through a gateway failover — that byte-gate is what makes generation
+journal-replayable.  So everything below is pinned: the RNG is
+``np.random.default_rng(seed)`` (PCG64 — stable stream across platforms
+and process start methods), all arithmetic is float64, ties in top-k are
+broken by a *stable* sort, and the inverse-CDF draw consumes exactly one
+``rng.random()`` per sampled token.
+"""
+
+from __future__ import annotations
+
+# bit-exact: this module is on the fixed/float byte-identity surface
+# (docs/analysis.md, REP003) — dtypes stay explicit, reductions ordered.
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["sample_token", "validate_sampling"]
+
+
+def validate_sampling(temperature: float, top_k: int) -> tuple[float, int]:
+    """Normalize sampling knobs; raise :class:`ConfigError` when malformed.
+
+    ``temperature <= 0`` selects greedy decoding (argmax, lowest index on
+    ties); ``top_k == 0`` disables the top-k cut.
+    """
+    try:
+        temperature = float(temperature)
+    except (TypeError, ValueError):
+        raise ConfigError(f"temperature is not a number: {temperature!r}") from None
+    if math.isnan(temperature) or math.isinf(temperature):
+        raise ConfigError(f"temperature must be finite, got {temperature!r}")
+    if not isinstance(top_k, (int, np.integer)) or isinstance(top_k, bool):
+        raise ConfigError(f"top_k must be an integer, got {top_k!r}")
+    top_k = int(top_k)
+    if top_k < 0:
+        raise ConfigError(f"top_k must be >= 0, got {top_k}")
+    return temperature, top_k
+
+
+def sample_token(
+    logits: np.ndarray,
+    *,
+    temperature: float,
+    top_k: int,
+    rng: np.random.Generator,
+) -> int:
+    """Draw one token id from a ``(C,)`` logits row.
+
+    Greedy when ``temperature <= 0``; otherwise softmax over
+    ``logits / temperature`` restricted to the ``top_k`` highest entries
+    (all entries when ``top_k`` is 0 or >= C), sampled by inverse CDF with
+    a single ``rng.random()`` draw.
+    """
+    logits = np.asarray(logits, dtype=np.float64).reshape(-1)
+    if logits.shape[0] < 1:
+        raise ConfigError("cannot sample from an empty logits row")
+    if not np.all(np.isfinite(logits)):
+        raise ConfigError("logits contain NaN or Inf; refusing to sample")
+    if temperature <= 0.0:
+        return int(np.argmax(logits))
+    scaled = logits / np.float64(temperature)
+    if 0 < top_k < scaled.shape[0]:
+        # Stable sort pins tie order to the lower index, so the kept set
+        # is identical everywhere the logits bytes are.
+        keep = np.argsort(-scaled, kind="stable")[:top_k]
+    else:
+        keep = np.arange(scaled.shape[0], dtype=np.int64)
+    kept = scaled[keep]
+    kept = kept - np.max(kept)
+    weights = np.exp(kept)
+    probs = weights / np.sum(weights)
+    draw = rng.random()
+    cursor = int(np.searchsorted(np.cumsum(probs), draw, side="right"))
+    if cursor >= keep.shape[0]:
+        cursor = keep.shape[0] - 1
+    return int(keep[cursor])

@@ -1,0 +1,144 @@
+"""Tiny char-LM training: fit a StackedRNNClassifier for next-char prediction.
+
+The LM is deliberately *not* a new model class.  Token ids are fed as
+one-hot float64 rows, so ``input_size == output_size == vocab_size`` and
+the first cell's input weight matrix is the embedding while the existing
+``Linear`` classifier is the LM head.  Everything downstream — ADMM
+block-circulant projection, ``compile()`` to either backend, serving —
+applies to the LM because it is the same architecture the ASR path trains.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import RNNSpec
+from repro.errors import TrainingError
+from repro.lm.corpus import lm_batches
+from repro.nn.loss import cross_entropy
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.rnn import StackedRNNClassifier
+
+__all__ = [
+    "LMTrainConfig",
+    "LMTrainingHistory",
+    "build_char_lm",
+    "train_char_lm",
+]
+
+
+@dataclass(frozen=True)
+class LMTrainConfig:
+    """Hyper-parameters for the char-LM fit (fixture-corpus scale)."""
+
+    seq_len: int = 16
+    batch_size: int = 8
+    epochs: int = 4
+    learning_rate: float = 0.01
+    weight_decay: float = 0.0
+    grad_clip: float = 5.0
+    lr_decay: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise TrainingError("epochs must be at least 1")
+        if self.seq_len < 1 or self.batch_size < 1:
+            raise TrainingError("seq_len and batch_size must be positive")
+        if not 0 < self.lr_decay <= 1.0:
+            raise TrainingError("lr_decay must be in (0, 1]")
+
+
+@dataclass
+class LMTrainingHistory:
+    """Per-epoch loss trace plus throughput for the bench trajectory."""
+
+    losses: list[float] = field(default_factory=list)
+    tokens_trained: int = 0
+    seconds: float = 0.0
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    @property
+    def tokens_per_sec(self) -> float:
+        if self.seconds <= 0.0:
+            return float("nan")
+        return self.tokens_trained / self.seconds
+
+
+def build_char_lm(
+    vocab_size: int,
+    layer_sizes: tuple[int, ...] = (64,),
+    cell_type: str = "gru",
+    block_sizes: tuple[int, ...] = (),
+    seed: int = 0,
+) -> StackedRNNClassifier:
+    """Construct an untrained char-LM (``input == output == vocab_size``).
+
+    With non-trivial ``block_sizes`` the model is built *structured*
+    (direct C-LSTM-style circulant training), so the result compiles to
+    the fixed backend without an ADMM pass — the right scale for the
+    fixture corpora this trains on.
+    """
+    spec = RNNSpec(
+        cell_type=cell_type,
+        input_size=vocab_size,
+        layer_sizes=tuple(layer_sizes),
+        output_size=vocab_size,
+        block_sizes=tuple(block_sizes),
+    )
+    return StackedRNNClassifier(
+        spec,
+        structured=spec.is_block_circulant,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def train_char_lm(
+    model: StackedRNNClassifier,
+    tokens: np.ndarray,
+    config: LMTrainConfig,
+) -> LMTrainingHistory:
+    """Fit ``model`` on a token stream with Adam next-char cross-entropy."""
+    vocab_size = model.spec.input_size
+    if model.spec.output_size != vocab_size:
+        raise TrainingError(
+            "a char-LM needs input_size == output_size == vocab_size, got "
+            f"{model.spec.input_size} vs {model.spec.output_size}"
+        )
+    rng = np.random.default_rng(config.seed)
+    optimizer = Adam(
+        model.parameters(),
+        lr=config.learning_rate,
+        weight_decay=config.weight_decay,
+    )
+    identity = np.eye(vocab_size, dtype=np.float64)
+    history = LMTrainingHistory()
+    started = time.perf_counter()
+    for epoch in range(config.epochs):
+        optimizer.lr = config.learning_rate * (config.lr_decay**epoch)
+        epoch_loss = 0.0
+        epoch_tokens = 0
+        for inputs, targets in lm_batches(
+            tokens, config.seq_len, config.batch_size, rng
+        ):
+            optimizer.zero_grad()
+            logits = model(identity[inputs])
+            loss = cross_entropy(logits, targets)
+            loss.backward()
+            clip_grad_norm(model.parameters(), config.grad_clip)
+            optimizer.step()
+            count = int(targets.size)
+            epoch_loss += loss.item() * count
+            epoch_tokens += count
+        if epoch_tokens == 0:
+            raise TrainingError("corpus produced no training batches")
+        history.losses.append(epoch_loss / epoch_tokens)
+        history.tokens_trained += epoch_tokens
+    history.seconds = time.perf_counter() - started
+    return history

@@ -39,17 +39,37 @@ from repro.runtime.backends import (
     check_conformance,
     register_backend,
 )
-from repro.runtime.coerce import coerce_frame, coerce_stream
-from repro.runtime.evaluate import as_compiled, evaluate_frame_accuracy, evaluate_per
-from repro.runtime.model import CompiledModel, RuntimeMeta, compile, compile_model
+from repro.runtime.coerce import coerce_frame, coerce_stream, coerce_tokens
+from repro.runtime.evaluate import (
+    as_compiled,
+    evaluate_frame_accuracy,
+    evaluate_per,
+    evaluate_perplexity,
+)
+from repro.runtime.model import (
+    CompiledModel,
+    LMMeta,
+    RuntimeMeta,
+    compile,
+    compile_model,
+)
 from repro.runtime.server import Server, ServerSession, ServerStats
 from repro.runtime.session import Session
+from repro.runtime.workloads import (
+    WORKLOAD_REGISTRY,
+    WorkloadInfo,
+    register_workload,
+)
 
 __all__ = [
     "compile",
     "compile_model",
     "CompiledModel",
     "RuntimeMeta",
+    "LMMeta",
+    "WorkloadInfo",
+    "WORKLOAD_REGISTRY",
+    "register_workload",
     "Session",
     "Server",
     "ServerSession",
@@ -63,6 +83,8 @@ __all__ = [
     "as_compiled",
     "coerce_frame",
     "coerce_stream",
+    "coerce_tokens",
     "evaluate_per",
     "evaluate_frame_accuracy",
+    "evaluate_perplexity",
 ]

@@ -267,14 +267,22 @@ def build_executor(compiled: Any) -> Executor:
 
 
 def check_conformance(
-    executor: Executor, inputs: np.ndarray, rows: int | None = None
+    executor: Executor,
+    inputs: np.ndarray,
+    rows: int | None = None,
+    workload: Any = None,
 ) -> None:
     """Assert the executor honours the backend contract on ``inputs``.
 
     ``inputs`` is a ``(T, B, D)`` probe.  Checks invariant 1 (``run`` ≡
     the step loop at width ``B``) and invariant 2 (``step_rows`` over
     ``rows`` batch-1 streams ≡ per-row ``step``; default ``min(B, 4)``).
-    Raises :class:`ConformanceError` naming the first mismatch.
+    With a ``workload`` (a :class:`repro.runtime.workloads.WorkloadInfo`)
+    that serves ``generate``, additionally pins the LM surface: a seeded
+    generation driven through ``step`` must produce the same tokens as
+    one driven through ``step_rows`` — the invariant that lets the server
+    coalesce autoregressive rows with scoring rows.  Raises
+    :class:`ConformanceError` naming the first mismatch.
     """
     inputs = executor.check_inputs(inputs)
     frames, batch, _ = inputs.shape
@@ -302,3 +310,49 @@ def check_conformance(
                 f"step_rows() row {r} differs from a standalone batch-1 "
                 "step: micro-batching must not perturb a stream's bytes"
             )
+
+    if workload is not None and "generate" in getattr(workload, "ops", ()):
+        _check_lm_conformance(executor, workload)
+
+
+def _check_lm_conformance(executor: Executor, workload: Any) -> None:
+    """Generation must be invariant to the row-serving path."""
+    vocab = executor.input_size
+    if executor.num_classes != vocab:
+        raise ConformanceError(
+            "an LM executor needs input_size == num_classes == vocab_size, "
+            f"got {vocab} vs {executor.num_classes}"
+        )
+    params = {
+        "prompt": [0, vocab - 1],
+        "steps": 8,
+        "temperature": 0.7,
+        "top_k": min(vocab, 8),
+        "seed": 1234,
+    }
+
+    def sample(step_one: Callable[[np.ndarray, Any], tuple]) -> list[int]:
+        driver = workload.make_driver(
+            "generate", vocab_size=vocab, params=params
+        )
+        state = executor.initial_state(1)
+        while True:
+            row = driver.next_row()
+            if row is None:
+                return driver.result()["tokens"]
+            logits, state = step_one(row, state)
+            driver.feed(logits)
+
+    def via_step(row: np.ndarray, state: Any) -> tuple:
+        logits, state = executor.step(row[None, :], state)
+        return logits[0], state
+
+    def via_rows(row: np.ndarray, state: Any) -> tuple:
+        logits, states = executor.step_rows(row[None, :], [state])
+        return logits[0], states[0]
+
+    if sample(via_step) != sample(via_rows):
+        raise ConformanceError(
+            "generate() diverges between step() and step_rows(): "
+            "autoregressive sampling must be invariant to micro-batching"
+        )

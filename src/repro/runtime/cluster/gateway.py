@@ -402,9 +402,15 @@ class Gateway:
                 "backend": hello.get("backend"),
                 "input_size": hello.get("input_size"),
                 "num_classes": hello.get("num_classes"),
+                # Workload metadata (absent on ASR backends) passes
+                # through so LM clients can validate tokens and decode
+                # text against the gateway exactly as against one server.
+                "workload": hello.get("workload"),
+                "vocab": hello.get("vocab"),
             }
             return
-        for field in ("backend", "input_size", "num_classes"):
+        for field in ("backend", "input_size", "num_classes", "workload",
+                      "vocab"):
             if hello.get(field) != self._hello_meta[field]:
                 raise ConfigError(
                     f"backend {backend.key} serves {field}="
@@ -590,6 +596,13 @@ class Gateway:
             ),
             "gateway": True,
             "backends": len(pool),
+            # Mirror the backend hello shape: workload keys only appear
+            # when the fleet actually serves a token workload.
+            **{
+                key: self._hello_meta[key]
+                for key in ("workload", "vocab")
+                if self._hello_meta.get(key) is not None
+            },
         }
 
     async def _handle_conn(
@@ -1071,6 +1084,12 @@ class Gateway:
                         break
             await asyncio.sleep(self._drain_poll_s)
         if self._closing:
+            return
+        # An undrain may have landed after this task's last await (cancel()
+        # only takes effect at an await point, and there is none between
+        # the final poll and here): it clears ``drain_task`` and restores
+        # the state, so removal is no longer this task's to perform.
+        if backend.drain_task is not asyncio.current_task():
             return
         backend.remaining = 0
         self._remove_backend(backend)

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 
-__all__ = ["coerce_frame", "coerce_stream"]
+__all__ = ["coerce_frame", "coerce_stream", "coerce_tokens", "one_hot_rows"]
 
 
 def coerce_frame(
@@ -61,6 +61,53 @@ def coerce_frame(
             "frame contains NaN or Inf; refusing to poison the stream"
         )
     return np.ascontiguousarray(frame), squeezed
+
+
+def coerce_tokens(tokens, vocab_size: int, *, min_len: int = 1) -> np.ndarray:
+    """Validate a 1-D sequence of integer token ids for an LM session.
+
+    Accepts any integer sequence (list, tuple, or integer ndarray);
+    returns a C-contiguous int64 ``(K,)`` array with every id in
+    ``[0, vocab_size)``.  Floats are rejected even when integral — token
+    ids are symbols, not measurements, and a silent cast would hide an
+    upstream indexing bug.  Raises :class:`ConfigError` on violation.
+    """
+    # Probe the *caller's* dtype before pinning: a float input must be
+    # rejected, not silently truncated to int64.
+    arr = np.asarray(tokens)  # repro: ignore[REP003] dtype probe, pinned below
+    if arr.dtype == object or not np.issubdtype(arr.dtype, np.integer):
+        raise ConfigError(
+            f"token ids must be integers, got dtype {arr.dtype!s}"
+        )
+    arr = np.ascontiguousarray(arr, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ConfigError(f"expected a 1-D token sequence, got {arr.shape}")
+    if arr.shape[0] < min_len:
+        raise ConfigError(
+            f"expected at least {min_len} token(s), got {arr.shape[0]}"
+        )
+    if arr.size and (int(arr.min()) < 0 or int(arr.max()) >= vocab_size):
+        raise ConfigError(
+            f"token ids must lie in [0, {vocab_size}), got range "
+            f"[{int(arr.min())}, {int(arr.max())}]"
+        )
+    return arr
+
+
+def one_hot_rows(tokens: np.ndarray, vocab_size: int) -> np.ndarray:
+    """Encode int64 token ids as the float64 one-hot rows the LM steps on.
+
+    The char-LM workload feeds the stacked RNN exactly what ASR scoring
+    feeds it — C-contiguous float64 ``(K, vocab_size)`` rows — so every
+    byte-identity surface (micro-batch coalescing, journal replay,
+    failover) applies to token streams unchanged.  The first cell's input
+    weights *are* the embedding.
+    """
+    tokens = coerce_tokens(tokens, vocab_size, min_len=0)
+    rows = np.zeros((tokens.shape[0], vocab_size), dtype=np.float64)
+    if tokens.size:
+        rows[np.arange(tokens.shape[0], dtype=np.int64), tokens] = 1.0
+    return np.ascontiguousarray(rows)
 
 
 def coerce_stream(inputs: np.ndarray, input_size: int) -> np.ndarray:

@@ -18,7 +18,12 @@ from __future__ import annotations
 
 from typing import Any
 
-__all__ = ["as_compiled", "evaluate_per", "evaluate_frame_accuracy"]
+__all__ = [
+    "as_compiled",
+    "evaluate_per",
+    "evaluate_frame_accuracy",
+    "evaluate_perplexity",
+]
 
 
 def as_compiled(model: Any, backend: str = "float", **options: Any) -> Any:
@@ -223,6 +228,92 @@ def _evaluate_per_net(
     from repro.runtime.net import NetServer
 
     compiled = as_compiled(model)
+    with NetServer(compiled, workers=1) as server:
+        client = Client(*server.address)
+        try:
+            return score_through(client)
+        finally:
+            client.close()
+
+
+def evaluate_perplexity(
+    model: Any,
+    tokens: Any,
+    chunk_size: int = 128,
+    transport: str = "inprocess",
+    address: tuple[str, int] | None = None,
+) -> float:
+    """Corpus perplexity of an LM artifact — the paper-style LM metric.
+
+    ``model`` is an ``lm``-workload :class:`~repro.runtime.CompiledModel`
+    (or a raw char-LM :class:`~repro.nn.rnn.StackedRNNClassifier`,
+    compiled to the float backend on the fly); ``tokens`` is the
+    evaluation token stream.  The stream is scored through one session in
+    ``chunk_size``-target chunks that overlap by one token, so the
+    carried state makes the result exactly the full-sequence score:
+    ``exp(-mean(log p(tokens[1:])))``.
+
+    ``transport="net"`` scores the *served* math over a
+    :class:`repro.runtime.net.Client` session — against ``address`` (a
+    NetServer or cluster gateway) when given, else an ephemeral
+    single-worker NetServer — and is pinned byte-equal to the in-process
+    path for both backends (``tests/runtime/test_evaluate.py``).
+    """
+    import numpy as np
+
+    from repro.errors import ConfigError
+    from repro.runtime.coerce import coerce_tokens
+
+    if transport not in ("inprocess", "net"):
+        raise ConfigError(
+            f"transport must be 'inprocess' or 'net', got {transport!r}"
+        )
+    if chunk_size < 1:
+        raise ConfigError(f"chunk_size must be positive, got {chunk_size}")
+
+    from repro.runtime.model import CompiledModel
+
+    if isinstance(model, CompiledModel):
+        compiled = model
+    else:
+        compiled = as_compiled(model, workload="lm")
+    if "score" not in compiled.workload_info.ops:
+        raise ConfigError(
+            f"workload {compiled.workload!r} has no score op; compile with "
+            "workload='lm'"
+        )
+    tokens = coerce_tokens(tokens, compiled.input_size, min_len=2)
+
+    def score_session(session: Any) -> float:
+        logprobs: list[np.ndarray] = []
+        start = 0
+        while start + 1 < tokens.shape[0]:
+            piece = tokens[start : start + chunk_size + 1]
+            logprobs.append(np.asarray(session.score(piece)))
+            start += chunk_size
+        stacked = np.concatenate(logprobs)
+        return float(np.exp(-np.mean(stacked)))
+
+    if transport == "inprocess":
+        return score_session(compiled.session())
+
+    from repro.runtime.net import Client
+
+    def score_through(client: Any) -> float:
+        session = client.session("perplexity-eval", reattach=True)
+        try:
+            return score_session(session)
+        finally:
+            session.close()
+
+    if address is not None:
+        client = Client(*address)
+        try:
+            return score_through(client)
+        finally:
+            client.close()
+    from repro.runtime.net import NetServer
+
     with NetServer(compiled, workers=1) as server:
         client = Client(*server.address)
         try:

@@ -29,8 +29,9 @@ import numpy as np
 from repro.config import RNNSpec
 from repro.errors import ConfigError, SerializationError
 from repro.runtime.backends import BACKEND_REGISTRY, Executor, build_executor
+from repro.runtime.workloads import WORKLOAD_REGISTRY, WorkloadInfo
 
-__all__ = ["RuntimeMeta", "CompiledModel", "compile", "compile_model"]
+__all__ = ["RuntimeMeta", "LMMeta", "CompiledModel", "compile", "compile_model"]
 
 #: Schema/version stamped into ``CompiledModel.save`` artifacts.
 ARTIFACT_SCHEMA = "repro/compiled-model"
@@ -84,6 +85,39 @@ class RuntimeMeta:
         return cls(tuple(phone_set.phones), remove_silence, smooth_width)
 
 
+class LMMeta:
+    """Language-model metadata carried by a compiled artifact.
+
+    Records the character vocabulary so a serving process can decode
+    generated token ids to text without the corpus on hand.  Discriminated
+    from :class:`RuntimeMeta` on load by its ``vocab`` key.
+    """
+
+    __slots__ = ("vocab",)
+
+    def __init__(self, vocab: tuple[str, ...]):
+        vocab = tuple(vocab)
+        for ch in vocab:
+            if not isinstance(ch, str) or len(ch) != 1:
+                raise ConfigError(f"vocab entries must be single chars: {ch!r}")
+        if len(set(vocab)) != len(vocab):
+            raise ConfigError("vocab characters must be unique")
+        object.__setattr__(self, "vocab", vocab)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("LMMeta is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LMMeta) and self.vocab == other.vocab
+
+    def to_dict(self) -> dict:
+        return {"vocab": list(self.vocab)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LMMeta":
+        return cls(vocab=tuple(payload["vocab"]))
+
+
 def _freeze_state(state: Mapping[str, np.ndarray]) -> dict[str, np.ndarray]:
     frozen = {}
     for name, values in state.items():
@@ -99,7 +133,8 @@ def _fingerprint(
     backend: str,
     options: Mapping[str, Any],
     state: Mapping[str, np.ndarray],
-    meta: RuntimeMeta | None = None,
+    meta: Any = None,
+    workload: str = "asr",
 ) -> str:
     """Content hash over everything that determines the artifact's bytes."""
     digest = hashlib.sha256()
@@ -112,6 +147,11 @@ def _fingerprint(
         "options": dict(sorted(options.items())),
         "meta": meta.to_dict() if meta is not None else None,
     }
+    if workload != "asr":
+        # Key present only for non-default workloads, so every artifact
+        # and Engine cache entry fingerprinted before workloads existed
+        # keeps its hash.
+        header["workload"] = workload
     digest.update(json.dumps(header, sort_keys=True).encode())
     for name in sorted(state):
         digest.update(name.encode())
@@ -136,16 +176,26 @@ class CompiledModel:
         state: Mapping[str, np.ndarray],
         backend: str,
         options: Mapping[str, Any] | None = None,
-        meta: RuntimeMeta | None = None,
+        meta: Any = None,
+        workload: str = "asr",
         _fingerprint_hint: str | None = None,
     ):
         backend = BACKEND_REGISTRY.canonical_name(backend)
+        workload = WORKLOAD_REGISTRY.canonical_name(workload)
         self._spec = spec
         self._structured = bool(structured)
         self._state = _freeze_state(state)
         self._backend = backend
         self._options = dict(sorted((options or {}).items()))
         self._meta = meta
+        self._workload = workload
+        if WORKLOAD_REGISTRY.get(workload).token_input:
+            if spec.input_size != spec.output_size:
+                raise ConfigError(
+                    f"workload {workload!r} feeds tokens as one-hot rows and "
+                    "needs input_size == output_size == vocab_size, got "
+                    f"{spec.input_size} vs {spec.output_size}"
+                )
         # ``_fingerprint_hint`` lets compile() pass the hash it already
         # computed for cache lookup; anything loaded from disk recomputes
         # from the actual contents (that recompute *is* the integrity check).
@@ -153,7 +203,13 @@ class CompiledModel:
             _fingerprint_hint
             if _fingerprint_hint is not None
             else _fingerprint(
-                spec, self._structured, backend, self._options, self._state, meta
+                spec,
+                self._structured,
+                backend,
+                self._options,
+                self._state,
+                meta,
+                workload,
             )
         )
         self._executor: Executor | None = None
@@ -184,8 +240,28 @@ class CompiledModel:
         return MappingProxyType(self._options)
 
     @property
-    def meta(self) -> RuntimeMeta | None:
+    def meta(self) -> Any:
         return self._meta
+
+    @property
+    def workload(self) -> str:
+        """The registered workload this artifact serves (default ``asr``)."""
+        return self._workload
+
+    @property
+    def workload_info(self) -> WorkloadInfo:
+        return WORKLOAD_REGISTRY.get(self._workload)
+
+    def vocab(self) -> Any:
+        """The :class:`repro.lm.corpus.CharVocab` recorded at compile time."""
+        if not isinstance(self._meta, LMMeta):
+            raise ConfigError(
+                "this artifact carries no vocabulary metadata; compile with "
+                "vocab=... to enable text decoding"
+            )
+        from repro.lm.corpus import CharVocab
+
+        return CharVocab(self._meta.vocab)
 
     @property
     def fingerprint(self) -> str:
@@ -201,14 +277,20 @@ class CompiledModel:
         return self._spec.output_size
 
     def describe(self) -> str:
-        meta = (
-            f", {len(self._meta.phone_labels)} phones" if self._meta else ""
+        if isinstance(self._meta, RuntimeMeta):
+            meta = f", {len(self._meta.phone_labels)} phones"
+        elif isinstance(self._meta, LMMeta):
+            meta = f", vocab {len(self._meta.vocab)}"
+        else:
+            meta = ""
+        workload = (
+            f" | workload={self._workload}" if self._workload != "asr" else ""
         )
         opts = ", ".join(f"{k}={v}" for k, v in self._options.items())
         return (
             f"CompiledModel({self._spec.describe()} | backend={self._backend}"
             + (f" [{opts}]" if opts else "")
-            + f"{meta} | {self._fingerprint[:12]})"
+            + f"{meta}{workload} | {self._fingerprint[:12]})"
         )
 
     __repr__ = describe
@@ -254,7 +336,7 @@ class CompiledModel:
     # -- decoding -------------------------------------------------------
     def phone_set(self) -> Any:
         """The phone inventory recorded at compile time, if any."""
-        if self._meta is None:
+        if not isinstance(self._meta, RuntimeMeta):
             raise ConfigError(
                 "this artifact carries no phone-set metadata; compile with "
                 "phone_set=... to enable decoding"
@@ -268,7 +350,7 @@ class CompiledModel:
         from repro.asr.decoder import FrameDecoder
 
         meta = self._meta
-        if meta is None:
+        if not isinstance(meta, RuntimeMeta):
             raise ConfigError(
                 "this artifact carries no decoder metadata; compile with "
                 "phone_set=... to enable decoding"
@@ -284,18 +366,21 @@ class CompiledModel:
         """Write the artifact as a schema-versioned ``.npz``."""
         from repro.nn.serialization import spec_to_dict
 
-        header = json.dumps(
-            {
-                "schema": ARTIFACT_SCHEMA,
-                "version": ARTIFACT_VERSION,
-                "spec": spec_to_dict(self._spec),
-                "structured": self._structured,
-                "backend": self._backend,
-                "options": self._options,
-                "meta": self._meta.to_dict() if self._meta else None,
-                "fingerprint": self._fingerprint,
-            }
-        )
+        payload = {
+            "schema": ARTIFACT_SCHEMA,
+            "version": ARTIFACT_VERSION,
+            "spec": spec_to_dict(self._spec),
+            "structured": self._structured,
+            "backend": self._backend,
+            "options": self._options,
+            "meta": self._meta.to_dict() if self._meta else None,
+            "fingerprint": self._fingerprint,
+        }
+        if self._workload != "asr":
+            # Written only for non-default workloads so pre-workload
+            # readers (and fingerprints) are unaffected.
+            payload["workload"] = self._workload
+        header = json.dumps(payload)
         path = Path(path)
         arrays = {f"param/{name}": data for name, data in self._state.items()}
         np.savez(path, __header__=np.array(header), **arrays)
@@ -327,13 +412,20 @@ class CompiledModel:
                 if name.startswith("param/")
             }
         meta = header.get("meta")
+        if not meta:
+            parsed_meta = None
+        elif "vocab" in meta:
+            parsed_meta = LMMeta.from_dict(meta)
+        else:
+            parsed_meta = RuntimeMeta.from_dict(meta)
         compiled = cls(
             spec=spec_from_dict(header["spec"]),
             structured=header["structured"],
             state=state,
             backend=header["backend"],
             options=header.get("options") or {},
-            meta=RuntimeMeta.from_dict(meta) if meta else None,
+            meta=parsed_meta,
+            workload=header.get("workload", "asr"),
         )
         recorded = header.get("fingerprint")
         if recorded is not None and recorded != compiled.fingerprint:
@@ -389,6 +481,8 @@ def compile(
     phone_set: Any = None,
     remove_silence: bool = True,
     smooth_width: int = 5,
+    workload: str | None = None,
+    vocab: Any = None,
     engine: Any = None,
     cache: bool = True,
     artifact_dir: Path | str | None = None,
@@ -409,6 +503,14 @@ def compile(
     ``phone_set`` (a :class:`repro.asr.phones.PhoneSet`) attaches decoder
     metadata so the artifact can be served without the training corpus.
 
+    ``workload`` names an entry of
+    :data:`repro.runtime.workloads.WORKLOAD_REGISTRY` (default ``"asr"``;
+    re-targeting a :class:`CompiledModel` inherits its workload).  The
+    ``lm`` workload requires ``input_size == output_size == vocab_size``
+    and enables the ``generate``/``score`` session ops; ``vocab`` (a
+    :class:`repro.lm.corpus.CharVocab` or character sequence) attaches the
+    vocabulary so servers can decode generated ids to text.
+
     Compilation is memoized on a content fingerprint through the build
     :class:`~repro.api.engine.Engine` (``engine`` overrides the
     process-wide default; ``cache=False`` bypasses it), and optionally
@@ -417,6 +519,11 @@ def compile(
     compiles — the disk tier a separate process starts warm from.
     """
     backend = BACKEND_REGISTRY.canonical_name(backend)
+    if workload is None:
+        workload = (
+            source.workload if isinstance(source, CompiledModel) else "asr"
+        )
+    workload = WORKLOAD_REGISTRY.canonical_name(workload)
     spec, structured, state, defaults = _resolve_source(source, backend)
 
     options: dict[str, Any] = {}
@@ -436,13 +543,30 @@ def compile(
     # meaningless there and deliberately excluded from the fingerprint.
 
     if phone_set is not None:
+        if vocab is not None:
+            raise ConfigError("phone_set and vocab are mutually exclusive")
         meta = RuntimeMeta.from_phone_set(phone_set, remove_silence, smooth_width)
+    elif vocab is not None:
+        if not WORKLOAD_REGISTRY.get(workload).token_input:
+            raise ConfigError(
+                "vocab=... attaches token metadata; compile with "
+                "workload='lm' to use it"
+            )
+        chars = tuple(getattr(vocab, "chars", vocab))
+        if len(chars) != spec.input_size:
+            raise ConfigError(
+                f"vocab of {len(chars)} characters does not match the "
+                f"model's vocab_size {spec.input_size}"
+            )
+        meta = LMMeta(chars)
     elif isinstance(source, CompiledModel):
-        meta = source.meta  # re-targeting keeps the decoder metadata
+        meta = source.meta  # re-targeting keeps the decoder/vocab metadata
     else:
         meta = None
 
-    fingerprint = _fingerprint(spec, structured, backend, options, state, meta)
+    fingerprint = _fingerprint(
+        spec, structured, backend, options, state, meta, workload
+    )
 
     def build() -> CompiledModel:
         compiled = CompiledModel(
@@ -452,6 +576,7 @@ def compile(
             backend=backend,
             options=options,
             meta=meta,
+            workload=workload,
             _fingerprint_hint=fingerprint,
         )
         compiled.executor()  # compilation = building the backend artifacts

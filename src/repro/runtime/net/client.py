@@ -44,13 +44,18 @@ from typing import Any
 
 import numpy as np
 
-from repro.runtime.coerce import coerce_frame, coerce_stream
+from repro.runtime.coerce import coerce_frame, coerce_stream, one_hot_rows
 from repro.runtime.net.protocol import (
+    BIN_DTYPE_F8,
+    BIN_DTYPE_I8,
     BIN_MAGIC,
     BIN_PREFIX,
     BIN_PUSH,
     BIN_PUSH_MANY,
     BIN_RESULT,
+    BIN_RESULT_MANY,
+    BIN_SCORE,
+    BIN_SCORE_RESULT,
     MAX_BIN_NDIM,
     MAX_BIN_SESSION,
     MAX_FRAME_BYTES,
@@ -68,6 +73,7 @@ from repro.runtime.net.protocol import (
     encode_array,
     parse_line,
 )
+from repro.runtime.workloads import generate_params, score_params
 
 __all__ = ["Client", "NetSession"]
 
@@ -154,6 +160,19 @@ class Client:
         return str(self.hello["backend"])
 
     @property
+    def workload(self) -> str:
+        """The served workload ("asr" unless the hello says otherwise)."""
+        return str(self.hello.get("workload", "asr"))
+
+    @property
+    def vocab_chars(self) -> list[str] | None:
+        """The LM vocabulary's characters, when the server advertises one."""
+        chars = self.hello.get("vocab")
+        if chars is None:
+            return None
+        return [str(char) for char in chars]
+
+    @property
     def queue_limit(self) -> int:
         return int(self.hello["queue_limit"])
 
@@ -182,13 +201,15 @@ class Client:
         return rid
 
     def _send_binary(self, op: int, session: str, payload: bytes,
-                     shape: tuple[int, ...]) -> int:
+                     shape: tuple[int, ...],
+                     dtype_code: int = BIN_DTYPE_F8) -> int:
         if self._closed:
             raise NetError("client is closed")
         rid = next(self._ids)
         try:
             self._file.write(build_binary_frame(
-                op, rid, shape, payload, session=session.encode("utf-8")
+                op, rid, shape, payload, session=session.encode("utf-8"),
+                dtype_code=dtype_code,
             ))
             self._file.flush()
         except OSError as error:
@@ -242,7 +263,8 @@ class Client:
             return {
                 "id": rid,
                 "ok": True,
-                "type": "push" if opcode == BIN_RESULT else "push_many",
+                "type": {BIN_RESULT: "push", BIN_RESULT_MANY: "push_many",
+                         BIN_SCORE_RESULT: "score"}[opcode],
                 "seq": seq,
                 "logits_array": values,
             }
@@ -693,6 +715,97 @@ class NetSession:
         return self._client._logits(reply).copy().reshape(
             len(frames), self._client.num_classes
         )
+
+    def generate(
+        self,
+        prompt: Any,
+        steps: int = 32,
+        *,
+        temperature: float = 1.0,
+        top_k: int = 0,
+        seed: int = 0,
+        retries: int | None = None,
+        backoff_s: float | None = None,
+    ) -> list[int]:
+        """Seeded autoregressive sampling on the server (LM workload).
+
+        One round trip: the op's parameters cross as JSON, the sampled
+        token ids come back.  Byte-identical to
+        :meth:`repro.runtime.Session.generate` — the sampling runs
+        worker-side from the same seeded driver.  The op advances the
+        session by ``len(prompt) + steps - 1`` rows and journals their
+        one-hot equivalents, so reattach/failover replay rebuilds the
+        post-op state exactly; a resend after recovery reproduces the
+        same tokens because the seed rides the request.
+        """
+        self._check_open()
+        retries, backoff_s = self._retry_policy(retries, backoff_s)
+        params = generate_params(
+            prompt, steps, temperature, top_k, seed,
+            vocab_size=self._client.input_size,
+        )
+        rows_total = len(params["prompt"]) + params["steps"] - 1
+
+        def send() -> int:
+            return self._client._send(
+                "generate", session=self._name, **params
+            )
+
+        reply = self._with_recovery(
+            lambda: self._push_with_retry(send, retries, backoff_s)
+        )
+        self._accept_seq(reply, rows_total)
+        tokens = [int(token) for token in reply.get("tokens", ())]
+        fed = np.asarray(
+            params["prompt"] + tokens[:-1], dtype=np.int64
+        )
+        for row in one_hot_rows(fed, self._client.input_size):
+            self._journal_append(row.astype("<f8", copy=False).tobytes())
+        return tokens
+
+    def score(
+        self,
+        tokens: Any,
+        retries: int | None = None,
+        backoff_s: float | None = None,
+    ) -> np.ndarray:
+        """Per-token log-probs for ``tokens[1:]`` (LM workload).
+
+        ``K`` token ids in one round trip → ``(K-1,)`` float64
+        log-probs, byte-identical to
+        :meth:`repro.runtime.Session.score`.  On a v2 connection the
+        ids travel as a binary int64 frame and the log-probs return as
+        a binary float64 frame; a v1 connection uses JSON both ways.
+        Advances the session by ``K-1`` rows (``tokens[:-1]`` fed as
+        one-hots), journaled for replay like any other rows.
+        """
+        self._check_open()
+        retries, backoff_s = self._retry_policy(retries, backoff_s)
+        params = score_params(tokens, vocab_size=self._client.input_size)
+        ids = np.asarray(params["tokens"], dtype=np.int64)
+        count = ids.shape[0] - 1
+        payload = ids.astype("<i8", copy=False).tobytes()
+
+        def send() -> int:
+            if self._client.protocol >= 2:
+                return self._client._send_binary(
+                    BIN_SCORE, self._name, payload, ids.shape,
+                    dtype_code=BIN_DTYPE_I8,
+                )
+            return self._client._send(
+                "score", session=self._name, tokens=params["tokens"]
+            )
+
+        reply = self._with_recovery(
+            lambda: self._push_with_retry(send, retries, backoff_s)
+        )
+        self._accept_seq(reply, count)
+        for row in one_hot_rows(ids[:-1], self._client.input_size):
+            self._journal_append(row.astype("<f8", copy=False).tobytes())
+        values = reply.get("logits_array")
+        if values is None:
+            values = decode_array(reply["logprobs"])
+        return values.copy().reshape(count)
 
     def _accept_seq(self, reply: dict, count: int) -> None:
         """Enforce exactly-once, in-order delivery per stream.

@@ -80,6 +80,7 @@ __all__ = [
     "UnknownSessionError",
     "encode_array",
     "decode_array",
+    "token_payload_bytes",
     "dump_line",
     "parse_line",
     "error_reply",
@@ -93,9 +94,10 @@ PROTOCOL_VERSION = 1
 #: Highest protocol this codebase can negotiate (``hello.max_protocol``).
 MAX_PROTOCOL = 2
 
-#: Every op a request may carry (v2 adds ``push_many``).  repro-lint's
-#: REP006 checker keeps this tuple and the client-facing spec in lockstep.
-OPS = ("ping", "stats", "health", "sessions", "open", "push", "push_many", "reset", "close", "evict")  # documented-in: docs/runtime.md
+#: Every op a request may carry (v2 adds ``push_many``; the LM workload
+#: adds ``generate`` and ``score``).  repro-lint's REP006 checker keeps
+#: this tuple and the client-facing spec in lockstep.
+OPS = ("ping", "stats", "health", "sessions", "open", "push", "push_many", "generate", "score", "reset", "close", "evict")  # documented-in: docs/runtime.md
 
 #: The gateway's admin plane (:mod:`repro.runtime.cluster`).  A single
 #: NetServer rejects these as unknown ops — they only mean something to
@@ -103,8 +105,10 @@ OPS = ("ping", "stats", "health", "sessions", "open", "push", "push_many", "rese
 CLUSTER_OPS = ("cluster_health", "cluster_drain", "cluster_undrain", "cluster_add")  # documented-in: docs/runtime.md
 
 #: The ops that carry a session name and route to a worker by its hash.
-SESSION_OPS = frozenset({"open", "push", "push_many", "reset", "close",
-                         "evict"})
+#: ``generate``/``score`` ride the same routing: an op is an op to every
+#: transport layer, whatever workload serves it.
+SESSION_OPS = frozenset({"open", "push", "push_many", "generate", "score",
+                         "reset", "close", "evict"})
 
 #: Hard cap on one request line — a malformed or hostile client must not
 #: balloon the server's memory.  Generous: a base64 float64 frame of
@@ -126,15 +130,18 @@ BIN_PUSH = 1
 BIN_RESULT = 2
 BIN_PUSH_MANY = 3
 BIN_RESULT_MANY = 4
-BIN_DTYPE_F8 = 1  # little-endian float64, the only wire dtype
+BIN_SCORE = 5  # (K,) int64 token ids -> per-token log-probs
+BIN_SCORE_RESULT = 6  # (K-1,) float64 log-probs for tokens[1:]
+BIN_DTYPE_F8 = 1  # little-endian float64, the payload dtype of scoring
+BIN_DTYPE_I8 = 2  # little-endian int64 token ids (BIN_SCORE requests)
 #: magic, version, op, dtype, rid, seq, session_len, ndim, reserved.
 BIN_PREFIX = struct.Struct("<BBBBQQHBB")
 #: Framing-level caps: headers beyond these cannot be skipped safely.
 MAX_BIN_NDIM = 4
 MAX_BIN_SESSION = 1024
 
-_REQUEST_OPS = (BIN_PUSH, BIN_PUSH_MANY)
-_RESULT_OPS = (BIN_RESULT, BIN_RESULT_MANY)
+_REQUEST_OPS = (BIN_PUSH, BIN_PUSH_MANY, BIN_SCORE)
+_RESULT_OPS = (BIN_RESULT, BIN_RESULT_MANY, BIN_SCORE_RESULT)
 
 
 class NetError(ReproError):
@@ -259,6 +266,52 @@ def frame_payload_bytes(payload: Any) -> tuple[bytes, list[int]]:
     return values.astype("<f8", copy=False).tobytes(), list(values.shape)
 
 
+def token_payload_bytes(payload: Any) -> tuple[bytes, list[int]]:
+    """Raw little-endian int64 bytes + shape from a token-id payload.
+
+    The ``score`` op's JSON form: a plain list of integer token ids (or
+    the base64 dict with dtype ``"<i8"``).  Floats are rejected rather
+    than truncated — a fractional token id is a caller bug, and int64
+    keeps the 8-bytes-per-element arithmetic of the float64 frames.
+    """
+    if isinstance(payload, dict):
+        if payload.get("dtype") != "<i8":
+            raise NetError(
+                f"unsupported token dtype {payload.get('dtype')!r}; "
+                "token ids travel as little-endian int64"
+            )
+        try:
+            raw = base64.b64decode(payload["b64"], validate=True)
+            shape = [int(n) for n in payload["shape"]]
+        except (KeyError, ValueError, TypeError) as error:
+            raise NetError(f"malformed token payload: {error}") from None
+        count = 1
+        for dim in shape:
+            if dim < 0:
+                raise NetError(f"negative dimension in shape {shape}")
+            count *= dim
+        if len(raw) != 8 * count:
+            raise NetError(
+                f"token payload carries {len(raw)} bytes for shape {shape}"
+            )
+        return raw, shape
+    if isinstance(payload, list):
+        values = np.asarray(payload)  # repro: ignore[REP003] dtype probe, pinned below
+        if values.dtype == object or not (
+            values.size == 0 or np.issubdtype(values.dtype, np.integer)
+        ):
+            raise NetError(
+                "token ids must be integers (floats are rejected, not "
+                "truncated)"
+            )
+        values = np.ascontiguousarray(values, dtype=np.int64)
+        return values.astype("<i8", copy=False).tobytes(), list(values.shape)
+    raise NetError(
+        f"token payload must be a base64 dict or a list, got "
+        f"{type(payload).__name__}"
+    )
+
+
 def dump_line(message: dict) -> bytes:
     """Serialize one protocol message to its wire line (with newline)."""
     return (
@@ -333,10 +386,15 @@ def check_binary_header(
             f"unexpected binary op code {op}; expected one of "
             f"{sorted(allowed)}"
         )
-    if dtype_code != BIN_DTYPE_F8:
+    # Token arrays (BIN_SCORE requests) travel as int64; every other
+    # payload is float64.  Both are 8 bytes per element, so the
+    # shape-vs-nbytes arithmetic below is dtype-independent.
+    wanted = BIN_DTYPE_I8 if op == BIN_SCORE else BIN_DTYPE_F8
+    if dtype_code != wanted:
         raise NetError(
-            f"unsupported binary dtype code {dtype_code}; payloads travel "
-            "as little-endian float64"
+            f"unsupported binary dtype code {dtype_code} for op {op}; "
+            f"expected {wanted} (token ids are little-endian int64, "
+            "everything else little-endian float64)"
         )
     count = 1
     for dim in dims:

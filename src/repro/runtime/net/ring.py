@@ -59,6 +59,8 @@ OP_PUSH_MANY = 3
 OP_RESET = 4
 OP_CLOSE = 5
 OP_EVICT = 6
+OP_GENERATE = 7  # payload: JSON op parameters, shape ()
+OP_SCORE = 8  # payload: (K,) little-endian int64 token ids
 
 
 class RingError(ReproError):

@@ -63,6 +63,8 @@ from repro.runtime.net.protocol import (
     BIN_PUSH_MANY,
     BIN_RESULT,
     BIN_RESULT_MANY,
+    BIN_SCORE,
+    BIN_SCORE_RESULT,
     MAX_BIN_NDIM,
     MAX_BIN_SESSION,
     MAX_FRAME_BYTES,
@@ -78,14 +80,17 @@ from repro.runtime.net.protocol import (
     error_reply,
     frame_payload_bytes,
     parse_line,
+    token_payload_bytes,
 )
 from repro.runtime.net.ring import (
     OP_CLOSE,
     OP_EVICT,
+    OP_GENERATE,
     OP_OPEN,
     OP_PUSH,
     OP_PUSH_MANY,
     OP_RESET,
+    OP_SCORE,
     RingError,
     RingPair,
 )
@@ -97,13 +102,19 @@ _MAX_SESSION_ID = 256
 
 #: Wire op name → worker ring op code.
 _WIRE_OPS = {"open": OP_OPEN, "push": OP_PUSH, "push_many": OP_PUSH_MANY,
+             "generate": OP_GENERATE, "score": OP_SCORE,
              "reset": OP_RESET, "close": OP_CLOSE, "evict": OP_EVICT}
 
 #: The parent-side fan-out ops (one reply aggregated from every worker).
 _FANOUT_OPS = frozenset({"stats", "sessions"})
 
-#: The ops whose replies occupy a worker response-ring slot.
+#: The ops carrying a float64 frame payload in the request.
 _PUSH_OPS = frozenset({"push", "push_many"})
+
+#: The ops whose replies occupy a worker response-ring slot (``score``
+#: results are payload arrays and ride the ring like push results;
+#: ``generate`` replies are small JSON dicts on the queue).
+_RING_RESULT_OPS = frozenset({"push", "push_many", "score"})
 
 
 def route_session(session: str, workers: int) -> int:
@@ -419,6 +430,24 @@ class NetServer:
     @property
     def port(self) -> int:
         return self._port
+
+    def _workload_hello(self) -> dict:
+        """Workload metadata advertised in the hello frame.
+
+        ASR servers keep their pre-workload hello byte-identical; a
+        token-input server announces its workload (and vocabulary when
+        the artifact carries one) so clients can validate token ids and
+        decode generated text without a side channel.
+        """
+        workload = getattr(self._compiled, "workload", "asr")
+        if workload == "asr":
+            return {}
+        extra: dict[str, Any] = {"workload": workload}
+        try:
+            extra["vocab"] = list(self._compiled.vocab().chars)
+        except (ConfigError, AttributeError):
+            pass  # token workload without a saved vocabulary
+        return extra
 
     @property
     def events(self) -> list[dict]:
@@ -812,6 +841,7 @@ class NetServer:
             "num_classes": self._compiled.num_classes,
             "workers": self.workers,
             "queue_limit": self.queue_limit,
+            **self._workload_hello(),
         })
         frames = _FrameReader(reader)
         try:
@@ -905,7 +935,8 @@ class NetServer:
                 rid, "server is draining for shutdown; no new work accepted"
             ))
             return True
-        op = {BIN_PUSH: "push", BIN_PUSH_MANY: "push_many"}[opcode]
+        op = {BIN_PUSH: "push", BIN_PUSH_MANY: "push_many",
+              BIN_SCORE: "score"}[opcode]
         self._dispatch(
             conn, rid, op, session, body[slen:], tuple(dims), binary=True
         )
@@ -983,6 +1014,34 @@ class NetServer:
                     payload, shape = frame_payload_bytes(message.get(field))
                 except NetError as error:
                     self._write(conn, error_reply(rid, error))
+                    return
+            elif op == "score":
+                try:
+                    payload, shape = token_payload_bytes(
+                        message.get("tokens")
+                    )
+                except NetError as error:
+                    self._write(conn, error_reply(rid, error))
+                    return
+            elif op == "generate":
+                # The op parameters travel to the worker as JSON bytes in
+                # a payload-shaped slot (shape ()); the worker's driver
+                # construction is the validator, so a malformed request
+                # fails there with nothing applied.
+                params = {
+                    key: message[key]
+                    for key in ("prompt", "steps", "temperature", "top_k",
+                                "seed")
+                    if key in message
+                }
+                try:
+                    payload = json.dumps(
+                        params, separators=(",", ":"), allow_nan=False
+                    ).encode("utf-8")
+                except (TypeError, ValueError) as error:
+                    self._write(conn, error_reply(
+                        rid, f"unencodable generate parameters: {error}"
+                    ))
                     return
             elif op == "open":
                 # v2 negotiation rides the open handshake: the grant is
@@ -1074,7 +1133,7 @@ class NetServer:
         rings = self._rings[worker] if self._rings else None
         if rings is not None and (
             rings.requests.free_slots() < 1
-            or (op in _PUSH_OPS
+            or (op in _RING_RESULT_OPS
                 and self._ring_results[worker] >= rings.nslots)
         ):
             # The worker's ring is saturated: same contract as the
@@ -1089,7 +1148,7 @@ class NetServer:
         ticket = next(self._ticket_seq)
         self._inflight_reqs[ticket] = (conn.id, rid, worker, binary, merge, op)
         self._by_rid[(conn.id, rid)] = ticket
-        if rings is not None and op in _PUSH_OPS:
+        if rings is not None and op in _RING_RESULT_OPS:
             self._ring_results[worker] += 1
         opcode = _WIRE_OPS[op]
         if rings is not None:
@@ -1571,10 +1630,11 @@ class NetServer:
 
     def _write_result(self, conn: _Conn, info: tuple, seq_no: int,
                       payload: bytes, shape: list[int]) -> None:
-        """One push/push_many result, framed to mirror its request."""
+        """One push/push_many/score result, framed to mirror its request."""
         _conn_id, rid, _worker, binary, _merge, op = info
         if binary:
-            opcode = BIN_RESULT if op == "push" else BIN_RESULT_MANY
+            opcode = {"push": BIN_RESULT, "push_many": BIN_RESULT_MANY,
+                      "score": BIN_SCORE_RESULT}[op]
             try:
                 conn.writer.write(build_binary_frame(
                     opcode, rid, shape, payload, seq=seq_no
@@ -1582,9 +1642,10 @@ class NetServer:
             except Exception:  # repro: ignore[REP005] connection torn down mid-write; the reader path cleans up
                 pass
             return
+        key = "logprobs" if op == "score" else "logits"
         self._write(conn, {
             "id": rid, "ok": True, "type": op, "seq": seq_no,
-            "logits": {
+            key: {
                 "dtype": "<f8",
                 "shape": shape,
                 "b64": base64.b64encode(payload).decode("ascii"),
@@ -1632,7 +1693,7 @@ class NetServer:
         conn_id, rid, worker, _binary, _merge, op = info
         self._by_rid.pop((conn_id, rid), None)
         if (
-            op in _PUSH_OPS
+            op in _RING_RESULT_OPS
             and worker < len(self._rings)
             and self._rings[worker] is not None
         ):

@@ -60,6 +60,7 @@ if every session is busy.  Eviction counters ride the ``stats`` reply.
 
 from __future__ import annotations
 
+import json
 import signal
 import threading
 import time
@@ -76,17 +77,20 @@ from repro.runtime.net.protocol import MAX_PUSH_MANY_FRAMES, UnknownSessionError
 from repro.runtime.net.ring import (
     OP_CLOSE,
     OP_EVICT,
+    OP_GENERATE,
     OP_OPEN,
     OP_PUSH,
     OP_PUSH_MANY,
     OP_RESET,
+    OP_SCORE,
     RingPair,
 )
 
 __all__ = ["worker_main"]
 
 _OP_NAMES = {OP_OPEN: "open", OP_PUSH: "push", OP_PUSH_MANY: "push_many",
-             OP_RESET: "reset", OP_CLOSE: "close", OP_EVICT: "evict"}
+             OP_RESET: "reset", OP_CLOSE: "close", OP_EVICT: "evict",
+             OP_GENERATE: "generate", OP_SCORE: "score"}
 
 
 def _watch_parent() -> None:
@@ -135,18 +139,27 @@ class _WireSession:
 
 
 class _Op:
-    """One accepted session op, with multi-frame progress for push_many."""
+    """One accepted session op, with multi-frame progress for push_many.
 
-    __slots__ = ("ticket", "op", "rows", "many", "cursor", "collected")
+    A workload op (``generate``/``score``) carries a *row driver*
+    instead of pre-materialized rows: each row to step comes from
+    ``driver.next_row()`` and its logits go back through
+    ``driver.feed()`` — the identical driver classes every in-process
+    surface runs, which is why the emitted bytes cannot differ.
+    """
+
+    __slots__ = ("ticket", "op", "rows", "many", "cursor", "collected",
+                 "driver")
 
     def __init__(self, ticket: int, op: int,
-                 rows: np.ndarray | None, many: bool):
+                 rows: np.ndarray | None, many: bool, driver: Any = None):
         self.ticket = ticket
         self.op = op
         self.rows = rows  # (K, D) float64; push applies row 0 only
         self.many = many
         self.cursor = 0
         self.collected: list[np.ndarray] = []
+        self.driver = driver  # workload row driver (generate/score)
 
 
 class _Scheduler:
@@ -172,6 +185,7 @@ class _Scheduler:
         self._session_cap = session_cap
         self._faults = faults if faults else None
         self._input_size = compiled.input_size
+        self._workload = compiled.workload_info
         self.meta = {
             "backend": compiled.backend,
             "input_size": compiled.input_size,
@@ -288,14 +302,21 @@ class _Scheduler:
             )))
             return
         sess.last_used = time.monotonic()
-        rows = None
+        rows = driver = None
         if op in (OP_PUSH, OP_PUSH_MANY):
             try:
                 rows = self._coerce(op, payload, shape)
             except ReproError as error:
                 self._emit(ticket, _error(error))
                 return
-        sess.ops.append(_Op(ticket, op, rows, many=op == OP_PUSH_MANY))
+        elif op in (OP_GENERATE, OP_SCORE):
+            try:
+                driver = self._make_driver(op, payload, shape)
+            except ReproError as error:
+                self._emit(ticket, _error(error))
+                return
+        sess.ops.append(_Op(ticket, op, rows, many=op == OP_PUSH_MANY,
+                            driver=driver))
         self._pump_session(sess)
 
     def _coerce(self, op: int, payload: bytes | None,
@@ -319,6 +340,42 @@ class _Scheduler:
         # Whole-batch validation up front: a bad frame rejects the batch
         # with NOTHING applied, exactly like the client-side contract.
         return coerce_stream(frames[:, None, :], self._input_size)[:, 0, :]
+
+    def _make_driver(self, op: int, payload: bytes | None,
+                     shape: tuple[int, ...]) -> Any:
+        """Build the workload row driver serving one generate/score op.
+
+        The driver re-validates everything (the client validated with
+        the same code), so a malformed request fails identically on
+        both ends — with NOTHING applied to the session.
+        """
+        if op == OP_GENERATE:
+            try:
+                params = json.loads(payload or b"{}")
+            except (ValueError, UnicodeDecodeError) as error:
+                raise ReproError(
+                    f"undecodable generate parameters: {error}"
+                ) from None
+            if not isinstance(params, dict):
+                raise ReproError("generate parameters must be a JSON object")
+            return self._workload.make_driver(
+                "generate", vocab_size=self._input_size, params=params
+            )
+        try:
+            tokens = np.frombuffer(payload, dtype="<i8").reshape(shape)
+        except (TypeError, ValueError) as error:
+            raise ReproError(f"undecodable token payload: {error}") from None
+        driver = self._workload.make_driver(
+            "score", vocab_size=self._input_size, params={"tokens": tokens}
+        )
+        if driver.rows_total > MAX_PUSH_MANY_FRAMES:
+            raise ReproError(
+                f"score feeds {driver.rows_total} rows; the server accepts "
+                f"1..{MAX_PUSH_MANY_FRAMES} per request — chunk the tokens "
+                "(overlap chunks by one; state continuity makes the "
+                "log-probs identical)"
+            )
+        return driver
 
     def _pump_session(self, sess: _WireSession) -> None:
         while not sess.busy and sess.ops:
@@ -356,6 +413,16 @@ class _Scheduler:
                 self._submit_next(sess, op_item)
 
     def _submit_next(self, sess: _WireSession, op_item: _Op) -> None:
+        # A driver op's next row comes from its state machine (for
+        # generate it one-hots the token just sampled from the previous
+        # row's logits); plain pushes index their materialized rows.
+        # Either way the row takes the same step path below, coalescing
+        # with other sessions' rows — autoregressive steps and
+        # micro-batched scoring rows share the batches.
+        if op_item.driver is not None:
+            row = op_item.driver.next_row()
+        else:
+            row = op_item.rows[op_item.cursor]
         # Fast path: with exactly one busy session there is nothing to
         # coalesce with, so the micro-batch dispatcher hop (two thread
         # wakeups per row) buys nothing — compute the row inline on this
@@ -367,17 +434,13 @@ class _Scheduler:
         if self._inline and self._busy_count == 1:
             future: Future = Future()
             try:
-                future.set_result(self._server.step_inline(
-                    op_item.rows[op_item.cursor], sess.state
-                ))
+                future.set_result(self._server.step_inline(row, sess.state))
             except BaseException as error:  # noqa: BLE001 — relayed below
                 future.set_exception(error)
             self._schedule(("done", sess, op_item, future))
             return
         try:
-            future = self._server.submit(
-                sess, op_item.rows[op_item.cursor], sess.state
-            )
+            future = self._server.submit(sess, row, sess.state)
         except ReproError as error:
             sess.busy = False
             self._busy_count -= 1
@@ -399,6 +462,27 @@ class _Scheduler:
         sess.state = state
         sess.frames += 1
         sess.last_used = time.monotonic()
+        if op_item.driver is not None:
+            try:
+                op_item.driver.feed(logits)
+            except ReproError as error:
+                # e.g. NaN logits refusing to sample: the session state
+                # HAS advanced by the rows already fed, so the error
+                # reply leaves the client's seq reconcile (reattach +
+                # journal replay) to restore a known state.
+                sess.busy = False
+                self._busy_count -= 1
+                self._emit(op_item.ticket, _error(error))
+                self._pump_session(sess)
+                return
+            if not op_item.driver.done:
+                self._submit_next(sess, op_item)
+                return
+            sess.busy = False
+            self._busy_count -= 1
+            self._emit_driver_result(sess, op_item)
+            self._pump_session(sess)
+            return
         op_item.collected.append(logits)
         op_item.cursor += 1
         if op_item.cursor < len(op_item.rows):
@@ -505,6 +589,52 @@ class _Scheduler:
                 "ok": True, "type": op_name, "seq": sess.frames,
                 "raw": (payload, list(values.shape)),
             }))
+        self._settle_one()
+
+    def _emit_driver_result(self, sess: _WireSession, op_item: _Op) -> None:
+        """A completed generate/score op's reply.
+
+        ``score`` results are payload arrays and ride the response ring
+        like push results (queue fallback when oversized); ``generate``
+        results are a small token list and stay on the JSON control
+        plane.  Both carry the post-op ``seq`` so the client can verify
+        its ``rows_total`` advance.
+        """
+        result = op_item.driver.result()
+        action = self._faults.on_publish() if self._faults else None
+        if action == "drop":
+            self._settle_one()  # lost reply: client timeout + reattach
+            return
+        if op_item.op == OP_SCORE:
+            values = np.ascontiguousarray(
+                result["logprobs"], dtype=np.float64
+            )
+            payload = values.astype("<f8", copy=False).tobytes()
+            emit_seq = self._next_emit()
+            rings = self._rings
+            if (
+                rings is not None
+                and len(payload) <= rings.responses.payload_capacity
+                and rings.responses.try_push(
+                    op_item.op, op_item.ticket, values.shape, payload,
+                    seq_no=sess.frames, emit_seq=emit_seq,
+                )
+            ):
+                if action == "corrupt":
+                    rings.responses.corrupt_last_published()
+                if rings.ring_kick(responses=True):
+                    self._replies.put(("ring",))
+            else:
+                self._replies.put(("res", op_item.ticket, emit_seq, {
+                    "ok": True, "type": "score", "seq": sess.frames,
+                    "raw": (payload, list(values.shape)),
+                }))
+            self._settle_one()
+            return
+        self._replies.put(("res", op_item.ticket, self._next_emit(), {
+            "ok": True, "type": "generate", "seq": sess.frames,
+            "tokens": result["tokens"],
+        }))
         self._settle_one()
 
     def _settle_one(self) -> None:

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.runtime.coerce import coerce_frame
+from repro.runtime.workloads import WORKLOAD_REGISTRY, run_driver
 
 __all__ = ["Server", "ServerSession", "ServerStats"]
 
@@ -345,6 +346,11 @@ class ServerSession:
     def __init__(self, server: Server):
         self._server = server
         self._executor = server._executor
+        # getattr with the asr default keeps duck-typed compiled stand-ins
+        # (tests, custom wrappers) working: frame scoring needs no info.
+        self._workload = getattr(
+            server.compiled, "workload_info", None
+        ) or WORKLOAD_REGISTRY.get("asr")
         self._state = self._executor.initial_state(1)
         self._frames = 0
         self._close_lock = threading.Lock()
@@ -373,6 +379,55 @@ class ServerSession:
         logits, self._state = future.result()
         self._frames += 1
         return logits if squeezed else logits[None, :]
+
+    # ------------------------------------------------------------------
+    # Workload ops (token-based sessions).
+    # ------------------------------------------------------------------
+    def _step_row(self, row: np.ndarray) -> np.ndarray:
+        future = self._server._submit(self, row, self._state)
+        logits, self._state = future.result()
+        self._frames += 1
+        return logits
+
+    def _run_op(self, op: str, params: dict) -> dict:
+        with self._close_lock:
+            if not self._open:
+                raise ConfigError("session is closed")
+        driver = self._workload.make_driver(
+            op, vocab_size=self._executor.input_size, params=params
+        )
+        return run_driver(driver, self._step_row)
+
+    def generate(
+        self,
+        prompt,
+        steps: int = 32,
+        *,
+        temperature: float = 1.0,
+        top_k: int = 0,
+        seed: int = 0,
+    ) -> list[int]:
+        """Sample ``steps`` tokens after ``prompt`` (lm workload only).
+
+        Each autoregressive row goes through :meth:`Server.submit`, so it
+        coalesces with other sessions' pushes — and by row isolation the
+        tokens are byte-identical to a standalone
+        :meth:`repro.runtime.Session.generate` with the same seed.
+        """
+        return self._run_op(
+            "generate",
+            {
+                "prompt": prompt,
+                "steps": steps,
+                "temperature": temperature,
+                "top_k": top_k,
+                "seed": seed,
+            },
+        )["tokens"]
+
+    def score(self, tokens) -> np.ndarray:
+        """Per-token log-probs for ``tokens[1:]`` (lm workload only)."""
+        return self._run_op("score", {"tokens": tokens})["logprobs"]
 
     def reset(self) -> "ServerSession":
         """Zero the carried state, as between utterances.  Returns self."""

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.runtime.coerce import coerce_frame, coerce_stream
+from repro.runtime.workloads import WORKLOAD_REGISTRY, run_driver
 
 __all__ = ["Session"]
 
@@ -33,6 +34,11 @@ class Session:
     Sessions are cheap (state only — weights live on the shared executor)
     and single-threaded: use one session per caller; concurrent callers
     each open their own (or go through a :class:`~repro.runtime.Server`).
+
+    The op surface beyond ``push`` is owned by the compiled model's
+    *workload* (:mod:`repro.runtime.workloads`): an ``lm`` artifact adds
+    :meth:`generate` and :meth:`score`, which drive the same executor
+    ``step`` path as ``push`` — one one-hot row per token.
     """
 
     def __init__(self, compiled: Any, batch_size: int = 1):
@@ -40,6 +46,11 @@ class Session:
             raise ConfigError(f"batch_size must be positive, got {batch_size}")
         self._compiled = compiled
         self._executor = compiled.executor()
+        # getattr with the asr default keeps duck-typed compiled stand-ins
+        # (tests, custom wrappers) working: frame scoring needs no info.
+        self._workload = getattr(compiled, "workload_info", None) or (
+            WORKLOAD_REGISTRY.get("asr")
+        )
         self._batch = batch_size
         self._state = self._executor.initial_state(batch_size)
         self._frames = 0
@@ -88,6 +99,63 @@ class Session:
         for t in range(frames.shape[0]):
             out[t] = self.push(frames[t])
         return out
+
+    # ------------------------------------------------------------------
+    # Workload ops (token-based sessions).
+    # ------------------------------------------------------------------
+    def _step_row(self, row: np.ndarray) -> np.ndarray:
+        logits, self._state = self._executor.step(row[None, :], self._state)
+        self._frames += 1
+        return logits[0]
+
+    def _run_op(self, op: str, params: dict) -> dict:
+        if self._batch != 1:
+            raise ConfigError(
+                f"{op} drives this session's own row stream and needs a "
+                f"batch_size=1 session, not width {self._batch}"
+            )
+        driver = self._workload.make_driver(
+            op, vocab_size=self._executor.input_size, params=params
+        )
+        return run_driver(driver, self._step_row)
+
+    def generate(
+        self,
+        prompt,
+        steps: int = 32,
+        *,
+        temperature: float = 1.0,
+        top_k: int = 0,
+        seed: int = 0,
+    ) -> list[int]:
+        """Sample ``steps`` tokens autoregressively after ``prompt``.
+
+        Deterministic: the same compiled model, prompt, and sampling knobs
+        yield the same tokens on every backend, transport, and process —
+        the served byte-gate of :mod:`repro.lm.sampling`.  Advances the
+        session by ``len(prompt) + steps - 1`` rows (the final sampled
+        token is returned but not fed), so generation composes: a
+        follow-up call with ``prompt=[tokens[-1]]`` continues the stream.
+        """
+        return self._run_op(
+            "generate",
+            {
+                "prompt": prompt,
+                "steps": steps,
+                "temperature": temperature,
+                "top_k": top_k,
+                "seed": seed,
+            },
+        )["tokens"]
+
+    def score(self, tokens) -> np.ndarray:
+        """Per-token log-probs: ``(K-1,)`` float64 for ``tokens[1:]``.
+
+        Feeds ``tokens[:-1]`` (advancing the session by ``K-1`` rows); to
+        score a long text in chunks, overlap consecutive chunks by one
+        token.
+        """
+        return self._run_op("score", {"tokens": tokens})["logprobs"]
 
     def reset(self) -> "Session":
         """Zero the carried state, as between utterances.  Returns self."""

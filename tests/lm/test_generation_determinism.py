@@ -1,0 +1,295 @@
+"""Seeded generation is byte-identical everywhere it can run.
+
+The satellite determinism properties of the RNNLM workload, end to end
+against real processes and sockets:
+
+* **serial re-runs** — the same compiled model + prompt + sampling knobs
+  + seed yield the same tokens on every fresh session;
+* **spawn-context process boundaries** — generation and scoring served
+  by a :class:`NetServer` (spawn-context worker processes) match the
+  in-process session byte for byte, as does an artifact saved to disk
+  and reloaded; ``evaluate_perplexity(transport="net")`` is pinned
+  ``==`` in-process for both backends;
+* **float vs fixed backends** — greedy decoding agrees between backends
+  exactly as far as their per-step argmax agrees (quantization may
+  legitimately reorder logits; sampling may not add divergence of its
+  own);
+* **gateway SIGKILL failover** — killing the backend that owns a
+  generation session mid-conversation replays the journal onto the
+  survivor and the continued generation + scoring stay byte-identical
+  to an uninterrupted in-process session.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.lm import CharVocab, DEMO_TEXT, build_char_lm
+from repro.runtime import (
+    CompiledModel,
+    Session,
+    compile,
+    evaluate_perplexity,
+)
+from repro.runtime.cluster import BackendFleet, Gateway
+from repro.runtime.net import Client, NetServer
+
+VOCAB = CharVocab.from_text(DEMO_TEXT)
+TOKENS = VOCAB.encode(DEMO_TEXT)
+PROMPT = TOKENS[:5].tolist()
+TIMEOUT = 30.0
+SEEDS = (0, 1, 7, 101)
+
+
+def _char_lm(backend: str, weight_bits: int | None = None) -> CompiledModel:
+    model = build_char_lm(
+        VOCAB.size, layer_sizes=(16,), cell_type="gru",
+        block_sizes=(4,), seed=3,
+    )
+    return compile(model, backend=backend, weight_bits=weight_bits,
+                   workload="lm", vocab=VOCAB, cache=False)
+
+
+@pytest.fixture(scope="module")
+def float_lm():
+    return _char_lm("float")
+
+
+@pytest.fixture(scope="module")
+def fixed_lm():
+    return _char_lm("fixed")
+
+
+class TestSerialReruns:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fresh_sessions_reproduce_generation(self, float_lm, seed):
+        first = Session(float_lm).generate(
+            PROMPT, steps=24, temperature=0.8, top_k=5, seed=seed
+        )
+        second = Session(float_lm).generate(
+            PROMPT, steps=24, temperature=0.8, top_k=5, seed=seed
+        )
+        assert first == second
+        assert len(first) == 24
+        assert all(0 <= t < VOCAB.size for t in first)
+
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_fixed_backend_reproduces_generation(self, fixed_lm, seed):
+        first = Session(fixed_lm).generate(
+            PROMPT, steps=24, temperature=0.8, top_k=5, seed=seed
+        )
+        second = Session(fixed_lm).generate(
+            PROMPT, steps=24, temperature=0.8, top_k=5, seed=seed
+        )
+        assert first == second
+
+    def test_different_seeds_are_allowed_to_differ(self, float_lm):
+        streams = {
+            tuple(Session(float_lm).generate(
+                PROMPT, steps=32, temperature=1.2, top_k=0, seed=seed))
+            for seed in range(8)
+        }
+        # Not a hard guarantee per seed pair, but 8 identical 32-token
+        # streams at temperature 1.2 would mean the seed is ignored.
+        assert len(streams) > 1
+
+    def test_score_reruns_are_byte_identical(self, float_lm):
+        first = Session(float_lm).score(TOKENS[:40])
+        second = Session(float_lm).score(TOKENS[:40])
+        assert first.tobytes() == second.tobytes()
+        assert first.shape == (39,) and first.dtype == np.float64
+
+
+class TestSpawnProcessBoundary:
+    """NetServer workers are spawn-context processes: the same seed must
+    produce the same bytes on the far side of that boundary."""
+
+    @pytest.mark.parametrize("backend", ["float", "fixed"])
+    def test_generation_over_the_wire_matches_in_process(
+        self, float_lm, fixed_lm, backend
+    ):
+        compiled = float_lm if backend == "float" else fixed_lm
+        expected = [
+            Session(compiled).generate(
+                PROMPT, steps=20, temperature=0.8, top_k=5, seed=seed
+            )
+            for seed in SEEDS
+        ]
+        with NetServer(compiled, workers=2) as server:
+            client = Client(*server.address, timeout=TIMEOUT)
+            try:
+                for seed, want in zip(SEEDS, expected):
+                    got = client.session(f"gen-{backend}-{seed}").generate(
+                        PROMPT, steps=20, temperature=0.8, top_k=5, seed=seed
+                    )
+                    assert got == want, f"seed {seed} diverged over the wire"
+            finally:
+                client.close()
+
+    def test_score_over_the_wire_matches_in_process(self, float_lm):
+        expected = Session(float_lm).score(TOKENS[:48])
+        with NetServer(float_lm, workers=1) as server:
+            client = Client(*server.address, timeout=TIMEOUT)
+            try:
+                got = client.session("score-wire").score(TOKENS[:48])
+            finally:
+                client.close()
+        assert got.tobytes() == expected.tobytes()
+
+    @pytest.mark.parametrize("backend", ["float", "fixed"])
+    def test_perplexity_net_transport_pinned_equal(
+        self, float_lm, fixed_lm, backend
+    ):
+        compiled = float_lm if backend == "float" else fixed_lm
+        local = evaluate_perplexity(compiled, TOKENS, chunk_size=24)
+        served = evaluate_perplexity(
+            compiled, TOKENS, chunk_size=24, transport="net"
+        )
+        assert served == local
+
+    def test_saved_artifact_reproduces_generation(self, fixed_lm, tmp_path):
+        expected = Session(fixed_lm).generate(
+            PROMPT, steps=24, temperature=0.8, top_k=5, seed=9
+        )
+        path = fixed_lm.save(tmp_path / "char-lm.npz")
+        reloaded = CompiledModel.load(path)
+        got = Session(reloaded).generate(
+            PROMPT, steps=24, temperature=0.8, top_k=5, seed=9
+        )
+        assert got == expected
+
+
+class TestFloatVsFixedBackends:
+    """Where the backends' logits agree (in argmax), so must the tokens:
+    sampling may never introduce divergence the numerics didn't."""
+
+    @staticmethod
+    def _greedy_decisions(compiled, path):
+        """Per-step argmax while force-feeding ``path`` one-hot rows."""
+        executor = compiled.executor()
+        state = executor.initial_state(1)
+        decisions = []
+        for token in path[:-1]:
+            row = np.zeros((1, executor.input_size), dtype=np.float64)
+            row[0, int(token)] = 1.0
+            logits, state = executor.step(row, state)
+            decisions.append(int(np.argmax(logits[0])))
+        return decisions
+
+    def test_greedy_tokens_agree_while_argmax_agrees(self, float_lm):
+        steps = 24
+        fixed16 = _char_lm("fixed", weight_bits=16)
+        float_tokens = Session(float_lm).generate(
+            PROMPT, steps=steps, temperature=0.0, top_k=0, seed=0
+        )
+        path = PROMPT + float_tokens
+
+        # Helper sanity: walking float's own path reproduces its tokens.
+        float_decisions = self._greedy_decisions(float_lm, path)
+        assert float_decisions[len(PROMPT) - 1:] == float_tokens
+
+        # How far does the fixed backend's argmax agree along that path?
+        fixed_decisions = self._greedy_decisions(fixed16, path)
+        fixed_choices = fixed_decisions[len(PROMPT) - 1:]
+        agree = 0
+        while agree < steps and fixed_choices[agree] == float_tokens[agree]:
+            agree += 1
+        assert agree >= 8, (
+            f"vacuous fixture: 16-bit fixed argmax diverged from float "
+            f"after {agree} step(s); re-pin the model seed"
+        )
+
+        # The actual property: fixed generation equals float generation
+        # for exactly as long as the logits' argmax agrees.
+        fixed_tokens = Session(fixed16).generate(
+            PROMPT, steps=steps, temperature=0.0, top_k=0, seed=0
+        )
+        assert fixed_tokens[:agree] == float_tokens[:agree]
+        if agree < steps:
+            assert fixed_tokens[agree] != float_tokens[agree]
+
+    def test_greedy_seed_independence_each_backend(self, float_lm, fixed_lm):
+        for compiled in (float_lm, fixed_lm):
+            a = Session(compiled).generate(
+                PROMPT, steps=16, temperature=0.0, top_k=0, seed=1
+            )
+            b = Session(compiled).generate(
+                PROMPT, steps=16, temperature=0.0, top_k=0, seed=2
+            )
+            assert a == b  # greedy never touches the rng
+
+
+class TestGatewaySigkillFailoverReplay:
+    def test_generation_replays_byte_identical_across_kill(self, float_lm):
+        """generate -> SIGKILL the owning backend -> score -> generate:
+        the reattach journal replays the one-hot history onto the
+        survivor, so the continuation matches an uninterrupted
+        in-process session byte for byte."""
+        reference = Session(float_lm)
+        first = reference.generate(
+            PROMPT, steps=16, temperature=0.8, top_k=5, seed=41
+        )
+        logprobs = reference.score(TOKENS[:24])
+        second = reference.generate(
+            [first[-1]], steps=16, temperature=0.8, top_k=5, seed=43
+        )
+
+        with BackendFleet(float_lm, count=2) as fleet:
+            with Gateway(fleet.keys, probe_interval_s=0.2,
+                         down_after=2) as gw:
+                client = Client(*gw.address, timeout=60)
+                try:
+                    sess = client.session("lm-kill", reattach=True)
+                    got_first = sess.generate(
+                        PROMPT, steps=16, temperature=0.8, top_k=5, seed=41
+                    )
+                    assert got_first == first
+
+                    owner = next(e["backend"] for e in client.sessions()
+                                 if e["session"] == "lm-kill")
+                    fleet.kill(fleet.keys.index(owner))
+
+                    got_logprobs = sess.score(TOKENS[:24])
+                    got_second = sess.generate(
+                        [first[-1]], steps=16,
+                        temperature=0.8, top_k=5, seed=43,
+                    )
+                    assert got_logprobs.tobytes() == logprobs.tobytes()
+                    assert got_second == second, (
+                        "generation diverged across the SIGKILL failover"
+                    )
+
+                    moved = next(e["backend"] for e in client.sessions()
+                                 if e["session"] == "lm-kill")
+                    assert moved != owner
+                    assert "backend_down" in [e["event"] for e in gw.events]
+                finally:
+                    client.close()
+
+
+class TestWorkloadGate:
+    def test_asr_sessions_reject_token_ops(self):
+        from repro.config import RNNSpec
+        from repro.nn.rnn import StackedRNNClassifier
+
+        spec = RNNSpec("gru", 10, (16,), 6, block_sizes=(4,))
+        model = StackedRNNClassifier(
+            spec, structured=True, rng=np.random.default_rng(0)
+        )
+        compiled = compile(model, backend="float", cache=False)
+        with pytest.raises(ConfigError):
+            Session(compiled).generate([1, 2], steps=4)
+        with pytest.raises(ConfigError):
+            Session(compiled).score([1, 2, 3])
+
+    def test_lm_workload_requires_square_model(self):
+        from repro.config import RNNSpec
+        from repro.nn.rnn import StackedRNNClassifier
+
+        spec = RNNSpec("gru", 10, (16,), 6, block_sizes=(4,))
+        model = StackedRNNClassifier(
+            spec, structured=True, rng=np.random.default_rng(0)
+        )
+        with pytest.raises(ConfigError):
+            compile(model, backend="float", workload="lm", vocab=VOCAB,
+                    cache=False)
